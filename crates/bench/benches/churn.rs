@@ -1,0 +1,15 @@
+//! EXP-E — churn resilience: query recall after failing a fraction of the
+//! network (soft state and routing resilience, §2.1.1, §3.2.3).
+//!
+//! Run with `cargo bench -p pier-bench --bench churn`.
+
+use pier_harness::experiments::churn;
+
+fn main() {
+    println!("# EXP-E — recall under node failures (100 nodes, 200 published rows)");
+    println!("# failed_fraction   recall");
+    for failed in [0.0, 0.05, 0.1, 0.2, 0.3] {
+        let row = churn(100, 200, failed, 31);
+        println!("{:>16.2}   {:>6.3}", row.failed_fraction, row.recall);
+    }
+}

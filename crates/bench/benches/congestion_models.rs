@@ -1,0 +1,17 @@
+//! EXP-F — congestion-model comparison (§3.1.4): completion latency of the
+//! Figure-2 aggregation query under the simulator's three congestion models.
+//!
+//! Run with `cargo bench -p pier-bench --bench congestion_models`.
+
+use pier_harness::experiments::congestion_models;
+
+fn main() {
+    println!("# EXP-F — congestion models (100 nodes, 20k events)");
+    println!("# model        last_result_s   results");
+    for row in congestion_models(100, 20_000, 19) {
+        println!(
+            "{:<12} {:>13.2} {:>9}",
+            row.model, row.last_result_secs, row.results
+        );
+    }
+}

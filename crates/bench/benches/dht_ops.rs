@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the overlay and query-processor hot paths
+//! (Figures 5/6 machinery): ring routing decisions, object-manager puts,
+//! tuple hashing and the symmetric-hash-join inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pier_core::{JoinSide, SymmetricHashJoin, Tuple, Value};
+use pier_dht::{make_ring_refs, ObjectName, ObjectManager, Router, RouterConfig};
+
+fn bench_routing(c: &mut Criterion) {
+    let refs = make_ring_refs(1024, 7);
+    let router = Router::with_static_ring(refs[0], &refs, RouterConfig::default());
+    let mut i = 0u64;
+    c.bench_function("router_next_hop_1024_nodes", |b| {
+        b.iter(|| {
+            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            std::hint::black_box(router.next_hop(pier_dht::Id(i), 0))
+        })
+    });
+}
+
+fn bench_object_manager(c: &mut Criterion) {
+    c.bench_function("object_manager_put_get", |b| {
+        let mut om: ObjectManager<u64> = ObjectManager::new(u64::MAX);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let name = ObjectName::new("t", format!("k{}", i % 1000), i);
+            om.put(name, i, 1_000_000, i);
+            std::hint::black_box(om.get("t", &format!("k{}", i % 1000), i).len())
+        })
+    });
+}
+
+fn bench_tuple_partition_key(c: &mut Criterion) {
+    let tuple = Tuple::new(
+        "events",
+        vec![
+            ("src", Value::Str("10.1.2.3".into())),
+            ("port", Value::Int(443)),
+        ],
+    );
+    let cols = vec!["src".to_string(), "port".to_string()];
+    c.bench_function("tuple_partition_key", |b| {
+        b.iter(|| std::hint::black_box(tuple.partition_key(&cols)))
+    });
+}
+
+fn bench_symmetric_hash_join(c: &mut Criterion) {
+    c.bench_function("symmetric_hash_join_push", |b| {
+        let key = vec!["b".to_string()];
+        let mut join = SymmetricHashJoin::new(key.clone(), key, "rs");
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            let left = Tuple::new("r", vec![("a", Value::Int(i)), ("b", Value::Int(i % 64))]);
+            let right = Tuple::new("s", vec![("b", Value::Int(i % 64)), ("c", Value::Int(i))]);
+            let side = if i % 2 == 0 { JoinSide::Left } else { JoinSide::Right };
+            let t = if i % 2 == 0 { left } else { right };
+            std::hint::black_box(join.push_side(side, t).len())
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_routing, bench_object_manager, bench_tuple_partition_key, bench_symmetric_hash_join
+);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! EXP-D — DHT routing scalability: mean and tail lookup hop counts as the
+//! network grows (§3.2.2: per-operation overheads grow logarithmically).
+//!
+//! Run with `cargo bench -p pier-bench --bench dht_scalability`.
+
+use pier_harness::experiments::dht_scalability;
+
+fn main() {
+    println!("# EXP-D — DHT lookup hop counts vs network size");
+    println!("# nodes   mean_hops   p95_hops");
+    for nodes in [16, 32, 64, 128, 256, 512, 1024] {
+        let row = dht_scalability(nodes, 200, 13);
+        println!("{:>6}   {:>9.2}   {:>8.2}", row.nodes, row.mean_hops, row.p95_hops);
+    }
+}

@@ -1,0 +1,19 @@
+//! EXP-C — query dissemination: messages used by the broadcast tree vs the
+//! equality index (§3.3.3), for identical answers.
+//!
+//! Run with `cargo bench -p pier-bench --bench dissemination`.
+
+use pier_harness::experiments::dissemination;
+
+fn main() {
+    println!("# EXP-C — query dissemination strategies");
+    println!("# nodes  strategy          messages  results");
+    for nodes in [16, 64, 128, 256] {
+        for row in dissemination(nodes, 5) {
+            println!(
+                "{:>6}  {:<16} {:>9} {:>8}",
+                row.nodes, row.strategy, row.messages, row.results
+            );
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! EXP-H — adaptive query processing with eddies (§4.2.2): operator
+//! invocations for the same conjunctive filter query under static good/bad
+//! orders and eddy routing policies.
+//!
+//! Run with `cargo bench -p pier-bench --bench eddy_policies`.
+
+use pier_harness::adaptivity::eddy_policies;
+
+fn main() {
+    println!("# EXP-H — eddy routing policies over a 3-predicate filter query");
+    println!("# strategy                  tuples  invocations  results");
+    for row in eddy_policies(50_000, 29) {
+        println!(
+            "{:<26} {:>7} {:>12} {:>8}",
+            row.strategy, row.tuples, row.invocations, row.results
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! FIG1 — reproduce Figure 1 of the paper: CDF of first-result latency for
+//! PIER file-sharing search on rare keywords vs a Gnutella-style flooding
+//! baseline (all queries and rare queries).
+//!
+//! Run with `cargo bench -p pier-bench --bench fig1_filesharing`.
+
+use pier_harness::experiments::fig1_filesharing;
+
+fn main() {
+    let nodes = 50; // the paper's PlanetLab deployment size for this figure
+    let result = fig1_filesharing(nodes, 3_000, 120, 42);
+    println!("# Figure 1 — CDF of first-result latency ({nodes} nodes, synthetic Zipf corpus)");
+    println!("# columns: latency_s  pier_rare  gnutella_all  gnutella_rare  (fraction of queries answered)");
+    for ((x, pier), (ga, gr)) in result
+        .pier_rare
+        .iter()
+        .zip(result.gnutella_all.iter().zip(result.gnutella_rare.iter()))
+    {
+        println!("{:6.1}  {:8.3}  {:8.3}  {:8.3}", x, pier, ga.1, gr.1);
+    }
+    println!(
+        "# no-answer rate: PIER rare = {:.1}%, Gnutella rare = {:.1}%",
+        result.pier_rare_no_answer * 100.0,
+        result.gnutella_rare_no_answer * 100.0
+    );
+    assert!(
+        result.pier_rare_no_answer <= result.gnutella_rare_no_answer,
+        "PIER must answer at least as many rare queries as flooding"
+    );
+}

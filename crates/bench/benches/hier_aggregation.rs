@@ -1,0 +1,19 @@
+//! EXP-B — hierarchical vs flat (direct-to-root) aggregation: the maximum
+//! per-node in-bandwidth hot spot and total traffic (§3.3.4).
+//!
+//! Run with `cargo bench -p pier-bench --bench hier_aggregation`.
+
+use pier_harness::experiments::hierarchical_aggregation;
+
+fn main() {
+    println!("# EXP-B — hierarchical vs flat aggregation");
+    println!("# nodes  mode           max_in_bytes   total_bytes   groups");
+    for nodes in [25, 50, 100, 200] {
+        for row in hierarchical_aggregation(nodes, 40, 23) {
+            println!(
+                "{:>6}  {:<13} {:>12} {:>12} {:>8}",
+                row.nodes, row.mode, row.max_in_bytes, row.total_bytes, row.groups_reported
+            );
+        }
+    }
+}

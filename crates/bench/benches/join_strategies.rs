@@ -1,0 +1,23 @@
+//! EXP-A — join-strategy ablation (§3.3.4 and [32]): Symmetric Hash join via
+//! DHT rehash vs Fetch Matches (distributed index) join: result counts,
+//! bytes shipped, first-result latency.
+//!
+//! Run with `cargo bench -p pier-bench --bench join_strategies`.
+
+use pier_harness::experiments::join_strategies;
+
+fn main() {
+    println!("# EXP-A — join strategies, 32 nodes");
+    println!("# strategy          results      bytes    first_result_s");
+    for row in join_strategies(32, 600, 17) {
+        println!(
+            "{:<18} {:>8} {:>10} {:>12}",
+            row.strategy,
+            row.results,
+            row.bytes,
+            row.first_result_secs
+                .map(|s| format!("{s:.2}"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! EXP-G — range-predicate dissemination (§3.3.3 "Range Index Substrate"):
+//! a range scan answered by broadcasting to every node vs by shipping the
+//! opgraph only to the PHT-style buckets overlapping the range.
+//!
+//! Run with `cargo bench -p pier-bench --bench range_dissemination`.
+
+use pier_harness::indexes::range_dissemination;
+
+fn main() {
+    println!("# EXP-G — range-index vs broadcast dissemination");
+    println!("# nodes  range%  strategy       buckets  messages  nodes_running_query  results");
+    for nodes in [32, 64, 128] {
+        for fraction in [0.05, 0.20] {
+            for row in range_dissemination(nodes, 400, fraction, 13) {
+                println!(
+                    "{:>6}  {:>5.0}%  {:<13} {:>7} {:>9} {:>19} {:>8}",
+                    row.nodes,
+                    row.range_fraction * 100.0,
+                    row.strategy,
+                    row.buckets,
+                    row.messages,
+                    row.nodes_running_query,
+                    row.results
+                );
+            }
+        }
+    }
+}

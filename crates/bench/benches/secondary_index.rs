@@ -1,0 +1,21 @@
+//! EXP-J — secondary indexes (§3.3.3): an equality lookup on a
+//! non-partitioning column answered by a broadcast scan of the base table vs
+//! by the secondary-index semi-join (index partition → Fetch Matches into
+//! the base table).
+//!
+//! Run with `cargo bench -p pier-bench --bench secondary_index`.
+
+use pier_harness::indexes::secondary_index_lookup;
+
+fn main() {
+    println!("# EXP-J — secondary-index semi-join vs broadcast scan");
+    println!("# nodes  strategy          messages  nodes_running_query  results");
+    for nodes in [32, 64, 128] {
+        for row in secondary_index_lookup(nodes, 300, 12, 21) {
+            println!(
+                "{:>6}  {:<16} {:>9} {:>19} {:>8}",
+                row.nodes, row.strategy, row.messages, row.nodes_running_query, row.results
+            );
+        }
+    }
+}

@@ -1,0 +1,1 @@
+//! Support library for the PIER benchmark harness (see `benches/`).

@@ -1,0 +1,294 @@
+//! Aggregate functions and mergeable partial aggregates.
+//!
+//! Hierarchical aggregation (§3.3.4) requires each node to compute a
+//! *partial* aggregate over its local data and intermediate nodes to combine
+//! partials as they flow toward the aggregation-tree root.  That works for
+//! *distributive* aggregates (COUNT, SUM, MIN, MAX) and *algebraic* ones
+//! (AVG, carried as sum+count); *holistic* aggregates (e.g. MEDIAN) cannot
+//! be combined from constant-size state, which the classification here makes
+//! explicit.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use pier_runtime::WireSize;
+
+/// Which aggregate function to compute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(column)`.
+    Sum(String),
+    /// `MIN(column)`.
+    Min(String),
+    /// `MAX(column)`.
+    Max(String),
+    /// `AVG(column)` — algebraic: carried as (sum, count).
+    Avg(String),
+}
+
+/// The paper's classification of aggregates by how they distribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggClass {
+    /// Constant-size partial state, combine = same function (COUNT/SUM/MIN/MAX).
+    Distributive,
+    /// Constant-size partial state, combine ≠ final function (AVG).
+    Algebraic,
+    /// Needs all the data (not supported by hierarchical aggregation).
+    Holistic,
+}
+
+impl AggFunc {
+    /// Output column name (`count`, `sum_x`, …).
+    pub fn output_column(&self) -> String {
+        match self {
+            AggFunc::Count => "count".to_string(),
+            AggFunc::Sum(c) => format!("sum_{c}"),
+            AggFunc::Min(c) => format!("min_{c}"),
+            AggFunc::Max(c) => format!("max_{c}"),
+            AggFunc::Avg(c) => format!("avg_{c}"),
+        }
+    }
+
+    /// Distribution class of this aggregate.
+    pub fn class(&self) -> AggClass {
+        match self {
+            AggFunc::Count | AggFunc::Sum(_) | AggFunc::Min(_) | AggFunc::Max(_) => {
+                AggClass::Distributive
+            }
+            AggFunc::Avg(_) => AggClass::Algebraic,
+        }
+    }
+
+    /// Fresh accumulator state.
+    pub fn init(&self) -> AggState {
+        match self {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum(_) => AggState::Sum(0.0),
+            AggFunc::Min(_) => AggState::Min(None),
+            AggFunc::Max(_) => AggState::Max(None),
+            AggFunc::Avg(_) => AggState::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    /// Column this aggregate reads, if any.
+    pub fn input_column(&self) -> Option<&str> {
+        match self {
+            AggFunc::Count => None,
+            AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) | AggFunc::Avg(c) => Some(c),
+        }
+    }
+}
+
+/// Constant-size partial aggregate state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// Running count.
+    Count(u64),
+    /// Running sum.
+    Sum(f64),
+    /// Running minimum.
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+    /// Running (sum, count) for AVG.
+    Avg {
+        /// Sum of inputs.
+        sum: f64,
+        /// Number of inputs.
+        count: u64,
+    },
+}
+
+impl WireSize for AggState {
+    fn wire_size(&self) -> usize {
+        match self {
+            AggState::Count(_) | AggState::Sum(_) => 9,
+            AggState::Min(v) | AggState::Max(v) => 1 + v.as_ref().map(|x| x.wire_size()).unwrap_or(0),
+            AggState::Avg { .. } => 17,
+        }
+    }
+}
+
+impl AggState {
+    /// Fold one input tuple into the accumulator (best-effort: tuples whose
+    /// aggregated column is missing or non-numeric are ignored for numeric
+    /// aggregates).
+    pub fn update(&mut self, func: &AggFunc, tuple: &Tuple) {
+        match (self, func) {
+            (AggState::Count(n), AggFunc::Count) => *n += 1,
+            (AggState::Sum(s), AggFunc::Sum(col)) => {
+                if let Some(v) = tuple.get(col).and_then(Value::as_f64) {
+                    *s += v;
+                }
+            }
+            (AggState::Min(m), AggFunc::Min(col)) => {
+                if let Some(v) = tuple.get(col) {
+                    let better = match m {
+                        None => true,
+                        Some(cur) => matches!(v.compare(cur), Some(std::cmp::Ordering::Less)),
+                    };
+                    if better {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            (AggState::Max(m), AggFunc::Max(col)) => {
+                if let Some(v) = tuple.get(col) {
+                    let better = match m {
+                        None => true,
+                        Some(cur) => matches!(v.compare(cur), Some(std::cmp::Ordering::Greater)),
+                    };
+                    if better {
+                        *m = Some(v.clone());
+                    }
+                }
+            }
+            (AggState::Avg { sum, count }, AggFunc::Avg(col)) => {
+                if let Some(v) = tuple.get(col).and_then(Value::as_f64) {
+                    *sum += v;
+                    *count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Merge another partial of the same shape into this one (the combine
+    /// step of hierarchical aggregation).
+    pub fn merge(&mut self, other: &AggState) {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (AggState::Sum(a), AggState::Sum(b)) => *a += b,
+            (AggState::Min(a), AggState::Min(Some(b))) => {
+                let better = match a {
+                    None => true,
+                    Some(cur) => matches!(b.compare(cur), Some(std::cmp::Ordering::Less)),
+                };
+                if better {
+                    *a = Some(b.clone());
+                }
+            }
+            (AggState::Max(a), AggState::Max(Some(b))) => {
+                let better = match a {
+                    None => true,
+                    Some(cur) => matches!(b.compare(cur), Some(std::cmp::Ordering::Greater)),
+                };
+                if better {
+                    *a = Some(b.clone());
+                }
+            }
+            (
+                AggState::Avg { sum: sa, count: ca },
+                AggState::Avg { sum: sb, count: cb },
+            ) => {
+                *sa += sb;
+                *ca += cb;
+            }
+            _ => {}
+        }
+    }
+
+    /// Final output value.
+    pub fn finish(&self) -> Value {
+        match self {
+            AggState::Count(n) => Value::Int(*n as i64),
+            AggState::Sum(s) => Value::Float(*s),
+            AggState::Min(v) | AggState::Max(v) => v.clone().unwrap_or(Value::Null),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuples(values: &[i64]) -> Vec<Tuple> {
+        values
+            .iter()
+            .map(|&v| Tuple::new("t", vec![("x", Value::Int(v))]))
+            .collect()
+    }
+
+    fn run(func: &AggFunc, inputs: &[i64]) -> Value {
+        let mut state = func.init();
+        for t in tuples(inputs) {
+            state.update(func, &t);
+        }
+        state.finish()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        assert_eq!(run(&AggFunc::Count, &[1, 2, 3]), Value::Int(3));
+        assert_eq!(run(&AggFunc::Sum("x".into()), &[1, 2, 3]), Value::Float(6.0));
+        assert_eq!(run(&AggFunc::Min("x".into()), &[5, 2, 9]), Value::Int(2));
+        assert_eq!(run(&AggFunc::Max("x".into()), &[5, 2, 9]), Value::Int(9));
+        assert_eq!(run(&AggFunc::Avg("x".into()), &[2, 4]), Value::Float(3.0));
+    }
+
+    #[test]
+    fn merge_equals_single_site_computation() {
+        // Split the input across three "nodes", merge the partials, and check
+        // the answer equals computing over all data at one site.
+        let all: Vec<i64> = (1..=30).collect();
+        for func in [
+            AggFunc::Count,
+            AggFunc::Sum("x".into()),
+            AggFunc::Min("x".into()),
+            AggFunc::Max("x".into()),
+            AggFunc::Avg("x".into()),
+        ] {
+            let reference = run(&func, &all);
+            let mut merged = func.init();
+            for chunk in all.chunks(10) {
+                let mut partial = func.init();
+                for t in tuples(chunk) {
+                    partial.update(&func, &t);
+                }
+                merged.merge(&partial);
+            }
+            assert_eq!(merged.finish(), reference, "{func:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_tuples_are_ignored_by_numeric_aggregates() {
+        let func = AggFunc::Sum("x".into());
+        let mut state = func.init();
+        state.update(&func, &Tuple::new("t", vec![("x", Value::Int(5))]));
+        state.update(&func, &Tuple::new("t", vec![("x", Value::Str("bad".into()))]));
+        state.update(&func, &Tuple::new("t", vec![("y", Value::Int(7))]));
+        assert_eq!(state.finish(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn classification() {
+        assert_eq!(AggFunc::Count.class(), AggClass::Distributive);
+        assert_eq!(AggFunc::Sum("x".into()).class(), AggClass::Distributive);
+        assert_eq!(AggFunc::Avg("x".into()).class(), AggClass::Algebraic);
+    }
+
+    #[test]
+    fn empty_aggregates() {
+        assert_eq!(AggFunc::Count.init().finish(), Value::Int(0));
+        assert_eq!(AggFunc::Min("x".into()).init().finish(), Value::Null);
+        assert_eq!(AggFunc::Avg("x".into()).init().finish(), Value::Null);
+    }
+
+    #[test]
+    fn output_columns() {
+        assert_eq!(AggFunc::Count.output_column(), "count");
+        assert_eq!(AggFunc::Sum("x".into()).output_column(), "sum_x");
+        assert_eq!(AggFunc::Avg("load".into()).output_column(), "avg_load");
+        assert_eq!(AggFunc::Sum("x".into()).input_column(), Some("x"));
+        assert_eq!(AggFunc::Count.input_column(), None);
+    }
+}

@@ -1,0 +1,392 @@
+//! Eddies: adaptive, run-time reordering of query operators (§4.2.2).
+//!
+//! PIER's answer to query optimization without a catalog is *runtime*
+//! reoptimization: "we have implemented a prototype version of an eddy [2]
+//! as an optional operator that can be employed in UFL plans.  A set of UFL
+//! operators can be 'wired up' to an eddy, and in principle benefit from the
+//! eddy's ability to reorder the operators."
+//!
+//! An [`Eddy`] holds a set of commutative tuple-at-a-time operators
+//! (selections and other filters) and decides, per tuple, which operator to
+//! visit next.  The two ingredients the paper names — **observation** of
+//! per-operator dataflow rates and a **decision mechanism** for routing —
+//! are the [`OperatorObservation`] statistics and the [`RoutingPolicy`]:
+//!
+//! * [`RoutingPolicy::Fixed`] — always use the wiring order (the behaviour
+//!   of a static plan; the baseline in the ablation),
+//! * [`RoutingPolicy::RoundRobin`] — rotate the starting operator, spreading
+//!   work with no learning, and
+//! * [`RoutingPolicy::Lottery`] — the classic eddy policy: favour operators
+//!   that drop a larger fraction of the tuples they see ("fast fail"), so
+//!   the plan converges toward evaluating the most selective predicate
+//!   first without any prior statistics.
+//!
+//! The distributed dimension discussed in the paper — each node's eddy only
+//! observes locally-routed data, and naive cross-site statistics exchange
+//! would be too expensive — is captured by [`OperatorObservation::merge`]:
+//! observations are mergeable partial states, so nodes *can* gossip or
+//! aggregate them through the DHT exactly like any other partial aggregate,
+//! and the ablation can quantify what that buys.
+
+use crate::expr::Expr;
+use crate::operators::LocalOperator;
+use crate::tuple::Tuple;
+use pier_runtime::Rng64;
+
+/// A filter-style operator an eddy can route tuples through: it either
+/// passes the tuple (possibly transformed) or drops it.  Unlike a full
+/// [`LocalOperator`] it cannot multiply tuples, which is what makes
+/// reordering safe.
+pub trait EddyFilter: std::fmt::Debug {
+    /// A short name used in observations and experiment output.
+    fn name(&self) -> &str;
+    /// Process one tuple; `None` drops it.
+    fn apply(&mut self, tuple: Tuple) -> Option<Tuple>;
+}
+
+/// A selection predicate as an eddy filter.
+#[derive(Debug)]
+pub struct PredicateFilter {
+    name: String,
+    predicate: Expr,
+}
+
+impl PredicateFilter {
+    /// Wrap a predicate.
+    pub fn new(name: impl Into<String>, predicate: Expr) -> Self {
+        PredicateFilter {
+            name: name.into(),
+            predicate,
+        }
+    }
+}
+
+impl EddyFilter for PredicateFilter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn apply(&mut self, tuple: Tuple) -> Option<Tuple> {
+        if self.predicate.matches(&tuple) {
+            Some(tuple)
+        } else {
+            None
+        }
+    }
+}
+
+/// Per-operator dataflow observations (the eddy's "observation" half).
+/// Mergeable so distributed eddies can combine what different nodes saw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperatorObservation {
+    /// Tuples routed into the operator.
+    pub seen: u64,
+    /// Tuples the operator dropped.
+    pub dropped: u64,
+}
+
+impl OperatorObservation {
+    /// Observed drop probability, with an optimistic prior of 0.5 before any
+    /// evidence (so unexplored operators still get tried).
+    pub fn drop_rate(&self) -> f64 {
+        if self.seen == 0 {
+            0.5
+        } else {
+            self.dropped as f64 / self.seen as f64
+        }
+    }
+
+    /// Merge another node's observations for the same operator (§4.2.2's
+    /// cross-site aggregation of eddy statistics).
+    pub fn merge(&mut self, other: &OperatorObservation) {
+        self.seen += other.seen;
+        self.dropped += other.dropped;
+    }
+}
+
+/// The eddy's routing policy (its "decision mechanism").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingPolicy {
+    /// Visit operators in wiring order — equivalent to a static plan.
+    Fixed,
+    /// Rotate the starting operator per tuple, no learning.
+    RoundRobin,
+    /// Lottery scheduling on observed drop rates: operators that fail tuples
+    /// faster get visited earlier.
+    Lottery,
+}
+
+/// The eddy operator: routes each tuple through every filter until one drops
+/// it or all have passed it.
+#[derive(Debug)]
+pub struct Eddy {
+    filters: Vec<Box<dyn EddyFilter + Send>>,
+    observations: Vec<OperatorObservation>,
+    policy: RoutingPolicy,
+    rng: Rng64,
+    round_robin_offset: usize,
+    /// Total operator invocations — the "work" metric of the ablation.
+    invocations: u64,
+    tuples_in: u64,
+    tuples_out: u64,
+}
+
+impl Eddy {
+    /// Create an eddy over the given filters.
+    pub fn new(filters: Vec<Box<dyn EddyFilter + Send>>, policy: RoutingPolicy, seed: u64) -> Self {
+        let n = filters.len();
+        Eddy {
+            filters,
+            observations: vec![OperatorObservation::default(); n],
+            policy,
+            rng: Rng64::new(seed ^ 0xEDD1),
+            round_robin_offset: 0,
+            invocations: 0,
+            tuples_in: 0,
+            tuples_out: 0,
+        }
+    }
+
+    /// Convenience: an eddy over named selection predicates.
+    pub fn over_predicates(
+        predicates: Vec<(String, Expr)>,
+        policy: RoutingPolicy,
+        seed: u64,
+    ) -> Self {
+        let filters: Vec<Box<dyn EddyFilter + Send>> = predicates
+            .into_iter()
+            .map(|(name, p)| Box::new(PredicateFilter::new(name, p)) as Box<dyn EddyFilter + Send>)
+            .collect();
+        Eddy::new(filters, policy, seed)
+    }
+
+    /// Number of wired filters.
+    pub fn filter_count(&self) -> usize {
+        self.filters.len()
+    }
+
+    /// Total operator invocations so far (the work an optimizer tries to
+    /// minimize: every invocation is CPU spent and, for index filters,
+    /// potentially a network probe).
+    pub fn invocations(&self) -> u64 {
+        self.invocations
+    }
+
+    /// Tuples pushed in / tuples that survived every filter.
+    pub fn throughput(&self) -> (u64, u64) {
+        (self.tuples_in, self.tuples_out)
+    }
+
+    /// The per-operator observations, in wiring order.
+    pub fn observations(&self) -> &[OperatorObservation] {
+        &self.observations
+    }
+
+    /// Fold another eddy's observations into this one's (distributed eddies
+    /// aggregating their statistics).  Operators are matched by position;
+    /// mismatched lengths are ignored beyond the shorter prefix.
+    pub fn absorb_observations(&mut self, remote: &[OperatorObservation]) {
+        for (mine, theirs) in self.observations.iter_mut().zip(remote) {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Decide the visiting order for the next tuple.
+    fn route_order(&mut self) -> Vec<usize> {
+        let n = self.filters.len();
+        match self.policy {
+            RoutingPolicy::Fixed => (0..n).collect(),
+            RoutingPolicy::RoundRobin => {
+                let start = self.round_robin_offset % n.max(1);
+                self.round_robin_offset = self.round_robin_offset.wrapping_add(1);
+                (0..n).map(|i| (start + i) % n).collect()
+            }
+            RoutingPolicy::Lottery => {
+                // Ticket counts proportional to observed drop rate; break ties
+                // with a small random jitter so equally-selective operators
+                // share the first position (and keep being explored).
+                let mut order: Vec<usize> = (0..n).collect();
+                let jitter: Vec<f64> = (0..n).map(|_| self.rng.f64() * 0.05).collect();
+                order.sort_by(|a, b| {
+                    let score_a = self.observations[*a].drop_rate() + jitter[*a];
+                    let score_b = self.observations[*b].drop_rate() + jitter[*b];
+                    score_b
+                        .partial_cmp(&score_a)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                order
+            }
+        }
+    }
+
+    /// Route one tuple; returns the tuple if it survives every filter.
+    pub fn route(&mut self, tuple: Tuple) -> Option<Tuple> {
+        self.tuples_in += 1;
+        let order = self.route_order();
+        let mut current = tuple;
+        for idx in order {
+            self.invocations += 1;
+            self.observations[idx].seen += 1;
+            match self.filters[idx].apply(current) {
+                Some(t) => current = t,
+                None => {
+                    self.observations[idx].dropped += 1;
+                    return None;
+                }
+            }
+        }
+        self.tuples_out += 1;
+        Some(current)
+    }
+}
+
+impl LocalOperator for Eddy {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        self.route(tuple).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn row(a: i64, b: i64, c: i64) -> Tuple {
+        Tuple::new(
+            "t",
+            vec![
+                ("a", Value::Int(a)),
+                ("b", Value::Int(b)),
+                ("c", Value::Int(c)),
+            ],
+        )
+    }
+
+    fn three_predicates() -> Vec<(String, Expr)> {
+        vec![
+            // Barely selective: a >= 0 passes everything in the workload.
+            ("weak".to_string(), Expr::cmp(crate::expr::CmpOp::Ge, Expr::col("a"), Expr::lit(0i64))),
+            // Medium: b < 50 passes half.
+            ("medium".to_string(), Expr::cmp(crate::expr::CmpOp::Lt, Expr::col("b"), Expr::lit(50i64))),
+            // Strong: c = 7 passes 1 %.
+            ("strong".to_string(), Expr::eq("c", 7i64)),
+        ]
+    }
+
+    fn workload(n: i64) -> Vec<Tuple> {
+        (0..n).map(|i| row(i, i % 100, i % 100)).collect()
+    }
+
+    #[test]
+    fn all_policies_produce_the_same_result_set() {
+        let tuples = workload(500);
+        let mut results = Vec::new();
+        for policy in [RoutingPolicy::Fixed, RoutingPolicy::RoundRobin, RoutingPolicy::Lottery] {
+            let mut eddy = Eddy::over_predicates(three_predicates(), policy, 1);
+            let survived: Vec<Tuple> = tuples
+                .iter()
+                .cloned()
+                .filter_map(|t| eddy.route(t))
+                .collect();
+            results.push(survived.len());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[1], results[2]);
+        assert_eq!(results[0], 5, "c = 7 matches 5 of the 500 rows");
+    }
+
+    #[test]
+    fn lottery_does_less_work_than_a_bad_fixed_order() {
+        let tuples = workload(2_000);
+        // Fixed order as wired: weak, medium, strong — the worst order.
+        let mut fixed = Eddy::over_predicates(three_predicates(), RoutingPolicy::Fixed, 1);
+        // Lottery learns to put the strong predicate first.
+        let mut lottery = Eddy::over_predicates(three_predicates(), RoutingPolicy::Lottery, 1);
+        for t in &tuples {
+            fixed.route(t.clone());
+            lottery.route(t.clone());
+        }
+        assert!(
+            lottery.invocations() < fixed.invocations(),
+            "lottery {} must beat bad fixed order {}",
+            lottery.invocations(),
+            fixed.invocations()
+        );
+    }
+
+    #[test]
+    fn observations_record_selectivity() {
+        let mut eddy = Eddy::over_predicates(three_predicates(), RoutingPolicy::Fixed, 1);
+        for t in workload(200) {
+            eddy.route(t);
+        }
+        let obs = eddy.observations();
+        assert_eq!(obs[0].seen, 200);
+        assert!(obs[0].drop_rate() < 0.1, "weak predicate drops almost nothing");
+        assert!(obs[2].drop_rate() > 0.9, "strong predicate drops almost everything");
+        let (seen, out) = eddy.throughput();
+        assert_eq!(seen, 200);
+        assert!(out <= 2);
+    }
+
+    #[test]
+    fn merged_observations_accumulate_counts() {
+        let mut a = OperatorObservation { seen: 10, dropped: 3 };
+        let b = OperatorObservation { seen: 40, dropped: 37 };
+        a.merge(&b);
+        assert_eq!(a.seen, 50);
+        assert_eq!(a.dropped, 40);
+        assert!((a.drop_rate() - 0.8).abs() < 1e-9);
+        assert_eq!(OperatorObservation::default().drop_rate(), 0.5);
+    }
+
+    #[test]
+    fn absorbing_remote_observations_speeds_up_learning() {
+        // A "remote" eddy has already seen the workload and learned the drop
+        // rates; a fresh eddy that absorbs those observations should start
+        // with near-optimal routing.
+        let tuples = workload(1_000);
+        let mut remote = Eddy::over_predicates(three_predicates(), RoutingPolicy::Lottery, 3);
+        for t in &tuples {
+            remote.route(t.clone());
+        }
+        let mut cold = Eddy::over_predicates(three_predicates(), RoutingPolicy::Lottery, 4);
+        let mut warmed = Eddy::over_predicates(three_predicates(), RoutingPolicy::Lottery, 4);
+        warmed.absorb_observations(remote.observations());
+        for t in &tuples {
+            cold.route(t.clone());
+            warmed.route(t.clone());
+        }
+        assert!(
+            warmed.invocations() <= cold.invocations(),
+            "warm start {} should not do more work than cold start {}",
+            warmed.invocations(),
+            cold.invocations()
+        );
+    }
+
+    #[test]
+    fn eddy_acts_as_a_local_operator_in_a_pipeline() {
+        use crate::operators::Pipeline;
+        let eddy = Eddy::over_predicates(three_predicates(), RoutingPolicy::Lottery, 9);
+        let mut p = Pipeline::new(vec![Box::new(eddy)]);
+        let mut kept = 0;
+        for t in workload(300) {
+            kept += p.push(t).len();
+        }
+        assert_eq!(kept, 3, "c = 7 matches rows 7, 107, 207");
+    }
+
+    #[test]
+    fn round_robin_rotates_start_but_preserves_coverage() {
+        let mut eddy = Eddy::over_predicates(three_predicates(), RoutingPolicy::RoundRobin, 2);
+        // A tuple that passes everything visits all three filters regardless
+        // of rotation.
+        let survivor = row(7, 7, 7);
+        for _ in 0..6 {
+            assert!(eddy.route(survivor.clone()).is_some());
+        }
+        assert_eq!(eddy.invocations(), 18);
+        assert_eq!(eddy.filter_count(), 3);
+    }
+}

@@ -1,0 +1,344 @@
+//! Predicate and scalar expressions.
+//!
+//! Expressions are evaluated against self-describing tuples with the
+//! *best-effort* policy of §3.3.4: a missing field or an incompatible type
+//! does not raise an error to the client — the evaluating operator simply
+//! discards the tuple.  Evaluation therefore returns `Result` with
+//! [`EvalError`] and operators map errors to "drop".
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Why an expression could not be evaluated against a tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The tuple has no column with this name.
+    MissingColumn(String),
+    /// The operands had incompatible runtime types.
+    TypeMismatch {
+        /// Operation being attempted.
+        op: &'static str,
+        /// Left operand type.
+        left: &'static str,
+        /// Right operand type.
+        right: &'static str,
+    },
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (floating point).
+    Div,
+}
+
+/// A scalar or boolean expression over a tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Column(String),
+    /// A literal constant.
+    Const(Value),
+    /// Comparison of two sub-expressions.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Arithmetic on two numeric sub-expressions.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// Logical AND (both sides must evaluate to booleans).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// True when the named string column contains the given substring
+    /// (used by keyword-search queries).
+    Contains(String, String),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(name.to_string())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Const(v.into())
+    }
+
+    /// `left op right` comparison.
+    pub fn cmp(op: CmpOp, left: Expr, right: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(left), Box::new(right))
+    }
+
+    /// Convenience: `column = literal`.
+    pub fn eq(column: &str, v: impl Into<Value>) -> Expr {
+        Expr::cmp(CmpOp::Eq, Expr::col(column), Expr::lit(v))
+    }
+
+    /// Convenience: conjunction of a list of predicates (empty list = TRUE).
+    pub fn all(preds: Vec<Expr>) -> Expr {
+        preds
+            .into_iter()
+            .reduce(|a, b| Expr::And(Box::new(a), Box::new(b)))
+            .unwrap_or(Expr::Const(Value::Bool(true)))
+    }
+
+    /// Evaluate against a tuple.
+    pub fn eval(&self, tuple: &Tuple) -> Result<Value, EvalError> {
+        match self {
+            Expr::Column(name) => tuple
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::MissingColumn(name.clone())),
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Cmp(op, l, r) => {
+                let lv = l.eval(tuple)?;
+                let rv = r.eval(tuple)?;
+                match lv.compare(&rv) {
+                    Some(ord) => Ok(Value::Bool(op.test(ord))),
+                    None => Err(EvalError::TypeMismatch {
+                        op: "compare",
+                        left: lv.type_name(),
+                        right: rv.type_name(),
+                    }),
+                }
+            }
+            Expr::Arith(op, l, r) => {
+                let lv = l.eval(tuple)?;
+                let rv = r.eval(tuple)?;
+                match (lv.as_f64(), rv.as_f64()) {
+                    (Some(a), Some(b)) => {
+                        let out = match op {
+                            ArithOp::Add => a + b,
+                            ArithOp::Sub => a - b,
+                            ArithOp::Mul => a * b,
+                            ArithOp::Div => a / b,
+                        };
+                        // Preserve integer-ness when both inputs were ints
+                        // and the operation is exact.
+                        if matches!((&lv, &rv), (Value::Int(_), Value::Int(_)))
+                            && out.fract() == 0.0
+                            && !matches!(op, ArithOp::Div)
+                        {
+                            Ok(Value::Int(out as i64))
+                        } else {
+                            Ok(Value::Float(out))
+                        }
+                    }
+                    _ => Err(EvalError::TypeMismatch {
+                        op: "arith",
+                        left: lv.type_name(),
+                        right: rv.type_name(),
+                    }),
+                }
+            }
+            Expr::And(l, r) => {
+                let lv = self.expect_bool(l.eval(tuple)?)?;
+                if !lv {
+                    return Ok(Value::Bool(false));
+                }
+                let rv = self.expect_bool(r.eval(tuple)?)?;
+                Ok(Value::Bool(rv))
+            }
+            Expr::Or(l, r) => {
+                let lv = self.expect_bool(l.eval(tuple)?)?;
+                if lv {
+                    return Ok(Value::Bool(true));
+                }
+                let rv = self.expect_bool(r.eval(tuple)?)?;
+                Ok(Value::Bool(rv))
+            }
+            Expr::Not(e) => {
+                let v = self.expect_bool(e.eval(tuple)?)?;
+                Ok(Value::Bool(!v))
+            }
+            Expr::Contains(column, needle) => {
+                let v = tuple
+                    .get(column)
+                    .cloned()
+                    .ok_or_else(|| EvalError::MissingColumn(column.clone()))?;
+                match v {
+                    Value::Str(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
+                    other => Err(EvalError::TypeMismatch {
+                        op: "contains",
+                        left: other.type_name(),
+                        right: "string",
+                    }),
+                }
+            }
+        }
+    }
+
+    fn expect_bool(&self, v: Value) -> Result<bool, EvalError> {
+        v.as_bool().ok_or(EvalError::TypeMismatch {
+            op: "bool",
+            left: "non-bool",
+            right: "bool",
+        })
+    }
+
+    /// Evaluate as a predicate: `true` only when the expression cleanly
+    /// evaluates to boolean true.  Missing columns and type mismatches count
+    /// as "does not match" (the best-effort discard policy).
+    pub fn matches(&self, tuple: &Tuple) -> bool {
+        matches!(self.eval(tuple), Ok(Value::Bool(true)))
+    }
+
+    /// If this predicate constrains `column` to a single constant via
+    /// equality (possibly inside a conjunction), return that constant.  Used
+    /// by query dissemination to pick the equality index (§3.3.3).
+    pub fn equality_constant(&self, column: &str) -> Option<Value> {
+        match self {
+            Expr::Cmp(CmpOp::Eq, l, r) => match (l.as_ref(), r.as_ref()) {
+                (Expr::Column(c), Expr::Const(v)) if c == column => Some(v.clone()),
+                (Expr::Const(v), Expr::Column(c)) if c == column => Some(v.clone()),
+                _ => None,
+            },
+            Expr::And(l, r) => l
+                .equality_constant(column)
+                .or_else(|| r.equality_constant(column)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tup() -> Tuple {
+        Tuple::new(
+            "t",
+            vec![
+                ("a", Value::Int(5)),
+                ("b", Value::Float(2.5)),
+                ("name", Value::Str("alpha beta".into())),
+                ("ok", Value::Bool(true)),
+            ],
+        )
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(Expr::eq("a", 5i64).matches(&tup()));
+        assert!(!Expr::eq("a", 6i64).matches(&tup()));
+        assert!(Expr::cmp(CmpOp::Gt, Expr::col("a"), Expr::lit(2.0)).matches(&tup()));
+        assert!(Expr::cmp(CmpOp::Le, Expr::col("b"), Expr::col("a")).matches(&tup()));
+        assert!(Expr::cmp(CmpOp::Ne, Expr::col("a"), Expr::lit(1i64)).matches(&tup()));
+    }
+
+    #[test]
+    fn boolean_connectives_and_shortcut() {
+        let e = Expr::And(
+            Box::new(Expr::eq("a", 5i64)),
+            Box::new(Expr::cmp(CmpOp::Lt, Expr::col("b"), Expr::lit(3.0))),
+        );
+        assert!(e.matches(&tup()));
+        // Short-circuit: the right side of AND is not evaluated (and thus
+        // cannot cause a discard) when the left side is already false.
+        let short = Expr::And(
+            Box::new(Expr::eq("a", 99i64)),
+            Box::new(Expr::col("missing")),
+        );
+        assert_eq!(short.eval(&tup()), Ok(Value::Bool(false)));
+    }
+
+    #[test]
+    fn or_and_not() {
+        let e = Expr::Or(
+            Box::new(Expr::eq("a", 99i64)),
+            Box::new(Expr::col("ok")),
+        );
+        assert!(e.matches(&tup()));
+        assert!(Expr::Not(Box::new(Expr::eq("a", 99i64))).matches(&tup()));
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = Expr::cmp(
+            CmpOp::Eq,
+            Expr::Arith(ArithOp::Add, Box::new(Expr::col("a")), Box::new(Expr::lit(1i64))),
+            Expr::lit(6i64),
+        );
+        assert!(e.matches(&tup()));
+        let div = Expr::Arith(ArithOp::Div, Box::new(Expr::col("a")), Box::new(Expr::lit(2i64)));
+        assert_eq!(div.eval(&tup()), Ok(Value::Float(2.5)));
+    }
+
+    #[test]
+    fn best_effort_discard_on_missing_or_mismatched() {
+        // Missing column: predicate simply does not match.
+        assert!(!Expr::eq("nope", 1i64).matches(&tup()));
+        assert!(matches!(
+            Expr::col("nope").eval(&tup()),
+            Err(EvalError::MissingColumn(_))
+        ));
+        // Type mismatch: string vs int.
+        let e = Expr::cmp(CmpOp::Eq, Expr::col("name"), Expr::lit(5i64));
+        assert!(!e.matches(&tup()));
+        assert!(matches!(e.eval(&tup()), Err(EvalError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn contains_for_keyword_search() {
+        assert!(Expr::Contains("name".into(), "beta".into()).matches(&tup()));
+        assert!(!Expr::Contains("name".into(), "gamma".into()).matches(&tup()));
+        assert!(!Expr::Contains("a".into(), "5".into()).matches(&tup()));
+    }
+
+    #[test]
+    fn equality_constant_extraction_for_dissemination() {
+        let pred = Expr::all(vec![
+            Expr::cmp(CmpOp::Gt, Expr::col("b"), Expr::lit(0i64)),
+            Expr::eq("name", "rock"),
+        ]);
+        assert_eq!(
+            pred.equality_constant("name"),
+            Some(Value::Str("rock".into()))
+        );
+        assert_eq!(pred.equality_constant("b"), None);
+        assert_eq!(Expr::eq("x", 3i64).equality_constant("x"), Some(Value::Int(3)));
+    }
+
+    #[test]
+    fn all_of_empty_list_is_true() {
+        assert!(Expr::all(vec![]).matches(&tup()));
+    }
+}

@@ -1,0 +1,60 @@
+//! # pier-core — the PIER query processor
+//!
+//! This crate is the paper's primary contribution: a relational query
+//! processor designed to run on thousands of Internet nodes over a DHT
+//! overlay (`pier-dht`) and an event-driven runtime (`pier-runtime`).
+//!
+//! * [`value`] / [`tuple`] — self-describing tuples with best-effort typing
+//!   (no catalog, §3.3.1).
+//! * [`expr`] — predicate and scalar expressions with discard-on-mismatch
+//!   semantics (§3.3.4 "Malformed Tuples").
+//! * [`aggregate`] — mergeable partial aggregates (distributive/algebraic
+//!   classification) used by hierarchical aggregation.
+//! * [`eddy`] — the adaptive eddy operator of §4.2.2: runtime reordering of
+//!   commutative filters with observation-driven (lottery) routing and
+//!   mergeable cross-node statistics.
+//! * [`operators`] — the local physical operators: selection, projection,
+//!   duplicate elimination, group-by, top-k, limit, queues, Bloom filters,
+//!   Symmetric Hash join, and the push-based [`operators::Pipeline`]
+//!   realising the non-blocking local dataflow of §3.3.5.
+//! * [`plan`] — UFL-style physical plans: opgraphs, sources, sinks
+//!   (to-proxy, DHT rehash/Exchange, hierarchical aggregation), and the
+//!   dissemination strategies of §3.3.3.
+//! * [`node`] — [`node::PierNode`], the runnable node program combining the
+//!   overlay and the executor: query dissemination, opgraph installation,
+//!   Fetch Matches index joins, hierarchical aggregation with in-network
+//!   combining, rehash-based Symmetric Hash joins, proxy result delivery
+//!   and timeout-based query termination (§3.3.2).
+//! * [`sqlish`] — the "naive SQL-like language" front end of §4.2: a small
+//!   SELECT-FROM-WHERE-GROUP BY parser and planner, reflecting the paper's
+//!   observation that users preferred SQL to raw UFL.
+
+pub mod aggregate;
+pub mod eddy;
+pub mod expr;
+pub mod node;
+pub mod operators;
+pub mod plan;
+pub mod range_index;
+pub mod recursive;
+pub mod secondary_index;
+pub mod sqlish;
+pub mod tuple;
+pub mod value;
+
+pub use aggregate::{AggClass, AggFunc, AggState};
+pub use eddy::{Eddy, EddyFilter, OperatorObservation, PredicateFilter, RoutingPolicy};
+pub use expr::{ArithOp, CmpOp, EvalError, Expr};
+pub use node::{PierConfig, PierMsg, PierNode, PierOut, PierTimer};
+pub use operators::{
+    nested_loop_join, BloomFilter, Distinct, GroupBy, JoinSide, Limit, LocalOperator, Pipeline,
+    Projection, Queue, Selection, SymmetricHashJoin, TopK,
+};
+pub use plan::{
+    Dissemination, JoinSpec, OpGraph, OperatorSpec, PlanBuilder, QpObject, QueryPlan, SinkSpec,
+    SourceSpec,
+};
+pub use range_index::RangeIndexConfig;
+pub use recursive::TransitiveClosure;
+pub use tuple::Tuple;
+pub use value::Value;

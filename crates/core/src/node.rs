@@ -1,0 +1,930 @@
+//! The PIER node program: query executor over the overlay.
+//!
+//! A [`PierNode`] is the "Program" box of Figures 3 and 4 with the query
+//! processor included: it embeds an [`Overlay`] (the DHT wrapper), installs
+//! opgraphs that arrive via query dissemination, runs their local dataflow
+//! over locally stored and DHT-partitioned data, and uses the overlay for
+//! the distributed parts of query execution exactly as §3.3.6 enumerates —
+//! query dissemination, hash indexes, partitioned parallelism (rehash),
+//! operator state, and hierarchical operators.
+//!
+//! Life of a query (§3.3.2): a client hands a [`QueryPlan`] to any node
+//! (its *proxy*) through [`PierNode::submit_query`]; the proxy disseminates
+//! the plan (broadcast tree, equality index, or locally), every receiving
+//! node instantiates the opgraphs and starts feeding them; answer tuples are
+//! forwarded to the proxy, which delivers them to the client; execution
+//! stops when the query's timeout expires.
+
+use crate::operators::{GroupBy, JoinSide, LocalOperator, Pipeline, SymmetricHashJoin};
+use crate::plan::{Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
+use crate::tuple::Tuple;
+use pier_dht::{
+    routing_id, DhtMessage, Id, NodeRef, ObjectName, Overlay, OverlayConfig, OverlayEffect,
+    OverlayEvent, OverlayTimer,
+};
+use pier_runtime::{Duration, NodeAddr, Program, ProgramContext, Rng64, SimTime, WireSize};
+use std::collections::HashMap;
+
+/// Tuning knobs for a PIER node.
+#[derive(Debug, Clone)]
+pub struct PierConfig {
+    /// Overlay configuration.
+    pub overlay: OverlayConfig,
+    /// Soft-state lifetime used when publishing tuples and partial results.
+    pub publish_lifetime: Duration,
+}
+
+impl Default for PierConfig {
+    fn default() -> Self {
+        PierConfig {
+            overlay: OverlayConfig::default(),
+            publish_lifetime: 600_000_000,
+        }
+    }
+}
+
+/// Messages exchanged between PIER nodes.
+#[derive(Debug, Clone)]
+pub enum PierMsg {
+    /// Overlay traffic (routing, get/put/send/renew, broadcast).
+    Dht(DhtMessage<QpObject>),
+    /// Answer tuples flowing back to the query's proxy node.
+    Results {
+        /// Query the tuples belong to.
+        query_id: u64,
+        /// The answer tuples (possibly a batch).
+        tuples: Vec<Tuple>,
+    },
+}
+
+impl WireSize for PierMsg {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            PierMsg::Dht(m) => m.wire_size(),
+            PierMsg::Results { tuples, .. } => 8 + tuples.iter().map(WireSize::wire_size).sum::<usize>(),
+        }
+    }
+}
+
+/// Timers used by a PIER node.
+#[derive(Debug, Clone)]
+pub enum PierTimer {
+    /// Overlay maintenance.
+    Overlay(OverlayTimer),
+    /// Periodic flush of buffered partial aggregates up the aggregation tree.
+    AggFlush {
+        /// Query being flushed.
+        query_id: u64,
+    },
+    /// Final aggregation flush at the aggregation-tree root.
+    AggFinal {
+        /// Query being finalized.
+        query_id: u64,
+    },
+    /// The query's lifetime expired at this node: uninstall it.
+    QueryEnd {
+        /// Query being uninstalled.
+        query_id: u64,
+    },
+    /// The proxy's view of the query lifetime expired: notify the client.
+    ProxyDone {
+        /// Query being completed.
+        query_id: u64,
+    },
+}
+
+/// Values delivered to the client application attached to a node.
+#[derive(Debug, Clone)]
+pub enum PierOut {
+    /// An answer tuple for a query this node proxies.
+    Result {
+        /// Query the tuple answers.
+        query_id: u64,
+        /// The answer tuple.
+        tuple: Tuple,
+    },
+    /// The query's timeout expired; no more results will be delivered.
+    Done {
+        /// The completed query.
+        query_id: u64,
+    },
+}
+
+#[derive(Debug)]
+struct GraphState {
+    spec: OpGraph,
+    pipeline: Pipeline,
+    join: Option<SymmetricHashJoin>,
+    /// Local + relayed partial aggregates waiting to travel up the tree.
+    uplink: Option<GroupBy>,
+    /// Partials merged at the aggregation-tree root.
+    root_merge: Option<GroupBy>,
+}
+
+#[derive(Debug)]
+struct QueryState {
+    plan: QueryPlan,
+    graphs: Vec<GraphState>,
+    agg_root_id: Id,
+}
+
+#[derive(Debug, Default)]
+struct ProxyState {
+    results: u64,
+    done: bool,
+}
+
+/// A PIER node: overlay + query processor, runnable under the simulator or
+/// the physical runtime.
+#[derive(Debug)]
+pub struct PierNode {
+    overlay: Overlay<QpObject>,
+    bootstrap: Option<NodeAddr>,
+    config: PierConfig,
+    rng: Rng64,
+    local_tables: HashMap<String, Vec<Tuple>>,
+    queries: HashMap<u64, QueryState>,
+    proxied: HashMap<u64, ProxyState>,
+    pending_fetches: HashMap<u64, (u64, usize, Tuple)>,
+    next_query_seq: u64,
+}
+
+impl PierNode {
+    /// A node whose overlay routing state is precomputed from the full ring.
+    pub fn with_static_ring(me: NodeRef, all: &[NodeRef], config: PierConfig) -> Self {
+        PierNode {
+            overlay: Overlay::with_static_ring(me, all, config.overlay),
+            bootstrap: None,
+            rng: Rng64::new(me.id.0 ^ 0x9D5F),
+            config,
+            local_tables: HashMap::new(),
+            queries: HashMap::new(),
+            proxied: HashMap::new(),
+            pending_fetches: HashMap::new(),
+            next_query_seq: 0,
+        }
+    }
+
+    /// A node that joins an existing overlay through `bootstrap` when started.
+    pub fn joining(me: NodeRef, bootstrap: Option<NodeAddr>, config: PierConfig) -> Self {
+        PierNode {
+            overlay: Overlay::new(me, config.overlay),
+            bootstrap,
+            rng: Rng64::new(me.id.0 ^ 0x9D5F),
+            config,
+            local_tables: HashMap::new(),
+            queries: HashMap::new(),
+            proxied: HashMap::new(),
+            pending_fetches: HashMap::new(),
+            next_query_seq: 0,
+        }
+    }
+
+    /// Read access to the overlay (diagnostics, experiments).
+    pub fn overlay(&self) -> &Overlay<QpObject> {
+        &self.overlay
+    }
+
+    /// Number of queries currently installed at this node.
+    pub fn installed_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Rows of a node-local table (the decoupled-storage access method over
+    /// data that lives only on this node, e.g. its own firewall log).
+    pub fn local_table_len(&self, table: &str) -> usize {
+        self.local_tables.get(table).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Append a row to a node-local table.  Rows become visible to queries
+    /// over that table that are installed later; rows added while a
+    /// continuous query is running are fed to it on arrival only if they are
+    /// also published into the DHT.
+    pub fn add_local_row(&mut self, table: &str, tuple: Tuple) {
+        self.local_tables
+            .entry(table.to_string())
+            .or_default()
+            .push(tuple);
+    }
+
+    /// Publish a tuple into the DHT-partitioned primary index of `table`,
+    /// hashed on `key_cols` (§3.3.3 "a primary index in PIER is achieved by
+    /// publishing a table into the DHT").
+    pub fn publish(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        table: &str,
+        key_cols: &[String],
+        tuple: Tuple,
+    ) {
+        let Some(key) = tuple.partition_key(key_cols) else {
+            return; // malformed tuple: nothing to hash on
+        };
+        self.publish_keyed(ctx, table, key, tuple);
+    }
+
+    /// Publish a tuple under an explicit partition key instead of one derived
+    /// from its columns.  Used by the range index (the key is the PHT bucket
+    /// label) and by any access method that wants custom placement.
+    pub fn publish_keyed(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        table: &str,
+        key: String,
+        tuple: Tuple,
+    ) {
+        let name = ObjectName::new(table, key, self.rng.next_u64());
+        let lifetime = self.config.publish_lifetime;
+        let effects = self
+            .overlay
+            .put(name, QpObject::Tuple(tuple), lifetime, ctx.now());
+        self.drive(ctx, effects);
+    }
+
+    /// Publish a tuple together with secondary-index entries on `index_cols`
+    /// (§3.3.3): the base tuple goes into the primary index hashed on
+    /// `key_cols`, and one `(index-key, tupleID)` entry per indexed column
+    /// goes into the corresponding index table hashed on the indexed value.
+    /// Consistency between the base tuple and its entries remains the
+    /// publisher's responsibility, exactly as in the paper.
+    pub fn publish_with_secondary_indexes(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        table: &str,
+        key_cols: &[String],
+        index_cols: &[String],
+        tuple: Tuple,
+    ) {
+        let entries =
+            crate::secondary_index::index_entries(table, key_cols, index_cols, &tuple);
+        self.publish(ctx, table, key_cols, tuple);
+        let index_key_cols = crate::secondary_index::index_partition_cols();
+        for entry in entries {
+            let index_table = entry.table.clone();
+            self.publish(ctx, &index_table, &index_key_cols, entry);
+        }
+    }
+
+    /// Publish a tuple into the range index of `table` on `column` using the
+    /// PHT-style bucket addressing of [`crate::range_index`] (§3.3.3 "Range
+    /// Index Substrate").  Malformed tuples (missing or non-integer column)
+    /// are silently skipped.
+    pub fn publish_range_indexed(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        table: &str,
+        column: &str,
+        config: crate::range_index::RangeIndexConfig,
+        tuple: Tuple,
+    ) {
+        let Some(key) = crate::range_index::publish_key(column, config, &tuple) else {
+            return;
+        };
+        self.publish_keyed(ctx, table, key, tuple);
+    }
+
+    /// Submit a query at this node, which becomes its proxy.  Returns the
+    /// assigned query id; results arrive as [`PierOut::Result`] outputs and
+    /// the stream is terminated by [`PierOut::Done`].
+    pub fn submit_query(&mut self, ctx: &mut ProgramContext<Self>, mut plan: QueryPlan) -> u64 {
+        if plan.query_id == 0 {
+            self.next_query_seq += 1;
+            plan.query_id = ((ctx.me().0 as u64) << 32) | self.next_query_seq;
+        }
+        plan.proxy = ctx.me();
+        let query_id = plan.query_id;
+        self.proxied.insert(query_id, ProxyState::default());
+        ctx.set_timer(plan.timeout, PierTimer::ProxyDone { query_id });
+        let now = ctx.now();
+        match plan.dissemination.clone() {
+            Dissemination::Broadcast => {
+                let effects = self.overlay.broadcast(QpObject::Plan(plan), now);
+                self.drive(ctx, effects);
+            }
+            Dissemination::ByKey { namespace, key } => {
+                let name = ObjectName::new(namespace, key, self.rng.next_u64());
+                let lifetime = plan.timeout;
+                let effects = self
+                    .overlay
+                    .send(name, QpObject::Plan(plan), lifetime, now);
+                self.drive(ctx, effects);
+            }
+            Dissemination::ByRange {
+                namespace,
+                bucket_keys,
+            } => {
+                // Route one copy of the plan to the partition of every
+                // range-index bucket overlapping the predicate (§3.3.3).
+                let lifetime = plan.timeout;
+                for key in bucket_keys {
+                    let name = ObjectName::new(namespace.clone(), key, self.rng.next_u64());
+                    let effects =
+                        self.overlay
+                            .send(name, QpObject::Plan(plan.clone()), lifetime, now);
+                    self.drive(ctx, effects);
+                }
+            }
+            Dissemination::Local => {
+                self.install_query(ctx, plan);
+            }
+        }
+        query_id
+    }
+
+    // ----- effect / event plumbing ------------------------------------------
+
+    fn drive(&mut self, ctx: &mut ProgramContext<Self>, effects: Vec<OverlayEffect<QpObject>>) {
+        let mut work = effects;
+        while !work.is_empty() {
+            let mut next = Vec::new();
+            for effect in work {
+                match effect {
+                    OverlayEffect::Send { to, msg } => ctx.send(to, PierMsg::Dht(msg)),
+                    OverlayEffect::SetTimer { delay, timer } => {
+                        ctx.set_timer(delay, PierTimer::Overlay(timer))
+                    }
+                    OverlayEffect::Event(event) => {
+                        next.extend(self.handle_overlay_event(ctx, event));
+                    }
+                }
+            }
+            work = next;
+        }
+    }
+
+    fn handle_overlay_event(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        event: OverlayEvent<QpObject>,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        match event {
+            OverlayEvent::GetResult {
+                request_id,
+                objects,
+                ..
+            } => {
+                // A Fetch Matches probe came back: join the probe tuple with
+                // every fetched inner tuple and forward to the sink.
+                if let Some((query_id, graph_idx, probe)) = self.pending_fetches.remove(&request_id)
+                {
+                    let (output_table, sink_ok) = match self.fetch_spec(query_id, graph_idx) {
+                        Some(t) => (t, true),
+                        None => (String::new(), false),
+                    };
+                    if !sink_ok {
+                        return Vec::new();
+                    }
+                    let joined: Vec<Tuple> = objects
+                        .iter()
+                        .filter_map(|o| o.value.as_tuple())
+                        .map(|inner| probe.join_with(inner, &output_table))
+                        .collect();
+                    return self.deliver_sink(ctx, query_id, graph_idx, joined);
+                }
+                Vec::new()
+            }
+            OverlayEvent::NewData { object } => {
+                match object.value {
+                    QpObject::Plan(plan) => {
+                        self.install_query(ctx, plan);
+                        Vec::new()
+                    }
+                    QpObject::Tuple(tuple) => {
+                        self.route_new_tuple(ctx, &object.name.namespace, tuple)
+                    }
+                }
+            }
+            OverlayEvent::Upcall { token, object, .. } => {
+                // Hierarchical aggregation: intercept partials travelling up
+                // the tree, fold them into our own buffered partials, and
+                // drop the original message (§3.3.4).
+                let now = ctx.now();
+                if let QpObject::Tuple(partial) = &object.value {
+                    if let Some(query_id) = self.query_for_partial_namespace(&object.name.namespace)
+                    {
+                        if self.absorb_partial(query_id, partial) {
+                            return self.overlay.resume_upcall(token, false, now);
+                        }
+                    }
+                }
+                self.overlay.resume_upcall(token, true, now)
+            }
+            OverlayEvent::Broadcast { payload } => {
+                if let QpObject::Plan(plan) = payload {
+                    self.install_query(ctx, plan);
+                }
+                Vec::new()
+            }
+            OverlayEvent::RenewResult { .. } | OverlayEvent::LookupDone { .. } => Vec::new(),
+        }
+    }
+
+    fn fetch_spec(&self, query_id: u64, graph_idx: usize) -> Option<String> {
+        let q = self.queries.get(&query_id)?;
+        let g = q.graphs.get(graph_idx)?;
+        g.spec.ops.iter().find_map(|op| match op {
+            OperatorSpec::FetchMatches { output_table, .. }
+            | OperatorSpec::FetchByTupleId { output_table, .. } => Some(output_table.clone()),
+            _ => None,
+        })
+    }
+
+    fn query_for_partial_namespace(&self, namespace: &str) -> Option<u64> {
+        self.queries
+            .iter()
+            .find(|(_, q)| q.plan.partial_namespace() == namespace)
+            .map(|(id, _)| *id)
+    }
+
+    fn absorb_partial(&mut self, query_id: u64, partial: &Tuple) -> bool {
+        let Some(q) = self.queries.get_mut(&query_id) else {
+            return false;
+        };
+        let mut absorbed = false;
+        for g in q.graphs.iter_mut() {
+            if let Some(uplink) = g.uplink.as_mut() {
+                absorbed |= uplink.merge_partial(partial);
+            }
+        }
+        absorbed
+    }
+
+    fn route_new_tuple(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        namespace: &str,
+        tuple: Tuple,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        let mut effects = Vec::new();
+        // Partial aggregates arriving at the aggregation-tree root.
+        if let Some(query_id) = self.query_for_partial_namespace(namespace) {
+            if let Some(q) = self.queries.get_mut(&query_id) {
+                for g in q.graphs.iter_mut() {
+                    if let Some(root) = g.root_merge.as_mut() {
+                        root.merge_partial(&tuple);
+                    }
+                }
+            }
+            return effects;
+        }
+        // Base-table or rehash-namespace tuples feeding installed opgraphs.
+        let targets: Vec<(u64, usize)> = self
+            .queries
+            .iter()
+            .flat_map(|(qid, q)| {
+                q.graphs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.spec.source.namespace() == namespace)
+                    .map(move |(i, _)| (*qid, i))
+            })
+            .collect();
+        for (qid, gidx) in targets {
+            effects.extend(self.feed_graph(ctx, qid, gidx, tuple.clone()));
+        }
+        effects
+    }
+
+    // ----- query installation and execution ---------------------------------
+
+    fn install_query(&mut self, ctx: &mut ProgramContext<Self>, plan: QueryPlan) {
+        let query_id = plan.query_id;
+        if self.queries.contains_key(&query_id) {
+            return;
+        }
+        let agg_root_id = routing_id(&plan.partial_namespace(), &plan.agg_root_key());
+        let mut graphs = Vec::new();
+        let mut has_agg = false;
+        for spec in &plan.opgraphs {
+            let pipeline = Pipeline::new(spec.ops.iter().filter_map(OperatorSpec::build).collect());
+            let join = spec.join.as_ref().map(|j| {
+                SymmetricHashJoin::new(j.left_key.clone(), j.right_key.clone(), j.output_table.clone())
+            });
+            let (uplink, root_merge) = match &spec.sink {
+                SinkSpec::HierarchicalAgg {
+                    group_cols, aggs, ..
+                } => {
+                    has_agg = true;
+                    let table = format!("q{query_id}.agg");
+                    (
+                        Some(GroupBy::new(group_cols.clone(), aggs.clone(), table.clone())),
+                        Some(GroupBy::new(group_cols.clone(), aggs.clone(), table)),
+                    )
+                }
+                _ => (None, None),
+            };
+            graphs.push(GraphState {
+                spec: spec.clone(),
+                pipeline,
+                join,
+                uplink,
+                root_merge,
+            });
+        }
+        let timeout = plan.timeout;
+        let hold = plan
+            .opgraphs
+            .iter()
+            .find_map(|g| match &g.sink {
+                SinkSpec::HierarchicalAgg { hold, .. } => Some(*hold),
+                _ => None,
+            })
+            .unwrap_or(2_000_000);
+        self.queries.insert(
+            query_id,
+            QueryState {
+                plan,
+                graphs,
+                agg_root_id,
+            },
+        );
+        ctx.set_timer(timeout, PierTimer::QueryEnd { query_id });
+        if has_agg {
+            ctx.set_timer(hold, PierTimer::AggFlush { query_id });
+            ctx.set_timer(
+                timeout.saturating_sub(hold),
+                PierTimer::AggFinal { query_id },
+            );
+        }
+        // Feed the opgraphs their initial data: node-local rows plus the
+        // DHT-partitioned rows this node is responsible for.  The snapshot of
+        // every source is taken *before* any graph runs, so tuples that one
+        // opgraph republishes during installation (e.g. a rehash into the
+        // query's rendezvous namespace) are not double-counted by another
+        // opgraph that reads that namespace — those arrive via `newData`.
+        let graph_count = self.queries[&query_id].graphs.len();
+        let mut initial_rows: Vec<Vec<Tuple>> = Vec::with_capacity(graph_count);
+        for gidx in 0..graph_count {
+            let namespace = self.queries[&query_id].graphs[gidx]
+                .spec
+                .source
+                .namespace()
+                .to_string();
+            let mut rows: Vec<Tuple> = self
+                .local_tables
+                .get(&namespace)
+                .cloned()
+                .unwrap_or_default();
+            rows.extend(
+                self.overlay
+                    .local_scan(&namespace, ctx.now())
+                    .into_iter()
+                    .filter_map(|o| o.value.as_tuple().cloned()),
+            );
+            initial_rows.push(rows);
+        }
+        for (gidx, rows) in initial_rows.into_iter().enumerate() {
+            for row in rows {
+                let effects = self.feed_graph(ctx, query_id, gidx, row);
+                self.drive(ctx, effects);
+            }
+        }
+    }
+
+    fn feed_graph(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        query_id: u64,
+        graph_idx: usize,
+        tuple: Tuple,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        let outputs = {
+            let Some(q) = self.queries.get_mut(&query_id) else {
+                return Vec::new();
+            };
+            let Some(g) = q.graphs.get_mut(graph_idx) else {
+                return Vec::new();
+            };
+            // Two-input join fed from the rehash namespace: the tuple's table
+            // name tells us which side it belongs to.
+            let staged: Vec<Tuple> = match (&mut g.join, &g.spec.join) {
+                (Some(join), Some(join_spec)) => {
+                    if tuple.table == join_spec.left_table {
+                        join.push_side(JoinSide::Left, tuple)
+                    } else if tuple.table == join_spec.right_table {
+                        join.push_side(JoinSide::Right, tuple)
+                    } else {
+                        Vec::new() // unknown table: discard (best effort)
+                    }
+                }
+                _ => vec![tuple],
+            };
+            let mut outputs = Vec::new();
+            for t in staged {
+                outputs.extend(g.pipeline.push(t));
+            }
+            // Hierarchical aggregation absorbs outputs into the uplink buffer.
+            if let Some(uplink) = g.uplink.as_mut() {
+                for t in outputs.drain(..) {
+                    uplink.push(t);
+                }
+            }
+            outputs
+        };
+        if outputs.is_empty() {
+            return Vec::new();
+        }
+        self.deliver_sink(ctx, query_id, graph_idx, outputs)
+    }
+
+    fn deliver_sink(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        query_id: u64,
+        graph_idx: usize,
+        mut tuples: Vec<Tuple>,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        if tuples.is_empty() {
+            return Vec::new();
+        }
+        let (sink, proxy, fetch, lifetime) = {
+            let Some(q) = self.queries.get(&query_id) else {
+                return Vec::new();
+            };
+            let Some(g) = q.graphs.get(graph_idx) else {
+                return Vec::new();
+            };
+            // (namespace, probe column, probe column already holds the key
+            // string, output table of the join results)
+            let fetch = g.spec.ops.iter().find_map(|op| match op {
+                OperatorSpec::FetchMatches {
+                    inner_namespace,
+                    probe_col,
+                    output_table,
+                } => Some((
+                    inner_namespace.clone(),
+                    probe_col.clone(),
+                    false,
+                    output_table.clone(),
+                )),
+                OperatorSpec::FetchByTupleId {
+                    inner_namespace,
+                    id_col,
+                    output_table,
+                } => Some((
+                    inner_namespace.clone(),
+                    id_col.clone(),
+                    true,
+                    output_table.clone(),
+                )),
+                _ => None,
+            });
+            (
+                g.spec.sink.clone(),
+                q.plan.proxy,
+                fetch,
+                self.config.publish_lifetime,
+            )
+        };
+        let mut effects = Vec::new();
+        // Fetch Matches: pipeline outputs are probe tuples — issue an
+        // asynchronous DHT get per probe and join when results come back.
+        // Tuples already carrying the join's output table *are* the joined
+        // results returning from a completed fetch; those continue to the
+        // opgraph's real sink below.
+        if let Some((inner_namespace, probe_col, probe_is_key, fetch_output)) = fetch {
+            let now = ctx.now();
+            let mut completed = Vec::new();
+            for probe in tuples {
+                if probe.table == fetch_output {
+                    completed.push(probe);
+                    continue;
+                }
+                let Some(key) = probe.get(&probe_col).map(|v| {
+                    if probe_is_key {
+                        // The column already carries the inner relation's
+                        // partition-key string (a secondary index tupleID).
+                        v.as_str().map(str::to_string).unwrap_or_else(|| v.key_string())
+                    } else {
+                        v.key_string()
+                    }
+                }) else {
+                    continue;
+                };
+                let (request_id, get_effects) = self.overlay.get(&inner_namespace, &key, now);
+                self.pending_fetches
+                    .insert(request_id, (query_id, graph_idx, probe));
+                effects.extend(get_effects);
+            }
+            if completed.is_empty() {
+                return effects;
+            }
+            tuples = completed;
+        }
+        match sink {
+            SinkSpec::ToProxy => {
+                self.send_results(ctx, proxy, query_id, tuples);
+            }
+            SinkSpec::Rehash {
+                namespace,
+                key_cols,
+            } => {
+                let now = ctx.now();
+                for t in tuples {
+                    let Some(key) = t.partition_key(&key_cols) else {
+                        continue;
+                    };
+                    let name = ObjectName::new(namespace.clone(), key, self.rng.next_u64());
+                    effects.extend(self.overlay.put(name, QpObject::Tuple(t), lifetime, now));
+                }
+            }
+            SinkSpec::HierarchicalAgg { .. } => {
+                // Handled in feed_graph (outputs are absorbed into uplink);
+                // reaching here means a fetch-join result fed an agg graph,
+                // which we also absorb.
+                if let Some(q) = self.queries.get_mut(&query_id) {
+                    if let Some(g) = q.graphs.get_mut(graph_idx) {
+                        if let Some(uplink) = g.uplink.as_mut() {
+                            for t in tuples {
+                                uplink.push(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        effects
+    }
+
+    fn send_results(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        proxy: NodeAddr,
+        query_id: u64,
+        tuples: Vec<Tuple>,
+    ) {
+        if tuples.is_empty() {
+            return;
+        }
+        if proxy == ctx.me() {
+            self.proxy_receive(ctx, query_id, tuples);
+        } else {
+            ctx.send(proxy, PierMsg::Results { query_id, tuples });
+        }
+    }
+
+    fn proxy_receive(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        query_id: u64,
+        tuples: Vec<Tuple>,
+    ) {
+        let state = self.proxied.entry(query_id).or_default();
+        if state.done {
+            return;
+        }
+        state.results += tuples.len() as u64;
+        for tuple in tuples {
+            ctx.output(PierOut::Result { query_id, tuple });
+        }
+    }
+
+    fn agg_flush(&mut self, ctx: &mut ProgramContext<Self>, query_id: u64, final_flush: bool) {
+        let Some(q) = self.queries.get(&query_id) else {
+            return;
+        };
+        let agg_root_id = q.agg_root_id;
+        let partial_namespace = q.plan.partial_namespace();
+        let agg_root_key = q.plan.agg_root_key();
+        let proxy = q.plan.proxy;
+        let is_root = self.overlay.router().is_responsible(agg_root_id);
+        let graph_count = q.graphs.len();
+        let lifetime = self.config.publish_lifetime;
+
+        let mut to_send: Vec<Tuple> = Vec::new();
+        let mut final_results: Vec<Tuple> = Vec::new();
+        {
+            let q = self.queries.get_mut(&query_id).expect("query present");
+            for g in q.graphs.iter_mut() {
+                let Some(uplink) = g.uplink.as_mut() else {
+                    continue;
+                };
+                let partials = uplink.flush();
+                if is_root {
+                    if let Some(root) = g.root_merge.as_mut() {
+                        for p in &partials {
+                            root.merge_partial(p);
+                        }
+                    }
+                } else {
+                    to_send.extend(partials);
+                }
+                if final_flush && is_root {
+                    if let Some(root) = g.root_merge.as_mut() {
+                        let merged = root.flush();
+                        let final_ops = match &g.spec.sink {
+                            SinkSpec::HierarchicalAgg { final_ops, .. } => final_ops.clone(),
+                            _ => Vec::new(),
+                        };
+                        let mut finisher =
+                            Pipeline::new(final_ops.iter().filter_map(OperatorSpec::build).collect());
+                        let mut out = Vec::new();
+                        for t in merged {
+                            out.extend(finisher.push(t));
+                        }
+                        out.extend(finisher.flush());
+                        final_results.extend(out);
+                    }
+                }
+            }
+        }
+        // Send buffered partials one hop up the aggregation tree (or directly
+        // to the root when the plan asked for flat aggregation).
+        let flat = {
+            let q = self.queries.get(&query_id).expect("query present");
+            q.graphs.iter().any(|g| {
+                matches!(
+                    g.spec.sink,
+                    SinkSpec::HierarchicalAgg { flat: true, .. }
+                )
+            })
+        };
+        let now = ctx.now();
+        let mut effects = Vec::new();
+        for partial in to_send {
+            let name = ObjectName::new(
+                partial_namespace.clone(),
+                agg_root_key.clone(),
+                self.rng.next_u64(),
+            );
+            if flat {
+                effects.extend(self.overlay.put(name, QpObject::Tuple(partial), lifetime, now));
+            } else {
+                effects.extend(self.overlay.send_routed(
+                    agg_root_id,
+                    name,
+                    QpObject::Tuple(partial),
+                    lifetime,
+                    now,
+                ));
+            }
+        }
+        self.drive(ctx, effects);
+        if !final_results.is_empty() {
+            self.send_results(ctx, proxy, query_id, final_results);
+        }
+        // Re-arm the periodic flush while the query is still installed.
+        if !final_flush && graph_count > 0 {
+            if let Some(q) = self.queries.get(&query_id) {
+                let hold = q
+                    .plan
+                    .opgraphs
+                    .iter()
+                    .find_map(|g| match &g.sink {
+                        SinkSpec::HierarchicalAgg { hold, .. } => Some(*hold),
+                        _ => None,
+                    })
+                    .unwrap_or(2_000_000);
+                ctx.set_timer(hold, PierTimer::AggFlush { query_id });
+            }
+        }
+    }
+}
+
+impl Program for PierNode {
+    type Msg = PierMsg;
+    type Timer = PierTimer;
+    type Out = PierOut;
+
+    fn on_start(&mut self, ctx: &mut ProgramContext<Self>) {
+        let now: SimTime = ctx.now();
+        let effects = self.overlay.start(self.bootstrap, now);
+        self.drive(ctx, effects);
+    }
+
+    fn on_message(&mut self, ctx: &mut ProgramContext<Self>, from: NodeAddr, msg: Self::Msg) {
+        match msg {
+            PierMsg::Dht(m) => {
+                let now = ctx.now();
+                let effects = self.overlay.on_message(from, m, now);
+                self.drive(ctx, effects);
+            }
+            PierMsg::Results { query_id, tuples } => {
+                self.proxy_receive(ctx, query_id, tuples);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ProgramContext<Self>, timer: Self::Timer) {
+        match timer {
+            PierTimer::Overlay(t) => {
+                let now = ctx.now();
+                let effects = self.overlay.on_timer(t, now);
+                self.drive(ctx, effects);
+            }
+            PierTimer::AggFlush { query_id } => self.agg_flush(ctx, query_id, false),
+            PierTimer::AggFinal { query_id } => self.agg_flush(ctx, query_id, true),
+            PierTimer::QueryEnd { query_id } => {
+                self.queries.remove(&query_id);
+            }
+            PierTimer::ProxyDone { query_id } => {
+                if let Some(state) = self.proxied.get_mut(&query_id) {
+                    if !state.done {
+                        state.done = true;
+                        ctx.output(PierOut::Done { query_id });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,754 @@
+//! Physical query operators.
+//!
+//! PIER's local dataflow (§3.3.5) pushes tuples from children to parents
+//! through simple function calls; operators either pass a (possibly
+//! transformed) tuple on, absorb it into state (joins, group-by), or drop it
+//! (selection, duplicate elimination).  Stateful operators emit their
+//! buffered results when the dataflow is *flushed* — at a probe boundary for
+//! snapshot queries or periodically for continuous ones.
+//!
+//! The [`LocalOperator`] trait captures that contract.  The distributed
+//! operators of the paper — Put/Exchange (rehashing through the DHT),
+//! Fetch Matches index joins, hierarchical aggregation — are coordinated by
+//! the [`executor`](crate::executor) because they need the overlay; the
+//! building blocks they use (Bloom filters, symmetric-hash join state,
+//! partial group-by) live here so they can be tested exhaustively in
+//! isolation.
+
+use crate::aggregate::{AggFunc, AggState};
+use crate::expr::Expr;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// A push-based local operator.
+pub trait LocalOperator: std::fmt::Debug {
+    /// Push one tuple in; returns zero or more output tuples that flow to the
+    /// parent immediately.
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple>;
+
+    /// Emit whatever the operator has been buffering (group-by results,
+    /// top-k heaps, …).  Pass-through operators return nothing.
+    fn flush(&mut self) -> Vec<Tuple> {
+        Vec::new()
+    }
+}
+
+/// Selection: drop tuples that do not satisfy the predicate.  Tuples the
+/// predicate cannot be evaluated against (missing column, type mismatch) are
+/// dropped too — the best-effort policy of §3.3.4.
+#[derive(Debug)]
+pub struct Selection {
+    predicate: Expr,
+}
+
+impl Selection {
+    /// Create a selection with the given predicate.
+    pub fn new(predicate: Expr) -> Self {
+        Selection { predicate }
+    }
+}
+
+impl LocalOperator for Selection {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        if self.predicate.matches(&tuple) {
+            vec![tuple]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Projection onto a fixed list of columns.
+#[derive(Debug)]
+pub struct Projection {
+    columns: Vec<String>,
+}
+
+impl Projection {
+    /// Create a projection.
+    pub fn new(columns: Vec<String>) -> Self {
+        Projection { columns }
+    }
+}
+
+impl LocalOperator for Projection {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        vec![tuple.project(&self.columns)]
+    }
+}
+
+/// Duplicate elimination on a set of key columns (all columns when empty).
+#[derive(Debug)]
+pub struct Distinct {
+    key: Vec<String>,
+    seen: HashSet<String>,
+}
+
+impl Distinct {
+    /// Create a duplicate-elimination operator.
+    pub fn new(key: Vec<String>) -> Self {
+        Distinct {
+            key,
+            seen: HashSet::new(),
+        }
+    }
+
+    fn key_of(&self, tuple: &Tuple) -> String {
+        if self.key.is_empty() {
+            tuple
+                .values
+                .iter()
+                .map(Value::key_string)
+                .collect::<Vec<_>>()
+                .join("|")
+        } else {
+            tuple.partition_key(&self.key).unwrap_or_else(|| "∅".into())
+        }
+    }
+}
+
+impl LocalOperator for Distinct {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        let key = self.key_of(&tuple);
+        if self.seen.insert(key) {
+            vec![tuple]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Pass at most `n` tuples, then drop the rest.
+#[derive(Debug)]
+pub struct Limit {
+    remaining: usize,
+}
+
+impl Limit {
+    /// Create a limit operator.
+    pub fn new(n: usize) -> Self {
+        Limit { remaining: n }
+    }
+}
+
+impl LocalOperator for Limit {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        if self.remaining == 0 {
+            return Vec::new();
+        }
+        self.remaining -= 1;
+        vec![tuple]
+    }
+}
+
+/// A queue: in the real engine this is where the dataflow "comes up for air"
+/// and yields back to the main scheduler (§3.3.5).  In this push model it is
+/// a pass-through that counts yield points, preserving plan shape.
+#[derive(Debug, Default)]
+pub struct Queue {
+    /// Number of tuples that crossed this yield point.
+    pub yields: u64,
+}
+
+impl LocalOperator for Queue {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        self.yields += 1;
+        vec![tuple]
+    }
+}
+
+/// Grouped (partial) aggregation.  Emits one tuple per group on flush with
+/// the group columns plus one output column per aggregate.
+#[derive(Debug)]
+pub struct GroupBy {
+    group_cols: Vec<String>,
+    aggs: Vec<AggFunc>,
+    groups: HashMap<String, (Vec<Value>, Vec<AggState>)>,
+    output_table: String,
+}
+
+impl GroupBy {
+    /// Create a group-by with the given grouping columns and aggregates.
+    pub fn new(group_cols: Vec<String>, aggs: Vec<AggFunc>, output_table: impl Into<String>) -> Self {
+        GroupBy {
+            group_cols,
+            aggs,
+            groups: HashMap::new(),
+            output_table: output_table.into(),
+        }
+    }
+
+    /// Number of groups currently buffered.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Merge a partial-aggregate tuple previously produced by another
+    /// `GroupBy` with the same shape (hierarchical aggregation's combine
+    /// step).  Returns `false` when the tuple does not look like a partial
+    /// for this operator and was ignored.
+    pub fn merge_partial(&mut self, tuple: &Tuple) -> bool {
+        let Some(group_vals) = tuple.get_all(&self.group_cols) else {
+            return false;
+        };
+        let key = group_vals
+            .iter()
+            .map(Value::key_string)
+            .collect::<Vec<_>>()
+            .join("|");
+        let entry = self
+            .groups
+            .entry(key)
+            .or_insert_with(|| (group_vals.clone(), self.aggs.iter().map(AggFunc::init).collect()));
+        let mut merged_any = false;
+        for (agg, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
+            let col = agg.output_column();
+            if let Some(v) = tuple.get(&col) {
+                let other = match (agg, v) {
+                    (AggFunc::Count, Value::Int(n)) => Some(AggState::Count(*n as u64)),
+                    (AggFunc::Sum(_), v) => v.as_f64().map(AggState::Sum),
+                    (AggFunc::Min(_), v) => Some(AggState::Min(Some(v.clone()))),
+                    (AggFunc::Max(_), v) => Some(AggState::Max(Some(v.clone()))),
+                    (AggFunc::Avg(_), _) => {
+                        // Partials for AVG carry explicit sum/count columns.
+                        let sum = tuple.get(&format!("{col}_sum")).and_then(Value::as_f64);
+                        let count = tuple.get(&format!("{col}_count")).and_then(Value::as_i64);
+                        match (sum, count) {
+                            (Some(s), Some(c)) => Some(AggState::Avg {
+                                sum: s,
+                                count: c as u64,
+                            }),
+                            _ => None,
+                        }
+                    }
+                    _ => None,
+                };
+                if let Some(other) = other {
+                    state.merge(&other);
+                    merged_any = true;
+                }
+            }
+        }
+        merged_any
+    }
+
+    fn group_tuple(&self, values: &[Value], states: &[AggState]) -> Tuple {
+        let mut out = Tuple::empty(self.output_table.clone());
+        for (c, v) in self.group_cols.iter().zip(values) {
+            out.push(c.clone(), v.clone());
+        }
+        for (agg, state) in self.aggs.iter().zip(states) {
+            let col = agg.output_column();
+            out.push(col.clone(), state.finish());
+            // AVG partials additionally expose their mergeable components so
+            // hierarchical aggregation stays exact.
+            if let AggState::Avg { sum, count } = state {
+                out.push(format!("{col}_sum"), Value::Float(*sum));
+                out.push(format!("{col}_count"), Value::Int(*count as i64));
+            }
+        }
+        out
+    }
+}
+
+impl LocalOperator for GroupBy {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        let Some(group_vals) = tuple.get_all(&self.group_cols) else {
+            return Vec::new(); // malformed tuple: discard
+        };
+        let key = group_vals
+            .iter()
+            .map(Value::key_string)
+            .collect::<Vec<_>>()
+            .join("|");
+        let aggs = &self.aggs;
+        let entry = self
+            .groups
+            .entry(key)
+            .or_insert_with(|| (group_vals, aggs.iter().map(AggFunc::init).collect()));
+        for (agg, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
+            state.update(agg, &tuple);
+        }
+        Vec::new()
+    }
+
+    fn flush(&mut self) -> Vec<Tuple> {
+        // Flush drains the accumulated groups: a subsequent flush only emits
+        // data that arrived in between (important for the periodic partial
+        // flushes of hierarchical aggregation, which must not re-send what
+        // has already travelled up the tree).
+        let groups = std::mem::take(&mut self.groups);
+        let mut out: Vec<Tuple> = groups
+            .values()
+            .map(|(vals, states)| self.group_tuple(vals, states))
+            .collect();
+        // Deterministic output order helps tests and clients.
+        out.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+        out
+    }
+}
+
+/// Keep the `k` tuples with the largest value in `order_col` (used for the
+/// firewall-monitoring "top ten sources" query of Figure 2).
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    order_col: String,
+    buffer: Vec<Tuple>,
+}
+
+impl TopK {
+    /// Create a top-k operator ordered descending by `order_col`.
+    pub fn new(k: usize, order_col: impl Into<String>) -> Self {
+        TopK {
+            k,
+            order_col: order_col.into(),
+            buffer: Vec::new(),
+        }
+    }
+}
+
+impl LocalOperator for TopK {
+    fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        if tuple.get(&self.order_col).and_then(Value::as_f64).is_some() {
+            self.buffer.push(tuple);
+        }
+        Vec::new()
+    }
+
+    fn flush(&mut self) -> Vec<Tuple> {
+        self.buffer.sort_by(|a, b| {
+            let av = a.get(&self.order_col).and_then(Value::as_f64).unwrap_or(f64::MIN);
+            let bv = b.get(&self.order_col).and_then(Value::as_f64).unwrap_or(f64::MIN);
+            bv.partial_cmp(&av).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        self.buffer.drain(..).take(self.k).collect()
+    }
+}
+
+fn hash_key(key: &str, seed: u64) -> u64 {
+    let mut h = DefaultHasher::new();
+    seed.hash(&mut h);
+    key.hash(&mut h);
+    h.finish()
+}
+
+/// A Bloom filter over join-key values, used to construct Bloom-join
+/// rewrites (§2.1.1): the filter for one relation is shipped to the other
+/// side, which forwards only the tuples whose key might match.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    hashes: u32,
+}
+
+impl BloomFilter {
+    /// Create a filter with `bits` bits (rounded up to a multiple of 64) and
+    /// `hashes` hash functions.
+    pub fn new(bits: usize, hashes: u32) -> Self {
+        BloomFilter {
+            bits: vec![0; bits.div_ceil(64).max(1)],
+            hashes,
+        }
+    }
+
+    /// Number of bits in the filter.
+    pub fn bit_len(&self) -> usize {
+        self.bits.len() * 64
+    }
+
+    /// Insert a key.
+    pub fn insert(&mut self, key: &str) {
+        for i in 0..self.hashes {
+            let h = hash_key(key, i as u64) as usize % self.bit_len();
+            self.bits[h / 64] |= 1 << (h % 64);
+        }
+    }
+
+    /// Test a key; false positives are possible, false negatives are not.
+    pub fn contains(&self, key: &str) -> bool {
+        (0..self.hashes).all(|i| {
+            let h = hash_key(key, i as u64) as usize % self.bit_len();
+            self.bits[h / 64] & (1 << (h % 64)) != 0
+        })
+    }
+
+    /// Wire size in bytes (the filter is shipped across the network).
+    pub fn size_bytes(&self) -> usize {
+        self.bits.len() * 8
+    }
+}
+
+/// One side's state in a Symmetric Hash join [Wilschut & Apers]: tuples are
+/// inserted into their side's hash table and probe the opposite side's table
+/// as they arrive, so results stream out without blocking.
+#[derive(Debug)]
+pub struct SymmetricHashJoin {
+    left_key: Vec<String>,
+    right_key: Vec<String>,
+    left_table: HashMap<String, Vec<Tuple>>,
+    right_table: HashMap<String, Vec<Tuple>>,
+    output_table: String,
+}
+
+/// Which side of a symmetric hash join a tuple belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinSide {
+    /// The left (build/probe) side.
+    Left,
+    /// The right (build/probe) side.
+    Right,
+}
+
+impl SymmetricHashJoin {
+    /// Create a symmetric hash join on `left_key = right_key`.
+    pub fn new(
+        left_key: Vec<String>,
+        right_key: Vec<String>,
+        output_table: impl Into<String>,
+    ) -> Self {
+        SymmetricHashJoin {
+            left_key,
+            right_key,
+            left_table: HashMap::new(),
+            right_table: HashMap::new(),
+            output_table: output_table.into(),
+        }
+    }
+
+    /// Number of tuples currently held on each side.
+    pub fn state_size(&self) -> (usize, usize) {
+        (
+            self.left_table.values().map(Vec::len).sum(),
+            self.right_table.values().map(Vec::len).sum(),
+        )
+    }
+
+    /// Insert a tuple arriving on `side`; returns the join results it
+    /// produces immediately.
+    pub fn push_side(&mut self, side: JoinSide, tuple: Tuple) -> Vec<Tuple> {
+        let key_cols = match side {
+            JoinSide::Left => &self.left_key,
+            JoinSide::Right => &self.right_key,
+        };
+        let Some(key) = tuple.partition_key(key_cols) else {
+            return Vec::new(); // malformed tuple: discard
+        };
+        let (own, other) = match side {
+            JoinSide::Left => (&mut self.left_table, &self.right_table),
+            JoinSide::Right => (&mut self.right_table, &self.left_table),
+        };
+        own.entry(key.clone()).or_default().push(tuple.clone());
+        other
+            .get(&key)
+            .map(|matches| {
+                matches
+                    .iter()
+                    .map(|m| match side {
+                        JoinSide::Left => tuple.join_with(m, &self.output_table),
+                        JoinSide::Right => m.join_with(&tuple, &self.output_table),
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+/// Reference nested-loop join used to validate the hash join in tests.
+pub fn nested_loop_join(
+    left: &[Tuple],
+    right: &[Tuple],
+    left_key: &[String],
+    right_key: &[String],
+    output_table: &str,
+) -> Vec<Tuple> {
+    let mut out = Vec::new();
+    for l in left {
+        for r in right {
+            match (l.partition_key(left_key), r.partition_key(right_key)) {
+                (Some(a), Some(b)) if a == b => out.push(l.join_with(r, output_table)),
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+/// A pipeline of local operators: tuples pushed in flow through every stage;
+/// flush drains stateful stages in order.
+#[derive(Debug, Default)]
+pub struct Pipeline {
+    stages: Vec<Box<dyn LocalOperator + Send>>,
+}
+
+impl Pipeline {
+    /// Create an empty (pass-through) pipeline.
+    pub fn new(stages: Vec<Box<dyn LocalOperator + Send>>) -> Self {
+        Pipeline { stages }
+    }
+
+    /// Push one tuple through every stage.
+    pub fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
+        let mut current = vec![tuple];
+        for stage in self.stages.iter_mut() {
+            let mut next = Vec::new();
+            for t in current {
+                next.extend(stage.push(t));
+            }
+            current = next;
+            if current.is_empty() {
+                break;
+            }
+        }
+        current
+    }
+
+    /// Flush every stage, cascading buffered tuples downstream.
+    pub fn flush(&mut self) -> Vec<Tuple> {
+        let mut carried: Vec<Tuple> = Vec::new();
+        for i in 0..self.stages.len() {
+            // Tuples released by upstream flushes still have to traverse the
+            // remaining stages.
+            let mut released = Vec::new();
+            for t in carried {
+                released.extend(self.stages[i].push(t));
+            }
+            released.extend(self.stages[i].flush());
+            carried = released;
+        }
+        carried
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when the pipeline has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::CmpOp;
+
+    fn row(table: &str, id: i64, category: &str, amount: i64) -> Tuple {
+        Tuple::new(
+            table,
+            vec![
+                ("id", Value::Int(id)),
+                ("category", Value::Str(category.into())),
+                ("amount", Value::Int(amount)),
+            ],
+        )
+    }
+
+    #[test]
+    fn selection_filters_and_discards_malformed() {
+        let mut sel = Selection::new(Expr::cmp(
+            CmpOp::Gt,
+            Expr::col("amount"),
+            Expr::lit(10i64),
+        ));
+        assert_eq!(sel.push(row("t", 1, "a", 50)).len(), 1);
+        assert_eq!(sel.push(row("t", 2, "a", 5)).len(), 0);
+        // Malformed: no amount column.
+        let malformed = Tuple::new("t", vec![("id", Value::Int(3))]);
+        assert_eq!(sel.push(malformed).len(), 0);
+    }
+
+    #[test]
+    fn projection_and_limit() {
+        let mut proj = Projection::new(vec!["id".into()]);
+        let out = proj.push(row("t", 7, "x", 1));
+        assert_eq!(out[0].columns, vec!["id".to_string()]);
+        let mut lim = Limit::new(2);
+        assert_eq!(lim.push(row("t", 1, "a", 1)).len(), 1);
+        assert_eq!(lim.push(row("t", 2, "a", 1)).len(), 1);
+        assert_eq!(lim.push(row("t", 3, "a", 1)).len(), 0);
+    }
+
+    #[test]
+    fn distinct_deduplicates_on_key() {
+        let mut d = Distinct::new(vec!["category".into()]);
+        assert_eq!(d.push(row("t", 1, "a", 1)).len(), 1);
+        assert_eq!(d.push(row("t", 2, "a", 2)).len(), 0);
+        assert_eq!(d.push(row("t", 3, "b", 3)).len(), 1);
+        // Full-tuple dedup when no key given.
+        let mut d = Distinct::new(vec![]);
+        assert_eq!(d.push(row("t", 1, "a", 1)).len(), 1);
+        assert_eq!(d.push(row("t", 1, "a", 1)).len(), 0);
+        assert_eq!(d.push(row("t", 1, "a", 2)).len(), 1);
+    }
+
+    #[test]
+    fn group_by_counts_and_sums() {
+        let mut g = GroupBy::new(
+            vec!["category".into()],
+            vec![AggFunc::Count, AggFunc::Sum("amount".into())],
+            "out",
+        );
+        for (cat, amount) in [("a", 10), ("b", 5), ("a", 20), ("a", 30), ("b", 5)] {
+            assert!(g.push(row("t", 0, cat, amount)).is_empty());
+        }
+        let out = g.flush();
+        assert_eq!(out.len(), 2);
+        let a = out.iter().find(|t| t.get("category") == Some(&Value::Str("a".into()))).unwrap();
+        assert_eq!(a.get("count"), Some(&Value::Int(3)));
+        assert_eq!(a.get("sum_amount"), Some(&Value::Float(60.0)));
+    }
+
+    #[test]
+    fn group_by_merge_partial_matches_direct_computation() {
+        // Two "nodes" each aggregate locally; the root merges their partials.
+        let mk = || {
+            GroupBy::new(
+                vec!["category".into()],
+                vec![AggFunc::Count, AggFunc::Avg("amount".into())],
+                "out",
+            )
+        };
+        let mut node1 = mk();
+        let mut node2 = mk();
+        let mut reference = mk();
+        for (i, (cat, amount)) in [("a", 10), ("b", 4), ("a", 20), ("b", 8), ("a", 30)]
+            .iter()
+            .enumerate()
+        {
+            let t = row("t", i as i64, cat, *amount);
+            if i % 2 == 0 {
+                node1.push(t.clone());
+            } else {
+                node2.push(t.clone());
+            }
+            reference.push(t);
+        }
+        let mut root = mk();
+        for partial in node1.flush().into_iter().chain(node2.flush()) {
+            assert!(root.merge_partial(&partial));
+        }
+        let mut root_out = root.flush();
+        let mut ref_out = reference.flush();
+        let key = |t: &Tuple| t.get("category").unwrap().key_string();
+        root_out.sort_by_key(key);
+        ref_out.sort_by_key(key);
+        for (a, b) in root_out.iter().zip(&ref_out) {
+            assert_eq!(a.get("count"), b.get("count"));
+            assert_eq!(a.get("avg_amount"), b.get("avg_amount"));
+        }
+    }
+
+    #[test]
+    fn top_k_orders_descending() {
+        let mut t = TopK::new(2, "count");
+        for (src, n) in [("a", 5), ("b", 50), ("c", 20)] {
+            t.push(Tuple::new(
+                "g",
+                vec![("src", Value::Str(src.into())), ("count", Value::Int(n))],
+            ));
+        }
+        let out = t.flush();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].get("src"), Some(&Value::Str("b".into())));
+        assert_eq!(out[1].get("src"), Some(&Value::Str("c".into())));
+    }
+
+    #[test]
+    fn bloom_filter_has_no_false_negatives() {
+        let mut f = BloomFilter::new(1024, 3);
+        let present: Vec<String> = (0..100).map(|i| format!("key-{i}")).collect();
+        for k in &present {
+            f.insert(k);
+        }
+        for k in &present {
+            assert!(f.contains(k));
+        }
+        // False-positive rate should be modest at this load factor.
+        let fp = (0..1000)
+            .filter(|i| f.contains(&format!("absent-{i}")))
+            .count();
+        assert!(fp < 200, "false positives {fp}");
+        assert_eq!(f.size_bytes() * 8, f.bit_len());
+    }
+
+    #[test]
+    fn symmetric_hash_join_equals_nested_loop() {
+        let left: Vec<Tuple> = (0..20).map(|i| row("r", i, ["a", "b", "c"][(i % 3) as usize], i)).collect();
+        let right: Vec<Tuple> = (0..15)
+            .map(|i| {
+                Tuple::new(
+                    "s",
+                    vec![
+                        ("category", Value::Str(["a", "b", "c", "d"][(i % 4) as usize].into())),
+                        ("weight", Value::Int(i * 10)),
+                    ],
+                )
+            })
+            .collect();
+        let key = vec!["category".to_string()];
+        let mut shj = SymmetricHashJoin::new(key.clone(), key.clone(), "rs");
+        let mut streamed = Vec::new();
+        // Interleave arrivals, as the network would.
+        let mut l = left.iter();
+        let mut r = right.iter();
+        loop {
+            match (l.next(), r.next()) {
+                (None, None) => break,
+                (lt, rt) => {
+                    if let Some(t) = lt {
+                        streamed.extend(shj.push_side(JoinSide::Left, t.clone()));
+                    }
+                    if let Some(t) = rt {
+                        streamed.extend(shj.push_side(JoinSide::Right, t.clone()));
+                    }
+                }
+            }
+        }
+        let reference = nested_loop_join(&left, &right, &key, &key, "rs");
+        assert_eq!(streamed.len(), reference.len());
+        assert!(streamed.len() > 0);
+        let (ls, rs) = shj.state_size();
+        assert_eq!(ls, 20);
+        assert_eq!(rs, 15);
+    }
+
+    #[test]
+    fn pipeline_composes_and_flushes() {
+        let mut p = Pipeline::new(vec![
+            Box::new(Selection::new(Expr::cmp(
+                CmpOp::Ge,
+                Expr::col("amount"),
+                Expr::lit(10i64),
+            ))),
+            Box::new(Queue::default()),
+            Box::new(GroupBy::new(
+                vec!["category".into()],
+                vec![AggFunc::Count],
+                "out",
+            )),
+            Box::new(TopK::new(1, "count")),
+        ]);
+        for (cat, amount) in [("a", 10), ("a", 20), ("b", 100), ("b", 1), ("c", 3)] {
+            assert!(p.push(row("t", 0, cat, amount)).is_empty());
+        }
+        let out = p.flush();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].get("category"), Some(&Value::Str("a".into())));
+        assert_eq!(out[0].get("count"), Some(&Value::Int(2)));
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn empty_pipeline_is_pass_through() {
+        let mut p = Pipeline::new(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.push(row("t", 1, "a", 1)).len(), 1);
+        assert!(p.flush().is_empty());
+    }
+}

@@ -1,0 +1,517 @@
+//! Query plans: UFL opgraphs and their physical operator specifications.
+//!
+//! PIER queries are written in UFL, a "box-and-arrow" dataflow language
+//! whose programs *are* physical execution plans (§3.3.2).  A plan is a set
+//! of **opgraphs**; separate opgraphs are connected through the DHT (a
+//! namespace acts as the rendezvous, like a distributed Exchange), and each
+//! opgraph is the unit of dissemination — it is shipped only to the nodes
+//! that must run it, using one of the three distributed indexes of §3.3.3
+//! (the broadcast tree, the equality index, or — once integrated — the PHT
+//! range index).
+//!
+//! These types are plain data: they travel across the network inside
+//! [`QpObject`] values and are instantiated into runtime operator state by
+//! the [`executor`](crate::node).
+
+use crate::aggregate::AggFunc;
+use crate::expr::Expr;
+use crate::operators::{
+    Distinct, GroupBy, Limit, LocalOperator, Projection, Queue, Selection, TopK,
+};
+use crate::tuple::Tuple;
+use pier_runtime::{Duration, NodeAddr, WireSize};
+
+/// Serializable description of a local physical operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OperatorSpec {
+    /// Filter by predicate.
+    Selection(Expr),
+    /// Project onto columns.
+    Projection(Vec<String>),
+    /// Duplicate elimination on key columns (all columns when empty).
+    Distinct(Vec<String>),
+    /// Grouped aggregation producing tuples in `output_table`.
+    GroupBy {
+        /// Grouping columns.
+        group_cols: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggFunc>,
+        /// Table name of the produced tuples.
+        output_table: String,
+    },
+    /// Keep the `k` tuples with the largest `order_col`.
+    TopK {
+        /// Number of tuples to keep.
+        k: usize,
+        /// Column ordered on (descending).
+        order_col: String,
+    },
+    /// Pass at most `n` tuples.
+    Limit(usize),
+    /// Explicit yield point (control returns to the scheduler).
+    Queue,
+    /// Distributed index join (Fetch Matches, §3.3.3): for every input tuple,
+    /// fetch the objects published under `inner_namespace` with partitioning
+    /// key equal to the probe column's value and join them.  Handled
+    /// asynchronously by the executor; must be the last operator before the
+    /// sink.
+    FetchMatches {
+        /// Namespace of the inner (index) relation.
+        inner_namespace: String,
+        /// Column of the outer tuple providing the probe key.
+        probe_col: String,
+        /// Table name of join-result tuples.
+        output_table: String,
+    },
+    /// A Fetch Matches join whose probe column already holds the inner
+    /// relation's exact partitioning-key string — the *tupleID* of a
+    /// secondary-index entry (§3.3.3).  The index entry is the outer
+    /// relation; the executor follows the tupleID with a DHT `get` to fetch
+    /// the base tuples.  Like [`OperatorSpec::FetchMatches`], it is handled
+    /// by the executor and must be the last operator before the sink.
+    FetchByTupleId {
+        /// Namespace of the base relation the tupleID points into.
+        inner_namespace: String,
+        /// Column of the outer tuple holding the tupleID (partition-key
+        /// string) of the base tuple.
+        id_col: String,
+        /// Table name of join-result tuples.
+        output_table: String,
+    },
+    /// An eddy (§4.2.2) wired over a set of named, commutative selection
+    /// predicates: the operator reorders them at run time according to the
+    /// chosen routing policy.
+    Eddy {
+        /// (name, predicate) pairs the eddy routes tuples through.
+        predicates: Vec<(String, Expr)>,
+        /// The routing policy.
+        policy: crate::eddy::RoutingPolicy,
+    },
+}
+
+impl OperatorSpec {
+    /// Instantiate the operator.  `None` for [`OperatorSpec::FetchMatches`],
+    /// which is coordinated by the executor rather than run locally.
+    pub fn build(&self) -> Option<Box<dyn LocalOperator + Send>> {
+        match self {
+            OperatorSpec::Selection(p) => Some(Box::new(Selection::new(p.clone()))),
+            OperatorSpec::Projection(cols) => Some(Box::new(Projection::new(cols.clone()))),
+            OperatorSpec::Distinct(key) => Some(Box::new(Distinct::new(key.clone()))),
+            OperatorSpec::GroupBy {
+                group_cols,
+                aggs,
+                output_table,
+            } => Some(Box::new(GroupBy::new(
+                group_cols.clone(),
+                aggs.clone(),
+                output_table.clone(),
+            ))),
+            OperatorSpec::TopK { k, order_col } => Some(Box::new(TopK::new(*k, order_col.clone()))),
+            OperatorSpec::Limit(n) => Some(Box::new(Limit::new(*n))),
+            OperatorSpec::Queue => Some(Box::new(Queue::default())),
+            OperatorSpec::Eddy { predicates, policy } => Some(Box::new(
+                crate::eddy::Eddy::over_predicates(predicates.clone(), *policy, 0x0E001),
+            )),
+            OperatorSpec::FetchMatches { .. } | OperatorSpec::FetchByTupleId { .. } => None,
+        }
+    }
+}
+
+impl WireSize for OperatorSpec {
+    fn wire_size(&self) -> usize {
+        // A coarse but monotone estimate: specs are small compared to data.
+        32
+    }
+}
+
+/// Where an opgraph's input tuples come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceSpec {
+    /// Tuples of a table: both rows stored locally at the node (the access
+    /// method over node-local data such as its own firewall log) and rows of
+    /// the DHT-published partition this node is responsible for, plus any
+    /// new rows that arrive while the query runs.
+    Table {
+        /// Table namespace.
+        namespace: String,
+    },
+}
+
+impl SourceSpec {
+    /// The namespace this source reads.
+    pub fn namespace(&self) -> &str {
+        match self {
+            SourceSpec::Table { namespace } => namespace,
+        }
+    }
+}
+
+/// A two-input symmetric-hash join consumed from a rehash namespace: tuples
+/// of `left_table` and `right_table` arrive interleaved and join on
+/// `left_key = right_key`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    /// Table name identifying left-side tuples.
+    pub left_table: String,
+    /// Table name identifying right-side tuples.
+    pub right_table: String,
+    /// Left join-key columns.
+    pub left_key: Vec<String>,
+    /// Right join-key columns.
+    pub right_key: Vec<String>,
+    /// Table name of join results.
+    pub output_table: String,
+}
+
+/// Where an opgraph's output tuples go.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SinkSpec {
+    /// Send result tuples directly to the query's proxy node.
+    ToProxy,
+    /// Repartition by key through the DHT (the Put/Exchange operator): each
+    /// tuple is published under `namespace` hashed on `key_cols`, where the
+    /// consuming opgraph picks it up.
+    Rehash {
+        /// Rendezvous namespace.
+        namespace: String,
+        /// Hashing attributes.
+        key_cols: Vec<String>,
+    },
+    /// Hierarchical aggregation (§3.3.4): aggregate locally, ship partials
+    /// up an aggregation tree rooted at the query-specific root identifier,
+    /// combine en route, and apply `final_ops` at the root before forwarding
+    /// the answer to the proxy.
+    HierarchicalAgg {
+        /// Grouping columns.
+        group_cols: Vec<String>,
+        /// Aggregates to compute.
+        aggs: Vec<AggFunc>,
+        /// How long a node buffers partials before forwarding them up.
+        hold: Duration,
+        /// Operators applied to the merged result at the root (e.g. top-k).
+        final_ops: Vec<OperatorSpec>,
+        /// When true, partials are sent straight to the root's address
+        /// (flat aggregation) instead of hop-by-hop combination; used as the
+        /// baseline in the hierarchical-aggregation ablation.
+        flat: bool,
+    },
+}
+
+/// How a plan (or a single opgraph) is shipped to the nodes that must run it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dissemination {
+    /// Broadcast over the distribution tree — the true-predicate index.
+    Broadcast,
+    /// Route to the single node responsible for `hash(namespace, key)` — the
+    /// equality-predicate index.
+    ByKey {
+        /// Table namespace the predicate constrains.
+        namespace: String,
+        /// Canonical key string of the equality constant.
+        key: String,
+    },
+    /// Route to the nodes responsible for the PHT-style range-index buckets
+    /// overlapping a range predicate (§3.3.3 "Range Index Substrate"); the
+    /// bucket keys are computed by
+    /// [`range_index::RangeIndexConfig::buckets_for_range`](crate::range_index::RangeIndexConfig::buckets_for_range).
+    ByRange {
+        /// Table namespace the predicate constrains.
+        namespace: String,
+        /// Partition keys of the overlapping buckets.
+        bucket_keys: Vec<String>,
+    },
+    /// Install only at the proxy (used for purely local queries and tests).
+    Local,
+}
+
+/// One operator graph: source → local operators → sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpGraph {
+    /// Identifier unique within the plan.
+    pub id: u32,
+    /// Input.
+    pub source: SourceSpec,
+    /// Optional two-input join fed by the source namespace.
+    pub join: Option<JoinSpec>,
+    /// Local operator pipeline.
+    pub ops: Vec<OperatorSpec>,
+    /// Output.
+    pub sink: SinkSpec,
+}
+
+/// A complete query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Query identifier (assigned by the proxy when 0).
+    pub query_id: u64,
+    /// The proxy node results are forwarded to.
+    pub proxy: NodeAddr,
+    /// How the plan reaches the participating nodes.
+    pub dissemination: Dissemination,
+    /// The opgraphs making up the plan.
+    pub opgraphs: Vec<OpGraph>,
+    /// Lifetime of the query: execution stops when it expires (§3.3.2 uses
+    /// timeouts for both snapshot and continuous queries).
+    pub timeout: Duration,
+    /// Continuous queries keep delivering results until the timeout; snapshot
+    /// queries deliver what the timeout has collected.
+    pub continuous: bool,
+}
+
+impl QueryPlan {
+    /// Namespace under which this query's partial aggregates travel.
+    pub fn partial_namespace(&self) -> String {
+        format!("q{}.partials", self.query_id)
+    }
+
+    /// The aggregation-tree root key for this query (hashing it yields the
+    /// root identifier named in the query, §3.3.4).
+    pub fn agg_root_key(&self) -> String {
+        format!("q{}.agg-root", self.query_id)
+    }
+}
+
+impl WireSize for QueryPlan {
+    fn wire_size(&self) -> usize {
+        64 + self
+            .opgraphs
+            .iter()
+            .map(|g| 48 + g.ops.iter().map(WireSize::wire_size).sum::<usize>())
+            .sum::<usize>()
+    }
+}
+
+/// Values stored in (and routed through) the DHT by the query processor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QpObject {
+    /// A base or derived data tuple.
+    Tuple(Tuple),
+    /// A query plan being disseminated.
+    Plan(QueryPlan),
+}
+
+impl QpObject {
+    /// The tuple inside, if this is a data object.
+    pub fn as_tuple(&self) -> Option<&Tuple> {
+        match self {
+            QpObject::Tuple(t) => Some(t),
+            QpObject::Plan(_) => None,
+        }
+    }
+}
+
+impl WireSize for QpObject {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            QpObject::Tuple(t) => t.wire_size(),
+            QpObject::Plan(p) => p.wire_size(),
+        }
+    }
+}
+
+/// A convenience builder for the common single-table aggregation / selection
+/// plans used by the examples and experiments.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    proxy: NodeAddr,
+    dissemination: Dissemination,
+    opgraphs: Vec<OpGraph>,
+    timeout: Duration,
+    continuous: bool,
+}
+
+impl PlanBuilder {
+    /// Start building a plan whose results flow to `proxy`.
+    pub fn new(proxy: NodeAddr) -> Self {
+        PlanBuilder {
+            proxy,
+            dissemination: Dissemination::Broadcast,
+            opgraphs: Vec::new(),
+            timeout: 30_000_000,
+            continuous: false,
+        }
+    }
+
+    /// Set the dissemination strategy.
+    pub fn dissemination(mut self, d: Dissemination) -> Self {
+        self.dissemination = d;
+        self
+    }
+
+    /// Set the query timeout.
+    pub fn timeout(mut self, t: Duration) -> Self {
+        self.timeout = t;
+        self
+    }
+
+    /// Mark the query as continuous.
+    pub fn continuous(mut self, yes: bool) -> Self {
+        self.continuous = yes;
+        self
+    }
+
+    /// Add an opgraph.
+    pub fn opgraph(mut self, graph: OpGraph) -> Self {
+        self.opgraphs.push(graph);
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> QueryPlan {
+        QueryPlan {
+            query_id: 0,
+            proxy: self.proxy,
+            dissemination: self.dissemination,
+            opgraphs: self.opgraphs,
+            timeout: self.timeout,
+            continuous: self.continuous,
+        }
+    }
+
+    /// Shorthand for a broadcast select-project query over one table.
+    pub fn select(
+        proxy: NodeAddr,
+        table: &str,
+        predicate: Expr,
+        columns: Vec<String>,
+        timeout: Duration,
+    ) -> QueryPlan {
+        let mut ops = vec![OperatorSpec::Selection(predicate)];
+        if !columns.is_empty() {
+            ops.push(OperatorSpec::Projection(columns));
+        }
+        PlanBuilder::new(proxy)
+            .timeout(timeout)
+            .opgraph(OpGraph {
+                id: 0,
+                source: SourceSpec::Table {
+                    namespace: table.to_string(),
+                },
+                join: None,
+                ops,
+                sink: SinkSpec::ToProxy,
+            })
+            .build()
+    }
+
+    /// Shorthand for the Figure-2 style "top-k grouped count" query computed
+    /// with hierarchical aggregation.
+    pub fn top_k_group_count(
+        proxy: NodeAddr,
+        table: &str,
+        group_col: &str,
+        k: usize,
+        timeout: Duration,
+    ) -> QueryPlan {
+        PlanBuilder::new(proxy)
+            .timeout(timeout)
+            .opgraph(OpGraph {
+                id: 0,
+                source: SourceSpec::Table {
+                    namespace: table.to_string(),
+                },
+                join: None,
+                ops: vec![],
+                sink: SinkSpec::HierarchicalAgg {
+                    group_cols: vec![group_col.to_string()],
+                    aggs: vec![AggFunc::Count],
+                    hold: 2_000_000,
+                    final_ops: vec![OperatorSpec::TopK {
+                        k,
+                        order_col: "count".to_string(),
+                    }],
+                    flat: false,
+                },
+            })
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn operator_specs_build_local_operators() {
+        let specs = vec![
+            OperatorSpec::Selection(Expr::eq("a", 1i64)),
+            OperatorSpec::Projection(vec!["a".into()]),
+            OperatorSpec::Distinct(vec![]),
+            OperatorSpec::GroupBy {
+                group_cols: vec!["a".into()],
+                aggs: vec![AggFunc::Count],
+                output_table: "g".into(),
+            },
+            OperatorSpec::TopK {
+                k: 3,
+                order_col: "count".into(),
+            },
+            OperatorSpec::Limit(5),
+            OperatorSpec::Queue,
+        ];
+        for spec in &specs {
+            assert!(spec.build().is_some(), "{spec:?} must build");
+        }
+        let fetch = OperatorSpec::FetchMatches {
+            inner_namespace: "inv".into(),
+            probe_col: "k".into(),
+            output_table: "j".into(),
+        };
+        assert!(fetch.build().is_none(), "FetchMatches is executor-managed");
+    }
+
+    #[test]
+    fn builder_shorthands_produce_expected_shapes() {
+        let select = PlanBuilder::select(
+            NodeAddr(3),
+            "files",
+            Expr::eq("keyword", "rock"),
+            vec!["file".into()],
+            10_000_000,
+        );
+        assert_eq!(select.opgraphs.len(), 1);
+        assert_eq!(select.proxy, NodeAddr(3));
+        assert!(matches!(select.opgraphs[0].sink, SinkSpec::ToProxy));
+        assert_eq!(select.opgraphs[0].ops.len(), 2);
+
+        let topk = PlanBuilder::top_k_group_count(NodeAddr(0), "events", "src", 10, 20_000_000);
+        match &topk.opgraphs[0].sink {
+            SinkSpec::HierarchicalAgg {
+                group_cols,
+                final_ops,
+                flat,
+                ..
+            } => {
+                assert_eq!(group_cols, &vec!["src".to_string()]);
+                assert_eq!(final_ops.len(), 1);
+                assert!(!flat);
+            }
+            other => panic!("unexpected sink {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_specific_names_include_the_query_id() {
+        let mut plan = PlanBuilder::select(NodeAddr(0), "t", Expr::all(vec![]), vec![], 1_000);
+        plan.query_id = 42;
+        assert_eq!(plan.partial_namespace(), "q42.partials");
+        assert_eq!(plan.agg_root_key(), "q42.agg-root");
+    }
+
+    #[test]
+    fn qp_object_wire_size_scales_with_contents() {
+        let small = QpObject::Tuple(Tuple::new("t", vec![("a", crate::value::Value::Int(1))]));
+        let plan = QpObject::Plan(PlanBuilder::select(
+            NodeAddr(0),
+            "t",
+            Expr::all(vec![]),
+            vec![],
+            1_000,
+        ));
+        assert!(small.wire_size() > 10);
+        assert!(plan.wire_size() > 64);
+        assert!(small.as_tuple().is_some());
+        assert!(plan.as_tuple().is_none());
+    }
+}

@@ -1,0 +1,444 @@
+//! A naive SQL-like front end (§4.2).
+//!
+//! The paper notes that, contrary to the designers' expectations, many PIER
+//! users preferred a compact SQL-like syntax over wiring UFL dataflow
+//! diagrams, and that PIER therefore grew "a naive version of this
+//! functionality".  This module reproduces that front end: a small
+//! recursive-descent parser for
+//!
+//! ```sql
+//! SELECT col [, col ...] | SELECT col, COUNT(*) ...
+//! FROM table
+//! [WHERE col op literal [AND ...]]
+//! [GROUP BY col [, col ...]]
+//! [TOP k BY col]
+//! ```
+//!
+//! and a *naive* planner that maps the statement onto a single-opgraph
+//! [`QueryPlan`]: equality predicates on the partitioning column choose
+//! equality-index dissemination, aggregates choose hierarchical aggregation,
+//! everything else broadcasts — there is no cost-based optimisation, which
+//! is exactly the state of the system the paper describes.
+
+use crate::aggregate::AggFunc;
+use crate::expr::{CmpOp, Expr};
+use crate::plan::{
+    Dissemination, OpGraph, OperatorSpec, PlanBuilder, QueryPlan, SinkSpec, SourceSpec,
+};
+use crate::value::Value;
+use pier_runtime::{Duration, NodeAddr};
+
+/// A parse or planning error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError(pub String);
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL error: {}", self.0)
+    }
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// Plain projection columns.
+    pub columns: Vec<String>,
+    /// Aggregate expressions.
+    pub aggregates: Vec<AggFunc>,
+    /// Source table.
+    pub table: String,
+    /// Conjunctive predicates.
+    pub predicates: Vec<Expr>,
+    /// GROUP BY columns.
+    pub group_by: Vec<String>,
+    /// Optional `TOP k BY col`.
+    pub top: Option<(usize, String)>,
+}
+
+fn tokenize(input: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut chars = input.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                // Quoted string literal (kept with quotes for the parser).
+                let mut lit = String::from("'");
+                for c in chars.by_ref() {
+                    if c == '\'' {
+                        break;
+                    }
+                    lit.push(c);
+                }
+                lit.push('\'');
+                tokens.push(lit);
+            }
+            ',' | '(' | ')' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                tokens.push(c.to_string());
+            }
+            c if c.is_whitespace() => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+            }
+            '=' | '<' | '>' | '!' => {
+                if !current.is_empty() {
+                    tokens.push(std::mem::take(&mut current));
+                }
+                let mut op = c.to_string();
+                if let Some('=') = chars.peek() {
+                    op.push('=');
+                    chars.next();
+                }
+                tokens.push(op);
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+struct Parser {
+    tokens: Vec<String>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&str> {
+        self.tokens.get(self.pos).map(String::as_str)
+    }
+
+    fn next(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(SqlError(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn peek_is_kw(&self, kw: &str) -> bool {
+        self.peek().map(|t| t.eq_ignore_ascii_case(kw)).unwrap_or(false)
+    }
+
+    fn parse_literal(token: &str) -> Value {
+        if let Some(stripped) = token.strip_prefix('\'') {
+            return Value::Str(stripped.trim_end_matches('\'').to_string());
+        }
+        if token.eq_ignore_ascii_case("true") {
+            return Value::Bool(true);
+        }
+        if token.eq_ignore_ascii_case("false") {
+            return Value::Bool(false);
+        }
+        if let Ok(i) = token.parse::<i64>() {
+            return Value::Int(i);
+        }
+        if let Ok(f) = token.parse::<f64>() {
+            return Value::Float(f);
+        }
+        Value::Str(token.to_string())
+    }
+}
+
+/// Parse a SELECT statement.
+pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
+    let mut p = Parser {
+        tokens: tokenize(sql),
+        pos: 0,
+    };
+    p.expect_kw("SELECT")?;
+    let mut columns = Vec::new();
+    let mut aggregates = Vec::new();
+    loop {
+        let token = p
+            .next()
+            .ok_or_else(|| SqlError("unexpected end of SELECT list".into()))?;
+        let upper = token.to_ascii_uppercase();
+        if ["COUNT", "SUM", "MIN", "MAX", "AVG"].contains(&upper.as_str()) {
+            p.expect_kw("(")?;
+            let arg = p
+                .next()
+                .ok_or_else(|| SqlError("aggregate missing argument".into()))?;
+            p.expect_kw(")")?;
+            let agg = match upper.as_str() {
+                "COUNT" => AggFunc::Count,
+                "SUM" => AggFunc::Sum(arg),
+                "MIN" => AggFunc::Min(arg),
+                "MAX" => AggFunc::Max(arg),
+                _ => AggFunc::Avg(arg),
+            };
+            aggregates.push(agg);
+        } else {
+            columns.push(token);
+        }
+        if p.peek() == Some(",") {
+            p.next();
+            continue;
+        }
+        break;
+    }
+    p.expect_kw("FROM")?;
+    let table = p
+        .next()
+        .ok_or_else(|| SqlError("missing table name".into()))?;
+    let mut predicates = Vec::new();
+    if p.peek_is_kw("WHERE") {
+        p.next();
+        loop {
+            let col = p
+                .next()
+                .ok_or_else(|| SqlError("missing predicate column".into()))?;
+            let op = p
+                .next()
+                .ok_or_else(|| SqlError("missing comparison operator".into()))?;
+            let lit = p
+                .next()
+                .ok_or_else(|| SqlError("missing literal".into()))?;
+            let cmp = match op.as_str() {
+                "=" | "==" => CmpOp::Eq,
+                "!=" | "<>" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                ">=" => CmpOp::Ge,
+                other => return Err(SqlError(format!("unknown operator {other}"))),
+            };
+            predicates.push(Expr::cmp(
+                cmp,
+                Expr::col(&col),
+                Expr::Const(Parser::parse_literal(&lit)),
+            ));
+            if p.peek_is_kw("AND") {
+                p.next();
+                continue;
+            }
+            break;
+        }
+    }
+    let mut group_by = Vec::new();
+    if p.peek_is_kw("GROUP") {
+        p.next();
+        p.expect_kw("BY")?;
+        loop {
+            group_by.push(
+                p.next()
+                    .ok_or_else(|| SqlError("missing GROUP BY column".into()))?,
+            );
+            if p.peek() == Some(",") {
+                p.next();
+                continue;
+            }
+            break;
+        }
+    }
+    let mut top = None;
+    if p.peek_is_kw("TOP") {
+        p.next();
+        let k: usize = p
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| SqlError("TOP requires a number".into()))?;
+        p.expect_kw("BY")?;
+        let col = p
+            .next()
+            .ok_or_else(|| SqlError("TOP ... BY requires a column".into()))?;
+        top = Some((k, col));
+    }
+    Ok(SelectStatement {
+        columns,
+        aggregates,
+        table,
+        predicates,
+        group_by,
+        top,
+    })
+}
+
+/// Plan a parsed statement with the naive strategy described in §4.2.
+pub fn plan(statement: &SelectStatement, proxy: NodeAddr, timeout: Duration) -> QueryPlan {
+    let predicate = Expr::all(statement.predicates.clone());
+    // Naive dissemination choice: an equality predicate on any column makes
+    // the query routable to the partition holding that key (assuming the
+    // table is published hashed on that column); otherwise broadcast.
+    let dissemination = statement
+        .columns
+        .iter()
+        .chain(statement.group_by.iter())
+        .chain(std::iter::once(&statement.table))
+        .find_map(|_| None)
+        .unwrap_or_else(|| {
+            for pred_col in collect_columns(&statement.predicates) {
+                if let Some(v) = predicate.equality_constant(&pred_col) {
+                    return Dissemination::ByKey {
+                        namespace: statement.table.clone(),
+                        key: v.key_string(),
+                    };
+                }
+            }
+            Dissemination::Broadcast
+        });
+
+    let mut ops = Vec::new();
+    if !statement.predicates.is_empty() {
+        ops.push(OperatorSpec::Selection(predicate));
+    }
+    let sink = if !statement.aggregates.is_empty() {
+        let final_ops = statement
+            .top
+            .as_ref()
+            .map(|(k, col)| {
+                vec![OperatorSpec::TopK {
+                    k: *k,
+                    order_col: col.clone(),
+                }]
+            })
+            .unwrap_or_default();
+        SinkSpec::HierarchicalAgg {
+            group_cols: statement.group_by.clone(),
+            aggs: statement.aggregates.clone(),
+            hold: 2_000_000,
+            final_ops,
+            flat: false,
+        }
+    } else {
+        if !statement.columns.is_empty() && statement.columns != vec!["*".to_string()] {
+            ops.push(OperatorSpec::Projection(statement.columns.clone()));
+        }
+        SinkSpec::ToProxy
+    };
+    PlanBuilder::new(proxy)
+        .dissemination(dissemination)
+        .timeout(timeout)
+        .opgraph(OpGraph {
+            id: 0,
+            source: SourceSpec::Table {
+                namespace: statement.table.clone(),
+            },
+            join: None,
+            ops,
+            sink,
+        })
+        .build()
+}
+
+fn collect_columns(predicates: &[Expr]) -> Vec<String> {
+    fn walk(e: &Expr, out: &mut Vec<String>) {
+        match e {
+            Expr::Column(c) => out.push(c.clone()),
+            Expr::Cmp(_, l, r) | Expr::Arith(_, l, r) | Expr::And(l, r) | Expr::Or(l, r) => {
+                walk(l, out);
+                walk(r, out);
+            }
+            Expr::Not(inner) => walk(inner, out),
+            Expr::Contains(c, _) => out.push(c.clone()),
+            Expr::Const(_) => {}
+        }
+    }
+    let mut out = Vec::new();
+    for p in predicates {
+        walk(p, &mut out);
+    }
+    out
+}
+
+/// Parse and plan in one step.
+pub fn compile(sql: &str, proxy: NodeAddr, timeout: Duration) -> Result<QueryPlan, SqlError> {
+    Ok(plan(&parse(sql)?, proxy, timeout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_select() {
+        let s = parse("SELECT file, size FROM files WHERE keyword = 'rock' AND size > 100").unwrap();
+        assert_eq!(s.columns, vec!["file", "size"]);
+        assert_eq!(s.table, "files");
+        assert_eq!(s.predicates.len(), 2);
+        assert!(s.aggregates.is_empty());
+    }
+
+    #[test]
+    fn parses_aggregate_with_group_by_and_top() {
+        let s = parse("SELECT src, COUNT(*) FROM events GROUP BY src TOP 10 BY count").unwrap();
+        assert_eq!(s.columns, vec!["src"]);
+        assert_eq!(s.aggregates, vec![AggFunc::Count]);
+        assert_eq!(s.group_by, vec!["src"]);
+        assert_eq!(s.top, Some((10, "count".to_string())));
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(parse("SELEC x FROM t").is_err());
+        assert!(parse("SELECT x FROM").is_err());
+        assert!(parse("SELECT x FROM t WHERE a ~ 3").is_err());
+        assert!(parse("SELECT x FROM t TOP abc BY c").is_err());
+    }
+
+    #[test]
+    fn equality_predicate_selects_bykey_dissemination() {
+        let q = compile(
+            "SELECT file FROM files WHERE keyword = 'rock'",
+            NodeAddr(1),
+            5_000_000,
+        )
+        .unwrap();
+        match &q.dissemination {
+            Dissemination::ByKey { namespace, key } => {
+                assert_eq!(namespace, "files");
+                assert_eq!(key, &Value::Str("rock".into()).key_string());
+            }
+            other => panic!("expected ByKey, got {other:?}"),
+        }
+        assert!(matches!(q.opgraphs[0].sink, SinkSpec::ToProxy));
+    }
+
+    #[test]
+    fn range_only_predicate_broadcasts() {
+        let q = compile("SELECT file FROM files WHERE size > 10", NodeAddr(1), 1_000).unwrap();
+        assert!(matches!(q.dissemination, Dissemination::Broadcast));
+    }
+
+    #[test]
+    fn aggregate_plans_use_hierarchical_aggregation() {
+        let q = compile(
+            "SELECT src, COUNT(*) FROM events GROUP BY src TOP 10 BY count",
+            NodeAddr(2),
+            30_000_000,
+        )
+        .unwrap();
+        match &q.opgraphs[0].sink {
+            SinkSpec::HierarchicalAgg {
+                group_cols,
+                aggs,
+                final_ops,
+                ..
+            } => {
+                assert_eq!(group_cols, &vec!["src".to_string()]);
+                assert_eq!(aggs, &vec![AggFunc::Count]);
+                assert_eq!(final_ops.len(), 1);
+            }
+            other => panic!("expected hierarchical aggregation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn string_literals_and_numbers_parse_into_values() {
+        assert_eq!(Parser::parse_literal("'abc'"), Value::Str("abc".into()));
+        assert_eq!(Parser::parse_literal("42"), Value::Int(42));
+        assert_eq!(Parser::parse_literal("2.5"), Value::Float(2.5));
+        assert_eq!(Parser::parse_literal("true"), Value::Bool(true));
+    }
+}

@@ -1,0 +1,222 @@
+//! Self-describing tuples (§3.3.1).
+//!
+//! Because PIER keeps no system catalog, every tuple carries its table name,
+//! its column names and its values.  Access methods convert source data into
+//! this format; operators address fields by name and silently discard tuples
+//! that lack an expected field or carry an incompatible type.
+
+use crate::value::Value;
+use pier_runtime::WireSize;
+
+/// A self-describing relational tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// The table (or result-set) this tuple belongs to.
+    pub table: String,
+    /// Column names, parallel to `values`.
+    pub columns: Vec<String>,
+    /// Column values, parallel to `columns`.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from `(column, value)` pairs.
+    pub fn new(table: impl Into<String>, fields: Vec<(&str, Value)>) -> Self {
+        let (columns, values) = fields
+            .into_iter()
+            .map(|(c, v)| (c.to_string(), v))
+            .unzip();
+        Tuple {
+            table: table.into(),
+            columns,
+            values,
+        }
+    }
+
+    /// Create an empty tuple for a table (columns added via [`Tuple::push`]).
+    pub fn empty(table: impl Into<String>) -> Self {
+        Tuple {
+            table: table.into(),
+            columns: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Append a column.
+    pub fn push(&mut self, column: impl Into<String>, value: Value) {
+        self.columns.push(column.into());
+        self.values.push(value);
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Value of the named column, if present.
+    pub fn get(&self, column: &str) -> Option<&Value> {
+        self.columns
+            .iter()
+            .position(|c| c == column)
+            .map(|i| &self.values[i])
+    }
+
+    /// Values for several columns at once; `None` if any is missing — the
+    /// caller then discards the tuple (best-effort policy).
+    pub fn get_all(&self, columns: &[String]) -> Option<Vec<Value>> {
+        columns.iter().map(|c| self.get(c).cloned()).collect()
+    }
+
+    /// Canonical partitioning-key string for a set of hashing attributes.
+    /// Returns `None` when any attribute is missing.
+    pub fn partition_key(&self, columns: &[String]) -> Option<String> {
+        let values = self.get_all(columns)?;
+        Some(
+            values
+                .iter()
+                .map(Value::key_string)
+                .collect::<Vec<_>>()
+                .join("|"),
+        )
+    }
+
+    /// Project onto a subset of columns (missing columns become NULL so the
+    /// output shape is predictable for the client).
+    pub fn project(&self, columns: &[String]) -> Tuple {
+        let values = columns
+            .iter()
+            .map(|c| self.get(c).cloned().unwrap_or(Value::Null))
+            .collect();
+        Tuple {
+            table: self.table.clone(),
+            columns: columns.to_vec(),
+            values,
+        }
+    }
+
+    /// Concatenate two tuples (used by join operators).  Columns of the
+    /// right tuple are prefixed with its table name when they would collide.
+    pub fn join_with(&self, other: &Tuple, result_table: &str) -> Tuple {
+        let mut out = Tuple::empty(result_table);
+        for (c, v) in self.columns.iter().zip(&self.values) {
+            out.push(c.clone(), v.clone());
+        }
+        for (c, v) in other.columns.iter().zip(&other.values) {
+            if out.get(c).is_some() {
+                out.push(format!("{}.{}", other.table, c), v.clone());
+            } else {
+                out.push(c.clone(), v.clone());
+            }
+        }
+        out
+    }
+
+    /// Rename the tuple's table (e.g. when materialising a partial result
+    /// set under a query-specific namespace).
+    pub fn with_table(mut self, table: impl Into<String>) -> Tuple {
+        self.table = table.into();
+        self
+    }
+}
+
+impl WireSize for Tuple {
+    fn wire_size(&self) -> usize {
+        // Self-describing: the table name and every column name travel with
+        // the tuple, exactly as in the paper.
+        self.table.wire_size()
+            + self.columns.iter().map(WireSize::wire_size).sum::<usize>()
+            + self.values.iter().map(WireSize::wire_size).sum::<usize>()
+            + 8
+    }
+}
+
+impl std::fmt::Display for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}(", self.table)?;
+        for (i, (c, v)) in self.columns.iter().zip(&self.values).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}={v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tuple {
+        Tuple::new(
+            "events",
+            vec![
+                ("src", Value::Str("10.0.0.1".into())),
+                ("port", Value::Int(443)),
+                ("blocked", Value::Bool(true)),
+            ],
+        )
+    }
+
+    #[test]
+    fn get_by_name() {
+        let tup = t();
+        assert_eq!(tup.get("port"), Some(&Value::Int(443)));
+        assert_eq!(tup.get("missing"), None);
+        assert_eq!(tup.arity(), 3);
+    }
+
+    #[test]
+    fn partition_key_is_canonical_and_requires_all_columns() {
+        let tup = t();
+        let k1 = tup.partition_key(&["src".to_string()]).unwrap();
+        let k2 = tup.partition_key(&["src".to_string()]).unwrap();
+        assert_eq!(k1, k2);
+        assert!(tup
+            .partition_key(&["src".to_string(), "missing".to_string()])
+            .is_none());
+        let multi = tup
+            .partition_key(&["src".to_string(), "port".to_string()])
+            .unwrap();
+        assert!(multi.contains('|'));
+    }
+
+    #[test]
+    fn projection_fills_missing_with_null() {
+        let tup = t();
+        let p = tup.project(&["port".to_string(), "nope".to_string()]);
+        assert_eq!(p.values, vec![Value::Int(443), Value::Null]);
+        assert_eq!(p.columns.len(), 2);
+    }
+
+    #[test]
+    fn join_concatenates_and_disambiguates() {
+        let left = Tuple::new("r", vec![("id", Value::Int(1)), ("x", Value::Int(10))]);
+        let right = Tuple::new("s", vec![("id", Value::Int(1)), ("y", Value::Int(20))]);
+        let joined = left.join_with(&right, "r_s");
+        assert_eq!(joined.table, "r_s");
+        assert_eq!(joined.get("x"), Some(&Value::Int(10)));
+        assert_eq!(joined.get("y"), Some(&Value::Int(20)));
+        assert_eq!(joined.get("s.id"), Some(&Value::Int(1)));
+        assert_eq!(joined.arity(), 4);
+    }
+
+    #[test]
+    fn wire_size_counts_schema_and_values() {
+        let tup = t();
+        assert!(tup.wire_size() > 30);
+        let bigger = {
+            let mut b = tup.clone();
+            b.push("payload", Value::Bytes(vec![0; 500]));
+            b
+        };
+        assert!(bigger.wire_size() > tup.wire_size() + 500);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = t().to_string();
+        assert!(s.starts_with("events("));
+        assert!(s.contains("port=443"));
+    }
+}

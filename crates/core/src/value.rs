@@ -1,0 +1,224 @@
+//! Column values.
+//!
+//! PIER tuples are self-describing (§3.3.1): there is no catalog, so every
+//! value carries its own runtime type and operators perform *best-effort*
+//! type checking at evaluation time — a tuple whose field has an
+//! incompatible type is simply discarded by the operator that notices
+//! (§3.3.4, "Malformed Tuples").  The original system used Java objects as
+//! its type system; here a closed enum covers the types the paper's
+//! applications use.
+
+use pier_runtime::WireSize;
+use std::cmp::Ordering;
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unknown value.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Opaque bytes (packet payloads, file digests, …).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Short type name, used in error messages and tests.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Bytes(_) => "bytes",
+        }
+    }
+
+    /// True when the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view of the value, if it has one (ints and floats only —
+    /// best-effort semantics do not coerce strings).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Integer view of the value, if it has one.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Boolean view of the value, if it has one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// String view of the value, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Canonical string used as a DHT partitioning key.  Values that compare
+    /// equal must produce identical key strings, because the key determines
+    /// the object's routing identifier.
+    pub fn key_string(&self) -> String {
+        match self {
+            Value::Null => "∅".to_string(),
+            Value::Bool(b) => format!("b:{b}"),
+            Value::Int(i) => format!("i:{i}"),
+            Value::Float(f) => format!("f:{f}"),
+            Value::Str(s) => format!("s:{s}"),
+            Value::Bytes(b) => {
+                let mut out = String::from("x:");
+                for byte in b {
+                    out.push_str(&format!("{byte:02x}"));
+                }
+                out
+            }
+        }
+    }
+
+    /// Best-effort comparison: `None` when the two values are not comparable
+    /// (different, non-numeric types), which causes the comparing operator to
+    /// discard the tuple.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b),
+            (Value::Int(a), Value::Float(b)) => (*a as f64).partial_cmp(b),
+            (Value::Float(a), Value::Int(b)) => a.partial_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (Value::Bytes(a), Value::Bytes(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bytes(b) => write!(f, "<{} bytes>", b.len()),
+        }
+    }
+}
+
+impl WireSize for Value {
+    fn wire_size(&self) -> usize {
+        1 + match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => 4 + s.len(),
+            Value::Bytes(b) => 4 + b.len(),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_comparisons_cross_type() {
+        assert_eq!(Value::Int(3).compare(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Int(2).compare(&Value::Int(5)), Some(Ordering::Less));
+        assert_eq!(
+            Value::Float(2.5).compare(&Value::Int(2)),
+            Some(Ordering::Greater)
+        );
+    }
+
+    #[test]
+    fn incompatible_types_are_incomparable() {
+        assert_eq!(Value::Str("5".into()).compare(&Value::Int(5)), None);
+        assert_eq!(Value::Null.compare(&Value::Int(5)), None);
+        assert_eq!(Value::Bool(true).compare(&Value::Str("true".into())), None);
+    }
+
+    #[test]
+    fn key_strings_distinguish_types_and_values() {
+        assert_ne!(Value::Int(1).key_string(), Value::Str("1".into()).key_string());
+        assert_ne!(Value::Int(1).key_string(), Value::Int(2).key_string());
+        assert_eq!(Value::Int(7).key_string(), Value::Int(7).key_string());
+        assert_eq!(Value::Bytes(vec![0xab]).key_string(), "x:ab");
+    }
+
+    #[test]
+    fn accessors_follow_best_effort_semantics() {
+        assert_eq!(Value::Int(4).as_f64(), Some(4.0));
+        assert_eq!(Value::Str("4".into()).as_f64(), None);
+        assert_eq!(Value::Float(4.9).as_i64(), Some(4));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn wire_size_scales() {
+        assert!(Value::Str("hello world".into()).wire_size() > Value::Int(1).wire_size());
+        assert_eq!(Value::Null.wire_size(), 1);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Bytes(vec![1, 2, 3]).to_string(), "<3 bytes>");
+    }
+}

@@ -1,0 +1,176 @@
+//! Identifiers in the overlay's circular identifier space.
+//!
+//! Every node and every object is assigned an identifier in an abstract
+//! identifier space (§3.2 of the paper); the DHT maintains the dynamic
+//! mapping from identifiers to live nodes.  We use a 64-bit ring: large
+//! enough that random collisions are negligible at simulation scale, small
+//! enough that ring arithmetic is a couple of machine instructions.
+
+use pier_runtime::WireSize;
+
+/// Number of bits in the identifier space.
+pub const ID_BITS: u32 = 64;
+
+/// A point on the identifier ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Id(pub u64);
+
+impl Id {
+    /// The identifier `2^k` positions clockwise from `self` (used to pick
+    /// finger-table targets).
+    pub fn finger_target(self, k: u32) -> Id {
+        debug_assert!(k < ID_BITS);
+        Id(self.0.wrapping_add(1u64 << k))
+    }
+
+    /// Clockwise distance from `self` to `other` around the ring.
+    pub fn distance_to(self, other: Id) -> u64 {
+        other.0.wrapping_sub(self.0)
+    }
+
+    /// True when `self` lies in the half-open clockwise interval
+    /// `(from, to]`.  This is the "is `self` owned by the successor `to` of
+    /// `from`" test used throughout Chord-style routing.  When `from == to`
+    /// the interval covers the whole ring.
+    pub fn in_interval(self, from: Id, to: Id) -> bool {
+        if from == to {
+            return true;
+        }
+        // Walk clockwise from `from`: self is inside iff its clockwise
+        // distance from `from` is no greater than `to`'s.
+        let d_self = from.distance_to(self);
+        let d_to = from.distance_to(to);
+        d_self != 0 && d_self <= d_to
+    }
+
+    /// True when `self` lies strictly between `from` and `to` clockwise,
+    /// i.e. in the open interval `(from, to)`.
+    pub fn strictly_between(self, from: Id, to: Id) -> bool {
+        self.in_interval(from, to) && self != to
+    }
+}
+
+impl std::fmt::Display for Id {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl WireSize for Id {
+    fn wire_size(&self) -> usize {
+        8
+    }
+}
+
+/// FNV-1a hash of a byte string, used to place names on the ring.
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    // Final avalanche so short or similar inputs still spread over the ring.
+    let mut z = h;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Hash a string onto the identifier ring.
+pub fn hash_str(s: &str) -> Id {
+    Id(hash_bytes(s.as_bytes()))
+}
+
+/// Hash a (namespace, partitioning key) pair onto the ring.  This is the
+/// "routing identifier" computation of §3.2.1: the namespace and the
+/// partitioning key jointly determine where an object lives; the suffix
+/// does not participate.
+pub fn routing_id(namespace: &str, key: &str) -> Id {
+    let ns = hash_bytes(namespace.as_bytes());
+    let k = hash_bytes(key.as_bytes());
+    // Mix the two 64-bit hashes.
+    let mut z = ns ^ k.rotate_left(31) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    Id(z ^ (z >> 31))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_membership_without_wraparound() {
+        let a = Id(10);
+        let b = Id(20);
+        assert!(Id(15).in_interval(a, b));
+        assert!(Id(20).in_interval(a, b), "interval is closed on the right");
+        assert!(!Id(10).in_interval(a, b), "interval is open on the left");
+        assert!(!Id(25).in_interval(a, b));
+        assert!(!Id(5).in_interval(a, b));
+    }
+
+    #[test]
+    fn interval_membership_with_wraparound() {
+        let a = Id(u64::MAX - 10);
+        let b = Id(10);
+        assert!(Id(u64::MAX).in_interval(a, b));
+        assert!(Id(0).in_interval(a, b));
+        assert!(Id(5).in_interval(a, b));
+        assert!(!Id(50).in_interval(a, b));
+        assert!(!Id(u64::MAX - 20).in_interval(a, b));
+    }
+
+    #[test]
+    fn full_ring_interval() {
+        let a = Id(42);
+        assert!(Id(0).in_interval(a, a));
+        assert!(Id(u64::MAX).in_interval(a, a));
+    }
+
+    #[test]
+    fn strictly_between_excludes_endpoints() {
+        assert!(Id(15).strictly_between(Id(10), Id(20)));
+        assert!(!Id(20).strictly_between(Id(10), Id(20)));
+        assert!(!Id(10).strictly_between(Id(10), Id(20)));
+    }
+
+    #[test]
+    fn distance_is_clockwise() {
+        assert_eq!(Id(10).distance_to(Id(20)), 10);
+        assert_eq!(Id(20).distance_to(Id(10)), u64::MAX - 9);
+        assert_eq!(Id(7).distance_to(Id(7)), 0);
+    }
+
+    #[test]
+    fn finger_targets_are_powers_of_two_away() {
+        let n = Id(100);
+        assert_eq!(n.finger_target(0), Id(101));
+        assert_eq!(n.finger_target(3), Id(108));
+        // Wraps around the ring.
+        assert_eq!(Id(u64::MAX).finger_target(0), Id(0));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        assert_eq!(hash_str("abc"), hash_str("abc"));
+        assert_ne!(hash_str("abc"), hash_str("abd"));
+        assert_ne!(routing_id("t1", "k"), routing_id("t2", "k"));
+        assert_ne!(routing_id("t1", "k1"), routing_id("t1", "k2"));
+        assert_eq!(routing_id("t1", "k1"), routing_id("t1", "k1"));
+    }
+
+    #[test]
+    fn hash_distribution_is_roughly_uniform() {
+        // Hash 10k sequential keys and check bucket occupancy; a badly
+        // mixing hash would clump them.
+        let mut buckets = [0u32; 16];
+        for i in 0..10_000 {
+            let id = routing_id("table", &format!("key-{i}"));
+            buckets[(id.0 >> 60) as usize] += 1;
+        }
+        for &b in &buckets {
+            assert!(b > 300, "bucket occupancy {b} too low — poor mixing");
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # pier-dht — the overlay network (distributed hash table)
+//!
+//! PIER's communication substrate is a DHT-based overlay network (§3.2 of
+//! the paper) with three core components:
+//!
+//! * **naming** ([`naming`]) — every object is named by a namespace, a
+//!   partitioning key and a random suffix; the namespace and key determine
+//!   the object's routing identifier ([`id`]),
+//! * **routing** ([`router`]) — a Chord-style multi-hop router with
+//!   successor lists, finger tables, stabilization and churn handling, and
+//! * **state** ([`object_manager`]) — a purely local soft-state store with
+//!   per-object lifetimes, renewal and garbage collection.
+//!
+//! The [`wrapper`] ties the three together behind the Table-2 API (`get`,
+//! `put`, `send`, `renew`, `localScan`, `newData`, `upcall`) and also
+//! provides the query-dissemination **distribution tree** built over
+//! routed messages and upcalls.  [`node::DhtNode`] packages an overlay as a
+//! runnable [`pier_runtime::Program`] so the DHT can be exercised on its own.
+//!
+//! The query processor (`pier-core`) reuses this overlay aggressively — for
+//! query dissemination, hash indexes, range-index substrate, partitioned
+//! parallelism, operator state and hierarchical operators (§3.3.6).
+
+pub mod id;
+pub mod messages;
+pub mod naming;
+pub mod node;
+pub mod object_manager;
+pub mod router;
+pub mod wrapper;
+
+pub use id::{hash_str, routing_id, Id};
+pub use messages::DhtMessage;
+pub use naming::{ObjectName, PartitionKey};
+pub use node::{make_ring_refs, DhtNode};
+pub use object_manager::{ObjectManager, StoredObject};
+pub use router::{NodeRef, Router, RouterConfig};
+pub use wrapper::{
+    Overlay, OverlayConfig, OverlayEffect, OverlayEvent, OverlayTimer, TREE_ROOT_NAME,
+};

@@ -1,0 +1,169 @@
+//! Messages exchanged between overlay wrappers.
+//!
+//! The overlay multiplexes three kinds of traffic over the node-to-node
+//! transport: routing-protocol messages ([`RouterMessage`]), the two-phase
+//! `get`/`put`/`renew` operations of Figure 6, and routed `send` / broadcast
+//! traffic that travels hop-by-hop through the overlay.
+
+use crate::naming::ObjectName;
+use crate::object_manager::StoredObject;
+use crate::router::RouterMessage;
+use crate::Id;
+use pier_runtime::{Duration, NodeAddr, WireSize};
+
+/// A message between two overlay instances.  `V` is the application payload
+/// type (for PIER: tuples, opgraphs and partial aggregates).
+#[derive(Debug, Clone)]
+pub enum DhtMessage<V> {
+    /// Routing-protocol traffic (lookups, stabilization, notify).
+    Routing(RouterMessage),
+    /// Direct request for the objects stored under (namespace, key) — the
+    /// second phase of a `get` (the first phase is a routed lookup).
+    GetRequest {
+        /// Table or result-set namespace.
+        namespace: String,
+        /// Partitioning key.
+        key: String,
+        /// Where to send the response.
+        reply_to: NodeAddr,
+        /// Correlation token chosen by the requester.
+        request_id: u64,
+    },
+    /// Response to [`DhtMessage::GetRequest`].
+    GetResponse {
+        /// Correlation token from the request.
+        request_id: u64,
+        /// Namespace queried.
+        namespace: String,
+        /// Key queried.
+        key: String,
+        /// Matching objects (all suffixes).
+        objects: Vec<StoredObject<V>>,
+    },
+    /// Direct transfer of an object to the node responsible for it — the
+    /// second phase of a `put`.
+    PutRequest {
+        /// Full object name.
+        name: ObjectName,
+        /// Payload.
+        value: V,
+        /// Requested soft-state lifetime, microseconds.
+        lifetime: Duration,
+    },
+    /// Direct request to extend an object's lifetime (fails if the object is
+    /// not already stored at the destination).
+    RenewRequest {
+        /// Full object name.
+        name: ObjectName,
+        /// Requested lifetime extension, microseconds.
+        lifetime: Duration,
+        /// Where to send the response.
+        reply_to: NodeAddr,
+        /// Correlation token chosen by the requester.
+        request_id: u64,
+    },
+    /// Response to [`DhtMessage::RenewRequest`].
+    RenewResponse {
+        /// Correlation token from the request.
+        request_id: u64,
+        /// Whether the renewal succeeded.
+        success: bool,
+    },
+    /// A `send`: the object travels hop-by-hop toward the node responsible
+    /// for its routing identifier, with an upcall offered at every
+    /// intermediate node (§3.2.4, Figure 6).
+    Routed {
+        /// Destination identifier (the object's routing id or an explicit
+        /// target such as an aggregation-tree root).
+        target: Id,
+        /// Full object name.
+        name: ObjectName,
+        /// Payload.
+        value: V,
+        /// Requested soft-state lifetime at the destination, microseconds.
+        lifetime: Duration,
+        /// Hops taken so far.
+        hops: u32,
+    },
+    /// Distribution-tree membership: `child` announces itself to its parent
+    /// (the first hop on its route toward the tree root).
+    TreeJoin {
+        /// The joining node.
+        child: NodeAddr,
+        /// Identifier of the tree root.
+        root: Id,
+    },
+    /// A broadcast payload travelling up toward the tree root (plain DHT
+    /// routing, no interception).
+    TreeBroadcastUp {
+        /// Identifier of the tree root.
+        root: Id,
+        /// Payload to broadcast.
+        payload: V,
+    },
+    /// A broadcast payload travelling down the distribution tree.
+    TreeBroadcastDown {
+        /// Identifier of the tree root.
+        root: Id,
+        /// Payload being broadcast.
+        payload: V,
+        /// Depth below the root (diagnostics).
+        depth: u32,
+    },
+}
+
+impl<V: WireSize> WireSize for DhtMessage<V> {
+    fn wire_size(&self) -> usize {
+        match self {
+            DhtMessage::Routing(m) => 1 + m.wire_size(),
+            DhtMessage::GetRequest {
+                namespace, key, ..
+            } => 1 + namespace.wire_size() + key.wire_size() + 6 + 8,
+            DhtMessage::GetResponse {
+                namespace,
+                key,
+                objects,
+                ..
+            } => 1 + 8 + namespace.wire_size() + key.wire_size() + objects.wire_size(),
+            DhtMessage::PutRequest { name, value, .. } => 1 + name.wire_size() + value.wire_size() + 8,
+            DhtMessage::RenewRequest { name, .. } => 1 + name.wire_size() + 8 + 6 + 8,
+            DhtMessage::RenewResponse { .. } => 1 + 9,
+            DhtMessage::Routed { name, value, .. } => {
+                1 + 8 + name.wire_size() + value.wire_size() + 8 + 4
+            }
+            DhtMessage::TreeJoin { .. } => 1 + 6 + 8,
+            DhtMessage::TreeBroadcastUp { payload, .. } => 1 + 8 + payload.wire_size(),
+            DhtMessage::TreeBroadcastDown { payload, .. } => 1 + 8 + payload.wire_size() + 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::RouterMessage;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small: DhtMessage<String> = DhtMessage::TreeBroadcastUp {
+            root: Id(1),
+            payload: "x".to_string(),
+        };
+        let big: DhtMessage<String> = DhtMessage::TreeBroadcastUp {
+            root: Id(1),
+            payload: "x".repeat(1000),
+        };
+        assert!(big.wire_size() > small.wire_size() + 900);
+    }
+
+    #[test]
+    fn routing_messages_have_nonzero_size() {
+        let m: DhtMessage<u64> = DhtMessage::Routing(RouterMessage::Notify {
+            from: crate::router::NodeRef {
+                id: Id(3),
+                addr: NodeAddr(1),
+            },
+        });
+        assert!(m.wire_size() > 0);
+    }
+}

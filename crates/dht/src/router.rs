@@ -1,0 +1,887 @@
+//! The overlay router (§3.2.2, §3.2.4 of the paper).
+//!
+//! PIER is agnostic to the specific DHT routing algorithm (the original
+//! system used CAN, then Bamboo); all it requires is key-based multi-hop
+//! routing with the ability to intercept messages at intermediate hops.  We
+//! implement a Chord-style ring: each node keeps a predecessor, a successor
+//! list (for resilience to churn) and a finger table (for `O(log N)` hops),
+//! and periodically runs *stabilization* and *fix-fingers* maintenance.
+//!
+//! The router is a pure state machine.  It consumes routing messages and
+//! timer ticks and emits [`RouterEffect`]s; the [`wrapper`](crate::wrapper)
+//! is responsible for actually placing messages on the network and for
+//! scheduling the maintenance timers.
+
+use crate::id::{Id, ID_BITS};
+use pier_runtime::{NodeAddr, SimTime, WireSize};
+use std::collections::HashMap;
+
+/// A reference to a node: its position on the ring plus its network address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeRef {
+    /// The node's identifier on the ring.
+    pub id: Id,
+    /// The node's network address.
+    pub addr: NodeAddr,
+}
+
+impl WireSize for NodeRef {
+    fn wire_size(&self) -> usize {
+        self.id.wire_size() + self.addr.wire_size()
+    }
+}
+
+/// Routing-protocol messages exchanged between routers.
+#[derive(Debug, Clone)]
+pub enum RouterMessage {
+    /// Recursive lookup: find the node responsible for `target` and reply
+    /// directly to `reply_to`.
+    FindSuccessor {
+        /// Identifier being located.
+        target: Id,
+        /// Node that should receive the reply.
+        reply_to: NodeRef,
+        /// Correlation token chosen by the requester.
+        request_id: u64,
+        /// Hops taken so far (diagnostics / scalability experiments).
+        hops: u32,
+    },
+    /// Reply to [`RouterMessage::FindSuccessor`].
+    FindSuccessorReply {
+        /// Correlation token from the request.
+        request_id: u64,
+        /// The node responsible for the requested identifier.
+        owner: NodeRef,
+        /// Hops the request travelled before reaching the owner.
+        hops: u32,
+    },
+    /// Stabilization probe: "who is your predecessor, and what is your
+    /// successor list?"
+    GetNeighbors {
+        /// The asking node.
+        from: NodeRef,
+    },
+    /// Reply to [`RouterMessage::GetNeighbors`].
+    Neighbors {
+        /// The replying node.
+        from: NodeRef,
+        /// The replying node's current predecessor, if known.
+        predecessor: Option<NodeRef>,
+        /// The replying node's successor list.
+        successors: Vec<NodeRef>,
+    },
+    /// Chord `notify`: the sender believes it may be our predecessor.
+    Notify {
+        /// The candidate predecessor.
+        from: NodeRef,
+    },
+}
+
+impl WireSize for RouterMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            RouterMessage::FindSuccessor { .. } => 8 + 14 + 8 + 4,
+            RouterMessage::FindSuccessorReply { .. } => 8 + 14 + 4,
+            RouterMessage::GetNeighbors { .. } => 14,
+            RouterMessage::Neighbors {
+                predecessor,
+                successors,
+                ..
+            } => 14 + predecessor.wire_size() + successors.wire_size(),
+            RouterMessage::Notify { .. } => 14,
+        }
+    }
+}
+
+/// Effects the router asks its host to perform.
+#[derive(Debug, Clone)]
+pub enum RouterEffect {
+    /// Transmit a routing message.
+    Send {
+        /// Destination address.
+        to: NodeAddr,
+        /// The message.
+        msg: RouterMessage,
+    },
+    /// A lookup issued through [`Router::lookup`] completed.
+    LookupDone {
+        /// The requester's correlation token.
+        request_id: u64,
+        /// The node responsible for the identifier.
+        owner: NodeRef,
+        /// Number of overlay hops the lookup took.
+        hops: u32,
+    },
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct RouterConfig {
+    /// Length of the successor list kept for resilience.
+    pub successor_list_len: usize,
+    /// A neighbor is presumed failed if it has not been heard from for this
+    /// long (microseconds).
+    pub liveness_timeout: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            successor_list_len: 4,
+            liveness_timeout: 30_000_000,
+        }
+    }
+}
+
+/// Internal request ids (finger-table refreshes) use the top bit so they can
+/// never collide with ids issued by the wrapper.
+const INTERNAL_ID_BIT: u64 = 1 << 63;
+
+/// Chord-style ring router.
+#[derive(Debug, Clone)]
+pub struct Router {
+    me: NodeRef,
+    config: RouterConfig,
+    predecessor: Option<NodeRef>,
+    successors: Vec<NodeRef>,
+    fingers: Vec<Option<NodeRef>>,
+    last_heard: HashMap<NodeAddr, SimTime>,
+    /// Time of the first unanswered probe per peer; used for fail-stop
+    /// detection (a peer is presumed dead once a probe has gone unanswered
+    /// for the liveness timeout).
+    unanswered_probe: HashMap<NodeAddr, SimTime>,
+    next_finger_to_fix: u32,
+    probe_rotation: usize,
+    bootstrap_addr: Option<NodeAddr>,
+    stabilize_rounds: u64,
+    internal_seq: u64,
+    pending_internal: HashMap<u64, u32>,
+}
+
+impl Router {
+    /// Create a router for a node that initially knows no one (it is the
+    /// first node of a fresh ring until it joins another).
+    pub fn new(me: NodeRef, config: RouterConfig) -> Self {
+        Router {
+            me,
+            config,
+            predecessor: None,
+            successors: Vec::new(),
+            fingers: vec![None; ID_BITS as usize],
+            last_heard: HashMap::new(),
+            unanswered_probe: HashMap::new(),
+            next_finger_to_fix: 0,
+            probe_rotation: 0,
+            bootstrap_addr: None,
+            stabilize_rounds: 0,
+            internal_seq: 0,
+            pending_internal: HashMap::new(),
+        }
+    }
+
+    /// Create a router whose neighbor state is computed offline from full
+    /// knowledge of the ring.  Used by experiments that want a converged
+    /// overlay without simulating the join protocol, and by unit tests.
+    pub fn with_static_ring(me: NodeRef, all: &[NodeRef], config: RouterConfig) -> Self {
+        let mut router = Router::new(me, config);
+        if all.len() <= 1 {
+            return router;
+        }
+        let mut ring: Vec<NodeRef> = all.to_vec();
+        ring.sort_by_key(|n| n.id.0);
+        ring.dedup_by_key(|n| n.id.0);
+        let pos = ring
+            .iter()
+            .position(|n| n.id == me.id)
+            .expect("own node must be part of the ring");
+        let n = ring.len();
+        router.predecessor = Some(ring[(pos + n - 1) % n]);
+        router.successors = (1..=config.successor_list_len.min(n - 1))
+            .map(|i| ring[(pos + i) % n])
+            .collect();
+        for k in 0..ID_BITS {
+            let target = me.id.finger_target(k);
+            let owner = ring
+                .iter()
+                .copied()
+                .min_by_key(|cand| target.distance_to(cand.id))
+                .expect("ring is non-empty");
+            router.fingers[k as usize] = Some(owner);
+        }
+        router
+    }
+
+    /// This node's identity.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// Current predecessor, if known.
+    pub fn predecessor(&self) -> Option<NodeRef> {
+        self.predecessor
+    }
+
+    /// Current immediate successor, if any.
+    pub fn successor(&self) -> Option<NodeRef> {
+        self.successors.first().copied()
+    }
+
+    /// The full successor list.
+    pub fn successor_list(&self) -> &[NodeRef] {
+        &self.successors
+    }
+
+    /// All distinct nodes this router currently knows about (diagnostics).
+    pub fn known_peers(&self) -> Vec<NodeRef> {
+        let mut peers: Vec<NodeRef> = self
+            .successors
+            .iter()
+            .copied()
+            .chain(self.predecessor)
+            .chain(self.fingers.iter().flatten().copied())
+            .filter(|n| n.addr != self.me.addr)
+            .collect();
+        peers.sort_by_key(|n| n.id.0);
+        peers.dedup_by_key(|n| n.id.0);
+        peers
+    }
+
+    /// True when the router currently presumes `addr` to have failed: a
+    /// probe to it has gone unanswered for longer than the liveness timeout.
+    pub fn presumed_dead(&self, addr: NodeAddr, now: SimTime) -> bool {
+        self.unanswered_probe
+            .get(&addr)
+            .map(|&t| now.saturating_sub(t) >= self.config.liveness_timeout)
+            .unwrap_or(false)
+    }
+
+    /// True when this node is responsible for `id`: the identifier falls in
+    /// the arc `(predecessor, me]`, or the node knows of no other node.
+    pub fn is_responsible(&self, id: Id) -> bool {
+        match self.predecessor {
+            None => self.successors.is_empty() || id.in_interval(self.me.id, self.me.id),
+            Some(pred) => id.in_interval(pred.id, self.me.id),
+        }
+    }
+
+    /// The next hop towards the node responsible for `id`, or `None` when
+    /// this node is itself responsible (or knows no one else).  Peers that
+    /// are presumed dead at time `now` are skipped.
+    pub fn next_hop(&self, id: Id, now: SimTime) -> Option<NodeRef> {
+        if self.is_responsible(id) {
+            return None;
+        }
+        let successor = self.live_successor(now)?;
+        if id.in_interval(self.me.id, successor.id) {
+            return Some(successor);
+        }
+        Some(self.closest_preceding(id, now).unwrap_or(successor))
+    }
+
+    /// The first successor-list entry not presumed dead.
+    fn live_successor(&self, now: SimTime) -> Option<NodeRef> {
+        self.successors
+            .iter()
+            .find(|s| !self.presumed_dead(s.addr, now))
+            .copied()
+            .or_else(|| self.successor())
+    }
+
+    fn closest_preceding(&self, id: Id, now: SimTime) -> Option<NodeRef> {
+        let mut best: Option<NodeRef> = None;
+        for cand in self
+            .fingers
+            .iter()
+            .flatten()
+            .chain(self.successors.iter())
+        {
+            if cand.addr == self.me.addr || self.presumed_dead(cand.addr, now) {
+                continue;
+            }
+            if cand.id.strictly_between(self.me.id, id) {
+                best = match best {
+                    None => Some(*cand),
+                    Some(b) => {
+                        // Prefer the candidate closest to (but before) the target.
+                        if b.id.distance_to(id) > cand.id.distance_to(id) {
+                            Some(*cand)
+                        } else {
+                            Some(b)
+                        }
+                    }
+                };
+            }
+        }
+        best
+    }
+
+    /// Join an existing ring through `bootstrap`, or become a singleton ring
+    /// if no bootstrap node is given.
+    pub fn bootstrap(&mut self, bootstrap: Option<NodeAddr>) -> Vec<RouterEffect> {
+        self.bootstrap_addr = bootstrap;
+        match bootstrap {
+            None => Vec::new(),
+            Some(addr) => {
+                // Ask the bootstrap node to find our successor.
+                let request_id = self.next_internal_id(u32::MAX);
+                vec![RouterEffect::Send {
+                    to: addr,
+                    msg: RouterMessage::FindSuccessor {
+                        target: self.me.id,
+                        reply_to: self.me,
+                        request_id,
+                        hops: 0,
+                    },
+                }]
+            }
+        }
+    }
+
+    fn next_internal_id(&mut self, finger: u32) -> u64 {
+        self.internal_seq += 1;
+        let id = INTERNAL_ID_BIT | self.internal_seq;
+        self.pending_internal.insert(id, finger);
+        id
+    }
+
+    /// Issue a lookup for the owner of `target`; the result is reported with
+    /// a [`RouterEffect::LookupDone`] carrying `request_id`.  `request_id`
+    /// must not have its top bit set (that range is reserved for internal
+    /// lookups).
+    pub fn lookup(&mut self, target: Id, request_id: u64, now: SimTime) -> Vec<RouterEffect> {
+        debug_assert_eq!(request_id & INTERNAL_ID_BIT, 0);
+        self.start_lookup(target, request_id, now)
+    }
+
+    fn start_lookup(&mut self, target: Id, request_id: u64, now: SimTime) -> Vec<RouterEffect> {
+        if self.is_responsible(target) {
+            return vec![RouterEffect::LookupDone {
+                request_id,
+                owner: self.me,
+                hops: 0,
+            }];
+        }
+        // If the target lies between us and our successor, the successor is
+        // authoritatively the owner: no lookup message is needed.
+        if let Some(successor) = self.live_successor(now) {
+            if target.in_interval(self.me.id, successor.id) {
+                return vec![RouterEffect::LookupDone {
+                    request_id,
+                    owner: successor,
+                    hops: 0,
+                }];
+            }
+        }
+        match self.next_hop(target, now) {
+            None => vec![RouterEffect::LookupDone {
+                request_id,
+                owner: self.me,
+                hops: 0,
+            }],
+            Some(next) => vec![RouterEffect::Send {
+                to: next.addr,
+                msg: RouterMessage::FindSuccessor {
+                    target,
+                    reply_to: self.me,
+                    request_id,
+                    hops: 1,
+                },
+            }],
+        }
+    }
+
+    /// Handle an incoming routing message.
+    pub fn on_message(
+        &mut self,
+        from: NodeAddr,
+        msg: RouterMessage,
+        now: SimTime,
+    ) -> Vec<RouterEffect> {
+        self.last_heard.insert(from, now);
+        self.unanswered_probe.remove(&from);
+        match msg {
+            RouterMessage::FindSuccessor {
+                target,
+                reply_to,
+                request_id,
+                hops,
+            } => {
+                self.consider(reply_to, now);
+                if self.is_responsible(target) {
+                    vec![RouterEffect::Send {
+                        to: reply_to.addr,
+                        msg: RouterMessage::FindSuccessorReply {
+                            request_id,
+                            owner: self.me,
+                            hops,
+                        },
+                    }]
+                } else if let Some(successor) = self.successor() {
+                    if target.in_interval(self.me.id, successor.id) {
+                        // Classic Chord: the successor owns the arc.
+                        vec![RouterEffect::Send {
+                            to: reply_to.addr,
+                            msg: RouterMessage::FindSuccessorReply {
+                                request_id,
+                                owner: successor,
+                                hops,
+                            },
+                        }]
+                    } else {
+                        let next = self.closest_preceding(target, now).unwrap_or(successor);
+                        vec![RouterEffect::Send {
+                            to: next.addr,
+                            msg: RouterMessage::FindSuccessor {
+                                target,
+                                reply_to,
+                                request_id,
+                                hops: hops + 1,
+                            },
+                        }]
+                    }
+                } else {
+                    // Singleton that somehow received a lookup: we own it.
+                    vec![RouterEffect::Send {
+                        to: reply_to.addr,
+                        msg: RouterMessage::FindSuccessorReply {
+                            request_id,
+                            owner: self.me,
+                            hops,
+                        },
+                    }]
+                }
+            }
+            RouterMessage::FindSuccessorReply {
+                request_id,
+                owner,
+                hops,
+            } => {
+                self.consider(owner, now);
+                if request_id & INTERNAL_ID_BIT != 0 {
+                    if let Some(finger) = self.pending_internal.remove(&request_id) {
+                        if finger == u32::MAX {
+                            // Join (or periodic re-join) reply: adopt the
+                            // owner as our successor only if it is an
+                            // improvement, i.e. we have no successor yet or
+                            // the owner falls between us and the current one.
+                            let improves = match self.successor() {
+                                None => true,
+                                Some(s) => owner.id.strictly_between(self.me.id, s.id),
+                            };
+                            if improves {
+                                self.adopt_successor(owner);
+                            }
+                        } else if owner.addr != self.me.addr {
+                            self.fingers[finger as usize] = Some(owner);
+                        }
+                    }
+                    Vec::new()
+                } else {
+                    vec![RouterEffect::LookupDone {
+                        request_id,
+                        owner,
+                        hops,
+                    }]
+                }
+            }
+            RouterMessage::GetNeighbors { from: asker } => {
+                self.consider(asker, now);
+                vec![RouterEffect::Send {
+                    to: asker.addr,
+                    msg: RouterMessage::Neighbors {
+                        from: self.me,
+                        predecessor: self.predecessor,
+                        successors: self.successors.clone(),
+                    },
+                }]
+            }
+            RouterMessage::Neighbors {
+                from: replier,
+                predecessor,
+                successors,
+            } => {
+                self.consider(replier, now);
+                // Learn opportunistically about everyone mentioned in the
+                // reply; this speeds up convergence of a freshly built ring.
+                for s in &successors {
+                    self.consider(*s, now);
+                }
+                // Chord stabilization step: if our successor's predecessor
+                // sits between us and our successor, it becomes our successor.
+                if let Some(p) = predecessor {
+                    if p.addr != self.me.addr
+                        && self
+                            .successor()
+                            .map(|s| p.id.strictly_between(self.me.id, s.id))
+                            .unwrap_or(false)
+                    {
+                        self.adopt_successor(p);
+                    }
+                }
+                // Refresh the successor list from the successor's view.
+                if self.successor().map(|s| s.addr) == Some(replier.addr) {
+                    let mut list = vec![replier];
+                    list.extend(successors.into_iter().filter(|n| n.addr != self.me.addr));
+                    list.truncate(self.config.successor_list_len);
+                    self.successors = list;
+                }
+                // Notify our successor that we might be its predecessor.
+                match self.successor() {
+                    Some(s) => vec![RouterEffect::Send {
+                        to: s.addr,
+                        msg: RouterMessage::Notify { from: self.me },
+                    }],
+                    None => Vec::new(),
+                }
+            }
+            RouterMessage::Notify { from: candidate } => {
+                self.consider(candidate, now);
+                let adopt = match self.predecessor {
+                    None => true,
+                    Some(pred) => candidate.id.strictly_between(pred.id, self.me.id),
+                };
+                if adopt && candidate.addr != self.me.addr {
+                    self.predecessor = Some(candidate);
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Learn about a node opportunistically (any message that mentions it).
+    fn consider(&mut self, node: NodeRef, now: SimTime) {
+        if node.addr == self.me.addr {
+            return;
+        }
+        self.last_heard.entry(node.addr).or_insert(now);
+        match self.successor() {
+            None => self.successors.push(node),
+            Some(s) => {
+                if node.id.strictly_between(self.me.id, s.id) {
+                    self.adopt_successor(node);
+                }
+            }
+        }
+    }
+
+    fn adopt_successor(&mut self, node: NodeRef) {
+        if node.addr == self.me.addr {
+            return;
+        }
+        self.successors.retain(|n| n.addr != node.addr);
+        self.successors.insert(0, node);
+        self.successors.truncate(self.config.successor_list_len);
+    }
+
+    /// Periodic stabilization: drop successors that look dead, probe the
+    /// current successor (and one other known peer, in rotation) for its
+    /// neighbor state, and notify the successor of us.
+    pub fn on_stabilize(&mut self, now: SimTime) -> Vec<RouterEffect> {
+        self.stabilize_rounds += 1;
+        // Evict successors whose probes have gone unanswered.
+        let dead: Vec<NodeAddr> = self
+            .successors
+            .iter()
+            .filter(|s| self.presumed_dead(s.addr, now))
+            .map(|s| s.addr)
+            .collect();
+        self.successors.retain(|s| !dead.contains(&s.addr));
+        // Evict failed finger entries so routing stops using them.
+        for slot in self.fingers.iter_mut() {
+            if let Some(f) = slot {
+                if dead.contains(&f.addr) {
+                    *slot = None;
+                }
+            }
+        }
+        // Evict a presumed-dead predecessor so responsibility can widen.
+        if let Some(p) = self.predecessor {
+            if self.presumed_dead(p.addr, now) {
+                self.predecessor = None;
+            }
+        }
+        let mut effects = Vec::new();
+        let probe = |router: &mut Router, target: NodeRef, effects: &mut Vec<RouterEffect>| {
+            router.unanswered_probe.entry(target.addr).or_insert(now);
+            effects.push(RouterEffect::Send {
+                to: target.addr,
+                msg: RouterMessage::GetNeighbors { from: router.me },
+            });
+        };
+        if let Some(s) = self.successor() {
+            probe(self, s, &mut effects);
+        }
+        // Probe one additional known peer per round so that failures of
+        // finger-table entries are eventually detected.
+        let peers = self.known_peers();
+        if !peers.is_empty() {
+            self.probe_rotation = (self.probe_rotation + 1) % peers.len();
+            let extra = peers[self.probe_rotation];
+            if Some(extra.addr) != self.successor().map(|s| s.addr) {
+                probe(self, extra, &mut effects);
+            }
+        }
+        // Periodically re-run the join lookup through the bootstrap node.
+        // This repairs "loopy" states in which the overlay has split into
+        // disjoint cycles (possible when many nodes join a ring whose early
+        // members have not stabilized yet): the re-join answer is adopted
+        // only when it improves the successor pointer.
+        if self.stabilize_rounds % 3 == 0 {
+            if let Some(addr) = self.bootstrap_addr {
+                if addr != self.me.addr {
+                    let request_id = self.next_internal_id(u32::MAX);
+                    effects.push(RouterEffect::Send {
+                        to: addr,
+                        msg: RouterMessage::FindSuccessor {
+                            target: self.me.id,
+                            reply_to: self.me,
+                            request_id,
+                            hops: 0,
+                        },
+                    });
+                }
+            }
+        }
+        effects
+    }
+
+    /// Periodic finger maintenance: refresh one finger per invocation by
+    /// looking up its target through the overlay.
+    pub fn on_fix_fingers(&mut self, now: SimTime) -> Vec<RouterEffect> {
+        if self.successor().is_none() {
+            return Vec::new();
+        }
+        // Cycle through a subset of fingers; low fingers are mostly covered
+        // by the successor list so refreshing every 4th keeps traffic down.
+        self.next_finger_to_fix = (self.next_finger_to_fix + 4) % ID_BITS;
+        let finger = self.next_finger_to_fix;
+        let target = self.me.id.finger_target(finger);
+        let request_id = self.next_internal_id(finger);
+        self.start_lookup(target, request_id, now)
+            .into_iter()
+            .map(|e| match e {
+                // A lookup that resolves locally just clears the pending entry.
+                RouterEffect::LookupDone { request_id, .. } => {
+                    self.pending_internal.remove(&request_id);
+                    RouterEffect::LookupDone {
+                        request_id,
+                        owner: self.me,
+                        hops: 0,
+                    }
+                }
+                other => other,
+            })
+            .filter(|e| matches!(e, RouterEffect::Send { .. }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32, id: u64) -> NodeRef {
+        NodeRef {
+            id: Id(id),
+            addr: NodeAddr(i),
+        }
+    }
+
+    fn ring(ids: &[u64]) -> Vec<NodeRef> {
+        ids.iter()
+            .enumerate()
+            .map(|(i, &id)| node(i as u32, id))
+            .collect()
+    }
+
+    #[test]
+    fn static_ring_has_correct_neighbors() {
+        let nodes = ring(&[10, 20, 30, 40]);
+        let r = Router::with_static_ring(nodes[1], &nodes, RouterConfig::default());
+        assert_eq!(r.predecessor().unwrap().id, Id(10));
+        assert_eq!(r.successor().unwrap().id, Id(30));
+        assert_eq!(r.successor_list().len(), 3);
+    }
+
+    #[test]
+    fn responsibility_follows_predecessor_arc() {
+        let nodes = ring(&[10, 20, 30, 40]);
+        let r = Router::with_static_ring(nodes[1], &nodes, RouterConfig::default());
+        assert!(r.is_responsible(Id(15)));
+        assert!(r.is_responsible(Id(20)));
+        assert!(!r.is_responsible(Id(10)));
+        assert!(!r.is_responsible(Id(25)));
+        // Wrap-around arc belongs to the smallest node.
+        let first = Router::with_static_ring(nodes[0], &nodes, RouterConfig::default());
+        assert!(first.is_responsible(Id(50)));
+        assert!(first.is_responsible(Id(5)));
+        assert!(first.is_responsible(Id(10)));
+    }
+
+    #[test]
+    fn next_hop_makes_forward_progress() {
+        let ids: Vec<u64> = (0..32).map(|i| i * 1000).collect();
+        let nodes = ring(&ids);
+        let target = Id(17_500); // owned by node with id 18_000
+        let mut current = nodes[1];
+        let mut hops = 0;
+        loop {
+            let r = Router::with_static_ring(current, &nodes, RouterConfig::default());
+            match r.next_hop(target, 0) {
+                None => break,
+                Some(next) => {
+                    // Forward progress: either the next hop already owns the
+                    // target (it is the target's successor, possibly "past"
+                    // it on the ring) or it is clockwise-closer to the target
+                    // than we are.
+                    let next_router =
+                        Router::with_static_ring(next, &nodes, RouterConfig::default());
+                    assert!(
+                        next_router.is_responsible(target)
+                            || next.id.distance_to(target) < current.id.distance_to(target),
+                        "no forward progress from {:?} to {:?}",
+                        current.id,
+                        next.id
+                    );
+                    current = next;
+                    hops += 1;
+                    assert!(hops < 32, "routing loop");
+                }
+            }
+        }
+        assert_eq!(current.id, Id(18_000));
+        // Finger tables give logarithmic path lengths.
+        assert!(hops <= 6, "expected O(log n) hops, got {hops}");
+    }
+
+    #[test]
+    fn singleton_owns_everything() {
+        let me = node(0, 500);
+        let r = Router::new(me, RouterConfig::default());
+        assert!(r.is_responsible(Id(0)));
+        assert!(r.is_responsible(Id(u64::MAX)));
+        assert!(r.next_hop(Id(123), 0).is_none());
+    }
+
+    #[test]
+    fn find_successor_resolves_over_message_exchange() {
+        let nodes = ring(&[100, 2_000, 60_000, 900_000]);
+        let mut routers: Vec<Router> = nodes
+            .iter()
+            .map(|n| Router::with_static_ring(*n, &nodes, RouterConfig::default()))
+            .collect();
+        // Node 0 looks up an id owned by node 3.
+        let target = Id(800_000);
+        let mut effects = routers[0].lookup(target, 7, 0);
+        let mut done = None;
+        let mut guard = 0;
+        while let Some(effect) = effects.pop() {
+            guard += 1;
+            assert!(guard < 50, "lookup did not converge");
+            match effect {
+                RouterEffect::Send { to, msg } => {
+                    let from = nodes
+                        .iter()
+                        .find(|_n| routers[to.index()].me().addr == to)
+                        .map(|_| to)
+                        .unwrap();
+                    let more = routers[to.index()].on_message(from, msg, 0);
+                    effects.extend(more);
+                }
+                RouterEffect::LookupDone {
+                    request_id, owner, ..
+                } => {
+                    assert_eq!(request_id, 7);
+                    done = Some(owner);
+                }
+            }
+        }
+        assert_eq!(done.unwrap().id, Id(900_000));
+    }
+
+    #[test]
+    fn join_and_stabilize_converges_a_small_ring() {
+        // Three nodes join through node 0 and run stabilization rounds by
+        // exchanging messages directly (no simulator involved).
+        let refs = ring(&[1_000, 500_000, 3_000_000_000]);
+        let mut routers: Vec<Router> = refs
+            .iter()
+            .map(|n| Router::new(*n, RouterConfig::default()))
+            .collect();
+
+        let mut inbox: Vec<(NodeAddr, NodeAddr, RouterMessage)> = Vec::new();
+        let push_effects = |from: NodeAddr, effects: Vec<RouterEffect>,
+                                inbox: &mut Vec<(NodeAddr, NodeAddr, RouterMessage)>| {
+            for e in effects {
+                if let RouterEffect::Send { to, msg } = e {
+                    inbox.push((from, to, msg));
+                }
+            }
+        };
+
+        // Nodes 1 and 2 bootstrap through node 0.
+        for i in 1..3usize {
+            let effects = routers[i].bootstrap(Some(refs[0].addr));
+            push_effects(refs[i].addr, effects, &mut inbox);
+        }
+        // Run message delivery + periodic stabilization for a few rounds.
+        for round in 0..20u64 {
+            let now = round * 1_000_000;
+            while let Some((from, to, msg)) = inbox.pop() {
+                let effects = routers[to.index()].on_message(from, msg, now);
+                push_effects(to, effects, &mut inbox);
+            }
+            for (i, r) in routers.iter_mut().enumerate() {
+                let effects = r.on_stabilize(now);
+                push_effects(refs[i].addr, effects, &mut inbox);
+            }
+        }
+        // The ring must be consistent: each node's successor is the next id.
+        assert_eq!(routers[0].successor().unwrap().id, Id(500_000));
+        assert_eq!(routers[1].successor().unwrap().id, Id(3_000_000_000));
+        assert_eq!(routers[2].successor().unwrap().id, Id(1_000));
+        assert_eq!(routers[0].predecessor().unwrap().id, Id(3_000_000_000));
+    }
+
+    #[test]
+    fn stabilize_evicts_unresponsive_successor() {
+        let nodes = ring(&[10, 20, 30]);
+        let mut r = Router::with_static_ring(nodes[0], &nodes, RouterConfig::default());
+        assert_eq!(r.successor().unwrap().id, Id(20));
+        // First stabilization probes the successor; it never answers.
+        let effects = r.on_stabilize(0);
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, RouterEffect::Send { to, msg: RouterMessage::GetNeighbors { .. } } if *to == NodeAddr(1))));
+        // The other peer (id 30) does answer its probe, so it stays live.
+        r.on_message(
+            NodeAddr(2),
+            RouterMessage::Notify { from: nodes[2] },
+            1_000,
+        );
+        // Well past the liveness timeout the successor is presumed dead,
+        // evicted, and the next successor-list entry takes over.
+        assert!(r.presumed_dead(NodeAddr(1), 60_000_000));
+        let effects = r.on_stabilize(60_000_000);
+        assert_eq!(r.successor().unwrap().id, Id(30), "dead successor evicted");
+        assert!(effects
+            .iter()
+            .any(|e| matches!(e, RouterEffect::Send { to, msg: RouterMessage::GetNeighbors { .. } } if *to == NodeAddr(2))));
+    }
+
+    #[test]
+    fn hearing_from_a_peer_clears_suspicion() {
+        let nodes = ring(&[10, 20, 30]);
+        let mut r = Router::with_static_ring(nodes[0], &nodes, RouterConfig::default());
+        r.on_stabilize(0);
+        // The successor answers (any message clears the unanswered probe).
+        r.on_message(
+            NodeAddr(1),
+            RouterMessage::Notify { from: nodes[1] },
+            1_000,
+        );
+        assert!(!r.presumed_dead(NodeAddr(1), 60_000_000));
+        r.on_stabilize(60_000_000);
+        assert_eq!(r.successor().unwrap().id, Id(20), "live successor kept");
+    }
+}

@@ -1,0 +1,1060 @@
+//! The overlay wrapper — the Table-2 API of the paper.
+//!
+//! The overlay network is composed of three modules (Figure 5): the
+//! [`Router`], the [`ObjectManager`], and this *wrapper*, which choreographs
+//! the two to implement the inter-node operations `get`, `put`, `send` and
+//! `renew`, and the intra-node operations `localScan`, `newData` and
+//! `upcall`.  The query processor only ever talks to the wrapper.
+//!
+//! Operation message flows follow Figure 6 of the paper:
+//!
+//! * **put / renew** — a routed *lookup* resolves the identifier-to-address
+//!   mapping, then the object (or renewal request) is forwarded directly to
+//!   the destination.
+//! * **send** — the object itself is routed hop-by-hop to the destination in
+//!   a single call; every intermediate node is offered an *upcall* and may
+//!   drop or alter the message (this is what hierarchical aggregation and
+//!   hierarchical joins build on).
+//! * **get** — a lookup followed by a direct request and a response carrying
+//!   the matching objects.
+//!
+//! The wrapper additionally maintains the **distribution tree** used for
+//! query broadcast (§3.3.3): every node periodically routes a `TreeJoin`
+//! announcement toward a well-known root identifier; the first hop records
+//! the sender as a child and drops the message.  Broadcasting forwards a
+//! payload to the root and then down the recorded children, and the tree is
+//! soft state, adapting to membership changes.
+
+use crate::id::{hash_str, Id};
+use crate::messages::DhtMessage;
+use crate::naming::ObjectName;
+use crate::object_manager::{ObjectManager, StoredObject};
+use crate::router::{NodeRef, Router, RouterConfig, RouterEffect};
+use pier_runtime::{Duration, NodeAddr, SimTime, WireSize};
+use std::collections::HashMap;
+use std::fmt::Debug;
+
+/// Well-known name of the query-dissemination tree root; its hash is the
+/// root identifier hard-coded into every PIER node (§3.3.3).
+pub const TREE_ROOT_NAME: &str = "pier::distribution-tree";
+
+/// Tuning knobs for the overlay wrapper.
+#[derive(Debug, Clone, Copy)]
+pub struct OverlayConfig {
+    /// Router configuration.
+    pub router: RouterConfig,
+    /// Interval between Chord stabilization rounds, microseconds.
+    pub stabilize_interval: Duration,
+    /// Interval between finger-table refreshes, microseconds.
+    pub fix_fingers_interval: Duration,
+    /// Interval between soft-state expiry sweeps, microseconds.
+    pub expire_interval: Duration,
+    /// Maximum soft-state lifetime the node will grant, microseconds.
+    pub max_lifetime: Duration,
+    /// Interval between distribution-tree re-join announcements.
+    pub tree_refresh_interval: Duration,
+    /// Lifetime granted to a recorded tree child before it must re-join.
+    pub tree_child_lifetime: Duration,
+}
+
+impl Default for OverlayConfig {
+    fn default() -> Self {
+        OverlayConfig {
+            router: RouterConfig::default(),
+            stabilize_interval: 1_000_000,
+            fix_fingers_interval: 2_000_000,
+            expire_interval: 5_000_000,
+            max_lifetime: 600_000_000,
+            tree_refresh_interval: 10_000_000,
+            tree_child_lifetime: 30_000_000,
+        }
+    }
+}
+
+/// Periodic maintenance timers the host must schedule on the wrapper's
+/// behalf.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverlayTimer {
+    /// Chord stabilization round.
+    Stabilize,
+    /// Finger-table refresh.
+    FixFingers,
+    /// Soft-state expiry sweep.
+    Expire,
+    /// Distribution-tree re-join announcement.
+    TreeRefresh,
+}
+
+/// Notifications delivered to the application (the query processor).  These
+/// are the wrapper's `handleGet`, `handleNewData`, `handleUpcall` and
+/// `handleLScan` callbacks, plus tree-broadcast delivery.
+#[derive(Debug, Clone)]
+pub enum OverlayEvent<V> {
+    /// Result of a previously issued [`Overlay::get`].
+    GetResult {
+        /// Token returned by `get`.
+        request_id: u64,
+        /// Namespace queried.
+        namespace: String,
+        /// Key queried.
+        key: String,
+        /// Matching objects.
+        objects: Vec<StoredObject<V>>,
+    },
+    /// Result of a previously issued [`Overlay::renew`].
+    RenewResult {
+        /// Token returned by `renew`.
+        request_id: u64,
+        /// Whether the object was present and its lifetime extended.
+        success: bool,
+    },
+    /// A new object arrived at this node (via `put` or `send`).
+    NewData {
+        /// The stored object.
+        object: StoredObject<V>,
+    },
+    /// A routed object is passing through this node; the application must
+    /// call [`Overlay::resume_upcall`] with the token to continue or drop it.
+    Upcall {
+        /// Token to pass to `resume_upcall`.
+        token: u64,
+        /// The node the message arrived from.
+        from: NodeAddr,
+        /// The in-flight object (name + value + remaining lifetime).
+        object: StoredObject<V>,
+    },
+    /// A payload broadcast over the distribution tree reached this node.
+    Broadcast {
+        /// The broadcast payload.
+        payload: V,
+    },
+    /// Result of a raw [`Overlay::lookup`].
+    LookupDone {
+        /// Token returned by `lookup`.
+        request_id: u64,
+        /// Node responsible for the identifier.
+        owner: NodeRef,
+        /// Overlay hops the lookup took.
+        hops: u32,
+    },
+}
+
+/// Effects the wrapper asks its host program to perform.
+#[derive(Debug, Clone)]
+pub enum OverlayEffect<V> {
+    /// Transmit a message to another node.
+    Send {
+        /// Destination address.
+        to: NodeAddr,
+        /// Message to transmit.
+        msg: DhtMessage<V>,
+    },
+    /// Schedule a maintenance timer.
+    SetTimer {
+        /// Delay from now, microseconds.
+        delay: Duration,
+        /// Which timer.
+        timer: OverlayTimer,
+    },
+    /// Deliver a notification to the application.
+    Event(OverlayEvent<V>),
+}
+
+#[derive(Debug, Clone)]
+enum PendingOp<V> {
+    Get { namespace: String, key: String },
+    Put { name: ObjectName, value: V, lifetime: Duration },
+    Renew { name: ObjectName, lifetime: Duration },
+    RawLookup,
+}
+
+/// The overlay wrapper: one instance per node.
+#[derive(Debug, Clone)]
+pub struct Overlay<V> {
+    me: NodeRef,
+    config: OverlayConfig,
+    router: Router,
+    objects: ObjectManager<V>,
+    pending: HashMap<u64, PendingOp<V>>,
+    pending_upcalls: HashMap<u64, (Id, ObjectName, V, Duration, u32)>,
+    next_request_id: u64,
+    next_upcall_token: u64,
+    tree_root: Id,
+    tree_children: HashMap<NodeAddr, SimTime>,
+}
+
+impl<V: Clone + Debug + WireSize> Overlay<V> {
+    /// Create an overlay instance for a node that will join dynamically.
+    pub fn new(me: NodeRef, config: OverlayConfig) -> Self {
+        let max_lifetime = config.max_lifetime;
+        Overlay {
+            me,
+            config,
+            router: Router::new(me, config.router),
+            objects: ObjectManager::new(max_lifetime),
+            pending: HashMap::new(),
+            pending_upcalls: HashMap::new(),
+            next_request_id: 0,
+            next_upcall_token: 0,
+            tree_root: hash_str(TREE_ROOT_NAME),
+            tree_children: HashMap::new(),
+        }
+    }
+
+    /// Create an overlay whose routing state is pre-converged from full
+    /// knowledge of the ring (used by experiments and tests to skip the join
+    /// phase).
+    pub fn with_static_ring(me: NodeRef, all: &[NodeRef], config: OverlayConfig) -> Self {
+        let mut overlay = Overlay::new(me, config);
+        overlay.router = Router::with_static_ring(me, all, config.router);
+        overlay
+    }
+
+    /// This node's ring identity.
+    pub fn me(&self) -> NodeRef {
+        self.me
+    }
+
+    /// Read access to the router (diagnostics, experiments).
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Read access to the local soft-state store.
+    pub fn objects(&self) -> &ObjectManager<V> {
+        &self.objects
+    }
+
+    /// Addresses currently recorded as children in the distribution tree.
+    pub fn tree_children(&self) -> Vec<NodeAddr> {
+        self.tree_children.keys().copied().collect()
+    }
+
+    /// Whether this node is currently the root of the distribution tree.
+    pub fn is_tree_root(&self) -> bool {
+        self.router.is_responsible(self.tree_root)
+    }
+
+    fn next_request_id(&mut self) -> u64 {
+        self.next_request_id += 1;
+        self.next_request_id
+    }
+
+    /// Boot the overlay: start the routing join (if a bootstrap address is
+    /// given) and schedule all periodic maintenance timers.
+    pub fn start(&mut self, bootstrap: Option<NodeAddr>, _now: SimTime) -> Vec<OverlayEffect<V>> {
+        let mut effects: Vec<OverlayEffect<V>> = self
+            .router
+            .bootstrap(bootstrap)
+            .into_iter()
+            .map(routing_effect)
+            .collect();
+        effects.push(OverlayEffect::SetTimer {
+            delay: self.config.stabilize_interval,
+            timer: OverlayTimer::Stabilize,
+        });
+        effects.push(OverlayEffect::SetTimer {
+            delay: self.config.fix_fingers_interval,
+            timer: OverlayTimer::FixFingers,
+        });
+        effects.push(OverlayEffect::SetTimer {
+            delay: self.config.expire_interval,
+            timer: OverlayTimer::Expire,
+        });
+        effects.push(OverlayEffect::SetTimer {
+            delay: self.config.tree_refresh_interval / 2,
+            timer: OverlayTimer::TreeRefresh,
+        });
+        effects
+    }
+
+    // ----- Inter-node operations (Table 2) --------------------------------
+
+    /// `get(namespace, key)`: fetch every object stored under the
+    /// (namespace, key) pair.  The result arrives later as
+    /// [`OverlayEvent::GetResult`] carrying the returned request id.
+    pub fn get(&mut self, namespace: &str, key: &str, now: SimTime) -> (u64, Vec<OverlayEffect<V>>) {
+        let request_id = self.next_request_id();
+        let id = crate::id::routing_id(namespace, key);
+        if self.router.is_responsible(id) {
+            let objects = self.objects.get(namespace, key, now);
+            return (
+                request_id,
+                vec![OverlayEffect::Event(OverlayEvent::GetResult {
+                    request_id,
+                    namespace: namespace.to_string(),
+                    key: key.to_string(),
+                    objects,
+                })],
+            );
+        }
+        self.pending.insert(
+            request_id,
+            PendingOp::Get {
+                namespace: namespace.to_string(),
+                key: key.to_string(),
+            },
+        );
+        let effects = self.router.lookup(id, request_id, now);
+        (request_id, self.absorb_router_effects(effects, now))
+    }
+
+    /// `put(namespace, key, suffix, object, lifetime)`: store an object at
+    /// the node responsible for its routing identifier.
+    pub fn put(
+        &mut self,
+        name: ObjectName,
+        value: V,
+        lifetime: Duration,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        let id = name.routing_id();
+        if self.router.is_responsible(id) {
+            return self.store_local(name, value, lifetime, now);
+        }
+        let request_id = self.next_request_id();
+        self.pending.insert(
+            request_id,
+            PendingOp::Put {
+                name,
+                value,
+                lifetime,
+            },
+        );
+        let effects = self.router.lookup(id, request_id, now);
+        self.absorb_router_effects(effects, now)
+    }
+
+    /// `renew(namespace, key, suffix, lifetime)`: extend an object's
+    /// lifetime.  Succeeds only if the object is already stored at the
+    /// destination; the outcome arrives as [`OverlayEvent::RenewResult`].
+    pub fn renew(
+        &mut self,
+        name: ObjectName,
+        lifetime: Duration,
+        now: SimTime,
+    ) -> (u64, Vec<OverlayEffect<V>>) {
+        let request_id = self.next_request_id();
+        let id = name.routing_id();
+        if self.router.is_responsible(id) {
+            let success = self.objects.renew(&name, lifetime, now);
+            return (
+                request_id,
+                vec![OverlayEffect::Event(OverlayEvent::RenewResult {
+                    request_id,
+                    success,
+                })],
+            );
+        }
+        self.pending
+            .insert(request_id, PendingOp::Renew { name, lifetime });
+        let effects = self.router.lookup(id, request_id, now);
+        (request_id, self.absorb_router_effects(effects, now))
+    }
+
+    /// `send(namespace, key, suffix, object, lifetime)`: route the object
+    /// hop-by-hop to the responsible node, offering an upcall at every
+    /// intermediate hop.
+    pub fn send(
+        &mut self,
+        name: ObjectName,
+        value: V,
+        lifetime: Duration,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        let target = name.routing_id();
+        self.send_routed(target, name, value, lifetime, now)
+    }
+
+    /// Route an object toward an explicit identifier (used by hierarchical
+    /// aggregation, where the query names the aggregation-tree root).
+    pub fn send_routed(
+        &mut self,
+        target: Id,
+        name: ObjectName,
+        value: V,
+        lifetime: Duration,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        match self.router.next_hop(target, now) {
+            None => self.store_local(name, value, lifetime, now),
+            Some(next) => vec![OverlayEffect::Send {
+                to: next.addr,
+                msg: DhtMessage::Routed {
+                    target,
+                    name,
+                    value,
+                    lifetime,
+                    hops: 1,
+                },
+            }],
+        }
+    }
+
+    /// Resolve the node responsible for an arbitrary identifier.  The answer
+    /// arrives as [`OverlayEvent::LookupDone`].
+    pub fn lookup(&mut self, target: Id, now: SimTime) -> (u64, Vec<OverlayEffect<V>>) {
+        let request_id = self.next_request_id();
+        self.pending.insert(request_id, PendingOp::RawLookup);
+        let effects = self.router.lookup(target, request_id, now);
+        (request_id, self.absorb_router_effects(effects, now))
+    }
+
+    // ----- Intra-node operations ------------------------------------------
+
+    /// `localScan(namespace)`: every live object of a namespace stored here.
+    pub fn local_scan(&self, namespace: &str, now: SimTime) -> Vec<StoredObject<V>> {
+        self.objects.scan_namespace(namespace, now)
+    }
+
+    /// Store an object directly in the local store (used both when this node
+    /// is itself responsible for the object and for operator state, which the
+    /// query processor keeps in the DHT's local storage layer, §3.3.6).
+    pub fn store_local(
+        &mut self,
+        name: ObjectName,
+        value: V,
+        lifetime: Duration,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        let expires_at = self.objects.put(name.clone(), value.clone(), lifetime, now);
+        vec![OverlayEffect::Event(OverlayEvent::NewData {
+            object: StoredObject {
+                name,
+                value,
+                expires_at,
+            },
+        })]
+    }
+
+    /// Continue or drop a routed message previously surfaced through
+    /// [`OverlayEvent::Upcall`].
+    pub fn resume_upcall(
+        &mut self,
+        token: u64,
+        continue_routing: bool,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        let (target, name, value, lifetime, hops) = match self.pending_upcalls.remove(&token) {
+            Some(entry) => entry,
+            None => return Vec::new(),
+        };
+        if !continue_routing {
+            return Vec::new();
+        }
+        match self.router.next_hop(target, now) {
+            None => self.store_local(name, value, lifetime, now),
+            Some(next) => vec![OverlayEffect::Send {
+                to: next.addr,
+                msg: DhtMessage::Routed {
+                    target,
+                    name,
+                    value,
+                    lifetime,
+                    hops: hops + 1,
+                },
+            }],
+        }
+    }
+
+    // ----- Distribution tree ----------------------------------------------
+
+    /// Announce this node to its distribution-tree parent (the first hop on
+    /// the route toward the tree root).  Called periodically because the tree
+    /// is soft state.
+    pub fn join_tree(&mut self, now: SimTime) -> Vec<OverlayEffect<V>> {
+        match self.router.next_hop(self.tree_root, now) {
+            None => Vec::new(), // we are the root
+            Some(parent) => vec![OverlayEffect::Send {
+                to: parent.addr,
+                msg: DhtMessage::TreeJoin {
+                    child: self.me.addr,
+                    root: self.tree_root,
+                },
+            }],
+        }
+    }
+
+    /// Broadcast a payload to every node via the distribution tree.  The
+    /// payload is routed up to the root and then pushed down the recorded
+    /// children; every node (including this one) receives it as
+    /// [`OverlayEvent::Broadcast`].
+    pub fn broadcast(&mut self, payload: V, now: SimTime) -> Vec<OverlayEffect<V>> {
+        if self.router.is_responsible(self.tree_root) {
+            return self.deliver_broadcast(payload, 0, now);
+        }
+        match self.router.next_hop(self.tree_root, now) {
+            None => self.deliver_broadcast(payload, 0, now),
+            Some(next) => vec![OverlayEffect::Send {
+                to: next.addr,
+                msg: DhtMessage::TreeBroadcastUp {
+                    root: self.tree_root,
+                    payload,
+                },
+            }],
+        }
+    }
+
+    fn deliver_broadcast(&mut self, payload: V, depth: u32, now: SimTime) -> Vec<OverlayEffect<V>> {
+        let mut effects = vec![OverlayEffect::Event(OverlayEvent::Broadcast {
+            payload: payload.clone(),
+        })];
+        if depth > 64 {
+            // Defensive bound; a correct tree is far shallower.
+            return effects;
+        }
+        self.tree_children.retain(|_, expiry| *expiry >= now);
+        for child in self.tree_children.keys() {
+            effects.push(OverlayEffect::Send {
+                to: *child,
+                msg: DhtMessage::TreeBroadcastDown {
+                    root: self.tree_root,
+                    payload: payload.clone(),
+                    depth: depth + 1,
+                },
+            });
+        }
+        effects
+    }
+
+    // ----- Message and timer handling --------------------------------------
+
+    /// Handle an incoming overlay message.
+    pub fn on_message(
+        &mut self,
+        from: NodeAddr,
+        msg: DhtMessage<V>,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        match msg {
+            DhtMessage::Routing(m) => {
+                let effects = self.router.on_message(from, m, now);
+                self.absorb_router_effects(effects, now)
+            }
+            DhtMessage::GetRequest {
+                namespace,
+                key,
+                reply_to,
+                request_id,
+            } => {
+                let objects = self.objects.get(&namespace, &key, now);
+                vec![OverlayEffect::Send {
+                    to: reply_to,
+                    msg: DhtMessage::GetResponse {
+                        request_id,
+                        namespace,
+                        key,
+                        objects,
+                    },
+                }]
+            }
+            DhtMessage::GetResponse {
+                request_id,
+                namespace,
+                key,
+                objects,
+            } => vec![OverlayEffect::Event(OverlayEvent::GetResult {
+                request_id,
+                namespace,
+                key,
+                objects,
+            })],
+            DhtMessage::PutRequest {
+                name,
+                value,
+                lifetime,
+            } => self.store_local(name, value, lifetime, now),
+            DhtMessage::RenewRequest {
+                name,
+                lifetime,
+                reply_to,
+                request_id,
+            } => {
+                let success = self.objects.renew(&name, lifetime, now);
+                vec![OverlayEffect::Send {
+                    to: reply_to,
+                    msg: DhtMessage::RenewResponse {
+                        request_id,
+                        success,
+                    },
+                }]
+            }
+            DhtMessage::RenewResponse {
+                request_id,
+                success,
+            } => vec![OverlayEffect::Event(OverlayEvent::RenewResult {
+                request_id,
+                success,
+            })],
+            DhtMessage::Routed {
+                target,
+                name,
+                value,
+                lifetime,
+                hops,
+            } => {
+                if self.router.is_responsible(target) {
+                    self.store_local(name, value, lifetime, now)
+                } else {
+                    // Offer the application an upcall before forwarding.
+                    self.next_upcall_token += 1;
+                    let token = self.next_upcall_token;
+                    self.pending_upcalls
+                        .insert(token, (target, name.clone(), value.clone(), lifetime, hops));
+                    vec![OverlayEffect::Event(OverlayEvent::Upcall {
+                        token,
+                        from,
+                        object: StoredObject {
+                            name,
+                            value,
+                            expires_at: now + lifetime,
+                        },
+                    })]
+                }
+            }
+            DhtMessage::TreeJoin { child, .. } => {
+                self.tree_children
+                    .insert(child, now + self.config.tree_child_lifetime);
+                Vec::new()
+            }
+            DhtMessage::TreeBroadcastUp { root, payload } => {
+                if self.router.is_responsible(root) {
+                    self.deliver_broadcast(payload, 0, now)
+                } else {
+                    match self.router.next_hop(root, now) {
+                        None => self.deliver_broadcast(payload, 0, now),
+                        Some(next) => vec![OverlayEffect::Send {
+                            to: next.addr,
+                            msg: DhtMessage::TreeBroadcastUp { root, payload },
+                        }],
+                    }
+                }
+            }
+            DhtMessage::TreeBroadcastDown { payload, depth, .. } => {
+                self.deliver_broadcast(payload, depth, now)
+            }
+        }
+    }
+
+    /// Handle a maintenance timer; the returned effects include re-arming the
+    /// same timer.
+    pub fn on_timer(&mut self, timer: OverlayTimer, now: SimTime) -> Vec<OverlayEffect<V>> {
+        let mut effects = match timer {
+            OverlayTimer::Stabilize => {
+                let e = self.router.on_stabilize(now);
+                self.absorb_router_effects(e, now)
+            }
+            OverlayTimer::FixFingers => {
+                let e = self.router.on_fix_fingers(now);
+                self.absorb_router_effects(e, now)
+            }
+            OverlayTimer::Expire => {
+                self.objects.expire(now);
+                self.tree_children.retain(|_, expiry| *expiry >= now);
+                Vec::new()
+            }
+            OverlayTimer::TreeRefresh => self.join_tree(now),
+        };
+        let delay = match timer {
+            OverlayTimer::Stabilize => self.config.stabilize_interval,
+            OverlayTimer::FixFingers => self.config.fix_fingers_interval,
+            OverlayTimer::Expire => self.config.expire_interval,
+            OverlayTimer::TreeRefresh => self.config.tree_refresh_interval,
+        };
+        effects.push(OverlayEffect::SetTimer { delay, timer });
+        effects
+    }
+
+    fn absorb_router_effects(
+        &mut self,
+        effects: Vec<RouterEffect>,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        let mut out = Vec::new();
+        for effect in effects {
+            match effect {
+                RouterEffect::Send { to, msg } => out.push(OverlayEffect::Send {
+                    to,
+                    msg: DhtMessage::Routing(msg),
+                }),
+                RouterEffect::LookupDone {
+                    request_id,
+                    owner,
+                    hops,
+                } => out.extend(self.finish_lookup(request_id, owner, hops, now)),
+            }
+        }
+        out
+    }
+
+    fn finish_lookup(
+        &mut self,
+        request_id: u64,
+        owner: NodeRef,
+        hops: u32,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        let op = match self.pending.remove(&request_id) {
+            Some(op) => op,
+            None => return Vec::new(),
+        };
+        match op {
+            PendingOp::Get { namespace, key } => {
+                if owner.addr == self.me.addr {
+                    let objects = self.objects.get(&namespace, &key, now);
+                    vec![OverlayEffect::Event(OverlayEvent::GetResult {
+                        request_id,
+                        namespace,
+                        key,
+                        objects,
+                    })]
+                } else {
+                    vec![OverlayEffect::Send {
+                        to: owner.addr,
+                        msg: DhtMessage::GetRequest {
+                            namespace,
+                            key,
+                            reply_to: self.me.addr,
+                            request_id,
+                        },
+                    }]
+                }
+            }
+            PendingOp::Put {
+                name,
+                value,
+                lifetime,
+            } => {
+                if owner.addr == self.me.addr {
+                    self.store_local(name, value, lifetime, now)
+                } else {
+                    vec![OverlayEffect::Send {
+                        to: owner.addr,
+                        msg: DhtMessage::PutRequest {
+                            name,
+                            value,
+                            lifetime,
+                        },
+                    }]
+                }
+            }
+            PendingOp::Renew { name, lifetime } => {
+                if owner.addr == self.me.addr {
+                    let success = self.objects.renew(&name, lifetime, now);
+                    vec![OverlayEffect::Event(OverlayEvent::RenewResult {
+                        request_id,
+                        success,
+                    })]
+                } else {
+                    vec![OverlayEffect::Send {
+                        to: owner.addr,
+                        msg: DhtMessage::RenewRequest {
+                            name,
+                            lifetime,
+                            reply_to: self.me.addr,
+                            request_id,
+                        },
+                    }]
+                }
+            }
+            PendingOp::RawLookup => vec![OverlayEffect::Event(OverlayEvent::LookupDone {
+                request_id,
+                owner,
+                hops,
+            })],
+        }
+    }
+}
+
+fn routing_effect<V>(effect: RouterEffect) -> OverlayEffect<V> {
+    match effect {
+        RouterEffect::Send { to, msg } => OverlayEffect::Send {
+            to,
+            msg: DhtMessage::Routing(msg),
+        },
+        RouterEffect::LookupDone { .. } => {
+            unreachable!("bootstrap never completes a lookup synchronously")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::routing_id;
+
+    fn two_node_ring() -> (Overlay<String>, Overlay<String>, Vec<NodeRef>) {
+        let refs = vec![
+            NodeRef {
+                id: Id(100),
+                addr: NodeAddr(0),
+            },
+            NodeRef {
+                id: Id(u64::MAX / 2),
+                addr: NodeAddr(1),
+            },
+        ];
+        let a = Overlay::with_static_ring(refs[0], &refs, OverlayConfig::default());
+        let b = Overlay::with_static_ring(refs[1], &refs, OverlayConfig::default());
+        (a, b, refs)
+    }
+
+    fn sends<V: Clone>(effects: &[OverlayEffect<V>]) -> Vec<(NodeAddr, DhtMessage<V>)> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                OverlayEffect::Send { to, msg } => Some((*to, msg.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn events<V: Clone>(effects: &[OverlayEffect<V>]) -> Vec<OverlayEvent<V>> {
+        effects
+            .iter()
+            .filter_map(|e| match e {
+                OverlayEffect::Event(ev) => Some(ev.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn local_put_and_get_short_circuit() {
+        let (mut a, _b, _) = two_node_ring();
+        // Find a key that node a owns.
+        let mut key = String::new();
+        for i in 0..10_000 {
+            let candidate = format!("k{i}");
+            if a.router().is_responsible(routing_id("t", &candidate)) {
+                key = candidate;
+                break;
+            }
+        }
+        assert!(!key.is_empty(), "no locally owned key found");
+        let effects = a.put(ObjectName::new("t", key.clone(), 1), "v".into(), 1_000_000, 0);
+        assert!(matches!(
+            events(&effects).as_slice(),
+            [OverlayEvent::NewData { .. }]
+        ));
+        let (rid, effects) = a.get("t", &key, 10);
+        match &events(&effects)[..] {
+            [OverlayEvent::GetResult {
+                request_id,
+                objects,
+                ..
+            }] => {
+                assert_eq!(*request_id, rid);
+                assert_eq!(objects.len(), 1);
+                assert_eq!(objects[0].value, "v");
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn remote_put_goes_through_lookup_then_direct_transfer() {
+        let (mut a, mut b, _) = two_node_ring();
+        // Find a key that node b owns.
+        let mut key = String::new();
+        for i in 0..10_000 {
+            let candidate = format!("k{i}");
+            if b.router().is_responsible(routing_id("t", &candidate)) {
+                key = candidate;
+                break;
+            }
+        }
+        let effects = a.put(ObjectName::new("t", key.clone(), 7), "val".into(), 1_000_000, 0);
+        // In a two-node ring the lookup resolves locally (b is a's successor),
+        // so the effect is a direct PutRequest to b.
+        let msgs = sends(&effects);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, NodeAddr(1));
+        let put_effects = b.on_message(NodeAddr(0), msgs[0].1.clone(), 5);
+        assert!(matches!(
+            events(&put_effects).as_slice(),
+            [OverlayEvent::NewData { .. }]
+        ));
+        assert_eq!(b.objects().get("t", &key, 10).len(), 1);
+
+        // And a's get for the same key round-trips through b.
+        let (rid, effects) = a.get("t", &key, 20);
+        let msgs = sends(&effects);
+        assert_eq!(msgs.len(), 1, "expected a GetRequest to b");
+        let resp = b.on_message(NodeAddr(0), msgs[0].1.clone(), 25);
+        let resp_msgs = sends(&resp);
+        assert_eq!(resp_msgs.len(), 1);
+        let final_effects = a.on_message(NodeAddr(1), resp_msgs[0].1.clone(), 30);
+        match &events(&final_effects)[..] {
+            [OverlayEvent::GetResult {
+                request_id,
+                objects,
+                ..
+            }] => {
+                assert_eq!(*request_id, rid);
+                assert_eq!(objects.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn renew_requires_existing_object() {
+        let (mut a, _b, _) = two_node_ring();
+        let mut key = String::new();
+        for i in 0..10_000 {
+            let candidate = format!("k{i}");
+            if a.router().is_responsible(routing_id("t", &candidate)) {
+                key = candidate;
+                break;
+            }
+        }
+        let name = ObjectName::new("t", key.clone(), 1);
+        // Renew before put fails.
+        let (_, effects) = a.renew(name.clone(), 1_000, 0);
+        assert!(matches!(
+            events(&effects).as_slice(),
+            [OverlayEvent::RenewResult { success: false, .. }]
+        ));
+        a.put(name.clone(), "v".into(), 1_000_000, 0);
+        let (_, effects) = a.renew(name, 2_000_000, 100);
+        assert!(matches!(
+            events(&effects).as_slice(),
+            [OverlayEvent::RenewResult { success: true, .. }]
+        ));
+    }
+
+    #[test]
+    fn routed_send_offers_upcall_and_can_be_dropped() {
+        // Three nodes so a send can pass through an intermediate hop.
+        let refs = vec![
+            NodeRef {
+                id: Id(0),
+                addr: NodeAddr(0),
+            },
+            NodeRef {
+                id: Id(u64::MAX / 3),
+                addr: NodeAddr(1),
+            },
+            NodeRef {
+                id: Id(2 * (u64::MAX / 3)),
+                addr: NodeAddr(2),
+            },
+        ];
+        let mut overlays: Vec<Overlay<String>> = refs
+            .iter()
+            .map(|r| Overlay::with_static_ring(*r, &refs, OverlayConfig::default()))
+            .collect();
+        // Pick a name owned by node 2 and send it from node 0; with only
+        // three nodes the message may go direct, so also verify the upcall
+        // path explicitly by delivering a Routed message to a non-owner.
+        let name = ObjectName::new("agg", "root", 1);
+        let target = name.routing_id();
+        let owner = refs
+            .iter()
+            .position(|r| overlays[r.addr.index()].router().is_responsible(target))
+            .unwrap();
+        let non_owner = (owner + 1) % 3;
+        let routed: DhtMessage<String> = DhtMessage::Routed {
+            target,
+            name: name.clone(),
+            value: "partial".into(),
+            lifetime: 1_000_000,
+            hops: 1,
+        };
+        let effects = overlays[non_owner].on_message(NodeAddr(9), routed, 0);
+        let evs = events(&effects);
+        let token = match &evs[..] {
+            [OverlayEvent::Upcall { token, object, .. }] => {
+                assert_eq!(object.value, "partial");
+                *token
+            }
+            other => panic!("expected an upcall, got {other:?}"),
+        };
+        // Dropping the message produces no further effects.
+        let dropped = overlays[non_owner].resume_upcall(token, false, 1);
+        assert!(dropped.is_empty());
+        // Re-deliver and continue: the message is forwarded onward.
+        let routed: DhtMessage<String> = DhtMessage::Routed {
+            target,
+            name,
+            value: "partial".into(),
+            lifetime: 1_000_000,
+            hops: 1,
+        };
+        let effects = overlays[non_owner].on_message(NodeAddr(9), routed, 2);
+        let token = match &events(&effects)[..] {
+            [OverlayEvent::Upcall { token, .. }] => *token,
+            other => panic!("expected an upcall, got {other:?}"),
+        };
+        let forwarded = overlays[non_owner].resume_upcall(token, true, 3);
+        assert_eq!(sends(&forwarded).len(), 1);
+    }
+
+    #[test]
+    fn tree_join_recorded_and_broadcast_reaches_children() {
+        let (mut a, mut b, refs) = two_node_ring();
+        let root_owner_is_a = a.is_tree_root();
+        let (root, child, root_addr, child_addr) = if root_owner_is_a {
+            (&mut a, &mut b, refs[0].addr, refs[1].addr)
+        } else {
+            (&mut b, &mut a, refs[1].addr, refs[0].addr)
+        };
+        // Child joins the tree: with two nodes, its parent is the root.
+        let join = child.join_tree(0);
+        let msgs = sends(&join);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, root_addr);
+        root.on_message(child_addr, msgs[0].1.clone(), 0);
+        assert_eq!(root.tree_children(), vec![child_addr]);
+
+        // Broadcasting from the root delivers locally and to the child.
+        let effects = root.broadcast("query-plan".to_string(), 1);
+        let evs = events(&effects);
+        assert!(matches!(&evs[..], [OverlayEvent::Broadcast { payload }] if payload == "query-plan"));
+        let down = sends(&effects);
+        assert_eq!(down.len(), 1);
+        assert_eq!(down[0].0, child_addr);
+        let child_effects = child.on_message(root_addr, down[0].1.clone(), 2);
+        assert!(matches!(
+            events(&child_effects).as_slice(),
+            [OverlayEvent::Broadcast { .. }]
+        ));
+    }
+
+    #[test]
+    fn timers_rearm_themselves() {
+        let (mut a, _b, _) = two_node_ring();
+        for timer in [
+            OverlayTimer::Stabilize,
+            OverlayTimer::FixFingers,
+            OverlayTimer::Expire,
+            OverlayTimer::TreeRefresh,
+        ] {
+            let effects = a.on_timer(timer, 1_000);
+            assert!(
+                effects
+                    .iter()
+                    .any(|e| matches!(e, OverlayEffect::SetTimer { timer: t, .. } if *t == timer)),
+                "{timer:?} must reschedule itself"
+            );
+        }
+    }
+
+    #[test]
+    fn expire_timer_sweeps_soft_state() {
+        let (mut a, _b, _) = two_node_ring();
+        let mut key = String::new();
+        for i in 0..10_000 {
+            let candidate = format!("k{i}");
+            if a.router().is_responsible(routing_id("t", &candidate)) {
+                key = candidate;
+                break;
+            }
+        }
+        a.put(ObjectName::new("t", key.clone(), 1), "v".into(), 1_000, 0);
+        assert_eq!(a.objects().len(), 1);
+        a.on_timer(OverlayTimer::Expire, 10_000);
+        assert_eq!(a.objects().len(), 0, "expired object must be swept");
+    }
+}

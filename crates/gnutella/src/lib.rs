@@ -1,0 +1,326 @@
+//! # pier-gnutella — a Gnutella-style flooding-search baseline
+//!
+//! Figure 1 of the paper compares PIER's file-sharing search against the
+//! native Gnutella network on real user queries.  We cannot replay the live
+//! Gnutella network, so this crate implements the protocol family Gnutella
+//! belongs to — an unstructured random-graph overlay with TTL-limited query
+//! flooding and reverse-path query hits — as a [`Program`] that runs under
+//! the same simulator as PIER.  The property that matters for the figure is
+//! preserved: flooding finds *popular* (widely replicated) content quickly,
+//! but rare items are often missed entirely or found only after the flood
+//! has spread widely.
+
+use pier_runtime::{NodeAddr, Program, ProgramContext, WireSize};
+use std::collections::{HashMap, HashSet};
+
+/// A shared file: a name made of keywords plus an identifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedFile {
+    /// File identifier.
+    pub file_id: u64,
+    /// Keywords describing the file.
+    pub keywords: Vec<String>,
+}
+
+/// Messages of the flooding protocol.
+#[derive(Debug, Clone)]
+pub enum GnutellaMsg {
+    /// A keyword query being flooded.
+    Query {
+        /// Unique query identifier (origin address is the high half).
+        query_id: u64,
+        /// Keywords that must all appear in a matching file.
+        keywords: Vec<String>,
+        /// Remaining hops before the flood stops.
+        ttl: u32,
+    },
+    /// A query hit travelling back toward the originator.
+    QueryHit {
+        /// The query being answered.
+        query_id: u64,
+        /// Identifier of the matching file.
+        file_id: u64,
+        /// Node holding the file.
+        holder: NodeAddr,
+    },
+}
+
+impl WireSize for GnutellaMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            GnutellaMsg::Query { keywords, .. } => {
+                8 + 4 + keywords.iter().map(|k| 4 + k.len()).sum::<usize>()
+            }
+            GnutellaMsg::QueryHit { .. } => 8 + 8 + 6,
+        }
+    }
+}
+
+/// Client-visible output: a hit for a locally issued query.
+#[derive(Debug, Clone)]
+pub struct GnutellaHit {
+    /// The query that matched.
+    pub query_id: u64,
+    /// The matching file.
+    pub file_id: u64,
+    /// The node holding it.
+    pub holder: NodeAddr,
+}
+
+/// A node in the unstructured overlay.
+#[derive(Debug, Clone, Default)]
+pub struct GnutellaNode {
+    /// Fixed neighbor set (the random overlay graph).
+    pub neighbors: Vec<NodeAddr>,
+    /// Files shared by this node.
+    pub library: Vec<SharedFile>,
+    seen_queries: HashSet<u64>,
+    origins: HashMap<u64, NodeAddr>,
+    next_query_seq: u64,
+}
+
+impl GnutellaNode {
+    /// Create a node with the given neighbors and shared files.
+    pub fn new(neighbors: Vec<NodeAddr>, library: Vec<SharedFile>) -> Self {
+        GnutellaNode {
+            neighbors,
+            library,
+            ..Default::default()
+        }
+    }
+
+    /// Issue a keyword query from this node with the given TTL.  Returns the
+    /// query id; hits arrive as [`GnutellaHit`] outputs.
+    pub fn issue_query(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        keywords: Vec<String>,
+        ttl: u32,
+    ) -> u64 {
+        self.next_query_seq += 1;
+        let query_id = ((ctx.me().0 as u64) << 32) | self.next_query_seq;
+        self.seen_queries.insert(query_id);
+        self.origins.insert(query_id, ctx.me());
+        // Answer from the local library first, then flood.
+        let local_hits: Vec<u64> = self.matching_files(&keywords);
+        for file_id in local_hits {
+            ctx.output(GnutellaHit {
+                query_id,
+                file_id,
+                holder: ctx.me(),
+            });
+        }
+        for n in &self.neighbors {
+            ctx.send(
+                *n,
+                GnutellaMsg::Query {
+                    query_id,
+                    keywords: keywords.clone(),
+                    ttl,
+                },
+            );
+        }
+        query_id
+    }
+
+    fn matching_files(&self, keywords: &[String]) -> Vec<u64> {
+        self.library
+            .iter()
+            .filter(|f| keywords.iter().all(|k| f.keywords.contains(k)))
+            .map(|f| f.file_id)
+            .collect()
+    }
+}
+
+impl Program for GnutellaNode {
+    type Msg = GnutellaMsg;
+    type Timer = ();
+    type Out = GnutellaHit;
+
+    fn on_start(&mut self, _ctx: &mut ProgramContext<Self>) {}
+
+    fn on_message(&mut self, ctx: &mut ProgramContext<Self>, from: NodeAddr, msg: Self::Msg) {
+        match msg {
+            GnutellaMsg::Query {
+                query_id,
+                keywords,
+                ttl,
+            } => {
+                if !self.seen_queries.insert(query_id) {
+                    return; // already processed this flood
+                }
+                // Remember the reverse path towards the originator.
+                self.origins.entry(query_id).or_insert(from);
+                for file_id in self.matching_files(&keywords) {
+                    let holder = ctx.me();
+                    ctx.send(
+                        from,
+                        GnutellaMsg::QueryHit {
+                            query_id,
+                            file_id,
+                            holder,
+                        },
+                    );
+                }
+                if ttl > 1 {
+                    for n in self.neighbors.clone() {
+                        if n != from {
+                            ctx.send(
+                                n,
+                                GnutellaMsg::Query {
+                                    query_id,
+                                    keywords: keywords.clone(),
+                                    ttl: ttl - 1,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+            GnutellaMsg::QueryHit {
+                query_id,
+                file_id,
+                holder,
+            } => {
+                match self.origins.get(&query_id) {
+                    Some(origin) if *origin == ctx.me() => ctx.output(GnutellaHit {
+                        query_id,
+                        file_id,
+                        holder,
+                    }),
+                    Some(origin) => {
+                        // Forward along the reverse path.
+                        let next = *origin;
+                        ctx.send(
+                            next,
+                            GnutellaMsg::QueryHit {
+                                query_id,
+                                file_id,
+                                holder,
+                            },
+                        );
+                    }
+                    None => {}
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut ProgramContext<Self>, _timer: Self::Timer) {}
+}
+
+/// Build a connected random overlay graph of `n` nodes with average degree
+/// `degree` (a ring plus random chords), returning each node's neighbor list.
+pub fn random_overlay(n: usize, degree: usize, seed: u64) -> Vec<Vec<NodeAddr>> {
+    let mut rng = pier_runtime::Rng64::new(seed);
+    let mut adj: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    // Ring for connectivity.
+    for i in 0..n {
+        let j = (i + 1) % n;
+        adj[i].insert(j);
+        adj[j].insert(i);
+    }
+    // Random chords up to the target degree.
+    for i in 0..n {
+        while adj[i].len() < degree.min(n - 1) {
+            let j = rng.index(n);
+            if j != i {
+                adj[i].insert(j);
+                adj[j].insert(i);
+            }
+        }
+    }
+    adj.into_iter()
+        .map(|set| set.into_iter().map(|i| NodeAddr(i as u32)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_runtime::{SimConfig, Simulator};
+
+    fn build_network(
+        n: usize,
+        files_at: &[(usize, &str)],
+        seed: u64,
+    ) -> (Simulator<GnutellaNode>, Vec<NodeAddr>) {
+        let topology = random_overlay(n, 4, seed);
+        let mut sim: Simulator<GnutellaNode> = Simulator::new(SimConfig::lan(seed));
+        let mut addrs = Vec::new();
+        for (i, neighbors) in topology.into_iter().enumerate() {
+            let library: Vec<SharedFile> = files_at
+                .iter()
+                .filter(|(at, _)| *at == i)
+                .enumerate()
+                .map(|(k, (_, kw))| SharedFile {
+                    file_id: (i * 100 + k) as u64,
+                    keywords: vec![kw.to_string()],
+                })
+                .collect();
+            addrs.push(sim.add_node(GnutellaNode::new(neighbors, library)));
+        }
+        sim.run_until(1_000);
+        (sim, addrs)
+    }
+
+    #[test]
+    fn overlay_graph_is_connected_and_has_degree() {
+        let adj = random_overlay(50, 5, 3);
+        assert_eq!(adj.len(), 50);
+        for (i, neighbors) in adj.iter().enumerate() {
+            assert!(neighbors.len() >= 2, "node {i} under-connected");
+            assert!(!neighbors.contains(&NodeAddr(i as u32)), "self-loop at {i}");
+        }
+    }
+
+    #[test]
+    fn flooding_finds_replicated_content() {
+        // The keyword "rock" is widely replicated: flooding finds it.
+        let placements: Vec<(usize, &str)> = (0..30).step_by(3).map(|i| (i, "rock")).collect();
+        let (mut sim, addrs) = build_network(30, &placements, 7);
+        sim.invoke(addrs[1], |node, ctx| {
+            node.issue_query(ctx, vec!["rock".to_string()], 4);
+        });
+        sim.run_for(5_000_000);
+        let hits = sim
+            .outputs()
+            .iter()
+            .filter(|o| o.node == addrs[1])
+            .count();
+        assert!(hits >= 1, "popular content must be found by flooding");
+    }
+
+    #[test]
+    fn rare_content_outside_ttl_horizon_is_missed() {
+        // One copy of "obscure" far from the querier; a TTL-2 flood in a
+        // 100-node sparse graph cannot reach the whole network.
+        let (mut sim, addrs) = build_network(100, &[(60, "obscure")], 11);
+        sim.invoke(addrs[0], |node, ctx| {
+            node.issue_query(ctx, vec!["obscure".to_string()], 2);
+        });
+        sim.run_for(10_000_000);
+        let hits = sim
+            .outputs()
+            .iter()
+            .filter(|o| o.node == addrs[0])
+            .count();
+        assert_eq!(hits, 0, "TTL-limited flood should miss the rare item");
+    }
+
+    #[test]
+    fn duplicate_floods_are_suppressed() {
+        let (mut sim, addrs) = build_network(20, &[(5, "x")], 13);
+        sim.invoke(addrs[0], |node, ctx| {
+            node.issue_query(ctx, vec!["x".to_string()], 8);
+        });
+        sim.run_for(5_000_000);
+        // Even with a generous TTL in a 20-node network, duplicate
+        // suppression bounds the number of messages well below the
+        // worst-case exponential flood.
+        let msgs = sim.stats().total_msgs;
+        assert!(msgs < 20 * 8 * 4, "flood not suppressed: {msgs} messages");
+        let hits = sim.outputs().iter().filter(|o| o.node == addrs[0]).count();
+        assert_eq!(hits, 1);
+    }
+}

@@ -1,0 +1,376 @@
+//! Boot and drive a PIER cluster under the Simulation Environment.
+
+use pier_core::{PierConfig, PierNode, PierOut, QueryPlan, Tuple};
+use pier_dht::{make_ring_refs, NodeRef};
+use pier_runtime::sim::{CongestionKind, TopologyConfig};
+use pier_runtime::{NodeAddr, SimConfig, SimTime, Simulator};
+
+/// Cluster construction parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of PIER nodes.
+    pub nodes: usize,
+    /// Seed controlling identifiers, topology and workloads.
+    pub seed: u64,
+    /// Network topology.
+    pub topology: TopologyConfig,
+    /// Congestion model.
+    pub congestion: CongestionKind,
+}
+
+impl ClusterConfig {
+    /// A LAN-like cluster (fast, uncongested) — functional tests.
+    pub fn lan(nodes: usize, seed: u64) -> Self {
+        ClusterConfig {
+            nodes,
+            seed,
+            topology: TopologyConfig::lan(),
+            congestion: CongestionKind::None,
+        }
+    }
+
+    /// A wide-area transit-stub cluster with FIFO access-link queuing — the
+    /// configuration used to reproduce the paper's figures.
+    pub fn internet(nodes: usize, seed: u64) -> Self {
+        ClusterConfig {
+            nodes,
+            seed,
+            topology: TopologyConfig::internet_like(),
+            congestion: CongestionKind::Fifo,
+        }
+    }
+}
+
+/// The outcome of a query run through [`Cluster::run_query`].
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The query id assigned by the proxy.
+    pub query_id: u64,
+    /// Virtual time at which the query was submitted.
+    pub submitted_at: SimTime,
+    /// Result tuples with their arrival times at the proxy's client.
+    pub results: Vec<(SimTime, Tuple)>,
+}
+
+impl QueryOutcome {
+    /// Latency (seconds) until the first result reached the client, if any.
+    pub fn first_result_latency_secs(&self) -> Option<f64> {
+        self.results
+            .iter()
+            .map(|(t, _)| *t)
+            .min()
+            .map(|t| (t.saturating_sub(self.submitted_at)) as f64 / 1_000_000.0)
+    }
+
+    /// Just the result tuples, in arrival order.
+    pub fn tuples(&self) -> Vec<Tuple> {
+        self.results.iter().map(|(_, t)| t.clone()).collect()
+    }
+}
+
+/// A simulated PIER deployment.
+pub struct Cluster {
+    /// The underlying simulator (exposed for custom experiment logic).
+    pub sim: Simulator<PierNode>,
+    /// The ring references of all nodes, index = node address.
+    pub refs: Vec<NodeRef>,
+}
+
+impl Cluster {
+    /// Boot a cluster with pre-converged routing state and a warm
+    /// distribution tree.
+    pub fn start(config: &ClusterConfig) -> Self {
+        let refs = make_ring_refs(config.nodes, config.seed);
+        let sim_config = SimConfig {
+            seed: config.seed,
+            topology: config.topology.clone(),
+            congestion: config.congestion,
+            ..SimConfig::default()
+        };
+        let mut sim: Simulator<PierNode> = Simulator::new(sim_config);
+        for r in &refs {
+            sim.add_node(PierNode::with_static_ring(*r, &refs, PierConfig::default()));
+        }
+        // Let start-up timers fire and the distribution tree form (tree
+        // join announcements go out within the first refresh interval).
+        sim.run_for(6_000_000);
+        Cluster { sim, refs }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.refs.len()
+    }
+
+    /// True when the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.refs.is_empty()
+    }
+
+    /// Address of node `i`.
+    pub fn addr(&self, i: usize) -> NodeAddr {
+        self.refs[i].addr
+    }
+
+    /// Publish a tuple into the DHT-partitioned primary index of `table`
+    /// from node `from`, hashed on `key_cols`.
+    pub fn publish(&mut self, from: NodeAddr, table: &str, key_cols: &[String], tuple: Tuple) {
+        let table = table.to_string();
+        let key_cols = key_cols.to_vec();
+        self.sim.invoke(from, move |node, ctx| {
+            node.publish(ctx, &table, &key_cols, tuple);
+        });
+    }
+
+    /// Publish a tuple together with secondary-index entries on `index_cols`
+    /// (§3.3.3) from node `from`.
+    pub fn publish_with_secondary_indexes(
+        &mut self,
+        from: NodeAddr,
+        table: &str,
+        key_cols: &[String],
+        index_cols: &[String],
+        tuple: Tuple,
+    ) {
+        let table = table.to_string();
+        let key_cols = key_cols.to_vec();
+        let index_cols = index_cols.to_vec();
+        self.sim.invoke(from, move |node, ctx| {
+            node.publish_with_secondary_indexes(ctx, &table, &key_cols, &index_cols, tuple);
+        });
+    }
+
+    /// Publish a tuple into the PHT-style range index of `table` on `column`
+    /// from node `from` (§3.3.3 "Range Index Substrate").
+    pub fn publish_range_indexed(
+        &mut self,
+        from: NodeAddr,
+        table: &str,
+        column: &str,
+        config: pier_core::RangeIndexConfig,
+        tuple: Tuple,
+    ) {
+        let table = table.to_string();
+        let column = column.to_string();
+        self.sim.invoke(from, move |node, ctx| {
+            node.publish_range_indexed(ctx, &table, &column, config, tuple);
+        });
+    }
+
+    /// Append a row to a node-local table at `node` (data that stays where
+    /// it was produced, e.g. that node's firewall log).
+    pub fn add_local_row(&mut self, node: NodeAddr, table: &str, tuple: Tuple) {
+        let table = table.to_string();
+        self.sim.with_node_mut(node, move |n| {
+            n.add_local_row(&table, tuple);
+        });
+    }
+
+    /// Number of nodes that received at least one message since the last
+    /// [`Cluster::reset_stats`] — the "nodes contacted" metric of the
+    /// dissemination experiments.
+    pub fn nodes_contacted(&self) -> usize {
+        self.sim
+            .stats()
+            .iter()
+            .filter(|(_, s)| s.msgs_recv > 0)
+            .count()
+    }
+
+    /// Let the network quiesce for `micros` of virtual time.
+    pub fn settle(&mut self, micros: u64) {
+        self.sim.run_for(micros);
+    }
+
+    /// Submit `plan` at `proxy`, run the simulation until the query's
+    /// timeout has comfortably passed, and collect the results delivered to
+    /// the proxy's client.
+    pub fn run_query(&mut self, proxy: NodeAddr, plan: QueryPlan) -> QueryOutcome {
+        self.run_query_observed(proxy, plan).0
+    }
+
+    /// Like [`Cluster::run_query`], but also reports how many nodes had the
+    /// query's opgraphs installed shortly before the timeout — the
+    /// "nodes running the query" metric of the dissemination ablations
+    /// (§3.3.3), which is independent of background overlay maintenance
+    /// traffic.
+    pub fn run_query_observed(&mut self, proxy: NodeAddr, plan: QueryPlan) -> (QueryOutcome, usize) {
+        let submitted_at = self.sim.now();
+        let timeout = plan.timeout;
+        // Drain previous outputs so this query's results are isolated.
+        let _ = self.sim.drain_outputs();
+        let mut issued = 0u64;
+        self.sim.invoke(proxy, |node, ctx| {
+            issued = node.submit_query(ctx, plan);
+        });
+        // Run to just before the timeout, observe where the query landed,
+        // then let it finish.
+        self.sim.run_for(timeout.saturating_sub(1_000_000));
+        let installed = self
+            .refs
+            .iter()
+            .filter(|r| {
+                self.sim
+                    .node(r.addr)
+                    .map(|n| n.installed_queries() > 0)
+                    .unwrap_or(false)
+            })
+            .count();
+        self.sim.run_for(timeout - timeout.saturating_sub(1_000_000) + 3_000_000);
+        let results = self
+            .sim
+            .drain_outputs()
+            .into_iter()
+            .filter_map(|o| match o.value {
+                PierOut::Result { query_id, tuple } if query_id == issued && o.node == proxy => {
+                    Some((o.time, tuple))
+                }
+                _ => None,
+            })
+            .collect();
+        (
+            QueryOutcome {
+                query_id: issued,
+                submitted_at,
+                results,
+            },
+            installed,
+        )
+    }
+
+    /// Measure the overlay's background maintenance traffic over `micros` of
+    /// idle virtual time (no query running).  Experiments subtract this from
+    /// a query window of the same length to isolate query-related messages.
+    /// Leaves the traffic counters reset.
+    pub fn idle_baseline_msgs(&mut self, micros: u64) -> u64 {
+        self.reset_stats();
+        self.sim.run_for(micros);
+        let msgs = self.sim.stats().total_msgs;
+        self.reset_stats();
+        msgs
+    }
+
+    /// Reset the per-node traffic counters (used between experiment phases).
+    pub fn reset_stats(&mut self) {
+        self.sim.stats_mut().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_core::{Dissemination, Expr, PlanBuilder, Value};
+
+    #[test]
+    fn broadcast_selection_returns_matching_published_rows() {
+        let mut cluster = Cluster::start(&ClusterConfig::lan(12, 5));
+        // Publish an inverted-index style table hashed on keyword.
+        let key_cols = vec!["keyword".to_string()];
+        for (i, (kw, file)) in [("rock", "a.mp3"), ("rock", "b.mp3"), ("jazz", "c.mp3")]
+            .iter()
+            .enumerate()
+        {
+            let tuple = Tuple::new(
+                "files",
+                vec![
+                    ("keyword", Value::Str(kw.to_string())),
+                    ("file", Value::Str(file.to_string())),
+                ],
+            );
+            let from = cluster.addr(i % cluster.len());
+            cluster.publish(from, "files", &key_cols, tuple);
+        }
+        cluster.settle(3_000_000);
+        let proxy = cluster.addr(7);
+        let plan = PlanBuilder::select(
+            proxy,
+            "files",
+            Expr::eq("keyword", "rock"),
+            vec!["file".to_string()],
+            10_000_000,
+        );
+        let outcome = cluster.run_query(proxy, plan);
+        let files: Vec<String> = outcome
+            .tuples()
+            .iter()
+            .filter_map(|t| t.get("file").and_then(|v| v.as_str().map(String::from)))
+            .collect();
+        assert_eq!(outcome.results.len(), 2, "exactly the two rock files: {files:?}");
+        assert!(files.contains(&"a.mp3".to_string()));
+        assert!(files.contains(&"b.mp3".to_string()));
+        assert!(outcome.first_result_latency_secs().unwrap() < 5.0);
+    }
+
+    #[test]
+    fn bykey_dissemination_reaches_only_the_partition_and_answers() {
+        let mut cluster = Cluster::start(&ClusterConfig::lan(16, 9));
+        let key_cols = vec!["keyword".to_string()];
+        for i in 0..10 {
+            let tuple = Tuple::new(
+                "files",
+                vec![
+                    ("keyword", Value::Str("obscure".to_string())),
+                    ("file", Value::Str(format!("rare-{i}.ogg"))),
+                ],
+            );
+            let from = cluster.addr(i % cluster.len());
+            cluster.publish(from, "files", &key_cols, tuple);
+        }
+        cluster.settle(3_000_000);
+        let proxy = cluster.addr(3);
+        let plan = PlanBuilder::new(proxy)
+            .dissemination(Dissemination::ByKey {
+                namespace: "files".into(),
+                key: Value::Str("obscure".into()).key_string(),
+            })
+            .timeout(10_000_000)
+            .opgraph(pier_core::OpGraph {
+                id: 0,
+                source: pier_core::SourceSpec::Table {
+                    namespace: "files".into(),
+                },
+                join: None,
+                ops: vec![pier_core::OperatorSpec::Selection(Expr::eq(
+                    "keyword", "obscure",
+                ))],
+                sink: pier_core::SinkSpec::ToProxy,
+            })
+            .build();
+        let outcome = cluster.run_query(proxy, plan);
+        assert_eq!(outcome.results.len(), 10);
+    }
+
+    #[test]
+    fn hierarchical_count_group_by_matches_ground_truth() {
+        let mut cluster = Cluster::start(&ClusterConfig::lan(10, 21));
+        // Node-local event logs: source "10.0.0.1" appears 3x as often.
+        let mut expected: std::collections::HashMap<&str, i64> = Default::default();
+        for i in 0..cluster.len() {
+            for j in 0..6 {
+                let src = if j % 2 == 0 { "10.0.0.1" } else { "10.0.0.9" };
+                *expected.entry(src).or_default() += 1;
+                let tuple = Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(src.to_string())),
+                        ("port", Value::Int(j as i64)),
+                    ],
+                );
+                let addr = cluster.addr(i);
+                cluster.add_local_row(addr, "events", tuple);
+            }
+        }
+        let proxy = cluster.addr(0);
+        let plan = PlanBuilder::top_k_group_count(proxy, "events", "src", 10, 20_000_000);
+        let outcome = cluster.run_query(proxy, plan);
+        assert!(
+            !outcome.results.is_empty(),
+            "aggregation query must return grouped counts"
+        );
+        for t in outcome.tuples() {
+            let src = t.get("src").and_then(|v| v.as_str()).unwrap().to_string();
+            let count = t.get("count").and_then(|v| v.as_i64()).unwrap();
+            assert_eq!(count, expected[src.as_str()], "count for {src}");
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # pier-harness — clusters, workloads and experiment drivers
+//!
+//! Everything needed to regenerate the paper's figures and the ablation
+//! experiments listed in `DESIGN.md`:
+//!
+//! * [`cluster`] — boot a network of [`pier_core::PierNode`]s over the
+//!   discrete-event simulator, publish tables, submit queries and collect
+//!   results.
+//! * [`workloads`] — synthetic workload generators: a Zipf-popularity
+//!   file-sharing corpus with a rare-keyword subset (Figure 1), a
+//!   heavy-tailed firewall-event log (Figure 2), and generic relational
+//!   tables for the join ablations.
+//! * [`experiments`] — one driver per figure/table; each returns structured
+//!   rows that the `pier-bench` benches print and that `EXPERIMENTS.md`
+//!   records.
+//! * [`indexes`] — the range-index (EXP-G) and secondary-index (EXP-J)
+//!   dissemination ablations of §3.3.3.
+//! * [`adaptivity`] — the eddy routing-policy ablation (EXP-H, §4.2.2).
+//! * [`robustness`] — adversary fidelity and spot-checking studies
+//!   (EXP-I, §4.1.2), built on `pier-security`.
+//! * [`recursion`] — distributed reachability by rounds of index joins
+//!   (EXP-K, §3.3.2).
+
+pub mod adaptivity;
+pub mod cluster;
+pub mod experiments;
+pub mod indexes;
+pub mod recursion;
+pub mod robustness;
+pub mod workloads;
+
+pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
+pub use workloads::{FilesharingWorkload, FirewallWorkload};

@@ -1,0 +1,211 @@
+//! Congestion models for the Simulation Environment.
+//!
+//! The paper's simulator supports three congestion models (§3.1.4): *no
+//! congestion*, *FIFO queuing* and *fair queuing*.  A congestion model
+//! decides *when* a message handed to the network at time `t` is delivered,
+//! given its size, the access-link bandwidths of the endpoints and the
+//! propagation latency between them.
+//!
+//! The models operate at message granularity, like the paper's simulator:
+//! each simulated "packet" is an entire application message.
+//!
+//! * [`CongestionKind::None`] — delivery after propagation latency plus a
+//!   single transmission time; links never queue.
+//! * [`CongestionKind::Fifo`] — each node's outbound and inbound access
+//!   links serve messages one at a time in arrival order; a burst of large
+//!   messages delays everything behind it.
+//! * [`CongestionKind::FairQueue`] — the outbound link is shared between
+//!   concurrently active destination flows in a processor-sharing
+//!   approximation, so a short message to one destination is not stuck
+//!   behind a long burst to another.
+
+use crate::node::NodeAddr;
+use crate::sim::topology::NetworkTopology;
+use crate::time::{Duration, SimTime};
+use std::collections::HashMap;
+
+/// Which congestion model to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CongestionKind {
+    /// No queuing anywhere; messages only experience latency + transmission.
+    None,
+    /// FIFO queuing on each node's outbound and inbound access links.
+    Fifo,
+    /// Fair (processor-sharing) queuing on the outbound access link,
+    /// FIFO on the inbound link.
+    FairQueue,
+}
+
+/// Mutable queuing state maintained by the simulator across messages.
+#[derive(Debug, Clone)]
+pub struct CongestionState {
+    kind: CongestionKind,
+    /// FIFO: time until which a node's outbound link is busy.
+    out_busy: HashMap<NodeAddr, SimTime>,
+    /// FIFO: time until which a node's inbound link is busy.
+    in_busy: HashMap<NodeAddr, SimTime>,
+    /// Fair queuing: per-source map of destination flow -> finish time.
+    flows: HashMap<NodeAddr, HashMap<NodeAddr, SimTime>>,
+}
+
+impl CongestionState {
+    /// Create queuing state for the given model.
+    pub fn new(kind: CongestionKind) -> Self {
+        CongestionState {
+            kind,
+            out_busy: HashMap::new(),
+            in_busy: HashMap::new(),
+            flows: HashMap::new(),
+        }
+    }
+
+    /// The model being simulated.
+    pub fn kind(&self) -> CongestionKind {
+        self.kind
+    }
+
+    /// Compute the delivery (arrival) time of a message of `bytes` bytes sent
+    /// from `from` at time `now` to `to`, updating link state.
+    pub fn delivery_time(
+        &mut self,
+        now: SimTime,
+        from: NodeAddr,
+        to: NodeAddr,
+        bytes: usize,
+        topo: &NetworkTopology,
+    ) -> SimTime {
+        let latency = topo.latency(from, to);
+        if from == to {
+            // Local loopback: deliver on the next scheduler tick.
+            return now + 1;
+        }
+        match self.kind {
+            CongestionKind::None => {
+                let tx = topo.transmit_time(from, bytes);
+                now + tx + latency
+            }
+            CongestionKind::Fifo => {
+                let tx_out = topo.transmit_time(from, bytes);
+                let out_start = (*self.out_busy.get(&from).unwrap_or(&0)).max(now);
+                let out_done = out_start + tx_out;
+                self.out_busy.insert(from, out_done);
+
+                let tx_in = topo.transmit_time(to, bytes);
+                let reach_receiver = out_done + latency;
+                let in_start = (*self.in_busy.get(&to).unwrap_or(&0)).max(reach_receiver);
+                let in_done = in_start + tx_in;
+                self.in_busy.insert(to, in_done);
+                in_done
+            }
+            CongestionKind::FairQueue => {
+                let per_src = self.flows.entry(from).or_default();
+                // Flows still transmitting share the outbound link equally.
+                per_src.retain(|_, finish| *finish > now);
+                let active =
+                    (per_src.len() + usize::from(!per_src.contains_key(&to))).max(1);
+                let tx_out = topo.transmit_time(from, bytes) * active as Duration;
+                let flow_start = (*per_src.get(&to).unwrap_or(&0)).max(now);
+                let flow_done = flow_start + tx_out;
+                per_src.insert(to, flow_done);
+
+                let tx_in = topo.transmit_time(to, bytes);
+                let reach_receiver = flow_done + latency;
+                let in_start = (*self.in_busy.get(&to).unwrap_or(&0)).max(reach_receiver);
+                let in_done = in_start + tx_in;
+                self.in_busy.insert(to, in_done);
+                in_done
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::topology::TopologyConfig;
+
+    fn topo() -> NetworkTopology {
+        // 1 ms latency, 1 MB/s access links: a 1000-byte message takes ~1 ms
+        // to transmit.
+        NetworkTopology::new(
+            TopologyConfig::Uniform {
+                latency: 1_000,
+                bandwidth_bps: 1_000_000.0,
+            },
+            1,
+        )
+    }
+
+    #[test]
+    fn no_congestion_ignores_history() {
+        let t = topo();
+        let mut c = CongestionState::new(CongestionKind::None);
+        let a = c.delivery_time(0, NodeAddr(1), NodeAddr(2), 1000, &t);
+        let b = c.delivery_time(0, NodeAddr(1), NodeAddr(2), 1000, &t);
+        assert_eq!(a, b, "no-congestion deliveries don't queue behind each other");
+        assert_eq!(a, 1000 + 1000); // tx + latency
+    }
+
+    #[test]
+    fn fifo_serialises_back_to_back_sends() {
+        let t = topo();
+        let mut c = CongestionState::new(CongestionKind::Fifo);
+        let first = c.delivery_time(0, NodeAddr(1), NodeAddr(2), 1000, &t);
+        let second = c.delivery_time(0, NodeAddr(1), NodeAddr(2), 1000, &t);
+        assert!(second > first, "second message must queue behind the first");
+        assert!(second >= first + 1000);
+    }
+
+    #[test]
+    fn fifo_different_sources_do_not_queue_on_out_link() {
+        let t = topo();
+        let mut c = CongestionState::new(CongestionKind::Fifo);
+        let a = c.delivery_time(0, NodeAddr(1), NodeAddr(3), 1000, &t);
+        let b = c.delivery_time(0, NodeAddr(2), NodeAddr(4), 1000, &t);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fair_queue_interleaves_flows() {
+        let t = topo();
+        // FIFO: the short message to node 3 waits for the huge burst to 2.
+        let mut fifo = CongestionState::new(CongestionKind::Fifo);
+        fifo.delivery_time(0, NodeAddr(1), NodeAddr(2), 1_000_000, &t);
+        let fifo_short = fifo.delivery_time(0, NodeAddr(1), NodeAddr(3), 500, &t);
+
+        // Fair queuing: the short flow shares the link rather than waiting
+        // for the entire burst to finish.
+        let mut fq = CongestionState::new(CongestionKind::FairQueue);
+        fq.delivery_time(0, NodeAddr(1), NodeAddr(2), 1_000_000, &t);
+        let fq_short = fq.delivery_time(0, NodeAddr(1), NodeAddr(3), 500, &t);
+
+        assert!(
+            fq_short < fifo_short,
+            "fair queuing should deliver the short message earlier ({fq_short} vs {fifo_short})"
+        );
+    }
+
+    #[test]
+    fn loopback_is_immediate() {
+        let t = topo();
+        for kind in [CongestionKind::None, CongestionKind::Fifo, CongestionKind::FairQueue] {
+            let mut c = CongestionState::new(kind);
+            assert_eq!(c.delivery_time(10, NodeAddr(5), NodeAddr(5), 10_000, &t), 11);
+        }
+    }
+
+    #[test]
+    fn inbound_link_limits_fan_in() {
+        let t = topo();
+        let mut c = CongestionState::new(CongestionKind::Fifo);
+        // Many senders converge on node 9; deliveries must serialise at the
+        // receiver's inbound link even though every outbound link is idle.
+        let mut last = 0;
+        for i in 0..5 {
+            let d = c.delivery_time(0, NodeAddr(100 + i), NodeAddr(9), 1000, &t);
+            assert!(d >= last);
+            last = d;
+        }
+        assert!(last >= 5 * 1000, "five 1ms transmissions must serialise");
+    }
+}

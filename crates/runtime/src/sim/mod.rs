@@ -1,0 +1,580 @@
+//! The Simulation Environment (Figure 4 of the paper).
+//!
+//! A single [`Simulator`] drives thousands of virtual nodes with one global
+//! discrete-event priority queue.  Events are annotated with the virtual
+//! node that must handle them and demultiplexed to the corresponding
+//! [`Program`] instance; outbound messages are passed through the network
+//! model (topology + congestion) to decide their delivery time.  The program
+//! code is identical to what the [`crate::physical::PhysicalRuntime`] runs —
+//! that is the point of native simulation.
+
+pub mod congestion;
+pub mod topology;
+
+pub use congestion::{CongestionKind, CongestionState};
+pub use topology::{NetworkTopology, TopologyConfig};
+
+use crate::metrics::NetStats;
+use crate::node::{Action, Context, NodeAddr, Program, ProgramContext};
+use crate::time::{Duration, SimTime};
+use crate::wire::WireSize;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for topology parameters and any runtime tie-breaking.
+    pub seed: u64,
+    /// Network topology model.
+    pub topology: TopologyConfig,
+    /// Congestion model applied to every message.
+    pub congestion: CongestionKind,
+    /// Fixed per-message header overhead in bytes (UDP/IP + overlay header).
+    pub header_overhead: usize,
+    /// Safety valve: the run aborts (panics) after this many events, which
+    /// catches runaway message storms in buggy experiments.
+    pub max_events: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0,
+            topology: TopologyConfig::lan(),
+            congestion: CongestionKind::None,
+            header_overhead: 48,
+            max_events: 200_000_000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// LAN-like configuration with a given seed — the default for tests.
+    pub fn lan(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Wide-area transit-stub configuration with FIFO access-link queuing —
+    /// the default for experiments that reproduce the paper's figures.
+    pub fn internet(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            topology: TopologyConfig::internet_like(),
+            congestion: CongestionKind::Fifo,
+            ..SimConfig::default()
+        }
+    }
+}
+
+enum EventKind<P: Program> {
+    Start,
+    Deliver { from: NodeAddr, msg: P::Msg },
+    Timer { timer: P::Timer },
+    Fail,
+}
+
+struct Event<P: Program> {
+    time: SimTime,
+    seq: u64,
+    node: NodeAddr,
+    kind: EventKind<P>,
+}
+
+impl<P: Program> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P: Program> Eq for Event<P> {}
+impl<P: Program> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Program> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A value produced by a node for its locally attached client, with the time
+/// and node at which it was produced.
+#[derive(Debug, Clone)]
+pub struct SimOutput<O> {
+    /// Virtual time at which the output was produced.
+    pub time: SimTime,
+    /// Node that produced the output.
+    pub node: NodeAddr,
+    /// The output value itself.
+    pub value: O,
+}
+
+/// Discrete-event simulator for node programs.
+pub struct Simulator<P: Program> {
+    config: SimConfig,
+    nodes: Vec<Option<P>>,
+    alive: Vec<bool>,
+    queue: BinaryHeap<Event<P>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    topology: NetworkTopology,
+    congestion: CongestionState,
+    stats: NetStats,
+    outputs: Vec<SimOutput<P::Out>>,
+}
+
+impl<P: Program> Simulator<P> {
+    /// Create an empty simulator.
+    pub fn new(config: SimConfig) -> Self {
+        let topology = NetworkTopology::new(config.topology.clone(), config.seed);
+        let congestion = CongestionState::new(config.congestion);
+        Simulator {
+            config,
+            nodes: Vec::new(),
+            alive: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: 0,
+            seq: 0,
+            events_processed: 0,
+            topology,
+            congestion,
+            stats: NetStats::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The topology in use (read-only).
+    pub fn topology(&self) -> &NetworkTopology {
+        &self.topology
+    }
+
+    /// Network statistics accumulated so far.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Mutable access to statistics, e.g. to reset them between phases.
+    pub fn stats_mut(&mut self) -> &mut NetStats {
+        &mut self.stats
+    }
+
+    /// Number of nodes ever added (alive or failed).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Addresses of all currently live nodes.
+    pub fn alive_nodes(&self) -> Vec<NodeAddr> {
+        (0..self.nodes.len())
+            .filter(|&i| self.alive[i])
+            .map(|i| NodeAddr(i as u32))
+            .collect()
+    }
+
+    /// Whether a node is currently alive.
+    pub fn is_alive(&self, addr: NodeAddr) -> bool {
+        self.alive.get(addr.index()).copied().unwrap_or(false)
+    }
+
+    /// Read-only access to a node's program state (available even after the
+    /// node has failed; useful for assertions in tests).
+    pub fn node(&self, addr: NodeAddr) -> Option<&P> {
+        self.nodes.get(addr.index()).and_then(|n| n.as_ref())
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// Add a node that boots immediately (its `on_start` runs at the current
+    /// virtual time).  Returns the node's address.
+    pub fn add_node(&mut self, program: P) -> NodeAddr {
+        self.add_node_at(program, self.now)
+    }
+
+    /// Add a node that boots at virtual time `at` (must not be in the past).
+    pub fn add_node_at(&mut self, program: P, at: SimTime) -> NodeAddr {
+        let addr = NodeAddr(self.nodes.len() as u32);
+        self.nodes.push(Some(program));
+        self.alive.push(true);
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: at.max(self.now),
+            seq,
+            node: addr,
+            kind: EventKind::Start,
+        });
+        addr
+    }
+
+    /// Schedule a fail-stop crash of `node` at time `at`.  A failed node
+    /// silently drops all subsequent messages and timers.
+    pub fn fail_node_at(&mut self, node: NodeAddr, at: SimTime) {
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: at.max(self.now),
+            seq,
+            node,
+            kind: EventKind::Fail,
+        });
+    }
+
+    /// Immediately and gracefully remove a node: `on_stop` runs and its
+    /// actions (e.g. goodbye messages) are applied, then the node is dead.
+    pub fn remove_node(&mut self, node: NodeAddr) {
+        if !self.is_alive(node) {
+            return;
+        }
+        self.dispatch(node, |p, ctx| p.on_stop(ctx));
+        self.alive[node.index()] = false;
+    }
+
+    /// Invoke a closure against a live node's program, applying any actions
+    /// it records.  This models an external client request arriving at the
+    /// node (e.g. a query submitted over the proxy's TCP connection).
+    pub fn invoke<F>(&mut self, node: NodeAddr, f: F)
+    where
+        F: FnOnce(&mut P, &mut ProgramContext<P>),
+    {
+        if self.is_alive(node) {
+            self.dispatch(node, f);
+        }
+    }
+
+    /// Inspect a live node mutably without a context (no actions possible).
+    pub fn with_node_mut<R>(&mut self, node: NodeAddr, f: impl FnOnce(&mut P) -> R) -> Option<R> {
+        match self.nodes.get_mut(node.index()) {
+            Some(Some(p)) => Some(f(p)),
+            _ => None,
+        }
+    }
+
+    /// All outputs produced so far.
+    pub fn outputs(&self) -> &[SimOutput<P::Out>] {
+        &self.outputs
+    }
+
+    /// Remove and return all outputs produced so far.
+    pub fn drain_outputs(&mut self) -> Vec<SimOutput<P::Out>> {
+        std::mem::take(&mut self.outputs)
+    }
+
+    fn dispatch<F>(&mut self, node: NodeAddr, f: F)
+    where
+        F: FnOnce(&mut P, &mut ProgramContext<P>),
+    {
+        let idx = node.index();
+        let mut program = match self.nodes.get_mut(idx).and_then(Option::take) {
+            Some(p) => p,
+            None => return,
+        };
+        let mut ctx: ProgramContext<P> = Context::new(self.now, node);
+        f(&mut program, &mut ctx);
+        self.nodes[idx] = Some(program);
+        let actions = ctx.into_actions();
+        for action in actions {
+            self.apply_action(node, action);
+        }
+    }
+
+    fn apply_action(&mut self, node: NodeAddr, action: Action<P::Msg, P::Timer, P::Out>) {
+        match action {
+            Action::Send { to, msg } => {
+                let bytes = msg.wire_size() + self.config.header_overhead;
+                self.stats.record_send(node, to, bytes);
+                let arrival =
+                    self.congestion
+                        .delivery_time(self.now, node, to, bytes, &self.topology);
+                let seq = self.next_seq();
+                self.queue.push(Event {
+                    time: arrival,
+                    seq,
+                    node: to,
+                    kind: EventKind::Deliver { from: node, msg },
+                });
+            }
+            Action::SetTimer { delay, timer } => {
+                let seq = self.next_seq();
+                self.queue.push(Event {
+                    time: self.now + delay,
+                    seq,
+                    node,
+                    kind: EventKind::Timer { timer },
+                });
+            }
+            Action::Output(value) => {
+                self.outputs.push(SimOutput {
+                    time: self.now,
+                    node,
+                    value,
+                });
+            }
+        }
+    }
+
+    /// Process a single event.  Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let event = match self.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        self.events_processed += 1;
+        assert!(
+            self.events_processed <= self.config.max_events,
+            "simulation exceeded max_events = {}; likely a message storm",
+            self.config.max_events
+        );
+        self.now = self.now.max(event.time);
+        self.stats.last_event_time = self.now;
+        let node = event.node;
+        match event.kind {
+            EventKind::Start => {
+                if self.is_alive(node) {
+                    self.dispatch(node, |p, ctx| p.on_start(ctx));
+                }
+            }
+            EventKind::Deliver { from, msg } => {
+                if self.is_alive(node) {
+                    self.dispatch(node, |p, ctx| p.on_message(ctx, from, msg));
+                }
+            }
+            EventKind::Timer { timer } => {
+                if self.is_alive(node) {
+                    self.dispatch(node, |p, ctx| p.on_timer(ctx, timer));
+                }
+            }
+            EventKind::Fail => {
+                if node.index() < self.alive.len() {
+                    self.alive[node.index()] = false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until virtual time `deadline`: every event with a timestamp at or
+    /// before the deadline is processed, and the clock is advanced to the
+    /// deadline even if the queue drains early.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(e) = self.queue.peek() {
+            if e.time > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Run for `duration` of virtual time from the current clock.
+    pub fn run_for(&mut self, duration: Duration) {
+        let deadline = self.now + duration;
+        self.run_until(deadline);
+    }
+
+    /// Run until the event queue is empty or `max_time` is reached, returning
+    /// the final virtual time.  Note that programs with periodic maintenance
+    /// timers never drain their queue, so `max_time` is the practical bound.
+    pub fn run_until_idle(&mut self, max_time: SimTime) -> SimTime {
+        while let Some(e) = self.queue.peek() {
+            if e.time > max_time {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Total events processed so far (for diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial program used to exercise the simulator: every node greets a
+    /// peer on start, replies to greetings, and reports replies as output.
+    #[derive(Debug, Default)]
+    struct Greeter {
+        peer: Option<NodeAddr>,
+        greetings_seen: u32,
+    }
+
+    #[derive(Debug, Clone)]
+    enum GreeterMsg {
+        Hello,
+        Reply,
+    }
+
+    impl WireSize for GreeterMsg {
+        fn wire_size(&self) -> usize {
+            8
+        }
+    }
+
+    impl Program for Greeter {
+        type Msg = GreeterMsg;
+        type Timer = u32;
+        type Out = String;
+
+        fn on_start(&mut self, ctx: &mut ProgramContext<Self>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, GreeterMsg::Hello);
+            }
+            ctx.set_timer(1_000_000, 1);
+        }
+
+        fn on_message(&mut self, ctx: &mut ProgramContext<Self>, from: NodeAddr, msg: Self::Msg) {
+            match msg {
+                GreeterMsg::Hello => {
+                    self.greetings_seen += 1;
+                    ctx.send(from, GreeterMsg::Reply);
+                }
+                GreeterMsg::Reply => {
+                    ctx.output(format!("reply from {from}"));
+                }
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut ProgramContext<Self>, timer: Self::Timer) {
+            if timer == 1 {
+                ctx.output("tick".to_string());
+            }
+        }
+    }
+
+    #[test]
+    fn request_reply_round_trip() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(1));
+        let a = sim.add_node(Greeter::default());
+        let b = sim.add_node(Greeter {
+            peer: Some(a),
+            ..Default::default()
+        });
+        sim.run_until(500_000);
+        let outputs = sim.outputs();
+        assert!(outputs
+            .iter()
+            .any(|o| o.node == b && o.value.contains(&format!("reply from {a}"))));
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 1);
+        // Latency is nonzero: the reply cannot have arrived at time 0.
+        assert!(outputs.iter().all(|o| o.time > 0));
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(2));
+        let a = sim.add_node(Greeter::default());
+        sim.run_until(999_999);
+        assert!(sim.outputs().iter().all(|o| o.value != "tick"));
+        sim.run_until(1_000_001);
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|o| o.node == a && o.value == "tick"));
+    }
+
+    #[test]
+    fn failed_nodes_drop_messages_and_timers() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(3));
+        let a = sim.add_node(Greeter::default());
+        let b = sim.add_node(Greeter {
+            peer: Some(a),
+            ..Default::default()
+        });
+        // Fail node `a` before anything happens: b's Hello is never answered.
+        sim.fail_node_at(a, 0);
+        sim.run_until(2_000_000);
+        assert!(!sim.is_alive(a));
+        assert!(sim.is_alive(b));
+        assert!(!sim
+            .outputs()
+            .iter()
+            .any(|o| o.node == b && o.value.starts_with("reply")));
+        // b still produced its own tick.
+        assert!(sim.outputs().iter().any(|o| o.node == b && o.value == "tick"));
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 0);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(4));
+        let a = sim.add_node(Greeter::default());
+        let b = sim.add_node(Greeter {
+            peer: Some(a),
+            ..Default::default()
+        });
+        sim.run_until(500_000);
+        let stats = sim.stats();
+        assert_eq!(stats.total_msgs, 2); // Hello + Reply
+        assert!(stats.node(b).msgs_sent == 1 && stats.node(b).msgs_recv == 1);
+        assert!(stats.node(a).bytes_recv > 0);
+        assert_eq!(stats.total_bytes, 2 * (8 + 48) as u64);
+    }
+
+    #[test]
+    fn invoke_injects_external_events() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(5));
+        let a = sim.add_node(Greeter::default());
+        let b = sim.add_node(Greeter::default());
+        sim.run_until(10_000);
+        // Externally instruct b to greet a.
+        sim.invoke(b, |_p, ctx| ctx.send(a, GreeterMsg::Hello));
+        sim.run_until(200_000);
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|o| o.node == b && o.value.starts_with("reply")));
+    }
+
+    #[test]
+    fn add_node_at_defers_start() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(6));
+        let a = sim.add_node(Greeter::default());
+        let _late = sim.add_node_at(
+            Greeter {
+                peer: Some(a),
+                ..Default::default()
+            },
+            5_000_000,
+        );
+        sim.run_until(1_000_000);
+        assert_eq!(sim.stats().total_msgs, 0, "late node has not started yet");
+        sim.run_until(6_000_000);
+        assert!(sim.stats().total_msgs >= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::internet(seed));
+            let a = sim.add_node(Greeter::default());
+            for _ in 0..10 {
+                sim.add_node(Greeter {
+                    peer: Some(a),
+                    ..Default::default()
+                });
+            }
+            sim.run_until(10_000_000);
+            (sim.stats().total_bytes, sim.outputs().len())
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

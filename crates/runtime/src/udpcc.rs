@@ -1,0 +1,426 @@
+//! UdpCC — acknowledged UDP with TCP-style congestion control.
+//!
+//! The paper (§3.1.3) uses UDP as the primary transport because of its low
+//! per-message cost, and layers the *UdpCC* library on top to obtain
+//! delivery acknowledgements and TCP-style congestion control.  UdpCC tracks
+//! every message and either delivers it reliably or notifies the sender of
+//! failure; it does **not** guarantee in-order delivery, and PIER's query
+//! operators are written not to rely on ordering.
+//!
+//! This module reimplements that contract as a pure state machine,
+//! [`UdpCc`], that a node program can embed.  The host program feeds it
+//! three kinds of stimuli — application sends, received packets, and clock
+//! ticks — and it emits [`CcEvent`]s describing what to put on the wire and
+//! which messages were delivered, received, or failed.
+//!
+//! Congestion control is a classic AIMD scheme per destination: slow start
+//! up to `ssthresh`, additive increase afterwards, multiplicative decrease
+//! (and window reset to 1) on a retransmission timeout.
+
+use crate::node::NodeAddr;
+use crate::time::{Duration, SimTime};
+use crate::wire::WireSize;
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// An opaque token the application uses to correlate delivery notifications
+/// with the messages it sent (the paper's `callbackData`).
+pub type CcToken = u64;
+
+/// A packet exchanged between two UdpCC endpoints.
+#[derive(Debug, Clone)]
+pub enum CcPacket<M> {
+    /// A data packet carrying an application payload.
+    Data {
+        /// Per-destination sequence number.
+        seq: u64,
+        /// Application payload.
+        payload: M,
+    },
+    /// An acknowledgement for a previously received data packet.
+    Ack {
+        /// Sequence number being acknowledged.
+        seq: u64,
+    },
+}
+
+impl<M: WireSize> WireSize for CcPacket<M> {
+    fn wire_size(&self) -> usize {
+        match self {
+            CcPacket::Data { payload, .. } => 8 + payload.wire_size(),
+            CcPacket::Ack { .. } => 8,
+        }
+    }
+}
+
+/// Events emitted by the [`UdpCc`] state machine for the host to act on.
+#[derive(Debug, Clone)]
+pub enum CcEvent<M> {
+    /// Put this packet on the wire towards `to`.
+    Transmit {
+        /// Destination endpoint.
+        to: NodeAddr,
+        /// Packet to transmit.
+        packet: CcPacket<M>,
+    },
+    /// A message previously submitted with this token was acknowledged.
+    Delivered {
+        /// Destination it was sent to.
+        to: NodeAddr,
+        /// Token supplied by the application at send time.
+        token: CcToken,
+    },
+    /// A message could not be delivered after the maximum number of retries
+    /// (paper: "notifies the sender on failure").
+    Failed {
+        /// Destination it was sent to.
+        to: NodeAddr,
+        /// Token supplied by the application at send time.
+        token: CcToken,
+    },
+    /// A payload arrived from `from` and should be handed to the application.
+    Receive {
+        /// Originating endpoint.
+        from: NodeAddr,
+        /// The payload.
+        payload: M,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct InFlight<M> {
+    payload: M,
+    token: CcToken,
+    sent_at: SimTime,
+    retries: u32,
+}
+
+#[derive(Debug, Clone)]
+struct PeerState<M> {
+    next_seq: u64,
+    cwnd: f64,
+    ssthresh: f64,
+    in_flight: HashMap<u64, InFlight<M>>,
+    backlog: VecDeque<(M, CcToken)>,
+    seen: HashSet<u64>,
+}
+
+impl<M> Default for PeerState<M> {
+    fn default() -> Self {
+        PeerState {
+            next_seq: 0,
+            cwnd: 1.0,
+            ssthresh: 16.0,
+            in_flight: HashMap::new(),
+            backlog: VecDeque::new(),
+            seen: HashSet::new(),
+        }
+    }
+}
+
+/// Configuration knobs for [`UdpCc`].
+#[derive(Debug, Clone, Copy)]
+pub struct CcConfig {
+    /// Retransmission timeout for the first attempt, microseconds.
+    pub rto: Duration,
+    /// Multiplier applied to the timeout after each retry (exponential
+    /// backoff).
+    pub backoff: u32,
+    /// Give up and report failure after this many retransmissions.
+    pub max_retries: u32,
+}
+
+impl Default for CcConfig {
+    fn default() -> Self {
+        CcConfig {
+            rto: 500_000,
+            backoff: 2,
+            max_retries: 4,
+        }
+    }
+}
+
+/// Reliable-delivery + congestion-control state machine (one per node).
+#[derive(Debug, Clone)]
+pub struct UdpCc<M> {
+    config: CcConfig,
+    peers: HashMap<NodeAddr, PeerState<M>>,
+}
+
+impl<M: Clone> Default for UdpCc<M> {
+    fn default() -> Self {
+        Self::new(CcConfig::default())
+    }
+}
+
+impl<M: Clone> UdpCc<M> {
+    /// Create a state machine with the given configuration.
+    pub fn new(config: CcConfig) -> Self {
+        UdpCc {
+            config,
+            peers: HashMap::new(),
+        }
+    }
+
+    /// Current congestion window towards `to` (messages), for diagnostics.
+    pub fn cwnd(&self, to: NodeAddr) -> f64 {
+        self.peers.get(&to).map(|p| p.cwnd).unwrap_or(1.0)
+    }
+
+    /// Number of messages queued or in flight towards `to`.
+    pub fn outstanding(&self, to: NodeAddr) -> usize {
+        self.peers
+            .get(&to)
+            .map(|p| p.in_flight.len() + p.backlog.len())
+            .unwrap_or(0)
+    }
+
+    /// Submit an application message for reliable delivery to `to`.
+    pub fn send(&mut self, to: NodeAddr, payload: M, token: CcToken, now: SimTime) -> Vec<CcEvent<M>> {
+        let peer = self.peers.entry(to).or_default();
+        peer.backlog.push_back((payload, token));
+        Self::drain_backlog(peer, to, now)
+    }
+
+    fn drain_backlog(peer: &mut PeerState<M>, to: NodeAddr, now: SimTime) -> Vec<CcEvent<M>> {
+        let mut events = Vec::new();
+        while peer.in_flight.len() < peer.cwnd as usize + 1 {
+            let (payload, token) = match peer.backlog.pop_front() {
+                Some(x) => x,
+                None => break,
+            };
+            let seq = peer.next_seq;
+            peer.next_seq += 1;
+            peer.in_flight.insert(
+                seq,
+                InFlight {
+                    payload: payload.clone(),
+                    token,
+                    sent_at: now,
+                    retries: 0,
+                },
+            );
+            events.push(CcEvent::Transmit {
+                to,
+                packet: CcPacket::Data { seq, payload },
+            });
+        }
+        events
+    }
+
+    /// Handle a packet received from `from`.
+    pub fn on_packet(&mut self, from: NodeAddr, packet: CcPacket<M>, now: SimTime) -> Vec<CcEvent<M>> {
+        let mut events = Vec::new();
+        match packet {
+            CcPacket::Data { seq, payload } => {
+                // Always (re-)acknowledge so lost acks get repaired.
+                events.push(CcEvent::Transmit {
+                    to: from,
+                    packet: CcPacket::Ack { seq },
+                });
+                let peer = self.peers.entry(from).or_default();
+                if peer.seen.insert(seq) {
+                    events.push(CcEvent::Receive { from, payload });
+                }
+            }
+            CcPacket::Ack { seq } => {
+                if let Some(peer) = self.peers.get_mut(&from) {
+                    if let Some(flight) = peer.in_flight.remove(&seq) {
+                        events.push(CcEvent::Delivered {
+                            to: from,
+                            token: flight.token,
+                        });
+                        // Slow start then additive increase.
+                        if peer.cwnd < peer.ssthresh {
+                            peer.cwnd += 1.0;
+                        } else {
+                            peer.cwnd += 1.0 / peer.cwnd;
+                        }
+                    }
+                    events.extend(Self::drain_backlog(peer, from, now));
+                }
+            }
+        }
+        events
+    }
+
+    /// Advance the clock: retransmit timed-out packets (with exponential
+    /// backoff and multiplicative decrease) and fail messages that exceeded
+    /// the retry budget.  Call this periodically, e.g. every RTO/2.
+    pub fn on_tick(&mut self, now: SimTime) -> Vec<CcEvent<M>> {
+        let mut events = Vec::new();
+        let config = self.config;
+        for (&to, peer) in self.peers.iter_mut() {
+            let mut failed: Vec<u64> = Vec::new();
+            let mut retransmit: Vec<u64> = Vec::new();
+            for (&seq, flight) in peer.in_flight.iter() {
+                let timeout = config.rto * (config.backoff as u64).pow(flight.retries);
+                if now >= flight.sent_at + timeout {
+                    if flight.retries >= config.max_retries {
+                        failed.push(seq);
+                    } else {
+                        retransmit.push(seq);
+                    }
+                }
+            }
+            if !failed.is_empty() || !retransmit.is_empty() {
+                // Timeout => multiplicative decrease, back to slow start.
+                peer.ssthresh = (peer.cwnd / 2.0).max(1.0);
+                peer.cwnd = 1.0;
+            }
+            for seq in failed {
+                let flight = peer.in_flight.remove(&seq).expect("failed seq present");
+                events.push(CcEvent::Failed {
+                    to,
+                    token: flight.token,
+                });
+            }
+            for seq in retransmit {
+                let flight = peer.in_flight.get_mut(&seq).expect("retransmit seq present");
+                flight.retries += 1;
+                flight.sent_at = now;
+                events.push(CcEvent::Transmit {
+                    to,
+                    packet: CcPacket::Data {
+                        seq,
+                        payload: flight.payload.clone(),
+                    },
+                });
+            }
+            events.extend(Self::drain_backlog(peer, to, now));
+        }
+        events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const A: NodeAddr = NodeAddr(1);
+    const B: NodeAddr = NodeAddr(2);
+
+    fn transmits<M: Clone>(events: &[CcEvent<M>]) -> Vec<CcPacket<M>> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                CcEvent::Transmit { packet, .. } => Some(packet.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reliable_round_trip_delivers_and_acknowledges() {
+        let mut a: UdpCc<String> = UdpCc::default();
+        let mut b: UdpCc<String> = UdpCc::default();
+
+        let out = a.send(B, "hello".into(), 7, 0);
+        let pkts = transmits(&out);
+        assert_eq!(pkts.len(), 1);
+
+        // Deliver the data packet to B.
+        let b_events = b.on_packet(A, pkts[0].clone(), 10);
+        assert!(b_events
+            .iter()
+            .any(|e| matches!(e, CcEvent::Receive { from, payload } if *from == A && payload == "hello")));
+        let acks = transmits(&b_events);
+        assert_eq!(acks.len(), 1);
+
+        // Deliver the ack back to A.
+        let a_events = a.on_packet(B, acks[0].clone(), 20);
+        assert!(a_events
+            .iter()
+            .any(|e| matches!(e, CcEvent::Delivered { to, token } if *to == B && *token == 7)));
+        assert_eq!(a.outstanding(B), 0);
+    }
+
+    #[test]
+    fn duplicate_data_is_acked_but_delivered_once() {
+        let mut b: UdpCc<u32> = UdpCc::default();
+        let data = CcPacket::Data { seq: 0, payload: 42 };
+        let first = b.on_packet(A, data.clone(), 0);
+        let second = b.on_packet(A, data, 1);
+        let receives = |ev: &[CcEvent<u32>]| {
+            ev.iter()
+                .filter(|e| matches!(e, CcEvent::Receive { .. }))
+                .count()
+        };
+        assert_eq!(receives(&first), 1);
+        assert_eq!(receives(&second), 0, "duplicate must not be re-delivered");
+        assert_eq!(transmits(&second).len(), 1, "duplicate must be re-acked");
+    }
+
+    #[test]
+    fn retransmission_then_failure_after_max_retries() {
+        let config = CcConfig {
+            rto: 100,
+            backoff: 2,
+            max_retries: 2,
+        };
+        let mut a: UdpCc<u32> = UdpCc::new(config);
+        let out = a.send(B, 5, 99, 0);
+        assert_eq!(transmits(&out).len(), 1);
+
+        // First timeout at t=100 -> retransmit #1.
+        let e1 = a.on_tick(150);
+        assert_eq!(transmits(&e1).len(), 1);
+        // Backoff doubles: next timeout at 150 + 200.
+        assert!(transmits(&a.on_tick(200)).is_empty());
+        let e2 = a.on_tick(400);
+        assert_eq!(transmits(&e2).len(), 1);
+        // Retries exhausted: next tick reports failure, no more transmits.
+        let e3 = a.on_tick(5_000);
+        assert!(e3
+            .iter()
+            .any(|e| matches!(e, CcEvent::Failed { to, token } if *to == B && *token == 99)));
+        assert_eq!(transmits(&e3).len(), 0);
+        assert_eq!(a.outstanding(B), 0);
+    }
+
+    #[test]
+    fn congestion_window_limits_in_flight_messages() {
+        let mut a: UdpCc<u32> = UdpCc::default();
+        let mut transmitted = 0usize;
+        for i in 0..10 {
+            transmitted += transmits(&a.send(B, i, i as u64, 0)).len();
+        }
+        // Initial cwnd is 1 (plus one in-flight slack), so most messages wait
+        // in the backlog.
+        assert!(transmitted <= 2, "transmitted {transmitted} with cwnd=1");
+        assert_eq!(a.outstanding(B), 10);
+
+        // Acking the first message opens the window and releases more.
+        let mut b: UdpCc<u32> = UdpCc::default();
+        let first = CcPacket::Data { seq: 0, payload: 0 };
+        let acks = transmits(&b.on_packet(A, first, 5));
+        let more = a.on_packet(B, acks[0].clone(), 10);
+        assert!(!transmits(&more).is_empty());
+        assert!(a.cwnd(B) > 1.0);
+    }
+
+    #[test]
+    fn window_collapses_on_timeout() {
+        let mut a: UdpCc<u32> = UdpCc::default();
+        // Grow the window artificially by acking a few messages.
+        let mut seqs = Vec::new();
+        for i in 0..5u32 {
+            for ev in a.send(B, i, i as u64, 0) {
+                if let CcEvent::Transmit {
+                    packet: CcPacket::Data { seq, .. },
+                    ..
+                } = ev
+                {
+                    seqs.push(seq);
+                }
+            }
+            if let Some(&seq) = seqs.last() {
+                a.on_packet(B, CcPacket::Ack { seq }, 1);
+            }
+        }
+        assert!(a.cwnd(B) > 2.0);
+        // Leave one message unacked and let it time out.
+        a.send(B, 100, 100, 10);
+        a.on_tick(10_000_000);
+        assert!((a.cwnd(B) - 1.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,449 @@
+//! Adversary model and result-fidelity metrics (§4.1.1–§4.1.2).
+//!
+//! The paper frames result fidelity as the gap between the returned and the
+//! "correct" result, deteriorating under node failures, message suppression
+//! and data poisoning, and states the study the authors were running:
+//!
+//! > "we examine the change in simple metrics such as the fraction of data
+//! > sources suppressed by the adversary and relative result error"
+//!
+//! This module is that study's harness.  A fixed membership of aggregators
+//! (identified by their overlay identifiers) each holds a local partial
+//! value; an [`Adversary`] compromises a fraction of them; the aggregation
+//! runs over an [`AggregationTopology`]; and a [`FidelityReport`] records,
+//! for each defense strategy, how much of the input survived and how far
+//! the computed answer is from the truth.
+//!
+//! Three aggregation strategies are compared, matching §4.1.2's
+//! "Redundancy" discussion:
+//!
+//! * **exact partial sums over a single tree** — the undefended baseline;
+//! * **exact partial sums over `k` salted trees**, combined at the querier
+//!   by taking the maximum (sound for a suppression-only adversary because
+//!   suppression can only lower a sum of non-negative values);
+//! * **duplicate-insensitive sketches over `k` salted trees or a
+//!   multi-parent DAG**, combined by sketch merge — the synopsis-diffusion
+//!   approach the paper cites, which tolerates both duplication and
+//!   arbitrary path failure at the cost of approximation error.
+
+use crate::sketch::SumSketch;
+use crate::topology::{AggregationTopology, TopologyKind};
+use pier_runtime::Rng64;
+use std::collections::BTreeSet;
+
+/// What the compromised nodes do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Malice {
+    /// Drop every partial aggregate the node would relay (and its own input).
+    Suppress,
+    /// Additionally inject `units` of fabricated value into the aggregate
+    /// the node forwards (data poisoning).
+    Poison {
+        /// Fabricated units each compromised node injects.
+        units: u64,
+    },
+}
+
+/// Configuration of an adversary instance.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversaryConfig {
+    /// Fraction of members the adversary controls (0.0–1.0).
+    pub compromised_fraction: f64,
+    /// Behaviour of compromised members.
+    pub malice: Malice,
+    /// Seed for the choice of compromised members.
+    pub seed: u64,
+}
+
+impl Default for AdversaryConfig {
+    fn default() -> Self {
+        AdversaryConfig {
+            compromised_fraction: 0.1,
+            malice: Malice::Suppress,
+            seed: 0,
+        }
+    }
+}
+
+/// A concrete adversary: the set of compromised members.
+#[derive(Debug, Clone)]
+pub struct Adversary {
+    config: AdversaryConfig,
+    compromised: BTreeSet<u64>,
+}
+
+impl Adversary {
+    /// Compromise `compromised_fraction` of `members`, chosen pseudo-randomly
+    /// from the configured seed.  The querier's own node is never part of
+    /// `members` here (the paper assumes the client trusts its proxy).
+    pub fn new(members: &[u64], config: AdversaryConfig) -> Self {
+        let mut rng = Rng64::new(config.seed ^ 0xAD5E_17);
+        let mut pool: Vec<u64> = members.to_vec();
+        rng.shuffle(&mut pool);
+        let count = ((members.len() as f64) * config.compromised_fraction).round() as usize;
+        let compromised = pool.into_iter().take(count.min(members.len())).collect();
+        Adversary {
+            config,
+            compromised,
+        }
+    }
+
+    /// The compromised member set.
+    pub fn compromised(&self) -> &BTreeSet<u64> {
+        &self.compromised
+    }
+
+    /// Number of compromised members.
+    pub fn count(&self) -> usize {
+        self.compromised.len()
+    }
+
+    /// The configured behaviour.
+    pub fn malice(&self) -> Malice {
+        self.config.malice
+    }
+}
+
+/// Fidelity of one aggregation strategy under one adversary.
+#[derive(Debug, Clone)]
+pub struct FidelityReport {
+    /// Human-readable strategy label (e.g. `"single-tree/exact"`).
+    pub strategy: String,
+    /// The correct answer (sum over all honest members' true values).
+    pub truth: f64,
+    /// The answer the querier computed.
+    pub estimate: f64,
+    /// Fraction of honest sources whose contribution failed to reach the
+    /// querier on every path.
+    pub suppressed_fraction: f64,
+    /// |estimate − truth| / truth (0 when the truth is 0).
+    pub relative_error: f64,
+    /// Total bytes of aggregation traffic shipped up the topology (partial
+    /// sums are costed at 16 bytes, sketches at their bitmap size), summed
+    /// over every (member, parent) edge used.
+    pub bytes_shipped: u64,
+}
+
+impl FidelityReport {
+    fn new(
+        strategy: impl Into<String>,
+        truth: f64,
+        estimate: f64,
+        suppressed: usize,
+        honest_sources: usize,
+        bytes_shipped: u64,
+    ) -> Self {
+        let relative_error = if truth == 0.0 {
+            estimate.abs()
+        } else {
+            (estimate - truth).abs() / truth
+        };
+        FidelityReport {
+            strategy: strategy.into(),
+            truth,
+            estimate,
+            suppressed_fraction: if honest_sources == 0 {
+                0.0
+            } else {
+                suppressed as f64 / honest_sources as f64
+            },
+            relative_error,
+            bytes_shipped,
+        }
+    }
+}
+
+/// The sketch width used by the sketch-based strategies.
+const SKETCH_MAPS: usize = 64;
+/// Wire cost of one exact partial (value + group key), in bytes.
+const EXACT_PARTIAL_BYTES: u64 = 16;
+
+/// Evaluate exact-sum aggregation over a set of trees: each honest source's
+/// value reaches a tree's root iff it survives that tree's compromised
+/// relays; the querier combines the per-tree roots by `max` (sound under
+/// suppression).  Poison injected by compromised nodes is added to every
+/// tree root they can reach.
+fn exact_over_trees(
+    label: &str,
+    trees: &[AggregationTopology],
+    values: &[(u64, u64)],
+    adversary: &Adversary,
+) -> FidelityReport {
+    let compromised = adversary.compromised();
+    let truth: f64 = values
+        .iter()
+        .filter(|(m, _)| !compromised.contains(m))
+        .map(|(_, v)| *v as f64)
+        .sum();
+    let honest_sources = values.iter().filter(|(m, _)| !compromised.contains(m)).count();
+    let mut best = 0.0f64;
+    let mut globally_suppressed = honest_sources;
+    let mut bytes = 0u64;
+    let mut suppressed_sets: Vec<BTreeSet<u64>> = Vec::new();
+    for tree in trees {
+        let mut total = 0.0;
+        let mut suppressed_here = BTreeSet::new();
+        for (m, v) in values {
+            if compromised.contains(m) {
+                continue;
+            }
+            if tree.survives(*m, compromised) {
+                total += *v as f64;
+            } else {
+                suppressed_here.insert(*m);
+            }
+        }
+        if let Malice::Poison { units } = adversary.malice() {
+            // Colluding compromised nodes always deliver their fabricated
+            // value to the root (they do not suppress each other).
+            total += (adversary.count() as u64 * units) as f64;
+        }
+        // Traffic: every honest member ships one partial to each parent.
+        bytes += tree
+            .members()
+            .iter()
+            .filter(|m| !compromised.contains(m))
+            .map(|m| tree.parents_of(*m).len() as u64 * EXACT_PARTIAL_BYTES)
+            .sum::<u64>();
+        best = best.max(total);
+        suppressed_sets.push(suppressed_here);
+    }
+    // A source counts as suppressed only if it failed on *every* tree.
+    if let Some(first) = suppressed_sets.first() {
+        let mut intersect = first.clone();
+        for s in &suppressed_sets[1..] {
+            intersect = intersect.intersection(s).copied().collect();
+        }
+        globally_suppressed = intersect.len();
+    }
+    FidelityReport::new(label, truth, best, globally_suppressed, honest_sources, bytes)
+}
+
+/// Evaluate sketch-based aggregation over one or more structures: every
+/// honest source inserts its value into a [`SumSketch`]; a source's sketch
+/// reaches a structure's root iff it survives; the querier merges every
+/// surviving sketch from every structure (duplicate-insensitive, so
+/// multi-path duplication is harmless).
+fn sketch_over(
+    label: &str,
+    structures: &[AggregationTopology],
+    values: &[(u64, u64)],
+    adversary: &Adversary,
+) -> FidelityReport {
+    let compromised = adversary.compromised();
+    let truth: f64 = values
+        .iter()
+        .filter(|(m, _)| !compromised.contains(m))
+        .map(|(_, v)| *v as f64)
+        .sum();
+    let honest_sources = values.iter().filter(|(m, _)| !compromised.contains(m)).count();
+    let mut merged = SumSketch::new(SKETCH_MAPS, 1);
+    let mut suppressed_everywhere = 0usize;
+    let mut bytes = 0u64;
+    for (m, v) in values {
+        if compromised.contains(m) {
+            continue;
+        }
+        let mut survived_somewhere = false;
+        for s in structures {
+            if s.survives(*m, compromised) {
+                survived_somewhere = true;
+            }
+        }
+        if survived_somewhere {
+            let mut sk = SumSketch::new(SKETCH_MAPS, 1);
+            sk.add(*m, *v);
+            merged.merge(&sk);
+        } else {
+            suppressed_everywhere += 1;
+        }
+    }
+    if let Malice::Poison { units } = adversary.malice() {
+        for c in compromised {
+            let mut sk = SumSketch::new(SKETCH_MAPS, 1);
+            sk.add(*c ^ 0xBAD, units);
+            merged.merge(&sk);
+        }
+    }
+    for s in structures {
+        bytes += s
+            .members()
+            .iter()
+            .filter(|m| !compromised.contains(m))
+            .map(|m| (s.parents_of(*m).len() * (SKETCH_MAPS * 8)) as u64)
+            .sum::<u64>();
+    }
+    FidelityReport::new(
+        label,
+        truth,
+        merged.estimate(),
+        suppressed_everywhere,
+        honest_sources,
+        bytes,
+    )
+}
+
+/// Run the full §4.1.2 redundancy comparison for one membership, one set of
+/// per-member values and one adversary: the undefended single tree, `k`
+/// redundant trees with exact sums, `k` redundant trees with sketches, and a
+/// multi-parent DAG with sketches.
+pub fn compare_defenses(
+    members: &[u64],
+    values: &[(u64, u64)],
+    adversary: &Adversary,
+    k: usize,
+    dag_parents: usize,
+    root_key: u64,
+) -> Vec<FidelityReport> {
+    let single = AggregationTopology::build(TopologyKind::SingleTree, members, root_key);
+    let trees = AggregationTopology::build(TopologyKind::RedundantTrees(k), members, root_key);
+    let dag = AggregationTopology::build(TopologyKind::MultiParentDag(dag_parents), members, root_key);
+    vec![
+        exact_over_trees("single-tree/exact", &single, values, adversary),
+        exact_over_trees(&format!("{k}-trees/exact-max"), &trees, values, adversary),
+        sketch_over(&format!("{k}-trees/sketch"), &trees, values, adversary),
+        sketch_over(
+            &format!("dag-p{dag_parents}/sketch"),
+            &dag,
+            values,
+            adversary,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(x: u64) -> u64 {
+        let mut v = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        v = (v ^ (v >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        v ^ (v >> 31)
+    }
+
+    fn membership(n: usize) -> Vec<u64> {
+        (0..n as u64).map(mix).collect()
+    }
+
+    fn uniform_values(members: &[u64], v: u64) -> Vec<(u64, u64)> {
+        members.iter().map(|m| (*m, v)).collect()
+    }
+
+    #[test]
+    fn no_adversary_means_no_error_for_exact_strategies() {
+        let members = membership(80);
+        let values = uniform_values(&members, 10);
+        let adversary = Adversary::new(
+            &members,
+            AdversaryConfig {
+                compromised_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        let reports = compare_defenses(&members, &values, &adversary, 3, 2, 77);
+        let exact: Vec<_> = reports
+            .iter()
+            .filter(|r| r.strategy.contains("exact"))
+            .collect();
+        assert!(!exact.is_empty());
+        for r in exact {
+            assert_eq!(r.relative_error, 0.0, "{}: {:?}", r.strategy, r);
+            assert_eq!(r.suppressed_fraction, 0.0);
+        }
+    }
+
+    #[test]
+    fn sketches_are_approximate_but_bounded_without_adversary() {
+        let members = membership(80);
+        let values = uniform_values(&members, 10);
+        let adversary = Adversary::new(
+            &members,
+            AdversaryConfig {
+                compromised_fraction: 0.0,
+                ..Default::default()
+            },
+        );
+        let reports = compare_defenses(&members, &values, &adversary, 3, 2, 77);
+        for r in reports.iter().filter(|r| r.strategy.contains("sketch")) {
+            assert!(
+                r.relative_error < 0.5,
+                "{} error {} too large",
+                r.strategy,
+                r.relative_error
+            );
+        }
+    }
+
+    #[test]
+    fn redundancy_reduces_suppression_compared_to_single_tree() {
+        let members = membership(150);
+        let values = uniform_values(&members, 5);
+        let adversary = Adversary::new(
+            &members,
+            AdversaryConfig {
+                compromised_fraction: 0.2,
+                malice: Malice::Suppress,
+                seed: 3,
+            },
+        );
+        let reports = compare_defenses(&members, &values, &adversary, 3, 2, 9);
+        let single = &reports[0];
+        let k_exact = &reports[1];
+        assert!(
+            k_exact.suppressed_fraction <= single.suppressed_fraction,
+            "redundant trees should not suppress more than a single tree: {} vs {}",
+            k_exact.suppressed_fraction,
+            single.suppressed_fraction
+        );
+        assert!(
+            k_exact.relative_error <= single.relative_error + 1e-9,
+            "redundant trees should not be less accurate under suppression"
+        );
+        // Redundancy costs bandwidth.
+        assert!(k_exact.bytes_shipped > single.bytes_shipped);
+    }
+
+    #[test]
+    fn adversary_size_matches_fraction() {
+        let members = membership(200);
+        let adversary = Adversary::new(
+            &members,
+            AdversaryConfig {
+                compromised_fraction: 0.25,
+                malice: Malice::Suppress,
+                seed: 1,
+            },
+        );
+        assert_eq!(adversary.count(), 50);
+    }
+
+    #[test]
+    fn poisoning_inflates_exact_results() {
+        let members = membership(60);
+        let values = uniform_values(&members, 10);
+        let adversary = Adversary::new(
+            &members,
+            AdversaryConfig {
+                compromised_fraction: 0.1,
+                malice: Malice::Poison { units: 1_000 },
+                seed: 5,
+            },
+        );
+        let reports = compare_defenses(&members, &values, &adversary, 3, 2, 4);
+        let single = &reports[0];
+        assert!(
+            single.estimate > single.truth,
+            "poison should inflate the estimate ({} vs truth {})",
+            single.estimate,
+            single.truth
+        );
+        assert!(single.relative_error > 0.5);
+    }
+
+    #[test]
+    fn fidelity_report_handles_zero_truth() {
+        let r = FidelityReport::new("x", 0.0, 3.0, 0, 0, 0);
+        assert_eq!(r.relative_error, 3.0);
+        assert_eq!(r.suppressed_fraction, 0.0);
+    }
+}

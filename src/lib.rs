@@ -1,0 +1,38 @@
+//! # pier — facade crate for the PIER reproduction
+//!
+//! PIER ("Peer-to-peer Information Exchange and Retrieval") is an
+//! Internet-scale relational query processor built over a distributed hash
+//! table, described in *"The Architecture of PIER: an Internet-Scale Query
+//! Processor"* (CIDR 2005).  This workspace reproduces the system in Rust.
+//!
+//! This crate simply re-exports the workspace crates under one roof so that
+//! examples, integration tests and downstream users can depend on a single
+//! `pier` crate:
+//!
+//! * [`runtime`] — Virtual Runtime Interface, discrete-event simulator,
+//!   physical runtime, UdpCC.
+//! * [`dht`] — the overlay network: identifiers, Chord-style routing,
+//!   soft-state object manager, Table-2 wrapper API, distribution and
+//!   aggregation trees.
+//! * [`pht`] — Prefix Hash Tree range-index substrate.
+//! * [`qp`] — the query processor: tuples, operators, opgraphs, dataflow,
+//!   dissemination, hierarchical operators, SQL-ish front end.
+//! * [`security`] — the §4.1 defenses: duplicate-insensitive sketches,
+//!   redundant aggregation topologies and adversary fidelity metrics, rate
+//!   limitation, spot-checking with early commitment, and the
+//!   accountability/reputation database.
+//! * [`gnutella`] — a Gnutella-style flooding-search baseline used by the
+//!   Figure-1 comparison.
+//! * [`harness`] — cluster builder, workload generators, metrics and the
+//!   experiment drivers that regenerate every figure/table of the paper.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use pier_core as qp;
+pub use pier_dht as dht;
+pub use pier_gnutella as gnutella;
+pub use pier_harness as harness;
+pub use pier_pht as pht;
+pub use pier_runtime as runtime;
+pub use pier_security as security;

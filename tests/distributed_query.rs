@@ -1,0 +1,236 @@
+//! End-to-end distributed query tests spanning every crate: SQL front end →
+//! plan → dissemination → opgraph execution over the DHT → results at the
+//! proxy, including failure injection and the malformed-tuple policy.
+
+use pier::harness::{Cluster, ClusterConfig};
+use pier::qp::{sqlish, Expr, JoinSpec, OpGraph, PlanBuilder, SinkSpec, SourceSpec, Tuple, Value};
+
+#[test]
+fn sql_keyword_search_end_to_end() {
+    let mut cluster = Cluster::start(&ClusterConfig::lan(20, 101));
+    let key_cols = vec!["keyword".to_string()];
+    for i in 0..8 {
+        let kw = if i % 2 == 0 { "rust" } else { "java" };
+        let tuple = Tuple::new(
+            "files",
+            vec![
+                ("keyword", Value::Str(kw.into())),
+                ("file", Value::Str(format!("f{i}"))),
+                ("size", Value::Int(i as i64 * 100)),
+            ],
+        );
+        let from = cluster.addr(i % cluster.len());
+        cluster.publish(from, "files", &key_cols, tuple);
+    }
+    cluster.settle(3_000_000);
+    let proxy = cluster.addr(4);
+    let plan = sqlish::compile(
+        "SELECT file FROM files WHERE keyword = 'rust' AND size >= 200",
+        proxy,
+        10_000_000,
+    )
+    .unwrap();
+    let outcome = cluster.run_query(proxy, plan);
+    let mut files: Vec<String> = outcome
+        .tuples()
+        .iter()
+        .filter_map(|t| t.get("file").and_then(|v| v.as_str().map(String::from)))
+        .collect();
+    files.sort();
+    assert_eq!(files, vec!["f2", "f4", "f6"]);
+}
+
+#[test]
+fn sql_aggregation_matches_ground_truth() {
+    let mut cluster = Cluster::start(&ClusterConfig::lan(15, 202));
+    // Each node logs a few events; "198.51.100.7" dominates.
+    let mut expected_hot = 0i64;
+    for i in 0..cluster.len() {
+        for j in 0..4 {
+            let src = if j < 3 { "198.51.100.7" } else { "203.0.113.9" };
+            if j < 3 {
+                expected_hot += 1;
+            }
+            let addr = cluster.addr(i);
+            cluster.add_local_row(
+                addr,
+                "events",
+                Tuple::new(
+                    "events",
+                    vec![("src", Value::Str(src.into())), ("port", Value::Int(j))],
+                ),
+            );
+        }
+    }
+    let proxy = cluster.addr(2);
+    let plan = sqlish::compile(
+        "SELECT src, COUNT(*) FROM events GROUP BY src TOP 1 BY count",
+        proxy,
+        20_000_000,
+    )
+    .unwrap();
+    let outcome = cluster.run_query(proxy, plan);
+    assert_eq!(outcome.results.len(), 1, "TOP 1 must return a single group");
+    let top = &outcome.tuples()[0];
+    assert_eq!(top.get("src").unwrap().as_str().unwrap(), "198.51.100.7");
+    assert_eq!(top.get("count").unwrap().as_i64().unwrap(), expected_hot);
+}
+
+#[test]
+fn rehash_symmetric_hash_join_produces_correct_join() {
+    let mut cluster = Cluster::start(&ClusterConfig::lan(12, 303));
+    let key = vec!["b".to_string()];
+    // r(a, b) and s(b, c): the join result is known exactly.
+    let r_rows = [(1, 10), (2, 20), (3, 10), (4, 30)];
+    let s_rows = [(10, 100), (20, 200), (40, 400)];
+    for (i, (a, b)) in r_rows.iter().enumerate() {
+        let from = cluster.addr(i % cluster.len());
+        cluster.publish(
+            from,
+            "r",
+            &key,
+            Tuple::new("r", vec![("a", Value::Int(*a)), ("b", Value::Int(*b))]),
+        );
+    }
+    for (i, (b, c)) in s_rows.iter().enumerate() {
+        let from = cluster.addr((i + 5) % cluster.len());
+        cluster.publish(
+            from,
+            "s",
+            &key,
+            Tuple::new("s", vec![("b", Value::Int(*b)), ("c", Value::Int(*c))]),
+        );
+    }
+    cluster.settle(3_000_000);
+    let proxy = cluster.addr(0);
+    let ns = "q.join".to_string();
+    let plan = PlanBuilder::new(proxy)
+        .timeout(20_000_000)
+        .opgraph(OpGraph {
+            id: 0,
+            source: SourceSpec::Table { namespace: "r".into() },
+            join: None,
+            ops: vec![],
+            sink: SinkSpec::Rehash { namespace: ns.clone(), key_cols: key.clone() },
+        })
+        .opgraph(OpGraph {
+            id: 1,
+            source: SourceSpec::Table { namespace: "s".into() },
+            join: None,
+            ops: vec![],
+            sink: SinkSpec::Rehash { namespace: ns.clone(), key_cols: key.clone() },
+        })
+        .opgraph(OpGraph {
+            id: 2,
+            source: SourceSpec::Table { namespace: ns },
+            join: Some(JoinSpec {
+                left_table: "r".into(),
+                right_table: "s".into(),
+                left_key: key.clone(),
+                right_key: key.clone(),
+                output_table: "r_s".into(),
+            }),
+            ops: vec![],
+            sink: SinkSpec::ToProxy,
+        })
+        .build();
+    let outcome = cluster.run_query(proxy, plan);
+    // Expected: r tuples with b=10 (two of them) join s(10,100); r with b=20
+    // joins s(20,200); r with b=30 has no partner.  Total 3 results.
+    assert_eq!(outcome.results.len(), 3, "join result cardinality");
+    for t in outcome.tuples() {
+        let b = t.get("b").unwrap().as_i64().unwrap();
+        let c = t.get("c").unwrap().as_i64().unwrap();
+        assert_eq!(c, b * 10, "join produced a mismatched pair: {t}");
+    }
+}
+
+#[test]
+fn malformed_tuples_are_discarded_not_fatal() {
+    let mut cluster = Cluster::start(&ClusterConfig::lan(8, 404));
+    let key_cols = vec!["keyword".to_string()];
+    // One well-formed tuple, one missing the filtered column, one with the
+    // wrong type for it.
+    let rows = vec![
+        Tuple::new(
+            "files",
+            vec![("keyword", Value::Str("k".into())), ("size", Value::Int(10))],
+        ),
+        Tuple::new("files", vec![("keyword", Value::Str("k".into()))]),
+        Tuple::new(
+            "files",
+            vec![
+                ("keyword", Value::Str("k".into())),
+                ("size", Value::Str("huge".into())),
+            ],
+        ),
+    ];
+    for (i, t) in rows.into_iter().enumerate() {
+        let from = cluster.addr(i % cluster.len());
+        cluster.publish(from, "files", &key_cols, t);
+    }
+    cluster.settle(3_000_000);
+    let proxy = cluster.addr(1);
+    let plan = PlanBuilder::select(
+        proxy,
+        "files",
+        Expr::cmp(
+            pier::qp::CmpOp::Ge,
+            Expr::col("size"),
+            Expr::lit(5i64),
+        ),
+        vec![],
+        10_000_000,
+    );
+    let outcome = cluster.run_query(proxy, plan);
+    assert_eq!(
+        outcome.results.len(),
+        1,
+        "only the well-formed tuple satisfies the predicate; the others are silently discarded"
+    );
+}
+
+#[test]
+fn query_survives_minority_node_failures() {
+    let mut cluster = Cluster::start(&ClusterConfig::lan(20, 505));
+    let key_cols = vec!["keyword".to_string()];
+    for i in 0..30 {
+        let from = cluster.addr(i % cluster.len());
+        cluster.publish(
+            from,
+            "files",
+            &key_cols,
+            Tuple::new(
+                "files",
+                vec![
+                    ("keyword", Value::Str("survivor".into())),
+                    ("file", Value::Str(format!("f{i}"))),
+                ],
+            ),
+        );
+    }
+    cluster.settle(3_000_000);
+    // Fail three nodes (but never the proxy).
+    for i in 1..=3 {
+        let addr = cluster.addr(i);
+        let now = cluster.sim.now();
+        cluster.sim.fail_node_at(addr, now);
+    }
+    cluster.settle(1_000_000);
+    let proxy = cluster.addr(10);
+    let plan = PlanBuilder::select(
+        proxy,
+        "files",
+        Expr::eq("keyword", "survivor"),
+        vec!["file".to_string()],
+        15_000_000,
+    );
+    let outcome = cluster.run_query(proxy, plan);
+    // Some rows may have lived on the failed nodes, but the query must still
+    // complete and return most of the data.
+    assert!(
+        outcome.results.len() >= 20,
+        "expected most rows to survive, got {}",
+        outcome.results.len()
+    );
+}

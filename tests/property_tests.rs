@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants: ring-interval arithmetic, soft-state lifetimes, join and
+//! aggregation equivalence with reference implementations, Bloom-filter
+//! soundness, and PHT range-query correctness.
+
+use pier::dht::id::Id;
+use pier::dht::{ObjectManager, ObjectName};
+use pier::pht::{MemoryStore, Pht};
+use pier::qp::{
+    nested_loop_join, AggFunc, BloomFilter, GroupBy, JoinSide, LocalOperator, SymmetricHashJoin,
+    Tuple, Value,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ring-interval membership: exactly one of `x ∈ (a, b]` and `x ∈ (b, a]`
+    /// holds whenever a ≠ b (the two arcs partition the ring), and the
+    /// clockwise distances around the ring sum to 2^64 (i.e. 0 in wrapping
+    /// arithmetic).
+    #[test]
+    fn ring_arcs_partition_the_identifier_space(a: u64, b: u64, x: u64) {
+        prop_assume!(a != b);
+        let (ia, ib, ix) = (Id(a), Id(b), Id(x));
+        let in_ab = ix.in_interval(ia, ib);
+        let in_ba = ix.in_interval(ib, ia);
+        if x == a || x == b {
+            // Endpoints belong to exactly one closed end.
+            prop_assert!(in_ab ^ in_ba);
+        } else {
+            prop_assert!(in_ab ^ in_ba, "x must be in exactly one arc");
+        }
+        prop_assert_eq!(ia.distance_to(ib).wrapping_add(ib.distance_to(ia)), 0u64.wrapping_sub(0));
+    }
+
+    /// Soft state: an object is visible until its (clamped) lifetime expires
+    /// and invisible afterwards; renewing an expired object always fails.
+    #[test]
+    fn soft_state_lifetimes_are_respected(lifetime in 1u64..10_000, max in 1u64..10_000, probe in 0u64..30_000) {
+        let mut om: ObjectManager<u32> = ObjectManager::new(max);
+        let name = ObjectName::new("t", "k", 1);
+        let expires = om.put(name.clone(), 7, lifetime, 0);
+        prop_assert_eq!(expires, lifetime.min(max));
+        let visible = !om.get("t", "k", probe).is_empty();
+        prop_assert_eq!(visible, probe <= expires);
+        if probe > expires {
+            prop_assert!(!om.renew(&name, 1_000, probe));
+        }
+    }
+
+    /// The streaming Symmetric Hash join produces exactly the same result
+    /// multiset size as a nested-loop reference join, for any interleaving.
+    #[test]
+    fn symmetric_hash_join_matches_nested_loop(
+        left_keys in proptest::collection::vec(0i64..8, 0..40),
+        right_keys in proptest::collection::vec(0i64..8, 0..40),
+    ) {
+        let key = vec!["b".to_string()];
+        let left: Vec<Tuple> = left_keys
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Tuple::new("r", vec![("a", Value::Int(i as i64)), ("b", Value::Int(*b))]))
+            .collect();
+        let right: Vec<Tuple> = right_keys
+            .iter()
+            .enumerate()
+            .map(|(i, b)| Tuple::new("s", vec![("b", Value::Int(*b)), ("c", Value::Int(i as i64))]))
+            .collect();
+        let mut join = SymmetricHashJoin::new(key.clone(), key.clone(), "rs");
+        let mut streamed = 0usize;
+        let mut l = left.iter();
+        let mut r = right.iter();
+        loop {
+            match (l.next(), r.next()) {
+                (None, None) => break,
+                (lt, rt) => {
+                    if let Some(t) = lt {
+                        streamed += join.push_side(JoinSide::Left, t.clone()).len();
+                    }
+                    if let Some(t) = rt {
+                        streamed += join.push_side(JoinSide::Right, t.clone()).len();
+                    }
+                }
+            }
+        }
+        let reference = nested_loop_join(&left, &right, &key, &key, "rs").len();
+        prop_assert_eq!(streamed, reference);
+    }
+
+    /// Merging per-partition partial aggregates equals aggregating all the
+    /// data at one site, however the data is partitioned (the invariant that
+    /// makes hierarchical aggregation correct).
+    #[test]
+    fn partial_aggregate_merge_is_partition_invariant(
+        values in proptest::collection::vec((0i64..5, -100i64..100), 1..60),
+        split in 1usize..4,
+    ) {
+        let mk = || GroupBy::new(vec!["g".into()], vec![AggFunc::Count, AggFunc::Sum("v".into()), AggFunc::Avg("v".into())], "out");
+        let mut reference = mk();
+        let mut partials: Vec<GroupBy> = (0..split).map(|_| mk()).collect();
+        for (i, (g, v)) in values.iter().enumerate() {
+            let t = Tuple::new("t", vec![("g", Value::Int(*g)), ("v", Value::Int(*v))]);
+            reference.push(t.clone());
+            partials[i % split].push(t);
+        }
+        let mut root = mk();
+        for p in partials.iter_mut() {
+            for partial in p.flush() {
+                root.merge_partial(&partial);
+            }
+        }
+        let mut expect = reference.flush();
+        let mut got = root.flush();
+        let key = |t: &Tuple| t.get("g").unwrap().key_string();
+        expect.sort_by_key(key);
+        got.sort_by_key(key);
+        prop_assert_eq!(expect.len(), got.len());
+        for (a, b) in expect.iter().zip(&got) {
+            prop_assert_eq!(a.get("count"), b.get("count"));
+            prop_assert_eq!(a.get("sum_v"), b.get("sum_v"));
+            prop_assert_eq!(a.get("avg_v"), b.get("avg_v"));
+        }
+    }
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_filter_has_no_false_negatives(keys in proptest::collection::vec("[a-z]{1,12}", 1..100)) {
+        let mut f = BloomFilter::new(2048, 3);
+        for k in &keys {
+            f.insert(k);
+        }
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// PHT range queries return exactly the keys a sorted scan would.
+    #[test]
+    fn pht_range_matches_sorted_scan(
+        keys in proptest::collection::btree_set(0u64..100_000, 0..150),
+        lo in 0u64..100_000,
+        width in 0u64..50_000,
+    ) {
+        let hi = lo.saturating_add(width);
+        let mut pht = Pht::new(MemoryStore::default(), 4);
+        for &k in &keys {
+            pht.insert(k, format!("v{k}"));
+        }
+        let got: Vec<u64> = pht.range(lo, hi).into_iter().map(|(k, _)| k).collect();
+        let expected: Vec<u64> = keys.iter().copied().filter(|k| (lo..=hi).contains(k)).collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the §4.1 defense components working together:
+//! spot-checking feeds the reputation database, the reputation database
+//! drives node selection for redundant aggregation trees, and rate
+//! limitation gates query admission — the escalation pipeline the paper
+//! sketches for running PIER "in the wild".
+
+use pier::security::adversary::{compare_defenses, Adversary, AdversaryConfig, Malice};
+use pier::security::rate_limit::RateDecision;
+use pier::security::spot_check::{CheckOutcome, Commitment, SpotChecker};
+use pier::security::topology::AggregationTopology;
+use pier::security::{ClientMonitor, Observation, Reciprocation, ReputationDb};
+use std::collections::BTreeSet;
+
+/// A cheating aggregator is caught by spot checks, reported to the
+/// reputation database, and excluded from the retry's aggregation tree.
+#[test]
+fn spot_check_verdicts_drive_exclusion_and_retry() {
+    // Ten aggregator candidates; aggregator 3 suppresses a third of its
+    // inputs.
+    let aggregators: Vec<u64> = (1..=10).collect();
+    let sources: Vec<(u64, i64)> = (100..160).map(|s| (s, 2)).collect();
+    let legitimate: BTreeSet<u64> = sources.iter().map(|(s, _)| *s).collect();
+    let cheater = 3u64;
+
+    let mut reputation = ReputationDb::new(600_000_000, 2, 0.5);
+    let checker = SpotChecker::new(12, 99);
+
+    // Several queries run; each time, the cheater commits to a truncated
+    // input set and the honest aggregators commit to everything.
+    for round in 0..3u64 {
+        for &agg in &aggregators {
+            let inputs: Vec<(u64, i64)> = if agg == cheater {
+                sources.iter().skip(20).copied().collect()
+            } else {
+                sources.clone()
+            };
+            let (commitment, tree) = Commitment::honest(agg, &inputs);
+            let outcome = checker.check(&commitment, &tree, &sources, &legitimate);
+            let observation = if outcome == CheckOutcome::Consistent {
+                Observation::Good
+            } else {
+                Observation::Misbehaved
+            };
+            reputation.record(agg, observation, round * 1_000);
+        }
+    }
+
+    let excluded = reputation.exclusion_set(10_000);
+    assert!(excluded.contains(&cheater), "the cheater must be excluded");
+    assert_eq!(excluded.len(), 1, "honest aggregators must not be framed");
+
+    // The retry places its aggregation tree over the remaining candidates.
+    let ranked = reputation.rank_candidates(&aggregators, 10_000);
+    assert!(!ranked.contains(&cheater));
+    let tree = AggregationTopology::tree(&ranked, 7, 0);
+    assert!(!tree.members().contains(&cheater));
+}
+
+/// The redundancy defense measurably reduces the damage a suppression
+/// adversary can do, and the duplicate-insensitive sketch variant stays
+/// within its approximation error even with multi-path delivery.
+#[test]
+fn redundancy_limits_suppression_damage_end_to_end() {
+    let members: Vec<u64> = (0..250u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let values: Vec<(u64, u64)> = members.iter().map(|m| (*m, 4)).collect();
+    let adversary = Adversary::new(
+        &members,
+        AdversaryConfig {
+            compromised_fraction: 0.25,
+            malice: Malice::Suppress,
+            seed: 7,
+        },
+    );
+    let reports = compare_defenses(&members, &values, &adversary, 3, 2, 13);
+    let get = |name: &str| reports.iter().find(|r| r.strategy == name).unwrap();
+    let undefended = get("single-tree/exact");
+    let redundant = get("3-trees/exact-max");
+    assert!(
+        redundant.relative_error <= undefended.relative_error + 1e-9,
+        "redundant trees must not be worse: {} vs {}",
+        redundant.relative_error,
+        undefended.relative_error
+    );
+    assert!(
+        redundant.suppressed_fraction <= undefended.suppressed_fraction,
+        "redundant trees must not suppress more sources"
+    );
+    // The sketch strategies pay an approximation penalty but must stay in a
+    // reasonable band of the (suppression-reduced) truth.
+    let sketched = get("3-trees/sketch");
+    assert!(sketched.relative_error < 0.75, "sketch error {}", sketched.relative_error);
+}
+
+/// The per-client rate-limitation escalation: local threshold → aggregate
+/// consumption query → throttle, combined with the reciprocative strategy
+/// between PIER nodes.
+#[test]
+fn rate_limitation_escalates_and_reciprocation_balances() {
+    let mut monitor = ClientMonitor::new(2_000_000, 500.0, 5_000.0);
+    // A chatty client exceeds the local threshold within the window.
+    for i in 0..30u64 {
+        monitor.record("chatty", 25.0, i * 10_000);
+    }
+    let local = match monitor.check("chatty", 300_000) {
+        RateDecision::NeedAggregate { local_consumption } => local_consumption,
+        other => panic!("expected escalation, got {other:?}"),
+    };
+    // The aggregate (from a PIER aggregation query across all nodes) comes
+    // back far above the global threshold: throttle.
+    let aggregate = local * 20.0;
+    match monitor.apply_aggregate("chatty", aggregate) {
+        RateDecision::Throttle { factor } => assert!(factor < 0.5),
+        other => panic!("expected throttle, got {other:?}"),
+    }
+    // A quiet client is unaffected.
+    monitor.record("quiet", 5.0, 400_000);
+    assert_eq!(monitor.check("quiet", 450_000), RateDecision::Allow);
+
+    // Node-to-node reciprocation: refuse a peer that never reciprocates.
+    let mut ledger = Reciprocation::new(3);
+    for _ in 0..3 {
+        assert!(ledger.should_execute("freerider"));
+        ledger.record_executed_for("freerider");
+    }
+    assert!(!ledger.should_execute("freerider"));
+    ledger.record_executed_by("freerider");
+    assert!(ledger.should_execute("freerider"));
+}
