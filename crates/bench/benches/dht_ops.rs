@@ -1,37 +1,49 @@
-//! Criterion micro-benchmarks for the overlay and query-processor hot paths
+//! Micro-benchmarks for the overlay and query-processor hot paths
 //! (Figures 5/6 machinery): ring routing decisions, object-manager puts,
 //! tuple hashing and the symmetric-hash-join inner loop.
+//!
+//! Uses a plain wall-clock harness (the build environment has no crate
+//! registry, so criterion is unavailable).  Run with
+//! `cargo bench -p pier-bench --bench dht_ops`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pier_core::{JoinSide, SymmetricHashJoin, Tuple, Value};
-use pier_dht::{make_ring_refs, ObjectName, ObjectManager, Router, RouterConfig};
+use pier_dht::{make_ring_refs, ObjectManager, ObjectName, Router, RouterConfig};
+use std::time::Instant;
 
-fn bench_routing(c: &mut Criterion) {
+fn bench(name: &str, mut iteration: impl FnMut(u64)) {
+    const WARMUP: u64 = 10_000;
+    const ITERS: u64 = 200_000;
+    for i in 0..WARMUP {
+        iteration(i);
+    }
+    let start = Instant::now();
+    for i in 0..ITERS {
+        iteration(WARMUP + i);
+    }
+    let elapsed = start.elapsed();
+    println!(
+        "{name:<36} {:>10.1} ns/op   ({ITERS} iters)",
+        elapsed.as_nanos() as f64 / ITERS as f64
+    );
+}
+
+fn main() {
+    println!("# micro-benchmarks: overlay + query-processor hot paths");
+
     let refs = make_ring_refs(1024, 7);
     let router = Router::with_static_ring(refs[0], &refs, RouterConfig::default());
-    let mut i = 0u64;
-    c.bench_function("router_next_hop_1024_nodes", |b| {
-        b.iter(|| {
-            i = i.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            std::hint::black_box(router.next_hop(pier_dht::Id(i), 0))
-        })
+    bench("router_next_hop_1024_nodes", |i| {
+        let target = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        std::hint::black_box(router.next_hop(pier_dht::Id(target), 0));
     });
-}
 
-fn bench_object_manager(c: &mut Criterion) {
-    c.bench_function("object_manager_put_get", |b| {
-        let mut om: ObjectManager<u64> = ObjectManager::new(u64::MAX);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            let name = ObjectName::new("t", format!("k{}", i % 1000), i);
-            om.put(name, i, 1_000_000, i);
-            std::hint::black_box(om.get("t", &format!("k{}", i % 1000), i).len())
-        })
+    let mut om: ObjectManager<u64> = ObjectManager::new(u64::MAX);
+    bench("object_manager_put_get", |i| {
+        let name = ObjectName::new("t", format!("k{}", i % 1000), i);
+        om.put(name, i, 1_000_000, i);
+        std::hint::black_box(om.get("t", &format!("k{}", i % 1000), i).len());
     });
-}
 
-fn bench_tuple_partition_key(c: &mut Criterion) {
     let tuple = Tuple::new(
         "events",
         vec![
@@ -40,30 +52,25 @@ fn bench_tuple_partition_key(c: &mut Criterion) {
         ],
     );
     let cols = vec!["src".to_string(), "port".to_string()];
-    c.bench_function("tuple_partition_key", |b| {
-        b.iter(|| std::hint::black_box(tuple.partition_key(&cols)))
+    bench("tuple_partition_key", |_| {
+        std::hint::black_box(tuple.partition_key(&cols));
+    });
+
+    let key = vec!["b".to_string()];
+    let mut join = SymmetricHashJoin::new(key.clone(), key, "rs");
+    bench("symmetric_hash_join_push", |i| {
+        let i = i as i64;
+        let (side, t) = if i % 2 == 0 {
+            (
+                JoinSide::Left,
+                Tuple::new("r", vec![("a", Value::Int(i)), ("b", Value::Int(i % 64))]),
+            )
+        } else {
+            (
+                JoinSide::Right,
+                Tuple::new("s", vec![("b", Value::Int(i % 64)), ("c", Value::Int(i))]),
+            )
+        };
+        std::hint::black_box(join.push_side(side, t).len());
     });
 }
-
-fn bench_symmetric_hash_join(c: &mut Criterion) {
-    c.bench_function("symmetric_hash_join_push", |b| {
-        let key = vec!["b".to_string()];
-        let mut join = SymmetricHashJoin::new(key.clone(), key, "rs");
-        let mut i = 0i64;
-        b.iter(|| {
-            i += 1;
-            let left = Tuple::new("r", vec![("a", Value::Int(i)), ("b", Value::Int(i % 64))]);
-            let right = Tuple::new("s", vec![("b", Value::Int(i % 64)), ("c", Value::Int(i))]);
-            let side = if i % 2 == 0 { JoinSide::Left } else { JoinSide::Right };
-            let t = if i % 2 == 0 { left } else { right };
-            std::hint::black_box(join.push_side(side, t).len())
-        })
-    });
-}
-
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_routing, bench_object_manager, bench_tuple_partition_key, bench_symmetric_hash_join
-);
-criterion_main!(benches);

@@ -10,6 +10,9 @@ fn main() {
     println!("# nodes   mean_hops   p95_hops");
     for nodes in [16, 32, 64, 128, 256, 512, 1024] {
         let row = dht_scalability(nodes, 200, 13);
-        println!("{:>6}   {:>9.2}   {:>8.2}", row.nodes, row.mean_hops, row.p95_hops);
+        println!(
+            "{:>6}   {:>9.2}   {:>8.2}",
+            row.nodes, row.mean_hops, row.p95_hops
+        );
     }
 }

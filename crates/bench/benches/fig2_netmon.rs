@@ -24,5 +24,8 @@ fn main() {
         result.overlap,
         result.ground_truth.len()
     );
-    assert!(result.overlap >= 7, "top-10 should largely match ground truth");
+    assert!(
+        result.overlap >= 7,
+        "top-10 should largely match ground truth"
+    );
 }

@@ -104,7 +104,9 @@ impl WireSize for AggState {
     fn wire_size(&self) -> usize {
         match self {
             AggState::Count(_) | AggState::Sum(_) => 9,
-            AggState::Min(v) | AggState::Max(v) => 1 + v.as_ref().map(|x| x.wire_size()).unwrap_or(0),
+            AggState::Min(v) | AggState::Max(v) => {
+                1 + v.as_ref().map(|x| x.wire_size()).unwrap_or(0)
+            }
             AggState::Avg { .. } => 17,
         }
     }
@@ -154,6 +156,32 @@ impl AggState {
         }
     }
 
+    /// Decode the partial state that `tuple` carries for aggregate `func`
+    /// (the inverse of the encoding `GroupBy` uses when it emits partials:
+    /// one output column per aggregate, plus explicit `_sum`/`_count`
+    /// companions for AVG).  `None` when the tuple lacks the column or its
+    /// type does not fit — the caller discards it, per the best-effort
+    /// policy.
+    pub fn from_partial_tuple(func: &AggFunc, tuple: &Tuple) -> Option<AggState> {
+        let col = func.output_column();
+        let v = tuple.get(&col)?;
+        match (func, v) {
+            (AggFunc::Count, Value::Int(n)) => Some(AggState::Count(*n as u64)),
+            (AggFunc::Sum(_), v) => v.as_f64().map(AggState::Sum),
+            (AggFunc::Min(_), v) => Some(AggState::Min(Some(v.clone()))),
+            (AggFunc::Max(_), v) => Some(AggState::Max(Some(v.clone()))),
+            (AggFunc::Avg(_), _) => {
+                let sum = tuple.get(&format!("{col}_sum")).and_then(Value::as_f64)?;
+                let count = tuple.get(&format!("{col}_count")).and_then(Value::as_i64)?;
+                Some(AggState::Avg {
+                    sum,
+                    count: count as u64,
+                })
+            }
+            _ => None,
+        }
+    }
+
     /// Merge another partial of the same shape into this one (the combine
     /// step of hierarchical aggregation).
     pub fn merge(&mut self, other: &AggState) {
@@ -178,10 +206,7 @@ impl AggState {
                     *a = Some(b.clone());
                 }
             }
-            (
-                AggState::Avg { sum: sa, count: ca },
-                AggState::Avg { sum: sb, count: cb },
-            ) => {
+            (AggState::Avg { sum: sa, count: ca }, AggState::Avg { sum: sb, count: cb }) => {
                 *sa += sb;
                 *ca += cb;
             }
@@ -228,7 +253,10 @@ mod tests {
     #[test]
     fn basic_aggregates() {
         assert_eq!(run(&AggFunc::Count, &[1, 2, 3]), Value::Int(3));
-        assert_eq!(run(&AggFunc::Sum("x".into()), &[1, 2, 3]), Value::Float(6.0));
+        assert_eq!(
+            run(&AggFunc::Sum("x".into()), &[1, 2, 3]),
+            Value::Float(6.0)
+        );
         assert_eq!(run(&AggFunc::Min("x".into()), &[5, 2, 9]), Value::Int(2));
         assert_eq!(run(&AggFunc::Max("x".into()), &[5, 2, 9]), Value::Int(9));
         assert_eq!(run(&AggFunc::Avg("x".into()), &[2, 4]), Value::Float(3.0));
@@ -264,7 +292,10 @@ mod tests {
         let func = AggFunc::Sum("x".into());
         let mut state = func.init();
         state.update(&func, &Tuple::new("t", vec![("x", Value::Int(5))]));
-        state.update(&func, &Tuple::new("t", vec![("x", Value::Str("bad".into()))]));
+        state.update(
+            &func,
+            &Tuple::new("t", vec![("x", Value::Str("bad".into()))]),
+        );
         state.update(&func, &Tuple::new("t", vec![("y", Value::Int(7))]));
         assert_eq!(state.finish(), Value::Float(5.0));
     }

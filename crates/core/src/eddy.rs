@@ -265,9 +265,15 @@ mod tests {
     fn three_predicates() -> Vec<(String, Expr)> {
         vec![
             // Barely selective: a >= 0 passes everything in the workload.
-            ("weak".to_string(), Expr::cmp(crate::expr::CmpOp::Ge, Expr::col("a"), Expr::lit(0i64))),
+            (
+                "weak".to_string(),
+                Expr::cmp(crate::expr::CmpOp::Ge, Expr::col("a"), Expr::lit(0i64)),
+            ),
             // Medium: b < 50 passes half.
-            ("medium".to_string(), Expr::cmp(crate::expr::CmpOp::Lt, Expr::col("b"), Expr::lit(50i64))),
+            (
+                "medium".to_string(),
+                Expr::cmp(crate::expr::CmpOp::Lt, Expr::col("b"), Expr::lit(50i64)),
+            ),
             // Strong: c = 7 passes 1 %.
             ("strong".to_string(), Expr::eq("c", 7i64)),
         ]
@@ -281,7 +287,11 @@ mod tests {
     fn all_policies_produce_the_same_result_set() {
         let tuples = workload(500);
         let mut results = Vec::new();
-        for policy in [RoutingPolicy::Fixed, RoutingPolicy::RoundRobin, RoutingPolicy::Lottery] {
+        for policy in [
+            RoutingPolicy::Fixed,
+            RoutingPolicy::RoundRobin,
+            RoutingPolicy::Lottery,
+        ] {
             let mut eddy = Eddy::over_predicates(three_predicates(), policy, 1);
             let survived: Vec<Tuple> = tuples
                 .iter()
@@ -322,8 +332,14 @@ mod tests {
         }
         let obs = eddy.observations();
         assert_eq!(obs[0].seen, 200);
-        assert!(obs[0].drop_rate() < 0.1, "weak predicate drops almost nothing");
-        assert!(obs[2].drop_rate() > 0.9, "strong predicate drops almost everything");
+        assert!(
+            obs[0].drop_rate() < 0.1,
+            "weak predicate drops almost nothing"
+        );
+        assert!(
+            obs[2].drop_rate() > 0.9,
+            "strong predicate drops almost everything"
+        );
         let (seen, out) = eddy.throughput();
         assert_eq!(seen, 200);
         assert!(out <= 2);
@@ -331,8 +347,14 @@ mod tests {
 
     #[test]
     fn merged_observations_accumulate_counts() {
-        let mut a = OperatorObservation { seen: 10, dropped: 3 };
-        let b = OperatorObservation { seen: 40, dropped: 37 };
+        let mut a = OperatorObservation {
+            seen: 10,
+            dropped: 3,
+        };
+        let b = OperatorObservation {
+            seen: 40,
+            dropped: 37,
+        };
         a.merge(&b);
         assert_eq!(a.seen, 50);
         assert_eq!(a.dropped, 40);

@@ -282,10 +282,7 @@ mod tests {
 
     #[test]
     fn or_and_not() {
-        let e = Expr::Or(
-            Box::new(Expr::eq("a", 99i64)),
-            Box::new(Expr::col("ok")),
-        );
+        let e = Expr::Or(Box::new(Expr::eq("a", 99i64)), Box::new(Expr::col("ok")));
         assert!(e.matches(&tup()));
         assert!(Expr::Not(Box::new(Expr::eq("a", 99i64))).matches(&tup()));
     }
@@ -294,11 +291,19 @@ mod tests {
     fn arithmetic() {
         let e = Expr::cmp(
             CmpOp::Eq,
-            Expr::Arith(ArithOp::Add, Box::new(Expr::col("a")), Box::new(Expr::lit(1i64))),
+            Expr::Arith(
+                ArithOp::Add,
+                Box::new(Expr::col("a")),
+                Box::new(Expr::lit(1i64)),
+            ),
             Expr::lit(6i64),
         );
         assert!(e.matches(&tup()));
-        let div = Expr::Arith(ArithOp::Div, Box::new(Expr::col("a")), Box::new(Expr::lit(2i64)));
+        let div = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::col("a")),
+            Box::new(Expr::lit(2i64)),
+        );
         assert_eq!(div.eval(&tup()), Ok(Value::Float(2.5)));
     }
 
@@ -313,7 +318,10 @@ mod tests {
         // Type mismatch: string vs int.
         let e = Expr::cmp(CmpOp::Eq, Expr::col("name"), Expr::lit(5i64));
         assert!(!e.matches(&tup()));
-        assert!(matches!(e.eval(&tup()), Err(EvalError::TypeMismatch { .. })));
+        assert!(matches!(
+            e.eval(&tup()),
+            Err(EvalError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -334,7 +342,10 @@ mod tests {
             Some(Value::Str("rock".into()))
         );
         assert_eq!(pred.equality_constant("b"), None);
-        assert_eq!(Expr::eq("x", 3i64).equality_constant("x"), Some(Value::Int(3)));
+        assert_eq!(
+            Expr::eq("x", 3i64).equality_constant("x"),
+            Some(Value::Int(3))
+        );
     }
 
     #[test]

@@ -45,14 +45,15 @@ pub mod value;
 pub use aggregate::{AggClass, AggFunc, AggState};
 pub use eddy::{Eddy, EddyFilter, OperatorObservation, PredicateFilter, RoutingPolicy};
 pub use expr::{ArithOp, CmpOp, EvalError, Expr};
-pub use node::{PierConfig, PierMsg, PierNode, PierOut, PierTimer};
+pub use node::{CqDiagnostics, PierConfig, PierMsg, PierNode, PierOut, PierTimer};
 pub use operators::{
     nested_loop_join, BloomFilter, Distinct, GroupBy, JoinSide, Limit, LocalOperator, Pipeline,
     Projection, Queue, Selection, SymmetricHashJoin, TopK,
 };
+pub use pier_cq::{CqBudget, DeltaMode, WindowSpec};
 pub use plan::{
-    Dissemination, JoinSpec, OpGraph, OperatorSpec, PlanBuilder, QpObject, QueryPlan, SinkSpec,
-    SourceSpec,
+    CqSpec, Dissemination, JoinSpec, OpGraph, OperatorSpec, PlanBuilder, QpObject, QueryPlan,
+    SinkSpec, SourceSpec,
 };
 pub use range_index::RangeIndexConfig;
 pub use recursive::TransitiveClosure;

@@ -15,9 +15,14 @@
 //! forwarded to the proxy, which delivers them to the client; execution
 //! stops when the query's timeout expires.
 
+use crate::aggregate::{AggFunc, AggState};
 use crate::operators::{GroupBy, JoinSide, LocalOperator, Pipeline, SymmetricHashJoin};
-use crate::plan::{Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
+use crate::plan::{CqSpec, Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
 use crate::tuple::Tuple;
+use crate::value::Value;
+use pier_cq::{
+    Delta, DeltaTracker, Lease, WindowAccumulator, WindowId, WindowSpec, WindowStats, WindowStore,
+};
 use pier_dht::{
     routing_id, DhtMessage, Id, NodeRef, ObjectName, Overlay, OverlayConfig, OverlayEffect,
     OverlayEvent, OverlayTimer,
@@ -55,13 +60,36 @@ pub enum PierMsg {
         /// The answer tuples (possibly a batch).
         tuples: Vec<Tuple>,
     },
+    /// Per-window results of a continuous query streamed from the query's
+    /// window root to the proxy: retractions of superseded rows (delta mode
+    /// only) followed by the window's current rows.
+    WindowResults {
+        /// Query the window belongs to.
+        query_id: u64,
+        /// Window start (virtual-time microseconds, inclusive).
+        window_start: SimTime,
+        /// Window end (exclusive).
+        window_end: SimTime,
+        /// Rows retracted by this emission.
+        retracts: Vec<Tuple>,
+        /// Rows inserted by this emission.
+        inserts: Vec<Tuple>,
+    },
 }
 
 impl WireSize for PierMsg {
     fn wire_size(&self) -> usize {
         1 + match self {
             PierMsg::Dht(m) => m.wire_size(),
-            PierMsg::Results { tuples, .. } => 8 + tuples.iter().map(WireSize::wire_size).sum::<usize>(),
+            PierMsg::Results { tuples, .. } => {
+                8 + tuples.iter().map(WireSize::wire_size).sum::<usize>()
+            }
+            PierMsg::WindowResults {
+                retracts, inserts, ..
+            } => {
+                24 + retracts.iter().map(WireSize::wire_size).sum::<usize>()
+                    + inserts.iter().map(WireSize::wire_size).sum::<usize>()
+            }
         }
     }
 }
@@ -91,6 +119,25 @@ pub enum PierTimer {
         /// Query being completed.
         query_id: u64,
     },
+    /// Periodic window maintenance for a continuous query: close due
+    /// windows, forward partials toward the window root, emit per-window
+    /// results at the root.  Fires every window slide.
+    WindowTick {
+        /// Query being ticked.
+        query_id: u64,
+    },
+    /// Proxy-side soft-state renewal: re-disseminate the standing plan so
+    /// leases extend and churned-in nodes join the computation.
+    CqRenew {
+        /// Query being renewed.
+        query_id: u64,
+    },
+    /// Node-side lease check: uninstall the continuous query if its lease
+    /// lapsed (the owner stopped renewing or we are partitioned away).
+    CqLease {
+        /// Query being checked.
+        query_id: u64,
+    },
 }
 
 /// Values delivered to the client application attached to a node.
@@ -108,6 +155,20 @@ pub enum PierOut {
         /// The completed query.
         query_id: u64,
     },
+    /// One row of a per-window result of a continuous query.
+    WindowResult {
+        /// Query the row answers.
+        query_id: u64,
+        /// Window start (inclusive).
+        window_start: SimTime,
+        /// Window end (exclusive).
+        window_end: SimTime,
+        /// True when this row retracts a previously delivered row
+        /// (delta-mode refinement); false for inserts/snapshots.
+        retract: bool,
+        /// The result row.
+        tuple: Tuple,
+    },
 }
 
 #[derive(Debug)]
@@ -121,17 +182,72 @@ struct GraphState {
     root_merge: Option<GroupBy>,
 }
 
+/// One group's mergeable window accumulator: the grouping values plus one
+/// partial [`AggState`] per aggregate — the window engine of `pier-cq`
+/// parameterised with `pier-core`'s aggregate machinery.
+#[derive(Debug, Clone)]
+struct GroupAgg {
+    vals: Vec<Value>,
+    states: Vec<AggState>,
+}
+
+impl WindowAccumulator for GroupAgg {
+    fn merge(&mut self, other: &Self) {
+        for (mine, theirs) in self.states.iter_mut().zip(&other.states) {
+            mine.merge(theirs);
+        }
+    }
+}
+
+/// Runtime state of one continuous (windowed) query at one node.
+#[derive(Debug)]
+struct CqState {
+    spec: CqSpec,
+    window: WindowSpec,
+    group_cols: Vec<String>,
+    aggs: Vec<AggFunc>,
+    time_col: Option<String>,
+    dedup_cols: Vec<String>,
+    final_ops: Vec<OperatorSpec>,
+    /// Index of the opgraph feeding the windows.
+    graph_idx: usize,
+    /// Node-local window accumulation over this node's share of the stream.
+    store: WindowStore<GroupAgg>,
+    /// Partials absorbed while travelling toward (or arriving at) the
+    /// query's window root; closes one slide after `store` so relayed
+    /// partials have time to arrive.
+    root_store: WindowStore<GroupAgg>,
+    /// Root-side emission tracker implementing snapshot/delta output.
+    tracker: DeltaTracker<Tuple>,
+    /// Soft-state lease granted by (re)dissemination.
+    lease: Lease,
+    /// Windows this node emitted to the proxy as root.
+    windows_emitted: u64,
+}
+
+impl CqState {
+    /// Per-window result rows are retired from the delta tracker once they
+    /// are this many windows old (late refinements beyond that are dropped).
+    fn retention_windows(&self) -> u64 {
+        self.window.windows_per_event() + 4
+    }
+}
+
 #[derive(Debug)]
 struct QueryState {
     plan: QueryPlan,
     graphs: Vec<GraphState>,
     agg_root_id: Id,
+    /// Continuous-query runtime, present when the plan has a windowed sink.
+    cq: Option<CqState>,
 }
 
 #[derive(Debug, Default)]
 struct ProxyState {
     results: u64,
     done: bool,
+    /// The standing plan, kept proxy-side for periodic re-dissemination.
+    renew_plan: Option<QueryPlan>,
 }
 
 /// A PIER node: overlay + query processor, runnable under the simulator or
@@ -255,8 +371,7 @@ impl PierNode {
         index_cols: &[String],
         tuple: Tuple,
     ) {
-        let entries =
-            crate::secondary_index::index_entries(table, key_cols, index_cols, &tuple);
+        let entries = crate::secondary_index::index_entries(table, key_cols, index_cols, &tuple);
         self.publish(ctx, table, key_cols, tuple);
         let index_key_cols = crate::secondary_index::index_partition_cols();
         for entry in entries {
@@ -292,9 +407,27 @@ impl PierNode {
             plan.query_id = ((ctx.me().0 as u64) << 32) | self.next_query_seq;
         }
         plan.proxy = ctx.me();
+        // A windowed sink is a standing query: without a lifecycle nobody
+        // would renew the nodes' leases and the query would silently die
+        // when the default lease lapses, so one is always attached.
+        if plan.cq.is_none() && plan.windowed_sink().is_some() {
+            plan.cq = Some(CqSpec::default());
+        }
         let query_id = plan.query_id;
-        self.proxied.insert(query_id, ProxyState::default());
+        let mut proxy_state = ProxyState::default();
+        if let Some(cq) = &plan.cq {
+            // Standing query: keep the plan for periodic re-dissemination
+            // (lease renewal + churn repair) and start the renewal clock.
+            proxy_state.renew_plan = Some(plan.clone());
+            ctx.set_timer(cq.renew_every, PierTimer::CqRenew { query_id });
+        }
+        self.proxied.insert(query_id, proxy_state);
         ctx.set_timer(plan.timeout, PierTimer::ProxyDone { query_id });
+        self.disseminate(ctx, plan);
+        query_id
+    }
+
+    fn disseminate(&mut self, ctx: &mut ProgramContext<Self>, plan: QueryPlan) {
         let now = ctx.now();
         match plan.dissemination.clone() {
             Dissemination::Broadcast => {
@@ -304,9 +437,7 @@ impl PierNode {
             Dissemination::ByKey { namespace, key } => {
                 let name = ObjectName::new(namespace, key, self.rng.next_u64());
                 let lifetime = plan.timeout;
-                let effects = self
-                    .overlay
-                    .send(name, QpObject::Plan(plan), lifetime, now);
+                let effects = self.overlay.send(name, QpObject::Plan(plan), lifetime, now);
                 self.drive(ctx, effects);
             }
             Dissemination::ByRange {
@@ -328,7 +459,15 @@ impl PierNode {
                 self.install_query(ctx, plan);
             }
         }
-        query_id
+    }
+
+    /// Feed a streamed tuple to every installed opgraph reading `table`
+    /// without retaining it — the access method for transient monitoring
+    /// streams (a packet trace is observed once, not stored).  Tuples
+    /// arriving while no matching query is installed are simply dropped.
+    pub fn ingest(&mut self, ctx: &mut ProgramContext<Self>, table: &str, tuple: Tuple) {
+        let effects = self.route_new_tuple(ctx, table, tuple);
+        self.drive(ctx, effects);
     }
 
     // ----- effect / event plumbing ------------------------------------------
@@ -383,26 +522,30 @@ impl PierNode {
                 }
                 Vec::new()
             }
-            OverlayEvent::NewData { object } => {
-                match object.value {
-                    QpObject::Plan(plan) => {
-                        self.install_query(ctx, plan);
-                        Vec::new()
-                    }
-                    QpObject::Tuple(tuple) => {
-                        self.route_new_tuple(ctx, &object.name.namespace, tuple)
-                    }
+            OverlayEvent::NewData { object } => match object.value {
+                QpObject::Plan(plan) => {
+                    self.install_query(ctx, plan);
+                    Vec::new()
                 }
-            }
+                QpObject::Tuple(tuple) => self.route_new_tuple(ctx, &object.name.namespace, tuple),
+            },
             OverlayEvent::Upcall { token, object, .. } => {
                 // Hierarchical aggregation: intercept partials travelling up
                 // the tree, fold them into our own buffered partials, and
-                // drop the original message (§3.3.4).
+                // drop the original message (§3.3.4).  Closed-window partials
+                // of continuous queries combine the same way en route to the
+                // window root.
                 let now = ctx.now();
                 if let QpObject::Tuple(partial) = &object.value {
                     if let Some(query_id) = self.query_for_partial_namespace(&object.name.namespace)
                     {
                         if self.absorb_partial(query_id, partial) {
+                            return self.overlay.resume_upcall(token, false, now);
+                        }
+                    }
+                    if let Some(query_id) = self.query_for_window_namespace(&object.name.namespace)
+                    {
+                        if self.absorb_window_partial(query_id, partial) {
                             return self.overlay.resume_upcall(token, false, now);
                         }
                     }
@@ -436,6 +579,26 @@ impl PierNode {
             .map(|(id, _)| *id)
     }
 
+    fn query_for_window_namespace(&self, namespace: &str) -> Option<u64> {
+        self.queries
+            .iter()
+            .find(|(_, q)| q.cq.is_some() && q.plan.window_namespace() == namespace)
+            .map(|(id, _)| *id)
+    }
+
+    fn absorb_window_partial(&mut self, query_id: u64, partial: &Tuple) -> bool {
+        let Some(q) = self.queries.get_mut(&query_id) else {
+            return false;
+        };
+        let Some(cq) = q.cq.as_mut() else {
+            return false;
+        };
+        let Some((wid, key, acc)) = cq.decode_partial(partial) else {
+            return false;
+        };
+        cq.root_store.accept_refinement(wid, &key, acc)
+    }
+
     fn absorb_partial(&mut self, query_id: u64, partial: &Tuple) -> bool {
         let Some(q) = self.queries.get_mut(&query_id) else {
             return false;
@@ -456,6 +619,11 @@ impl PierNode {
         tuple: Tuple,
     ) -> Vec<OverlayEffect<QpObject>> {
         let mut effects = Vec::new();
+        // Closed-window partials arriving at (or relayed through) this node.
+        if let Some(query_id) = self.query_for_window_namespace(namespace) {
+            self.absorb_window_partial(query_id, &tuple);
+            return effects;
+        }
         // Partial aggregates arriving at the aggregation-tree root.
         if let Some(query_id) = self.query_for_partial_namespace(namespace) {
             if let Some(q) = self.queries.get_mut(&query_id) {
@@ -489,16 +657,25 @@ impl PierNode {
 
     fn install_query(&mut self, ctx: &mut ProgramContext<Self>, plan: QueryPlan) {
         let query_id = plan.query_id;
-        if self.queries.contains_key(&query_id) {
+        if let Some(q) = self.queries.get_mut(&query_id) {
+            // Re-dissemination of a standing query: renew the lease.
+            if let Some(cq) = q.cq.as_mut() {
+                cq.lease.renew(ctx.now());
+            }
             return;
         }
         let agg_root_id = routing_id(&plan.partial_namespace(), &plan.agg_root_key());
+        let cq = Self::build_cq_state(&plan, ctx.now());
         let mut graphs = Vec::new();
         let mut has_agg = false;
         for spec in &plan.opgraphs {
             let pipeline = Pipeline::new(spec.ops.iter().filter_map(OperatorSpec::build).collect());
             let join = spec.join.as_ref().map(|j| {
-                SymmetricHashJoin::new(j.left_key.clone(), j.right_key.clone(), j.output_table.clone())
+                SymmetricHashJoin::new(
+                    j.left_key.clone(),
+                    j.right_key.clone(),
+                    j.output_table.clone(),
+                )
             });
             let (uplink, root_merge) = match &spec.sink {
                 SinkSpec::HierarchicalAgg {
@@ -507,7 +684,11 @@ impl PierNode {
                     has_agg = true;
                     let table = format!("q{query_id}.agg");
                     (
-                        Some(GroupBy::new(group_cols.clone(), aggs.clone(), table.clone())),
+                        Some(GroupBy::new(
+                            group_cols.clone(),
+                            aggs.clone(),
+                            table.clone(),
+                        )),
                         Some(GroupBy::new(group_cols.clone(), aggs.clone(), table)),
                     )
                 }
@@ -530,12 +711,16 @@ impl PierNode {
                 _ => None,
             })
             .unwrap_or(2_000_000);
+        let has_cq = cq.is_some();
+        let cq_slide = cq.as_ref().map(|c| c.window.slide).unwrap_or(0);
+        let cq_lease = cq.as_ref().map(|c| c.spec.lease).unwrap_or(0);
         self.queries.insert(
             query_id,
             QueryState {
                 plan,
                 graphs,
                 agg_root_id,
+                cq,
             },
         );
         ctx.set_timer(timeout, PierTimer::QueryEnd { query_id });
@@ -545,6 +730,10 @@ impl PierNode {
                 timeout.saturating_sub(hold),
                 PierTimer::AggFinal { query_id },
             );
+        }
+        if has_cq {
+            ctx.set_timer(cq_slide, PierTimer::WindowTick { query_id });
+            ctx.set_timer(cq_lease, PierTimer::CqLease { query_id });
         }
         // Feed the opgraphs their initial data: node-local rows plus the
         // DHT-partitioned rows this node is responsible for.  The snapshot of
@@ -617,6 +806,16 @@ impl PierNode {
             if let Some(uplink) = g.uplink.as_mut() {
                 for t in outputs.drain(..) {
                     uplink.push(t);
+                }
+            }
+            // Windowed continuous aggregation folds outputs into the window
+            // store; per-window results travel at window ticks, not now.
+            if let Some(cq) = q.cq.as_mut() {
+                if cq.graph_idx == graph_idx {
+                    let now = ctx.now();
+                    for t in outputs.drain(..) {
+                        Self::cq_absorb(cq, &t, now);
+                    }
                 }
             }
             outputs
@@ -694,7 +893,9 @@ impl PierNode {
                     if probe_is_key {
                         // The column already carries the inner relation's
                         // partition-key string (a secondary index tupleID).
-                        v.as_str().map(str::to_string).unwrap_or_else(|| v.key_string())
+                        v.as_str()
+                            .map(str::to_string)
+                            .unwrap_or_else(|| v.key_string())
                     } else {
                         v.key_string()
                     }
@@ -742,6 +943,18 @@ impl PierNode {
                     }
                 }
             }
+            SinkSpec::WindowedAgg { .. } => {
+                // Like hierarchical aggregation: a fetch-join result feeding
+                // a windowed graph is folded into the window store.
+                let now = ctx.now();
+                if let Some(q) = self.queries.get_mut(&query_id) {
+                    if let Some(cq) = q.cq.as_mut() {
+                        for t in tuples {
+                            Self::cq_absorb(cq, &t, now);
+                        }
+                    }
+                }
+            }
         }
         effects
     }
@@ -763,12 +976,7 @@ impl PierNode {
         }
     }
 
-    fn proxy_receive(
-        &mut self,
-        ctx: &mut ProgramContext<Self>,
-        query_id: u64,
-        tuples: Vec<Tuple>,
-    ) {
+    fn proxy_receive(&mut self, ctx: &mut ProgramContext<Self>, query_id: u64, tuples: Vec<Tuple>) {
         let state = self.proxied.entry(query_id).or_default();
         if state.done {
             return;
@@ -816,8 +1024,9 @@ impl PierNode {
                             SinkSpec::HierarchicalAgg { final_ops, .. } => final_ops.clone(),
                             _ => Vec::new(),
                         };
-                        let mut finisher =
-                            Pipeline::new(final_ops.iter().filter_map(OperatorSpec::build).collect());
+                        let mut finisher = Pipeline::new(
+                            final_ops.iter().filter_map(OperatorSpec::build).collect(),
+                        );
                         let mut out = Vec::new();
                         for t in merged {
                             out.extend(finisher.push(t));
@@ -832,12 +1041,9 @@ impl PierNode {
         // to the root when the plan asked for flat aggregation).
         let flat = {
             let q = self.queries.get(&query_id).expect("query present");
-            q.graphs.iter().any(|g| {
-                matches!(
-                    g.spec.sink,
-                    SinkSpec::HierarchicalAgg { flat: true, .. }
-                )
-            })
+            q.graphs
+                .iter()
+                .any(|g| matches!(g.spec.sink, SinkSpec::HierarchicalAgg { flat: true, .. }))
         };
         let now = ctx.now();
         let mut effects = Vec::new();
@@ -848,7 +1054,10 @@ impl PierNode {
                 self.rng.next_u64(),
             );
             if flat {
-                effects.extend(self.overlay.put(name, QpObject::Tuple(partial), lifetime, now));
+                effects.extend(
+                    self.overlay
+                        .put(name, QpObject::Tuple(partial), lifetime, now),
+                );
             } else {
                 effects.extend(self.overlay.send_routed(
                     agg_root_id,
@@ -881,6 +1090,367 @@ impl PierNode {
     }
 }
 
+impl CqState {
+    /// Decode a closed-window partial tuple into its window id, group key
+    /// and mergeable accumulator.  `None` for malformed tuples (best-effort
+    /// policy, as everywhere).
+    fn decode_partial(&self, tuple: &Tuple) -> Option<(WindowId, String, GroupAgg)> {
+        let wid = tuple.get("_w").and_then(Value::as_i64)?;
+        let vals = tuple.get_all(&self.group_cols)?;
+        let key = vals
+            .iter()
+            .map(Value::key_string)
+            .collect::<Vec<_>>()
+            .join("|");
+        let states: Option<Vec<AggState>> = self
+            .aggs
+            .iter()
+            .map(|a| AggState::from_partial_tuple(a, tuple))
+            .collect();
+        Some((
+            wid.max(0) as u64,
+            key,
+            GroupAgg {
+                vals,
+                states: states?,
+            },
+        ))
+    }
+}
+
+/// Diagnostics of a continuous query installed at a node (tests and the
+/// bench harness assert bounded state through this).
+#[derive(Debug, Clone, Copy)]
+pub struct CqDiagnostics {
+    /// Activity counters of the node-local window store.
+    pub local: WindowStats,
+    /// Activity counters of the relay/root window store.
+    pub root: WindowStats,
+    /// Open windows across both stores.
+    pub open_windows: usize,
+    /// Groups held across both stores (the node's CQ state footprint).
+    pub total_groups: usize,
+    /// Windows the root-side delta tracker currently remembers.
+    pub tracked_emissions: usize,
+    /// Per-window emissions this node sent to the proxy as root.
+    pub windows_emitted: u64,
+    /// Lease renewals observed since installation.
+    pub lease_renewals: u32,
+}
+
+impl PierNode {
+    fn build_cq_state(plan: &QueryPlan, now: SimTime) -> Option<CqState> {
+        let (graph_idx, sink) = plan.windowed_sink()?;
+        let SinkSpec::WindowedAgg {
+            window,
+            group_cols,
+            aggs,
+            time_col,
+            dedup_cols,
+            delta,
+            final_ops,
+        } = sink
+        else {
+            return None;
+        };
+        let spec = plan.cq.unwrap_or_default();
+        Some(CqState {
+            spec,
+            window: *window,
+            group_cols: group_cols.clone(),
+            aggs: aggs.clone(),
+            time_col: time_col.clone(),
+            dedup_cols: dedup_cols.clone(),
+            final_ops: final_ops.clone(),
+            graph_idx,
+            store: WindowStore::new(*window, spec.budget),
+            // The root store closes one slide later so partials relayed
+            // from other nodes have time to arrive and combine.
+            root_store: WindowStore::new(
+                window.with_grace(window.grace + window.slide),
+                spec.budget,
+            ),
+            tracker: DeltaTracker::new(*delta),
+            lease: Lease::granted(now, spec.lease),
+            windows_emitted: 0,
+        })
+    }
+
+    /// Fold one dataflow output into the query's window store.
+    fn cq_absorb(cq: &mut CqState, tuple: &Tuple, now: SimTime) {
+        let event_time = cq
+            .time_col
+            .as_ref()
+            .and_then(|c| tuple.get(c))
+            .and_then(Value::as_i64)
+            .map(|v| v.max(0) as u64)
+            .unwrap_or(now);
+        let Some(vals) = tuple.get_all(&cq.group_cols) else {
+            return; // malformed tuple: discard
+        };
+        let key = vals
+            .iter()
+            .map(Value::key_string)
+            .collect::<Vec<_>>()
+            .join("|");
+        let dedup = if cq.dedup_cols.is_empty() {
+            None
+        } else {
+            // A tuple missing a dedup column is treated as unique.
+            cq.dedup_cols
+                .iter()
+                .map(|c| {
+                    tuple
+                        .get(c)
+                        .map(Value::key_string)
+                        .unwrap_or_else(|| "∅".into())
+                })
+                .reduce(|a, b| format!("{a}|{b}"))
+        };
+        let aggs = &cq.aggs;
+        cq.store.push(
+            event_time,
+            &key,
+            dedup.as_deref(),
+            || GroupAgg {
+                vals: vals.clone(),
+                states: aggs.iter().map(AggFunc::init).collect(),
+            },
+            |acc| {
+                for (agg, state) in aggs.iter().zip(acc.states.iter_mut()) {
+                    state.update(agg, tuple);
+                }
+            },
+        );
+    }
+
+    fn encode_window_partial(
+        query_id: u64,
+        wid: WindowId,
+        group_cols: &[String],
+        aggs: &[AggFunc],
+        acc: &GroupAgg,
+    ) -> Tuple {
+        let mut out = Tuple::empty(format!("q{query_id}.wp"));
+        out.push("_w", Value::Int(wid as i64));
+        for (c, v) in group_cols.iter().zip(&acc.vals) {
+            out.push(c.clone(), v.clone());
+        }
+        for (agg, state) in aggs.iter().zip(&acc.states) {
+            let col = agg.output_column();
+            out.push(col.clone(), state.finish());
+            if let AggState::Avg { sum, count } = state {
+                out.push(format!("{col}_sum"), Value::Float(*sum));
+                out.push(format!("{col}_count"), Value::Int(*count as i64));
+            }
+        }
+        out
+    }
+
+    /// Periodic window maintenance (fires every slide): close due windows,
+    /// forward their partials toward the window root — combining en route —
+    /// and, at the root, merge arrived partials and stream per-window
+    /// results to the proxy.
+    fn window_tick(&mut self, ctx: &mut ProgramContext<Self>, query_id: u64) {
+        let now = ctx.now();
+        let Some(q) = self.queries.get_mut(&query_id) else {
+            return; // query uninstalled: the tick chain stops
+        };
+        let Some(cq) = q.cq.as_mut() else {
+            return;
+        };
+        let window_ns = q.plan.window_namespace();
+        let root_key = q.plan.agg_root_key();
+        let root_id = routing_id(&window_ns, &root_key);
+        let proxy = q.plan.proxy;
+        let is_root = self.overlay.router().is_responsible(root_id);
+
+        // 1. Close this node's due windows.  At the root the partials merge
+        //    straight into the root store; elsewhere they are encoded for
+        //    the trip up (along with anything absorbed from upcall relays).
+        let closed = cq.store.close_due(now);
+        let mut to_send: Vec<Tuple> = Vec::new();
+        if is_root {
+            for (wid, groups) in closed {
+                for (key, acc) in groups {
+                    cq.root_store.accept_refinement(wid, &key, acc);
+                }
+            }
+        } else {
+            for (wid, groups) in closed.into_iter().chain(cq.root_store.close_due(now)) {
+                for (_, acc) in groups {
+                    to_send.push(Self::encode_window_partial(
+                        query_id,
+                        wid,
+                        &cq.group_cols,
+                        &cq.aggs,
+                        &acc,
+                    ));
+                }
+            }
+        }
+
+        // 2. At the root: snapshot every due window that changed — state is
+        //    *retained* so late partials keep merging and re-emit refined
+        //    results — and turn each snapshot into result rows.
+        let mut emissions: Vec<(WindowId, Vec<Delta<Tuple>>)> = Vec::new();
+        if is_root {
+            let mut emitted_max = None;
+            for (wid, groups) in cq.root_store.emit_due(now) {
+                let (ws, we) = cq.window.bounds(wid);
+                let mut rows: Vec<Tuple> = groups
+                    .into_iter()
+                    .map(|(_, acc)| {
+                        let mut t = Tuple::empty(format!("q{query_id}.win"));
+                        t.push("window_start", Value::Int(ws as i64));
+                        t.push("window_end", Value::Int(we as i64));
+                        for (c, v) in cq.group_cols.iter().zip(&acc.vals) {
+                            t.push(c.clone(), v.clone());
+                        }
+                        for (agg, state) in cq.aggs.iter().zip(&acc.states) {
+                            t.push(agg.output_column(), state.finish());
+                        }
+                        t
+                    })
+                    .collect();
+                rows.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+                if !cq.final_ops.is_empty() {
+                    let mut finisher = Pipeline::new(
+                        cq.final_ops
+                            .iter()
+                            .filter_map(OperatorSpec::build)
+                            .collect(),
+                    );
+                    let mut finished = Vec::new();
+                    for t in rows {
+                        finished.extend(finisher.push(t));
+                    }
+                    finished.extend(finisher.flush());
+                    rows = finished;
+                }
+                let deltas = cq.tracker.emit(wid, rows);
+                if !deltas.is_empty() {
+                    cq.windows_emitted += 1;
+                    emissions.push((wid, deltas));
+                }
+                emitted_max = Some(emitted_max.unwrap_or(0u64).max(wid));
+            }
+            // Retire windows past the refinement horizon from both the
+            // retained root state and the delta tracker (bounded memory).
+            if let Some(newest) = emitted_max {
+                let retain = cq.retention_windows();
+                if newest > retain {
+                    cq.root_store.retire_before(newest - retain);
+                    cq.tracker.retire(newest - retain - 1);
+                }
+            }
+        }
+        let window = cq.window;
+        let lifetime = cq.spec.lease.max(self.config.publish_lifetime);
+
+        // 3. Ship partials one hop toward the root (upcalls combine en
+        //    route) and stream emissions to the proxy.
+        let mut effects = Vec::new();
+        for partial in to_send {
+            let name = ObjectName::new(window_ns.clone(), root_key.clone(), self.rng.next_u64());
+            effects.extend(self.overlay.send_routed(
+                root_id,
+                name,
+                QpObject::Tuple(partial),
+                lifetime,
+                now,
+            ));
+        }
+        self.drive(ctx, effects);
+        for (wid, deltas) in emissions {
+            let (window_start, window_end) = window.bounds(wid);
+            let mut retracts = Vec::new();
+            let mut inserts = Vec::new();
+            for d in deltas {
+                match d {
+                    Delta::Retract(t) => retracts.push(t),
+                    Delta::Insert(t) => inserts.push(t),
+                }
+            }
+            if proxy == ctx.me() {
+                self.proxy_receive_window(
+                    ctx,
+                    query_id,
+                    window_start,
+                    window_end,
+                    retracts,
+                    inserts,
+                );
+            } else {
+                ctx.send(
+                    proxy,
+                    PierMsg::WindowResults {
+                        query_id,
+                        window_start,
+                        window_end,
+                        retracts,
+                        inserts,
+                    },
+                );
+            }
+        }
+        // 4. Re-arm while the query is installed.
+        if self.queries.contains_key(&query_id) {
+            ctx.set_timer(window.slide, PierTimer::WindowTick { query_id });
+        }
+    }
+
+    fn proxy_receive_window(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        query_id: u64,
+        window_start: SimTime,
+        window_end: SimTime,
+        retracts: Vec<Tuple>,
+        inserts: Vec<Tuple>,
+    ) {
+        let state = self.proxied.entry(query_id).or_default();
+        if state.done {
+            return;
+        }
+        state.results += inserts.len() as u64;
+        for tuple in retracts {
+            ctx.output(PierOut::WindowResult {
+                query_id,
+                window_start,
+                window_end,
+                retract: true,
+                tuple,
+            });
+        }
+        for tuple in inserts {
+            ctx.output(PierOut::WindowResult {
+                query_id,
+                window_start,
+                window_end,
+                retract: false,
+                tuple,
+            });
+        }
+    }
+
+    /// Diagnostics of an installed continuous query (`None` when the query
+    /// is not installed here or is not continuous).
+    pub fn cq_diagnostics(&self, query_id: u64) -> Option<CqDiagnostics> {
+        let q = self.queries.get(&query_id)?;
+        let cq = q.cq.as_ref()?;
+        Some(CqDiagnostics {
+            local: cq.store.stats(),
+            root: cq.root_store.stats(),
+            open_windows: cq.store.open_windows() + cq.root_store.open_windows(),
+            total_groups: cq.store.total_groups() + cq.root_store.total_groups(),
+            tracked_emissions: cq.tracker.tracked_windows(),
+            windows_emitted: cq.windows_emitted,
+            lease_renewals: cq.lease.renewals,
+        })
+    }
+}
+
 impl Program for PierNode {
     type Msg = PierMsg;
     type Timer = PierTimer;
@@ -902,6 +1472,22 @@ impl Program for PierNode {
             PierMsg::Results { query_id, tuples } => {
                 self.proxy_receive(ctx, query_id, tuples);
             }
+            PierMsg::WindowResults {
+                query_id,
+                window_start,
+                window_end,
+                retracts,
+                inserts,
+            } => {
+                self.proxy_receive_window(
+                    ctx,
+                    query_id,
+                    window_start,
+                    window_end,
+                    retracts,
+                    inserts,
+                );
+            }
         }
     }
 
@@ -921,8 +1507,43 @@ impl Program for PierNode {
                 if let Some(state) = self.proxied.get_mut(&query_id) {
                     if !state.done {
                         state.done = true;
+                        state.renew_plan = None;
                         ctx.output(PierOut::Done { query_id });
                     }
+                }
+            }
+            PierTimer::WindowTick { query_id } => self.window_tick(ctx, query_id),
+            PierTimer::CqRenew { query_id } => {
+                // Proxy-side: re-disseminate the standing plan so leases
+                // extend everywhere and churned-in nodes pick the query up.
+                let plan = match self.proxied.get(&query_id) {
+                    Some(state) if !state.done => state.renew_plan.clone(),
+                    _ => None,
+                };
+                if let Some(plan) = plan {
+                    let renew_every = plan.cq.map(|c| c.renew_every).unwrap_or(10_000_000).max(1);
+                    self.disseminate(ctx, plan);
+                    ctx.set_timer(renew_every, PierTimer::CqRenew { query_id });
+                }
+            }
+            PierTimer::CqLease { query_id } => {
+                let now = ctx.now();
+                let expires_at = match self.queries.get(&query_id) {
+                    Some(q) => match q.cq.as_ref() {
+                        Some(cq) => cq.lease.expires_at,
+                        None => return,
+                    },
+                    None => return,
+                };
+                if now >= expires_at {
+                    // The owner stopped renewing (or we are partitioned
+                    // away): the soft state lapses.
+                    self.queries.remove(&query_id);
+                } else {
+                    ctx.set_timer(
+                        expires_at.saturating_sub(now).max(1),
+                        PierTimer::CqLease { query_id },
+                    );
                 }
             }
         }

@@ -172,7 +172,11 @@ pub struct GroupBy {
 
 impl GroupBy {
     /// Create a group-by with the given grouping columns and aggregates.
-    pub fn new(group_cols: Vec<String>, aggs: Vec<AggFunc>, output_table: impl Into<String>) -> Self {
+    pub fn new(
+        group_cols: Vec<String>,
+        aggs: Vec<AggFunc>,
+        output_table: impl Into<String>,
+    ) -> Self {
         GroupBy {
             group_cols,
             aggs,
@@ -199,37 +203,17 @@ impl GroupBy {
             .map(Value::key_string)
             .collect::<Vec<_>>()
             .join("|");
-        let entry = self
-            .groups
-            .entry(key)
-            .or_insert_with(|| (group_vals.clone(), self.aggs.iter().map(AggFunc::init).collect()));
+        let entry = self.groups.entry(key).or_insert_with(|| {
+            (
+                group_vals.clone(),
+                self.aggs.iter().map(AggFunc::init).collect(),
+            )
+        });
         let mut merged_any = false;
         for (agg, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
-            let col = agg.output_column();
-            if let Some(v) = tuple.get(&col) {
-                let other = match (agg, v) {
-                    (AggFunc::Count, Value::Int(n)) => Some(AggState::Count(*n as u64)),
-                    (AggFunc::Sum(_), v) => v.as_f64().map(AggState::Sum),
-                    (AggFunc::Min(_), v) => Some(AggState::Min(Some(v.clone()))),
-                    (AggFunc::Max(_), v) => Some(AggState::Max(Some(v.clone()))),
-                    (AggFunc::Avg(_), _) => {
-                        // Partials for AVG carry explicit sum/count columns.
-                        let sum = tuple.get(&format!("{col}_sum")).and_then(Value::as_f64);
-                        let count = tuple.get(&format!("{col}_count")).and_then(Value::as_i64);
-                        match (sum, count) {
-                            (Some(s), Some(c)) => Some(AggState::Avg {
-                                sum: s,
-                                count: c as u64,
-                            }),
-                            _ => None,
-                        }
-                    }
-                    _ => None,
-                };
-                if let Some(other) = other {
-                    state.merge(&other);
-                    merged_any = true;
-                }
+            if let Some(other) = AggState::from_partial_tuple(agg, tuple) {
+                state.merge(&other);
+                merged_any = true;
             }
         }
         merged_any
@@ -321,8 +305,14 @@ impl LocalOperator for TopK {
 
     fn flush(&mut self) -> Vec<Tuple> {
         self.buffer.sort_by(|a, b| {
-            let av = a.get(&self.order_col).and_then(Value::as_f64).unwrap_or(f64::MIN);
-            let bv = b.get(&self.order_col).and_then(Value::as_f64).unwrap_or(f64::MIN);
+            let av = a
+                .get(&self.order_col)
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::MIN);
+            let bv = b
+                .get(&self.order_col)
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::MIN);
             bv.partial_cmp(&av).unwrap_or(std::cmp::Ordering::Equal)
         });
         self.buffer.drain(..).take(self.k).collect()
@@ -551,11 +541,7 @@ mod tests {
 
     #[test]
     fn selection_filters_and_discards_malformed() {
-        let mut sel = Selection::new(Expr::cmp(
-            CmpOp::Gt,
-            Expr::col("amount"),
-            Expr::lit(10i64),
-        ));
+        let mut sel = Selection::new(Expr::cmp(CmpOp::Gt, Expr::col("amount"), Expr::lit(10i64)));
         assert_eq!(sel.push(row("t", 1, "a", 50)).len(), 1);
         assert_eq!(sel.push(row("t", 2, "a", 5)).len(), 0);
         // Malformed: no amount column.
@@ -599,7 +585,10 @@ mod tests {
         }
         let out = g.flush();
         assert_eq!(out.len(), 2);
-        let a = out.iter().find(|t| t.get("category") == Some(&Value::Str("a".into()))).unwrap();
+        let a = out
+            .iter()
+            .find(|t| t.get("category") == Some(&Value::Str("a".into())))
+            .unwrap();
         assert_eq!(a.get("count"), Some(&Value::Int(3)));
         assert_eq!(a.get("sum_amount"), Some(&Value::Float(60.0)));
     }
@@ -679,13 +668,18 @@ mod tests {
 
     #[test]
     fn symmetric_hash_join_equals_nested_loop() {
-        let left: Vec<Tuple> = (0..20).map(|i| row("r", i, ["a", "b", "c"][(i % 3) as usize], i)).collect();
+        let left: Vec<Tuple> = (0..20)
+            .map(|i| row("r", i, ["a", "b", "c"][(i % 3) as usize], i))
+            .collect();
         let right: Vec<Tuple> = (0..15)
             .map(|i| {
                 Tuple::new(
                     "s",
                     vec![
-                        ("category", Value::Str(["a", "b", "c", "d"][(i % 4) as usize].into())),
+                        (
+                            "category",
+                            Value::Str(["a", "b", "c", "d"][(i % 4) as usize].into()),
+                        ),
                         ("weight", Value::Int(i * 10)),
                     ],
                 )
@@ -712,7 +706,7 @@ mod tests {
         }
         let reference = nested_loop_join(&left, &right, &key, &key, "rs");
         assert_eq!(streamed.len(), reference.len());
-        assert!(streamed.len() > 0);
+        assert!(!streamed.is_empty());
         let (ls, rs) = shj.state_size();
         assert_eq!(ls, 20);
         assert_eq!(rs, 15);

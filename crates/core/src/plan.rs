@@ -19,6 +19,7 @@ use crate::operators::{
     Distinct, GroupBy, Limit, LocalOperator, Projection, Queue, Selection, TopK,
 };
 use crate::tuple::Tuple;
+use pier_cq::{CqBudget, DeltaMode, WindowSpec};
 use pier_runtime::{Duration, NodeAddr, WireSize};
 
 /// Serializable description of a local physical operator.
@@ -195,6 +196,29 @@ pub enum SinkSpec {
         /// baseline in the hierarchical-aggregation ablation.
         flat: bool,
     },
+    /// Windowed continuous aggregation (the `pier-cq` subsystem): tuples are
+    /// folded into tumbling/sliding time windows at each node; closed-window
+    /// partials travel toward the query's window root (combining en route at
+    /// upcall hops), and the root streams per-window results to the proxy as
+    /// snapshots or insert/retract deltas.
+    WindowedAgg {
+        /// The tumbling/sliding window specification.
+        window: WindowSpec,
+        /// Grouping columns within each window.
+        group_cols: Vec<String>,
+        /// Aggregates to compute per window and group.
+        aggs: Vec<AggFunc>,
+        /// Column carrying the event time (virtual-time microseconds);
+        /// tuples without it fall back to arrival time.
+        time_col: Option<String>,
+        /// Window-scoped duplicate-elimination columns (empty = none).
+        dedup_cols: Vec<String>,
+        /// Snapshot or insert/retract output semantics.
+        delta: DeltaMode,
+        /// Operators applied to each window's merged result at the root
+        /// (e.g. top-k) before streaming to the proxy.
+        final_ops: Vec<OperatorSpec>,
+    },
 }
 
 /// How a plan (or a single opgraph) is shipped to the nodes that must run it.
@@ -239,6 +263,63 @@ pub struct OpGraph {
     pub sink: SinkSpec,
 }
 
+/// The soft-state lifecycle of a *continuous* query (the `pier-cq`
+/// subsystem): how often the proxy re-disseminates the standing plan, how
+/// long each (re)dissemination leases the query at a node, and the
+/// work/state budget every node enforces for it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CqSpec {
+    /// Proxy re-dissemination (lease renewal) period.  Re-dissemination
+    /// doubles as churn repair: nodes that joined or restarted after the
+    /// original dissemination pick the query up on the next round.
+    pub renew_every: Duration,
+    /// Lease granted by each (re)dissemination; a node missing renewals
+    /// uninstalls the query when the lease lapses.
+    pub lease: Duration,
+    /// Per-node work/state bound for the query's window state.
+    pub budget: CqBudget,
+}
+
+impl Default for CqSpec {
+    fn default() -> Self {
+        let renew_every = 10_000_000; // 10 s
+        CqSpec {
+            renew_every,
+            lease: renew_every * 3,
+            budget: CqBudget::default(),
+        }
+    }
+}
+
+impl CqSpec {
+    /// Shortest accepted renewal period — a re-dissemination is a broadcast,
+    /// so sub-second periods would flood the overlay.
+    pub const MIN_RENEW_EVERY: Duration = 1_000_000;
+
+    /// A lifecycle renewing every `renew_every` microseconds (clamped to
+    /// [`CqSpec::MIN_RENEW_EVERY`]) with the conventional 3× lease.
+    pub fn renewing_every(renew_every: Duration) -> Self {
+        let renew_every = renew_every.max(Self::MIN_RENEW_EVERY);
+        CqSpec {
+            renew_every,
+            lease: renew_every.saturating_mul(3),
+            budget: CqBudget::default(),
+        }
+    }
+
+    /// Override the per-node budget.
+    pub fn with_budget(mut self, budget: CqBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+impl WireSize for CqSpec {
+    fn wire_size(&self) -> usize {
+        16 + self.budget.wire_size()
+    }
+}
+
 /// A complete query plan.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryPlan {
@@ -256,6 +337,9 @@ pub struct QueryPlan {
     /// Continuous queries keep delivering results until the timeout; snapshot
     /// queries deliver what the timeout has collected.
     pub continuous: bool,
+    /// Soft-state lifecycle for continuous queries; `None` for one-shot
+    /// queries (install once, die at the timeout).
+    pub cq: Option<CqSpec>,
 }
 
 impl QueryPlan {
@@ -268,6 +352,20 @@ impl QueryPlan {
     /// root identifier named in the query, §3.3.4).
     pub fn agg_root_key(&self) -> String {
         format!("q{}.agg-root", self.query_id)
+    }
+
+    /// Namespace under which this query's closed-window partials travel.
+    pub fn window_namespace(&self) -> String {
+        format!("q{}.windows", self.query_id)
+    }
+
+    /// The windowed-aggregation sink of this plan, if any.
+    pub fn windowed_sink(&self) -> Option<(usize, &SinkSpec)> {
+        self.opgraphs
+            .iter()
+            .enumerate()
+            .find(|(_, g)| matches!(g.sink, SinkSpec::WindowedAgg { .. }))
+            .map(|(i, g)| (i, &g.sink))
     }
 }
 
@@ -318,6 +416,7 @@ pub struct PlanBuilder {
     opgraphs: Vec<OpGraph>,
     timeout: Duration,
     continuous: bool,
+    cq: Option<CqSpec>,
 }
 
 impl PlanBuilder {
@@ -329,6 +428,7 @@ impl PlanBuilder {
             opgraphs: Vec::new(),
             timeout: 30_000_000,
             continuous: false,
+            cq: None,
         }
     }
 
@@ -350,6 +450,13 @@ impl PlanBuilder {
         self
     }
 
+    /// Attach a continuous-query lifecycle (implies `continuous`).
+    pub fn cq(mut self, spec: CqSpec) -> Self {
+        self.cq = Some(spec);
+        self.continuous = true;
+        self
+    }
+
     /// Add an opgraph.
     pub fn opgraph(mut self, graph: OpGraph) -> Self {
         self.opgraphs.push(graph);
@@ -365,6 +472,7 @@ impl PlanBuilder {
             opgraphs: self.opgraphs,
             timeout: self.timeout,
             continuous: self.continuous,
+            cq: self.cq,
         }
     }
 
@@ -390,6 +498,40 @@ impl PlanBuilder {
                 join: None,
                 ops,
                 sink: SinkSpec::ToProxy,
+            })
+            .build()
+    }
+
+    /// Shorthand for the continuous netmon query: a sliding-window grouped
+    /// count over `table`, streamed per window to the proxy for as long as
+    /// the proxy keeps renewing the query.
+    pub fn windowed_group_count(
+        proxy: NodeAddr,
+        table: &str,
+        group_col: &str,
+        window: WindowSpec,
+        cq: CqSpec,
+        timeout: Duration,
+    ) -> QueryPlan {
+        PlanBuilder::new(proxy)
+            .timeout(timeout)
+            .cq(cq)
+            .opgraph(OpGraph {
+                id: 0,
+                source: SourceSpec::Table {
+                    namespace: table.to_string(),
+                },
+                join: None,
+                ops: vec![],
+                sink: SinkSpec::WindowedAgg {
+                    window,
+                    group_cols: vec![group_col.to_string()],
+                    aggs: vec![AggFunc::Count],
+                    time_col: Some("ts".to_string()),
+                    dedup_cols: vec![],
+                    delta: DeltaMode::Snapshot,
+                    final_ops: vec![],
+                },
             })
             .build()
     }

@@ -28,7 +28,9 @@
 //! nodes rather than all of them.
 
 use crate::expr::{CmpOp, Expr};
-use crate::plan::{Dissemination, OpGraph, OperatorSpec, PlanBuilder, QueryPlan, SinkSpec, SourceSpec};
+use crate::plan::{
+    Dissemination, OpGraph, OperatorSpec, PlanBuilder, QueryPlan, SinkSpec, SourceSpec,
+};
 use crate::tuple::Tuple;
 use pier_runtime::{Duration, NodeAddr};
 
@@ -47,7 +49,7 @@ pub struct RangeIndexConfig {
 impl RangeIndexConfig {
     /// A small default: 6-bit prefixes (64 buckets) over a 32-bit domain.
     pub fn new(prefix_bits: u32, domain_bits: u32) -> Self {
-        assert!(domain_bits >= 1 && domain_bits <= 63, "domain must be 1–63 bits");
+        assert!((1..=63).contains(&domain_bits), "domain must be 1–63 bits");
         assert!(
             prefix_bits >= 1 && prefix_bits <= domain_bits,
             "prefix bits must be between 1 and domain_bits"
@@ -90,11 +92,7 @@ impl RangeIndexConfig {
 
     /// The label of bucket `index`.
     pub fn label(&self, index: u64) -> String {
-        format!(
-            "rng:{:0width$b}",
-            index,
-            width = self.prefix_bits as usize
-        )
+        format!("rng:{:0width$b}", index, width = self.prefix_bits as usize)
     }
 
     /// The labels of every bucket overlapping `[lo, hi]` (inclusive).  An
@@ -121,6 +119,7 @@ impl RangeIndexConfig {
 /// index: the opgraph is disseminated only to the partitions of the buckets
 /// that overlap the range, each of which applies the exact predicate before
 /// shipping results to the proxy.
+#[allow(clippy::too_many_arguments)]
 pub fn range_scan_plan(
     proxy: NodeAddr,
     table: &str,

@@ -253,8 +253,7 @@ mod tests {
     fn reachability_over_a_chain_with_branches() {
         let tc = chain_and_branch();
         let (reached, rounds) = tc.reachable_from("a");
-        let expect: BTreeSet<String> =
-            ["b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
+        let expect: BTreeSet<String> = ["b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
         assert_eq!(reached, expect);
         assert_eq!(rounds, 3, "d is three hops from a");
         let (from_x, _) = tc.reachable_from("x");
@@ -303,11 +302,7 @@ mod tests {
             let fetched: Vec<Tuple> = rounds
                 .frontier()
                 .iter()
-                .flat_map(|n| {
-                    tc.successors(n)
-                        .into_iter()
-                        .map(move |d| edge(n, &d))
-                })
+                .flat_map(|n| tc.successors(n).into_iter().map(move |d| edge(n, &d)))
                 .collect();
             rounds.absorb(&fetched);
             guard -= 1;
@@ -316,8 +311,15 @@ mod tests {
         let mut got = rounds.reached().clone();
         got.remove("a"); // the round evaluator counts the start as reached
         assert_eq!(got, expected);
-        assert_eq!(rounds.rounds(), hops + 1, "one extra round discovers emptiness");
-        assert_eq!(rounds.result_tuples("reachable").len(), rounds.reached().len());
+        assert_eq!(
+            rounds.rounds(),
+            hops + 1,
+            "one extra round discovers emptiness"
+        );
+        assert_eq!(
+            rounds.result_tuples("reachable").len(),
+            rounds.reached().len()
+        );
     }
 
     #[test]
@@ -325,7 +327,7 @@ mod tests {
         let mut r = ReachabilityRound::new("a", "src", "dst");
         let newly = r.absorb(&[
             edge("a", "b"),
-            edge("z", "q"),                                        // not in frontier
+            edge("z", "q"), // not in frontier
             Tuple::new("links", vec![("src", Value::Str("a".into()))]), // malformed
         ]);
         assert_eq!(newly.len(), 1);

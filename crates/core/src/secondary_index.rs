@@ -24,7 +24,9 @@
 //!   back to the base tuples.
 
 use crate::expr::Expr;
-use crate::plan::{Dissemination, OpGraph, OperatorSpec, PlanBuilder, QueryPlan, SinkSpec, SourceSpec};
+use crate::plan::{
+    Dissemination, OpGraph, OperatorSpec, PlanBuilder, QueryPlan, SinkSpec, SourceSpec,
+};
 use crate::tuple::Tuple;
 use crate::value::Value;
 use pier_runtime::{Duration, NodeAddr};
@@ -146,7 +148,10 @@ mod tests {
         let entry = index_entry("files", &base_key, "keyword", &row).unwrap();
         assert_eq!(entry.table, "files__idx_keyword");
         assert_eq!(entry.get(INDEX_KEY_COL), Some(&Value::Str("rock".into())));
-        assert_eq!(entry.get(BASE_NAMESPACE_COL), Some(&Value::Str("files".into())));
+        assert_eq!(
+            entry.get(BASE_NAMESPACE_COL),
+            Some(&Value::Str("files".into()))
+        );
         assert_eq!(
             entry.get(BASE_KEY_COL),
             Some(&Value::Str(row.partition_key(&base_key).unwrap()))
@@ -179,7 +184,13 @@ mod tests {
 
     #[test]
     fn lookup_plan_routes_to_the_index_partition_and_fetches_the_base() {
-        let plan = lookup_plan(NodeAddr(4), "files", "keyword", Value::Str("rock".into()), 5_000_000);
+        let plan = lookup_plan(
+            NodeAddr(4),
+            "files",
+            "keyword",
+            Value::Str("rock".into()),
+            5_000_000,
+        );
         match &plan.dissemination {
             Dissemination::ByKey { namespace, key } => {
                 assert_eq!(namespace, "files__idx_keyword");

@@ -12,6 +12,7 @@
 //! [WHERE col op literal [AND ...]]
 //! [GROUP BY col [, col ...]]
 //! [TOP k BY col]
+//! [WINDOW 30s [SLIDE 10s]] [EVERY 20s] [DELTAS]
 //! ```
 //!
 //! and a *naive* planner that maps the statement onto a single-opgraph
@@ -19,13 +20,21 @@
 //! equality-index dissemination, aggregates choose hierarchical aggregation,
 //! everything else broadcasts — there is no cost-based optimisation, which
 //! is exactly the state of the system the paper describes.
+//!
+//! The windowing clauses register a *continuous* query (the `pier-cq`
+//! subsystem): `WINDOW` sets the window size (`SLIDE` defaults to tumbling),
+//! `EVERY` sets the soft-state renewal period the proxy re-disseminates the
+//! standing plan at, and `DELTAS` switches per-window output from snapshots
+//! to insert/retract streams.  Durations accept `us`, `ms`, `s` and `m`
+//! suffixes (a bare number is seconds).
 
 use crate::aggregate::AggFunc;
 use crate::expr::{CmpOp, Expr};
 use crate::plan::{
-    Dissemination, OpGraph, OperatorSpec, PlanBuilder, QueryPlan, SinkSpec, SourceSpec,
+    CqSpec, Dissemination, OpGraph, OperatorSpec, PlanBuilder, QueryPlan, SinkSpec, SourceSpec,
 };
 use crate::value::Value;
+use pier_cq::{DeltaMode, WindowSpec};
 use pier_runtime::{Duration, NodeAddr};
 
 /// A parse or planning error with a human-readable message.
@@ -53,6 +62,12 @@ pub struct SelectStatement {
     pub group_by: Vec<String>,
     /// Optional `TOP k BY col`.
     pub top: Option<(usize, String)>,
+    /// Optional `WINDOW size [SLIDE slide]` (microseconds).
+    pub window: Option<(Duration, Option<Duration>)>,
+    /// Optional `EVERY renew-period` (microseconds).
+    pub every: Option<Duration>,
+    /// `DELTAS`: stream insert/retract refinements instead of snapshots.
+    pub deltas: bool,
 }
 
 fn tokenize(input: &str) -> Vec<String> {
@@ -128,7 +143,29 @@ impl Parser {
     }
 
     fn peek_is_kw(&self, kw: &str) -> bool {
-        self.peek().map(|t| t.eq_ignore_ascii_case(kw)).unwrap_or(false)
+        self.peek()
+            .map(|t| t.eq_ignore_ascii_case(kw))
+            .unwrap_or(false)
+    }
+
+    /// Parse a duration literal: `500ms`, `30s`, `2m`, `1500us`; a bare
+    /// number means seconds.  Returns microseconds.
+    fn parse_duration(token: &str) -> Result<Duration, SqlError> {
+        let (digits, unit) = match token.find(|c: char| !c.is_ascii_digit()) {
+            Some(split) => token.split_at(split),
+            None => (token, "s"),
+        };
+        let n: u64 = digits
+            .parse()
+            .map_err(|_| SqlError(format!("bad duration {token}")))?;
+        let factor = match unit.to_ascii_lowercase().as_str() {
+            "us" => 1,
+            "ms" => 1_000,
+            "s" => 1_000_000,
+            "m" => 60_000_000,
+            other => return Err(SqlError(format!("unknown duration unit {other}"))),
+        };
+        Ok(n.saturating_mul(factor).max(1))
     }
 
     fn parse_literal(token: &str) -> Value {
@@ -202,9 +239,7 @@ pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
             let op = p
                 .next()
                 .ok_or_else(|| SqlError("missing comparison operator".into()))?;
-            let lit = p
-                .next()
-                .ok_or_else(|| SqlError("missing literal".into()))?;
+            let lit = p.next().ok_or_else(|| SqlError("missing literal".into()))?;
             let cmp = match op.as_str() {
                 "=" | "==" => CmpOp::Eq,
                 "!=" | "<>" => CmpOp::Ne,
@@ -255,6 +290,41 @@ pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
             .ok_or_else(|| SqlError("TOP ... BY requires a column".into()))?;
         top = Some((k, col));
     }
+    let mut window = None;
+    if p.peek_is_kw("WINDOW") {
+        p.next();
+        let size = p
+            .next()
+            .ok_or_else(|| SqlError("WINDOW requires a duration".into()))
+            .and_then(|t| Parser::parse_duration(&t))?;
+        let mut slide = None;
+        if p.peek_is_kw("SLIDE") {
+            p.next();
+            slide = Some(
+                p.next()
+                    .ok_or_else(|| SqlError("SLIDE requires a duration".into()))
+                    .and_then(|t| Parser::parse_duration(&t))?,
+            );
+        }
+        window = Some((size, slide));
+    }
+    let mut every = None;
+    if p.peek_is_kw("EVERY") {
+        p.next();
+        every = Some(
+            p.next()
+                .ok_or_else(|| SqlError("EVERY requires a duration".into()))
+                .and_then(|t| Parser::parse_duration(&t))?,
+        );
+    }
+    let mut deltas = false;
+    if p.peek_is_kw("DELTAS") {
+        p.next();
+        deltas = true;
+    }
+    if let Some(trailing) = p.peek() {
+        return Err(SqlError(format!("unexpected trailing token {trailing}")));
+    }
     Ok(SelectStatement {
         columns,
         aggregates,
@@ -262,11 +332,37 @@ pub fn parse(sql: &str) -> Result<SelectStatement, SqlError> {
         predicates,
         group_by,
         top,
+        window,
+        every,
+        deltas,
     })
 }
 
 /// Plan a parsed statement with the naive strategy described in §4.2.
+/// Statements with windowing clauses must be planned through
+/// [`plan_checked`]; this infallible variant keeps the historical signature
+/// and maps windowed statements the same way (invalid combinations fall
+/// back to ignoring the window).
 pub fn plan(statement: &SelectStatement, proxy: NodeAddr, timeout: Duration) -> QueryPlan {
+    plan_checked(statement, proxy, timeout).unwrap_or_else(|_| {
+        let mut no_window = statement.clone();
+        no_window.window = None;
+        plan_checked(&no_window, proxy, timeout).expect("windowless plan is infallible")
+    })
+}
+
+/// Plan a parsed statement, rejecting invalid windowing combinations
+/// (a `WINDOW` clause requires at least one aggregate).
+pub fn plan_checked(
+    statement: &SelectStatement,
+    proxy: NodeAddr,
+    timeout: Duration,
+) -> Result<QueryPlan, SqlError> {
+    if statement.window.is_some() && statement.aggregates.is_empty() {
+        return Err(SqlError(
+            "WINDOW requires an aggregate (windowed raw streams are not supported)".into(),
+        ));
+    }
     let predicate = Expr::all(statement.predicates.clone());
     // Naive dissemination choice: an equality predicate on any column makes
     // the query routable to the partition holding that key (assuming the
@@ -293,17 +389,42 @@ pub fn plan(statement: &SelectStatement, proxy: NodeAddr, timeout: Duration) -> 
     if !statement.predicates.is_empty() {
         ops.push(OperatorSpec::Selection(predicate));
     }
-    let sink = if !statement.aggregates.is_empty() {
-        let final_ops = statement
-            .top
-            .as_ref()
-            .map(|(k, col)| {
-                vec![OperatorSpec::TopK {
-                    k: *k,
-                    order_col: col.clone(),
-                }]
-            })
-            .unwrap_or_default();
+    let final_ops = statement
+        .top
+        .as_ref()
+        .map(|(k, col)| {
+            vec![OperatorSpec::TopK {
+                k: *k,
+                order_col: col.clone(),
+            }]
+        })
+        .unwrap_or_default();
+    let mut cq = None;
+    let sink = if let Some((size, slide)) = statement.window {
+        // A standing windowed aggregate: every node must see the stream, so
+        // the plan broadcasts and the proxy keeps renewing it.
+        let slide = slide.unwrap_or(size);
+        let window = WindowSpec::sliding(size, slide).with_grace(slide / 2);
+        cq = Some(
+            statement
+                .every
+                .map(CqSpec::renewing_every)
+                .unwrap_or_default(),
+        );
+        SinkSpec::WindowedAgg {
+            window,
+            group_cols: statement.group_by.clone(),
+            aggs: statement.aggregates.clone(),
+            time_col: Some("ts".to_string()),
+            dedup_cols: vec![],
+            delta: if statement.deltas {
+                DeltaMode::Deltas
+            } else {
+                DeltaMode::Snapshot
+            },
+            final_ops,
+        }
+    } else if !statement.aggregates.is_empty() {
         SinkSpec::HierarchicalAgg {
             group_cols: statement.group_by.clone(),
             aggs: statement.aggregates.clone(),
@@ -317,9 +438,18 @@ pub fn plan(statement: &SelectStatement, proxy: NodeAddr, timeout: Duration) -> 
         }
         SinkSpec::ToProxy
     };
-    PlanBuilder::new(proxy)
+    let dissemination = if statement.window.is_some() {
+        Dissemination::Broadcast
+    } else {
+        dissemination
+    };
+    let mut builder = PlanBuilder::new(proxy)
         .dissemination(dissemination)
-        .timeout(timeout)
+        .timeout(timeout);
+    if let Some(cq) = cq {
+        builder = builder.cq(cq);
+    }
+    Ok(builder
         .opgraph(OpGraph {
             id: 0,
             source: SourceSpec::Table {
@@ -329,7 +459,7 @@ pub fn plan(statement: &SelectStatement, proxy: NodeAddr, timeout: Duration) -> 
             ops,
             sink,
         })
-        .build()
+        .build())
 }
 
 fn collect_columns(predicates: &[Expr]) -> Vec<String> {
@@ -354,7 +484,7 @@ fn collect_columns(predicates: &[Expr]) -> Vec<String> {
 
 /// Parse and plan in one step.
 pub fn compile(sql: &str, proxy: NodeAddr, timeout: Duration) -> Result<QueryPlan, SqlError> {
-    Ok(plan(&parse(sql)?, proxy, timeout))
+    plan_checked(&parse(sql)?, proxy, timeout)
 }
 
 #[cfg(test)]
@@ -363,7 +493,8 @@ mod tests {
 
     #[test]
     fn parses_simple_select() {
-        let s = parse("SELECT file, size FROM files WHERE keyword = 'rock' AND size > 100").unwrap();
+        let s =
+            parse("SELECT file, size FROM files WHERE keyword = 'rock' AND size > 100").unwrap();
         assert_eq!(s.columns, vec!["file", "size"]);
         assert_eq!(s.table, "files");
         assert_eq!(s.predicates.len(), 2);

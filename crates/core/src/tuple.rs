@@ -22,10 +22,7 @@ pub struct Tuple {
 impl Tuple {
     /// Create a tuple from `(column, value)` pairs.
     pub fn new(table: impl Into<String>, fields: Vec<(&str, Value)>) -> Self {
-        let (columns, values) = fields
-            .into_iter()
-            .map(|(c, v)| (c.to_string(), v))
-            .unzip();
+        let (columns, values) = fields.into_iter().map(|(c, v)| (c.to_string(), v)).unzip();
         Tuple {
             table: table.into(),
             columns,

@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn numeric_comparisons_cross_type() {
-        assert_eq!(Value::Int(3).compare(&Value::Float(3.0)), Some(Ordering::Equal));
+        assert_eq!(
+            Value::Int(3).compare(&Value::Float(3.0)),
+            Some(Ordering::Equal)
+        );
         assert_eq!(Value::Int(2).compare(&Value::Int(5)), Some(Ordering::Less));
         assert_eq!(
             Value::Float(2.5).compare(&Value::Int(2)),
@@ -193,7 +196,10 @@ mod tests {
 
     #[test]
     fn key_strings_distinguish_types_and_values() {
-        assert_ne!(Value::Int(1).key_string(), Value::Str("1".into()).key_string());
+        assert_ne!(
+            Value::Int(1).key_string(),
+            Value::Str("1".into()).key_string()
+        );
         assert_ne!(Value::Int(1).key_string(), Value::Int(2).key_string());
         assert_eq!(Value::Int(7).key_string(), Value::Int(7).key_string());
         assert_eq!(Value::Bytes(vec![0xab]).key_string(), "x:ab");

@@ -1,0 +1,37 @@
+//! # pier-cq — the continuous-query subsystem
+//!
+//! PIER's flagship workload, network monitoring (Figure 2), is a *standing*
+//! query over an endless stream of packet and flow tuples.  This crate
+//! provides the machinery that turns the one-shot executor of `pier-core`
+//! into a long-running monitoring engine:
+//!
+//! * [`window`] — tumbling and sliding time windows: window identifier
+//!   arithmetic, bounds, close times and the [`window::WindowSpec`] that
+//!   travels inside query plans.
+//! * [`state`] — the per-node [`state::WindowStore`]: window-scoped grouped
+//!   state with duplicate elimination, explicit work/state budgets (load
+//!   shedding instead of unbounded growth), order-insensitive merging of
+//!   partial window state, and eviction of expired windows.
+//! * [`delta`] — delta-output semantics: per-window snapshot results or
+//!   insert/retract streams computed against the previous emission of the
+//!   same window ([`delta::DeltaTracker`]).
+//! * [`lifecycle`] — the soft-state continuous-query lifecycle: leases that
+//!   must be renewed by periodic re-dissemination (so a query dies everywhere
+//!   once its owner stops renewing, and reaches nodes that joined after it
+//!   was first disseminated), plus per-query budgets.
+//!
+//! The crate is deliberately *below* the query processor: everything here is
+//! generic over the accumulator type (`pier-core` plugs its mergeable
+//! `AggState` partial aggregates in) so the same windowing engine can back
+//! other workloads.  Only `pier-runtime` types (durations, wire sizing) are
+//! used.
+
+pub mod delta;
+pub mod lifecycle;
+pub mod state;
+pub mod window;
+
+pub use delta::{Delta, DeltaMode, DeltaTracker};
+pub use lifecycle::{CqBudget, Lease};
+pub use state::{WindowAccumulator, WindowStats, WindowStore};
+pub use window::{WindowId, WindowSpec};

@@ -1,0 +1,108 @@
+//! The soft-state lifecycle of a continuous query.
+//!
+//! A standing query must not outlive its owner: PIER keeps *all* distributed
+//! state soft (§3.2.3), and continuous queries follow the same discipline.
+//! The query's proxy periodically **re-disseminates** the plan; every node
+//! holding the query treats each arrival as a lease renewal.  A node that
+//! misses renewals (partitioned away, or the owner went away) silently
+//! uninstalls the query when the lease expires.  Re-dissemination doubles as
+//! churn repair: nodes that joined — or restarted — after the original
+//! dissemination receive the plan on the next renewal round and join the
+//! computation.
+//!
+//! [`CqBudget`] is the per-query work/state bound every node enforces
+//! locally (PIQL-style bounded-work contracts): a continuous query may be
+//! long-lived, but its footprint on any node is capped.
+
+use pier_runtime::{Duration, SimTime, WireSize};
+
+/// Per-node, per-query work and state bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CqBudget {
+    /// Maximum simultaneously open windows (oldest evicts beyond this).
+    pub max_open_windows: u32,
+    /// Maximum groups held per window (further groups are shed).
+    pub max_groups_per_window: u32,
+    /// Maximum tuples folded into one window at this node (work bound).
+    pub max_tuples_per_window: u64,
+}
+
+impl Default for CqBudget {
+    fn default() -> Self {
+        CqBudget {
+            max_open_windows: 64,
+            max_groups_per_window: 4_096,
+            max_tuples_per_window: 1_000_000,
+        }
+    }
+}
+
+impl WireSize for CqBudget {
+    fn wire_size(&self) -> usize {
+        16
+    }
+}
+
+/// A node's lease on one continuous query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// When the lease expires if not renewed.
+    pub expires_at: SimTime,
+    /// How much each renewal extends the lease.
+    pub duration: Duration,
+    /// Renewals observed (diagnostics).
+    pub renewals: u32,
+}
+
+impl Lease {
+    /// A fresh lease granted at `now`.
+    pub fn granted(now: SimTime, duration: Duration) -> Self {
+        Lease {
+            expires_at: now.saturating_add(duration),
+            duration,
+            renewals: 0,
+        }
+    }
+
+    /// Extend the lease from `now` (a renewal arrived).
+    pub fn renew(&mut self, now: SimTime) {
+        self.expires_at = self.expires_at.max(now.saturating_add(self.duration));
+        self.renewals += 1;
+    }
+
+    /// True once the lease has lapsed.
+    pub fn expired(&self, now: SimTime) -> bool {
+        now >= self.expires_at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_expires_without_renewal() {
+        let lease = Lease::granted(100, 50);
+        assert!(!lease.expired(149));
+        assert!(lease.expired(150));
+    }
+
+    #[test]
+    fn renewal_extends_from_now() {
+        let mut lease = Lease::granted(0, 50);
+        lease.renew(40);
+        assert_eq!(lease.expires_at, 90);
+        assert_eq!(lease.renewals, 1);
+        // A stale renewal (clock skew) never shortens the lease.
+        lease.renew(10);
+        assert_eq!(lease.expires_at, 90);
+    }
+
+    #[test]
+    fn default_budget_is_finite() {
+        let b = CqBudget::default();
+        assert!(b.max_open_windows > 0);
+        assert!(b.max_groups_per_window > 0);
+        assert!(b.max_tuples_per_window > 0);
+    }
+}

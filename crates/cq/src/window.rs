@@ -1,0 +1,152 @@
+//! Time-window arithmetic for continuous queries.
+//!
+//! A window specification divides the time axis into (possibly overlapping)
+//! windows of length `size` starting every `slide` microseconds.  Window `w`
+//! covers `[w * slide, w * slide + size)`.  A tumbling window is the special
+//! case `slide == size`; a sliding window has `slide < size` and every event
+//! falls into `ceil(size / slide)` windows.
+
+use pier_runtime::{Duration, SimTime, WireSize};
+
+/// Identifier of one window instance: window `w` covers
+/// `[w * slide, w * slide + size)` on the virtual-time axis.
+pub type WindowId = u64;
+
+/// A tumbling or sliding time-window specification (all times in
+/// microseconds of virtual time, like every other duration in the system).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpec {
+    /// Window length.
+    pub size: Duration,
+    /// Distance between consecutive window starts; `slide == size` tumbles.
+    pub slide: Duration,
+    /// Extra time after a window's end before it is closed, giving in-flight
+    /// tuples and relayed partials time to arrive.
+    pub grace: Duration,
+}
+
+impl WindowSpec {
+    /// A tumbling window of length `size`.
+    pub fn tumbling(size: Duration) -> Self {
+        WindowSpec {
+            size: size.max(1),
+            slide: size.max(1),
+            grace: 0,
+        }
+    }
+
+    /// A sliding window of length `size` advancing every `slide`.
+    pub fn sliding(size: Duration, slide: Duration) -> Self {
+        let size = size.max(1);
+        WindowSpec {
+            size,
+            slide: slide.clamp(1, size),
+            grace: 0,
+        }
+    }
+
+    /// Set the close grace period.
+    pub fn with_grace(mut self, grace: Duration) -> Self {
+        self.grace = grace;
+        self
+    }
+
+    /// True when the window tumbles (no overlap).
+    pub fn is_tumbling(&self) -> bool {
+        self.slide == self.size
+    }
+
+    /// Number of windows every event falls into.
+    pub fn windows_per_event(&self) -> u64 {
+        self.size.div_ceil(self.slide)
+    }
+
+    /// `[start, end)` bounds of window `id`.
+    pub fn bounds(&self, id: WindowId) -> (SimTime, SimTime) {
+        let start = id.saturating_mul(self.slide);
+        (start, start.saturating_add(self.size))
+    }
+
+    /// The time at which window `id` may be closed (its end plus grace).
+    pub fn close_time(&self, id: WindowId) -> SimTime {
+        self.bounds(id).1.saturating_add(self.grace)
+    }
+
+    /// All windows containing event-time `t`, oldest first.
+    pub fn windows_containing(&self, t: SimTime) -> impl Iterator<Item = WindowId> {
+        // w * slide <= t < w * slide + size  ⇔  (t - size, t] ∋ w * slide.
+        let last = t / self.slide;
+        let first = t
+            .saturating_sub(self.size.saturating_sub(1))
+            .div_ceil(self.slide);
+        first..=last
+    }
+
+    /// The newest window that is closable at `now` (its close time has
+    /// passed), if any.
+    pub fn last_closable(&self, now: SimTime) -> Option<WindowId> {
+        let horizon = now.saturating_sub(self.size.saturating_add(self.grace));
+        if now < self.size.saturating_add(self.grace) {
+            return None;
+        }
+        Some(horizon / self.slide)
+    }
+}
+
+impl WireSize for WindowSpec {
+    fn wire_size(&self) -> usize {
+        24
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tumbling_windows_partition_time() {
+        let w = WindowSpec::tumbling(10);
+        for t in 0..100u64 {
+            let ids: Vec<WindowId> = w.windows_containing(t).collect();
+            assert_eq!(ids.len(), 1, "t={t} ids={ids:?}");
+            let (s, e) = w.bounds(ids[0]);
+            assert!(s <= t && t < e);
+        }
+    }
+
+    #[test]
+    fn sliding_windows_overlap_by_the_expected_factor() {
+        let w = WindowSpec::sliding(30, 10);
+        assert_eq!(w.windows_per_event(), 3);
+        // Once past the ramp-up, every instant is covered by exactly 3 windows.
+        for t in 30..200u64 {
+            let ids: Vec<WindowId> = w.windows_containing(t).collect();
+            assert_eq!(ids.len(), 3, "t={t} ids={ids:?}");
+            for id in ids {
+                let (s, e) = w.bounds(id);
+                assert!(s <= t && t < e, "t={t} not in [{s},{e})");
+            }
+        }
+    }
+
+    #[test]
+    fn close_time_includes_grace() {
+        let w = WindowSpec::sliding(30, 10).with_grace(5);
+        assert_eq!(w.close_time(0), 35);
+        assert_eq!(w.close_time(2), 55);
+        assert_eq!(w.last_closable(34), None);
+        assert_eq!(w.last_closable(35), Some(0));
+        assert_eq!(w.last_closable(54), Some(1));
+        assert_eq!(w.last_closable(55), Some(2));
+    }
+
+    #[test]
+    fn degenerate_specs_are_clamped() {
+        let w = WindowSpec::sliding(10, 0);
+        assert_eq!(w.slide, 1);
+        let w = WindowSpec::sliding(10, 99);
+        assert!(w.is_tumbling());
+        let w = WindowSpec::tumbling(0);
+        assert_eq!(w.size, 1);
+    }
+}

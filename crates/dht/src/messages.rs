@@ -116,16 +116,18 @@ impl<V: WireSize> WireSize for DhtMessage<V> {
     fn wire_size(&self) -> usize {
         match self {
             DhtMessage::Routing(m) => 1 + m.wire_size(),
-            DhtMessage::GetRequest {
-                namespace, key, ..
-            } => 1 + namespace.wire_size() + key.wire_size() + 6 + 8,
+            DhtMessage::GetRequest { namespace, key, .. } => {
+                1 + namespace.wire_size() + key.wire_size() + 6 + 8
+            }
             DhtMessage::GetResponse {
                 namespace,
                 key,
                 objects,
                 ..
             } => 1 + 8 + namespace.wire_size() + key.wire_size() + objects.wire_size(),
-            DhtMessage::PutRequest { name, value, .. } => 1 + name.wire_size() + value.wire_size() + 8,
+            DhtMessage::PutRequest { name, value, .. } => {
+                1 + name.wire_size() + value.wire_size() + 8
+            }
             DhtMessage::RenewRequest { name, .. } => 1 + name.wire_size() + 8 + 6 + 8,
             DhtMessage::RenewResponse { .. } => 1 + 9,
             DhtMessage::Routed { name, value, .. } => {

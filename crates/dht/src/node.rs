@@ -61,11 +61,7 @@ impl<V: Clone + Debug + WireSize> DhtNode<V> {
 
     /// Apply a batch of overlay effects against the runtime context,
     /// resolving upcalls according to `auto_continue_upcalls`.
-    pub fn apply(
-        &mut self,
-        ctx: &mut ProgramContext<Self>,
-        effects: Vec<OverlayEffect<V>>,
-    ) {
+    pub fn apply(&mut self, ctx: &mut ProgramContext<Self>, effects: Vec<OverlayEffect<V>>) {
         let mut worklist = effects;
         while !worklist.is_empty() {
             let mut next = Vec::new();
@@ -391,13 +387,10 @@ mod tests {
             node.apply(ctx, effects);
         });
         sim.run_for(10_000_000);
-        let done = sim
-            .node(issuer)
-            .unwrap()
-            .events
-            .iter()
-            .any(|e| matches!(e, OverlayEvent::LookupDone { owner, .. }
-                if refs.iter().take(5).all(|dead| dead.addr != owner.addr)));
+        let done = sim.node(issuer).unwrap().events.iter().any(|e| {
+            matches!(e, OverlayEvent::LookupDone { owner, .. }
+                if refs.iter().take(5).all(|dead| dead.addr != owner.addr))
+        });
         assert!(done, "lookup must complete and resolve to a live node");
     }
 }

@@ -289,12 +289,7 @@ impl Router {
 
     fn closest_preceding(&self, id: Id, now: SimTime) -> Option<NodeRef> {
         let mut best: Option<NodeRef> = None;
-        for cand in self
-            .fingers
-            .iter()
-            .flatten()
-            .chain(self.successors.iter())
-        {
+        for cand in self.fingers.iter().flatten().chain(self.successors.iter()) {
             if cand.addr == self.me.addr || self.presumed_dead(cand.addr, now) {
                 continue;
             }
@@ -626,7 +621,7 @@ impl Router {
         // disjoint cycles (possible when many nodes join a ring whose early
         // members have not stabilized yet): the re-join answer is adopted
         // only when it improves the successor pointer.
-        if self.stabilize_rounds % 3 == 0 {
+        if self.stabilize_rounds.is_multiple_of(3) {
             if let Some(addr) = self.bootstrap_addr {
                 if addr != self.me.addr {
                     let request_id = self.next_internal_id(u32::MAX);
@@ -810,14 +805,16 @@ mod tests {
             .collect();
 
         let mut inbox: Vec<(NodeAddr, NodeAddr, RouterMessage)> = Vec::new();
-        let push_effects = |from: NodeAddr, effects: Vec<RouterEffect>,
-                                inbox: &mut Vec<(NodeAddr, NodeAddr, RouterMessage)>| {
-            for e in effects {
-                if let RouterEffect::Send { to, msg } = e {
-                    inbox.push((from, to, msg));
+        let push_effects =
+            |from: NodeAddr,
+             effects: Vec<RouterEffect>,
+             inbox: &mut Vec<(NodeAddr, NodeAddr, RouterMessage)>| {
+                for e in effects {
+                    if let RouterEffect::Send { to, msg } = e {
+                        inbox.push((from, to, msg));
+                    }
                 }
-            }
-        };
+            };
 
         // Nodes 1 and 2 bootstrap through node 0.
         for i in 1..3usize {
@@ -854,11 +851,7 @@ mod tests {
             .iter()
             .any(|e| matches!(e, RouterEffect::Send { to, msg: RouterMessage::GetNeighbors { .. } } if *to == NodeAddr(1))));
         // The other peer (id 30) does answer its probe, so it stays live.
-        r.on_message(
-            NodeAddr(2),
-            RouterMessage::Notify { from: nodes[2] },
-            1_000,
-        );
+        r.on_message(NodeAddr(2), RouterMessage::Notify { from: nodes[2] }, 1_000);
         // Well past the liveness timeout the successor is presumed dead,
         // evicted, and the next successor-list entry takes over.
         assert!(r.presumed_dead(NodeAddr(1), 60_000_000));
@@ -875,11 +868,7 @@ mod tests {
         let mut r = Router::with_static_ring(nodes[0], &nodes, RouterConfig::default());
         r.on_stabilize(0);
         // The successor answers (any message clears the unanswered probe).
-        r.on_message(
-            NodeAddr(1),
-            RouterMessage::Notify { from: nodes[1] },
-            1_000,
-        );
+        r.on_message(NodeAddr(1), RouterMessage::Notify { from: nodes[1] }, 1_000);
         assert!(!r.presumed_dead(NodeAddr(1), 60_000_000));
         r.on_stabilize(60_000_000);
         assert_eq!(r.successor().unwrap().id, Id(20), "live successor kept");

@@ -162,9 +162,19 @@ pub enum OverlayEffect<V> {
 
 #[derive(Debug, Clone)]
 enum PendingOp<V> {
-    Get { namespace: String, key: String },
-    Put { name: ObjectName, value: V, lifetime: Duration },
-    Renew { name: ObjectName, lifetime: Duration },
+    Get {
+        namespace: String,
+        key: String,
+    },
+    Put {
+        name: ObjectName,
+        value: V,
+        lifetime: Duration,
+    },
+    Renew {
+        name: ObjectName,
+        lifetime: Duration,
+    },
     RawLookup,
 }
 
@@ -273,7 +283,12 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
     /// `get(namespace, key)`: fetch every object stored under the
     /// (namespace, key) pair.  The result arrives later as
     /// [`OverlayEvent::GetResult`] carrying the returned request id.
-    pub fn get(&mut self, namespace: &str, key: &str, now: SimTime) -> (u64, Vec<OverlayEffect<V>>) {
+    pub fn get(
+        &mut self,
+        namespace: &str,
+        key: &str,
+        now: SimTime,
+    ) -> (u64, Vec<OverlayEffect<V>>) {
         let request_id = self.next_request_id();
         let id = crate::id::routing_id(namespace, key);
         if self.router.is_responsible(id) {
@@ -832,7 +847,12 @@ mod tests {
             }
         }
         assert!(!key.is_empty(), "no locally owned key found");
-        let effects = a.put(ObjectName::new("t", key.clone(), 1), "v".into(), 1_000_000, 0);
+        let effects = a.put(
+            ObjectName::new("t", key.clone(), 1),
+            "v".into(),
+            1_000_000,
+            0,
+        );
         assert!(matches!(
             events(&effects).as_slice(),
             [OverlayEvent::NewData { .. }]
@@ -864,7 +884,12 @@ mod tests {
                 break;
             }
         }
-        let effects = a.put(ObjectName::new("t", key.clone(), 7), "val".into(), 1_000_000, 0);
+        let effects = a.put(
+            ObjectName::new("t", key.clone(), 7),
+            "val".into(),
+            1_000_000,
+            0,
+        );
         // In a two-node ring the lookup resolves locally (b is a's successor),
         // so the effect is a direct PutRequest to b.
         let msgs = sends(&effects);
@@ -1011,7 +1036,9 @@ mod tests {
         // Broadcasting from the root delivers locally and to the child.
         let effects = root.broadcast("query-plan".to_string(), 1);
         let evs = events(&effects);
-        assert!(matches!(&evs[..], [OverlayEvent::Broadcast { payload }] if payload == "query-plan"));
+        assert!(
+            matches!(&evs[..], [OverlayEvent::Broadcast { payload }] if payload == "query-plan")
+        );
         let down = sends(&effects);
         assert_eq!(down.len(), 1);
         assert_eq!(down[0].0, child_addr);

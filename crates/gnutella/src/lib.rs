@@ -283,11 +283,7 @@ mod tests {
             node.issue_query(ctx, vec!["rock".to_string()], 4);
         });
         sim.run_for(5_000_000);
-        let hits = sim
-            .outputs()
-            .iter()
-            .filter(|o| o.node == addrs[1])
-            .count();
+        let hits = sim.outputs().iter().filter(|o| o.node == addrs[1]).count();
         assert!(hits >= 1, "popular content must be found by flooding");
     }
 
@@ -300,11 +296,7 @@ mod tests {
             node.issue_query(ctx, vec!["obscure".to_string()], 2);
         });
         sim.run_for(10_000_000);
-        let hits = sim
-            .outputs()
-            .iter()
-            .filter(|o| o.node == addrs[0])
-            .count();
+        let hits = sim.outputs().iter().filter(|o| o.node == addrs[0]).count();
         assert_eq!(hits, 0, "TTL-limited flood should miss the rare item");
     }
 

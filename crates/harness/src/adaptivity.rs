@@ -148,7 +148,11 @@ mod tests {
         assert_eq!(rows.len(), 5);
         let expected = rows[0].results;
         for r in &rows {
-            assert_eq!(r.results, expected, "{} returned a different answer", r.strategy);
+            assert_eq!(
+                r.results, expected,
+                "{} returned a different answer",
+                r.strategy
+            );
             assert_eq!(r.tuples, 2_000);
         }
         assert!(expected > 0, "the workload must produce some matches");
@@ -173,13 +177,21 @@ mod tests {
         );
         // The adaptive policy should close most of the gap to the optimum.
         let gap = (lottery - best) as f64 / (worst - best) as f64;
-        assert!(gap < 0.5, "lottery should close at least half the gap, closed {gap:.2}");
+        assert!(
+            gap < 0.5,
+            "lottery should close at least half the gap, closed {gap:.2}"
+        );
     }
 
     #[test]
     fn shared_statistics_do_not_hurt() {
         let rows = eddy_policies(3_000, 11);
-        let by = |name: &str| rows.iter().find(|r| r.strategy == name).unwrap().invocations;
+        let by = |name: &str| {
+            rows.iter()
+                .find(|r| r.strategy == name)
+                .unwrap()
+                .invocations
+        };
         assert!(by("eddy/lottery+shared-stats") <= by("eddy/lottery") + by("eddy/lottery") / 10);
     }
 }

@@ -16,6 +16,8 @@ pub struct ClusterConfig {
     pub topology: TopologyConfig,
     /// Congestion model.
     pub congestion: CongestionKind,
+    /// Per-node configuration (overlay tuning, publish lifetimes).
+    pub pier: PierConfig,
 }
 
 impl ClusterConfig {
@@ -26,6 +28,7 @@ impl ClusterConfig {
             seed,
             topology: TopologyConfig::lan(),
             congestion: CongestionKind::None,
+            pier: PierConfig::default(),
         }
     }
 
@@ -37,7 +40,15 @@ impl ClusterConfig {
             seed,
             topology: TopologyConfig::internet_like(),
             congestion: CongestionKind::Fifo,
+            pier: PierConfig::default(),
         }
+    }
+
+    /// Tighten fail-stop detection to `micros` — continuous queries want
+    /// routes to heal within a window slide, not the conservative default.
+    pub fn with_liveness_timeout(mut self, micros: u64) -> Self {
+        self.pier.overlay.router.liveness_timeout = micros;
+        self
     }
 }
 
@@ -89,7 +100,7 @@ impl Cluster {
         };
         let mut sim: Simulator<PierNode> = Simulator::new(sim_config);
         for r in &refs {
-            sim.add_node(PierNode::with_static_ring(*r, &refs, PierConfig::default()));
+            sim.add_node(PierNode::with_static_ring(*r, &refs, config.pier.clone()));
         }
         // Let start-up timers fire and the distribution tree form (tree
         // join announcements go out within the first refresh interval).
@@ -194,7 +205,11 @@ impl Cluster {
     /// "nodes running the query" metric of the dissemination ablations
     /// (§3.3.3), which is independent of background overlay maintenance
     /// traffic.
-    pub fn run_query_observed(&mut self, proxy: NodeAddr, plan: QueryPlan) -> (QueryOutcome, usize) {
+    pub fn run_query_observed(
+        &mut self,
+        proxy: NodeAddr,
+        plan: QueryPlan,
+    ) -> (QueryOutcome, usize) {
         let submitted_at = self.sim.now();
         let timeout = plan.timeout;
         // Drain previous outputs so this query's results are isolated.
@@ -216,7 +231,8 @@ impl Cluster {
                     .unwrap_or(false)
             })
             .count();
-        self.sim.run_for(timeout - timeout.saturating_sub(1_000_000) + 3_000_000);
+        self.sim
+            .run_for(timeout - timeout.saturating_sub(1_000_000) + 3_000_000);
         let results = self
             .sim
             .drain_outputs()
@@ -295,7 +311,11 @@ mod tests {
             .iter()
             .filter_map(|t| t.get("file").and_then(|v| v.as_str().map(String::from)))
             .collect();
-        assert_eq!(outcome.results.len(), 2, "exactly the two rock files: {files:?}");
+        assert_eq!(
+            outcome.results.len(),
+            2,
+            "exactly the two rock files: {files:?}"
+        );
         assert!(files.contains(&"a.mp3".to_string()));
         assert!(files.contains(&"b.mp3".to_string()));
         assert!(outcome.first_result_latency_secs().unwrap() < 5.0);

@@ -66,7 +66,10 @@ pub fn fig1_filesharing(nodes: usize, files: usize, queries: usize, seed: u64) -
                     namespace: "files".into(),
                 },
                 join: None,
-                ops: vec![OperatorSpec::Selection(Expr::eq("keyword", keyword.as_str()))],
+                ops: vec![OperatorSpec::Selection(Expr::eq(
+                    "keyword",
+                    keyword.as_str(),
+                ))],
                 sink: SinkSpec::ToProxy,
             })
             .build();
@@ -146,7 +149,10 @@ pub fn fig1_filesharing(nodes: usize, files: usize, queries: usize, seed: u64) -
         } else {
             answered as f64 / issued as f64
         };
-        points.iter().map(|&x| (x, cdf.fraction_at_most(x) * rate)).collect()
+        points
+            .iter()
+            .map(|&x| (x, cdf.fraction_at_most(x) * rate))
+            .collect()
     };
     let mut gnutella_all_cdf = gnutella_all;
     let total_queries = workload.queries.len().max(1);
@@ -198,7 +204,7 @@ pub fn fig2_netmon(nodes: usize, events: usize, k: usize, seed: u64) -> Fig2Resu
             ))
         })
         .collect();
-    reported.sort_by(|a, b| b.1.cmp(&a.1));
+    reported.sort_by_key(|r| std::cmp::Reverse(r.1));
     reported.truncate(k);
     let ground_truth = workload.top_k(k);
     let truth_set: std::collections::HashSet<&str> =
@@ -342,7 +348,11 @@ pub struct AggregationResult {
 }
 
 /// Run EXP-B for one network size.
-pub fn hierarchical_aggregation(nodes: usize, events_per_node: usize, seed: u64) -> Vec<AggregationResult> {
+pub fn hierarchical_aggregation(
+    nodes: usize,
+    events_per_node: usize,
+    seed: u64,
+) -> Vec<AggregationResult> {
     let mut out = Vec::new();
     for (mode, flat) in [("hierarchical", false), ("flat", true)] {
         let mut cluster = Cluster::start(&ClusterConfig::internet(nodes, seed));
@@ -460,7 +470,11 @@ pub fn dht_scalability(nodes: usize, lookups: usize, seed: u64) -> ScalabilityRe
     let refs = make_ring_refs(nodes, seed);
     let mut sim: Simulator<DhtNode<String>> = Simulator::new(SimConfig::lan(seed));
     for r in &refs {
-        sim.add_node(DhtNode::with_static_ring(*r, &refs, OverlayConfig::default()));
+        sim.add_node(DhtNode::with_static_ring(
+            *r,
+            &refs,
+            OverlayConfig::default(),
+        ));
     }
     sim.run_until(1_000);
     let mut rng = pier_runtime::Rng64::new(seed ^ 0x5ca1e);
@@ -601,7 +615,10 @@ mod tests {
     fn dissemination_equality_index_uses_fewer_messages() {
         let rows = dissemination(24, 11);
         let broadcast = rows.iter().find(|r| r.strategy == "broadcast").unwrap();
-        let equality = rows.iter().find(|r| r.strategy == "equality-index").unwrap();
+        let equality = rows
+            .iter()
+            .find(|r| r.strategy == "equality-index")
+            .unwrap();
         assert_eq!(broadcast.results, 20);
         assert_eq!(equality.results, 20);
         assert!(

@@ -15,6 +15,10 @@
 //!   records.
 //! * [`indexes`] — the range-index (EXP-G) and secondary-index (EXP-J)
 //!   dissemination ablations of §3.3.3.
+//! * [`continuous`] — the continuous-query netmon workload (`pier-cq`):
+//!   a standing sqlish windowed aggregate over a live packet stream, with
+//!   optional churn, measuring sustained throughput, per-window latency and
+//!   per-node state bounds.
 //! * [`adaptivity`] — the eddy routing-policy ablation (EXP-H, §4.2.2).
 //! * [`robustness`] — adversary fidelity and spot-checking studies
 //!   (EXP-I, §4.1.2), built on `pier-security`.
@@ -23,6 +27,7 @@
 
 pub mod adaptivity;
 pub mod cluster;
+pub mod continuous;
 pub mod experiments;
 pub mod indexes;
 pub mod recursion;
@@ -30,4 +35,5 @@ pub mod robustness;
 pub mod workloads;
 
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
+pub use continuous::{continuous_netmon, ContinuousNetmonConfig, ContinuousOutcome};
 pub use workloads::{FilesharingWorkload, FirewallWorkload};

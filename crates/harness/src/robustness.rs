@@ -126,7 +126,9 @@ pub fn spot_check_detection(
     seed: u64,
 ) -> Vec<SpotCheckResult> {
     let mut rng = Rng64::new(seed ^ 0x5C0);
-    let data: Vec<(u64, i64)> = (0..sources as u64).map(|i| (i + 1, (i as i64 % 9) + 1)).collect();
+    let data: Vec<(u64, i64)> = (0..sources as u64)
+        .map(|i| (i + 1, (i as i64 % 9) + 1))
+        .collect();
     let legitimate: BTreeSet<u64> = data.iter().map(|(s, _)| *s).collect();
     let drop_count = ((sources as f64) * suppressed_fraction).round() as usize;
     let mut out = Vec::new();

@@ -133,6 +133,7 @@ impl FirewallWorkload {
 /// Generate two relations `r(a, b)` and `s(b, c)` for the join ablations:
 /// `r_rows`/`s_rows` tuples with join attribute `b` drawn from `domain`
 /// values, assigned round-robin to nodes.
+#[allow(clippy::type_complexity)]
 pub fn join_tables(
     nodes: usize,
     r_rows: usize,
@@ -146,10 +147,7 @@ pub fn join_tables(
         let b = rng.index(domain) as i64;
         r.push((
             i % nodes,
-            Tuple::new(
-                "r",
-                vec![("a", Value::Int(i as i64)), ("b", Value::Int(b))],
-            ),
+            Tuple::new("r", vec![("a", Value::Int(i as i64)), ("b", Value::Int(b))]),
         ));
     }
     let mut s = Vec::with_capacity(s_rows);

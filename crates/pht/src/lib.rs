@@ -208,10 +208,7 @@ impl<S: PhtStore> Pht<S> {
             self.store.store(&prefix, PhtNode::Leaf(bucket));
             if empty && !prefix.is_empty() {
                 let parent = &prefix[..prefix.len() - 1];
-                let sibling = format!(
-                    "{parent}{}",
-                    if prefix.ends_with('0') { '1' } else { '0' }
-                );
+                let sibling = format!("{parent}{}", if prefix.ends_with('0') { '1' } else { '0' });
                 if let Some(PhtNode::Leaf(sib)) = self.store.load(&sibling) {
                     if sib.is_empty() {
                         self.store.remove(&prefix);

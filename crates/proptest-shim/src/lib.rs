@@ -1,0 +1,530 @@
+//! A tiny, dependency-free, deterministic re-implementation of the subset of
+//! the `proptest` crate this workspace uses.
+//!
+//! The build environment has no access to a crate registry, so the real
+//! `proptest` cannot be vendored.  Rather than losing the workspace's
+//! property tests, this shim provides the same surface the tests are written
+//! against — the [`proptest!`] macro, `prop_assert*` macros, integer/float
+//! range strategies, `any::<T>()`, tuple strategies, a small regex-class
+//! string strategy and the `collection::{vec, btree_set}` combinators —
+//! backed by a seeded SplitMix64 generator so every run explores the same
+//! (well-spread) sample of the input space.
+//!
+//! Differences from the real crate: no shrinking (failures report the case
+//! number and seed instead) and sampling is plain uniform rather than
+//! coverage-guided.  For the invariants tested here that trade-off is fine.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A failed or rejected test case, carried out of the test closure.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving all sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeded generator; the same seed yields the same case sequence.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed ^ 0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; 0 when `bound` is 0.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator (the shim's analogue of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128 - self.start as i128).max(1) as u128;
+                let offset = (rng.next_u64() as u128) % span;
+                (self.start as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// String strategy from a small regex subset: literal characters, one-level
+/// character classes `[a-z0-9_]` and `{m,n}` repetition of the previous
+/// unit.  Enough for patterns like `"[a-z]{1,12}"`.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        // The last generated "unit": either a literal or a class alphabet.
+        let mut last_unit: Vec<char> = Vec::new();
+        while i < chars.len() {
+            match chars[i] {
+                '[' => {
+                    let mut alphabet = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            for c in lo..=hi {
+                                alphabet.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            alphabet.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // skip ']'
+                    if alphabet.is_empty() {
+                        alphabet.push('?');
+                    }
+                    let c = alphabet[rng.below(alphabet.len() as u64) as usize];
+                    out.push(c);
+                    last_unit = alphabet;
+                }
+                '{' => {
+                    let close = chars[i..].iter().position(|&c| c == '}').map(|p| p + i);
+                    let Some(close) = close else { break };
+                    let body: String = chars[i + 1..close].iter().collect();
+                    let (lo, hi) = match body.split_once(',') {
+                        Some((a, b)) => (
+                            a.trim().parse::<usize>().unwrap_or(0),
+                            b.trim().parse::<usize>().unwrap_or(1),
+                        ),
+                        None => {
+                            let n = body.trim().parse::<usize>().unwrap_or(1);
+                            (n, n)
+                        }
+                    };
+                    let n = lo + rng.below((hi.saturating_sub(lo) as u64) + 1) as usize;
+                    // One repetition already emitted when the unit was read.
+                    let emitted = 1usize;
+                    if n == 0 {
+                        out.pop();
+                    } else if !last_unit.is_empty() {
+                        for _ in emitted..n {
+                            let c = last_unit[rng.below(last_unit.len() as u64) as usize];
+                            out.push(c);
+                        }
+                    }
+                    i = close + 1;
+                }
+                c => {
+                    out.push(c);
+                    last_unit = vec![c];
+                    i += 1;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use super::{Strategy, TestRng};
+    use std::marker::PhantomData;
+
+    /// Types with a full-range uniform generator.
+    pub trait Arbitrary: Sized {
+        /// Draw an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, well-spread values; full bit patterns would mostly be
+            // astronomically large magnitudes and NaNs.
+            (rng.unit_f64() - 0.5) * 2e12
+        }
+    }
+
+    /// Strategy produced by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+/// `proptest::collection` — container strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end.saturating_sub(self.len.start)).max(1);
+            let n = self.len.start + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; duplicates shrink the set, as in
+    /// the real crate.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let span = (self.len.end.saturating_sub(self.len.start)).max(1);
+            let n = self.len.start + rng.below(span as u64) as usize;
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::btree_set`.
+    pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S> {
+        BTreeSetStrategy { element, len }
+    }
+}
+
+/// Everything the tests import with `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+/// FNV-1a over a test's name, used to give every test its own seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Reject the current case (skips to the next one).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Like `assert!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but reports through the proptest harness.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        if l == r {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    (
+        cfg = $cfg:expr;
+        $(#[$attr:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let seed = $crate::seed_from_name(stringify!($name));
+            let mut rng = $crate::TestRng::new(seed);
+            for case in 0..config.cases {
+                $crate::__proptest_bind!(rng, $($params)*);
+                let result: ::core::result::Result<(), $crate::TestCaseError> = (move || {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(e) = result {
+                    panic!(
+                        "proptest {} failed at case {case} (seed {seed:#x}): {e}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+    };
+}
+
+// Samples every parameter's strategy in order, binding each to a local so
+// the test body (run in an immediately-invoked closure) sees typed values.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, $name:ident in $strat:expr, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident in $strat:expr) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident, $name:ident : $ty:ty, $($rest:tt)*) => {
+        #[allow(unused_mut)]
+        let mut $name: $ty =
+            $crate::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+        $crate::__proptest_bind!($rng, $($rest)*);
+    };
+    ($rng:ident, $name:ident : $ty:ty) => {
+        #[allow(unused_mut)]
+        let mut $name: $ty =
+            $crate::Strategy::sample(&$crate::arbitrary::any::<$ty>(), &mut $rng);
+    };
+}
+
+/// The `proptest! { ... }` block: expands each contained `#[test] fn` into a
+/// plain test that runs the body over `config.cases` sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($params:tt)*) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_case! {
+                cfg = $cfg;
+                $(#[$attr])*
+                fn $name($($params)*) $body
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($params:tt)*) $body:block
+        )*
+    ) => {
+        $(
+            $crate::__proptest_case! {
+                cfg = $crate::ProptestConfig::default();
+                $(#[$attr])*
+                fn $name($($params)*) $body
+            }
+        )*
+    };
+}
+
+// Keep BTreeSet in scope for doc examples / future strategies.
+#[allow(unused_imports)]
+use BTreeSet as _BTreeSetUsed;
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in -5i64..5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_set_lengths_respect_ranges(
+            v in prop::collection::vec(0u64..10, 2..6),
+            s in prop::collection::btree_set(0u64..1000, 0..8),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(s.len() < 8);
+        }
+
+        #[test]
+        fn typed_params_sample_any(a: u64, b: u64) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+
+        #[test]
+        fn regex_subset_generates_matching_strings(s in "[a-c]{2,5}") {
+            prop_assert!(s.len() >= 2 && s.len() <= 5, "len {}", s.len());
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_stream() {
+        let mut a = crate::TestRng::new(42);
+        let mut b = crate::TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

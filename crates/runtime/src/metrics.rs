@@ -77,12 +77,20 @@ impl NetStats {
     /// The maximum inbound byte count over all nodes — the "in-bandwidth"
     /// hot-spot metric used when evaluating hierarchical aggregation.
     pub fn max_in_bytes(&self) -> u64 {
-        self.per_node.values().map(|s| s.bytes_recv).max().unwrap_or(0)
+        self.per_node
+            .values()
+            .map(|s| s.bytes_recv)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The maximum outbound byte count over all nodes.
     pub fn max_out_bytes(&self) -> u64 {
-        self.per_node.values().map(|s| s.bytes_sent).max().unwrap_or(0)
+        self.per_node
+            .values()
+            .map(|s| s.bytes_sent)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean bytes received per participating node.

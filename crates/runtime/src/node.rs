@@ -153,7 +153,11 @@ pub trait Program: Sized {
     );
 
     /// Invoked when a previously set timer expires.
-    fn on_timer(&mut self, ctx: &mut Context<Self::Msg, Self::Timer, Self::Out>, timer: Self::Timer);
+    fn on_timer(
+        &mut self,
+        ctx: &mut Context<Self::Msg, Self::Timer, Self::Out>,
+        timer: Self::Timer,
+    );
 
     /// Invoked when the runtime removes the node (fail-stop).  Most programs
     /// need no cleanup because soft state at other nodes expires on its own.

@@ -194,9 +194,9 @@ where
     let now_us = |epoch: &Instant| epoch.elapsed().as_micros() as SimTime;
 
     let apply = |program: &mut P,
-                     timers: &mut BinaryHeap<TimerEntry<P::Timer>>,
-                     seq: &mut u64,
-                     f: &mut dyn FnMut(&mut P, &mut ProgramContext<P>)| {
+                 timers: &mut BinaryHeap<TimerEntry<P::Timer>>,
+                 seq: &mut u64,
+                 f: &mut dyn FnMut(&mut P, &mut ProgramContext<P>)| {
         let now = now_us(&epoch);
         let mut ctx: ProgramContext<P> = Context::new(now, addr);
         f(program, &mut ctx);
@@ -204,7 +204,10 @@ where
             match action {
                 Action::Send { to, msg } => {
                     let bytes = msg.wire_size() + header_overhead;
-                    stats.lock().expect("stats poisoned").record_send(addr, to, bytes);
+                    stats
+                        .lock()
+                        .expect("stats poisoned")
+                        .record_send(addr, to, bytes);
                     if let Some(tx) = network.get(to.index()) {
                         let _ = tx.send(Inbound::Net { from: addr, msg });
                     }

@@ -101,8 +101,7 @@ impl CongestionState {
                 let per_src = self.flows.entry(from).or_default();
                 // Flows still transmitting share the outbound link equally.
                 per_src.retain(|_, finish| *finish > now);
-                let active =
-                    (per_src.len() + usize::from(!per_src.contains_key(&to))).max(1);
+                let active = (per_src.len() + usize::from(!per_src.contains_key(&to))).max(1);
                 let tx_out = topo.transmit_time(from, bytes) * active as Duration;
                 let flow_start = (*per_src.get(&to).unwrap_or(&0)).max(now);
                 let flow_done = flow_start + tx_out;
@@ -142,7 +141,10 @@ mod tests {
         let mut c = CongestionState::new(CongestionKind::None);
         let a = c.delivery_time(0, NodeAddr(1), NodeAddr(2), 1000, &t);
         let b = c.delivery_time(0, NodeAddr(1), NodeAddr(2), 1000, &t);
-        assert_eq!(a, b, "no-congestion deliveries don't queue behind each other");
+        assert_eq!(
+            a, b,
+            "no-congestion deliveries don't queue behind each other"
+        );
         assert_eq!(a, 1000 + 1000); // tx + latency
     }
 
@@ -188,9 +190,16 @@ mod tests {
     #[test]
     fn loopback_is_immediate() {
         let t = topo();
-        for kind in [CongestionKind::None, CongestionKind::Fifo, CongestionKind::FairQueue] {
+        for kind in [
+            CongestionKind::None,
+            CongestionKind::Fifo,
+            CongestionKind::FairQueue,
+        ] {
             let mut c = CongestionState::new(kind);
-            assert_eq!(c.delivery_time(10, NodeAddr(5), NodeAddr(5), 10_000, &t), 11);
+            assert_eq!(
+                c.delivery_time(10, NodeAddr(5), NodeAddr(5), 10_000, &t),
+                11
+            );
         }
     }
 

@@ -509,7 +509,10 @@ mod tests {
             .iter()
             .any(|o| o.node == b && o.value.starts_with("reply")));
         // b still produced its own tick.
-        assert!(sim.outputs().iter().any(|o| o.node == b && o.value == "tick"));
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|o| o.node == b && o.value == "tick"));
         assert_eq!(sim.node(a).unwrap().greetings_seen, 0);
     }
 

@@ -217,7 +217,7 @@ mod tests {
         let l_ab = t.latency(NodeAddr(1), NodeAddr(2));
         let l_ba = t.latency(NodeAddr(2), NodeAddr(1));
         assert_eq!(l_ab, l_ba);
-        assert!(l_ab >= 10_000 && l_ab <= 40_000, "latency {l_ab}");
+        assert!((10_000..=40_000).contains(&l_ab), "latency {l_ab}");
         // Deterministic across topology instances with the same seed.
         let t2 = NetworkTopology::new(
             TopologyConfig::Star {

@@ -175,7 +175,13 @@ impl<M: Clone> UdpCc<M> {
     }
 
     /// Submit an application message for reliable delivery to `to`.
-    pub fn send(&mut self, to: NodeAddr, payload: M, token: CcToken, now: SimTime) -> Vec<CcEvent<M>> {
+    pub fn send(
+        &mut self,
+        to: NodeAddr,
+        payload: M,
+        token: CcToken,
+        now: SimTime,
+    ) -> Vec<CcEvent<M>> {
         let peer = self.peers.entry(to).or_default();
         peer.backlog.push_back((payload, token));
         Self::drain_backlog(peer, to, now)
@@ -208,7 +214,12 @@ impl<M: Clone> UdpCc<M> {
     }
 
     /// Handle a packet received from `from`.
-    pub fn on_packet(&mut self, from: NodeAddr, packet: CcPacket<M>, now: SimTime) -> Vec<CcEvent<M>> {
+    pub fn on_packet(
+        &mut self,
+        from: NodeAddr,
+        packet: CcPacket<M>,
+        now: SimTime,
+    ) -> Vec<CcEvent<M>> {
         let mut events = Vec::new();
         match packet {
             CcPacket::Data { seq, payload } => {
@@ -275,7 +286,10 @@ impl<M: Clone> UdpCc<M> {
                 });
             }
             for seq in retransmit {
-                let flight = peer.in_flight.get_mut(&seq).expect("retransmit seq present");
+                let flight = peer
+                    .in_flight
+                    .get_mut(&seq)
+                    .expect("retransmit seq present");
                 flight.retries += 1;
                 flight.sent_at = now;
                 events.push(CcEvent::Transmit {
@@ -320,9 +334,9 @@ mod tests {
 
         // Deliver the data packet to B.
         let b_events = b.on_packet(A, pkts[0].clone(), 10);
-        assert!(b_events
-            .iter()
-            .any(|e| matches!(e, CcEvent::Receive { from, payload } if *from == A && payload == "hello")));
+        assert!(b_events.iter().any(
+            |e| matches!(e, CcEvent::Receive { from, payload } if *from == A && payload == "hello")
+        ));
         let acks = transmits(&b_events);
         assert_eq!(acks.len(), 1);
 
@@ -337,7 +351,10 @@ mod tests {
     #[test]
     fn duplicate_data_is_acked_but_delivered_once() {
         let mut b: UdpCc<u32> = UdpCc::default();
-        let data = CcPacket::Data { seq: 0, payload: 42 };
+        let data = CcPacket::Data {
+            seq: 0,
+            payload: 42,
+        };
         let first = b.on_packet(A, data.clone(), 0);
         let second = b.on_packet(A, data, 1);
         let receives = |ev: &[CcEvent<u32>]| {

@@ -77,7 +77,7 @@ impl Adversary {
     /// from the configured seed.  The querier's own node is never part of
     /// `members` here (the paper assumes the client trusts its proxy).
     pub fn new(members: &[u64], config: AdversaryConfig) -> Self {
-        let mut rng = Rng64::new(config.seed ^ 0xAD5E_17);
+        let mut rng = Rng64::new(config.seed ^ 0x00AD_5E17);
         let mut pool: Vec<u64> = members.to_vec();
         rng.shuffle(&mut pool);
         let count = ((members.len() as f64) * config.compromised_fraction).round() as usize;
@@ -175,7 +175,10 @@ fn exact_over_trees(
         .filter(|(m, _)| !compromised.contains(m))
         .map(|(_, v)| *v as f64)
         .sum();
-    let honest_sources = values.iter().filter(|(m, _)| !compromised.contains(m)).count();
+    let honest_sources = values
+        .iter()
+        .filter(|(m, _)| !compromised.contains(m))
+        .count();
     let mut best = 0.0f64;
     let mut globally_suppressed = honest_sources;
     let mut bytes = 0u64;
@@ -216,7 +219,14 @@ fn exact_over_trees(
         }
         globally_suppressed = intersect.len();
     }
-    FidelityReport::new(label, truth, best, globally_suppressed, honest_sources, bytes)
+    FidelityReport::new(
+        label,
+        truth,
+        best,
+        globally_suppressed,
+        honest_sources,
+        bytes,
+    )
 }
 
 /// Evaluate sketch-based aggregation over one or more structures: every
@@ -236,7 +246,10 @@ fn sketch_over(
         .filter(|(m, _)| !compromised.contains(m))
         .map(|(_, v)| *v as f64)
         .sum();
-    let honest_sources = values.iter().filter(|(m, _)| !compromised.contains(m)).count();
+    let honest_sources = values
+        .iter()
+        .filter(|(m, _)| !compromised.contains(m))
+        .count();
     let mut merged = SumSketch::new(SKETCH_MAPS, 1);
     let mut suppressed_everywhere = 0usize;
     let mut bytes = 0u64;
@@ -297,7 +310,8 @@ pub fn compare_defenses(
 ) -> Vec<FidelityReport> {
     let single = AggregationTopology::build(TopologyKind::SingleTree, members, root_key);
     let trees = AggregationTopology::build(TopologyKind::RedundantTrees(k), members, root_key);
-    let dag = AggregationTopology::build(TopologyKind::MultiParentDag(dag_parents), members, root_key);
+    let dag =
+        AggregationTopology::build(TopologyKind::MultiParentDag(dag_parents), members, root_key);
     vec![
         exact_over_trees("single-tree/exact", &single, values, adversary),
         exact_over_trees(&format!("{k}-trees/exact-max"), &trees, values, adversary),

@@ -334,7 +334,10 @@ mod tests {
         let mut m = ClientMonitor::new(1_000_000, 100.0, 1_000.0);
         m.record("alice", 150.0, 0);
         m.record("bob", 10.0, 0);
-        assert!(matches!(m.check("alice", 1), RateDecision::NeedAggregate { .. }));
+        assert!(matches!(
+            m.check("alice", 1),
+            RateDecision::NeedAggregate { .. }
+        ));
         assert_eq!(m.check("bob", 1), RateDecision::Allow);
     }
 
@@ -343,7 +346,10 @@ mod tests {
         let mut r = Reciprocation::new(2);
         assert!(r.should_execute("peer-b"));
         r.record_executed_for("peer-b");
-        assert!(r.should_execute("peer-b"), "one unreciprocated query is within tolerance 2");
+        assert!(
+            r.should_execute("peer-b"),
+            "one unreciprocated query is within tolerance 2"
+        );
         r.record_executed_for("peer-b");
         assert!(!r.should_execute("peer-b"), "balance reached the tolerance");
         // The peer reciprocates: we are willing again.

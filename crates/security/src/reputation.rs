@@ -241,7 +241,7 @@ mod tests {
             db.record(100, Observation::Misbehaved, t); // excluded
         }
         db.record(200, Observation::Unreachable, 5); // slightly dinged
-        // 300 is unknown → perfect score.
+                                                     // 300 is unknown → perfect score.
         let ranked = db.rank_candidates(&[100, 200, 300], 100);
         assert_eq!(ranked, vec![300, 200]);
     }

@@ -175,7 +175,10 @@ impl SumSketch {
 
     /// Merge another sum sketch (bitwise OR of the underlying bitmaps).
     pub fn merge(&mut self, other: &SumSketch) {
-        assert_eq!(self.scale, other.scale, "cannot merge sketches of different scales");
+        assert_eq!(
+            self.scale, other.scale,
+            "cannot merge sketches of different scales"
+        );
         self.sketch.merge(&other.sketch);
     }
 
@@ -241,7 +244,10 @@ mod tests {
         assert_eq!(ab, ba);
         let mut abb = ab.clone();
         abb.merge(&b);
-        assert_eq!(ab, abb, "merging the same sketch again must not change anything");
+        assert_eq!(
+            ab, abb,
+            "merging the same sketch again must not change anything"
+        );
     }
 
     #[test]
@@ -282,7 +288,10 @@ mod tests {
         }
         let est = s.estimate();
         let err = (est - total as f64).abs() / total as f64;
-        assert!(err < 0.4, "estimate {est} for total {total}, relative error {err}");
+        assert!(
+            err < 0.4,
+            "estimate {est} for total {total}, relative error {err}"
+        );
     }
 
     #[test]

@@ -129,9 +129,13 @@ impl MerkleTree {
         let mut path = Vec::new();
         let mut pos = index;
         for level in &self.levels[..self.levels.len().saturating_sub(1)] {
-            let sibling = if pos % 2 == 0 { pos + 1 } else { pos - 1 };
+            let sibling = if pos.is_multiple_of(2) {
+                pos + 1
+            } else {
+                pos - 1
+            };
             let sibling_hash = level.get(sibling).copied().unwrap_or(level[pos]);
-            path.push((sibling_hash, pos % 2 == 0));
+            path.push((sibling_hash, pos.is_multiple_of(2)));
             pos /= 2;
         }
         Some(MerkleProof {
@@ -264,11 +268,7 @@ impl SpotChecker {
         // 2. Sampled inclusion checks against sources contacted directly.
         for idx in self.sample(ground_truth.len()) {
             let (source, true_value) = ground_truth[idx];
-            match tree
-                .leaves()
-                .iter()
-                .position(|(s, _)| *s == source)
-            {
+            match tree.leaves().iter().position(|(s, _)| *s == source) {
                 None => return CheckOutcome::MissingInput { source },
                 Some(leaf_idx) => {
                     let leaf = tree.leaves()[leaf_idx];

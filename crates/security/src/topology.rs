@@ -184,7 +184,11 @@ impl AggregationTopology {
 
     /// Maximum depth over all members.
     pub fn max_depth(&self) -> usize {
-        self.members.iter().map(|m| self.depth_of(*m)).max().unwrap_or(0)
+        self.members
+            .iter()
+            .map(|m| self.depth_of(*m))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All ancestors of `member` reachable along any parent chain (does not
@@ -327,10 +331,7 @@ mod tests {
     fn dag_gives_every_non_root_member_multiple_parents_when_possible() {
         let m = members(50, 2);
         let dag = AggregationTopology::multi_parent_dag(&m, 1, 2);
-        let multi = m
-            .iter()
-            .filter(|x| dag.parents_of(**x).len() >= 2)
-            .count();
+        let multi = m.iter().filter(|x| dag.parents_of(**x).len() >= 2).count();
         // All but the root and the single rank-1 member can have 2 parents.
         assert!(multi >= m.len() - 3, "only {multi} members have 2 parents");
         assert!(dag.parents_of(dag.root()).is_empty());
@@ -362,14 +363,20 @@ mod tests {
             if x == t.root() {
                 continue;
             }
-            assert!(t.ancestors_of(x).contains(&t.root()), "{x} missing root ancestor");
+            assert!(
+                t.ancestors_of(x).contains(&t.root()),
+                "{x} missing root ancestor"
+            );
         }
     }
 
     #[test]
     fn build_dispatches_on_kind() {
         let m = members(20, 31);
-        assert_eq!(AggregationTopology::build(TopologyKind::SingleTree, &m, 1).len(), 1);
+        assert_eq!(
+            AggregationTopology::build(TopologyKind::SingleTree, &m, 1).len(),
+            1
+        );
         assert_eq!(
             AggregationTopology::build(TopologyKind::RedundantTrees(4), &m, 1).len(),
             4

@@ -15,7 +15,10 @@ fn main() {
     let result = fig1_filesharing(nodes, 1_500, 60, 2026);
 
     println!("\nfirst-result latency CDF (fraction of queries answered within t seconds)");
-    println!("{:>8} {:>12} {:>14} {:>15}", "t (s)", "PIER rare", "Gnutella all", "Gnutella rare");
+    println!(
+        "{:>8} {:>12} {:>14} {:>15}",
+        "t (s)", "PIER rare", "Gnutella all", "Gnutella rare"
+    );
     for (i, (x, pier)) in result.pier_rare.iter().enumerate() {
         if i % 4 != 0 {
             continue;
@@ -30,5 +33,7 @@ fn main() {
         result.pier_rare_no_answer * 100.0,
         result.gnutella_rare_no_answer * 100.0
     );
-    println!("(the paper reports PIER reducing no-result Gnutella queries by 18% with lower latency)");
+    println!(
+        "(the paper reports PIER reducing no-result Gnutella queries by 18% with lower latency)"
+    );
 }

@@ -15,7 +15,10 @@ fn main() {
     let result = fig2_netmon(nodes, 40_000, 10, 99);
 
     println!("\ntop 10 sources of firewall events (PIER query vs ground truth)");
-    println!("{:>4}  {:<18} {:>8}    {:<18} {:>8}", "rank", "reported", "count", "actual", "count");
+    println!(
+        "{:>4}  {:<18} {:>8}    {:<18} {:>8}",
+        "rank", "reported", "count", "actual", "count"
+    );
     for (i, ((rs, rc), (ts, tc))) in result
         .reported
         .iter()

@@ -1,0 +1,62 @@
+//! A standing sqlish monitoring query with streamed per-window results —
+//! the paper's Figure-2 workload run as a true continuous query over the
+//! `pier-cq` subsystem.
+//!
+//! Registers `SELECT src, COUNT(*) ... WINDOW 2s SLIDE 1s EVERY 5s TOP 3`
+//! once, streams a Zipf-skewed packet trace into every node, and prints the
+//! per-window top sources as they arrive at the proxy's client.
+//!
+//! Run with `cargo run --release --example netmon_continuous`.
+
+use pier::harness::continuous::{continuous_netmon, ContinuousNetmonConfig};
+use pier::qp::Value;
+
+fn main() {
+    let mut cfg = ContinuousNetmonConfig::steady(16, 30, 2024);
+    cfg.sql = "SELECT src, COUNT(*) FROM packets GROUP BY src \
+               TOP 3 BY count WINDOW 2s SLIDE 1s EVERY 5s"
+        .to_string();
+    cfg.events_per_node_per_sec = 12;
+    println!("standing query: {}", cfg.sql);
+    println!(
+        "streaming {} nodes for {} virtual seconds...\n",
+        cfg.nodes, cfg.run_secs
+    );
+
+    let outcome = continuous_netmon(&cfg);
+
+    println!(
+        "{} windows delivered, {:.0} tuples/s sustained, {:.2}s mean window latency\n",
+        outcome.windows.len(),
+        outcome.tuples_per_sec,
+        outcome.mean_window_latency_secs
+    );
+    for (&(start, end), emission) in &outcome.windows {
+        let mut rows: Vec<(String, i64)> = emission
+            .rows
+            .iter()
+            .filter_map(|t| {
+                Some((
+                    t.get("src").and_then(Value::as_str)?.to_string(),
+                    t.get("count").and_then(Value::as_i64)?,
+                ))
+            })
+            .collect();
+        rows.sort_by_key(|r| std::cmp::Reverse(r.1));
+        let top: Vec<String> = rows
+            .iter()
+            .take(3)
+            .map(|(s, c)| format!("{s}×{c}"))
+            .collect();
+        println!(
+            "window [{:>2}s,{:>2}s)  top sources: {}",
+            start / 1_000_000,
+            end / 1_000_000,
+            top.join("  ")
+        );
+    }
+    let (open, groups, tracked) = outcome.max_node_state;
+    println!(
+        "\nper-node state stayed bounded: ≤{open} open windows, ≤{groups} groups, ≤{tracked} tracked emissions"
+    );
+}

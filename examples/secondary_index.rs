@@ -24,7 +24,11 @@ fn main() {
     let index_cols = vec!["keyword".to_string()];
     let genres = ["rock", "jazz", "ambient", "classical", "folk"];
     for i in 0..200usize {
-        let keyword = if i % 25 == 0 { "shoegaze" } else { genres[i % genres.len()] };
+        let keyword = if i % 25 == 0 {
+            "shoegaze"
+        } else {
+            genres[i % genres.len()]
+        };
         let tuple = Tuple::new(
             "files",
             vec![

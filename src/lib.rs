@@ -17,6 +17,9 @@
 //! * [`pht`] — Prefix Hash Tree range-index substrate.
 //! * [`qp`] — the query processor: tuples, operators, opgraphs, dataflow,
 //!   dissemination, hierarchical operators, SQL-ish front end.
+//! * [`cq`] — the continuous-query subsystem: tumbling/sliding windows with
+//!   budgeted per-node state, snapshot/delta output semantics, and the
+//!   soft-state lease lifecycle of standing queries.
 //! * [`security`] — the §4.1 defenses: duplicate-insensitive sketches,
 //!   redundant aggregation topologies and adversary fidelity metrics, rate
 //!   limitation, spot-checking with early commitment, and the
@@ -26,10 +29,11 @@
 //! * [`harness`] — cluster builder, workload generators, metrics and the
 //!   experiment drivers that regenerate every figure/table of the paper.
 //!
-//! See `README.md` for a quickstart and `DESIGN.md` for the full system
-//! inventory and experiment index.
+//! See `README.md` for a quickstart, the crate map and how to run the
+//! examples and benches.
 
 pub use pier_core as qp;
+pub use pier_cq as cq;
 pub use pier_dht as dht;
 pub use pier_gnutella as gnutella;
 pub use pier_harness as harness;

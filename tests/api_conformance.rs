@@ -3,8 +3,8 @@
 //! wrapper) of the paper.  These tests exercise each operation rather than
 //! merely naming it, so they double as smoke tests of the two layers.
 
-use pier::dht::{ObjectName, Overlay, OverlayConfig, OverlayEffect, OverlayEvent};
 use pier::dht::{make_ring_refs, OverlayTimer};
+use pier::dht::{ObjectName, Overlay, OverlayConfig, OverlayEffect, OverlayEvent};
 use pier::runtime::udpcc::{CcConfig, CcEvent, UdpCc};
 use pier::runtime::{Context, NodeAddr};
 

@@ -108,17 +108,27 @@ fn rehash_symmetric_hash_join_produces_correct_join() {
         .timeout(20_000_000)
         .opgraph(OpGraph {
             id: 0,
-            source: SourceSpec::Table { namespace: "r".into() },
+            source: SourceSpec::Table {
+                namespace: "r".into(),
+            },
             join: None,
             ops: vec![],
-            sink: SinkSpec::Rehash { namespace: ns.clone(), key_cols: key.clone() },
+            sink: SinkSpec::Rehash {
+                namespace: ns.clone(),
+                key_cols: key.clone(),
+            },
         })
         .opgraph(OpGraph {
             id: 1,
-            source: SourceSpec::Table { namespace: "s".into() },
+            source: SourceSpec::Table {
+                namespace: "s".into(),
+            },
             join: None,
             ops: vec![],
-            sink: SinkSpec::Rehash { namespace: ns.clone(), key_cols: key.clone() },
+            sink: SinkSpec::Rehash {
+                namespace: ns.clone(),
+                key_cols: key.clone(),
+            },
         })
         .opgraph(OpGraph {
             id: 2,
@@ -154,7 +164,10 @@ fn malformed_tuples_are_discarded_not_fatal() {
     let rows = vec![
         Tuple::new(
             "files",
-            vec![("keyword", Value::Str("k".into())), ("size", Value::Int(10))],
+            vec![
+                ("keyword", Value::Str("k".into())),
+                ("size", Value::Int(10)),
+            ],
         ),
         Tuple::new("files", vec![("keyword", Value::Str("k".into()))]),
         Tuple::new(
@@ -174,11 +187,7 @@ fn malformed_tuples_are_discarded_not_fatal() {
     let plan = PlanBuilder::select(
         proxy,
         "files",
-        Expr::cmp(
-            pier::qp::CmpOp::Ge,
-            Expr::col("size"),
-            Expr::lit(5i64),
-        ),
+        Expr::cmp(pier::qp::CmpOp::Ge, Expr::col("size"), Expr::lit(5i64)),
         vec![],
         10_000_000,
     );

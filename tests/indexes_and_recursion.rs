@@ -52,7 +52,10 @@ fn range_index_returns_exactly_the_rows_in_range() {
         let temp = t.get("temp").and_then(|v| v.as_i64()).unwrap();
         assert!((10_000..=20_000).contains(&temp), "out-of-range row {t}");
     }
-    assert!(expected > 0, "the workload must place rows inside the range");
+    assert!(
+        expected > 0,
+        "the workload must place rows inside the range"
+    );
 }
 
 #[test]
@@ -84,9 +87,22 @@ fn range_queries_tolerate_malformed_rows() {
     let proxy = cluster.addr(1);
     let outcome = cluster.run_query(
         proxy,
-        range_scan_plan(proxy, "readings", "temp", 0, 65_535, config, vec![], 10_000_000),
+        range_scan_plan(
+            proxy,
+            "readings",
+            "temp",
+            0,
+            65_535,
+            config,
+            vec![],
+            10_000_000,
+        ),
     );
-    assert_eq!(outcome.results.len(), 20, "only the well-formed rows are visible");
+    assert_eq!(
+        outcome.results.len(),
+        20,
+        "only the well-formed rows are visible"
+    );
 }
 
 #[test]
@@ -110,11 +126,23 @@ fn secondary_index_semi_join_matches_broadcast_scan() {
     let proxy = cluster.addr(4);
     let scan = cluster.run_query(
         proxy,
-        PlanBuilder::select(proxy, "files", Expr::eq("keyword", "needle"), vec![], 10_000_000),
+        PlanBuilder::select(
+            proxy,
+            "files",
+            Expr::eq("keyword", "needle"),
+            vec![],
+            10_000_000,
+        ),
     );
     let via_index = cluster.run_query(
         proxy,
-        secondary_index::lookup_plan(proxy, "files", "keyword", Value::Str("needle".into()), 10_000_000),
+        secondary_index::lookup_plan(
+            proxy,
+            "files",
+            "keyword",
+            Value::Str("needle".into()),
+            10_000_000,
+        ),
     );
     assert_eq!(scan.results.len(), 8);
     assert_eq!(via_index.results.len(), 8);

@@ -16,7 +16,11 @@ fn same_program_runs_under_simulator_and_physical_runtime() {
     // --- Simulation Environment ------------------------------------------
     let mut sim: Simulator<DhtNode<String>> = Simulator::new(SimConfig::lan(15));
     for r in &refs {
-        sim.add_node(DhtNode::with_static_ring(*r, &refs, OverlayConfig::default()));
+        sim.add_node(DhtNode::with_static_ring(
+            *r,
+            &refs,
+            OverlayConfig::default(),
+        ));
     }
     sim.run_until(1_000);
     sim.invoke(refs[1].addr, |node, ctx| {

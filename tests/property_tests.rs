@@ -3,6 +3,7 @@
 //! aggregation equivalence with reference implementations, Bloom-filter
 //! soundness, and PHT range-query correctness.
 
+use pier::cq::{CqBudget, WindowAccumulator, WindowSpec, WindowStore};
 use pier::dht::id::Id;
 use pier::dht::{ObjectManager, ObjectName};
 use pier::pht::{MemoryStore, Pht};
@@ -11,6 +12,16 @@ use pier::qp::{
     Tuple, Value,
 };
 use proptest::prelude::*;
+
+/// Toy mergeable sum used by the window-state properties.
+#[derive(Debug, Clone, PartialEq)]
+struct PSum(i64);
+
+impl WindowAccumulator for PSum {
+    fn merge(&mut self, other: &Self) {
+        self.0 += other.0;
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -133,6 +144,72 @@ proptest! {
         for k in &keys {
             prop_assert!(f.contains(k));
         }
+    }
+
+    /// Window-state merge is order-insensitive: merging the same partials
+    /// in any two interleavings yields identical per-window, per-group
+    /// state — the invariant that lets closed-window partials combine at
+    /// arbitrary upcall hops in arbitrary arrival orders.
+    #[test]
+    fn window_state_merge_is_order_insensitive(
+        partials in proptest::collection::vec((0u64..6, 0u64..4, -50i64..50), 1..80),
+        swap_seed in proptest::collection::vec(0usize..80, 0..40),
+    ) {
+        let spec = WindowSpec::sliding(20, 10);
+        let mut shuffled = partials.clone();
+        // Deterministic permutation driven by the generated swap indices.
+        for (i, s) in swap_seed.iter().enumerate() {
+            let a = i % shuffled.len();
+            let b = s % shuffled.len();
+            shuffled.swap(a, b);
+        }
+        let run = |items: &[(u64, u64, i64)]| {
+            let mut store: WindowStore<PSum> = WindowStore::new(spec, CqBudget::default());
+            for (wid, group, v) in items {
+                store.merge_partial(*wid, &format!("g{group}"), PSum(*v));
+            }
+            let mut closed = store.close_due(10_000);
+            for (_, groups) in closed.iter_mut() {
+                groups.sort_by(|a, b| a.0.cmp(&b.0));
+            }
+            closed
+        };
+        prop_assert_eq!(run(&partials), run(&shuffled));
+    }
+
+    /// Expired window state is actually dropped: streaming through 1 000
+    /// tumbling windows with periodic closes leaves no residue, and the
+    /// open-window count never exceeds the budget cap at any point.
+    #[test]
+    fn expired_window_state_is_dropped_across_1k_windows(
+        events_per_window in 1u64..6,
+        groups in 1u64..5,
+        close_every in 1u64..40,
+    ) {
+        let budget = CqBudget {
+            max_open_windows: 8,
+            ..CqBudget::default()
+        };
+        let mut store: WindowStore<PSum> = WindowStore::new(WindowSpec::tumbling(10), budget);
+        let mut drained = 0u64;
+        for w in 0..1_000u64 {
+            for e in 0..events_per_window {
+                let t = w * 10 + (e % 10);
+                store.push(t, &format!("g{}", e % groups), None, || PSum(0), |a| a.0 += 1);
+            }
+            prop_assert!(store.open_windows() <= 8, "cap violated at window {}", w);
+            if w % close_every == 0 {
+                drained += store.close_due(w * 10) .len() as u64;
+            }
+        }
+        drained += store.close_due(1_000_000).len() as u64;
+        // Everything closed, nothing retained.
+        prop_assert_eq!(store.open_windows(), 0);
+        prop_assert_eq!(store.total_groups(), 0);
+        // Every window either drained with its data or was evicted by the
+        // open-window cap; none lingers.
+        let stats = store.stats();
+        prop_assert_eq!(drained + stats.evicted_windows, 1_000);
     }
 
     /// PHT range queries return exactly the keys a sorted scan would.

@@ -61,7 +61,9 @@ fn spot_check_verdicts_drive_exclusion_and_retry() {
 /// within its approximation error even with multi-path delivery.
 #[test]
 fn redundancy_limits_suppression_damage_end_to_end() {
-    let members: Vec<u64> = (0..250u64).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).collect();
+    let members: Vec<u64> = (0..250u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
     let values: Vec<(u64, u64)> = members.iter().map(|m| (*m, 4)).collect();
     let adversary = Adversary::new(
         &members,
@@ -88,7 +90,11 @@ fn redundancy_limits_suppression_damage_end_to_end() {
     // The sketch strategies pay an approximation penalty but must stay in a
     // reasonable band of the (suppression-reduced) truth.
     let sketched = get("3-trees/sketch");
-    assert!(sketched.relative_error < 0.75, "sketch error {}", sketched.relative_error);
+    assert!(
+        sketched.relative_error < 0.75,
+        "sketch error {}",
+        sketched.relative_error
+    );
 }
 
 /// The per-client rate-limitation escalation: local threshold → aggregate
