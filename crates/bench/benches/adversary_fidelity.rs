@@ -5,6 +5,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench adversary_fidelity`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::robustness::{fidelity_sweep, spot_check_detection};
 use pier_security::adversary::Malice;
 
@@ -21,6 +22,13 @@ fn main() {
             row.relative_error,
             row.bytes_shipped
         );
+        if (row.compromised_fraction - 0.30).abs() < 1e-9 {
+            emit_metric(
+                "adversary_fidelity",
+                &format!("rel_error_{}_30pct", slug(&row.strategy)),
+                row.relative_error,
+            );
+        }
     }
     println!();
     println!("# EXP-I (poisoning variant): 10% compromised nodes inject 1000 bogus units each");
@@ -42,5 +50,12 @@ fn main() {
             "{:>11} {:>15.2} {:>10.2}",
             row.sample_size, row.detection_rate, row.predicted_rate
         );
+        if row.sample_size == 32 {
+            emit_metric(
+                "adversary_fidelity",
+                "spot_check_detection_s32",
+                row.detection_rate,
+            );
+        }
     }
 }

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench churn`.
 
+use pier_bench::emit_metric;
 use pier_harness::experiments::churn;
 
 fn main() {
@@ -11,5 +12,10 @@ fn main() {
     for failed in [0.0, 0.05, 0.1, 0.2, 0.3] {
         let row = churn(100, 200, failed, 31);
         println!("{:>16.2}   {:>6.3}", row.failed_fraction, row.recall);
+        emit_metric(
+            "churn",
+            &format!("recall_at_{}pct_failed", (failed * 100.0) as u32),
+            row.recall,
+        );
     }
 }

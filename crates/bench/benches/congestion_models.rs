@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench congestion_models`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::experiments::congestion_models;
 
 fn main() {
@@ -12,6 +13,11 @@ fn main() {
         println!(
             "{:<12} {:>13.2} {:>9}",
             row.model, row.last_result_secs, row.results
+        );
+        emit_metric(
+            "congestion_models",
+            &format!("last_result_secs_{}", slug(&row.model)),
+            row.last_result_secs,
         );
     }
 }

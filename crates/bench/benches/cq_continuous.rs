@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench cq_continuous`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::continuous::{continuous_netmon, ContinuousNetmonConfig};
 
 fn row(label: &str, cfg: &ContinuousNetmonConfig) {
@@ -18,14 +19,31 @@ fn row(label: &str, cfg: &ContinuousNetmonConfig) {
     let (del, gen): (u64, u64) = steady
         .iter()
         .fold((0, 0), |(d, g), (dw, gw)| (d + dw, g + gw));
+    let delivery = if gen == 0 {
+        0.0
+    } else {
+        del as f64 / gen as f64
+    };
     println!(
         "{label:<26} {:>5} nodes  {:>8.0} tup/s  {:>4} windows  {:>6.2}s mean latency  {:>6.3} delivery",
         cfg.nodes,
         out.tuples_per_sec,
         out.windows.len(),
         out.mean_window_latency_secs,
-        if gen == 0 { 0.0 } else { del as f64 / gen as f64 },
+        delivery,
     );
+    let tag = format!("{}_{}n", slug(label), cfg.nodes);
+    emit_metric(
+        "cq_continuous",
+        &format!("tuples_per_sec_{tag}"),
+        out.tuples_per_sec,
+    );
+    emit_metric(
+        "cq_continuous",
+        &format!("mean_window_latency_secs_{tag}"),
+        out.mean_window_latency_secs,
+    );
+    emit_metric("cq_continuous", &format!("delivery_{tag}"), delivery);
 }
 
 fn main() {

@@ -4,13 +4,17 @@
 //!
 //! Uses a plain wall-clock harness (the build environment has no crate
 //! registry, so criterion is unavailable).  Run with
-//! `cargo bench -p pier-bench --bench dht_ops`.
+//! `cargo bench -p pier-bench --bench dht_ops`.  Every series additionally
+//! prints a machine-readable JSON line; `BENCH_dht_ops.json` records a
+//! baseline run for cross-PR comparison.
 
-use pier_core::{JoinSide, SymmetricHashJoin, Tuple, Value};
+use pier_bench::emit_metric;
+use pier_core::{JoinSide, SymmetricHashJoin, Tuple, TupleBatch, Value};
 use pier_dht::{make_ring_refs, ObjectManager, ObjectName, Router, RouterConfig};
+use pier_runtime::WireSize;
 use std::time::Instant;
 
-fn bench(name: &str, mut iteration: impl FnMut(u64)) {
+fn bench(name: &str, mut iteration: impl FnMut(u64)) -> f64 {
     const WARMUP: u64 = 10_000;
     const ITERS: u64 = 200_000;
     for i in 0..WARMUP {
@@ -21,10 +25,10 @@ fn bench(name: &str, mut iteration: impl FnMut(u64)) {
         iteration(WARMUP + i);
     }
     let elapsed = start.elapsed();
-    println!(
-        "{name:<36} {:>10.1} ns/op   ({ITERS} iters)",
-        elapsed.as_nanos() as f64 / ITERS as f64
-    );
+    let ns_per_op = elapsed.as_nanos() as f64 / ITERS as f64;
+    println!("{name:<36} {ns_per_op:>10.1} ns/op   ({ITERS} iters)");
+    emit_metric("dht_ops", &format!("{name}_ns_per_op"), ns_per_op);
+    ns_per_op
 }
 
 fn main() {
@@ -37,11 +41,21 @@ fn main() {
         std::hint::black_box(router.next_hop(pier_dht::Id(target), 0));
     });
 
+    // Keys are pre-generated: the loop must time the ObjectManager, not the
+    // allocator behind `format!`.  Suffixes cycle so the store reaches a
+    // steady state (overwrites) instead of growing without bound, which
+    // would make `get` clone ever-larger result sets.
+    let keys: Vec<String> = (0..1000).map(|i| format!("k{i}")).collect();
     let mut om: ObjectManager<u64> = ObjectManager::new(u64::MAX);
     bench("object_manager_put_get", |i| {
-        let name = ObjectName::new("t", format!("k{}", i % 1000), i);
-        om.put(name, i, 1_000_000, i);
-        std::hint::black_box(om.get("t", &format!("k{}", i % 1000), i).len());
+        let key = &keys[(i % 1000) as usize];
+        om.put(
+            ObjectName::new("t", key.clone(), (i / 1000) % 4),
+            i,
+            1_000_000,
+            i,
+        );
+        std::hint::black_box(om.get("t", key, i).len());
     });
 
     let tuple = Tuple::new(
@@ -73,4 +87,24 @@ fn main() {
         };
         std::hint::black_box(join.push_side(side, t).len());
     });
+
+    // Wire accounting of a 32-tuple batch vs the same tuples shipped
+    // individually (the schema-amortisation the batching change buys).
+    let batch = TupleBatch::new(
+        (0..32)
+            .map(|i| {
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{i}"))),
+                        ("port", Value::Int(i)),
+                    ],
+                )
+            })
+            .collect(),
+    );
+    let unbatched: usize = batch.tuples().iter().map(WireSize::wire_size).sum();
+    let ratio = unbatched as f64 / batch.wire_size() as f64;
+    println!("tuple_batch_wire_32                  {ratio:>10.2} x smaller");
+    emit_metric("dht_ops", "tuple_batch_wire_ratio_32", ratio);
 }

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench dht_scalability`.
 
+use pier_bench::emit_metric;
 use pier_harness::experiments::dht_scalability;
 
 fn main() {
@@ -14,5 +15,9 @@ fn main() {
             "{:>6}   {:>9.2}   {:>8.2}",
             row.nodes, row.mean_hops, row.p95_hops
         );
+        if nodes == 1024 {
+            emit_metric("dht_scalability", "mean_hops_1024", row.mean_hops);
+            emit_metric("dht_scalability", "p95_hops_1024", row.p95_hops);
+        }
     }
 }

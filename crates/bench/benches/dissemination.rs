@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench dissemination`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::experiments::dissemination;
 
 fn main() {
@@ -14,6 +15,13 @@ fn main() {
                 "{:>6}  {:<16} {:>9} {:>8}",
                 row.nodes, row.strategy, row.messages, row.results
             );
+            if nodes == 256 {
+                emit_metric(
+                    "dissemination",
+                    &format!("messages_{}_256", slug(&row.strategy)),
+                    row.messages as f64,
+                );
+            }
         }
     }
 }

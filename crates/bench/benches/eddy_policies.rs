@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench eddy_policies`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::adaptivity::eddy_policies;
 
 fn main() {
@@ -13,6 +14,11 @@ fn main() {
         println!(
             "{:<26} {:>7} {:>12} {:>8}",
             row.strategy, row.tuples, row.invocations, row.results
+        );
+        emit_metric(
+            "eddy_policies",
+            &format!("invocations_{}", slug(&row.strategy)),
+            row.invocations as f64,
         );
     }
 }

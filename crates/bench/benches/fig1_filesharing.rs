@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench fig1_filesharing`.
 
+use pier_bench::emit_metric;
 use pier_harness::experiments::fig1_filesharing;
 
 fn main() {
@@ -26,5 +27,15 @@ fn main() {
     assert!(
         result.pier_rare_no_answer <= result.gnutella_rare_no_answer,
         "PIER must answer at least as many rare queries as flooding"
+    );
+    emit_metric(
+        "fig1_filesharing",
+        "pier_rare_no_answer_pct",
+        result.pier_rare_no_answer * 100.0,
+    );
+    emit_metric(
+        "fig1_filesharing",
+        "gnutella_rare_no_answer_pct",
+        result.gnutella_rare_no_answer * 100.0,
     );
 }

@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench fig2_netmon`.
 
+use pier_bench::emit_metric;
 use pier_harness::experiments::fig2_netmon;
 
 fn main() {
@@ -28,4 +29,5 @@ fn main() {
         result.overlap >= 7,
         "top-10 should largely match ground truth"
     );
+    emit_metric("fig2_netmon", "top10_overlap", result.overlap as f64);
 }

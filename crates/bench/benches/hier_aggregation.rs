@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench hier_aggregation`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::experiments::hierarchical_aggregation;
 
 fn main() {
@@ -14,6 +15,18 @@ fn main() {
                 "{:>6}  {:<13} {:>12} {:>12} {:>8}",
                 row.nodes, row.mode, row.max_in_bytes, row.total_bytes, row.groups_reported
             );
+            if nodes == 200 {
+                emit_metric(
+                    "hier_aggregation",
+                    &format!("max_in_bytes_{}_200", slug(&row.mode)),
+                    row.max_in_bytes as f64,
+                );
+                emit_metric(
+                    "hier_aggregation",
+                    &format!("total_bytes_{}_200", slug(&row.mode)),
+                    row.total_bytes as f64,
+                );
+            }
         }
     }
 }

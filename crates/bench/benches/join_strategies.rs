@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench join_strategies`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::experiments::join_strategies;
 
 fn main() {
@@ -18,6 +19,16 @@ fn main() {
             row.first_result_secs
                 .map(|s| format!("{s:.2}"))
                 .unwrap_or_else(|| "-".into())
+        );
+        emit_metric(
+            "join_strategies",
+            &format!("bytes_{}", slug(&row.strategy)),
+            row.bytes as f64,
+        );
+        emit_metric(
+            "join_strategies",
+            &format!("results_{}", slug(&row.strategy)),
+            row.results as f64,
         );
     }
 }

@@ -4,6 +4,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench range_dissemination`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::indexes::range_dissemination;
 
 fn main() {
@@ -22,6 +23,17 @@ fn main() {
                     row.nodes_running_query,
                     row.results
                 );
+                if nodes == 128 {
+                    emit_metric(
+                        "range_dissemination",
+                        &format!(
+                            "messages_{}_128_{}pct",
+                            slug(&row.strategy),
+                            (fraction * 100.0) as u32
+                        ),
+                        row.messages as f64,
+                    );
+                }
             }
         }
     }

@@ -3,6 +3,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench recursive_queries`.
 
+use pier_bench::emit_metric;
 use pier_harness::recursion::distributed_reachability;
 
 fn main() {
@@ -19,6 +20,11 @@ fn main() {
             r.rounds,
             r.messages,
             r.matches_reference
+        );
+        emit_metric(
+            "recursive_queries",
+            &format!("messages_{pier_nodes}n_{graph_nodes}g_{degree}d"),
+            r.messages as f64,
         );
     }
 }

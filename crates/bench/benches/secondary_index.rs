@@ -5,6 +5,7 @@
 //!
 //! Run with `cargo bench -p pier-bench --bench secondary_index`.
 
+use pier_bench::{emit_metric, slug};
 use pier_harness::indexes::secondary_index_lookup;
 
 fn main() {
@@ -16,6 +17,13 @@ fn main() {
                 "{:>6}  {:<16} {:>9} {:>19} {:>8}",
                 row.nodes, row.strategy, row.messages, row.nodes_running_query, row.results
             );
+            if nodes == 128 {
+                emit_metric(
+                    "secondary_index",
+                    &format!("messages_{}_128", slug(&row.strategy)),
+                    row.messages as f64,
+                );
+            }
         }
     }
 }

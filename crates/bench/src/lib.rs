@@ -1,1 +1,41 @@
 //! Support library for the PIER benchmark harness (see `benches/`).
+
+/// Print one machine-readable metric line:
+/// `{"bench": "...", "metric": "...", "value": ...}`.
+///
+/// Every bench binary emits its headline numbers through this so the perf
+/// trajectory can be tracked across PRs by grepping bench output for lines
+/// starting with `{"bench"` (see `BENCH_dht_ops.json` for a recorded
+/// baseline).  Values are finite floats; metric names carry their unit as a
+/// suffix (`_ns_per_op`, `_msgs`, `_secs`, …).
+pub fn emit_metric(bench: &str, metric: &str, value: f64) {
+    println!("{{\"bench\": \"{bench}\", \"metric\": \"{metric}\", \"value\": {value}}}");
+}
+
+/// Turn a free-form label ("flat mode", "kill 5, join 3") into a metric-name
+/// segment: lowercase alphanumerics with single underscores.
+pub fn slug(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn emit_metric_does_not_panic() {
+        super::emit_metric("smoke", "noop_count", 1.0);
+    }
+
+    #[test]
+    fn slug_flattens_labels() {
+        assert_eq!(super::slug("churn (kill 5, join 3)"), "churn_kill_5_join_3");
+        assert_eq!(super::slug("Fetch-Matches"), "fetch_matches");
+    }
+}

@@ -117,15 +117,28 @@ impl AggState {
     /// aggregated column is missing or non-numeric are ignored for numeric
     /// aggregates).
     pub fn update(&mut self, func: &AggFunc, tuple: &Tuple) {
+        let value = match func.input_column() {
+            Some(col) => tuple.get(col),
+            None => None,
+        };
+        self.update_with(func, value);
+    }
+
+    /// Fold one already-extracted input value into the accumulator — the
+    /// hot-path variant for operators that resolve the aggregate's input
+    /// column to a schema index once instead of per tuple.  `value` is the
+    /// aggregated column's value, or `None` when the column is absent (or
+    /// for `COUNT(*)`, which takes no input).
+    pub fn update_with(&mut self, func: &AggFunc, value: Option<&Value>) {
         match (self, func) {
             (AggState::Count(n), AggFunc::Count) => *n += 1,
-            (AggState::Sum(s), AggFunc::Sum(col)) => {
-                if let Some(v) = tuple.get(col).and_then(Value::as_f64) {
+            (AggState::Sum(s), AggFunc::Sum(_)) => {
+                if let Some(v) = value.and_then(Value::as_f64) {
                     *s += v;
                 }
             }
-            (AggState::Min(m), AggFunc::Min(col)) => {
-                if let Some(v) = tuple.get(col) {
+            (AggState::Min(m), AggFunc::Min(_)) => {
+                if let Some(v) = value {
                     let better = match m {
                         None => true,
                         Some(cur) => matches!(v.compare(cur), Some(std::cmp::Ordering::Less)),
@@ -135,8 +148,8 @@ impl AggState {
                     }
                 }
             }
-            (AggState::Max(m), AggFunc::Max(col)) => {
-                if let Some(v) = tuple.get(col) {
+            (AggState::Max(m), AggFunc::Max(_)) => {
+                if let Some(v) = value {
                     let better = match m {
                         None => true,
                         Some(cur) => matches!(v.compare(cur), Some(std::cmp::Ordering::Greater)),
@@ -146,8 +159,8 @@ impl AggState {
                     }
                 }
             }
-            (AggState::Avg { sum, count }, AggFunc::Avg(col)) => {
-                if let Some(v) = tuple.get(col).and_then(Value::as_f64) {
+            (AggState::Avg { sum, count }, AggFunc::Avg(_)) => {
+                if let Some(v) = value.and_then(Value::as_f64) {
                     *sum += v;
                     *count += 1;
                 }

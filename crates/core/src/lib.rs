@@ -57,5 +57,5 @@ pub use plan::{
 };
 pub use range_index::RangeIndexConfig;
 pub use recursive::TransitiveClosure;
-pub use tuple::Tuple;
+pub use tuple::{ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch};
 pub use value::Value;

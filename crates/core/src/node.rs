@@ -18,7 +18,7 @@
 use crate::aggregate::{AggFunc, AggState};
 use crate::operators::{GroupBy, JoinSide, LocalOperator, Pipeline, SymmetricHashJoin};
 use crate::plan::{CqSpec, Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
-use crate::tuple::Tuple;
+use crate::tuple::{ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch};
 use crate::value::Value;
 use pier_cq::{
     Delta, DeltaTracker, Lease, WindowAccumulator, WindowId, WindowSpec, WindowStats, WindowStore,
@@ -29,6 +29,7 @@ use pier_dht::{
 };
 use pier_runtime::{Duration, NodeAddr, Program, ProgramContext, Rng64, SimTime, WireSize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tuning knobs for a PIER node.
 #[derive(Debug, Clone)]
@@ -37,6 +38,17 @@ pub struct PierConfig {
     pub overlay: OverlayConfig,
     /// Soft-state lifetime used when publishing tuples and partial results.
     pub publish_lifetime: Duration,
+    /// Coalesce same-destination tuples into [`TupleBatch`] transfers on the
+    /// rehash/exchange and partial-aggregate paths (one overlay operation
+    /// per destination per flush instead of one per tuple).  Disable to get
+    /// the paper's original per-tuple `put` behaviour (the baseline of the
+    /// batching-equivalence tests).
+    pub batching: bool,
+    /// Rehash tuples buffered per node before an early flush.
+    pub batch_max_tuples: usize,
+    /// Upper bound on how long a rehash tuple may sit in the batch buffer
+    /// before the periodic flush tick ships it, microseconds.
+    pub batch_flush_interval: Duration,
 }
 
 impl Default for PierConfig {
@@ -44,6 +56,9 @@ impl Default for PierConfig {
         PierConfig {
             overlay: OverlayConfig::default(),
             publish_lifetime: 600_000_000,
+            batching: true,
+            batch_max_tuples: 64,
+            batch_flush_interval: 100_000,
         }
     }
 }
@@ -138,6 +153,9 @@ pub enum PierTimer {
         /// Query being checked.
         query_id: u64,
     },
+    /// Ship every buffered rehash batch that the size threshold has not
+    /// already flushed (the "flush on tick" half of batched transfer).
+    BatchFlush,
 }
 
 /// Values delivered to the client application attached to a node.
@@ -206,9 +224,20 @@ struct CqState {
     window: WindowSpec,
     group_cols: Vec<String>,
     aggs: Vec<AggFunc>,
-    time_col: Option<String>,
-    dedup_cols: Vec<String>,
     final_ops: Vec<OperatorSpec>,
+    /// Group columns resolved to schema indices once per input schema.
+    group_resolver: ColumnResolver,
+    /// Per-aggregate input column (`None` for `COUNT(*)`), resolved once
+    /// per input schema.
+    agg_inputs: Vec<Option<ColumnRef>>,
+    /// Event-time column, resolved once per input schema.
+    time_ref: Option<ColumnRef>,
+    /// Window-scoped dedup columns (a missing column keys as "∅").
+    dedup_refs: Vec<ColumnRef>,
+    /// Interned shape of the closed-window partials shipped to the root.
+    partial_schema: Arc<Schema>,
+    /// Interned shape of the per-window result rows emitted at the root.
+    result_schema: Arc<Schema>,
     /// Index of the opgraph feeding the windows.
     graph_idx: usize,
     /// Node-local window accumulation over this node's share of the stream.
@@ -250,6 +279,15 @@ struct ProxyState {
     renew_plan: Option<QueryPlan>,
 }
 
+/// Rehash tuples buffered per rendezvous namespace, grouped by partition
+/// key so each flush performs one overlay `put` per key instead of one per
+/// tuple.
+#[derive(Debug, Default)]
+struct RehashBuffer {
+    by_key: HashMap<String, Vec<Tuple>>,
+    tuples: usize,
+}
+
 /// A PIER node: overlay + query processor, runnable under the simulator or
 /// the physical runtime.
 #[derive(Debug)]
@@ -263,6 +301,8 @@ pub struct PierNode {
     proxied: HashMap<u64, ProxyState>,
     pending_fetches: HashMap<u64, (u64, usize, Tuple)>,
     next_query_seq: u64,
+    rehash_buf: HashMap<String, RehashBuffer>,
+    batch_timer_armed: bool,
 }
 
 impl PierNode {
@@ -278,6 +318,8 @@ impl PierNode {
             proxied: HashMap::new(),
             pending_fetches: HashMap::new(),
             next_query_seq: 0,
+            rehash_buf: HashMap::new(),
+            batch_timer_armed: false,
         }
     }
 
@@ -293,6 +335,8 @@ impl PierNode {
             proxied: HashMap::new(),
             pending_fetches: HashMap::new(),
             next_query_seq: 0,
+            rehash_buf: HashMap::new(),
+            batch_timer_armed: false,
         }
     }
 
@@ -375,7 +419,7 @@ impl PierNode {
         self.publish(ctx, table, key_cols, tuple);
         let index_key_cols = crate::secondary_index::index_partition_cols();
         for entry in entries {
-            let index_table = entry.table.clone();
+            let index_table = entry.table().to_string();
             self.publish(ctx, &index_table, &index_key_cols, entry);
         }
     }
@@ -515,7 +559,7 @@ impl PierNode {
                     }
                     let joined: Vec<Tuple> = objects
                         .iter()
-                        .filter_map(|o| o.value.as_tuple())
+                        .flat_map(|o| o.value.tuples())
                         .map(|inner| probe.join_with(inner, &output_table))
                         .collect();
                     return self.deliver_sink(ctx, query_id, graph_idx, joined);
@@ -528,25 +572,57 @@ impl PierNode {
                     Vec::new()
                 }
                 QpObject::Tuple(tuple) => self.route_new_tuple(ctx, &object.name.namespace, tuple),
+                QpObject::Batch(batch) => {
+                    // A coalesced transfer arrives: unpack back into the
+                    // per-tuple dataflow.
+                    let mut effects = Vec::new();
+                    for tuple in batch.into_tuples() {
+                        effects.extend(self.route_new_tuple(ctx, &object.name.namespace, tuple));
+                    }
+                    effects
+                }
             },
             OverlayEvent::Upcall { token, object, .. } => {
                 // Hierarchical aggregation: intercept partials travelling up
                 // the tree, fold them into our own buffered partials, and
                 // drop the original message (§3.3.4).  Closed-window partials
                 // of continuous queries combine the same way en route to the
-                // window root.
+                // window root; batched partials absorb as a unit (tuples a
+                // merge refuses are malformed and would be discarded at the
+                // root anyway, per the best-effort policy).
                 let now = ctx.now();
-                if let QpObject::Tuple(partial) = &object.value {
+                let partials = object.value.tuples();
+                if !partials.is_empty() {
                     if let Some(query_id) = self.query_for_partial_namespace(&object.name.namespace)
                     {
-                        if self.absorb_partial(query_id, partial) {
+                        let mut absorbed = false;
+                        for partial in partials {
+                            absorbed |= self.absorb_partial(query_id, partial);
+                        }
+                        if absorbed {
                             return self.overlay.resume_upcall(token, false, now);
                         }
                     }
                     if let Some(query_id) = self.query_for_window_namespace(&object.name.namespace)
                     {
-                        if self.absorb_window_partial(query_id, partial) {
-                            return self.overlay.resume_upcall(token, false, now);
+                        let mut absorbed = false;
+                        let mut refused: Vec<Tuple> = Vec::new();
+                        for partial in partials {
+                            if self.absorb_window_partial(query_id, partial) {
+                                absorbed = true;
+                            } else {
+                                refused.push(partial.clone());
+                            }
+                        }
+                        if absorbed {
+                            // The absorbed share is ours now; anything this
+                            // node's state refused (budget shed, evicted
+                            // window) must still reach the root — exactly as
+                            // an unbatched per-tuple upcall would have
+                            // continued routing it.
+                            let mut effects = self.overlay.resume_upcall(token, false, now);
+                            effects.extend(self.reship_window_partials(query_id, refused, now));
+                            return effects;
                         }
                     }
                 }
@@ -570,6 +646,39 @@ impl PierNode {
             | OperatorSpec::FetchByTupleId { output_table, .. } => Some(output_table.clone()),
             _ => None,
         })
+    }
+
+    /// Re-route window partials this node could not absorb toward the
+    /// query's window root (used when a batch was only partially absorbed
+    /// at an upcall hop).
+    fn reship_window_partials(
+        &mut self,
+        query_id: u64,
+        partials: Vec<Tuple>,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        if partials.is_empty() {
+            return Vec::new();
+        }
+        let Some(q) = self.queries.get(&query_id) else {
+            return Vec::new();
+        };
+        let window_ns = q.plan.window_namespace();
+        let root_key = q.plan.agg_root_key();
+        let root_id = routing_id(&window_ns, &root_key);
+        let lifetime =
+            q.cq.as_ref()
+                .map(|cq| cq.spec.lease)
+                .unwrap_or(0)
+                .max(self.config.publish_lifetime);
+        let shipment = if partials.len() == 1 {
+            QpObject::Tuple(partials.into_iter().next().expect("len checked"))
+        } else {
+            QpObject::Batch(TupleBatch::new(partials))
+        };
+        let name = ObjectName::new(window_ns, root_key, self.rng.next_u64());
+        self.overlay
+            .send_routed(root_id, name, shipment, lifetime, now)
     }
 
     fn query_for_partial_namespace(&self, namespace: &str) -> Option<u64> {
@@ -758,7 +867,7 @@ impl PierNode {
                 self.overlay
                     .local_scan(&namespace, ctx.now())
                     .into_iter()
-                    .filter_map(|o| o.value.as_tuple().cloned()),
+                    .flat_map(|o| o.value.into_tuples()),
             );
             initial_rows.push(rows);
         }
@@ -788,9 +897,9 @@ impl PierNode {
             // name tells us which side it belongs to.
             let staged: Vec<Tuple> = match (&mut g.join, &g.spec.join) {
                 (Some(join), Some(join_spec)) => {
-                    if tuple.table == join_spec.left_table {
+                    if tuple.table() == join_spec.left_table {
                         join.push_side(JoinSide::Left, tuple)
-                    } else if tuple.table == join_spec.right_table {
+                    } else if tuple.table() == join_spec.right_table {
                         join.push_side(JoinSide::Right, tuple)
                     } else {
                         Vec::new() // unknown table: discard (best effort)
@@ -885,7 +994,7 @@ impl PierNode {
             let now = ctx.now();
             let mut completed = Vec::new();
             for probe in tuples {
-                if probe.table == fetch_output {
+                if probe.table() == fetch_output {
                     completed.push(probe);
                     continue;
                 }
@@ -921,12 +1030,32 @@ impl PierNode {
                 key_cols,
             } => {
                 let now = ctx.now();
-                for t in tuples {
-                    let Some(key) = t.partition_key(&key_cols) else {
-                        continue;
-                    };
-                    let name = ObjectName::new(namespace.clone(), key, self.rng.next_u64());
-                    effects.extend(self.overlay.put(name, QpObject::Tuple(t), lifetime, now));
+                if self.config.batching {
+                    // Coalesce: buffer per (namespace, partition key); one
+                    // overlay put per key per flush, triggered by the size
+                    // threshold here or by the periodic flush tick.
+                    let buf = self.rehash_buf.entry(namespace.clone()).or_default();
+                    for t in tuples {
+                        let Some(key) = t.partition_key(&key_cols) else {
+                            continue;
+                        };
+                        buf.by_key.entry(key).or_default().push(t);
+                        buf.tuples += 1;
+                    }
+                    if buf.tuples >= self.config.batch_max_tuples {
+                        effects.extend(self.flush_rehash(&namespace, now));
+                    } else if !self.batch_timer_armed {
+                        self.batch_timer_armed = true;
+                        ctx.set_timer(self.config.batch_flush_interval, PierTimer::BatchFlush);
+                    }
+                } else {
+                    for t in tuples {
+                        let Some(key) = t.partition_key(&key_cols) else {
+                            continue;
+                        };
+                        let name = ObjectName::new(namespace.clone(), key, self.rng.next_u64());
+                        effects.extend(self.overlay.put(name, QpObject::Tuple(t), lifetime, now));
+                    }
                 }
             }
             SinkSpec::HierarchicalAgg { .. } => {
@@ -955,6 +1084,39 @@ impl PierNode {
                     }
                 }
             }
+        }
+        effects
+    }
+
+    /// Ship one namespace's buffered rehash batches: one `put` per distinct
+    /// partition key, each carrying a [`TupleBatch`] (or a bare tuple when
+    /// only one accumulated), handed to the overlay's batched put so
+    /// same-owner keys share a single transfer when local routing state
+    /// identifies the owner.
+    fn flush_rehash(&mut self, namespace: &str, now: SimTime) -> Vec<OverlayEffect<QpObject>> {
+        let Some(buf) = self.rehash_buf.remove(namespace) else {
+            return Vec::new();
+        };
+        let lifetime = self.config.publish_lifetime;
+        let mut entries = Vec::with_capacity(buf.by_key.len());
+        for (key, mut tuples) in buf.by_key {
+            let name = ObjectName::new(namespace.to_string(), key, self.rng.next_u64());
+            let value = if tuples.len() == 1 {
+                QpObject::Tuple(tuples.pop().expect("len checked"))
+            } else {
+                QpObject::Batch(TupleBatch::new(tuples))
+            };
+            entries.push((name, value, lifetime));
+        }
+        self.overlay.put_batch(entries, now)
+    }
+
+    /// Flush every buffered rehash namespace (the periodic tick).
+    fn flush_all_rehash(&mut self, now: SimTime) -> Vec<OverlayEffect<QpObject>> {
+        let namespaces: Vec<String> = self.rehash_buf.keys().cloned().collect();
+        let mut effects = Vec::new();
+        for ns in namespaces {
+            effects.extend(self.flush_rehash(&ns, now));
         }
         effects
     }
@@ -1047,22 +1209,26 @@ impl PierNode {
         };
         let now = ctx.now();
         let mut effects = Vec::new();
-        for partial in to_send {
+        // All partials of one flush share the aggregation-root destination,
+        // so batching collapses them into a single transfer per hop.
+        let shipments: Vec<QpObject> = if self.config.batching && to_send.len() > 1 {
+            vec![QpObject::Batch(TupleBatch::new(to_send))]
+        } else {
+            to_send.into_iter().map(QpObject::Tuple).collect()
+        };
+        for shipment in shipments {
             let name = ObjectName::new(
                 partial_namespace.clone(),
                 agg_root_key.clone(),
                 self.rng.next_u64(),
             );
             if flat {
-                effects.extend(
-                    self.overlay
-                        .put(name, QpObject::Tuple(partial), lifetime, now),
-                );
+                effects.extend(self.overlay.put(name, shipment, lifetime, now));
             } else {
                 effects.extend(self.overlay.send_routed(
                     agg_root_id,
                     name,
-                    QpObject::Tuple(partial),
+                    shipment,
                     lifetime,
                     now,
                 ));
@@ -1097,11 +1263,15 @@ impl CqState {
     fn decode_partial(&self, tuple: &Tuple) -> Option<(WindowId, String, GroupAgg)> {
         let wid = tuple.get("_w").and_then(Value::as_i64)?;
         let vals = tuple.get_all(&self.group_cols)?;
-        let key = vals
-            .iter()
-            .map(Value::key_string)
-            .collect::<Vec<_>>()
-            .join("|");
+        // The key derives from the already-fetched group values — no second
+        // column resolution.
+        let mut key = String::with_capacity(12 * vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            if i > 0 {
+                key.push('|');
+            }
+            v.write_key(&mut key);
+        }
         let states: Option<Vec<AggState>> = self
             .aggs
             .iter()
@@ -1154,14 +1324,44 @@ impl PierNode {
             return None;
         };
         let spec = plan.cq.unwrap_or_default();
+        // Both shipped shapes are fixed by the sink spec, so their schemas
+        // intern once at installation rather than once per emitted tuple.
+        let partial_schema = {
+            let mut columns = vec!["_w".to_string()];
+            columns.extend(group_cols.iter().cloned());
+            for agg in aggs {
+                let col = agg.output_column();
+                if matches!(agg, AggFunc::Avg(_)) {
+                    columns.push(col.clone());
+                    columns.push(format!("{col}_sum"));
+                    columns.push(format!("{col}_count"));
+                } else {
+                    columns.push(col);
+                }
+            }
+            SchemaRegistry::global().intern_owned(format!("q{}.wp", plan.query_id), columns)
+        };
+        let result_schema = {
+            let mut columns = vec!["window_start".to_string(), "window_end".to_string()];
+            columns.extend(group_cols.iter().cloned());
+            columns.extend(aggs.iter().map(AggFunc::output_column));
+            SchemaRegistry::global().intern_owned(format!("q{}.win", plan.query_id), columns)
+        };
         Some(CqState {
             spec,
             window: *window,
             group_cols: group_cols.clone(),
             aggs: aggs.clone(),
-            time_col: time_col.clone(),
-            dedup_cols: dedup_cols.clone(),
             final_ops: final_ops.clone(),
+            group_resolver: ColumnResolver::new(group_cols.clone()),
+            agg_inputs: aggs
+                .iter()
+                .map(|a| a.input_column().map(ColumnRef::new))
+                .collect(),
+            time_ref: time_col.clone().map(ColumnRef::new),
+            dedup_refs: dedup_cols.iter().cloned().map(ColumnRef::new).collect(),
+            partial_schema,
+            result_schema,
             graph_idx,
             store: WindowStore::new(*window, spec.budget),
             // The root store closes one slide later so partials relayed
@@ -1176,37 +1376,42 @@ impl PierNode {
         })
     }
 
-    /// Fold one dataflow output into the query's window store.
+    /// Fold one dataflow output into the query's window store.  Columns are
+    /// resolved to schema indices once per input schema, not per tuple.
     fn cq_absorb(cq: &mut CqState, tuple: &Tuple, now: SimTime) {
         let event_time = cq
-            .time_col
-            .as_ref()
-            .and_then(|c| tuple.get(c))
+            .time_ref
+            .as_mut()
+            .and_then(|c| c.get(tuple))
             .and_then(Value::as_i64)
             .map(|v| v.max(0) as u64)
             .unwrap_or(now);
-        let Some(vals) = tuple.get_all(&cq.group_cols) else {
+        let Some(indices) = cq.group_resolver.indices(tuple) else {
             return; // malformed tuple: discard
         };
-        let key = vals
-            .iter()
-            .map(Value::key_string)
-            .collect::<Vec<_>>()
-            .join("|");
-        let dedup = if cq.dedup_cols.is_empty() {
+        let key = tuple.key_at(indices);
+        let vals: Vec<Value> = indices.iter().map(|&i| tuple.values()[i].clone()).collect();
+        let dedup = if cq.dedup_refs.is_empty() {
             None
         } else {
             // A tuple missing a dedup column is treated as unique.
-            cq.dedup_cols
-                .iter()
-                .map(|c| {
-                    tuple
-                        .get(c)
-                        .map(Value::key_string)
-                        .unwrap_or_else(|| "∅".into())
-                })
-                .reduce(|a, b| format!("{a}|{b}"))
+            let mut out = String::with_capacity(12 * cq.dedup_refs.len());
+            for (i, col) in cq.dedup_refs.iter_mut().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                match col.get(tuple) {
+                    Some(v) => v.write_key(&mut out),
+                    None => out.push('∅'),
+                }
+            }
+            Some(out)
         };
+        let agg_values: Vec<Option<&Value>> = cq
+            .agg_inputs
+            .iter_mut()
+            .map(|input| input.as_mut().and_then(|c| c.get(tuple)))
+            .collect();
         let aggs = &cq.aggs;
         cq.store.push(
             event_time,
@@ -1217,34 +1422,26 @@ impl PierNode {
                 states: aggs.iter().map(AggFunc::init).collect(),
             },
             |acc| {
-                for (agg, state) in aggs.iter().zip(acc.states.iter_mut()) {
-                    state.update(agg, tuple);
+                for ((agg, value), state) in aggs.iter().zip(&agg_values).zip(acc.states.iter_mut())
+                {
+                    state.update_with(agg, *value);
                 }
             },
         );
     }
 
-    fn encode_window_partial(
-        query_id: u64,
-        wid: WindowId,
-        group_cols: &[String],
-        aggs: &[AggFunc],
-        acc: &GroupAgg,
-    ) -> Tuple {
-        let mut out = Tuple::empty(format!("q{query_id}.wp"));
-        out.push("_w", Value::Int(wid as i64));
-        for (c, v) in group_cols.iter().zip(&acc.vals) {
-            out.push(c.clone(), v.clone());
-        }
-        for (agg, state) in aggs.iter().zip(&acc.states) {
-            let col = agg.output_column();
-            out.push(col.clone(), state.finish());
+    fn encode_window_partial(partial_schema: &Arc<Schema>, wid: WindowId, acc: &GroupAgg) -> Tuple {
+        let mut values = Vec::with_capacity(partial_schema.arity());
+        values.push(Value::Int(wid as i64));
+        values.extend(acc.vals.iter().cloned());
+        for state in &acc.states {
+            values.push(state.finish());
             if let AggState::Avg { sum, count } = state {
-                out.push(format!("{col}_sum"), Value::Float(*sum));
-                out.push(format!("{col}_count"), Value::Int(*count as i64));
+                values.push(Value::Float(*sum));
+                values.push(Value::Int(*count as i64));
             }
         }
-        out
+        Tuple::from_schema(Arc::clone(partial_schema), values)
     }
 
     /// Periodic window maintenance (fires every slide): close due windows,
@@ -1279,13 +1476,7 @@ impl PierNode {
         } else {
             for (wid, groups) in closed.into_iter().chain(cq.root_store.close_due(now)) {
                 for (_, acc) in groups {
-                    to_send.push(Self::encode_window_partial(
-                        query_id,
-                        wid,
-                        &cq.group_cols,
-                        &cq.aggs,
-                        &acc,
-                    ));
+                    to_send.push(Self::encode_window_partial(&cq.partial_schema, wid, &acc));
                 }
             }
         }
@@ -1301,16 +1492,12 @@ impl PierNode {
                 let mut rows: Vec<Tuple> = groups
                     .into_iter()
                     .map(|(_, acc)| {
-                        let mut t = Tuple::empty(format!("q{query_id}.win"));
-                        t.push("window_start", Value::Int(ws as i64));
-                        t.push("window_end", Value::Int(we as i64));
-                        for (c, v) in cq.group_cols.iter().zip(&acc.vals) {
-                            t.push(c.clone(), v.clone());
-                        }
-                        for (agg, state) in cq.aggs.iter().zip(&acc.states) {
-                            t.push(agg.output_column(), state.finish());
-                        }
-                        t
+                        let mut values = Vec::with_capacity(cq.result_schema.arity());
+                        values.push(Value::Int(ws as i64));
+                        values.push(Value::Int(we as i64));
+                        values.extend(acc.vals.iter().cloned());
+                        values.extend(acc.states.iter().map(AggState::finish));
+                        Tuple::from_schema(Arc::clone(&cq.result_schema), values)
                     })
                     .collect();
                 rows.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
@@ -1349,17 +1536,21 @@ impl PierNode {
         let lifetime = cq.spec.lease.max(self.config.publish_lifetime);
 
         // 3. Ship partials one hop toward the root (upcalls combine en
-        //    route) and stream emissions to the proxy.
+        //    route) and stream emissions to the proxy.  Every partial of a
+        //    tick shares the window-root destination, so batching collapses
+        //    the per-group message train into one transfer per tick.
         let mut effects = Vec::new();
-        for partial in to_send {
+        let shipments: Vec<QpObject> = if self.config.batching && to_send.len() > 1 {
+            vec![QpObject::Batch(TupleBatch::new(to_send))]
+        } else {
+            to_send.into_iter().map(QpObject::Tuple).collect()
+        };
+        for shipment in shipments {
             let name = ObjectName::new(window_ns.clone(), root_key.clone(), self.rng.next_u64());
-            effects.extend(self.overlay.send_routed(
-                root_id,
-                name,
-                QpObject::Tuple(partial),
-                lifetime,
-                now,
-            ));
+            effects.extend(
+                self.overlay
+                    .send_routed(root_id, name, shipment, lifetime, now),
+            );
         }
         self.drive(ctx, effects);
         for (wid, deltas) in emissions {
@@ -1513,6 +1704,12 @@ impl Program for PierNode {
                 }
             }
             PierTimer::WindowTick { query_id } => self.window_tick(ctx, query_id),
+            PierTimer::BatchFlush => {
+                let now = ctx.now();
+                self.batch_timer_armed = false;
+                let effects = self.flush_all_rehash(now);
+                self.drive(ctx, effects);
+            }
             PierTimer::CqRenew { query_id } => {
                 // Proxy-side: re-disseminate the standing plan so leases
                 // extend everywhere and churned-in nodes pick the query up.

@@ -17,11 +17,12 @@
 
 use crate::aggregate::{AggFunc, AggState};
 use crate::expr::Expr;
-use crate::tuple::Tuple;
+use crate::tuple::{ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple};
 use crate::value::Value;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// A push-based local operator.
 pub trait LocalOperator: std::fmt::Debug {
@@ -61,29 +62,60 @@ impl LocalOperator for Selection {
     }
 }
 
-/// Projection onto a fixed list of columns.
+/// `(input schema, projected schema, per-output-column source index)`.
+type ProjectionCache = (Arc<Schema>, Arc<Schema>, Vec<Option<usize>>);
+
+/// Projection onto a fixed list of columns.  The projected schema and the
+/// per-column source indices are resolved once per input schema, not once
+/// per tuple.
 #[derive(Debug)]
 pub struct Projection {
     columns: Vec<String>,
+    cache: Option<ProjectionCache>,
 }
 
 impl Projection {
     /// Create a projection.
     pub fn new(columns: Vec<String>) -> Self {
-        Projection { columns }
+        Projection {
+            columns,
+            cache: None,
+        }
     }
 }
 
 impl LocalOperator for Projection {
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
-        vec![tuple.project(&self.columns)]
+        let hit = self
+            .cache
+            .as_ref()
+            .is_some_and(|(input, _, _)| Arc::ptr_eq(input, tuple.schema()));
+        if !hit {
+            let names: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+            let out = SchemaRegistry::global().intern(tuple.table(), &names);
+            let srcs = self
+                .columns
+                .iter()
+                .map(|c| tuple.schema().position(c))
+                .collect();
+            self.cache = Some((Arc::clone(tuple.schema()), out, srcs));
+        }
+        let (_, out, srcs) = self.cache.as_ref().expect("cache populated above");
+        let values = srcs
+            .iter()
+            .map(|src| match src {
+                Some(i) => tuple.values()[*i].clone(),
+                None => Value::Null,
+            })
+            .collect();
+        vec![Tuple::from_schema(Arc::clone(out), values)]
     }
 }
 
 /// Duplicate elimination on a set of key columns (all columns when empty).
 #[derive(Debug)]
 pub struct Distinct {
-    key: Vec<String>,
+    key: ColumnResolver,
     seen: HashSet<String>,
 }
 
@@ -91,21 +123,23 @@ impl Distinct {
     /// Create a duplicate-elimination operator.
     pub fn new(key: Vec<String>) -> Self {
         Distinct {
-            key,
+            key: ColumnResolver::new(key),
             seen: HashSet::new(),
         }
     }
 
-    fn key_of(&self, tuple: &Tuple) -> String {
-        if self.key.is_empty() {
-            tuple
-                .values
-                .iter()
-                .map(Value::key_string)
-                .collect::<Vec<_>>()
-                .join("|")
+    fn key_of(&mut self, tuple: &Tuple) -> String {
+        if self.key.columns().is_empty() {
+            let mut out = String::with_capacity(12 * tuple.arity());
+            for (i, v) in tuple.values().iter().enumerate() {
+                if i > 0 {
+                    out.push('|');
+                }
+                v.write_key(&mut out);
+            }
+            out
         } else {
-            tuple.partition_key(&self.key).unwrap_or_else(|| "∅".into())
+            self.key.key(tuple).unwrap_or_else(|| "∅".into())
         }
     }
 }
@@ -162,12 +196,18 @@ impl LocalOperator for Queue {
 
 /// Grouped (partial) aggregation.  Emits one tuple per group on flush with
 /// the group columns plus one output column per aggregate.
+///
+/// The group columns and every aggregate's input column are resolved to
+/// schema indices once per input schema, and the output shape is interned
+/// once at construction, so the per-tuple path is index lookups only.
 #[derive(Debug)]
 pub struct GroupBy {
-    group_cols: Vec<String>,
+    group_cols: ColumnResolver,
     aggs: Vec<AggFunc>,
+    /// Per-aggregate input column resolver (`None` for `COUNT(*)`).
+    agg_inputs: Vec<Option<ColumnRef>>,
     groups: HashMap<String, (Vec<Value>, Vec<AggState>)>,
-    output_table: String,
+    out_schema: Arc<Schema>,
 }
 
 impl GroupBy {
@@ -178,11 +218,33 @@ impl GroupBy {
         output_table: impl Into<String>,
     ) -> Self {
         GroupBy {
-            group_cols,
+            out_schema: Self::output_schema(&group_cols, &aggs, &output_table.into()),
+            agg_inputs: aggs
+                .iter()
+                .map(|a| a.input_column().map(ColumnRef::new))
+                .collect(),
+            group_cols: ColumnResolver::new(group_cols),
             aggs,
             groups: HashMap::new(),
-            output_table: output_table.into(),
         }
+    }
+
+    /// The fixed shape of this operator's output tuples: the group columns,
+    /// then one column per aggregate (AVG additionally exposes its mergeable
+    /// `_sum`/`_count` components so hierarchical aggregation stays exact).
+    fn output_schema(group_cols: &[String], aggs: &[AggFunc], output_table: &str) -> Arc<Schema> {
+        let mut columns: Vec<String> = group_cols.to_vec();
+        for agg in aggs {
+            let col = agg.output_column();
+            if matches!(agg, AggFunc::Avg(_)) {
+                columns.push(col.clone());
+                columns.push(format!("{col}_sum"));
+                columns.push(format!("{col}_count"));
+            } else {
+                columns.push(col);
+            }
+        }
+        SchemaRegistry::global().intern_owned(output_table.to_string(), columns)
     }
 
     /// Number of groups currently buffered.
@@ -195,20 +257,19 @@ impl GroupBy {
     /// step).  Returns `false` when the tuple does not look like a partial
     /// for this operator and was ignored.
     pub fn merge_partial(&mut self, tuple: &Tuple) -> bool {
-        let Some(group_vals) = tuple.get_all(&self.group_cols) else {
+        let Some(key) = self.group_cols.key(tuple) else {
             return false;
         };
-        let key = group_vals
-            .iter()
-            .map(Value::key_string)
-            .collect::<Vec<_>>()
-            .join("|");
-        let entry = self.groups.entry(key).or_insert_with(|| {
-            (
-                group_vals.clone(),
-                self.aggs.iter().map(AggFunc::init).collect(),
-            )
-        });
+        let entry = match self.groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let vals = self
+                    .group_cols
+                    .values(tuple)
+                    .expect("key resolved above implies values resolve");
+                e.insert((vals, self.aggs.iter().map(AggFunc::init).collect()))
+            }
+        };
         let mut merged_any = false;
         for (agg, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
             if let Some(other) = AggState::from_partial_tuple(agg, tuple) {
@@ -220,41 +281,42 @@ impl GroupBy {
     }
 
     fn group_tuple(&self, values: &[Value], states: &[AggState]) -> Tuple {
-        let mut out = Tuple::empty(self.output_table.clone());
-        for (c, v) in self.group_cols.iter().zip(values) {
-            out.push(c.clone(), v.clone());
-        }
-        for (agg, state) in self.aggs.iter().zip(states) {
-            let col = agg.output_column();
-            out.push(col.clone(), state.finish());
-            // AVG partials additionally expose their mergeable components so
-            // hierarchical aggregation stays exact.
+        let mut out = Vec::with_capacity(self.out_schema.arity());
+        out.extend(values.iter().cloned());
+        for state in states {
+            out.push(state.finish());
             if let AggState::Avg { sum, count } = state {
-                out.push(format!("{col}_sum"), Value::Float(*sum));
-                out.push(format!("{col}_count"), Value::Int(*count as i64));
+                out.push(Value::Float(*sum));
+                out.push(Value::Int(*count as i64));
             }
         }
-        out
+        Tuple::from_schema(Arc::clone(&self.out_schema), out)
     }
 }
 
 impl LocalOperator for GroupBy {
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
-        let Some(group_vals) = tuple.get_all(&self.group_cols) else {
+        let Some(key) = self.group_cols.key(&tuple) else {
             return Vec::new(); // malformed tuple: discard
         };
-        let key = group_vals
+        let entry = match self.groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let vals = self
+                    .group_cols
+                    .values(&tuple)
+                    .expect("key resolved above implies values resolve");
+                e.insert((vals, self.aggs.iter().map(AggFunc::init).collect()))
+            }
+        };
+        for ((agg, input), state) in self
+            .aggs
             .iter()
-            .map(Value::key_string)
-            .collect::<Vec<_>>()
-            .join("|");
-        let aggs = &self.aggs;
-        let entry = self
-            .groups
-            .entry(key)
-            .or_insert_with(|| (group_vals, aggs.iter().map(AggFunc::init).collect()));
-        for (agg, state) in self.aggs.iter().zip(entry.1.iter_mut()) {
-            state.update(agg, &tuple);
+            .zip(self.agg_inputs.iter_mut())
+            .zip(entry.1.iter_mut())
+        {
+            let value = input.as_mut().and_then(|c| c.get(&tuple));
+            state.update_with(agg, value);
         }
         Vec::new()
     }
@@ -280,7 +342,7 @@ impl LocalOperator for GroupBy {
 #[derive(Debug)]
 pub struct TopK {
     k: usize,
-    order_col: String,
+    order_col: ColumnRef,
     buffer: Vec<Tuple>,
 }
 
@@ -289,7 +351,7 @@ impl TopK {
     pub fn new(k: usize, order_col: impl Into<String>) -> Self {
         TopK {
             k,
-            order_col: order_col.into(),
+            order_col: ColumnRef::new(order_col.into()),
             buffer: Vec::new(),
         }
     }
@@ -297,20 +359,21 @@ impl TopK {
 
 impl LocalOperator for TopK {
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
-        if tuple.get(&self.order_col).and_then(Value::as_f64).is_some() {
+        if self.order_col.get(&tuple).and_then(Value::as_f64).is_some() {
             self.buffer.push(tuple);
         }
         Vec::new()
     }
 
     fn flush(&mut self) -> Vec<Tuple> {
+        let order_col = self.order_col.column().to_string();
         self.buffer.sort_by(|a, b| {
             let av = a
-                .get(&self.order_col)
+                .get(&order_col)
                 .and_then(Value::as_f64)
                 .unwrap_or(f64::MIN);
             let bv = b
-                .get(&self.order_col)
+                .get(&order_col)
                 .and_then(Value::as_f64)
                 .unwrap_or(f64::MIN);
             bv.partial_cmp(&av).unwrap_or(std::cmp::Ordering::Equal)
@@ -375,13 +438,19 @@ impl BloomFilter {
 /// One side's state in a Symmetric Hash join [Wilschut & Apers]: tuples are
 /// inserted into their side's hash table and probe the opposite side's table
 /// as they arrive, so results stream out without blocking.
+///
+/// Key columns resolve to schema indices once per side schema, and the
+/// joined output schema is interned once per (left, right) schema pair, so
+/// the streaming inner loop is hashing plus value concatenation.
 #[derive(Debug)]
 pub struct SymmetricHashJoin {
-    left_key: Vec<String>,
-    right_key: Vec<String>,
+    left_key: ColumnResolver,
+    right_key: ColumnResolver,
     left_table: HashMap<String, Vec<Tuple>>,
     right_table: HashMap<String, Vec<Tuple>>,
     output_table: String,
+    /// `(left schema, right schema) → joined schema` single-entry cache.
+    out_schema: Option<(Arc<Schema>, Arc<Schema>, Arc<Schema>)>,
 }
 
 /// Which side of a symmetric hash join a tuple belongs to.
@@ -401,11 +470,12 @@ impl SymmetricHashJoin {
         output_table: impl Into<String>,
     ) -> Self {
         SymmetricHashJoin {
-            left_key,
-            right_key,
+            left_key: ColumnResolver::new(left_key),
+            right_key: ColumnResolver::new(right_key),
             left_table: HashMap::new(),
             right_table: HashMap::new(),
             output_table: output_table.into(),
+            out_schema: None,
         }
     }
 
@@ -421,10 +491,10 @@ impl SymmetricHashJoin {
     /// produces immediately.
     pub fn push_side(&mut self, side: JoinSide, tuple: Tuple) -> Vec<Tuple> {
         let key_cols = match side {
-            JoinSide::Left => &self.left_key,
-            JoinSide::Right => &self.right_key,
+            JoinSide::Left => &mut self.left_key,
+            JoinSide::Right => &mut self.right_key,
         };
-        let Some(key) = tuple.partition_key(key_cols) else {
+        let Some(key) = key_cols.key(&tuple) else {
             return Vec::new(); // malformed tuple: discard
         };
         let (own, other) = match side {
@@ -432,18 +502,33 @@ impl SymmetricHashJoin {
             JoinSide::Right => (&mut self.right_table, &self.left_table),
         };
         own.entry(key.clone()).or_default().push(tuple.clone());
-        other
-            .get(&key)
-            .map(|matches| {
-                matches
-                    .iter()
-                    .map(|m| match side {
-                        JoinSide::Left => tuple.join_with(m, &self.output_table),
-                        JoinSide::Right => m.join_with(&tuple, &self.output_table),
-                    })
-                    .collect()
+        let Some(matches) = other.get(&key) else {
+            return Vec::new();
+        };
+        let out_schema = &mut self.out_schema;
+        let output_table = &self.output_table;
+        matches
+            .iter()
+            .map(|m| {
+                let (left, right) = match side {
+                    JoinSide::Left => (&tuple, m),
+                    JoinSide::Right => (m, &tuple),
+                };
+                let hit = out_schema.as_ref().is_some_and(|(l, r, _)| {
+                    Arc::ptr_eq(l, left.schema()) && Arc::ptr_eq(r, right.schema())
+                });
+                if !hit {
+                    let joined = Tuple::join_schema(left.schema(), right.schema(), output_table);
+                    *out_schema = Some((
+                        Arc::clone(left.schema()),
+                        Arc::clone(right.schema()),
+                        joined,
+                    ));
+                }
+                let (_, _, joined) = out_schema.as_ref().expect("cache populated above");
+                left.join_with_schema(right, Arc::clone(joined))
             })
-            .unwrap_or_default()
+            .collect()
     }
 }
 
@@ -553,7 +638,7 @@ mod tests {
     fn projection_and_limit() {
         let mut proj = Projection::new(vec!["id".into()]);
         let out = proj.push(row("t", 7, "x", 1));
-        assert_eq!(out[0].columns, vec!["id".to_string()]);
+        assert_eq!(out[0].columns(), &["id".to_string()]);
         let mut lim = Limit::new(2);
         assert_eq!(lim.push(row("t", 1, "a", 1)).len(), 1);
         assert_eq!(lim.push(row("t", 2, "a", 1)).len(), 1);

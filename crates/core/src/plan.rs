@@ -18,7 +18,7 @@ use crate::expr::Expr;
 use crate::operators::{
     Distinct, GroupBy, Limit, LocalOperator, Projection, Queue, Selection, TopK,
 };
-use crate::tuple::Tuple;
+use crate::tuple::{Tuple, TupleBatch};
 use pier_cq::{CqBudget, DeltaMode, WindowSpec};
 use pier_runtime::{Duration, NodeAddr, WireSize};
 
@@ -384,16 +384,39 @@ impl WireSize for QueryPlan {
 pub enum QpObject {
     /// A base or derived data tuple.
     Tuple(Tuple),
+    /// A batch of same-destination tuples coalesced into one transfer (the
+    /// executor's rehash/exchange and partial-aggregate paths); unpacked
+    /// back into per-tuple dataflow at the receiving node.
+    Batch(TupleBatch),
     /// A query plan being disseminated.
     Plan(QueryPlan),
 }
 
 impl QpObject {
-    /// The tuple inside, if this is a data object.
+    /// The tuple inside, if this is a single-tuple data object.
     pub fn as_tuple(&self) -> Option<&Tuple> {
         match self {
             QpObject::Tuple(t) => Some(t),
-            QpObject::Plan(_) => None,
+            QpObject::Batch(_) | QpObject::Plan(_) => None,
+        }
+    }
+
+    /// The data tuples this object carries: one for [`QpObject::Tuple`],
+    /// all of them for [`QpObject::Batch`], none for plans.
+    pub fn tuples(&self) -> &[Tuple] {
+        match self {
+            QpObject::Tuple(t) => std::slice::from_ref(t),
+            QpObject::Batch(b) => b.tuples(),
+            QpObject::Plan(_) => &[],
+        }
+    }
+
+    /// Consume the object into its data tuples (empty for plans).
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        match self {
+            QpObject::Tuple(t) => vec![t],
+            QpObject::Batch(b) => b.into_tuples(),
+            QpObject::Plan(_) => Vec::new(),
         }
     }
 }
@@ -402,6 +425,7 @@ impl WireSize for QpObject {
     fn wire_size(&self) -> usize {
         1 + match self {
             QpObject::Tuple(t) => t.wire_size(),
+            QpObject::Batch(b) => b.wire_size(),
             QpObject::Plan(p) => p.wire_size(),
         }
     }

@@ -58,11 +58,21 @@ pub fn index_entry(
 ) -> Option<Tuple> {
     let index_value = tuple.get(index_col)?.clone();
     let base_key = tuple.partition_key(base_key_cols)?;
-    let mut entry = Tuple::empty(index_table_name(base_table, index_col));
-    entry.push(INDEX_KEY_COL, index_value);
-    entry.push(BASE_NAMESPACE_COL, Value::Str(base_table.to_string()));
-    entry.push(BASE_KEY_COL, Value::Str(base_key));
-    Some(entry)
+    // Fixed shape: one intern for the whole entry (push would re-intern
+    // every prefix shape on this publish hot path).
+    Some(Tuple::from_parts(
+        index_table_name(base_table, index_col),
+        vec![
+            INDEX_KEY_COL.to_string(),
+            BASE_NAMESPACE_COL.to_string(),
+            BASE_KEY_COL.to_string(),
+        ],
+        vec![
+            index_value,
+            Value::Str(base_table.to_string()),
+            Value::Str(base_key),
+        ],
+    ))
 }
 
 /// Build the index entries for several indexed columns at once.
@@ -146,7 +156,7 @@ mod tests {
         let base_key = vec!["file".to_string()];
         let row = file_row("a.mp3", "rock", 123);
         let entry = index_entry("files", &base_key, "keyword", &row).unwrap();
-        assert_eq!(entry.table, "files__idx_keyword");
+        assert_eq!(entry.table(), "files__idx_keyword");
         assert_eq!(entry.get(INDEX_KEY_COL), Some(&Value::Str("rock".into())));
         assert_eq!(
             entry.get(BASE_NAMESPACE_COL),
@@ -178,8 +188,8 @@ mod tests {
             &row,
         );
         assert_eq!(entries.len(), 2);
-        assert_eq!(entries[0].table, "files__idx_keyword");
-        assert_eq!(entries[1].table, "files__idx_size");
+        assert_eq!(entries[0].table(), "files__idx_keyword");
+        assert_eq!(entries[1].table(), "files__idx_size");
     }
 
     #[test]

@@ -1,48 +1,88 @@
-//! Self-describing tuples (§3.3.1).
+//! Self-describing tuples (§3.3.1) with interned schemas.
 //!
 //! Because PIER keeps no system catalog, every tuple carries its table name,
 //! its column names and its values.  Access methods convert source data into
 //! this format; operators address fields by name and silently discard tuples
 //! that lack an expected field or carry an incompatible type.
+//!
+//! The paper's "no catalog" stance is *logical*: every tuple is
+//! self-describing **on the wire** and across trust domains.  It does not
+//! force the in-memory representation to copy the table name and every
+//! column name per tuple.  This module therefore splits a tuple into a
+//! [`Schema`] (table + column names + a precomputed column→index map) shared
+//! through an `Arc` via the process-wide [`SchemaRegistry`], and a flat
+//! vector of [`Value`]s:
+//!
+//! * cloning a tuple clones an `Arc` and the values — no string traffic;
+//! * [`Tuple::get`] resolves the column once against the schema instead of
+//!   linearly comparing strings per access;
+//! * operators resolve their column lists to indices **once per schema**
+//!   (not once per tuple) through [`ColumnResolver`] / [`ColumnRef`], whose
+//!   single-entry caches are keyed by schema identity (`Arc::ptr_eq`) —
+//!   interning makes pointer equality a sound schema-equality check;
+//! * [`TupleBatch`] groups same-destination tuples for a single overlay
+//!   transfer and charges the self-describing schema bytes once per
+//!   (batch, schema) in its [`WireSize`], matching what a length-prefixed
+//!   dictionary encoding would put on the wire.
+//!
+//! `Tuple::wire_size` still charges the full self-describing cost (schema +
+//! values), exactly as in the paper, so unbatched transfers are accounted
+//! honestly.
 
 use crate::value::Value;
 use pier_runtime::WireSize;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, OnceLock};
 
-/// A self-describing relational tuple.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Tuple {
-    /// The table (or result-set) this tuple belongs to.
-    pub table: String,
-    /// Column names, parallel to `values`.
-    pub columns: Vec<String>,
-    /// Column values, parallel to `columns`.
-    pub values: Vec<Value>,
+/// Column-count threshold below which name lookups linearly scan the column
+/// list instead of hashing — faster for the short schemas that dominate.
+const LINEAR_SCAN_MAX: usize = 6;
+
+/// The shape of a tuple: its table (or result-set) name and column names,
+/// plus a precomputed column→index map for wide schemas.  Schemas are
+/// immutable and interned through the [`SchemaRegistry`], so two tuples with
+/// the same shape share one allocation and can be compared by pointer.
+#[derive(Debug)]
+pub struct Schema {
+    table: String,
+    columns: Vec<String>,
+    /// Column → index, built only past [`LINEAR_SCAN_MAX`] columns.
+    index: Option<HashMap<String, usize>>,
 }
 
-impl Tuple {
-    /// Create a tuple from `(column, value)` pairs.
-    pub fn new(table: impl Into<String>, fields: Vec<(&str, Value)>) -> Self {
-        let (columns, values) = fields.into_iter().map(|(c, v)| (c.to_string(), v)).unzip();
-        Tuple {
-            table: table.into(),
+impl Schema {
+    fn build(table: String, columns: Vec<String>) -> Schema {
+        let index = if columns.len() > LINEAR_SCAN_MAX {
+            Some(
+                columns
+                    .iter()
+                    .enumerate()
+                    // `rev` keeps the *first* occurrence for duplicated
+                    // names, matching a forward linear scan.
+                    .rev()
+                    .map(|(i, c)| (c.clone(), i))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        Schema {
+            table,
             columns,
-            values,
+            index,
         }
     }
 
-    /// Create an empty tuple for a table (columns added via [`Tuple::push`]).
-    pub fn empty(table: impl Into<String>) -> Self {
-        Tuple {
-            table: table.into(),
-            columns: Vec::new(),
-            values: Vec::new(),
-        }
+    /// The table (or result-set) name.
+    pub fn table(&self) -> &str {
+        &self.table
     }
 
-    /// Append a column.
-    pub fn push(&mut self, column: impl Into<String>, value: Value) {
-        self.columns.push(column.into());
-        self.values.push(value);
+    /// The column names, in tuple order.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
     }
 
     /// Number of columns.
@@ -50,12 +90,197 @@ impl Tuple {
         self.columns.len()
     }
 
+    /// Index of the named column (first occurrence), if present.
+    pub fn position(&self, column: &str) -> Option<usize> {
+        match &self.index {
+            Some(map) => map.get(column).copied(),
+            None => self.columns.iter().position(|c| c == column),
+        }
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self, other) || (self.table == other.table && self.columns == other.columns)
+    }
+}
+
+impl WireSize for Schema {
+    fn wire_size(&self) -> usize {
+        // The self-describing header: table name plus every column name.
+        self.table.wire_size() + self.columns.iter().map(WireSize::wire_size).sum::<usize>()
+    }
+}
+
+fn schema_hash<'a>(table: &str, columns: impl Iterator<Item = &'a str>) -> u64 {
+    let mut h = DefaultHasher::new();
+    table.hash(&mut h);
+    for c in columns {
+        c.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Process-wide interner mapping (table, columns) shapes to shared
+/// [`Schema`]s.  Lookups hash borrowed names, so repeated construction of
+/// same-shaped tuples performs no string allocation at all.  The registry
+/// only ever grows: schemas are small, but shapes keyed by query-scoped
+/// table names (`q{id}.agg`, `q{id}.win`, …) accumulate with every query
+/// ever installed in the process, not just the currently installed ones —
+/// eviction via weak references is a ROADMAP item before very long-lived
+/// deployments.
+#[derive(Debug, Default)]
+pub struct SchemaRegistry {
+    shapes: Mutex<HashMap<u64, Vec<Arc<Schema>>>>,
+}
+
+impl SchemaRegistry {
+    /// The process-wide registry used by [`Tuple`] constructors.
+    pub fn global() -> &'static SchemaRegistry {
+        static GLOBAL: OnceLock<SchemaRegistry> = OnceLock::new();
+        GLOBAL.get_or_init(SchemaRegistry::default)
+    }
+
+    /// Number of distinct schemas interned.
+    pub fn len(&self) -> usize {
+        self.shapes.lock().unwrap().values().map(Vec::len).sum()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intern a shape given by borrowed parts; allocation-free when the
+    /// shape is already known.
+    pub fn intern(&self, table: &str, columns: &[&str]) -> Arc<Schema> {
+        let hash = schema_hash(table, columns.iter().copied());
+        let mut shapes = self.shapes.lock().unwrap();
+        let bucket = shapes.entry(hash).or_default();
+        if let Some(existing) = bucket.iter().find(|s| {
+            s.table == table
+                && s.columns.len() == columns.len()
+                && s.columns
+                    .iter()
+                    .map(String::as_str)
+                    .eq(columns.iter().copied())
+        }) {
+            return Arc::clone(existing);
+        }
+        let schema = Arc::new(Schema::build(
+            table.to_string(),
+            columns.iter().map(|c| c.to_string()).collect(),
+        ));
+        bucket.push(Arc::clone(&schema));
+        schema
+    }
+
+    /// Intern a shape whose parts are already owned (the owned strings are
+    /// dropped when the shape is known).
+    pub fn intern_owned(&self, table: String, columns: Vec<String>) -> Arc<Schema> {
+        let hash = schema_hash(&table, columns.iter().map(String::as_str));
+        let mut shapes = self.shapes.lock().unwrap();
+        let bucket = shapes.entry(hash).or_default();
+        if let Some(existing) = bucket
+            .iter()
+            .find(|s| s.table == table && s.columns == columns)
+        {
+            return Arc::clone(existing);
+        }
+        let schema = Arc::new(Schema::build(table, columns));
+        bucket.push(Arc::clone(&schema));
+        schema
+    }
+}
+
+/// A self-describing relational tuple: an interned schema plus the values,
+/// parallel to the schema's columns.
+#[derive(Debug, Clone)]
+pub struct Tuple {
+    schema: Arc<Schema>,
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Create a tuple from `(column, value)` pairs.
+    pub fn new(table: impl AsRef<str>, fields: Vec<(&str, Value)>) -> Self {
+        let mut names: Vec<&str> = Vec::with_capacity(fields.len());
+        let mut values = Vec::with_capacity(fields.len());
+        for (c, v) in fields {
+            names.push(c);
+            values.push(v);
+        }
+        Tuple {
+            schema: SchemaRegistry::global().intern(table.as_ref(), &names),
+            values,
+        }
+    }
+
+    /// Create a tuple directly from an interned schema and parallel values
+    /// (the allocation-minimal path used by operators that emit a fixed
+    /// output shape).  Panics in debug builds when the arity mismatches.
+    pub fn from_schema(schema: Arc<Schema>, values: Vec<Value>) -> Self {
+        debug_assert_eq!(schema.arity(), values.len(), "schema/value arity mismatch");
+        Tuple { schema, values }
+    }
+
+    /// Create a tuple from owned column names and parallel values, interning
+    /// the shape once (cheaper than [`Tuple::empty`] + repeated pushes).
+    pub fn from_parts(table: impl Into<String>, columns: Vec<String>, values: Vec<Value>) -> Self {
+        debug_assert_eq!(columns.len(), values.len(), "column/value arity mismatch");
+        Tuple {
+            schema: SchemaRegistry::global().intern_owned(table.into(), columns),
+            values,
+        }
+    }
+
+    /// Create an empty tuple for a table (columns added via [`Tuple::push`]).
+    pub fn empty(table: impl AsRef<str>) -> Self {
+        Tuple {
+            schema: SchemaRegistry::global().intern(table.as_ref(), &[]),
+            values: Vec::new(),
+        }
+    }
+
+    /// The tuple's interned schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The table (or result-set) this tuple belongs to.
+    pub fn table(&self) -> &str {
+        &self.schema.table
+    }
+
+    /// Column names, parallel to [`Tuple::values`].
+    pub fn columns(&self) -> &[String] {
+        &self.schema.columns
+    }
+
+    /// Column values, parallel to [`Tuple::columns`].
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Append a column.  Re-interns the extended shape; building a tuple of
+    /// known shape with [`Tuple::from_schema`]/[`Tuple::from_parts`] is
+    /// cheaper on hot paths.
+    pub fn push(&mut self, column: impl AsRef<str>, value: Value) {
+        let mut names: Vec<&str> = Vec::with_capacity(self.schema.columns.len() + 1);
+        names.extend(self.schema.columns.iter().map(String::as_str));
+        names.push(column.as_ref());
+        self.schema = SchemaRegistry::global().intern(&self.schema.table, &names);
+        self.values.push(value);
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
     /// Value of the named column, if present.
     pub fn get(&self, column: &str) -> Option<&Value> {
-        self.columns
-            .iter()
-            .position(|c| c == column)
-            .map(|i| &self.values[i])
+        self.schema.position(column).map(|i| &self.values[i])
     }
 
     /// Values for several columns at once; `None` if any is missing — the
@@ -67,52 +292,90 @@ impl Tuple {
     /// Canonical partitioning-key string for a set of hashing attributes.
     /// Returns `None` when any attribute is missing.
     pub fn partition_key(&self, columns: &[String]) -> Option<String> {
-        let values = self.get_all(columns)?;
-        Some(
-            values
-                .iter()
-                .map(Value::key_string)
-                .collect::<Vec<_>>()
-                .join("|"),
-        )
+        let mut out = String::with_capacity(12 * columns.len());
+        for (i, c) in columns.iter().enumerate() {
+            let idx = self.schema.position(c)?;
+            if i > 0 {
+                out.push('|');
+            }
+            self.values[idx].write_key(&mut out);
+        }
+        Some(out)
+    }
+
+    /// Canonical key string over pre-resolved column indices (see
+    /// [`ColumnResolver`]); the per-tuple cost of key extraction once the
+    /// operator has resolved its columns against the schema.
+    pub fn key_at(&self, indices: &[usize]) -> String {
+        let mut out = String::with_capacity(12 * indices.len());
+        for (i, &idx) in indices.iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            self.values[idx].write_key(&mut out);
+        }
+        out
     }
 
     /// Project onto a subset of columns (missing columns become NULL so the
     /// output shape is predictable for the client).
     pub fn project(&self, columns: &[String]) -> Tuple {
+        let names: Vec<&str> = columns.iter().map(String::as_str).collect();
+        let schema = SchemaRegistry::global().intern(&self.schema.table, &names);
         let values = columns
             .iter()
             .map(|c| self.get(c).cloned().unwrap_or(Value::Null))
             .collect();
-        Tuple {
-            table: self.table.clone(),
-            columns: columns.to_vec(),
-            values,
+        Tuple { schema, values }
+    }
+
+    /// The schema a [`Tuple::join_with`] of these two schemas produces:
+    /// left columns, then right columns with collisions prefixed by the
+    /// right table name.  Operators cache the result per input-schema pair
+    /// (pointer identity) so streaming joins intern once, not per output.
+    pub fn join_schema(left: &Schema, right: &Schema, result_table: &str) -> Arc<Schema> {
+        let mut names: Vec<String> = Vec::with_capacity(left.columns.len() + right.columns.len());
+        names.extend(left.columns.iter().cloned());
+        for c in &right.columns {
+            if names.iter().any(|n| n == c) {
+                names.push(format!("{}.{}", right.table, c));
+            } else {
+                names.push(c.clone());
+            }
         }
+        SchemaRegistry::global().intern_owned(result_table.to_string(), names)
     }
 
     /// Concatenate two tuples (used by join operators).  Columns of the
     /// right tuple are prefixed with its table name when they would collide.
     pub fn join_with(&self, other: &Tuple, result_table: &str) -> Tuple {
-        let mut out = Tuple::empty(result_table);
-        for (c, v) in self.columns.iter().zip(&self.values) {
-            out.push(c.clone(), v.clone());
-        }
-        for (c, v) in other.columns.iter().zip(&other.values) {
-            if out.get(c).is_some() {
-                out.push(format!("{}.{}", other.table, c), v.clone());
-            } else {
-                out.push(c.clone(), v.clone());
-            }
-        }
-        out
+        let schema = Tuple::join_schema(&self.schema, &other.schema, result_table);
+        self.join_with_schema(other, schema)
+    }
+
+    /// [`Tuple::join_with`] with the output schema already resolved (the
+    /// per-output cost is then just concatenating the values).
+    pub fn join_with_schema(&self, other: &Tuple, schema: Arc<Schema>) -> Tuple {
+        debug_assert_eq!(schema.arity(), self.values.len() + other.values.len());
+        let mut values = Vec::with_capacity(self.values.len() + other.values.len());
+        values.extend(self.values.iter().cloned());
+        values.extend(other.values.iter().cloned());
+        Tuple { schema, values }
     }
 
     /// Rename the tuple's table (e.g. when materialising a partial result
     /// set under a query-specific namespace).
-    pub fn with_table(mut self, table: impl Into<String>) -> Tuple {
-        self.table = table.into();
+    pub fn with_table(mut self, table: impl AsRef<str>) -> Tuple {
+        let names: Vec<&str> = self.schema.columns.iter().map(String::as_str).collect();
+        self.schema = SchemaRegistry::global().intern(table.as_ref(), &names);
         self
+    }
+}
+
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        (Arc::ptr_eq(&self.schema, &other.schema) || self.schema == other.schema)
+            && self.values == other.values
     }
 }
 
@@ -120,23 +383,179 @@ impl WireSize for Tuple {
     fn wire_size(&self) -> usize {
         // Self-describing: the table name and every column name travel with
         // the tuple, exactly as in the paper.
-        self.table.wire_size()
-            + self.columns.iter().map(WireSize::wire_size).sum::<usize>()
-            + self.values.iter().map(WireSize::wire_size).sum::<usize>()
-            + 8
+        self.schema.wire_size() + self.values.iter().map(WireSize::wire_size).sum::<usize>() + 8
     }
 }
 
 impl std::fmt::Display for Tuple {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}(", self.table)?;
-        for (i, (c, v)) in self.columns.iter().zip(&self.values).enumerate() {
+        write!(f, "{}(", self.table())?;
+        for (i, (c, v)) in self.columns().iter().zip(&self.values).enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{c}={v}")?;
         }
         write!(f, ")")
+    }
+}
+
+/// A batch of tuples coalesced for one overlay transfer (the unit the
+/// executor's rehash/exchange and partial-aggregate paths ship since the
+/// batching change; see `pier_dht::DhtMessage::PutBatch` for the
+/// per-destination grouping).  Tuples stay individually addressable — the
+/// receiving node unpacks the batch back into per-tuple dataflow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TupleBatch {
+    tuples: Vec<Tuple>,
+}
+
+impl TupleBatch {
+    /// Wrap a set of tuples headed for the same destination.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        TupleBatch { tuples }
+    }
+
+    /// The batched tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consume the batch.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Number of tuples in the batch.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the batch holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl WireSize for TupleBatch {
+    fn wire_size(&self) -> usize {
+        // Dictionary encoding: each distinct schema's self-describing header
+        // is charged once per batch; every tuple then pays a 2-byte schema
+        // reference plus its values (+ the usual per-tuple overhead).
+        let mut seen: Vec<*const Schema> = Vec::new();
+        let mut size = 4;
+        for t in &self.tuples {
+            let ptr = Arc::as_ptr(&t.schema);
+            if !seen.contains(&ptr) {
+                seen.push(ptr);
+                size += t.schema.wire_size();
+            }
+            size += 2 + t.values.iter().map(WireSize::wire_size).sum::<usize>() + 8;
+        }
+        size
+    }
+}
+
+/// A multi-column resolver caching the column→index mapping per schema.
+/// Operators construct one per column list and resolve **once per schema**
+/// instead of once per tuple; the interned-schema pointer is the cache key.
+#[derive(Debug, Clone)]
+pub struct ColumnResolver {
+    columns: Vec<String>,
+    cached_schema: Option<Arc<Schema>>,
+    /// `None` while `cached_schema` is `None`, or when the cached schema is
+    /// missing at least one of the columns (the tuple is then malformed for
+    /// this operator and discarded, per §3.3.4).
+    cached: Option<Vec<usize>>,
+}
+
+impl ColumnResolver {
+    /// A resolver for the given column list.
+    pub fn new(columns: Vec<String>) -> Self {
+        ColumnResolver {
+            columns,
+            cached_schema: None,
+            cached: None,
+        }
+    }
+
+    /// The column list being resolved.
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    fn ensure(&mut self, tuple: &Tuple) {
+        if self
+            .cached_schema
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(s, tuple.schema()))
+        {
+            return;
+        }
+        self.cached = self
+            .columns
+            .iter()
+            .map(|c| tuple.schema().position(c))
+            .collect();
+        self.cached_schema = Some(Arc::clone(tuple.schema()));
+    }
+
+    /// The indices of the columns in `tuple`'s schema; `None` when any is
+    /// missing (discard the tuple).
+    pub fn indices(&mut self, tuple: &Tuple) -> Option<&[usize]> {
+        self.ensure(tuple);
+        self.cached.as_deref()
+    }
+
+    /// Canonical partition/group key over the resolved columns.
+    pub fn key(&mut self, tuple: &Tuple) -> Option<String> {
+        self.ensure(tuple);
+        Some(tuple.key_at(self.cached.as_deref()?))
+    }
+
+    /// Cloned values of the resolved columns, in column-list order.
+    pub fn values(&mut self, tuple: &Tuple) -> Option<Vec<Value>> {
+        self.ensure(tuple);
+        let idxs = self.cached.as_deref()?;
+        Some(idxs.iter().map(|&i| tuple.values()[i].clone()).collect())
+    }
+}
+
+/// A single-column [`ColumnResolver`]: resolves one column per schema and
+/// hands back the value (or `None` when the column is absent).
+#[derive(Debug, Clone)]
+pub struct ColumnRef {
+    column: String,
+    cached_schema: Option<Arc<Schema>>,
+    cached: Option<usize>,
+}
+
+impl ColumnRef {
+    /// A resolver for one column.
+    pub fn new(column: impl Into<String>) -> Self {
+        ColumnRef {
+            column: column.into(),
+            cached_schema: None,
+            cached: None,
+        }
+    }
+
+    /// The column being resolved.
+    pub fn column(&self) -> &str {
+        &self.column
+    }
+
+    /// The column's value in `tuple`, if present.
+    pub fn get<'t>(&mut self, tuple: &'t Tuple) -> Option<&'t Value> {
+        if !self
+            .cached_schema
+            .as_ref()
+            .is_some_and(|s| Arc::ptr_eq(s, tuple.schema()))
+        {
+            self.cached = tuple.schema().position(&self.column);
+            self.cached_schema = Some(Arc::clone(tuple.schema()));
+        }
+        self.cached.map(|i| &tuple.values()[i])
     }
 }
 
@@ -164,6 +583,41 @@ mod tests {
     }
 
     #[test]
+    fn same_shape_shares_one_interned_schema() {
+        let a = t();
+        let b = t();
+        assert!(Arc::ptr_eq(a.schema(), b.schema()));
+        // Cloning shares too, and push re-interns to a distinct shape.
+        let c = a.clone();
+        assert!(Arc::ptr_eq(a.schema(), c.schema()));
+        let mut d = a.clone();
+        d.push("extra", Value::Int(1));
+        assert!(!Arc::ptr_eq(a.schema(), d.schema()));
+        assert_eq!(d.arity(), 4);
+        // The same extended shape interns back to one schema.
+        let mut e = b.clone();
+        e.push("extra", Value::Int(2));
+        assert!(Arc::ptr_eq(d.schema(), e.schema()));
+    }
+
+    #[test]
+    fn wide_schemas_use_the_index_map() {
+        let fields: Vec<(String, Value)> =
+            (0..12).map(|i| (format!("c{i}"), Value::Int(i))).collect();
+        let tup = Tuple::new(
+            "wide",
+            fields
+                .iter()
+                .map(|(c, v)| (c.as_str(), v.clone()))
+                .collect(),
+        );
+        for i in 0..12 {
+            assert_eq!(tup.get(&format!("c{i}")), Some(&Value::Int(i)));
+        }
+        assert_eq!(tup.get("c99"), None);
+    }
+
+    #[test]
     fn partition_key_is_canonical_and_requires_all_columns() {
         let tup = t();
         let k1 = tup.partition_key(&["src".to_string()]).unwrap();
@@ -179,11 +633,43 @@ mod tests {
     }
 
     #[test]
+    fn resolver_key_matches_partition_key_across_schemas() {
+        let cols = vec!["src".to_string(), "port".to_string()];
+        let mut resolver = ColumnResolver::new(cols.clone());
+        let a = t();
+        assert_eq!(resolver.key(&a), a.partition_key(&cols));
+        // A different schema re-resolves correctly.
+        let b = Tuple::new(
+            "other",
+            vec![
+                ("port", Value::Int(80)),
+                ("src", Value::Str("10.9.9.9".into())),
+            ],
+        );
+        assert_eq!(resolver.key(&b), b.partition_key(&cols));
+        // Malformed tuples resolve to None (and that is cached too).
+        let c = Tuple::new("other", vec![("port", Value::Int(80))]);
+        assert_eq!(resolver.key(&c), None);
+        assert_eq!(resolver.key(&c), None);
+        assert_eq!(resolver.values(&a).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn column_ref_resolves_per_schema() {
+        let mut port = ColumnRef::new("port");
+        assert_eq!(port.get(&t()), Some(&Value::Int(443)));
+        let other = Tuple::new("x", vec![("a", Value::Int(1))]);
+        assert_eq!(port.get(&other), None);
+        assert_eq!(port.get(&t()), Some(&Value::Int(443)));
+        assert_eq!(port.column(), "port");
+    }
+
+    #[test]
     fn projection_fills_missing_with_null() {
         let tup = t();
         let p = tup.project(&["port".to_string(), "nope".to_string()]);
-        assert_eq!(p.values, vec![Value::Int(443), Value::Null]);
-        assert_eq!(p.columns.len(), 2);
+        assert_eq!(p.values(), &[Value::Int(443), Value::Null]);
+        assert_eq!(p.columns().len(), 2);
     }
 
     #[test]
@@ -191,7 +677,7 @@ mod tests {
         let left = Tuple::new("r", vec![("id", Value::Int(1)), ("x", Value::Int(10))]);
         let right = Tuple::new("s", vec![("id", Value::Int(1)), ("y", Value::Int(20))]);
         let joined = left.join_with(&right, "r_s");
-        assert_eq!(joined.table, "r_s");
+        assert_eq!(joined.table(), "r_s");
         assert_eq!(joined.get("x"), Some(&Value::Int(10)));
         assert_eq!(joined.get("y"), Some(&Value::Int(20)));
         assert_eq!(joined.get("s.id"), Some(&Value::Int(1)));
@@ -208,6 +694,36 @@ mod tests {
             b
         };
         assert!(bigger.wire_size() > tup.wire_size() + 500);
+    }
+
+    #[test]
+    fn batch_wire_size_charges_each_schema_once() {
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| {
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{i}"))),
+                        ("port", Value::Int(i)),
+                    ],
+                )
+            })
+            .collect();
+        let unbatched: usize = tuples.iter().map(WireSize::wire_size).sum();
+        let batch = TupleBatch::new(tuples.clone());
+        assert_eq!(batch.len(), 10);
+        assert!(!batch.is_empty());
+        assert!(
+            batch.wire_size() < unbatched,
+            "batch {} must undercut {} unbatched bytes",
+            batch.wire_size(),
+            unbatched
+        );
+        // The saving is the schema header repeated 9 extra times, minus the
+        // per-tuple schema references and the batch count.
+        let schema_bytes = tuples[0].schema().wire_size();
+        assert!(batch.wire_size() <= unbatched - 9 * schema_bytes + 4 + 2 * 10);
+        assert_eq!(batch.tuples().len(), batch.clone().into_tuples().len());
     }
 
     #[test]

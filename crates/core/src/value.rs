@@ -85,18 +85,36 @@ impl Value {
     /// equal must produce identical key strings, because the key determines
     /// the object's routing identifier.
     pub fn key_string(&self) -> String {
+        let mut out = String::with_capacity(12);
+        self.write_key(&mut out);
+        out
+    }
+
+    /// Append the canonical key representation to `out` without allocating a
+    /// fresh string per value — the building block of the multi-column
+    /// partition keys assembled on the rehash/group-by hot path.
+    pub fn write_key(&self, out: &mut String) {
+        use std::fmt::Write;
         match self {
-            Value::Null => "∅".to_string(),
-            Value::Bool(b) => format!("b:{b}"),
-            Value::Int(i) => format!("i:{i}"),
-            Value::Float(f) => format!("f:{f}"),
-            Value::Str(s) => format!("s:{s}"),
+            Value::Null => out.push('∅'),
+            Value::Bool(b) => {
+                out.push_str(if *b { "b:true" } else { "b:false" });
+            }
+            Value::Int(i) => {
+                let _ = write!(out, "i:{i}");
+            }
+            Value::Float(f) => {
+                let _ = write!(out, "f:{f}");
+            }
+            Value::Str(s) => {
+                out.push_str("s:");
+                out.push_str(s);
+            }
             Value::Bytes(b) => {
-                let mut out = String::from("x:");
+                out.push_str("x:");
                 for byte in b {
-                    out.push_str(&format!("{byte:02x}"));
+                    let _ = write!(out, "{byte:02x}");
                 }
-                out
             }
         }
     }

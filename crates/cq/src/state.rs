@@ -13,6 +13,12 @@
 //! per-window work budget and groups beyond the per-window state budget are
 //! *shed* (dropped and counted) rather than stored, and the number of
 //! simultaneously open windows is capped by evicting the oldest.
+//!
+//! Group and dedup keys are borrowed canonical strings produced by the
+//! executor's resolved-column fast path (`pier_core::tuple::ColumnResolver`
+//! over interned schemas); the store only copies a key when it actually
+//! creates state for it, so the per-tuple path allocates nothing for
+//! already-seen groups and duplicates.
 
 use crate::lifecycle::CqBudget;
 use crate::window::{WindowId, WindowSpec};
@@ -145,10 +151,13 @@ impl<A: WindowAccumulator> WindowStore<A> {
                 continue; // evicted by the cap (id was the oldest)
             };
             if let Some(dk) = dedup_key {
-                if !win.seen.insert(dk.to_string()) {
+                // Membership test first: the common duplicate case must not
+                // pay for an owned copy of the key.
+                if win.seen.contains(dk) {
                     self.stats.duplicates += 1;
                     continue;
                 }
+                win.seen.insert(dk.to_string());
             }
             if win.tuples >= self.budget.max_tuples_per_window {
                 self.stats.shed_tuples += 1;

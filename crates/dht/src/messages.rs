@@ -4,6 +4,19 @@
 //! transport: routing-protocol messages ([`RouterMessage`]), the two-phase
 //! `get`/`put`/`renew` operations of Figure 6, and routed `send` / broadcast
 //! traffic that travels hop-by-hop through the overlay.
+//!
+//! [`DhtMessage::PutBatch`] extends the Figure-6 vocabulary with a
+//! *coalesced* direct transfer: when the sender can already name the
+//! destination from local routing state, several independent puts share one
+//! message.  This preserves the paper's per-object model — every entry
+//! keeps its own name, payload and soft-state lifetime, and the receiver
+//! stores them exactly as it would separate `PutRequest`s — it only removes
+//! the per-object message framing, which dominates the cost of the query
+//! processor's rehash/exchange hot path.  The payload-level counterpart is
+//! `pier_core`'s `TupleBatch`, whose wire size charges each self-describing
+//! schema once per batch instead of once per tuple (§3.3.1's "no catalog"
+//! requirement constrains what travels between trust domains, not how often
+//! identical column names must be repeated within a single transfer).
 
 use crate::naming::ObjectName;
 use crate::object_manager::StoredObject;
@@ -49,6 +62,16 @@ pub enum DhtMessage<V> {
         value: V,
         /// Requested soft-state lifetime, microseconds.
         lifetime: Duration,
+    },
+    /// Several independent puts destined for the same node, coalesced into
+    /// one transfer ([`Overlay::put_batch`](crate::Overlay::put_batch)).
+    /// Each entry keeps its own full name and requested lifetime, so the
+    /// receiver stores them exactly as it would `len(entries)` separate
+    /// [`DhtMessage::PutRequest`]s — per-object soft-state semantics are
+    /// unchanged; only the message framing is shared.
+    PutBatch {
+        /// `(name, payload, lifetime)` per object.
+        entries: Vec<(ObjectName, V, Duration)>,
     },
     /// Direct request to extend an object's lifetime (fails if the object is
     /// not already stored at the destination).
@@ -127,6 +150,13 @@ impl<V: WireSize> WireSize for DhtMessage<V> {
             } => 1 + 8 + namespace.wire_size() + key.wire_size() + objects.wire_size(),
             DhtMessage::PutRequest { name, value, .. } => {
                 1 + name.wire_size() + value.wire_size() + 8
+            }
+            DhtMessage::PutBatch { entries } => {
+                1 + 4
+                    + entries
+                        .iter()
+                        .map(|(name, value, _)| name.wire_size() + value.wire_size() + 8)
+                        .sum::<usize>()
             }
             DhtMessage::RenewRequest { name, .. } => 1 + name.wire_size() + 8 + 6 + 8,
             DhtMessage::RenewResponse { .. } => 1 + 9,

@@ -264,6 +264,29 @@ impl Router {
         }
     }
 
+    /// The owner of `id` when it is determinable from purely local routing
+    /// state — this node itself, or a successor-list entry whose arc
+    /// authoritatively covers `id` (successors are consecutive on the ring,
+    /// so the first entry past `id` owns it).  `None` means a routed lookup
+    /// would be required; callers such as the batched put use this to group
+    /// transfers per destination without paying a lookup round.
+    pub fn known_owner(&self, id: Id, now: SimTime) -> Option<NodeRef> {
+        if self.is_responsible(id) {
+            return Some(self.me);
+        }
+        let mut prev = self.me.id;
+        for s in &self.successors {
+            if self.presumed_dead(s.addr, now) {
+                return None;
+            }
+            if id.in_interval(prev, s.id) {
+                return Some(*s);
+            }
+            prev = s.id;
+        }
+        None
+    }
+
     /// The next hop towards the node responsible for `id`, or `None` when
     /// this node is itself responsible (or knows no one else).  Peers that
     /// are presumed dead at time `now` are skipped.
@@ -747,6 +770,23 @@ mod tests {
         assert_eq!(current.id, Id(18_000));
         // Finger tables give logarithmic path lengths.
         assert!(hops <= 6, "expected O(log n) hops, got {hops}");
+    }
+
+    #[test]
+    fn known_owner_covers_self_and_successor_arcs() {
+        let nodes = ring(&[10, 20, 30, 40]);
+        let r = Router::with_static_ring(nodes[1], &nodes, RouterConfig::default());
+        // Own arc (10, 20].
+        assert_eq!(r.known_owner(Id(15), 0).unwrap().id, Id(20));
+        // Successor-list arcs (20, 30], (30, 40], (40, 10] are authoritative.
+        assert_eq!(r.known_owner(Id(25), 0).unwrap().id, Id(30));
+        assert_eq!(r.known_owner(Id(40), 0).unwrap().id, Id(40));
+        assert_eq!(r.known_owner(Id(5), 0).unwrap().id, Id(10));
+        // A presumed-dead successor forces the caller back to a lookup.
+        let mut r = Router::with_static_ring(nodes[1], &nodes, RouterConfig::default());
+        r.on_stabilize(0);
+        assert!(r.presumed_dead(NodeAddr(2), 60_000_000));
+        assert_eq!(r.known_owner(Id(25), 60_000_000), None);
     }
 
     #[test]

@@ -340,6 +340,59 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         self.absorb_router_effects(effects, now)
     }
 
+    /// A batched `put`: entries whose owner is determinable from local
+    /// routing state ([`Router::known_owner`]) are grouped into one
+    /// [`DhtMessage::PutBatch`] per destination node (locally-owned entries
+    /// are stored directly); the rest fall back to the classic per-entry
+    /// lookup-then-transfer flow of Figure 6.  Every entry keeps its own
+    /// name and lifetime, so storage and expiry behave exactly as separate
+    /// puts — only message framing is shared.
+    pub fn put_batch(
+        &mut self,
+        entries: Vec<(ObjectName, V, Duration)>,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
+        let mut effects = Vec::new();
+        let mut grouped: HashMap<NodeAddr, Vec<(ObjectName, V, Duration)>> = HashMap::new();
+        let mut unresolved = Vec::new();
+        for (name, value, lifetime) in entries {
+            let id = name.routing_id();
+            match self.router.known_owner(id, now) {
+                Some(owner) if owner.addr == self.me.addr => {
+                    effects.extend(self.store_local(name, value, lifetime, now));
+                }
+                Some(owner) => grouped
+                    .entry(owner.addr)
+                    .or_default()
+                    .push((name, value, lifetime)),
+                None => unresolved.push((name, value, lifetime)),
+            }
+        }
+        for (to, batch) in grouped {
+            if batch.len() == 1 {
+                // No point framing a batch around a single object.
+                let (name, value, lifetime) = batch.into_iter().next().expect("len checked");
+                effects.push(OverlayEffect::Send {
+                    to,
+                    msg: DhtMessage::PutRequest {
+                        name,
+                        value,
+                        lifetime,
+                    },
+                });
+            } else {
+                effects.push(OverlayEffect::Send {
+                    to,
+                    msg: DhtMessage::PutBatch { entries: batch },
+                });
+            }
+        }
+        for (name, value, lifetime) in unresolved {
+            effects.extend(self.put(name, value, lifetime, now));
+        }
+        effects
+    }
+
     /// `renew(namespace, key, suffix, lifetime)`: extend an object's
     /// lifetime.  Succeeds only if the object is already stored at the
     /// destination; the outcome arrives as [`OverlayEvent::RenewResult`].
@@ -579,6 +632,13 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 value,
                 lifetime,
             } => self.store_local(name, value, lifetime, now),
+            DhtMessage::PutBatch { entries } => {
+                let mut effects = Vec::new();
+                for (name, value, lifetime) in entries {
+                    effects.extend(self.store_local(name, value, lifetime, now));
+                }
+                effects
+            }
             DhtMessage::RenewRequest {
                 name,
                 lifetime,
@@ -921,6 +981,57 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn put_batch_groups_same_owner_entries_into_one_message() {
+        let (mut a, mut b, _) = two_node_ring();
+        // Partition a pile of keys by owner as the router sees them.
+        let mut a_keys = Vec::new();
+        let mut b_keys = Vec::new();
+        for i in 0..40 {
+            let key = format!("k{i}");
+            if a.router().is_responsible(routing_id("t", &key)) {
+                a_keys.push(key);
+            } else {
+                b_keys.push(key);
+            }
+        }
+        assert!(a_keys.len() >= 2, "need locally owned keys");
+        assert!(b_keys.len() >= 2, "need remotely owned keys");
+        let entries: Vec<(ObjectName, String, u64)> = a_keys
+            .iter()
+            .chain(&b_keys)
+            .enumerate()
+            .map(|(i, k)| {
+                (
+                    ObjectName::new("t", k.clone(), i as u64),
+                    format!("v{i}"),
+                    1_000_000,
+                )
+            })
+            .collect();
+        let total = entries.len();
+        let effects = a.put_batch(entries, 0);
+        // Local entries stored immediately (one NewData each)…
+        assert_eq!(events(&effects).len(), a_keys.len());
+        // …and every remote entry travels in a single coalesced message (in
+        // a two-node ring the successor arc covers the whole remainder).
+        let msgs = sends(&effects);
+        assert_eq!(msgs.len(), 1, "all remote entries share one PutBatch");
+        assert!(
+            matches!(&msgs[0].1, DhtMessage::PutBatch { entries } if entries.len() == b_keys.len())
+        );
+        // The receiver unpacks into per-object storage with per-object
+        // lifetimes, exactly as separate puts would have produced.
+        let recv_effects = b.on_message(NodeAddr(0), msgs[0].1.clone(), 5);
+        assert_eq!(events(&recv_effects).len(), b_keys.len());
+        let stored: usize = b_keys
+            .iter()
+            .map(|k| b.objects().get("t", k, 10).len())
+            .sum();
+        assert_eq!(stored, b_keys.len());
+        assert_eq!(a.objects().len() + b.objects().len(), total);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! deployable on shared infrastructure.
 
 use crate::cluster::{Cluster, ClusterConfig};
-use pier_core::{sqlish, PierNode, PierOut, Tuple, Value};
+use pier_core::{sqlish, PierConfig, PierNode, PierOut, Tuple, Value};
 use pier_dht::NodeRef;
 use pier_runtime::{NodeAddr, Rng64, SimTime, Zipf};
 use std::collections::BTreeMap;
@@ -35,6 +35,10 @@ pub struct ContinuousNetmonConfig {
     /// Churn: `(at_sec, kills, joins)` — at virtual second `at_sec`, fail
     /// `kills` non-proxy nodes and boot `joins` fresh nodes.
     pub churn: Option<(u64, usize, usize)>,
+    /// Per-node configuration (batching knobs, publish lifetimes); the
+    /// batching-equivalence tests run the same stream with batching on and
+    /// off and compare results and traffic.
+    pub pier: PierConfig,
 }
 
 impl ContinuousNetmonConfig {
@@ -55,6 +59,7 @@ impl ContinuousNetmonConfig {
             zipf_theta: 0.9,
             run_secs,
             churn: None,
+            pier: PierConfig::default(),
         }
     }
 }
@@ -94,6 +99,11 @@ pub struct ContinuousOutcome {
     /// Largest per-node CQ state footprint observed at the end of the run:
     /// `(open windows, groups, tracked emissions)`.
     pub max_node_state: (usize, usize, usize),
+    /// Messages delivered between the start of the stream and the end of the
+    /// drain (dissemination/boot traffic excluded).
+    pub total_msgs: u64,
+    /// Bytes delivered over the same interval.
+    pub total_bytes: u64,
 }
 
 impl ContinuousOutcome {
@@ -127,7 +137,9 @@ impl ContinuousOutcome {
 pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
     // Continuous queries need routes to heal within a window slide, so
     // fail-stop detection is tightened well below the 30 s default.
-    let cluster_cfg = ClusterConfig::lan(cfg.nodes, cfg.seed).with_liveness_timeout(3_000_000);
+    let mut cluster_cfg = ClusterConfig::lan(cfg.nodes, cfg.seed);
+    cluster_cfg.pier = cfg.pier.clone();
+    let cluster_cfg = cluster_cfg.with_liveness_timeout(3_000_000);
     let mut cluster = Cluster::start(&cluster_cfg);
     let proxy = cluster.addr(0);
     let run_micros = cfg.run_secs * 1_000_000;
@@ -144,8 +156,10 @@ pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
     cluster.sim.invoke(proxy, |node, ctx| {
         query_id = node.submit_query(ctx, plan);
     });
-    // Let dissemination reach everyone before the stream starts.
+    // Let dissemination reach everyone before the stream starts, then
+    // isolate the stream's traffic from boot/dissemination traffic.
     cluster.settle(1_000_000);
+    cluster.reset_stats();
 
     let mut rng = Rng64::new(cfg.seed ^ 0xCAFE);
     let zipf = Zipf::new(cfg.sources.max(1), cfg.zipf_theta);
@@ -217,6 +231,8 @@ pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
     // Drain: let trailing windows close, travel and emit.
     let drain = window_spec.size + window_spec.grace + 4 * window_spec.slide + 2_000_000;
     cluster.sim.run_for(drain);
+    let total_msgs = cluster.sim.stats().total_msgs;
+    let total_bytes = cluster.sim.stats().total_bytes;
 
     // Collect per-window emissions delivered to the proxy's client.
     let mut windows: BTreeMap<(SimTime, SimTime), WindowEmission> = BTreeMap::new();
@@ -286,5 +302,7 @@ pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
         tuples_per_sec: events as f64 / cfg.run_secs.max(1) as f64,
         mean_window_latency_secs,
         max_node_state,
+        total_msgs,
+        total_bytes,
     }
 }

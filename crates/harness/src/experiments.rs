@@ -246,7 +246,7 @@ pub fn join_strategies(nodes: usize, rows: usize, seed: u64) -> Vec<JoinStrategy
         // i.e. each has a primary index on `b`.
         for (node, t) in r_rows.iter().chain(s_rows.iter()) {
             let addr = cluster.addr(node % cluster.len());
-            cluster.publish(addr, &t.table.clone(), &key, t.clone());
+            cluster.publish(addr, t.table(), &key, t.clone());
         }
         cluster.settle(10_000_000);
         cluster.reset_stats();

@@ -59,4 +59,9 @@ fn main() {
     println!(
         "\nper-node state stayed bounded: ≤{open} open windows, ≤{groups} groups, ≤{tracked} tracked emissions"
     );
+    println!(
+        "stream traffic: {} messages / {:.1} KiB (closed-window partials travel as TupleBatch transfers)",
+        outcome.total_msgs,
+        outcome.total_bytes as f64 / 1024.0
+    );
 }

@@ -1,0 +1,206 @@
+//! Batched vs per-tuple DHT transfer equivalence: the netmon workload
+//! (snapshot hierarchical aggregation, rehash join, and the continuous
+//! windowed query) must produce *identical result multisets* whether the
+//! executor coalesces same-destination tuples into `TupleBatch` transfers
+//! or performs one overlay `put` per tuple — while the batched run moves
+//! strictly fewer messages and bytes.
+
+use pier::harness::continuous::{continuous_netmon, ContinuousNetmonConfig};
+use pier::harness::{Cluster, ClusterConfig};
+use pier::qp::{sqlish, JoinSpec, OpGraph, PlanBuilder, SinkSpec, SourceSpec, Tuple, Value};
+
+/// Sorted display strings — a canonical multiset representation.
+fn multiset(tuples: &[Tuple]) -> Vec<String> {
+    let mut rows: Vec<String> = tuples.iter().map(|t| t.to_string()).collect();
+    rows.sort();
+    rows
+}
+
+/// The Figure-2 snapshot query (per-source counts via hierarchical
+/// aggregation) over node-local event logs.
+fn run_netmon_snapshot(batching: bool) -> (Vec<String>, u64, u64) {
+    let mut cfg = ClusterConfig::lan(14, 707);
+    cfg.pier.batching = batching;
+    let mut cluster = Cluster::start(&cfg);
+    // Enough distinct sources that every periodic flush ships a real pile
+    // of per-group partials (the batched path collapses each pile into one
+    // transfer per hop).
+    for i in 0..cluster.len() {
+        for j in 0..24 {
+            let src = format!("10.0.0.{}", j % 12);
+            let addr = cluster.addr(i);
+            cluster.add_local_row(
+                addr,
+                "events",
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(src)),
+                        ("port", Value::Int((i * 24 + j) as i64)),
+                    ],
+                ),
+            );
+        }
+    }
+    let proxy = cluster.addr(1);
+    let plan = sqlish::compile(
+        "SELECT src, COUNT(*) FROM events GROUP BY src",
+        proxy,
+        20_000_000,
+    )
+    .expect("snapshot netmon query must compile");
+    cluster.reset_stats();
+    let outcome = cluster.run_query(proxy, plan);
+    let stats = cluster.sim.stats();
+    (
+        multiset(&outcome.tuples()),
+        stats.total_msgs,
+        stats.total_bytes,
+    )
+}
+
+/// A rehash (Put/Exchange) symmetric-hash join — the other batched path.
+fn run_rehash_join(batching: bool) -> (Vec<String>, u64, u64) {
+    let mut cfg = ClusterConfig::lan(12, 909);
+    cfg.pier.batching = batching;
+    let mut cluster = Cluster::start(&cfg);
+    let key = vec!["b".to_string()];
+    for i in 0..40i64 {
+        let from = cluster.addr((i as usize) % cluster.len());
+        cluster.publish(
+            from,
+            "r",
+            &key,
+            Tuple::new("r", vec![("a", Value::Int(i)), ("b", Value::Int(i % 8))]),
+        );
+    }
+    for i in 0..30i64 {
+        let from = cluster.addr((i as usize + 5) % cluster.len());
+        cluster.publish(
+            from,
+            "s",
+            &key,
+            Tuple::new(
+                "s",
+                vec![("b", Value::Int(i % 8)), ("c", Value::Int(i * 10))],
+            ),
+        );
+    }
+    cluster.settle(3_000_000);
+    let proxy = cluster.addr(0);
+    let ns = "q.join".to_string();
+    let rehash = |id: u32, table: &str| OpGraph {
+        id,
+        source: SourceSpec::Table {
+            namespace: table.into(),
+        },
+        join: None,
+        ops: vec![],
+        sink: SinkSpec::Rehash {
+            namespace: ns.clone(),
+            key_cols: key.clone(),
+        },
+    };
+    let plan = PlanBuilder::new(proxy)
+        .timeout(20_000_000)
+        .opgraph(rehash(0, "r"))
+        .opgraph(rehash(1, "s"))
+        .opgraph(OpGraph {
+            id: 2,
+            source: SourceSpec::Table {
+                namespace: ns.clone(),
+            },
+            join: Some(JoinSpec {
+                left_table: "r".into(),
+                right_table: "s".into(),
+                left_key: key.clone(),
+                right_key: key.clone(),
+                output_table: "r_s".into(),
+            }),
+            ops: vec![],
+            sink: SinkSpec::ToProxy,
+        })
+        .build();
+    cluster.reset_stats();
+    let outcome = cluster.run_query(proxy, plan);
+    let stats = cluster.sim.stats();
+    (
+        multiset(&outcome.tuples()),
+        stats.total_msgs,
+        stats.total_bytes,
+    )
+}
+
+/// The continuous (standing) netmon query: per-window per-source counts.
+fn run_continuous(batching: bool) -> (Vec<String>, u64, u64) {
+    let mut cfg = ContinuousNetmonConfig::steady(10, 12, 42);
+    cfg.pier.batching = batching;
+    let out = continuous_netmon(&cfg);
+    let mut rows: Vec<String> = out
+        .windows
+        .iter()
+        .flat_map(|(&(start, end), w)| w.rows.iter().map(move |t| format!("[{start},{end}) {t}")))
+        .collect();
+    rows.sort();
+    (rows, out.total_msgs, out.total_bytes)
+}
+
+fn assert_equivalent_and_cheaper(
+    what: &str,
+    unbatched: (Vec<String>, u64, u64),
+    batched: (Vec<String>, u64, u64),
+) {
+    assert!(
+        !batched.0.is_empty(),
+        "{what}: batched run must produce results"
+    );
+    println!(
+        "{what}: rows={} msgs {} -> {} ({:.1}% fewer), bytes {} -> {} ({:.1}% fewer)",
+        batched.0.len(),
+        unbatched.1,
+        batched.1,
+        100.0 * (unbatched.1 - batched.1) as f64 / unbatched.1 as f64,
+        unbatched.2,
+        batched.2,
+        100.0 * (unbatched.2 - batched.2) as f64 / unbatched.2 as f64,
+    );
+    assert_eq!(
+        unbatched.0, batched.0,
+        "{what}: result multisets must be identical with and without batching"
+    );
+    assert!(
+        batched.1 < unbatched.1,
+        "{what}: batching must move strictly fewer messages ({} vs {})",
+        batched.1,
+        unbatched.1
+    );
+    assert!(
+        batched.2 < unbatched.2,
+        "{what}: batching must move strictly fewer bytes ({} vs {})",
+        batched.2,
+        unbatched.2
+    );
+}
+
+#[test]
+fn netmon_snapshot_batching_preserves_results_with_less_traffic() {
+    assert_equivalent_and_cheaper(
+        "snapshot netmon",
+        run_netmon_snapshot(false),
+        run_netmon_snapshot(true),
+    );
+}
+
+#[test]
+fn rehash_join_batching_preserves_results_with_less_traffic() {
+    assert_equivalent_and_cheaper("rehash join", run_rehash_join(false), run_rehash_join(true));
+}
+
+#[test]
+fn continuous_netmon_batching_preserves_results_with_less_traffic() {
+    assert_equivalent_and_cheaper(
+        "continuous netmon",
+        run_continuous(false),
+        run_continuous(true),
+    );
+}

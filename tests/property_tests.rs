@@ -212,6 +212,70 @@ proptest! {
         prop_assert_eq!(drained + stats.evicted_windows, 1_000);
     }
 
+    /// Schema-interned tuples behave exactly like the naive self-describing
+    /// representation they replaced: `get` returns the first occurrence of
+    /// a (possibly duplicated) column, `project` keeps the requested shape
+    /// with NULL fill, and `partition_key` is the `|`-joined canonical key
+    /// of the named columns (or None when any is missing).
+    #[test]
+    fn interned_tuples_match_naive_self_describing_reference(
+        col_picks in proptest::collection::vec(0usize..6, 1..10),
+        vals in proptest::collection::vec(-50i64..50, 10..11),
+        probes in proptest::collection::vec(0usize..8, 1..5),
+    ) {
+        const POOL: [&str; 8] = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        // The naive representation: owned (column, value) pairs, linear scans.
+        let fields: Vec<(String, Value)> = col_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| {
+                let v = if vals[i % vals.len()] % 3 == 0 {
+                    Value::Str(format!("s{}", vals[i % vals.len()]))
+                } else {
+                    Value::Int(vals[i % vals.len()])
+                };
+                (POOL[p].to_string(), v)
+            })
+            .collect();
+        let naive_get = |col: &str| -> Option<&Value> {
+            fields.iter().find(|(c, _)| c == col).map(|(_, v)| v)
+        };
+        let tuple = Tuple::new(
+            "t",
+            fields.iter().map(|(c, v)| (c.as_str(), v.clone())).collect(),
+        );
+        prop_assert_eq!(tuple.table(), "t");
+        prop_assert_eq!(tuple.arity(), fields.len());
+        let probe_cols: Vec<String> = probes.iter().map(|&p| POOL[p].to_string()).collect();
+        // get: first occurrence, None for absent columns.
+        for col in &probe_cols {
+            prop_assert_eq!(tuple.get(col), naive_get(col));
+        }
+        // partition_key: canonical '|'-joined key strings, all-or-nothing.
+        let naive_key: Option<String> = probe_cols
+            .iter()
+            .map(|c| naive_get(c).map(Value::key_string))
+            .collect::<Option<Vec<_>>>()
+            .map(|ks| ks.join("|"));
+        prop_assert_eq!(tuple.partition_key(&probe_cols), naive_key);
+        // project: requested columns in order, NULL fill for absent ones.
+        let projected = tuple.project(&probe_cols);
+        prop_assert_eq!(projected.table(), "t");
+        prop_assert_eq!(projected.columns(), probe_cols.as_slice());
+        let naive_projected: Vec<Value> = probe_cols
+            .iter()
+            .map(|c| naive_get(c).cloned().unwrap_or(Value::Null))
+            .collect();
+        prop_assert_eq!(projected.values(), naive_projected.as_slice());
+        // Same shape re-interns to the same schema; cloning shares it.
+        let again = Tuple::new(
+            "t",
+            fields.iter().map(|(c, v)| (c.as_str(), v.clone())).collect(),
+        );
+        prop_assert!(std::sync::Arc::ptr_eq(tuple.schema(), again.schema()));
+        prop_assert_eq!(&tuple.clone(), &tuple);
+    }
+
     /// PHT range queries return exactly the keys a sorted scan would.
     #[test]
     fn pht_range_matches_sorted_scan(
