@@ -53,6 +53,14 @@ fn main() {
         cfg.events_per_node_per_sec = 16;
         row("steady", &cfg);
     }
+    // The same steady workload with batching disabled — pins what the
+    // coalesced `TupleBatch`/`PutBatch` path buys the window pipeline (the
+    // batched run must not deliver fewer windows, and moves fewer messages;
+    // the batching-equivalence tests assert the result multisets match).
+    let mut unbatched = ContinuousNetmonConfig::steady(25, 40, 11);
+    unbatched.events_per_node_per_sec = 16;
+    unbatched.pier.batching = false;
+    row("steady unbatched", &unbatched);
     let mut cfg = ContinuousNetmonConfig::steady(25, 40, 13);
     cfg.events_per_node_per_sec = 16;
     cfg.churn = Some((18, 5, 3));

@@ -1,18 +1,48 @@
 //! Micro-benchmarks for the overlay and query-processor hot paths
 //! (Figures 5/6 machinery): ring routing decisions, object-manager puts,
-//! tuple hashing and the symmetric-hash-join inner loop.
+//! tuple hashing, the symmetric-hash-join inner loop, zero-copy tuple
+//! cloning and the columnar batch scan.
 //!
 //! Uses a plain wall-clock harness (the build environment has no crate
-//! registry, so criterion is unavailable).  Run with
+//! registry, so criterion is unavailable) plus a counting global allocator
+//! so allocation-freedom claims are *measured*, not asserted.  Run with
 //! `cargo bench -p pier-bench --bench dht_ops`.  Every series additionally
 //! prints a machine-readable JSON line; `BENCH_dht_ops.json` records a
-//! baseline run for cross-PR comparison.
+//! baseline run for cross-PR comparison (see `docs/BENCHMARKS.md`).
 
 use pier_bench::emit_metric;
-use pier_core::{JoinSide, SymmetricHashJoin, Tuple, TupleBatch, Value};
+use pier_core::{CmpOp, Expr, JoinSide, SymmetricHashJoin, Tuple, TupleBatch, Value};
 use pier_dht::{make_ring_refs, ObjectManager, ObjectName, Router, RouterConfig};
 use pier_runtime::WireSize;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// A pass-through allocator that counts allocations, so the bench can pin
+/// "Tuple::clone is allocation-free" as a number (0.0) in the baseline.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn bench(name: &str, mut iteration: impl FnMut(u64)) -> f64 {
     const WARMUP: u64 = 10_000;
@@ -70,6 +100,31 @@ fn main() {
         std::hint::black_box(tuple.partition_key(&cols));
     });
 
+    // Zero-copy values: cloning a tuple (schema + values both behind Arcs,
+    // string/bytes payloads shared) must be allocation-free.  Measured, not
+    // asserted: the counting allocator reports allocations per clone.
+    let heavy = Tuple::new(
+        "events",
+        vec![
+            ("src", Value::str("10.200.30.40")),
+            ("payload", Value::bytes(vec![0u8; 256])),
+            ("port", Value::Int(443)),
+        ],
+    );
+    let before = allocations();
+    let t0 = Instant::now();
+    const CLONES: u64 = 200_000;
+    for _ in 0..CLONES {
+        std::hint::black_box(heavy.clone());
+    }
+    let clone_ns = t0.elapsed().as_nanos() as f64 / CLONES as f64;
+    let clone_allocs = (allocations() - before) as f64 / CLONES as f64;
+    println!(
+        "tuple_clone                          {clone_ns:>10.1} ns/op   ({clone_allocs:.3} allocs/op)"
+    );
+    emit_metric("dht_ops", "tuple_clone_ns_per_op", clone_ns);
+    emit_metric("dht_ops", "tuple_clone_allocs_per_op", clone_allocs);
+
     let key = vec!["b".to_string()];
     let mut join = SymmetricHashJoin::new(key.clone(), key, "rs");
     bench("symmetric_hash_join_push", |i| {
@@ -88,22 +143,78 @@ fn main() {
         std::hint::black_box(join.push_side(side, t).len());
     });
 
+    // Columnar batch scan vs row-major per-tuple dispatch: evaluate one
+    // selection predicate over a 1024-row batch.  The row-major baseline
+    // walks materialised tuples through the interpreted `Expr::matches`
+    // (per-row name resolution); the columnar path compiles the predicate
+    // against the chunk schema once and scans the columns by index.
+    let rows: Vec<Tuple> = (0..1024i64)
+        .map(|i| {
+            Tuple::new(
+                "events",
+                vec![
+                    (
+                        "src",
+                        Value::Str(format!("10.0.{}.{}", i % 4, i % 256).into()),
+                    ),
+                    ("port", Value::Int(i % 1024)),
+                    ("len", Value::Int(40 + i % 1400)),
+                ],
+            )
+        })
+        .collect();
+    let batch = TupleBatch::new(rows.clone());
+    let pred = Expr::all(vec![
+        Expr::cmp(CmpOp::Ge, Expr::col("port"), Expr::lit(256i64)),
+        Expr::cmp(CmpOp::Lt, Expr::col("len"), Expr::lit(1200i64)),
+    ]);
+    const SCANS: u64 = 2_000;
+    let t0 = Instant::now();
+    let mut hits_row = 0u64;
+    for _ in 0..SCANS {
+        for t in &rows {
+            if pred.matches(t) {
+                hits_row += 1;
+            }
+        }
+    }
+    let row_major_ns = t0.elapsed().as_nanos() as f64 / (SCANS * rows.len() as u64) as f64;
+    let chunk = &batch.chunks()[0];
+    let compiled = pred.compile(chunk.schema());
+    let t0 = Instant::now();
+    let mut hits_col = 0u64;
+    for _ in 0..SCANS {
+        for r in 0..chunk.rows() {
+            if compiled.matches_row(chunk, r) {
+                hits_col += 1;
+            }
+        }
+    }
+    let columnar_ns = t0.elapsed().as_nanos() as f64 / (SCANS * rows.len() as u64) as f64;
+    assert_eq!(hits_row, hits_col, "both scans must agree");
+    let speedup = row_major_ns / columnar_ns;
+    println!("batch_scan_row_major                 {row_major_ns:>10.1} ns/row");
+    println!("batch_scan_columnar                  {columnar_ns:>10.1} ns/row   ({speedup:.2}x)");
+    emit_metric("dht_ops", "batch_scan_row_major_ns_per_row", row_major_ns);
+    emit_metric("dht_ops", "batch_scan_columnar_ns_per_row", columnar_ns);
+    emit_metric("dht_ops", "batch_scan_columnar_speedup", speedup);
+
     // Wire accounting of a 32-tuple batch vs the same tuples shipped
-    // individually (the schema-amortisation the batching change buys).
+    // individually (the schema-amortisation the columnar batching buys).
     let batch = TupleBatch::new(
         (0..32)
             .map(|i| {
                 Tuple::new(
                     "events",
                     vec![
-                        ("src", Value::Str(format!("10.0.0.{i}"))),
+                        ("src", Value::Str(format!("10.0.0.{i}").into())),
                         ("port", Value::Int(i)),
                     ],
                 )
             })
             .collect(),
     );
-    let unbatched: usize = batch.tuples().iter().map(WireSize::wire_size).sum();
+    let unbatched: usize = batch.iter().map(|t| t.wire_size()).sum();
     let ratio = unbatched as f64 / batch.wire_size() as f64;
     println!("tuple_batch_wire_32                  {ratio:>10.2} x smaller");
     emit_metric("dht_ops", "tuple_batch_wire_ratio_32", ratio);

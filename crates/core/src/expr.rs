@@ -5,9 +5,20 @@
 //! does not raise an error to the client — the evaluating operator simply
 //! discards the tuple.  Evaluation therefore returns `Result` with
 //! [`EvalError`] and operators map errors to "drop".
+//!
+//! **Compiled evaluation.**  [`Expr::eval`] resolves every column reference
+//! by name, per tuple.  Operators on the hot path instead compile the
+//! expression against an interned schema once ([`Expr::compile`]) — column
+//! names become positional indices, mirroring what
+//! [`ColumnResolver`](crate::tuple::ColumnResolver) does for key columns —
+//! and then evaluate row after row by index, over either a row-major value
+//! slice or a columnar [`ColumnChunk`](crate::tuple::ColumnChunk).
+//! [`CompiledPredicate`] packages the per-schema compilation cache the way
+//! selections and eddies use it.
 
-use crate::tuple::Tuple;
+use crate::tuple::{ColumnChunk, Schema, Tuple};
 use crate::value::Value;
+use std::sync::Arc;
 
 /// Why an expression could not be evaluated against a tuple.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -221,6 +232,17 @@ impl Expr {
         matches!(self.eval(tuple), Ok(Value::Bool(true)))
     }
 
+    /// Compile against an interned schema: column names resolve to indices
+    /// once, so evaluation is positional.  Columns the schema lacks compile
+    /// to a node that reproduces [`EvalError::MissingColumn`] at evaluation
+    /// time, preserving the best-effort discard semantics exactly.
+    pub fn compile(&self, schema: &Arc<Schema>) -> CompiledExpr {
+        CompiledExpr {
+            schema: Arc::clone(schema),
+            root: CompiledNode::build(self, schema),
+        }
+    }
+
     /// If this predicate constrains `column` to a single constant via
     /// equality (possibly inside a conjunction), return that constant.  Used
     /// by query dissemination to pick the equality index (§3.3.3).
@@ -236,6 +258,244 @@ impl Expr {
                 .or_else(|| r.equality_constant(column)),
             _ => None,
         }
+    }
+}
+
+/// An [`Expr`] with every column reference resolved to a positional index
+/// in one specific interned schema.  Produced by [`Expr::compile`]; reusable
+/// for every tuple or chunk carrying that schema (checked by pointer
+/// identity via [`CompiledExpr::is_for`]).
+#[derive(Debug, Clone)]
+pub struct CompiledExpr {
+    schema: Arc<Schema>,
+    root: CompiledNode,
+}
+
+#[derive(Debug, Clone)]
+enum CompiledNode {
+    /// Column resolved to its index in the schema.
+    Col(usize),
+    /// Column the schema lacks: evaluation reproduces
+    /// [`EvalError::MissingColumn`].
+    Missing(String),
+    Const(Value),
+    Cmp(CmpOp, Box<CompiledNode>, Box<CompiledNode>),
+    Arith(ArithOp, Box<CompiledNode>, Box<CompiledNode>),
+    And(Box<CompiledNode>, Box<CompiledNode>),
+    Or(Box<CompiledNode>, Box<CompiledNode>),
+    Not(Box<CompiledNode>),
+    Contains(Box<CompiledNode>, String),
+}
+
+impl CompiledNode {
+    fn build(expr: &Expr, schema: &Schema) -> CompiledNode {
+        let col = |name: &str| match schema.position(name) {
+            Some(i) => CompiledNode::Col(i),
+            None => CompiledNode::Missing(name.to_string()),
+        };
+        match expr {
+            Expr::Column(name) => col(name),
+            Expr::Const(v) => CompiledNode::Const(v.clone()),
+            Expr::Cmp(op, l, r) => CompiledNode::Cmp(
+                *op,
+                Box::new(Self::build(l, schema)),
+                Box::new(Self::build(r, schema)),
+            ),
+            Expr::Arith(op, l, r) => CompiledNode::Arith(
+                *op,
+                Box::new(Self::build(l, schema)),
+                Box::new(Self::build(r, schema)),
+            ),
+            Expr::And(l, r) => CompiledNode::And(
+                Box::new(Self::build(l, schema)),
+                Box::new(Self::build(r, schema)),
+            ),
+            Expr::Or(l, r) => CompiledNode::Or(
+                Box::new(Self::build(l, schema)),
+                Box::new(Self::build(r, schema)),
+            ),
+            Expr::Not(e) => CompiledNode::Not(Box::new(Self::build(e, schema))),
+            Expr::Contains(column, needle) => {
+                CompiledNode::Contains(Box::new(col(column)), needle.clone())
+            }
+        }
+    }
+
+    /// The value of a leaf node by reference — the clone-free fast path for
+    /// comparisons over `column op constant` shapes, which dominate
+    /// selection predicates.
+    fn leaf_ref<'v>(&'v self, get: &impl Fn(usize) -> &'v Value) -> Option<&'v Value> {
+        match self {
+            CompiledNode::Col(i) => Some(get(*i)),
+            CompiledNode::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Evaluate with `get(i)` supplying the value of column `i` — the same
+    /// semantics (including short-circuiting and error cases) as
+    /// [`Expr::eval`], minus the per-row name resolution.
+    fn eval_with<'v>(&'v self, get: &impl Fn(usize) -> &'v Value) -> Result<Value, EvalError> {
+        match self {
+            CompiledNode::Col(i) => Ok(get(*i).clone()),
+            CompiledNode::Missing(name) => Err(EvalError::MissingColumn(name.clone())),
+            CompiledNode::Const(v) => Ok(v.clone()),
+            CompiledNode::Cmp(op, l, r) => {
+                // Leaf operands compare in place — no value clones at all on
+                // the `column op constant` hot shape.
+                if let (Some(lv), Some(rv)) = (l.leaf_ref(get), r.leaf_ref(get)) {
+                    return match lv.compare(rv) {
+                        Some(ord) => Ok(Value::Bool(op.test(ord))),
+                        None => Err(EvalError::TypeMismatch {
+                            op: "compare",
+                            left: lv.type_name(),
+                            right: rv.type_name(),
+                        }),
+                    };
+                }
+                let lv = l.eval_with(get)?;
+                let rv = r.eval_with(get)?;
+                match lv.compare(&rv) {
+                    Some(ord) => Ok(Value::Bool(op.test(ord))),
+                    None => Err(EvalError::TypeMismatch {
+                        op: "compare",
+                        left: lv.type_name(),
+                        right: rv.type_name(),
+                    }),
+                }
+            }
+            CompiledNode::Arith(op, l, r) => {
+                let lv = l.eval_with(get)?;
+                let rv = r.eval_with(get)?;
+                match (lv.as_f64(), rv.as_f64()) {
+                    (Some(a), Some(b)) => {
+                        let out = match op {
+                            ArithOp::Add => a + b,
+                            ArithOp::Sub => a - b,
+                            ArithOp::Mul => a * b,
+                            ArithOp::Div => a / b,
+                        };
+                        if matches!((&lv, &rv), (Value::Int(_), Value::Int(_)))
+                            && out.fract() == 0.0
+                            && !matches!(op, ArithOp::Div)
+                        {
+                            Ok(Value::Int(out as i64))
+                        } else {
+                            Ok(Value::Float(out))
+                        }
+                    }
+                    _ => Err(EvalError::TypeMismatch {
+                        op: "arith",
+                        left: lv.type_name(),
+                        right: rv.type_name(),
+                    }),
+                }
+            }
+            CompiledNode::And(l, r) => {
+                if !expect_bool(l.eval_with(get)?)? {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(expect_bool(r.eval_with(get)?)?))
+            }
+            CompiledNode::Or(l, r) => {
+                if expect_bool(l.eval_with(get)?)? {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(expect_bool(r.eval_with(get)?)?))
+            }
+            CompiledNode::Not(e) => Ok(Value::Bool(!expect_bool(e.eval_with(get)?)?)),
+            CompiledNode::Contains(column, needle) => {
+                let v = column.eval_with(get)?;
+                match v {
+                    Value::Str(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
+                    other => Err(EvalError::TypeMismatch {
+                        op: "contains",
+                        left: other.type_name(),
+                        right: "string",
+                    }),
+                }
+            }
+        }
+    }
+}
+
+fn expect_bool(v: Value) -> Result<bool, EvalError> {
+    v.as_bool().ok_or(EvalError::TypeMismatch {
+        op: "bool",
+        left: "non-bool",
+        right: "bool",
+    })
+}
+
+impl CompiledExpr {
+    /// The schema this expression was compiled against.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// True when this compilation is valid for `schema` (pointer identity —
+    /// sound because schemas are interned).
+    pub fn is_for(&self, schema: &Arc<Schema>) -> bool {
+        Arc::ptr_eq(&self.schema, schema)
+    }
+
+    /// Evaluate over a row-major value slice (parallel to the compiled
+    /// schema's columns).
+    pub fn eval(&self, values: &[Value]) -> Result<Value, EvalError> {
+        self.root.eval_with(&|i| &values[i])
+    }
+
+    /// Evaluate row `r` of a columnar chunk without materialising the row.
+    pub fn eval_row(&self, chunk: &ColumnChunk, r: usize) -> Result<Value, EvalError> {
+        debug_assert!(self.is_for(chunk.schema()));
+        self.root.eval_with(&|i| &chunk.column(i)[r])
+    }
+
+    /// Predicate view over a row-major value slice: `true` only on a clean
+    /// boolean true (the best-effort discard policy).
+    pub fn matches(&self, values: &[Value]) -> bool {
+        matches!(self.eval(values), Ok(Value::Bool(true)))
+    }
+
+    /// Predicate view over row `r` of a columnar chunk.
+    pub fn matches_row(&self, chunk: &ColumnChunk, r: usize) -> bool {
+        matches!(self.eval_row(chunk, r), Ok(Value::Bool(true)))
+    }
+}
+
+/// A predicate plus its per-schema compilation cache: the expression is
+/// compiled against each schema it meets exactly once (single-entry cache
+/// keyed by schema pointer, like `ColumnResolver`) and evaluated by index
+/// thereafter.  This is what [`Selection`](crate::operators::Selection) and
+/// the eddy filters hold instead of a raw [`Expr`].
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
+    expr: Expr,
+    cache: Option<CompiledExpr>,
+}
+
+impl CompiledPredicate {
+    /// Wrap a predicate expression.
+    pub fn new(expr: Expr) -> Self {
+        CompiledPredicate { expr, cache: None }
+    }
+
+    /// The wrapped expression.
+    pub fn expr(&self) -> &Expr {
+        &self.expr
+    }
+
+    /// The compilation for `schema`, compiling on first sight.
+    pub fn for_schema(&mut self, schema: &Arc<Schema>) -> &CompiledExpr {
+        if !self.cache.as_ref().is_some_and(|c| c.is_for(schema)) {
+            self.cache = Some(self.expr.compile(schema));
+        }
+        self.cache.as_ref().expect("cache populated above")
+    }
+
+    /// Predicate test against one tuple (compiles on schema change only).
+    pub fn matches_tuple(&mut self, tuple: &Tuple) -> bool {
+        self.for_schema(tuple.schema()).matches(tuple.values())
     }
 }
 
@@ -351,5 +611,78 @@ mod tests {
     #[test]
     fn all_of_empty_list_is_true() {
         assert!(Expr::all(vec![]).matches(&tup()));
+    }
+
+    #[test]
+    fn compiled_eval_agrees_with_interpreted_eval() {
+        let t = tup();
+        let exprs = vec![
+            Expr::eq("a", 5i64),
+            Expr::eq("a", 6i64),
+            Expr::cmp(CmpOp::Gt, Expr::col("a"), Expr::lit(2.0)),
+            Expr::Arith(
+                ArithOp::Add,
+                Box::new(Expr::col("a")),
+                Box::new(Expr::lit(1i64)),
+            ),
+            Expr::Arith(
+                ArithOp::Div,
+                Box::new(Expr::col("a")),
+                Box::new(Expr::lit(2i64)),
+            ),
+            Expr::And(
+                Box::new(Expr::eq("a", 99i64)),
+                Box::new(Expr::col("missing")),
+            ),
+            Expr::Or(Box::new(Expr::eq("a", 99i64)), Box::new(Expr::col("ok"))),
+            Expr::Not(Box::new(Expr::col("ok"))),
+            Expr::Contains("name".into(), "beta".into()),
+            Expr::Contains("a".into(), "5".into()),
+            Expr::col("nope"),
+            Expr::cmp(CmpOp::Eq, Expr::col("name"), Expr::lit(5i64)),
+        ];
+        for e in exprs {
+            let compiled = e.compile(t.schema());
+            assert_eq!(
+                compiled.eval(t.values()),
+                e.eval(&t),
+                "compiled and interpreted eval must agree for {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_predicate_caches_per_schema_and_rechecks_on_change() {
+        let mut pred = CompiledPredicate::new(Expr::eq("a", 5i64));
+        assert!(pred.matches_tuple(&tup()));
+        assert!(pred.matches_tuple(&tup()));
+        // A schema without `a` compiles to a missing-column node: no match.
+        let other = Tuple::new("other", vec![("z", Value::Int(5))]);
+        assert!(!pred.matches_tuple(&other));
+        assert!(pred.matches_tuple(&tup()));
+        assert_eq!(pred.expr(), &Expr::eq("a", 5i64));
+    }
+
+    #[test]
+    fn compiled_eval_scans_columnar_chunks() {
+        use crate::tuple::TupleBatch;
+        let rows: Vec<Tuple> = (0..20)
+            .map(|i| {
+                Tuple::new(
+                    "t",
+                    vec![("a", Value::Int(i)), ("b", Value::Float(i as f64 / 2.0))],
+                )
+            })
+            .collect();
+        let pred = Expr::cmp(CmpOp::Ge, Expr::col("a"), Expr::lit(10i64));
+        let batch = TupleBatch::new(rows.clone());
+        let chunk = &batch.chunks()[0];
+        let compiled = pred.compile(chunk.schema());
+        let columnar: Vec<bool> = (0..chunk.rows())
+            .map(|r| compiled.matches_row(chunk, r))
+            .collect();
+        let row_major: Vec<bool> = rows.iter().map(|t| pred.matches(t)).collect();
+        assert_eq!(columnar, row_major);
+        assert_eq!(columnar.iter().filter(|b| **b).count(), 10);
     }
 }

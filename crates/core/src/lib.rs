@@ -5,9 +5,17 @@
 //! overlay (`pier-dht`) and an event-driven runtime (`pier-runtime`).
 //!
 //! * [`value`] / [`tuple`] — self-describing tuples with best-effort typing
-//!   (no catalog, §3.3.1).
+//!   (no catalog, §3.3.1), held zero-copy: values share string/bytes
+//!   payloads behind `Arc`s, tuples pair an interned `Arc<Schema>` with an
+//!   `Arc<[Value]>` (cloning is allocation-free), and [`tuple::TupleBatch`]
+//!   stores same-schema runs **columnar** ([`tuple::ColumnChunk`], one
+//!   `Vec<Value>` per column) for batch-at-a-time operator scans and
+//!   schema-amortised wire accounting.
 //! * [`expr`] — predicate and scalar expressions with discard-on-mismatch
-//!   semantics (§3.3.4 "Malformed Tuples").
+//!   semantics (§3.3.4 "Malformed Tuples"), plus their compiled form
+//!   ([`expr::CompiledExpr`]/[`expr::CompiledPredicate`]): column names
+//!   resolve to positional indices once per interned schema, so selections
+//!   and eddies evaluate by index over rows or columnar chunks.
 //! * [`aggregate`] — mergeable partial aggregates (distributive/algebraic
 //!   classification) used by hierarchical aggregation.
 //! * [`eddy`] — the adaptive eddy operator of §4.2.2: runtime reordering of
@@ -28,6 +36,28 @@
 //! * [`sqlish`] — the "naive SQL-like language" front end of §4.2: a small
 //!   SELECT-FROM-WHERE-GROUP BY parser and planner, reflecting the paper's
 //!   observation that users preferred SQL to raw UFL.
+//!
+//! ## Invariants
+//!
+//! * **Schema interning**: schemas are immutable and interned process-wide
+//!   ([`tuple::SchemaRegistry`]); `Arc::ptr_eq` on two schemas is
+//!   equivalent to deep equality for the life of the process.  Every
+//!   per-schema cache ([`tuple::ColumnResolver`], [`tuple::ColumnRef`],
+//!   [`expr::CompiledPredicate`], operator output-schema caches) keys on
+//!   this.  The registry only grows — eviction is a ROADMAP item.
+//! * **Parallel shapes**: a tuple's value slice is parallel to its schema's
+//!   columns (equal arity); a [`tuple::ColumnChunk`]'s column vectors are
+//!   parallel to its schema's columns and of equal length.
+//! * **Batch equivalence**: every `push_batch`/`push_chunk` override
+//!   produces exactly the tuples per-row dispatch would (pinned by the
+//!   batching-equivalence tests); batches preserve row order across the
+//!   columnar round trip bit-for-bit (property-tested).
+//! * **Best effort everywhere** (§3.3.4): malformed tuples (missing
+//!   columns, incompatible types) are silently discarded by the operator
+//!   that notices, never surfaced as query errors.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the cross-crate
+//! picture (life of a query, message flows).
 
 pub mod aggregate;
 pub mod eddy;
@@ -44,7 +74,7 @@ pub mod value;
 
 pub use aggregate::{AggClass, AggFunc, AggState};
 pub use eddy::{Eddy, EddyFilter, OperatorObservation, PredicateFilter, RoutingPolicy};
-pub use expr::{ArithOp, CmpOp, EvalError, Expr};
+pub use expr::{ArithOp, CmpOp, CompiledExpr, CompiledPredicate, EvalError, Expr};
 pub use node::{CqDiagnostics, PierConfig, PierMsg, PierNode, PierOut, PierTimer};
 pub use operators::{
     nested_loop_join, BloomFilter, Distinct, GroupBy, JoinSide, Limit, LocalOperator, Pipeline,
@@ -57,5 +87,7 @@ pub use plan::{
 };
 pub use range_index::RangeIndexConfig;
 pub use recursive::TransitiveClosure;
-pub use tuple::{ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch};
+pub use tuple::{
+    ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
+};
 pub use value::Value;

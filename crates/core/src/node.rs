@@ -18,7 +18,9 @@
 use crate::aggregate::{AggFunc, AggState};
 use crate::operators::{GroupBy, JoinSide, LocalOperator, Pipeline, SymmetricHashJoin};
 use crate::plan::{CqSpec, Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
-use crate::tuple::{ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch};
+use crate::tuple::{
+    ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
+};
 use crate::value::Value;
 use pier_cq::{
     Delta, DeltaTracker, Lease, WindowAccumulator, WindowId, WindowSpec, WindowStats, WindowStore,
@@ -559,8 +561,8 @@ impl PierNode {
                     }
                     let joined: Vec<Tuple> = objects
                         .iter()
-                        .flat_map(|o| o.value.tuples())
-                        .map(|inner| probe.join_with(inner, &output_table))
+                        .flat_map(|o| o.value.iter_tuples())
+                        .map(|inner| probe.join_with(&inner, &output_table))
                         .collect();
                     return self.deliver_sink(ctx, query_id, graph_idx, joined);
                 }
@@ -573,13 +575,11 @@ impl PierNode {
                 }
                 QpObject::Tuple(tuple) => self.route_new_tuple(ctx, &object.name.namespace, tuple),
                 QpObject::Batch(batch) => {
-                    // A coalesced transfer arrives: unpack back into the
-                    // per-tuple dataflow.
-                    let mut effects = Vec::new();
-                    for tuple in batch.into_tuples() {
-                        effects.extend(self.route_new_tuple(ctx, &object.name.namespace, tuple));
-                    }
-                    effects
+                    // A coalesced transfer arrives: feed the columnar batch
+                    // to the dataflow batch-at-a-time — the dispatch
+                    // (namespace routing, target lookup) happens once per
+                    // batch and the operators consume whole chunks.
+                    self.route_new_batch(ctx, &object.name.namespace, batch)
                 }
             },
             OverlayEvent::Upcall { token, object, .. } => {
@@ -591,13 +591,12 @@ impl PierNode {
                 // merge refuses are malformed and would be discarded at the
                 // root anyway, per the best-effort policy).
                 let now = ctx.now();
-                let partials = object.value.tuples();
-                if !partials.is_empty() {
+                if object.value.tuple_count() > 0 {
                     if let Some(query_id) = self.query_for_partial_namespace(&object.name.namespace)
                     {
                         let mut absorbed = false;
-                        for partial in partials {
-                            absorbed |= self.absorb_partial(query_id, partial);
+                        for partial in object.value.iter_tuples() {
+                            absorbed |= self.absorb_partial(query_id, &partial);
                         }
                         if absorbed {
                             return self.overlay.resume_upcall(token, false, now);
@@ -607,11 +606,11 @@ impl PierNode {
                     {
                         let mut absorbed = false;
                         let mut refused: Vec<Tuple> = Vec::new();
-                        for partial in partials {
-                            if self.absorb_window_partial(query_id, partial) {
+                        for partial in object.value.iter_tuples() {
+                            if self.absorb_window_partial(query_id, &partial) {
                                 absorbed = true;
                             } else {
-                                refused.push(partial.clone());
+                                refused.push(partial);
                             }
                         }
                         if absorbed {
@@ -758,6 +757,56 @@ impl PierNode {
             .collect();
         for (qid, gidx) in targets {
             effects.extend(self.feed_graph(ctx, qid, gidx, tuple.clone()));
+        }
+        effects
+    }
+
+    /// Batch counterpart of [`PierNode::route_new_tuple`]: the namespace
+    /// routing and target lookup happen once for the whole batch, and the
+    /// opgraphs consume columnar chunks instead of per-tuple pushes.
+    fn route_new_batch(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        namespace: &str,
+        batch: TupleBatch,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        // Closed-window partials arriving at (or relayed through) this node:
+        // decoding is inherently per-partial (the accumulator is rebuilt
+        // from named columns), but the namespace lookup happens once.
+        if let Some(query_id) = self.query_for_window_namespace(namespace) {
+            for tuple in batch.iter() {
+                self.absorb_window_partial(query_id, &tuple);
+            }
+            return Vec::new();
+        }
+        // Partial aggregates arriving at the aggregation-tree root.
+        if let Some(query_id) = self.query_for_partial_namespace(namespace) {
+            if let Some(q) = self.queries.get_mut(&query_id) {
+                for tuple in batch.iter() {
+                    for g in q.graphs.iter_mut() {
+                        if let Some(root) = g.root_merge.as_mut() {
+                            root.merge_partial(&tuple);
+                        }
+                    }
+                }
+            }
+            return Vec::new();
+        }
+        // Base-table or rehash-namespace batches feeding installed opgraphs.
+        let targets: Vec<(u64, usize)> = self
+            .queries
+            .iter()
+            .flat_map(|(qid, q)| {
+                q.graphs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.spec.source.namespace() == namespace)
+                    .map(move |(i, _)| (*qid, i))
+            })
+            .collect();
+        let mut effects = Vec::new();
+        for (qid, gidx) in targets {
+            effects.extend(self.feed_graph_batch(ctx, qid, gidx, &batch));
         }
         effects
     }
@@ -928,6 +977,80 @@ impl PierNode {
                 }
             }
             outputs
+        };
+        if outputs.is_empty() {
+            return Vec::new();
+        }
+        self.deliver_sink(ctx, query_id, graph_idx, outputs)
+    }
+
+    /// Batch counterpart of [`PierNode::feed_graph`]: joins consume whole
+    /// columnar chunks ([`SymmetricHashJoin::push_chunk`]), plain pipelines
+    /// consume the batch via `Pipeline::push_batch`, and a windowed graph
+    /// with a pass-through pipeline absorbs chunks straight into the window
+    /// store ([`PierNode::cq_absorb_chunk`]) — no per-tuple dispatch on any
+    /// of the three paths.
+    fn feed_graph_batch(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        query_id: u64,
+        graph_idx: usize,
+        batch: &TupleBatch,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        let now = ctx.now();
+        let outputs = {
+            let Some(q) = self.queries.get_mut(&query_id) else {
+                return Vec::new();
+            };
+            let cq_direct = q.cq.as_ref().is_some_and(|cq| cq.graph_idx == graph_idx)
+                && q.graphs
+                    .get(graph_idx)
+                    .is_some_and(|g| g.join.is_none() && g.pipeline.is_empty());
+            if cq_direct {
+                let cq = q.cq.as_mut().expect("checked above");
+                for chunk in batch.chunks() {
+                    Self::cq_absorb_chunk(cq, chunk, now);
+                }
+                Vec::new()
+            } else {
+                let Some(g) = q.graphs.get_mut(graph_idx) else {
+                    return Vec::new();
+                };
+                let mut outputs = match (&mut g.join, &g.spec.join) {
+                    (Some(join), Some(join_spec)) => {
+                        // Two-input join fed from the rehash namespace: each
+                        // chunk's table name decides the side it belongs to.
+                        let mut staged = Vec::new();
+                        for chunk in batch.chunks() {
+                            let table = chunk.schema().table();
+                            if table == join_spec.left_table {
+                                staged.extend(join.push_chunk(JoinSide::Left, chunk));
+                            } else if table == join_spec.right_table {
+                                staged.extend(join.push_chunk(JoinSide::Right, chunk));
+                            } // unknown table: discard (best effort)
+                        }
+                        let mut outs = Vec::new();
+                        for t in staged {
+                            outs.extend(g.pipeline.push(t));
+                        }
+                        outs
+                    }
+                    _ => g.pipeline.push_batch(batch),
+                };
+                if let Some(uplink) = g.uplink.as_mut() {
+                    for t in outputs.drain(..) {
+                        uplink.push(t);
+                    }
+                }
+                if let Some(cq) = q.cq.as_mut() {
+                    if cq.graph_idx == graph_idx {
+                        for t in outputs.drain(..) {
+                            Self::cq_absorb(cq, &t, now);
+                        }
+                    }
+                }
+                outputs
+            }
         };
         if outputs.is_empty() {
             return Vec::new();
@@ -1430,6 +1553,71 @@ impl PierNode {
         );
     }
 
+    /// Chunk-at-a-time counterpart of [`PierNode::cq_absorb`] — the batch
+    /// path of the CQ window absorb loop.  The event-time, group, dedup and
+    /// aggregate-input columns all resolve against the chunk's schema once;
+    /// the per-row work is column indexing only.
+    fn cq_absorb_chunk(cq: &mut CqState, chunk: &ColumnChunk, now: SimTime) {
+        let schema = chunk.schema();
+        let Some(group_idxs) = cq.group_resolver.indices_for(schema) else {
+            return; // malformed chunk: discard (best-effort policy)
+        };
+        let group_idxs = group_idxs.to_vec();
+        let time_idx = cq.time_ref.as_mut().and_then(|c| c.index_for(schema));
+        let dedup_idxs: Vec<Option<usize>> = cq
+            .dedup_refs
+            .iter_mut()
+            .map(|c| c.index_for(schema))
+            .collect();
+        let agg_idxs: Vec<Option<usize>> = cq
+            .agg_inputs
+            .iter_mut()
+            .map(|input| input.as_mut().and_then(|c| c.index_for(schema)))
+            .collect();
+        let aggs = &cq.aggs;
+        for r in 0..chunk.rows() {
+            let event_time = time_idx
+                .and_then(|i| chunk.column(i)[r].as_i64())
+                .map(|v| v.max(0) as u64)
+                .unwrap_or(now);
+            let key = chunk.key_at(&group_idxs, r);
+            let dedup = if dedup_idxs.is_empty() {
+                None
+            } else {
+                // A row missing a dedup column is treated as unique.
+                let mut out = String::with_capacity(12 * dedup_idxs.len());
+                for (i, idx) in dedup_idxs.iter().enumerate() {
+                    if i > 0 {
+                        out.push('|');
+                    }
+                    match idx {
+                        Some(c) => chunk.column(*c)[r].write_key(&mut out),
+                        None => out.push('∅'),
+                    }
+                }
+                Some(out)
+            };
+            cq.store.push(
+                event_time,
+                &key,
+                dedup.as_deref(),
+                || GroupAgg {
+                    vals: group_idxs
+                        .iter()
+                        .map(|&i| chunk.column(i)[r].clone())
+                        .collect(),
+                    states: aggs.iter().map(AggFunc::init).collect(),
+                },
+                |acc| {
+                    for ((agg, idx), state) in aggs.iter().zip(&agg_idxs).zip(acc.states.iter_mut())
+                    {
+                        state.update_with(agg, idx.map(|i| &chunk.column(i)[r]));
+                    }
+                },
+            );
+        }
+    }
+
     fn encode_window_partial(partial_schema: &Arc<Schema>, wid: WindowId, acc: &GroupAgg) -> Tuple {
         let mut values = Vec::with_capacity(partial_schema.arity());
         values.push(Value::Int(wid as i64));
@@ -1744,5 +1932,85 @@ impl Program for PierNode {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netmon_rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(
+                    "packets",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{}", i % 5).into())),
+                        ("len", Value::Int(40 + i % 1400)),
+                        ("ts", Value::Int(i * 250_000)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    fn windowed_cq_state() -> CqState {
+        let plan = crate::sqlish::compile(
+            "SELECT src, COUNT(*), SUM(len) FROM packets GROUP BY src WINDOW 30s SLIDE 10s",
+            pier_runtime::NodeAddr(1),
+            60_000_000,
+        )
+        .expect("windowed netmon query must compile");
+        PierNode::build_cq_state(&plan, 0).expect("plan has a windowed sink")
+    }
+
+    /// Canonical view of a window store's content after closing everything:
+    /// `(window, group key, group values, finished aggregates)` rows.
+    fn drain_canonical(cq: &mut CqState) -> Vec<(u64, String, Vec<Value>, Vec<Value>)> {
+        let mut out = Vec::new();
+        for (wid, groups) in cq.store.close_due(1_000_000_000_000) {
+            for (key, acc) in groups {
+                out.push((
+                    wid,
+                    key,
+                    acc.vals.clone(),
+                    acc.states.iter().map(AggState::finish).collect(),
+                ));
+            }
+        }
+        out.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        out
+    }
+
+    #[test]
+    fn cq_chunk_absorb_equals_per_tuple_absorb() {
+        let rows = netmon_rows(400);
+        let mut per_tuple = windowed_cq_state();
+        let mut chunked = windowed_cq_state();
+        let now = 1_000_000;
+        for t in &rows {
+            PierNode::cq_absorb(&mut per_tuple, t, now);
+        }
+        let batch = TupleBatch::new(rows);
+        for chunk in batch.chunks() {
+            PierNode::cq_absorb_chunk(&mut chunked, chunk, now);
+        }
+        let a = drain_canonical(&mut per_tuple);
+        let b = drain_canonical(&mut chunked);
+        assert!(!a.is_empty(), "the workload must populate windows");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cq_chunk_absorb_discards_malformed_chunks() {
+        let mut cq = windowed_cq_state();
+        let rows: Vec<Tuple> = (0..10)
+            .map(|i| Tuple::new("packets", vec![("nothing", Value::Int(i))]))
+            .collect();
+        let batch = TupleBatch::new(rows);
+        for chunk in batch.chunks() {
+            PierNode::cq_absorb_chunk(&mut cq, chunk, 0);
+        }
+        assert!(drain_canonical(&mut cq).is_empty());
     }
 }

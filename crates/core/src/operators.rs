@@ -16,8 +16,10 @@
 //! isolation.
 
 use crate::aggregate::{AggFunc, AggState};
-use crate::expr::Expr;
-use crate::tuple::{ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple};
+use crate::expr::{CompiledPredicate, Expr};
+use crate::tuple::{
+    ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
+};
 use crate::value::Value;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -30,6 +32,21 @@ pub trait LocalOperator: std::fmt::Debug {
     /// parent immediately.
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple>;
 
+    /// Push a whole [`TupleBatch`] in.  The default materialises each row
+    /// and calls [`LocalOperator::push`]; operators on the batched hot path
+    /// (selection, projection, group-by) override it to resolve columns once
+    /// per [`ColumnChunk`] and scan the chunk's columns directly, so a
+    /// coalesced DHT arrival is processed without exploding into per-tuple
+    /// dispatch.  Overrides must produce exactly the tuples the per-row
+    /// default would (the batching-equivalence tests pin this).
+    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for t in batch.iter() {
+            out.extend(self.push(t));
+        }
+        out
+    }
+
     /// Emit whatever the operator has been buffering (group-by results,
     /// top-k heaps, …).  Pass-through operators return nothing.
     fn flush(&mut self) -> Vec<Tuple> {
@@ -40,25 +57,45 @@ pub trait LocalOperator: std::fmt::Debug {
 /// Selection: drop tuples that do not satisfy the predicate.  Tuples the
 /// predicate cannot be evaluated against (missing column, type mismatch) are
 /// dropped too — the best-effort policy of §3.3.4.
+///
+/// The predicate is compiled against each input schema once
+/// ([`CompiledPredicate`]), so the per-tuple cost is positional evaluation;
+/// the batch path evaluates straight over a chunk's columns and only
+/// materialises the surviving rows.
 #[derive(Debug)]
 pub struct Selection {
-    predicate: Expr,
+    predicate: CompiledPredicate,
 }
 
 impl Selection {
     /// Create a selection with the given predicate.
     pub fn new(predicate: Expr) -> Self {
-        Selection { predicate }
+        Selection {
+            predicate: CompiledPredicate::new(predicate),
+        }
     }
 }
 
 impl LocalOperator for Selection {
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
-        if self.predicate.matches(&tuple) {
+        if self.predicate.matches_tuple(&tuple) {
             vec![tuple]
         } else {
             Vec::new()
         }
+    }
+
+    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+        let mut out = Vec::new();
+        for chunk in batch.chunks() {
+            let compiled = self.predicate.for_schema(chunk.schema());
+            for r in 0..chunk.rows() {
+                if compiled.matches_row(chunk, r) {
+                    out.push(chunk.row(r));
+                }
+            }
+        }
+        out
     }
 }
 
@@ -82,25 +119,27 @@ impl Projection {
             cache: None,
         }
     }
+
+    /// Resolve the projected schema and source indices for `schema`
+    /// (single-entry cache keyed by schema pointer).
+    fn ensure(&mut self, schema: &Arc<Schema>) -> &ProjectionCache {
+        let hit = self
+            .cache
+            .as_ref()
+            .is_some_and(|(input, _, _)| Arc::ptr_eq(input, schema));
+        if !hit {
+            let names: Vec<&str> = self.columns.iter().map(String::as_str).collect();
+            let out = SchemaRegistry::global().intern(schema.table(), &names);
+            let srcs = self.columns.iter().map(|c| schema.position(c)).collect();
+            self.cache = Some((Arc::clone(schema), out, srcs));
+        }
+        self.cache.as_ref().expect("cache populated above")
+    }
 }
 
 impl LocalOperator for Projection {
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
-        let hit = self
-            .cache
-            .as_ref()
-            .is_some_and(|(input, _, _)| Arc::ptr_eq(input, tuple.schema()));
-        if !hit {
-            let names: Vec<&str> = self.columns.iter().map(String::as_str).collect();
-            let out = SchemaRegistry::global().intern(tuple.table(), &names);
-            let srcs = self
-                .columns
-                .iter()
-                .map(|c| tuple.schema().position(c))
-                .collect();
-            self.cache = Some((Arc::clone(tuple.schema()), out, srcs));
-        }
-        let (_, out, srcs) = self.cache.as_ref().expect("cache populated above");
+        let (_, out, srcs) = self.ensure(tuple.schema());
         let values = srcs
             .iter()
             .map(|src| match src {
@@ -109,6 +148,26 @@ impl LocalOperator for Projection {
             })
             .collect();
         vec![Tuple::from_schema(Arc::clone(out), values)]
+    }
+
+    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+        let mut outputs = Vec::with_capacity(batch.len());
+        for chunk in batch.chunks() {
+            let (_, out, srcs) = self.ensure(chunk.schema());
+            let out = Arc::clone(out);
+            let srcs = srcs.clone();
+            for r in 0..chunk.rows() {
+                let values = srcs
+                    .iter()
+                    .map(|src| match src {
+                        Some(i) => chunk.column(*i)[r].clone(),
+                        None => Value::Null,
+                    })
+                    .collect();
+                outputs.push(Tuple::from_schema(Arc::clone(&out), values));
+            }
+        }
+        outputs
     }
 }
 
@@ -321,6 +380,41 @@ impl LocalOperator for GroupBy {
         Vec::new()
     }
 
+    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+        // Absorb chunk-at-a-time: group columns and aggregate inputs resolve
+        // once per chunk, the inner loop is column indexing only.
+        for chunk in batch.chunks() {
+            let schema = chunk.schema();
+            let Some(group_idxs) = self.group_cols.indices_for(schema) else {
+                continue; // malformed chunk for this operator: discard
+            };
+            let group_idxs = group_idxs.to_vec();
+            let agg_idxs: Vec<Option<usize>> = self
+                .agg_inputs
+                .iter_mut()
+                .map(|input| input.as_mut().and_then(|c| c.index_for(schema)))
+                .collect();
+            for r in 0..chunk.rows() {
+                let key = chunk.key_at(&group_idxs, r);
+                let entry = match self.groups.entry(key) {
+                    std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        let vals = group_idxs
+                            .iter()
+                            .map(|&i| chunk.column(i)[r].clone())
+                            .collect();
+                        e.insert((vals, self.aggs.iter().map(AggFunc::init).collect()))
+                    }
+                };
+                for ((agg, idx), state) in self.aggs.iter().zip(&agg_idxs).zip(entry.1.iter_mut()) {
+                    let value = idx.map(|i| &chunk.column(i)[r]);
+                    state.update_with(agg, value);
+                }
+            }
+        }
+        Vec::new()
+    }
+
     fn flush(&mut self) -> Vec<Tuple> {
         // Flush drains the accumulated groups: a subsequent flush only emits
         // data that arrived in between (important for the periodic partial
@@ -497,6 +591,33 @@ impl SymmetricHashJoin {
         let Some(key) = key_cols.key(&tuple) else {
             return Vec::new(); // malformed tuple: discard
         };
+        self.push_with_key(side, key, tuple)
+    }
+
+    /// Insert a whole columnar chunk arriving on `side`: the key columns
+    /// resolve against the chunk's schema once, then every row is keyed by
+    /// direct column indexing and probes the opposite table — the
+    /// batch-at-a-time counterpart of [`SymmetricHashJoin::push_side`].
+    pub fn push_chunk(&mut self, side: JoinSide, chunk: &ColumnChunk) -> Vec<Tuple> {
+        let key_cols = match side {
+            JoinSide::Left => &mut self.left_key,
+            JoinSide::Right => &mut self.right_key,
+        };
+        let Some(idxs) = key_cols.indices_for(chunk.schema()) else {
+            return Vec::new(); // malformed chunk: discard
+        };
+        let idxs = idxs.to_vec();
+        let mut out = Vec::new();
+        for r in 0..chunk.rows() {
+            let key = chunk.key_at(&idxs, r);
+            out.extend(self.push_with_key(side, key, chunk.row(r)));
+        }
+        out
+    }
+
+    /// The probe/insert step shared by the tuple and chunk paths: the key is
+    /// already extracted.
+    fn push_with_key(&mut self, side: JoinSide, key: String, tuple: Tuple) -> Vec<Tuple> {
         let (own, other) = match side {
             JoinSide::Left => (&mut self.left_table, &self.right_table),
             JoinSide::Right => (&mut self.right_table, &self.left_table),
@@ -577,6 +698,29 @@ impl Pipeline {
             if current.is_empty() {
                 break;
             }
+        }
+        current
+    }
+
+    /// Push a whole batch through the pipeline: the first stage consumes the
+    /// batch chunk-at-a-time via [`LocalOperator::push_batch`] (where the
+    /// selective operators sit and the win is largest); its survivors then
+    /// traverse the remaining stages tuple-at-a-time, exactly as
+    /// [`Pipeline::push`] would route them.
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+        let Some((first, rest)) = self.stages.split_first_mut() else {
+            return batch.iter().collect(); // pass-through pipeline
+        };
+        let mut current = first.push_batch(batch);
+        for stage in rest.iter_mut() {
+            if current.is_empty() {
+                break;
+            }
+            let mut next = Vec::new();
+            for t in current {
+                next.extend(stage.push(t));
+            }
+            current = next;
         }
         current
     }
@@ -829,5 +973,149 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.push(row("t", 1, "a", 1)).len(), 1);
         assert!(p.flush().is_empty());
+    }
+
+    fn netmon_rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{}", i % 7).into())),
+                        ("port", Value::Int(i % 1024)),
+                        ("len", Value::Int(40 + i % 1400)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn selection_batch_path_equals_per_tuple_path() {
+        use crate::tuple::TupleBatch;
+        let rows = netmon_rows(200);
+        let pred = || Expr::cmp(CmpOp::Ge, Expr::col("port"), Expr::lit(100i64));
+        let mut per_tuple = Selection::new(pred());
+        let mut batched = Selection::new(pred());
+        let expected: Vec<Tuple> = rows
+            .iter()
+            .cloned()
+            .flat_map(|t| per_tuple.push(t))
+            .collect();
+        let got = batched.push_batch(&TupleBatch::new(rows));
+        assert_eq!(got, expected);
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn projection_batch_path_equals_per_tuple_path() {
+        use crate::tuple::TupleBatch;
+        let rows = netmon_rows(50);
+        let cols = vec!["src".to_string(), "missing".to_string()];
+        let mut per_tuple = Projection::new(cols.clone());
+        let mut batched = Projection::new(cols);
+        let expected: Vec<Tuple> = rows
+            .iter()
+            .cloned()
+            .flat_map(|t| per_tuple.push(t))
+            .collect();
+        assert_eq!(batched.push_batch(&TupleBatch::new(rows)), expected);
+    }
+
+    #[test]
+    fn group_by_batch_absorb_equals_per_tuple_absorb() {
+        use crate::tuple::TupleBatch;
+        let rows = netmon_rows(300);
+        let mk = || {
+            GroupBy::new(
+                vec!["src".into()],
+                vec![AggFunc::Count, AggFunc::Sum("len".into())],
+                "out",
+            )
+        };
+        let mut per_tuple = mk();
+        let mut batched = mk();
+        for t in rows.iter().cloned() {
+            per_tuple.push(t);
+        }
+        assert!(batched.push_batch(&TupleBatch::new(rows)).is_empty());
+        assert_eq!(batched.flush(), per_tuple.flush());
+    }
+
+    #[test]
+    fn join_chunk_path_equals_per_tuple_path() {
+        use crate::tuple::TupleBatch;
+        let left: Vec<Tuple> = (0..30)
+            .map(|i| row("r", i, ["a", "b", "c"][(i % 3) as usize], i))
+            .collect();
+        let right: Vec<Tuple> = (0..20)
+            .map(|i| {
+                Tuple::new(
+                    "s",
+                    vec![
+                        (
+                            "category",
+                            Value::Str(["a", "b", "c", "d"][(i % 4) as usize].into()),
+                        ),
+                        ("weight", Value::Int(i * 10)),
+                    ],
+                )
+            })
+            .collect();
+        let key = vec!["category".to_string()];
+        let mut per_tuple = SymmetricHashJoin::new(key.clone(), key.clone(), "rs");
+        let mut chunked = SymmetricHashJoin::new(key.clone(), key, "rs");
+        let mut expected = Vec::new();
+        for t in left.iter().cloned() {
+            expected.extend(per_tuple.push_side(JoinSide::Left, t));
+        }
+        for t in right.iter().cloned() {
+            expected.extend(per_tuple.push_side(JoinSide::Right, t));
+        }
+        let mut got = Vec::new();
+        for chunk in TupleBatch::new(left).chunks() {
+            got.extend(chunked.push_chunk(JoinSide::Left, chunk));
+        }
+        for chunk in TupleBatch::new(right).chunks() {
+            got.extend(chunked.push_chunk(JoinSide::Right, chunk));
+        }
+        assert_eq!(got.len(), expected.len());
+        let canon = |v: &[Tuple]| {
+            let mut s: Vec<String> = v.iter().map(|t| t.to_string()).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(canon(&got), canon(&expected));
+        assert_eq!(chunked.state_size(), per_tuple.state_size());
+    }
+
+    #[test]
+    fn pipeline_batch_path_equals_per_tuple_path() {
+        use crate::tuple::TupleBatch;
+        let rows = netmon_rows(400);
+        let mk = || {
+            Pipeline::new(vec![
+                Box::new(Selection::new(Expr::cmp(
+                    CmpOp::Lt,
+                    Expr::col("port"),
+                    Expr::lit(900i64),
+                ))) as Box<dyn LocalOperator + Send>,
+                Box::new(Projection::new(vec!["src".into(), "len".into()])),
+                Box::new(GroupBy::new(
+                    vec!["src".into()],
+                    vec![AggFunc::Count, AggFunc::Avg("len".into())],
+                    "out",
+                )),
+            ])
+        };
+        let mut per_tuple = mk();
+        let mut batched = mk();
+        let mut expected = Vec::new();
+        for t in rows.iter().cloned() {
+            expected.extend(per_tuple.push(t));
+        }
+        let got = batched.push_batch(&TupleBatch::new(rows));
+        assert_eq!(got, expected);
+        assert_eq!(batched.flush(), per_tuple.flush());
     }
 }

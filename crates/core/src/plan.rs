@@ -401,14 +401,27 @@ impl QpObject {
         }
     }
 
-    /// The data tuples this object carries: one for [`QpObject::Tuple`],
-    /// all of them for [`QpObject::Batch`], none for plans.
-    pub fn tuples(&self) -> &[Tuple] {
+    /// Number of data tuples this object carries (0 for plans).
+    pub fn tuple_count(&self) -> usize {
         match self {
-            QpObject::Tuple(t) => std::slice::from_ref(t),
-            QpObject::Batch(b) => b.tuples(),
-            QpObject::Plan(_) => &[],
+            QpObject::Tuple(_) => 1,
+            QpObject::Batch(b) => b.len(),
+            QpObject::Plan(_) => 0,
         }
+    }
+
+    /// Iterate the data tuples this object carries: one for
+    /// [`QpObject::Tuple`], all of them (materialised lazily from the
+    /// columnar chunks; values are shared, not copied) for
+    /// [`QpObject::Batch`], none for plans.  Batch-aware consumers should
+    /// match on [`QpObject::Batch`] and walk the chunks instead.
+    pub fn iter_tuples(&self) -> impl Iterator<Item = Tuple> + '_ {
+        let (single, batch) = match self {
+            QpObject::Tuple(t) => (Some(t.clone()), None),
+            QpObject::Batch(b) => (None, Some(b.iter())),
+            QpObject::Plan(_) => (None, None),
+        };
+        single.into_iter().chain(batch.into_iter().flatten())
     }
 
     /// Consume the object into its data tuples (empty for plans).

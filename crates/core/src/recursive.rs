@@ -221,7 +221,7 @@ impl ReachabilityRound {
     pub fn result_tuples(&self, table: &str) -> Vec<Tuple> {
         self.reached
             .iter()
-            .map(|n| Tuple::new(table, vec![("node", Value::Str(n.clone()))]))
+            .map(|n| Tuple::new(table, vec![("node", Value::str(n))]))
             .collect()
     }
 }

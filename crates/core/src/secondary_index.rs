@@ -69,8 +69,8 @@ pub fn index_entry(
         ],
         vec![
             index_value,
-            Value::Str(base_table.to_string()),
-            Value::Str(base_key),
+            Value::str(base_table),
+            Value::Str(base_key.into()),
         ],
     ))
 }
@@ -164,7 +164,7 @@ mod tests {
         );
         assert_eq!(
             entry.get(BASE_KEY_COL),
-            Some(&Value::Str(row.partition_key(&base_key).unwrap()))
+            Some(&Value::Str(row.partition_key(&base_key).unwrap().into()))
         );
     }
 

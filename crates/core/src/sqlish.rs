@@ -170,7 +170,7 @@ impl Parser {
 
     fn parse_literal(token: &str) -> Value {
         if let Some(stripped) = token.strip_prefix('\'') {
-            return Value::Str(stripped.trim_end_matches('\'').to_string());
+            return Value::str(stripped.trim_end_matches('\''));
         }
         if token.eq_ignore_ascii_case("true") {
             return Value::Bool(true);
@@ -184,7 +184,7 @@ impl Parser {
         if let Ok(f) = token.parse::<f64>() {
             return Value::Float(f);
         }
-        Value::Str(token.to_string())
+        Value::str(token)
     }
 }
 

@@ -1,4 +1,5 @@
-//! Self-describing tuples (§3.3.1) with interned schemas.
+//! Self-describing tuples (§3.3.1) with interned schemas and columnar
+//! batches.
 //!
 //! Because PIER keeps no system catalog, every tuple carries its table name,
 //! its column names and its values.  Access methods convert source data into
@@ -10,10 +11,12 @@
 //! force the in-memory representation to copy the table name and every
 //! column name per tuple.  This module therefore splits a tuple into a
 //! [`Schema`] (table + column names + a precomputed column→index map) shared
-//! through an `Arc` via the process-wide [`SchemaRegistry`], and a flat
-//! vector of [`Value`]s:
+//! through an `Arc` via the process-wide [`SchemaRegistry`], and a shared
+//! slice of [`Value`]s:
 //!
-//! * cloning a tuple clones an `Arc` and the values — no string traffic;
+//! * cloning a tuple bumps two reference counts (`Arc<Schema>` +
+//!   `Arc<[Value]>`) — **allocation-free**, which the `dht_ops` bench pins
+//!   with a counting allocator;
 //! * [`Tuple::get`] resolves the column once against the schema instead of
 //!   linearly comparing strings per access;
 //! * operators resolve their column lists to indices **once per schema**
@@ -21,13 +24,24 @@
 //!   single-entry caches are keyed by schema identity (`Arc::ptr_eq`) —
 //!   interning makes pointer equality a sound schema-equality check;
 //! * [`TupleBatch`] groups same-destination tuples for a single overlay
-//!   transfer and charges the self-describing schema bytes once per
-//!   (batch, schema) in its [`WireSize`], matching what a length-prefixed
-//!   dictionary encoding would put on the wire.
+//!   transfer and stores them **columnar**: consecutive same-schema tuples
+//!   form a [`ColumnChunk`] holding one `Vec<Value>` per column, so
+//!   batch-at-a-time operators scan a column contiguously and the wire
+//!   accounting charges each self-describing schema once per chunk.  A
+//!   batch of interleaved schemas degrades gracefully — every schema run
+//!   becomes its own chunk, the row-major escape hatch for mixed-schema
+//!   paths.
 //!
 //! `Tuple::wire_size` still charges the full self-describing cost (schema +
 //! values), exactly as in the paper, so unbatched transfers are accounted
 //! honestly.
+//!
+//! **Invariants.** Schemas are immutable once interned and the registry only
+//! ever grows (eviction is a ROADMAP item); `Arc::ptr_eq` on schemas is
+//! therefore equivalent to deep equality for the lifetime of the process.
+//! A `Tuple`'s value slice is parallel to its schema's columns (same arity),
+//! and a `ColumnChunk`'s column vectors are parallel to its schema's columns
+//! and all of equal length.
 
 use crate::value::Value;
 use pier_runtime::WireSize;
@@ -194,11 +208,12 @@ impl SchemaRegistry {
 }
 
 /// A self-describing relational tuple: an interned schema plus the values,
-/// parallel to the schema's columns.
+/// parallel to the schema's columns.  Both halves are `Arc`s, so `clone` is
+/// two reference-count bumps and no allocation.
 #[derive(Debug, Clone)]
 pub struct Tuple {
     schema: Arc<Schema>,
-    values: Vec<Value>,
+    values: Arc<[Value]>,
 }
 
 impl Tuple {
@@ -212,7 +227,7 @@ impl Tuple {
         }
         Tuple {
             schema: SchemaRegistry::global().intern(table.as_ref(), &names),
-            values,
+            values: values.into(),
         }
     }
 
@@ -221,7 +236,10 @@ impl Tuple {
     /// output shape).  Panics in debug builds when the arity mismatches.
     pub fn from_schema(schema: Arc<Schema>, values: Vec<Value>) -> Self {
         debug_assert_eq!(schema.arity(), values.len(), "schema/value arity mismatch");
-        Tuple { schema, values }
+        Tuple {
+            schema,
+            values: values.into(),
+        }
     }
 
     /// Create a tuple from owned column names and parallel values, interning
@@ -230,7 +248,7 @@ impl Tuple {
         debug_assert_eq!(columns.len(), values.len(), "column/value arity mismatch");
         Tuple {
             schema: SchemaRegistry::global().intern_owned(table.into(), columns),
-            values,
+            values: values.into(),
         }
     }
 
@@ -238,7 +256,7 @@ impl Tuple {
     pub fn empty(table: impl AsRef<str>) -> Self {
         Tuple {
             schema: SchemaRegistry::global().intern(table.as_ref(), &[]),
-            values: Vec::new(),
+            values: Vec::new().into(),
         }
     }
 
@@ -262,15 +280,18 @@ impl Tuple {
         &self.values
     }
 
-    /// Append a column.  Re-interns the extended shape; building a tuple of
-    /// known shape with [`Tuple::from_schema`]/[`Tuple::from_parts`] is
-    /// cheaper on hot paths.
+    /// Append a column.  Re-interns the extended shape and rebuilds the
+    /// shared value slice; building a tuple of known shape with
+    /// [`Tuple::from_schema`]/[`Tuple::from_parts`] is cheaper on hot paths.
     pub fn push(&mut self, column: impl AsRef<str>, value: Value) {
         let mut names: Vec<&str> = Vec::with_capacity(self.schema.columns.len() + 1);
         names.extend(self.schema.columns.iter().map(String::as_str));
         names.push(column.as_ref());
         self.schema = SchemaRegistry::global().intern(&self.schema.table, &names);
-        self.values.push(value);
+        let mut values: Vec<Value> = Vec::with_capacity(self.values.len() + 1);
+        values.extend(self.values.iter().cloned());
+        values.push(value);
+        self.values = values.into();
     }
 
     /// Number of columns.
@@ -322,11 +343,14 @@ impl Tuple {
     pub fn project(&self, columns: &[String]) -> Tuple {
         let names: Vec<&str> = columns.iter().map(String::as_str).collect();
         let schema = SchemaRegistry::global().intern(&self.schema.table, &names);
-        let values = columns
+        let values: Vec<Value> = columns
             .iter()
             .map(|c| self.get(c).cloned().unwrap_or(Value::Null))
             .collect();
-        Tuple { schema, values }
+        Tuple {
+            schema,
+            values: values.into(),
+        }
     }
 
     /// The schema a [`Tuple::join_with`] of these two schemas produces:
@@ -360,7 +384,10 @@ impl Tuple {
         let mut values = Vec::with_capacity(self.values.len() + other.values.len());
         values.extend(self.values.iter().cloned());
         values.extend(other.values.iter().cloned());
-        Tuple { schema, values }
+        Tuple {
+            schema,
+            values: values.into(),
+        }
     }
 
     /// Rename the tuple's table (e.g. when materialising a partial result
@@ -390,7 +417,7 @@ impl WireSize for Tuple {
 impl std::fmt::Display for Tuple {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}(", self.table())?;
-        for (i, (c, v)) in self.columns().iter().zip(&self.values).enumerate() {
+        for (i, (c, v)) in self.columns().iter().zip(self.values.iter()).enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
@@ -400,57 +427,195 @@ impl std::fmt::Display for Tuple {
     }
 }
 
+/// A run of same-schema tuples stored column-wise: one `Vec<Value>` per
+/// column, all of equal length.  Batch-at-a-time operators resolve their
+/// columns against [`ColumnChunk::schema`] once and then scan the relevant
+/// [`ColumnChunk::column`]s contiguously — no per-row schema dispatch, no
+/// per-row name lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnChunk {
+    schema: Arc<Schema>,
+    /// `columns[c][r]` is the value of column `c` in row `r`; the outer
+    /// vector is parallel to `schema.columns()`.
+    columns: Vec<Vec<Value>>,
+    rows: usize,
+}
+
+impl ColumnChunk {
+    fn with_capacity(schema: Arc<Schema>, capacity: usize) -> Self {
+        let columns = (0..schema.arity())
+            .map(|_| Vec::with_capacity(capacity))
+            .collect();
+        ColumnChunk {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    fn push_row(&mut self, tuple: &Tuple) {
+        debug_assert!(Arc::ptr_eq(&self.schema, tuple.schema()));
+        for (col, v) in self.columns.iter_mut().zip(tuple.values()) {
+            col.push(v.clone());
+        }
+        self.rows += 1;
+    }
+
+    /// The shared schema of every row in this chunk.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// One column's values, contiguous across the chunk's rows.
+    pub fn column(&self, idx: usize) -> &[Value] {
+        &self.columns[idx]
+    }
+
+    /// Materialise row `r` as a [`Tuple`] (one slice allocation; the values
+    /// themselves are shared).
+    pub fn row(&self, r: usize) -> Tuple {
+        let values: Vec<Value> = self.columns.iter().map(|c| c[r].clone()).collect();
+        Tuple::from_schema(Arc::clone(&self.schema), values)
+    }
+
+    /// Canonical key string for row `r` over pre-resolved column indices —
+    /// the chunk-level counterpart of [`Tuple::key_at`].
+    pub fn key_at(&self, indices: &[usize], r: usize) -> String {
+        let mut out = String::with_capacity(12 * indices.len());
+        for (i, &idx) in indices.iter().enumerate() {
+            if i > 0 {
+                out.push('|');
+            }
+            self.columns[idx][r].write_key(&mut out);
+        }
+        out
+    }
+
+    /// Iterate the chunk's rows as materialised tuples.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Tuple> + '_ {
+        (0..self.rows).map(|r| self.row(r))
+    }
+}
+
+impl ColumnChunk {
+    /// Wire bytes of the chunk body: a 2-byte schema reference, a 4-byte
+    /// row count, and per column a 4-byte length prefix plus the values
+    /// (each value carries its own type tag).  No per-row framing — that is
+    /// the wire saving of the columnar layout over row-major batching.  The
+    /// self-describing schema header itself is charged by the containing
+    /// batch, once per *distinct* schema (chunks of an interleaved batch
+    /// share one dictionary entry).
+    fn body_wire_size(&self) -> usize {
+        2 + 4
+            + self
+                .columns
+                .iter()
+                .map(|c| 4 + c.iter().map(WireSize::wire_size).sum::<usize>())
+                .sum::<usize>()
+    }
+}
+
+impl WireSize for ColumnChunk {
+    fn wire_size(&self) -> usize {
+        // A chunk on its own carries its schema header plus the body.
+        self.schema.wire_size() + self.body_wire_size()
+    }
+}
+
 /// A batch of tuples coalesced for one overlay transfer (the unit the
-/// executor's rehash/exchange and partial-aggregate paths ship since the
-/// batching change; see `pier_dht::DhtMessage::PutBatch` for the
-/// per-destination grouping).  Tuples stay individually addressable — the
-/// receiving node unpacks the batch back into per-tuple dataflow.
+/// executor's rehash/exchange and partial-aggregate paths ship; see
+/// `pier_dht::DhtMessage::PutBatch` for the per-destination grouping).
+///
+/// Internally the batch is **columnar**: consecutive same-schema tuples are
+/// grouped into [`ColumnChunk`]s.  A single-schema batch — the common case,
+/// since batches are keyed by destination namespace — is exactly one chunk;
+/// a pathologically interleaved mixed-schema batch degrades to one chunk per
+/// row, which is the row-major layout (the escape hatch costs nothing
+/// extra).  Row order is preserved across the columnar round-trip:
+/// `TupleBatch::new(rows).into_tuples() == rows`, which the property tests
+/// pin bit-for-bit.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TupleBatch {
-    tuples: Vec<Tuple>,
+    chunks: Vec<ColumnChunk>,
+    len: usize,
 }
 
 impl TupleBatch {
-    /// Wrap a set of tuples headed for the same destination.
+    /// Wrap a set of tuples headed for the same destination, grouping
+    /// consecutive same-schema runs into columnar chunks.
     pub fn new(tuples: Vec<Tuple>) -> Self {
-        TupleBatch { tuples }
+        let len = tuples.len();
+        let mut chunks: Vec<ColumnChunk> = Vec::new();
+        let mut i = 0;
+        while i < len {
+            // Measure the same-schema run first (pointer compares), so each
+            // chunk's column vectors are allocated at exactly the run
+            // length — an interleaved mixed-schema batch costs one exact
+            // allocation per column per run, never `len`-sized reserves.
+            let schema = tuples[i].schema();
+            let mut end = i + 1;
+            while end < len && Arc::ptr_eq(tuples[end].schema(), schema) {
+                end += 1;
+            }
+            let mut chunk = ColumnChunk::with_capacity(Arc::clone(schema), end - i);
+            for t in &tuples[i..end] {
+                chunk.push_row(t);
+            }
+            chunks.push(chunk);
+            i = end;
+        }
+        TupleBatch { chunks, len }
     }
 
-    /// The batched tuples.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    /// The columnar chunks, in row order.
+    pub fn chunks(&self) -> &[ColumnChunk] {
+        &self.chunks
     }
 
-    /// Consume the batch.
+    /// Iterate the batched tuples in their original order (rows are
+    /// materialised on the fly; the values are shared, not copied).
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.chunks.iter().flat_map(ColumnChunk::iter_rows)
+    }
+
+    /// Consume the batch back into row-major tuples.
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        let mut out = Vec::with_capacity(self.len);
+        out.extend(self.iter());
+        out
     }
 
     /// Number of tuples in the batch.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        self.len
     }
 
     /// True when the batch holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len == 0
     }
 }
 
 impl WireSize for TupleBatch {
     fn wire_size(&self) -> usize {
-        // Dictionary encoding: each distinct schema's self-describing header
-        // is charged once per batch; every tuple then pays a 2-byte schema
-        // reference plus its values (+ the usual per-tuple overhead).
+        // 4-byte chunk count plus the columnar chunk bodies, with every
+        // *distinct* schema's self-describing header charged once per batch
+        // (a shared dictionary, so interleaved-schema batches do not pay
+        // the header once per run).
         let mut seen: Vec<*const Schema> = Vec::new();
         let mut size = 4;
-        for t in &self.tuples {
-            let ptr = Arc::as_ptr(&t.schema);
+        for chunk in &self.chunks {
+            let ptr = Arc::as_ptr(&chunk.schema);
             if !seen.contains(&ptr) {
                 seen.push(ptr);
-                size += t.schema.wire_size();
+                size += chunk.schema.wire_size();
             }
-            size += 2 + t.values.iter().map(WireSize::wire_size).sum::<usize>() + 8;
+            size += chunk.body_wire_size();
         }
         size
     }
@@ -484,38 +649,41 @@ impl ColumnResolver {
         &self.columns
     }
 
-    fn ensure(&mut self, tuple: &Tuple) {
+    fn ensure(&mut self, schema: &Arc<Schema>) {
         if self
             .cached_schema
             .as_ref()
-            .is_some_and(|s| Arc::ptr_eq(s, tuple.schema()))
+            .is_some_and(|s| Arc::ptr_eq(s, schema))
         {
             return;
         }
-        self.cached = self
-            .columns
-            .iter()
-            .map(|c| tuple.schema().position(c))
-            .collect();
-        self.cached_schema = Some(Arc::clone(tuple.schema()));
+        self.cached = self.columns.iter().map(|c| schema.position(c)).collect();
+        self.cached_schema = Some(Arc::clone(schema));
+    }
+
+    /// The indices of the columns in `schema`; `None` when any is missing
+    /// (discard the data).  The chunk-level entry point of the resolver —
+    /// batch operators call this once per [`ColumnChunk`].
+    pub fn indices_for(&mut self, schema: &Arc<Schema>) -> Option<&[usize]> {
+        self.ensure(schema);
+        self.cached.as_deref()
     }
 
     /// The indices of the columns in `tuple`'s schema; `None` when any is
     /// missing (discard the tuple).
     pub fn indices(&mut self, tuple: &Tuple) -> Option<&[usize]> {
-        self.ensure(tuple);
-        self.cached.as_deref()
+        self.indices_for(tuple.schema())
     }
 
     /// Canonical partition/group key over the resolved columns.
     pub fn key(&mut self, tuple: &Tuple) -> Option<String> {
-        self.ensure(tuple);
+        self.ensure(tuple.schema());
         Some(tuple.key_at(self.cached.as_deref()?))
     }
 
     /// Cloned values of the resolved columns, in column-list order.
     pub fn values(&mut self, tuple: &Tuple) -> Option<Vec<Value>> {
-        self.ensure(tuple);
+        self.ensure(tuple.schema());
         let idxs = self.cached.as_deref()?;
         Some(idxs.iter().map(|&i| tuple.values()[i].clone()).collect())
     }
@@ -545,17 +713,23 @@ impl ColumnRef {
         &self.column
     }
 
-    /// The column's value in `tuple`, if present.
-    pub fn get<'t>(&mut self, tuple: &'t Tuple) -> Option<&'t Value> {
+    /// The column's index in `schema`, if present — the chunk-level entry
+    /// point (batch operators call this once per [`ColumnChunk`]).
+    pub fn index_for(&mut self, schema: &Arc<Schema>) -> Option<usize> {
         if !self
             .cached_schema
             .as_ref()
-            .is_some_and(|s| Arc::ptr_eq(s, tuple.schema()))
+            .is_some_and(|s| Arc::ptr_eq(s, schema))
         {
-            self.cached = tuple.schema().position(&self.column);
-            self.cached_schema = Some(Arc::clone(tuple.schema()));
+            self.cached = schema.position(&self.column);
+            self.cached_schema = Some(Arc::clone(schema));
         }
-        self.cached.map(|i| &tuple.values()[i])
+        self.cached
+    }
+
+    /// The column's value in `tuple`, if present.
+    pub fn get<'t>(&mut self, tuple: &'t Tuple) -> Option<&'t Value> {
+        self.index_for(tuple.schema()).map(|i| &tuple.values()[i])
     }
 }
 
@@ -598,6 +772,14 @@ mod tests {
         let mut e = b.clone();
         e.push("extra", Value::Int(2));
         assert!(Arc::ptr_eq(d.schema(), e.schema()));
+    }
+
+    #[test]
+    fn clone_shares_schema_and_values() {
+        let a = t();
+        let b = a.clone();
+        assert!(Arc::ptr_eq(a.schema(), b.schema()));
+        assert!(std::ptr::eq(a.values().as_ptr(), b.values().as_ptr()));
     }
 
     #[test]
@@ -690,10 +872,46 @@ mod tests {
         assert!(tup.wire_size() > 30);
         let bigger = {
             let mut b = tup.clone();
-            b.push("payload", Value::Bytes(vec![0; 500]));
+            b.push("payload", Value::bytes(vec![0u8; 500]));
             b
         };
         assert!(bigger.wire_size() > tup.wire_size() + 500);
+    }
+
+    #[test]
+    fn single_schema_batch_is_one_columnar_chunk() {
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| {
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{i}").into())),
+                        ("port", Value::Int(i)),
+                    ],
+                )
+            })
+            .collect();
+        let batch = TupleBatch::new(tuples.clone());
+        assert_eq!(batch.chunks().len(), 1);
+        let chunk = &batch.chunks()[0];
+        assert_eq!(chunk.rows(), 10);
+        assert_eq!(
+            chunk.column(1),
+            &(0..10).map(Value::Int).collect::<Vec<_>>()
+        );
+        // Round trip preserves order and content.
+        assert_eq!(batch.clone().into_tuples(), tuples);
+    }
+
+    #[test]
+    fn mixed_schema_batch_degrades_to_per_run_chunks() {
+        let a = Tuple::new("r", vec![("x", Value::Int(1))]);
+        let b = Tuple::new("s", vec![("y", Value::Int(2))]);
+        let rows = vec![a.clone(), a.clone(), b.clone(), a.clone()];
+        let batch = TupleBatch::new(rows.clone());
+        assert_eq!(batch.chunks().len(), 3, "runs of [a,a], [b], [a]");
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.into_tuples(), rows);
     }
 
     #[test]
@@ -703,7 +921,7 @@ mod tests {
                 Tuple::new(
                     "events",
                     vec![
-                        ("src", Value::Str(format!("10.0.0.{i}"))),
+                        ("src", Value::Str(format!("10.0.0.{i}").into())),
                         ("port", Value::Int(i)),
                     ],
                 )
@@ -719,11 +937,56 @@ mod tests {
             batch.wire_size(),
             unbatched
         );
-        // The saving is the schema header repeated 9 extra times, minus the
-        // per-tuple schema references and the batch count.
+        // The saving is at least the schema header repeated 9 extra times
+        // minus the chunk framing (the columnar layout additionally drops
+        // the per-row overhead).
         let schema_bytes = tuples[0].schema().wire_size();
         assert!(batch.wire_size() <= unbatched - 9 * schema_bytes + 4 + 2 * 10);
-        assert_eq!(batch.tuples().len(), batch.clone().into_tuples().len());
+        assert_eq!(batch.iter().count(), batch.clone().into_tuples().len());
+    }
+
+    #[test]
+    fn interleaved_batch_charges_each_distinct_schema_once() {
+        let a = Tuple::new("r", vec![("x", Value::Int(1))]);
+        let b = Tuple::new("s", vec![("y", Value::Int(2))]);
+        // 16 alternating rows: 16 runs but only 2 distinct schemas — the
+        // wire dictionary must charge 2 headers, not 16.
+        let rows: Vec<Tuple> = (0..16)
+            .map(|i| if i % 2 == 0 { a.clone() } else { b.clone() })
+            .collect();
+        let batch = TupleBatch::new(rows.clone());
+        assert_eq!(batch.chunks().len(), 16);
+        let unbatched: usize = rows.iter().map(WireSize::wire_size).sum();
+        assert!(
+            batch.wire_size() < unbatched,
+            "interleaved batch {} must still undercut {} unbatched bytes",
+            batch.wire_size(),
+            unbatched
+        );
+        let schema_bytes = a.schema().wire_size() + b.schema().wire_size();
+        // Headers beyond the two dictionary entries would blow this bound.
+        assert!(batch.wire_size() < schema_bytes + unbatched - 7 * schema_bytes / 2);
+    }
+
+    #[test]
+    fn chunk_key_at_matches_tuple_key_at() {
+        let tuples: Vec<Tuple> = (0..5)
+            .map(|i| {
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{i}").into())),
+                        ("port", Value::Int(i)),
+                    ],
+                )
+            })
+            .collect();
+        let batch = TupleBatch::new(tuples.clone());
+        let chunk = &batch.chunks()[0];
+        let indices = [1usize, 0usize];
+        for (r, t) in tuples.iter().enumerate() {
+            assert_eq!(chunk.key_at(&indices, r), t.key_at(&indices));
+        }
     }
 
     #[test]

@@ -7,9 +7,19 @@
 //! (§3.3.4, "Malformed Tuples").  The original system used Java objects as
 //! its type system; here a closed enum covers the types the paper's
 //! applications use.
+//!
+//! **Zero-copy representation.**  Strings and byte payloads are held behind
+//! `Arc<str>` / `Arc<[u8]>`, so [`Value::clone`](Clone) is a reference-count
+//! bump for every variant — no heap traffic.  Combined with the interned
+//! schemas of [`crate::tuple`] and tuples storing their values as
+//! `Arc<[Value]>`, cloning a tuple (which the dataflow does constantly:
+//! fan-out to multiple opgraphs, join-state insertion, batch slicing) is
+//! allocation-free end to end.  The `Arc`s are plain `std` shared pointers —
+//! the wire format is unaffected; only the in-memory representation shares.
 
 use pier_runtime::WireSize;
 use std::cmp::Ordering;
+use std::sync::Arc;
 
 /// A single column value.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,13 +32,23 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
-    /// Opaque bytes (packet payloads, file digests, …).
-    Bytes(Vec<u8>),
+    /// UTF-8 string (shared; cloning bumps a reference count).
+    Str(Arc<str>),
+    /// Opaque bytes (packet payloads, file digests, …; shared on clone).
+    Bytes(Arc<[u8]>),
 }
 
 impl Value {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a bytes value from a byte slice.
+    pub fn bytes(b: impl AsRef<[u8]>) -> Value {
+        Value::Bytes(Arc::from(b.as_ref()))
+    }
+
     /// Short type name, used in error messages and tests.
     pub fn type_name(&self) -> &'static str {
         match self {
@@ -112,7 +132,7 @@ impl Value {
             }
             Value::Bytes(b) => {
                 out.push_str("x:");
-                for byte in b {
+                for byte in b.iter() {
                     let _ = write!(out, "{byte:02x}");
                 }
             }
@@ -179,12 +199,27 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+impl From<Arc<str>> for Value {
+    fn from(v: Arc<str>) -> Self {
         Value::Str(v)
+    }
+}
+impl From<Vec<u8>> for Value {
+    fn from(v: Vec<u8>) -> Self {
+        Value::Bytes(Arc::from(v))
+    }
+}
+impl From<&[u8]> for Value {
+    fn from(v: &[u8]) -> Self {
+        Value::Bytes(Arc::from(v))
     }
 }
 
@@ -220,7 +255,7 @@ mod tests {
         );
         assert_ne!(Value::Int(1).key_string(), Value::Int(2).key_string());
         assert_eq!(Value::Int(7).key_string(), Value::Int(7).key_string());
-        assert_eq!(Value::Bytes(vec![0xab]).key_string(), "x:ab");
+        assert_eq!(Value::bytes([0xab]).key_string(), "x:ab");
     }
 
     #[test]
@@ -240,9 +275,25 @@ mod tests {
     }
 
     #[test]
+    fn clones_share_the_heap_allocation() {
+        let s = Value::str("a long enough string to definitely heap-allocate");
+        let s2 = s.clone();
+        match (&s, &s2) {
+            (Value::Str(a), Value::Str(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+        let b = Value::bytes([1u8, 2, 3, 4]);
+        let b2 = b.clone();
+        match (&b, &b2) {
+            (Value::Bytes(a), Value::Bytes(c)) => assert!(Arc::ptr_eq(a, c)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
     fn display_formats() {
         assert_eq!(Value::Int(42).to_string(), "42");
         assert_eq!(Value::Null.to_string(), "NULL");
-        assert_eq!(Value::Bytes(vec![1, 2, 3]).to_string(), "<3 bytes>");
+        assert_eq!(Value::bytes([1, 2, 3]).to_string(), "<3 bytes>");
     }
 }

@@ -25,6 +25,27 @@
 //! `AggState` partial aggregates in) so the same windowing engine can back
 //! other workloads.  Only `pier-runtime` types (durations, wire sizing) are
 //! used.
+//!
+//! ## Invariants
+//!
+//! * **Soft-state leases**: a standing query exists at a node only while
+//!   its [`Lease`] is live; leases extend solely through re-dissemination
+//!   by the query's owner ([`lifecycle`]).  An owner that stops renewing —
+//!   or a node partitioned away from it — lets the lease lapse, and the
+//!   node uninstalls the query unilaterally.  There is no teardown
+//!   protocol; forgetting *is* the protocol.
+//! * **Order-insensitive merging**: window accumulators
+//!   ([`WindowAccumulator::merge`]) must be commutative and associative so
+//!   partials combining along arbitrary overlay routes (and re-ordered by
+//!   churn) converge to the same per-window result (property-tested).
+//! * **Bounded state**: a [`WindowStore`] never exceeds its [`CqBudget`] —
+//!   over-budget pushes shed load and expired windows are evicted, so a
+//!   node's CQ footprint is bounded regardless of stream rate or window
+//!   count.
+//! * **Refinement, not finality**: window emission is *retained and
+//!   refined* — late partials keep merging into already-emitted windows and
+//!   re-emit (as fresh snapshots or insert/retract [`Delta`]s) until the
+//!   retention horizon retires the window.
 
 pub mod delta;
 pub mod lifecycle;

@@ -20,6 +20,29 @@
 //! The query processor (`pier-core`) reuses this overlay aggressively — for
 //! query dissemination, hash indexes, range-index substrate, partitioned
 //! parallelism, operator state and hierarchical operators (§3.3.6).
+//!
+//! ## Invariants
+//!
+//! * **Soft state only** (§3.2.3): every stored object carries a lifetime
+//!   capped by the node's maximum; expiry is garbage collection, renewal
+//!   ([`Overlay::renew`]) fails once an object has lapsed, and no deletion
+//!   protocol exists — publishers that want persistence must re-put or
+//!   renew before expiry.
+//! * **Names route**: an object's routing identifier is derived from
+//!   (namespace, key) alone ([`routing_id`]); the random suffix only
+//!   distinguishes objects sharing a partition, so all suffixes of a
+//!   (namespace, key) land on — and are fetched from — one responsible
+//!   node (modulo churn-induced handoff windows).
+//! * **Batching never changes semantics**: [`DhtMessage::PutBatch`] /
+//!   [`Overlay::put_batch`] coalesce message *framing* only — every entry
+//!   keeps its own name, payload and lifetime, and the receiver stores
+//!   entries exactly as it would separate `PutRequest`s.  The framing is
+//!   dictionary-encoded (each distinct namespace charged once per batch),
+//!   mirroring the columnar `TupleBatch` payload above it.
+//! * **Upcalls may consume**: a `send` travelling hop-by-hop offers every
+//!   intermediate node an upcall (§3.2.4); the node either forwards the
+//!   (possibly transformed) object or absorbs it — the mechanism
+//!   hierarchical aggregation and window-partial combining are built on.
 
 pub mod id;
 pub mod messages;

@@ -12,9 +12,11 @@
 //! keeps its own name, payload and soft-state lifetime, and the receiver
 //! stores them exactly as it would separate `PutRequest`s — it only removes
 //! the per-object message framing, which dominates the cost of the query
-//! processor's rehash/exchange hot path.  The payload-level counterpart is
-//! `pier_core`'s `TupleBatch`, whose wire size charges each self-describing
-//! schema once per batch instead of once per tuple (§3.3.1's "no catalog"
+//! processor's rehash/exchange hot path.  The batch framing is
+//! dictionary-encoded: each distinct namespace string is charged once per
+//! message, mirroring the payload-level counterpart — `pier_core`'s
+//! columnar `TupleBatch`, whose wire size charges each self-describing
+//! schema once per chunk instead of once per tuple (§3.3.1's "no catalog"
 //! requirement constrains what travels between trust domains, not how often
 //! identical column names must be repeated within a single transfer).
 
@@ -152,10 +154,27 @@ impl<V: WireSize> WireSize for DhtMessage<V> {
                 1 + name.wire_size() + value.wire_size() + 8
             }
             DhtMessage::PutBatch { entries } => {
+                // Dictionary-encoded framing, matching the columnar payload
+                // layout of `pier_core`'s `TupleBatch`: each distinct
+                // namespace string is charged once per batch, every entry
+                // then pays a 2-byte namespace reference plus its key,
+                // suffix, lifetime and payload.  Entries of one batch almost
+                // always share a namespace (they come from one rehash or
+                // partial-aggregate flush), so the repeated self-describing
+                // header collapses exactly like a chunk's schema does.
+                let mut namespaces: Vec<&str> = Vec::new();
                 1 + 4
                     + entries
                         .iter()
-                        .map(|(name, value, _)| name.wire_size() + value.wire_size() + 8)
+                        .map(|(name, value, _)| {
+                            let ns = if namespaces.contains(&name.namespace.as_str()) {
+                                0
+                            } else {
+                                namespaces.push(&name.namespace);
+                                name.namespace.wire_size()
+                            };
+                            ns + 2 + name.key.wire_size() + 8 + value.wire_size() + 8
+                        })
                         .sum::<usize>()
             }
             DhtMessage::RenewRequest { name, .. } => 1 + name.wire_size() + 8 + 6 + 8,
@@ -186,6 +205,39 @@ mod tests {
             payload: "x".repeat(1000),
         };
         assert!(big.wire_size() > small.wire_size() + 900);
+    }
+
+    #[test]
+    fn put_batch_framing_charges_each_namespace_once() {
+        let entries: Vec<(ObjectName, u64, u64)> = (0..16)
+            .map(|i| {
+                (
+                    ObjectName::new("shared.namespace", format!("k{i}"), i),
+                    i,
+                    60,
+                )
+            })
+            .collect();
+        let separate: usize = entries
+            .iter()
+            .map(|(name, value, _)| {
+                DhtMessage::PutRequest {
+                    name: name.clone(),
+                    value: *value,
+                    lifetime: 60,
+                }
+                .wire_size()
+            })
+            .sum();
+        let batched = DhtMessage::PutBatch { entries }.wire_size();
+        assert!(
+            batched < separate,
+            "batched framing {batched} must undercut {separate} separate puts"
+        );
+        // The saving is at least 15 repetitions of the namespace string
+        // minus the per-entry 2-byte references and batch overhead.
+        let ns_bytes = "shared.namespace".wire_size();
+        assert!(batched <= separate - 15 * ns_bytes + 4 + 2 * 16);
     }
 
     #[test]

@@ -1032,6 +1032,24 @@ mod tests {
             .sum();
         assert_eq!(stored, b_keys.len());
         assert_eq!(a.objects().len() + b.objects().len(), total);
+        // The coalesced transfer's dictionary framing undercuts the bytes
+        // the same entries would cost as separate PutRequests (the shared
+        // namespace travels once).
+        let separate: usize = match &msgs[0].1 {
+            DhtMessage::PutBatch { entries } => entries
+                .iter()
+                .map(|(name, value, lifetime)| {
+                    DhtMessage::PutRequest {
+                        name: name.clone(),
+                        value: value.clone(),
+                        lifetime: *lifetime,
+                    }
+                    .wire_size()
+                })
+                .sum(),
+            other => panic!("unexpected {other:?}"),
+        };
+        assert!(msgs[0].1.wire_size() < separate);
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn workload(tuples: usize, seed: u64) -> Vec<Tuple> {
             Tuple::new(
                 "flows",
                 vec![
-                    ("proto", Value::Str(proto.to_string())),
+                    ("proto", Value::str(proto)),
                     ("port", Value::Int(port)),
                     ("bytes", Value::Int(bytes)),
                 ],

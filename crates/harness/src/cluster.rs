@@ -288,10 +288,7 @@ mod tests {
         {
             let tuple = Tuple::new(
                 "files",
-                vec![
-                    ("keyword", Value::Str(kw.to_string())),
-                    ("file", Value::Str(file.to_string())),
-                ],
+                vec![("keyword", Value::str(kw)), ("file", Value::str(file))],
             );
             let from = cluster.addr(i % cluster.len());
             cluster.publish(from, "files", &key_cols, tuple);
@@ -329,8 +326,8 @@ mod tests {
             let tuple = Tuple::new(
                 "files",
                 vec![
-                    ("keyword", Value::Str("obscure".to_string())),
-                    ("file", Value::Str(format!("rare-{i}.ogg"))),
+                    ("keyword", Value::str("obscure")),
+                    ("file", Value::Str(format!("rare-{i}.ogg").into())),
                 ],
             );
             let from = cluster.addr(i % cluster.len());
@@ -371,10 +368,7 @@ mod tests {
                 *expected.entry(src).or_default() += 1;
                 let tuple = Tuple::new(
                     "events",
-                    vec![
-                        ("src", Value::Str(src.to_string())),
-                        ("port", Value::Int(j as i64)),
-                    ],
+                    vec![("src", Value::str(src)), ("port", Value::Int(j as i64))],
                 );
                 let addr = cluster.addr(i);
                 cluster.add_local_row(addr, "events", tuple);

@@ -212,7 +212,7 @@ pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
                 let tuple = Tuple::new(
                     "packets",
                     vec![
-                        ("src", Value::Str(src)),
+                        ("src", Value::Str(src.into())),
                         ("ts", Value::Int(now as i64)),
                         ("port", Value::Int([22, 80, 443, 445][rng.index(4)])),
                     ],

@@ -57,7 +57,7 @@ pub fn fig1_filesharing(nodes: usize, files: usize, queries: usize, seed: u64) -
         let plan = PlanBuilder::new(proxy)
             .dissemination(Dissemination::ByKey {
                 namespace: "files".into(),
-                key: Value::Str(keyword.clone()).key_string(),
+                key: Value::str(keyword).key_string(),
             })
             .timeout(15_000_000)
             .opgraph(OpGraph {

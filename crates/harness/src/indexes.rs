@@ -64,7 +64,7 @@ pub fn range_dissemination(
             let tuple = Tuple::new(
                 "readings",
                 vec![
-                    ("sensor", Value::Str(format!("sensor-{i}"))),
+                    ("sensor", Value::Str(format!("sensor-{i}").into())),
                     ("temp", Value::Int(temp)),
                 ],
             );
@@ -153,8 +153,8 @@ pub fn secondary_index_lookup(
             let tuple = Tuple::new(
                 "files",
                 vec![
-                    ("file", Value::Str(format!("file-{i}.dat"))),
-                    ("keyword", Value::Str(keyword)),
+                    ("file", Value::Str(format!("file-{i}.dat").into())),
+                    ("keyword", Value::Str(keyword.into())),
                     ("size", Value::Int((i as i64 % 900) + 100)),
                 ],
             );

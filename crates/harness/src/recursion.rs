@@ -79,10 +79,7 @@ pub fn distributed_reachability(
     for (i, (src, dst)) in edges.iter().enumerate() {
         let tuple = Tuple::new(
             "links",
-            vec![
-                ("src", Value::Str(src.clone())),
-                ("dst", Value::Str(dst.clone())),
-            ],
+            vec![("src", Value::str(src)), ("dst", Value::str(dst))],
         );
         reference.add_edge(src.clone(), dst.clone());
         let from = cluster.addr(i % cluster.len());
@@ -105,7 +102,7 @@ pub fn distributed_reachability(
                 &frontier_table,
                 Tuple::new(
                     frontier_table.as_str(),
-                    vec![("node", Value::Str(node_name.clone()))],
+                    vec![("node", Value::str(node_name))],
                 ),
             );
         }

@@ -69,10 +69,7 @@ impl FilesharingWorkload {
     pub fn tuple(keyword: &str, file: &str) -> Tuple {
         Tuple::new(
             "files",
-            vec![
-                ("keyword", Value::Str(keyword.to_string())),
-                ("file", Value::Str(file.to_string())),
-            ],
+            vec![("keyword", Value::str(keyword)), ("file", Value::str(file))],
         )
     }
 }
@@ -117,7 +114,7 @@ impl FirewallWorkload {
         Tuple::new(
             "events",
             vec![
-                ("src", Value::Str(src.to_string())),
+                ("src", Value::str(src)),
                 ("port", Value::Int(port)),
                 ("blocked", Value::Bool(true)),
             ],

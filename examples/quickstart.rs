@@ -26,10 +26,7 @@ fn main() {
     for (i, (keyword, file)) in corpus.iter().enumerate() {
         let tuple = Tuple::new(
             "files",
-            vec![
-                ("keyword", Value::Str(keyword.to_string())),
-                ("file", Value::Str(file.to_string())),
-            ],
+            vec![("keyword", Value::str(keyword)), ("file", Value::str(file))],
         );
         let publisher = cluster.addr(i % cluster.len());
         cluster.publish(publisher, "files", &key_cols, tuple);

@@ -30,7 +30,7 @@ fn main() {
         let tuple = Tuple::new(
             "readings",
             vec![
-                ("sensor", Value::Str(format!("sensor-{i}"))),
+                ("sensor", Value::Str(format!("sensor-{i}").into())),
                 ("temp", Value::Int(temp)),
             ],
         );

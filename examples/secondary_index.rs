@@ -32,8 +32,8 @@ fn main() {
         let tuple = Tuple::new(
             "files",
             vec![
-                ("file", Value::Str(format!("track-{i:03}.flac"))),
-                ("keyword", Value::Str(keyword.to_string())),
+                ("file", Value::Str(format!("track-{i:03}.flac").into())),
+                ("keyword", Value::str(keyword)),
                 ("size", Value::Int(3_000 + (i as i64 * 37) % 40_000)),
             ],
         );

@@ -35,7 +35,7 @@ fn run_netmon_snapshot(batching: bool) -> (Vec<String>, u64, u64) {
                 Tuple::new(
                     "events",
                     vec![
-                        ("src", Value::Str(src)),
+                        ("src", Value::Str(src.into())),
                         ("port", Value::Int((i * 24 + j) as i64)),
                     ],
                 ),
@@ -203,4 +203,139 @@ fn continuous_netmon_batching_preserves_results_with_less_traffic() {
         run_continuous(false),
         run_continuous(true),
     );
+}
+
+/// The netmon event stream used by the operator-level equivalence test.
+fn netmon_stream(n: i64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::new(
+                "events",
+                vec![
+                    ("src", Value::Str(format!("10.0.0.{}", i % 9).into())),
+                    ("port", Value::Int(i % 1024)),
+                    ("len", Value::Int(40 + (i * 37) % 1400)),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// The batch-at-a-time operator path (`Pipeline::push_batch`, columnar
+/// chunks) must yield exactly the result multisets of per-tuple dispatch on
+/// the netmon workload — filter, project and aggregate alike.
+#[test]
+fn batch_at_a_time_operator_path_matches_per_tuple_dispatch() {
+    use pier::qp::{
+        AggFunc, CmpOp, Expr, GroupBy, LocalOperator, Pipeline, Projection, Selection, TupleBatch,
+    };
+    let rows = netmon_stream(2_000);
+    let mk = || {
+        Pipeline::new(vec![
+            Box::new(Selection::new(Expr::cmp(
+                CmpOp::Lt,
+                Expr::col("port"),
+                Expr::lit(768i64),
+            ))) as Box<dyn LocalOperator + Send>,
+            Box::new(Projection::new(vec!["src".into(), "len".into()])),
+            Box::new(GroupBy::new(
+                vec!["src".into()],
+                vec![AggFunc::Count, AggFunc::Sum("len".into())],
+                "per_src",
+            )),
+        ])
+    };
+    let mut per_tuple = mk();
+    let mut batched = mk();
+    let mut streamed = Vec::new();
+    for t in rows.iter().cloned() {
+        streamed.extend(per_tuple.push(t));
+    }
+    // Feed the same stream as DHT-arrival-sized batches (64, the default
+    // `batch_max_tuples`), as the executor's PutBatch receive path would.
+    let mut batch_out = Vec::new();
+    for window in rows.chunks(64) {
+        batch_out.extend(batched.push_batch(&TupleBatch::new(window.to_vec())));
+    }
+    assert_eq!(multiset(&batch_out), multiset(&streamed));
+    let flushed_batched = batched.flush();
+    assert!(!flushed_batched.is_empty(), "group-by must produce groups");
+    assert_eq!(multiset(&flushed_batched), multiset(&per_tuple.flush()));
+}
+
+/// Chunk-wise probes of the symmetric-hash join (the rehash-join batch
+/// path) produce the same join-result multiset as per-tuple probes, under
+/// interleaved mixed-table arrival batches.
+#[test]
+fn join_chunk_probe_matches_per_tuple_probe_on_netmon_rehash() {
+    use pier::qp::{JoinSide, SymmetricHashJoin, TupleBatch};
+    let flows: Vec<Tuple> = (0..300)
+        .map(|i| {
+            Tuple::new(
+                "flows",
+                vec![
+                    ("src", Value::Str(format!("10.0.0.{}", i % 9).into())),
+                    ("bytes", Value::Int(i * 10)),
+                ],
+            )
+        })
+        .collect();
+    let blocked: Vec<Tuple> = (0..60)
+        .map(|i| {
+            Tuple::new(
+                "blocked",
+                vec![("src", Value::Str(format!("10.0.0.{}", i % 12).into()))],
+            )
+        })
+        .collect();
+    let key = vec!["src".to_string()];
+    let mut per_tuple = SymmetricHashJoin::new(key.clone(), key.clone(), "hits");
+    let mut chunked = SymmetricHashJoin::new(key.clone(), key, "hits");
+    let mut expected = Vec::new();
+    for t in flows.iter().cloned() {
+        expected.extend(per_tuple.push_side(JoinSide::Left, t));
+    }
+    for t in blocked.iter().cloned() {
+        expected.extend(per_tuple.push_side(JoinSide::Right, t));
+    }
+    // Mixed-schema batches: runs of flows and blocked interleave, so the
+    // columnar batch degrades to per-run chunks — the escape hatch path.
+    let mut mixed: Vec<(JoinSide, Tuple)> = Vec::new();
+    for (i, t) in flows.iter().enumerate() {
+        mixed.push((JoinSide::Left, t.clone()));
+        if i % 5 == 0 && i / 5 < blocked.len() {
+            mixed.push((JoinSide::Right, blocked[i / 5].clone()));
+        }
+    }
+    let mut got = Vec::new();
+    for window in mixed.chunks(50) {
+        // Within a window, group contiguous same-side runs as the executor's
+        // per-destination buffers would.
+        let mut run: Vec<Tuple> = Vec::new();
+        let mut run_side = None;
+        for (side, t) in window {
+            match run_side {
+                Some(s) if s == *side => run.push(t.clone()),
+                Some(s) => {
+                    for chunk in TupleBatch::new(std::mem::take(&mut run)).chunks() {
+                        got.extend(chunked.push_chunk(s, chunk));
+                    }
+                    run_side = Some(*side);
+                    run.push(t.clone());
+                }
+                None => {
+                    run_side = Some(*side);
+                    run.push(t.clone());
+                }
+            }
+        }
+        if let Some(s) = run_side {
+            for chunk in TupleBatch::new(run).chunks() {
+                got.extend(chunked.push_chunk(s, chunk));
+            }
+        }
+    }
+    assert_eq!(multiset(&got), multiset(&expected));
+    assert!(!got.is_empty());
+    assert_eq!(chunked.state_size(), per_tuple.state_size());
 }

@@ -15,7 +15,7 @@ fn sql_keyword_search_end_to_end() {
             "files",
             vec![
                 ("keyword", Value::Str(kw.into())),
-                ("file", Value::Str(format!("f{i}"))),
+                ("file", Value::Str(format!("f{i}").into())),
                 ("size", Value::Int(i as i64 * 100)),
             ],
         );
@@ -213,7 +213,7 @@ fn query_survives_minority_node_failures() {
                 "files",
                 vec![
                     ("keyword", Value::Str("survivor".into())),
-                    ("file", Value::Str(format!("f{i}"))),
+                    ("file", Value::Str(format!("f{i}").into())),
                 ],
             ),
         );

@@ -14,7 +14,7 @@ fn reading(i: i64, temp: i64) -> Tuple {
     Tuple::new(
         "readings",
         vec![
-            ("sensor", Value::Str(format!("s{i}"))),
+            ("sensor", Value::Str(format!("s{i}").into())),
             ("temp", Value::Int(temp)),
         ],
     )
@@ -115,8 +115,8 @@ fn secondary_index_semi_join_matches_broadcast_scan() {
         let tuple = Tuple::new(
             "files",
             vec![
-                ("file", Value::Str(format!("f{i}"))),
-                ("keyword", Value::Str(keyword.to_string())),
+                ("file", Value::Str(format!("f{i}").into())),
+                ("keyword", Value::str(keyword)),
             ],
         );
         let from = cluster.addr(i % cluster.len());

@@ -9,7 +9,7 @@ use pier::dht::{ObjectManager, ObjectName};
 use pier::pht::{MemoryStore, Pht};
 use pier::qp::{
     nested_loop_join, AggFunc, BloomFilter, GroupBy, JoinSide, LocalOperator, SymmetricHashJoin,
-    Tuple, Value,
+    Tuple, TupleBatch, Value,
 };
 use proptest::prelude::*;
 
@@ -230,7 +230,7 @@ proptest! {
             .enumerate()
             .map(|(i, &p)| {
                 let v = if vals[i % vals.len()] % 3 == 0 {
-                    Value::Str(format!("s{}", vals[i % vals.len()]))
+                    Value::Str(format!("s{}", vals[i % vals.len()]).into())
                 } else {
                     Value::Int(vals[i % vals.len()])
                 };
@@ -274,6 +274,107 @@ proptest! {
         );
         prop_assert!(std::sync::Arc::ptr_eq(tuple.schema(), again.schema()));
         prop_assert_eq!(&tuple.clone(), &tuple);
+    }
+
+    /// Columnar↔row-major round trip: packing tuples into a columnar
+    /// `TupleBatch` and unpacking preserves every tuple bit-for-bit — same
+    /// order, same interned schema (pointer identity), same values (floats
+    /// compared by bit pattern) — across arbitrarily interleaved schemas.
+    #[test]
+    fn columnar_round_trip_preserves_tuples_bit_for_bit(
+        shape_picks in proptest::collection::vec(0usize..4, 0..40),
+        ints in proptest::collection::vec(-1_000i64..1_000, 8..9),
+        floats in proptest::collection::vec(-1e6f64..1e6, 4..5),
+    ) {
+        let rows: Vec<Tuple> = shape_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| {
+                let n = ints[i % ints.len()];
+                let f = floats[i % floats.len()];
+                match pick {
+                    0 => Tuple::new(
+                        "events",
+                        vec![
+                            ("src", Value::Str(format!("10.0.0.{}", n.rem_euclid(16)).into())),
+                            ("port", Value::Int(n)),
+                        ],
+                    ),
+                    1 => Tuple::new(
+                        "metrics",
+                        vec![
+                            ("load", Value::Float(f)),
+                            ("up", Value::Bool(n % 2 == 0)),
+                            ("note", Value::Null),
+                        ],
+                    ),
+                    2 => Tuple::new(
+                        "blobs",
+                        vec![("digest", Value::bytes(n.to_le_bytes()))],
+                    ),
+                    _ => Tuple::new("empty", vec![]),
+                }
+            })
+            .collect();
+        let batch = TupleBatch::new(rows.clone());
+        prop_assert_eq!(batch.len(), rows.len());
+        let back = batch.clone().into_tuples();
+        prop_assert_eq!(back.len(), rows.len());
+        for (orig, round) in rows.iter().zip(&back) {
+            // Schema identity survives (not just equality): interning means
+            // the unpacked tuple shares the original's schema allocation.
+            prop_assert!(std::sync::Arc::ptr_eq(orig.schema(), round.schema()));
+            prop_assert_eq!(orig.values().len(), round.values().len());
+            for (a, b) in orig.values().iter().zip(round.values()) {
+                match (a, b) {
+                    // Bit-for-bit for floats (PartialEq would also accept
+                    // 0.0 == -0.0 and reject NaN == NaN).
+                    (Value::Float(x), Value::Float(y)) => {
+                        prop_assert_eq!(x.to_bits(), y.to_bits())
+                    }
+                    _ => prop_assert_eq!(a, b),
+                }
+            }
+        }
+        // Iteration agrees with consumption, and chunk row counts add up.
+        prop_assert_eq!(batch.iter().collect::<Vec<_>>(), back);
+        let chunk_rows: usize = batch.chunks().iter().map(|c| c.rows()).sum();
+        prop_assert_eq!(chunk_rows, rows.len());
+    }
+
+    /// Compiled (positional) expression evaluation agrees with interpreted
+    /// (name-resolving) evaluation on every outcome — values, missing
+    /// columns and type mismatches alike.
+    #[test]
+    fn compiled_expr_agrees_with_interpreted_expr(
+        a in -100i64..100,
+        b in -100f64..100.0,
+        threshold in -100i64..100,
+        pick in 0usize..6,
+    ) {
+        use pier::qp::{CmpOp, Expr};
+        let tuple = Tuple::new(
+            "t",
+            vec![
+                ("a", Value::Int(a)),
+                ("b", Value::Float(b)),
+                ("name", Value::Str(format!("n{a}").into())),
+            ],
+        );
+        let expr = match pick {
+            0 => Expr::cmp(CmpOp::Ge, Expr::col("a"), Expr::lit(threshold)),
+            1 => Expr::cmp(CmpOp::Lt, Expr::col("b"), Expr::col("a")),
+            2 => Expr::all(vec![
+                Expr::cmp(CmpOp::Gt, Expr::col("a"), Expr::lit(threshold)),
+                Expr::cmp(CmpOp::Le, Expr::col("b"), Expr::lit(50.0)),
+            ]),
+            3 => Expr::eq("missing", threshold),
+            4 => Expr::cmp(CmpOp::Eq, Expr::col("name"), Expr::lit(threshold)),
+            _ => Expr::Contains("name".into(), "n1".into()),
+        };
+        let compiled = expr.compile(tuple.schema());
+        prop_assert_eq!(compiled.eval(tuple.values()), expr.eval(&tuple));
+        prop_assert_eq!(compiled.matches(tuple.values()), expr.matches(&tuple));
     }
 
     /// PHT range queries return exactly the keys a sorted scan would.
