@@ -11,12 +11,22 @@
 //! baseline run for cross-PR comparison (see `docs/BENCHMARKS.md`).
 
 use pier_bench::emit_metric;
-use pier_core::{CmpOp, Expr, JoinSide, SymmetricHashJoin, Tuple, TupleBatch, Value};
+use pier_core::{
+    CmpOp, Expr, JoinSide, LocalOperator, Pipeline, Projection, Selection, SymmetricHashJoin,
+    Tuple, TupleBatch, Value,
+};
 use pier_dht::{make_ring_refs, ObjectManager, ObjectName, Router, RouterConfig};
 use pier_runtime::WireSize;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
+
+/// Smoke mode (`PIER_BENCH_SMOKE=1`, used by CI) shrinks every iteration
+/// count so the bench finishes in well under a second while still emitting
+/// every metric line and running every correctness/allocation assertion.
+fn smoke() -> bool {
+    std::env::var_os("PIER_BENCH_SMOKE").is_some()
+}
 
 /// A pass-through allocator that counts allocations, so the bench can pin
 /// "Tuple::clone is allocation-free" as a number (0.0) in the baseline.
@@ -45,18 +55,21 @@ fn allocations() -> u64 {
 }
 
 fn bench(name: &str, mut iteration: impl FnMut(u64)) -> f64 {
-    const WARMUP: u64 = 10_000;
-    const ITERS: u64 = 200_000;
-    for i in 0..WARMUP {
+    let (warmup, iters): (u64, u64) = if smoke() {
+        (100, 2_000)
+    } else {
+        (10_000, 200_000)
+    };
+    for i in 0..warmup {
         iteration(i);
     }
     let start = Instant::now();
-    for i in 0..ITERS {
-        iteration(WARMUP + i);
+    for i in 0..iters {
+        iteration(warmup + i);
     }
     let elapsed = start.elapsed();
-    let ns_per_op = elapsed.as_nanos() as f64 / ITERS as f64;
-    println!("{name:<36} {ns_per_op:>10.1} ns/op   ({ITERS} iters)");
+    let ns_per_op = elapsed.as_nanos() as f64 / iters as f64;
+    println!("{name:<36} {ns_per_op:>10.1} ns/op   ({iters} iters)");
     emit_metric("dht_ops", &format!("{name}_ns_per_op"), ns_per_op);
     ns_per_op
 }
@@ -111,14 +124,14 @@ fn main() {
             ("port", Value::Int(443)),
         ],
     );
+    let clones: u64 = if smoke() { 2_000 } else { 200_000 };
     let before = allocations();
     let t0 = Instant::now();
-    const CLONES: u64 = 200_000;
-    for _ in 0..CLONES {
+    for _ in 0..clones {
         std::hint::black_box(heavy.clone());
     }
-    let clone_ns = t0.elapsed().as_nanos() as f64 / CLONES as f64;
-    let clone_allocs = (allocations() - before) as f64 / CLONES as f64;
+    let clone_ns = t0.elapsed().as_nanos() as f64 / clones as f64;
+    let clone_allocs = (allocations() - before) as f64 / clones as f64;
     println!(
         "tuple_clone                          {clone_ns:>10.1} ns/op   ({clone_allocs:.3} allocs/op)"
     );
@@ -168,29 +181,29 @@ fn main() {
         Expr::cmp(CmpOp::Ge, Expr::col("port"), Expr::lit(256i64)),
         Expr::cmp(CmpOp::Lt, Expr::col("len"), Expr::lit(1200i64)),
     ]);
-    const SCANS: u64 = 2_000;
+    let scans: u64 = if smoke() { 50 } else { 2_000 };
     let t0 = Instant::now();
     let mut hits_row = 0u64;
-    for _ in 0..SCANS {
+    for _ in 0..scans {
         for t in &rows {
             if pred.matches(t) {
                 hits_row += 1;
             }
         }
     }
-    let row_major_ns = t0.elapsed().as_nanos() as f64 / (SCANS * rows.len() as u64) as f64;
+    let row_major_ns = t0.elapsed().as_nanos() as f64 / (scans * rows.len() as u64) as f64;
     let chunk = &batch.chunks()[0];
     let compiled = pred.compile(chunk.schema());
     let t0 = Instant::now();
     let mut hits_col = 0u64;
-    for _ in 0..SCANS {
+    for _ in 0..scans {
         for r in 0..chunk.rows() {
             if compiled.matches_row(chunk, r) {
                 hits_col += 1;
             }
         }
     }
-    let columnar_ns = t0.elapsed().as_nanos() as f64 / (SCANS * rows.len() as u64) as f64;
+    let columnar_ns = t0.elapsed().as_nanos() as f64 / (scans * rows.len() as u64) as f64;
     assert_eq!(hits_row, hits_col, "both scans must agree");
     let speedup = row_major_ns / columnar_ns;
     println!("batch_scan_row_major                 {row_major_ns:>10.1} ns/row");
@@ -198,6 +211,71 @@ fn main() {
     emit_metric("dht_ops", "batch_scan_row_major_ns_per_row", row_major_ns);
     emit_metric("dht_ops", "batch_scan_columnar_ns_per_row", columnar_ns);
     emit_metric("dht_ops", "batch_scan_columnar_speedup", speedup);
+
+    // Chunk-to-chunk pipeline scan: selection → projection over the same
+    // 1024-row single-schema batch.  The per-tuple baseline drives
+    // `Pipeline::push` row by row (each stage allocating per-row vectors and
+    // output tuples); the chunked path hands the whole batch through
+    // `Pipeline::push_batch`, where the selection emits one filtered chunk
+    // per input chunk and the projection gathers whole columns.  The
+    // counting allocator *measures* the headline claim — the chunked
+    // survivor path materialises zero per-row tuples, so its allocations per
+    // row are a small constant divided by the batch size.
+    let mk = || {
+        Pipeline::new(vec![
+            Box::new(Selection::new(pred.clone())) as Box<dyn LocalOperator + Send>,
+            Box::new(Projection::new(vec!["src".into(), "len".into()])),
+        ])
+    };
+    let mut per_tuple = mk();
+    let t0 = Instant::now();
+    let mut survivors_per_tuple = 0u64;
+    for _ in 0..scans {
+        for t in &rows {
+            survivors_per_tuple += per_tuple.push(t.clone()).len() as u64;
+        }
+    }
+    let pipeline_row_ns = t0.elapsed().as_nanos() as f64 / (scans * rows.len() as u64) as f64;
+    let mut chunked = mk();
+    let before = allocations();
+    let t0 = Instant::now();
+    let mut survivors_chunked = 0u64;
+    for _ in 0..scans {
+        survivors_chunked += chunked.push_batch(&batch).len() as u64;
+    }
+    let pipeline_batch_ns = t0.elapsed().as_nanos() as f64 / (scans * rows.len() as u64) as f64;
+    let pipeline_allocs_per_row =
+        (allocations() - before) as f64 / (scans * rows.len() as u64) as f64;
+    assert_eq!(
+        survivors_per_tuple, survivors_chunked,
+        "both pipeline paths must agree on the survivor count"
+    );
+    assert!(
+        pipeline_allocs_per_row < 0.25,
+        "chunked survivor path must not materialise per-row tuples \
+         ({pipeline_allocs_per_row:.3} allocs/row)"
+    );
+    let pipeline_speedup = pipeline_row_ns / pipeline_batch_ns;
+    println!("pipeline_batch_scan_per_tuple        {pipeline_row_ns:>10.1} ns/row");
+    println!(
+        "pipeline_batch_scan                  {pipeline_batch_ns:>10.1} ns/row   ({pipeline_speedup:.2}x, {pipeline_allocs_per_row:.3} allocs/row)"
+    );
+    emit_metric(
+        "dht_ops",
+        "pipeline_batch_scan_per_tuple_ns_per_row",
+        pipeline_row_ns,
+    );
+    emit_metric(
+        "dht_ops",
+        "pipeline_batch_scan_ns_per_row",
+        pipeline_batch_ns,
+    );
+    emit_metric("dht_ops", "pipeline_batch_scan_speedup", pipeline_speedup);
+    emit_metric(
+        "dht_ops",
+        "pipeline_batch_scan_allocs_per_row",
+        pipeline_allocs_per_row,
+    );
 
     // Wire accounting of a 32-tuple batch vs the same tuples shipped
     // individually (the schema-amortisation the columnar batching buys).

@@ -8,7 +8,7 @@
 //! be combined from constant-size state, which the classification here makes
 //! explicit.
 
-use crate::tuple::Tuple;
+use crate::tuple::{Schema, Tuple};
 use crate::value::Value;
 use pier_runtime::WireSize;
 
@@ -196,7 +196,8 @@ impl AggState {
     }
 
     /// Merge another partial of the same shape into this one (the combine
-    /// step of hierarchical aggregation).
+    /// step of hierarchical aggregation).  See [`PartialDecoder`] for the
+    /// compiled (positional) decode used on the relay hot path.
     pub fn merge(&mut self, other: &AggState) {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
@@ -240,6 +241,61 @@ impl AggState {
                     Value::Float(sum / *count as f64)
                 }
             }
+        }
+    }
+}
+
+/// Positional decoder for one aggregate's partial encoding within an
+/// interned partial schema — the compiled counterpart of
+/// [`AggState::from_partial_tuple`].  The output column (and AVG's
+/// `_sum`/`_count` companions) resolve against the schema **once**; decoding
+/// a row is then pure index access.  Relays that absorb streams of
+/// closed-window partials compile one decoder per aggregate per schema
+/// instead of re-resolving names per partial.
+#[derive(Debug, Clone)]
+pub struct PartialDecoder {
+    value: usize,
+    /// `(_sum, _count)` companion indices, present only for AVG.
+    avg: Option<(usize, usize)>,
+}
+
+impl PartialDecoder {
+    /// Compile the decoder for `func` against `schema`; `None` when the
+    /// schema lacks a needed column (every per-tuple decode would fail too,
+    /// so the caller can discard that shape wholesale).
+    pub fn compile(func: &AggFunc, schema: &Schema) -> Option<PartialDecoder> {
+        let col = func.output_column();
+        let value = schema.position(&col)?;
+        let avg = match func {
+            AggFunc::Avg(_) => Some((
+                schema.position(&format!("{col}_sum"))?,
+                schema.position(&format!("{col}_count"))?,
+            )),
+            _ => None,
+        };
+        Some(PartialDecoder { value, avg })
+    }
+
+    /// Decode one row's partial state by index, over values parallel to the
+    /// compiled schema — exactly the outcomes of
+    /// [`AggState::from_partial_tuple`] on the materialised tuple.
+    pub fn decode(&self, func: &AggFunc, values: &[Value]) -> Option<AggState> {
+        let v = &values[self.value];
+        match (func, v) {
+            (AggFunc::Count, Value::Int(n)) => Some(AggState::Count(*n as u64)),
+            (AggFunc::Sum(_), v) => v.as_f64().map(AggState::Sum),
+            (AggFunc::Min(_), v) => Some(AggState::Min(Some(v.clone()))),
+            (AggFunc::Max(_), v) => Some(AggState::Max(Some(v.clone()))),
+            (AggFunc::Avg(_), _) => {
+                let (sum_idx, count_idx) = self.avg?;
+                let sum = values[sum_idx].as_f64()?;
+                let count = values[count_idx].as_i64()?;
+                Some(AggState::Avg {
+                    sum,
+                    count: count as u64,
+                })
+            }
+            _ => None,
         }
     }
 }

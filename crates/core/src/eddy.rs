@@ -30,8 +30,15 @@
 
 use crate::expr::{CompiledPredicate, Expr};
 use crate::operators::LocalOperator;
-use crate::tuple::{Tuple, TupleBatch};
+use crate::tuple::{ColumnChunk, Tuple, TupleBatch};
 use pier_runtime::Rng64;
+
+/// Rows routed between two lottery re-draws inside one chunk.  Deciding the
+/// order once per chunk is cheap but lets a skewed stream lock in a stale
+/// order for the whole chunk (observations arrive in chunk strides);
+/// re-drawing every `EDDY_REORDER_ROWS` rows bounds how long a mid-stream
+/// selectivity flip can go unnoticed, independent of chunk size.
+pub const EDDY_REORDER_ROWS: usize = 32;
 
 /// A filter-style operator an eddy can route tuples through: it either
 /// passes the tuple (possibly transformed) or drops it.  Unlike a full
@@ -42,6 +49,22 @@ pub trait EddyFilter: std::fmt::Debug {
     fn name(&self) -> &str;
     /// Process one tuple; `None` drops it.
     fn apply(&mut self, tuple: Tuple) -> Option<Tuple>;
+    /// Decide row `r` of a columnar chunk without materialising it, for
+    /// filters that only pass or drop (never transform): `Some(true)` passes
+    /// the row, `Some(false)` drops it, `None` means the filter cannot
+    /// decide chunk-wise and the eddy falls back to [`EddyFilter::apply`] on
+    /// a materialised row.  Implementors that return `Some` here must also
+    /// report [`EddyFilter::supports_chunks`] and must never transform
+    /// tuples in `apply`.
+    fn apply_row(&mut self, _chunk: &ColumnChunk, _r: usize) -> Option<bool> {
+        None
+    }
+    /// True when [`EddyFilter::apply_row`] always decides (pure pass/drop
+    /// filter); enables the zero-materialisation mask path of
+    /// [`Eddy::route_batch`].
+    fn supports_chunks(&self) -> bool {
+        false
+    }
 }
 
 /// A selection predicate as an eddy filter.  The predicate is compiled
@@ -74,6 +97,18 @@ impl EddyFilter for PredicateFilter {
         } else {
             None
         }
+    }
+
+    fn apply_row(&mut self, chunk: &ColumnChunk, r: usize) -> Option<bool> {
+        Some(
+            self.predicate
+                .for_schema(chunk.schema())
+                .matches_view(&chunk.row_view(r)),
+        )
+    }
+
+    fn supports_chunks(&self) -> bool {
+        true
     }
 }
 
@@ -221,11 +256,10 @@ impl Eddy {
         }
     }
 
-    /// Route one tuple through the filters in the given order, maintaining
-    /// all observation/throughput bookkeeping — the single loop both
-    /// [`Eddy::route`] and [`Eddy::route_batch`] share.
-    fn route_with_order(&mut self, order: &[usize], tuple: Tuple) -> Option<Tuple> {
-        self.tuples_in += 1;
+    /// Apply `order`'s filters to an owned tuple with full
+    /// observation/invocation bookkeeping — the single materialised filter
+    /// loop shared by per-tuple routing and the chunk path's fallbacks.
+    fn apply_filters(&mut self, order: &[usize], tuple: Tuple) -> Option<Tuple> {
         let mut current = tuple;
         for &idx in order {
             self.invocations += 1;
@@ -238,8 +272,55 @@ impl Eddy {
                 }
             }
         }
-        self.tuples_out += 1;
         Some(current)
+    }
+
+    /// Route one tuple through the filters in the given order, maintaining
+    /// all observation/throughput bookkeeping — shared by [`Eddy::route`]
+    /// and [`Eddy::route_batch`]'s materialised path.
+    fn route_with_order(&mut self, order: &[usize], tuple: Tuple) -> Option<Tuple> {
+        self.tuples_in += 1;
+        let survivor = self.apply_filters(order, tuple)?;
+        self.tuples_out += 1;
+        Some(survivor)
+    }
+
+    /// Route one borrowed chunk row through the filters in the given order,
+    /// with the same observation/throughput bookkeeping as
+    /// [`Eddy::route_with_order`] but no tuple materialisation.  Returns
+    /// whether the row survives.  A filter that unexpectedly declines the
+    /// chunk-wise decision (contract slip) finishes the row materialised;
+    /// chunk-capable filters never transform, so survival is all that
+    /// matters for the output mask.
+    fn route_row_in_chunk(&mut self, order: &[usize], chunk: &ColumnChunk, r: usize) -> bool {
+        self.tuples_in += 1;
+        for (pos, &idx) in order.iter().enumerate() {
+            self.invocations += 1;
+            self.observations[idx].seen += 1;
+            match self.filters[idx].apply_row(chunk, r) {
+                Some(true) => {}
+                Some(false) => {
+                    self.observations[idx].dropped += 1;
+                    return false;
+                }
+                None => {
+                    debug_assert!(false, "supports_chunks filter declined apply_row");
+                    // Roll back this filter's counters and finish the row
+                    // through the shared materialised loop from this filter
+                    // onward; chunk-capable filters never transform, so
+                    // survival is all that matters for the mask.
+                    self.invocations -= 1;
+                    self.observations[idx].seen -= 1;
+                    let survived = self.apply_filters(&order[pos..], chunk.row(r)).is_some();
+                    if survived {
+                        self.tuples_out += 1;
+                    }
+                    return survived;
+                }
+            }
+        }
+        self.tuples_out += 1;
+        true
     }
 
     /// Route one tuple; returns the tuple if it survives every filter.
@@ -248,18 +329,42 @@ impl Eddy {
         self.route_with_order(&order, tuple)
     }
 
-    /// Route a whole batch.  The visiting order is decided once per
-    /// [`ColumnChunk`](crate::tuple::ColumnChunk) instead of once per tuple —
-    /// a coarser adaptivity granularity (a batch is one routing decision,
-    /// which is exactly the paper's observation that per-tuple routing
-    /// overhead must be amortised) that produces the same survivor set as
-    /// per-tuple routing, since the filters are commutative.
-    pub fn route_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
-        let mut out = Vec::new();
+    /// Route a whole batch, emitting the survivors as re-chunked columnar
+    /// output.  When every filter is chunk-capable
+    /// ([`EddyFilter::supports_chunks`]) rows are decided over borrowed
+    /// [`ChunkRow`](crate::tuple::ChunkRow) views and survivors leave as one
+    /// filtered chunk per input chunk — zero per-row tuple materialisations;
+    /// transforming filters fall back to materialised per-row routing.
+    ///
+    /// The visiting order is re-drawn every [`EDDY_REORDER_ROWS`] rows (not
+    /// once per chunk), so observations keep feeding back into routing at a
+    /// granularity independent of how arrivals were batched — a mid-stream
+    /// selectivity flip re-orders the filters within a bounded number of
+    /// rows even inside one huge chunk.  Produces the same survivor
+    /// multiset as per-tuple routing, since the filters are commutative.
+    pub fn route_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        let chunkable = self.filters.iter().all(|f| f.supports_chunks());
+        let mut out = TupleBatch::default();
         for chunk in batch.chunks() {
-            let order = self.route_order();
-            for r in 0..chunk.rows() {
-                out.extend(self.route_with_order(&order, chunk.row(r)));
+            let mut order = self.route_order();
+            if chunkable {
+                let mut mask = vec![false; chunk.rows()];
+                for (r, kept) in mask.iter_mut().enumerate() {
+                    if r > 0 && r % EDDY_REORDER_ROWS == 0 {
+                        order = self.route_order();
+                    }
+                    *kept = self.route_row_in_chunk(&order, chunk, r);
+                }
+                out.push_chunk(chunk.filter(&mask));
+            } else {
+                for r in 0..chunk.rows() {
+                    if r > 0 && r % EDDY_REORDER_ROWS == 0 {
+                        order = self.route_order();
+                    }
+                    if let Some(t) = self.route_with_order(&order, chunk.row(r)) {
+                        out.push_tuple(t);
+                    }
+                }
             }
         }
         out
@@ -271,7 +376,7 @@ impl LocalOperator for Eddy {
         self.route(tuple).into_iter().collect()
     }
 
-    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
         self.route_batch(batch)
     }
 }
@@ -427,6 +532,70 @@ mod tests {
             kept += p.push(t).len();
         }
         assert_eq!(kept, 3, "c = 7 matches rows 7, 107, 207");
+    }
+
+    #[test]
+    fn route_batch_survivors_match_per_tuple_routing_and_stay_chunked() {
+        let tuples = workload(500);
+        let mut per_tuple = Eddy::over_predicates(three_predicates(), RoutingPolicy::Fixed, 5);
+        let mut batched = Eddy::over_predicates(three_predicates(), RoutingPolicy::Fixed, 5);
+        let expected: Vec<Tuple> = tuples
+            .iter()
+            .cloned()
+            .filter_map(|t| per_tuple.route(t))
+            .collect();
+        let got = batched.route_batch(&TupleBatch::new(tuples));
+        // Pure predicate filters take the mask path: survivors come back as
+        // one filtered chunk, not per-row tuples.
+        assert!(got.chunks().len() <= 1);
+        assert_eq!(got.into_tuples(), expected);
+        assert_eq!(batched.throughput(), per_tuple.throughput());
+    }
+
+    #[test]
+    fn redraw_within_chunk_adapts_to_a_mid_stream_selectivity_flip() {
+        // Two filters whose selectivities flip mid-stream: rows 0..1000 are
+        // all dropped by `flip_a` and all pass `flip_b`; rows 1000..4000 the
+        // reverse.  The whole stream arrives as ONE 4000-row chunk, the
+        // worst case for once-per-chunk routing (the stale order would cost
+        // 2 invocations/row for the entire 3000-row tail ⇒ ≥ 7000 total).
+        // Re-drawing the lottery every EDDY_REORDER_ROWS rows must re-order
+        // the filters within a bounded number of rows of the flip:
+        //   phase 1: ≤ EDDY_REORDER_ROWS rows at 2/row before `flip_a`
+        //            (drop rate 1.0) takes the front, then 1/row;
+        //   phase 2: the *cumulative* drop rates cross — `flip_a` decays
+        //            from 1.0 while `flip_b` climbs against its phase-1
+        //            history — within ~250 rows even against the worst-case
+        //            0.05 jitter, then `flip_b` leads for good at 1/row.
+        let rows: Vec<Tuple> = (0..4000)
+            .map(|i| {
+                let phase = i64::from(i >= 1000);
+                row(i, phase, phase)
+            })
+            .collect();
+        let predicates = vec![
+            ("flip_a".to_string(), Expr::eq("b", 1i64)),
+            ("flip_b".to_string(), Expr::eq("c", 0i64)),
+        ];
+        let mut eddy = Eddy::over_predicates(predicates, RoutingPolicy::Lottery, 11);
+        let batch = TupleBatch::new(rows);
+        assert_eq!(batch.chunks().len(), 1, "one chunk, worst case");
+        let survivors = eddy.route_batch(&batch);
+        assert!(survivors.is_empty(), "no row passes both phases' filters");
+        let bound = 4000 + 10 * EDDY_REORDER_ROWS as u64;
+        assert!(
+            eddy.invocations() <= bound,
+            "re-drawn routing must spend ≤ {bound} invocations, spent {} \
+             (a single order per chunk would spend ≥ 7000)",
+            eddy.invocations()
+        );
+        // After the crossover `flip_a` stops being visited: its seen count
+        // stays within the same bounded window past the flip.
+        assert!(
+            eddy.observations()[0].seen <= 1000 + 10 * EDDY_REORDER_ROWS as u64,
+            "stale filter kept receiving rows: {:?}",
+            eddy.observations()
+        );
     }
 
     #[test]

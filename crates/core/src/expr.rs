@@ -16,7 +16,7 @@
 //! [`CompiledPredicate`] packages the per-schema compilation cache the way
 //! selections and eddies use it.
 
-use crate::tuple::{ColumnChunk, Schema, Tuple};
+use crate::tuple::{ChunkRow, ColumnChunk, Schema, Tuple};
 use crate::value::Value;
 use std::sync::Arc;
 
@@ -451,6 +451,13 @@ impl CompiledExpr {
         self.root.eval_with(&|i| &chunk.column(i)[r])
     }
 
+    /// Evaluate a borrowed [`ChunkRow`] view (positional, allocation-free on
+    /// the leaf-compare fast path — the survivor-path entry point).
+    pub fn eval_view(&self, row: &ChunkRow<'_>) -> Result<Value, EvalError> {
+        debug_assert!(self.is_for(row.schema()));
+        self.root.eval_with(&|i| row.get(i))
+    }
+
     /// Predicate view over a row-major value slice: `true` only on a clean
     /// boolean true (the best-effort discard policy).
     pub fn matches(&self, values: &[Value]) -> bool {
@@ -460,6 +467,11 @@ impl CompiledExpr {
     /// Predicate view over row `r` of a columnar chunk.
     pub fn matches_row(&self, chunk: &ColumnChunk, r: usize) -> bool {
         matches!(self.eval_row(chunk, r), Ok(Value::Bool(true)))
+    }
+
+    /// Predicate view over a borrowed [`ChunkRow`].
+    pub fn matches_view(&self, row: &ChunkRow<'_>) -> bool {
+        matches!(self.eval_view(row), Ok(Value::Bool(true)))
     }
 }
 

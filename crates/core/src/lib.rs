@@ -40,11 +40,13 @@
 //! ## Invariants
 //!
 //! * **Schema interning**: schemas are immutable and interned process-wide
-//!   ([`tuple::SchemaRegistry`]); `Arc::ptr_eq` on two schemas is
-//!   equivalent to deep equality for the life of the process.  Every
-//!   per-schema cache ([`tuple::ColumnResolver`], [`tuple::ColumnRef`],
+//!   ([`tuple::SchemaRegistry`]); `Arc::ptr_eq` on two live schema handles
+//!   is equivalent to deep equality.  Every per-schema cache
+//!   ([`tuple::ColumnResolver`], [`tuple::ColumnRef`],
 //!   [`expr::CompiledPredicate`], operator output-schema caches) keys on
-//!   this.  The registry only grows — eviction is a ROADMAP item.
+//!   this.  Query teardown sweeps no-longer-referenced query-scoped shapes
+//!   ([`tuple::SchemaRegistry::sweep_matching`]), so the registry stays
+//!   bounded by the live working set.
 //! * **Parallel shapes**: a tuple's value slice is parallel to its schema's
 //!   columns (equal arity); a [`tuple::ColumnChunk`]'s column vectors are
 //!   parallel to its schema's columns and of equal length.
@@ -72,8 +74,10 @@ pub mod sqlish;
 pub mod tuple;
 pub mod value;
 
-pub use aggregate::{AggClass, AggFunc, AggState};
-pub use eddy::{Eddy, EddyFilter, OperatorObservation, PredicateFilter, RoutingPolicy};
+pub use aggregate::{AggClass, AggFunc, AggState, PartialDecoder};
+pub use eddy::{
+    Eddy, EddyFilter, OperatorObservation, PredicateFilter, RoutingPolicy, EDDY_REORDER_ROWS,
+};
 pub use expr::{ArithOp, CmpOp, CompiledExpr, CompiledPredicate, EvalError, Expr};
 pub use node::{CqDiagnostics, PierConfig, PierMsg, PierNode, PierOut, PierTimer};
 pub use operators::{
@@ -88,6 +92,6 @@ pub use plan::{
 pub use range_index::RangeIndexConfig;
 pub use recursive::TransitiveClosure;
 pub use tuple::{
-    ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
+    ChunkRow, ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
 };
 pub use value::Value;

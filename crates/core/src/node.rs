@@ -15,7 +15,7 @@
 //! forwarded to the proxy, which delivers them to the client; execution
 //! stops when the query's timeout expires.
 
-use crate::aggregate::{AggFunc, AggState};
+use crate::aggregate::{AggFunc, AggState, PartialDecoder};
 use crate::operators::{GroupBy, JoinSide, LocalOperator, Pipeline, SymmetricHashJoin};
 use crate::plan::{CqSpec, Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
 use crate::tuple::{
@@ -191,6 +191,20 @@ pub enum PierOut {
     },
 }
 
+/// True for table names of the query-scoped form `q{digits}.{suffix}` — the
+/// namespaces queries intern per installation (`q{id}.agg`, `q{id}.wp`,
+/// `q{id}.win`, `q{id}.partials`, …) and the shapes the teardown sweep is
+/// allowed to evict.  User tables that merely start with `q` do not match.
+pub(crate) fn is_query_scoped_table(table: &str) -> bool {
+    let Some(rest) = table.strip_prefix('q') else {
+        return false;
+    };
+    let Some(dot) = rest.find('.') else {
+        return false;
+    };
+    !rest[..dot].is_empty() && rest.as_bytes()[..dot].iter().all(u8::is_ascii_digit)
+}
+
 #[derive(Debug)]
 struct GraphState {
     spec: OpGraph,
@@ -238,6 +252,9 @@ struct CqState {
     dedup_refs: Vec<ColumnRef>,
     /// Interned shape of the closed-window partials shipped to the root.
     partial_schema: Arc<Schema>,
+    /// Compiled positional decode of arriving partials, cached per schema
+    /// (single entry, pointer-keyed — see [`PartialDecodeCache`]).
+    partial_decode: Option<PartialDecodeCache>,
     /// Interned shape of the per-window result rows emitted at the root.
     result_schema: Arc<Schema>,
     /// Index of the opgraph feeding the windows.
@@ -928,6 +945,19 @@ impl PierNode {
         }
     }
 
+    /// Uninstall a query and release query-scoped interned schemas
+    /// (`q{id}.agg`, `q{id}.wp`, `q{id}.win`, …) from the process-wide
+    /// [`SchemaRegistry`].  The sweep covers *every* no-longer-referenced
+    /// query-scoped shape, not just this query's: a schema still pinned by
+    /// in-flight tuples when its own query tore down gets collected by a
+    /// later teardown's sweep, so the registry stays bounded by the live
+    /// working set instead of growing with every query ever installed.
+    fn uninstall_query(&mut self, query_id: u64) {
+        if self.queries.remove(&query_id).is_some() {
+            SchemaRegistry::global().sweep_matching(is_query_scoped_table);
+        }
+    }
+
     fn feed_graph(
         &mut self,
         ctx: &mut ProgramContext<Self>,
@@ -986,10 +1016,12 @@ impl PierNode {
 
     /// Batch counterpart of [`PierNode::feed_graph`]: joins consume whole
     /// columnar chunks ([`SymmetricHashJoin::push_chunk`]), plain pipelines
-    /// consume the batch via `Pipeline::push_batch`, and a windowed graph
+    /// consume the batch **chunk-to-chunk** via `Pipeline::push_batch`
+    /// (every stage hands the next a re-chunked survivor batch), uplink
+    /// aggregation absorbs the survivors chunk-wise, and a windowed graph
     /// with a pass-through pipeline absorbs chunks straight into the window
     /// store ([`PierNode::cq_absorb_chunk`]) — no per-tuple dispatch on any
-    /// of the three paths.
+    /// of these paths; rows materialise only at the sink boundary.
     fn feed_graph_batch(
         &mut self,
         ctx: &mut ProgramContext<Self>,
@@ -1011,7 +1043,7 @@ impl PierNode {
                 for chunk in batch.chunks() {
                     Self::cq_absorb_chunk(cq, chunk, now);
                 }
-                Vec::new()
+                TupleBatch::default()
             } else {
                 let Some(g) = q.graphs.get_mut(graph_idx) else {
                     return Vec::new();
@@ -1020,6 +1052,9 @@ impl PierNode {
                     (Some(join), Some(join_spec)) => {
                         // Two-input join fed from the rehash namespace: each
                         // chunk's table name decides the side it belongs to.
+                        // Join results share one output schema, so re-packing
+                        // them re-chunks into (usually) a single run for the
+                        // pipeline's chunk-to-chunk traversal.
                         let mut staged = Vec::new();
                         for chunk in batch.chunks() {
                             let table = chunk.schema().table();
@@ -1029,24 +1064,27 @@ impl PierNode {
                                 staged.extend(join.push_chunk(JoinSide::Right, chunk));
                             } // unknown table: discard (best effort)
                         }
-                        let mut outs = Vec::new();
-                        for t in staged {
-                            outs.extend(g.pipeline.push(t));
+                        if staged.is_empty() {
+                            TupleBatch::default()
+                        } else {
+                            g.pipeline.push_batch(&TupleBatch::new(staged))
                         }
-                        outs
                     }
                     _ => g.pipeline.push_batch(batch),
                 };
+                // Hierarchical aggregation absorbs the survivors chunk-wise.
                 if let Some(uplink) = g.uplink.as_mut() {
-                    for t in outputs.drain(..) {
-                        uplink.push(t);
-                    }
+                    uplink.push_batch(&outputs);
+                    outputs = TupleBatch::default();
                 }
+                // A windowed graph folds the survivors into the window store
+                // chunk-wise.
                 if let Some(cq) = q.cq.as_mut() {
                     if cq.graph_idx == graph_idx {
-                        for t in outputs.drain(..) {
-                            Self::cq_absorb(cq, &t, now);
+                        for chunk in outputs.chunks() {
+                            Self::cq_absorb_chunk(cq, chunk, now);
                         }
+                        outputs = TupleBatch::default();
                     }
                 }
                 outputs
@@ -1055,7 +1093,7 @@ impl PierNode {
         if outputs.is_empty() {
             return Vec::new();
         }
-        self.deliver_sink(ctx, query_id, graph_idx, outputs)
+        self.deliver_sink(ctx, query_id, graph_idx, outputs.into_tuples())
     }
 
     fn deliver_sink(
@@ -1379,26 +1417,75 @@ impl PierNode {
     }
 }
 
+/// The positional layout of a closed-window partial within one interned
+/// schema: `_w`, the group columns, and one [`PartialDecoder`] per
+/// aggregate.  Compiled once per schema (normally just the query's interned
+/// `q{id}.wp` shape) and reused for every relayed partial.
+#[derive(Debug)]
+struct CompiledPartialLayout {
+    w: usize,
+    groups: Vec<usize>,
+    aggs: Vec<PartialDecoder>,
+}
+
+/// Single-entry per-schema cache for [`CompiledPartialLayout`], keyed by
+/// schema pointer identity (sound because schemas are interned).  `compiled`
+/// is `None` when the schema is malformed for this query — every partial of
+/// that shape is then discarded without re-resolving names.
+#[derive(Debug)]
+struct PartialDecodeCache {
+    schema: Arc<Schema>,
+    compiled: Option<CompiledPartialLayout>,
+}
+
 impl CqState {
     /// Decode a closed-window partial tuple into its window id, group key
     /// and mergeable accumulator.  `None` for malformed tuples (best-effort
-    /// policy, as everywhere).
-    fn decode_partial(&self, tuple: &Tuple) -> Option<(WindowId, String, GroupAgg)> {
-        let wid = tuple.get("_w").and_then(Value::as_i64)?;
-        let vals = tuple.get_all(&self.group_cols)?;
-        // The key derives from the already-fetched group values — no second
-        // column resolution.
-        let mut key = String::with_capacity(12 * vals.len());
-        for (i, v) in vals.iter().enumerate() {
-            if i > 0 {
-                key.push('|');
-            }
-            v.write_key(&mut key);
+    /// policy, as everywhere).  The `_w`/group/aggregate columns resolve to
+    /// positional indices **once per schema** — mirroring what
+    /// `cq_absorb_chunk` does for data chunks — so the per-partial work on
+    /// the relay path is index access only.
+    fn decode_partial(&mut self, tuple: &Tuple) -> Option<(WindowId, String, GroupAgg)> {
+        let schema = tuple.schema();
+        let hit = self
+            .partial_decode
+            .as_ref()
+            .is_some_and(|c| Arc::ptr_eq(&c.schema, schema));
+        if !hit {
+            let compiled = (|| {
+                let w = schema.position("_w")?;
+                let groups: Vec<usize> = self
+                    .group_cols
+                    .iter()
+                    .map(|c| schema.position(c))
+                    .collect::<Option<_>>()?;
+                let aggs: Vec<PartialDecoder> = self
+                    .aggs
+                    .iter()
+                    .map(|a| PartialDecoder::compile(a, schema))
+                    .collect::<Option<_>>()?;
+                Some(CompiledPartialLayout { w, groups, aggs })
+            })();
+            self.partial_decode = Some(PartialDecodeCache {
+                schema: Arc::clone(schema),
+                compiled,
+            });
         }
-        let states: Option<Vec<AggState>> = self
+        let layout = self
+            .partial_decode
+            .as_ref()
+            .expect("cache populated above")
+            .compiled
+            .as_ref()?;
+        let values = tuple.values();
+        let wid = values[layout.w].as_i64()?;
+        let vals: Vec<Value> = layout.groups.iter().map(|&i| values[i].clone()).collect();
+        let key = tuple.key_at(&layout.groups);
+        let states: Option<Vec<AggState>> = layout
             .aggs
             .iter()
-            .map(|a| AggState::from_partial_tuple(a, tuple))
+            .zip(&self.aggs)
+            .map(|(decoder, agg)| decoder.decode(agg, values))
             .collect();
         Some((
             wid.max(0) as u64,
@@ -1484,6 +1571,7 @@ impl PierNode {
             time_ref: time_col.clone().map(ColumnRef::new),
             dedup_refs: dedup_cols.iter().cloned().map(ColumnRef::new).collect(),
             partial_schema,
+            partial_decode: None,
             result_schema,
             graph_idx,
             store: WindowStore::new(*window, spec.budget),
@@ -1880,7 +1968,7 @@ impl Program for PierNode {
             PierTimer::AggFlush { query_id } => self.agg_flush(ctx, query_id, false),
             PierTimer::AggFinal { query_id } => self.agg_flush(ctx, query_id, true),
             PierTimer::QueryEnd { query_id } => {
-                self.queries.remove(&query_id);
+                self.uninstall_query(query_id);
             }
             PierTimer::ProxyDone { query_id } => {
                 if let Some(state) = self.proxied.get_mut(&query_id) {
@@ -1923,7 +2011,7 @@ impl Program for PierNode {
                 if now >= expires_at {
                     // The owner stopped renewing (or we are partitioned
                     // away): the soft state lapses.
-                    self.queries.remove(&query_id);
+                    self.uninstall_query(query_id);
                 } else {
                     ctx.set_timer(
                         expires_at.saturating_sub(now).max(1),

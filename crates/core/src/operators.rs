@@ -32,17 +32,22 @@ pub trait LocalOperator: std::fmt::Debug {
     /// parent immediately.
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple>;
 
-    /// Push a whole [`TupleBatch`] in.  The default materialises each row
+    /// Push a whole [`TupleBatch`] in; the survivors come back as a
+    /// **re-chunked batch** (same-schema runs preserved), so a stack of
+    /// stages passes columnar chunks from one to the next without ever
+    /// exploding into per-tuple dispatch.  The default materialises each row
     /// and calls [`LocalOperator::push`]; operators on the batched hot path
-    /// (selection, projection, group-by) override it to resolve columns once
-    /// per [`ColumnChunk`] and scan the chunk's columns directly, so a
-    /// coalesced DHT arrival is processed without exploding into per-tuple
-    /// dispatch.  Overrides must produce exactly the tuples the per-row
-    /// default would (the batching-equivalence tests pin this).
-    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
-        let mut out = Vec::new();
+    /// (selection, projection, group-by, distinct, the eddy) override it to
+    /// resolve columns once per [`ColumnChunk`] and scan — or mask-filter —
+    /// the chunk's columns directly.  Overrides must produce exactly the
+    /// rows the per-row default would, in the same order (the
+    /// batching-equivalence and property tests pin this).
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        let mut out = TupleBatch::default();
         for t in batch.iter() {
-            out.extend(self.push(t));
+            for produced in self.push(t) {
+                out.push_tuple(produced);
+            }
         }
         out
     }
@@ -85,15 +90,17 @@ impl LocalOperator for Selection {
         }
     }
 
-    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
-        let mut out = Vec::new();
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        // Mask-and-filter: the predicate evaluates over borrowed row views
+        // and the survivors are copied out as one whole chunk per input
+        // chunk — zero per-row `Tuple` materialisations on this path.
+        let mut out = TupleBatch::default();
         for chunk in batch.chunks() {
             let compiled = self.predicate.for_schema(chunk.schema());
-            for r in 0..chunk.rows() {
-                if compiled.matches_row(chunk, r) {
-                    out.push(chunk.row(r));
-                }
-            }
+            let mask: Vec<bool> = (0..chunk.rows())
+                .map(|r| compiled.matches_view(&chunk.row_view(r)))
+                .collect();
+            out.push_chunk(chunk.filter(&mask));
         }
         out
     }
@@ -150,22 +157,22 @@ impl LocalOperator for Projection {
         vec![Tuple::from_schema(Arc::clone(out), values)]
     }
 
-    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
-        let mut outputs = Vec::with_capacity(batch.len());
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        // Column gather: each projected output column is the source column
+        // copied (or a NULL run) — the output chunk is assembled without
+        // materialising a single row.
+        let mut outputs = TupleBatch::default();
         for chunk in batch.chunks() {
             let (_, out, srcs) = self.ensure(chunk.schema());
             let out = Arc::clone(out);
-            let srcs = srcs.clone();
-            for r in 0..chunk.rows() {
-                let values = srcs
-                    .iter()
-                    .map(|src| match src {
-                        Some(i) => chunk.column(*i)[r].clone(),
-                        None => Value::Null,
-                    })
-                    .collect();
-                outputs.push(Tuple::from_schema(Arc::clone(&out), values));
-            }
+            let columns: Vec<Vec<Value>> = srcs
+                .iter()
+                .map(|src| match src {
+                    Some(i) => chunk.column(*i).to_vec(),
+                    None => vec![Value::Null; chunk.rows()],
+                })
+                .collect();
+            outputs.push_chunk(ColumnChunk::from_columns(out, columns, chunk.rows()));
         }
         outputs
     }
@@ -212,6 +219,37 @@ impl LocalOperator for Distinct {
             Vec::new()
         }
     }
+
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        // Key columns resolve once per chunk; first-seen rows survive as a
+        // whole filtered chunk.
+        let mut out = TupleBatch::default();
+        for chunk in batch.chunks() {
+            let mask: Vec<bool> = if self.key.columns().is_empty() {
+                // Full-row dedup: the key spans every column, in order.
+                let all: Vec<usize> = (0..chunk.schema().arity()).collect();
+                (0..chunk.rows())
+                    .map(|r| self.seen.insert(chunk.key_at(&all, r)))
+                    .collect()
+            } else {
+                match self.key.indices_for(chunk.schema()) {
+                    Some(idxs) => {
+                        let idxs = idxs.to_vec();
+                        (0..chunk.rows())
+                            .map(|r| self.seen.insert(chunk.key_at(&idxs, r)))
+                            .collect()
+                    }
+                    // Chunks missing a key column all key as "∅", exactly
+                    // like the per-tuple path: only the first ever survives.
+                    None => (0..chunk.rows())
+                        .map(|_| self.seen.insert("∅".into()))
+                        .collect(),
+                }
+            };
+            out.push_chunk(chunk.filter(&mask));
+        }
+        out
+    }
 }
 
 /// Pass at most `n` tuples, then drop the rest.
@@ -235,6 +273,24 @@ impl LocalOperator for Limit {
         self.remaining -= 1;
         vec![tuple]
     }
+
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        let mut out = TupleBatch::default();
+        for chunk in batch.chunks() {
+            if self.remaining == 0 {
+                break;
+            }
+            let take = chunk.rows().min(self.remaining);
+            self.remaining -= take;
+            if take == chunk.rows() {
+                out.push_chunk(chunk.clone());
+            } else {
+                let mask: Vec<bool> = (0..chunk.rows()).map(|r| r < take).collect();
+                out.push_chunk(chunk.filter(&mask));
+            }
+        }
+        out
+    }
 }
 
 /// A queue: in the real engine this is where the dataflow "comes up for air"
@@ -250,6 +306,12 @@ impl LocalOperator for Queue {
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         self.yields += 1;
         vec![tuple]
+    }
+
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        // One yield point per tuple, exactly as per-row dispatch counts.
+        self.yields += batch.len() as u64;
+        batch.clone()
     }
 }
 
@@ -380,7 +442,7 @@ impl LocalOperator for GroupBy {
         Vec::new()
     }
 
-    fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
         // Absorb chunk-at-a-time: group columns and aggregate inputs resolve
         // once per chunk, the inner loop is column indexing only.
         for chunk in batch.chunks() {
@@ -412,7 +474,7 @@ impl LocalOperator for GroupBy {
                 }
             }
         }
-        Vec::new()
+        TupleBatch::default()
     }
 
     fn flush(&mut self) -> Vec<Tuple> {
@@ -457,6 +519,23 @@ impl LocalOperator for TopK {
             self.buffer.push(tuple);
         }
         Vec::new()
+    }
+
+    fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
+        // The order column resolves once per chunk; only rows that must be
+        // buffered (numeric order value) are materialised — buffering needs
+        // owned tuples by design.
+        for chunk in batch.chunks() {
+            let Some(idx) = self.order_col.index_for(chunk.schema()) else {
+                continue; // chunk lacks the order column: discard
+            };
+            for r in 0..chunk.rows() {
+                if chunk.column(idx)[r].as_f64().is_some() {
+                    self.buffer.push(chunk.row(r));
+                }
+            }
+        }
+        TupleBatch::default()
     }
 
     fn flush(&mut self) -> Vec<Tuple> {
@@ -702,43 +781,46 @@ impl Pipeline {
         current
     }
 
-    /// Push a whole batch through the pipeline: the first stage consumes the
-    /// batch chunk-at-a-time via [`LocalOperator::push_batch`] (where the
-    /// selective operators sit and the win is largest); its survivors then
-    /// traverse the remaining stages tuple-at-a-time, exactly as
-    /// [`Pipeline::push`] would route them.
-    pub fn push_batch(&mut self, batch: &TupleBatch) -> Vec<Tuple> {
+    /// Push a whole batch through the pipeline **chunk-to-chunk**: every
+    /// stage consumes the previous stage's re-chunked survivor batch via
+    /// [`LocalOperator::push_batch`], so a selection→projection→group-by
+    /// stack stays columnar end to end — a single-schema batch travels as
+    /// one chunk per stage and no stage boundary materialises per-row
+    /// tuples.  Produces exactly the rows [`Pipeline::push`] would, in the
+    /// same order.
+    pub fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
         let Some((first, rest)) = self.stages.split_first_mut() else {
-            return batch.iter().collect(); // pass-through pipeline
+            return batch.clone(); // pass-through pipeline
         };
         let mut current = first.push_batch(batch);
         for stage in rest.iter_mut() {
             if current.is_empty() {
                 break;
             }
-            let mut next = Vec::new();
-            for t in current {
-                next.extend(stage.push(t));
-            }
-            current = next;
+            current = stage.push_batch(&current);
         }
         current
     }
 
-    /// Flush every stage, cascading buffered tuples downstream.
+    /// Flush every stage, cascading buffered tuples downstream through the
+    /// batch path (a stateful stage's emissions form same-schema runs, so
+    /// downstream stages consume them as chunks).
     pub fn flush(&mut self) -> Vec<Tuple> {
-        let mut carried: Vec<Tuple> = Vec::new();
+        let mut carried = TupleBatch::default();
         for i in 0..self.stages.len() {
             // Tuples released by upstream flushes still have to traverse the
             // remaining stages.
-            let mut released = Vec::new();
-            for t in carried {
-                released.extend(self.stages[i].push(t));
+            let mut released = if carried.is_empty() {
+                TupleBatch::default()
+            } else {
+                self.stages[i].push_batch(&carried)
+            };
+            for t in self.stages[i].flush() {
+                released.push_tuple(t);
             }
-            released.extend(self.stages[i].flush());
             carried = released;
         }
-        carried
+        carried.into_tuples()
     }
 
     /// Number of stages.
@@ -1003,6 +1085,12 @@ mod tests {
             .flat_map(|t| per_tuple.push(t))
             .collect();
         let got = batched.push_batch(&TupleBatch::new(rows));
+        assert_eq!(
+            got.chunks().len(),
+            1,
+            "single-schema survivors stay one chunk"
+        );
+        let got = got.into_tuples();
         assert_eq!(got, expected);
         assert!(!got.is_empty());
     }
@@ -1019,7 +1107,10 @@ mod tests {
             .cloned()
             .flat_map(|t| per_tuple.push(t))
             .collect();
-        assert_eq!(batched.push_batch(&TupleBatch::new(rows)), expected);
+        assert_eq!(
+            batched.push_batch(&TupleBatch::new(rows)).into_tuples(),
+            expected
+        );
     }
 
     #[test]
@@ -1115,7 +1206,52 @@ mod tests {
             expected.extend(per_tuple.push(t));
         }
         let got = batched.push_batch(&TupleBatch::new(rows));
-        assert_eq!(got, expected);
+        assert_eq!(got.into_tuples(), expected);
         assert_eq!(batched.flush(), per_tuple.flush());
+    }
+
+    #[test]
+    fn chunked_pipeline_stays_columnar_between_stages() {
+        use crate::tuple::TupleBatch;
+        // selection → projection → distinct over a single-schema batch: the
+        // survivors leave every stage as one chunk (no per-tuple explosion).
+        let rows = netmon_rows(100);
+        let mut p = Pipeline::new(vec![
+            Box::new(Selection::new(Expr::cmp(
+                CmpOp::Lt,
+                Expr::col("port"),
+                Expr::lit(512i64),
+            ))) as Box<dyn LocalOperator + Send>,
+            Box::new(Projection::new(vec!["src".into()])),
+            Box::new(Distinct::new(vec!["src".into()])),
+        ]);
+        let out = p.push_batch(&TupleBatch::new(rows));
+        assert_eq!(out.chunks().len(), 1, "one chunk through the whole stack");
+        assert_eq!(out.len(), 7, "seven distinct sources");
+        for chunk in out.chunks() {
+            assert_eq!(chunk.schema().columns(), &["src".to_string()]);
+        }
+    }
+
+    #[test]
+    fn limit_and_queue_batch_paths_match_per_tuple() {
+        use crate::tuple::TupleBatch;
+        let rows = netmon_rows(50);
+        let mut lim_ref = Limit::new(17);
+        let mut lim_batch = Limit::new(17);
+        let expected: Vec<Tuple> = rows.iter().cloned().flat_map(|t| lim_ref.push(t)).collect();
+        let mut got = Vec::new();
+        for window in rows.chunks(20) {
+            got.extend(
+                lim_batch
+                    .push_batch(&TupleBatch::new(window.to_vec()))
+                    .into_tuples(),
+            );
+        }
+        assert_eq!(got, expected);
+        let mut q = Queue::default();
+        let echoed = q.push_batch(&TupleBatch::new(rows.clone()));
+        assert_eq!(echoed.into_tuples(), rows);
+        assert_eq!(q.yields, 50);
     }
 }

@@ -36,12 +36,15 @@
 //! values), exactly as in the paper, so unbatched transfers are accounted
 //! honestly.
 //!
-//! **Invariants.** Schemas are immutable once interned and the registry only
-//! ever grows (eviction is a ROADMAP item); `Arc::ptr_eq` on schemas is
-//! therefore equivalent to deep equality for the lifetime of the process.
-//! A `Tuple`'s value slice is parallel to its schema's columns (same arity),
-//! and a `ColumnChunk`'s column vectors are parallel to its schema's columns
-//! and all of equal length.
+//! **Invariants.** Schemas are immutable once interned, and the registry
+//! only evicts shapes nothing else references
+//! ([`SchemaRegistry::sweep_matching`], triggered on query teardown for
+//! query-scoped namespaces); `Arc::ptr_eq` on two *live* schema handles is
+//! therefore equivalent to deep equality — an evicted shape has no
+//! surviving handle to compare against.  A `Tuple`'s value slice is
+//! parallel to its schema's columns (same arity), and a `ColumnChunk`'s
+//! column vectors are parallel to its schema's columns and all of equal
+//! length.
 
 use crate::value::Value;
 use pier_runtime::WireSize;
@@ -137,12 +140,12 @@ fn schema_hash<'a>(table: &str, columns: impl Iterator<Item = &'a str>) -> u64 {
 
 /// Process-wide interner mapping (table, columns) shapes to shared
 /// [`Schema`]s.  Lookups hash borrowed names, so repeated construction of
-/// same-shaped tuples performs no string allocation at all.  The registry
-/// only ever grows: schemas are small, but shapes keyed by query-scoped
-/// table names (`q{id}.agg`, `q{id}.win`, …) accumulate with every query
-/// ever installed in the process, not just the currently installed ones —
-/// eviction via weak references is a ROADMAP item before very long-lived
-/// deployments.
+/// same-shaped tuples performs no string allocation at all.  Shapes keyed by
+/// query-scoped table names (`q{id}.agg`, `q{id}.win`, …) would otherwise
+/// accumulate with every query ever installed, so query teardown sweeps
+/// no-longer-referenced query-scoped shapes via
+/// [`SchemaRegistry::sweep_matching`], keeping the registry bounded by the
+/// live working set.
 #[derive(Debug, Default)]
 pub struct SchemaRegistry {
     shapes: Mutex<HashMap<u64, Vec<Arc<Schema>>>>,
@@ -204,6 +207,53 @@ impl SchemaRegistry {
         let schema = Arc::new(Schema::build(table, columns));
         bucket.push(Arc::clone(&schema));
         schema
+    }
+
+    /// Evict interned schemas whose table name satisfies `should_evict` and
+    /// that nothing outside the registry references any more (the registry
+    /// holds the only `Arc`).  Returns how many schemas were dropped.
+    ///
+    /// This is the teardown hook for query-scoped namespaces (`q{id}.agg`,
+    /// `q{id}.wp`, `q{id}.win`, …): without it the registry accumulates one
+    /// shape per query ever installed in the process.  Eviction is safe
+    /// because interning takes the registry lock — a schema with a strong
+    /// count of 1 cannot gain a new reference concurrently — and dropping an
+    /// unreferenced schema cannot invalidate any pointer-identity cache,
+    /// since no live tuple or resolver can still point at it.  Schemas that
+    /// are still referenced (e.g. by in-flight tuples) survive the sweep and
+    /// are collected by a later one once released.
+    pub fn sweep_matching(&self, mut should_evict: impl FnMut(&str) -> bool) -> usize {
+        let mut shapes = self.shapes.lock().unwrap();
+        let mut removed = 0;
+        shapes.retain(|_, bucket| {
+            bucket.retain(|s| {
+                let evict = Arc::strong_count(s) == 1 && should_evict(&s.table);
+                if evict {
+                    removed += 1;
+                }
+                !evict
+            });
+            !bucket.is_empty()
+        });
+        removed
+    }
+
+    /// [`SchemaRegistry::sweep_matching`] restricted to tables under a name
+    /// prefix (the common per-query form, e.g. `q42.`).
+    pub fn sweep_prefix(&self, prefix: &str) -> usize {
+        self.sweep_matching(|table| table.starts_with(prefix))
+    }
+
+    /// Number of interned schemas whose table name satisfies `pred` (used by
+    /// the eviction tests to observe query-scoped growth without racing on
+    /// the global total).
+    pub fn count_matching(&self, mut pred: impl FnMut(&str) -> bool) -> usize {
+        let shapes = self.shapes.lock().unwrap();
+        shapes
+            .values()
+            .flat_map(|bucket| bucket.iter())
+            .filter(|s| pred(&s.table))
+            .count()
     }
 }
 
@@ -461,6 +511,28 @@ impl ColumnChunk {
         self.rows += 1;
     }
 
+    /// Assemble a chunk directly from pre-built column vectors (the way
+    /// batch-at-a-time operators emit their output without ever
+    /// materialising a row).  `rows` disambiguates the row count for
+    /// zero-column schemas; every column vector must have exactly that
+    /// length and the outer vector must be parallel to the schema's columns.
+    pub fn from_columns(schema: Arc<Schema>, columns: Vec<Vec<Value>>, rows: usize) -> Self {
+        debug_assert_eq!(
+            schema.arity(),
+            columns.len(),
+            "schema/column arity mismatch"
+        );
+        debug_assert!(
+            columns.iter().all(|c| c.len() == rows),
+            "column lengths must equal the row count"
+        );
+        ColumnChunk {
+            schema,
+            columns,
+            rows,
+        }
+    }
+
     /// The shared schema of every row in this chunk.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -481,6 +553,42 @@ impl ColumnChunk {
     pub fn row(&self, r: usize) -> Tuple {
         let values: Vec<Value> = self.columns.iter().map(|c| c[r].clone()).collect();
         Tuple::from_schema(Arc::clone(&self.schema), values)
+    }
+
+    /// Borrow row `r` as a [`ChunkRow`] — the allocation-free counterpart of
+    /// [`ColumnChunk::row`] for operators that only need to *read* the row.
+    pub fn row_view(&self, r: usize) -> ChunkRow<'_> {
+        debug_assert!(r < self.rows);
+        ChunkRow { chunk: self, r }
+    }
+
+    /// Copy the rows selected by `mask` (parallel to the chunk's rows) into
+    /// a new chunk of the same schema.  The survivor count is known up
+    /// front, so every column vector is allocated exactly once — emitting a
+    /// whole filtered chunk costs `O(columns)` allocations regardless of the
+    /// row count, never a per-row `Tuple` materialisation.
+    pub fn filter(&self, mask: &[bool]) -> ColumnChunk {
+        debug_assert_eq!(mask.len(), self.rows, "mask must be parallel to rows");
+        let kept = mask.iter().filter(|m| **m).count();
+        let columns = self
+            .columns
+            .iter()
+            .map(|col| {
+                let mut out = Vec::with_capacity(kept);
+                out.extend(
+                    col.iter()
+                        .zip(mask)
+                        .filter(|(_, m)| **m)
+                        .map(|(v, _)| v.clone()),
+                );
+                out
+            })
+            .collect();
+        ColumnChunk {
+            schema: Arc::clone(&self.schema),
+            columns,
+            rows: kept,
+        }
     }
 
     /// Canonical key string for row `r` over pre-resolved column indices —
@@ -527,6 +635,64 @@ impl WireSize for ColumnChunk {
     }
 }
 
+/// A borrowed view of one row of a [`ColumnChunk`]: positional access to the
+/// row's values without materialising a [`Tuple`] (no `Arc<[Value]>`, no
+/// value clones).  This is what selection masks, eddy filters and compiled
+/// expressions ([`crate::expr::CompiledExpr::eval_view`]) read on the
+/// survivor hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkRow<'a> {
+    chunk: &'a ColumnChunk,
+    r: usize,
+}
+
+impl<'a> ChunkRow<'a> {
+    /// The schema shared by every row of the underlying chunk.
+    pub fn schema(&self) -> &'a Arc<Schema> {
+        &self.chunk.schema
+    }
+
+    /// The chunk this row belongs to.
+    pub fn chunk(&self) -> &'a ColumnChunk {
+        self.chunk
+    }
+
+    /// This row's index within its chunk.
+    pub fn index(&self) -> usize {
+        self.r
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.chunk.schema.arity()
+    }
+
+    /// The value of column `idx` — positional, the resolved-index access
+    /// every per-schema cache ([`ColumnResolver`], compiled expressions)
+    /// boils down to.
+    pub fn get(&self, idx: usize) -> &'a Value {
+        &self.chunk.columns[idx][self.r]
+    }
+
+    /// The value of the named column, resolved through the schema (prefer
+    /// [`ChunkRow::get`] with a pre-resolved index on hot paths).
+    pub fn get_named(&self, column: &str) -> Option<&'a Value> {
+        self.chunk.schema.position(column).map(|i| self.get(i))
+    }
+
+    /// Canonical key string over pre-resolved column indices — identical to
+    /// [`Tuple::key_at`] on the materialised row.
+    pub fn key_at(&self, indices: &[usize]) -> String {
+        self.chunk.key_at(indices, self.r)
+    }
+
+    /// Materialise the row as an owned [`Tuple`] (the escape hatch for
+    /// consumers that must retain it).
+    pub fn to_tuple(&self) -> Tuple {
+        self.chunk.row(self.r)
+    }
+}
+
 /// A batch of tuples coalesced for one overlay transfer (the unit the
 /// executor's rehash/exchange and partial-aggregate paths ship; see
 /// `pier_dht::DhtMessage::PutBatch` for the per-destination grouping).
@@ -539,7 +705,7 @@ impl WireSize for ColumnChunk {
 /// extra).  Row order is preserved across the columnar round-trip:
 /// `TupleBatch::new(rows).into_tuples() == rows`, which the property tests
 /// pin bit-for-bit.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct TupleBatch {
     chunks: Vec<ColumnChunk>,
     len: usize,
@@ -570,6 +736,48 @@ impl TupleBatch {
             i = end;
         }
         TupleBatch { chunks, len }
+    }
+
+    /// Assemble a batch directly from columnar chunks, preserving their
+    /// order (empty chunks are dropped).  The chunk-to-chunk stage interface
+    /// builds its outputs this way — survivors never pass through a
+    /// row-major `Vec<Tuple>` in between.
+    pub fn from_chunks(chunks: Vec<ColumnChunk>) -> Self {
+        let mut batch = TupleBatch::default();
+        for chunk in chunks {
+            batch.push_chunk(chunk);
+        }
+        batch
+    }
+
+    /// Append a whole chunk to the batch (no-op for empty chunks).
+    pub fn push_chunk(&mut self, chunk: ColumnChunk) {
+        if chunk.rows() == 0 {
+            return;
+        }
+        self.len += chunk.rows();
+        self.chunks.push(chunk);
+    }
+
+    /// Append one tuple, extending the last chunk when the schema matches
+    /// (so incrementally built batches still form same-schema runs).
+    pub fn push_tuple(&mut self, tuple: Tuple) {
+        match self.chunks.last_mut() {
+            Some(last) if Arc::ptr_eq(&last.schema, tuple.schema()) => last.push_row(&tuple),
+            _ => {
+                let mut chunk = ColumnChunk::with_capacity(Arc::clone(tuple.schema()), 1);
+                chunk.push_row(&tuple);
+                self.chunks.push(chunk);
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Append every row of `other` after this batch's rows.
+    pub fn append(&mut self, other: TupleBatch) {
+        for chunk in other.chunks {
+            self.push_chunk(chunk);
+        }
     }
 
     /// The columnar chunks, in row order.
@@ -987,6 +1195,135 @@ mod tests {
         for (r, t) in tuples.iter().enumerate() {
             assert_eq!(chunk.key_at(&indices, r), t.key_at(&indices));
         }
+    }
+
+    #[test]
+    fn sweep_evicts_unreferenced_query_scoped_schemas() {
+        // A private registry so the test does not race other tests on the
+        // process-wide one; the mechanics are identical.
+        let registry = SchemaRegistry::default();
+        // Install-and-drop 1k queries' worth of query-scoped shapes, with
+        // the per-teardown sweep a PierNode performs: the registry must stay
+        // bounded instead of accumulating 3k schemas.
+        let mut peak = 0;
+        for q in 0..1_000 {
+            let agg = registry.intern(&format!("q{q}.agg"), &["src", "count"]);
+            let wp = registry.intern(&format!("q{q}.wp"), &["_w", "src", "count"]);
+            let win = registry.intern(
+                &format!("q{q}.win"),
+                &["window_start", "window_end", "src", "count"],
+            );
+            peak = peak.max(registry.len());
+            drop((agg, wp, win)); // query teardown releases the references
+            registry.sweep_prefix(&format!("q{q}."));
+        }
+        assert_eq!(registry.len(), 0, "all query-scoped shapes evicted");
+        assert!(peak <= 3, "at most one live query's shapes at a time");
+    }
+
+    #[test]
+    fn sweep_spares_referenced_schemas_until_released() {
+        let registry = SchemaRegistry::default();
+        let held = registry.intern("q7.agg", &["src"]);
+        let _gone = registry.intern("q7.wp", &["_w", "src"]);
+        drop(_gone);
+        // The referenced shape survives; the unreferenced one goes.
+        assert_eq!(registry.sweep_prefix("q7."), 1);
+        assert_eq!(registry.len(), 1);
+        // Re-interning the held shape still hits the same allocation.
+        let again = registry.intern("q7.agg", &["src"]);
+        assert!(Arc::ptr_eq(&held, &again));
+        // Non-query tables are not swept by the teardown matcher (the very
+        // predicate `PierNode::uninstall_query` sweeps with).
+        let user = registry.intern("quotes.live", &["x"]);
+        drop(user);
+        assert_eq!(
+            registry.sweep_matching(crate::node::is_query_scoped_table),
+            0,
+            "a user table starting with 'q' must not be swept"
+        );
+        drop((held, again));
+        assert_eq!(registry.sweep_prefix("q7."), 1);
+        assert_eq!(registry.count_matching(|t| t.starts_with("q7.")), 0);
+    }
+
+    #[test]
+    fn chunk_filter_and_row_view_match_materialised_rows() {
+        let tuples: Vec<Tuple> = (0..10)
+            .map(|i| {
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{i}").into())),
+                        ("port", Value::Int(i)),
+                    ],
+                )
+            })
+            .collect();
+        let batch = TupleBatch::new(tuples.clone());
+        let chunk = &batch.chunks()[0];
+        // Row views read the same values positionally and by name.
+        for (r, t) in tuples.iter().enumerate() {
+            let view = chunk.row_view(r);
+            assert_eq!(view.get(1), &Value::Int(r as i64));
+            assert_eq!(view.get_named("src"), t.get("src"));
+            assert_eq!(view.get_named("nope"), None);
+            assert_eq!(view.key_at(&[1, 0]), t.key_at(&[1, 0]));
+            assert_eq!(view.to_tuple(), *t);
+            assert_eq!(view.arity(), 2);
+            assert_eq!(view.index(), r);
+            assert!(Arc::ptr_eq(view.schema(), t.schema()));
+        }
+        // Filtering by mask keeps exactly the selected rows, in order.
+        let mask: Vec<bool> = (0..10).map(|r| r % 3 == 0).collect();
+        let filtered = chunk.filter(&mask);
+        assert_eq!(filtered.rows(), 4);
+        assert!(Arc::ptr_eq(filtered.schema(), chunk.schema()));
+        let expected: Vec<Tuple> = tuples
+            .iter()
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(t, _)| t.clone())
+            .collect();
+        assert_eq!(filtered.iter_rows().collect::<Vec<_>>(), expected);
+        // All-false and all-true masks degenerate correctly.
+        assert_eq!(chunk.filter(&[false; 10]).rows(), 0);
+        assert_eq!(chunk.filter(&[true; 10]), *chunk);
+    }
+
+    #[test]
+    fn incremental_batch_builders_preserve_runs_and_order() {
+        let a = Tuple::new("r", vec![("x", Value::Int(1))]);
+        let b = Tuple::new("s", vec![("y", Value::Int(2))]);
+        let mut batch = TupleBatch::default();
+        assert!(batch.is_empty());
+        batch.push_tuple(a.clone());
+        batch.push_tuple(a.clone());
+        batch.push_tuple(b.clone());
+        batch.push_tuple(a.clone());
+        // Same-schema neighbours coalesce into one chunk per run.
+        assert_eq!(batch.chunks().len(), 3);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(
+            batch.clone().into_tuples(),
+            vec![a.clone(), a.clone(), b.clone(), a.clone()]
+        );
+        // Appending another batch preserves its rows after ours.
+        let mut other = TupleBatch::new(vec![b.clone(), b.clone()]);
+        other.append(batch.clone());
+        assert_eq!(other.len(), 6);
+        assert_eq!(other.into_tuples()[..2], vec![b.clone(), b.clone()]);
+        // from_chunks drops empties and keeps order.
+        let rebuilt = TupleBatch::from_chunks(
+            batch
+                .chunks()
+                .iter()
+                .cloned()
+                .chain(std::iter::once(batch.chunks()[0].filter(&[false, false])))
+                .collect(),
+        );
+        assert_eq!(rebuilt.len(), 4);
+        assert_eq!(rebuilt.chunks().len(), 3);
     }
 
     #[test]

@@ -156,6 +156,12 @@ pub struct Router {
     stabilize_rounds: u64,
     internal_seq: u64,
     pending_internal: HashMap<u64, u32>,
+    /// Bumped whenever the neighbor view (predecessor / successor list)
+    /// changes — node adopted, evicted, or presumed dead.  Owner resolutions
+    /// derived from routing state (e.g. the wrapper's owner cache feeding
+    /// batched puts) are only valid within one epoch; callers compare epochs
+    /// to invalidate on membership change.
+    membership_epoch: u64,
 }
 
 impl Router {
@@ -176,6 +182,7 @@ impl Router {
             stabilize_rounds: 0,
             internal_seq: 0,
             pending_internal: HashMap::new(),
+            membership_epoch: 0,
         }
     }
 
@@ -214,6 +221,12 @@ impl Router {
     /// This node's identity.
     pub fn me(&self) -> NodeRef {
         self.me
+    }
+
+    /// The current membership epoch: any change to the neighbor view bumps
+    /// it, invalidating owner resolutions cached outside the router.
+    pub fn membership_epoch(&self) -> u64 {
+        self.membership_epoch
     }
 
     /// Current predecessor, if known.
@@ -541,7 +554,10 @@ impl Router {
                     let mut list = vec![replier];
                     list.extend(successors.into_iter().filter(|n| n.addr != self.me.addr));
                     list.truncate(self.config.successor_list_len);
-                    self.successors = list;
+                    if list != self.successors {
+                        self.successors = list;
+                        self.membership_epoch += 1;
+                    }
                 }
                 // Notify our successor that we might be its predecessor.
                 match self.successor() {
@@ -560,6 +576,7 @@ impl Router {
                 };
                 if adopt && candidate.addr != self.me.addr {
                     self.predecessor = Some(candidate);
+                    self.membership_epoch += 1;
                 }
                 Vec::new()
             }
@@ -573,7 +590,10 @@ impl Router {
         }
         self.last_heard.entry(node.addr).or_insert(now);
         match self.successor() {
-            None => self.successors.push(node),
+            None => {
+                self.successors.push(node);
+                self.membership_epoch += 1;
+            }
             Some(s) => {
                 if node.id.strictly_between(self.me.id, s.id) {
                     self.adopt_successor(node);
@@ -589,6 +609,7 @@ impl Router {
         self.successors.retain(|n| n.addr != node.addr);
         self.successors.insert(0, node);
         self.successors.truncate(self.config.successor_list_len);
+        self.membership_epoch += 1;
     }
 
     /// Periodic stabilization: drop successors that look dead, probe the
@@ -603,7 +624,12 @@ impl Router {
             .filter(|s| self.presumed_dead(s.addr, now))
             .map(|s| s.addr)
             .collect();
-        self.successors.retain(|s| !dead.contains(&s.addr));
+        if !dead.is_empty() {
+            self.successors.retain(|s| !dead.contains(&s.addr));
+            // A departed node left the neighbor view: owner resolutions
+            // cached outside the router must not keep grouping toward it.
+            self.membership_epoch += 1;
+        }
         // Evict failed finger entries so routing stops using them.
         for slot in self.fingers.iter_mut() {
             if let Some(f) = slot {
@@ -616,6 +642,7 @@ impl Router {
         if let Some(p) = self.predecessor {
             if self.presumed_dead(p.addr, now) {
                 self.predecessor = None;
+                self.membership_epoch += 1;
             }
         }
         let mut effects = Vec::new();

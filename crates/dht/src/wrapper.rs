@@ -175,7 +175,9 @@ enum PendingOp<V> {
         name: ObjectName,
         lifetime: Duration,
     },
-    RawLookup,
+    RawLookup {
+        target: Id,
+    },
 }
 
 /// The overlay wrapper: one instance per node.
@@ -185,12 +187,31 @@ pub struct Overlay<V> {
     config: OverlayConfig,
     router: Router,
     objects: ObjectManager<V>,
-    pending: HashMap<u64, PendingOp<V>>,
+    /// In-flight operations awaiting a lookup, stamped with the router's
+    /// membership epoch at issue time: a resolution that completes after a
+    /// membership change is used for the operation itself (the classic
+    /// Figure-6 race, tolerated by soft state) but is NOT admitted into the
+    /// owner cache, so a pre-churn answer cannot re-poison a just-cleared
+    /// cache.
+    pending: HashMap<u64, (u64, PendingOp<V>)>,
     pending_upcalls: HashMap<u64, (Id, ObjectName, V, Duration, u32)>,
     next_request_id: u64,
     next_upcall_token: u64,
     tree_root: Id,
     tree_children: HashMap<NodeAddr, SimTime>,
+    /// Identifier→owner resolutions learned from completed lookups, each
+    /// stamped with its fill time and valid only within
+    /// `owner_cache_epoch` (the router's membership epoch at fill time).
+    /// Extends [`Overlay::put_batch`] coalescing beyond the successor list
+    /// on large rings.  Two invalidation layers bound staleness: any
+    /// *locally visible* membership change — a neighbor joining, leaving,
+    /// or being presumed dead — clears the cache wholesale via the epoch,
+    /// and a per-entry TTL (the router's liveness timeout) bounds how long
+    /// a resolution can be trusted when membership changes *outside* the
+    /// local neighbor view (a remote join taking over the arc never bumps
+    /// our epoch; after the TTL the entry falls back to a fresh lookup).
+    owner_cache: HashMap<Id, (NodeRef, SimTime)>,
+    owner_cache_epoch: u64,
 }
 
 impl<V: Clone + Debug + WireSize> Overlay<V> {
@@ -208,6 +229,8 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             next_upcall_token: 0,
             tree_root: hash_str(TREE_ROOT_NAME),
             tree_children: HashMap::new(),
+            owner_cache: HashMap::new(),
+            owner_cache_epoch: 0,
         }
     }
 
@@ -305,10 +328,13 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         }
         self.pending.insert(
             request_id,
-            PendingOp::Get {
-                namespace: namespace.to_string(),
-                key: key.to_string(),
-            },
+            (
+                self.router.membership_epoch(),
+                PendingOp::Get {
+                    namespace: namespace.to_string(),
+                    key: key.to_string(),
+                },
+            ),
         );
         let effects = self.router.lookup(id, request_id, now);
         (request_id, self.absorb_router_effects(effects, now))
@@ -330,23 +356,81 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         let request_id = self.next_request_id();
         self.pending.insert(
             request_id,
-            PendingOp::Put {
-                name,
-                value,
-                lifetime,
-            },
+            (
+                self.router.membership_epoch(),
+                PendingOp::Put {
+                    name,
+                    value,
+                    lifetime,
+                },
+            ),
         );
         let effects = self.router.lookup(id, request_id, now);
         self.absorb_router_effects(effects, now)
     }
 
-    /// A batched `put`: entries whose owner is determinable from local
-    /// routing state ([`Router::known_owner`]) are grouped into one
-    /// [`DhtMessage::PutBatch`] per destination node (locally-owned entries
-    /// are stored directly); the rest fall back to the classic per-entry
-    /// lookup-then-transfer flow of Figure 6.  Every entry keeps its own
-    /// name and lifetime, so storage and expiry behave exactly as separate
-    /// puts — only message framing is shared.
+    /// Drop every cached owner resolution when the router's membership view
+    /// has changed since the cache was filled.  Called before any cache read
+    /// or write, so a node that left (or was presumed dead and evicted)
+    /// never serves another grouped transfer out of stale state.
+    fn validate_owner_cache(&mut self) {
+        let epoch = self.router.membership_epoch();
+        if epoch != self.owner_cache_epoch {
+            self.owner_cache.clear();
+            self.owner_cache_epoch = epoch;
+        }
+    }
+
+    /// The owner of `id` as far as this node can tell without a routed
+    /// lookup: authoritative local routing state first
+    /// ([`Router::known_owner`]), then the lookup-fed owner cache (valid
+    /// for the current membership epoch, younger than the liveness-timeout
+    /// TTL, and only while the cached node is not presumed dead).
+    fn resolved_owner(&mut self, id: Id, now: SimTime) -> Option<NodeRef> {
+        if let Some(owner) = self.router.known_owner(id, now) {
+            return Some(owner);
+        }
+        self.validate_owner_cache();
+        let ttl = self.config.router.liveness_timeout;
+        let (owner, cached_at) = self.owner_cache.get(&id).copied()?;
+        if now.saturating_sub(cached_at) > ttl || self.router.presumed_dead(owner.addr, now) {
+            self.owner_cache.remove(&id);
+            return None;
+        }
+        Some(owner)
+    }
+
+    /// Hard cap on cached owner resolutions.  Reaching it first purges
+    /// TTL-expired entries; if the cache is still full, it is cleared
+    /// wholesale (losing warm resolutions is only a perf hiccup — the next
+    /// flush re-primes via lookups).  Without the cap, a long-lived node on
+    /// a churn-free ring (epoch never bumps) would accumulate one entry per
+    /// distinct identifier ever resolved.
+    const OWNER_CACHE_MAX: usize = 1024;
+
+    /// Record a lookup-resolved owner for reuse by later batched puts.
+    fn cache_owner(&mut self, id: Id, owner: NodeRef, now: SimTime) {
+        self.validate_owner_cache();
+        if self.owner_cache.len() >= Self::OWNER_CACHE_MAX {
+            let ttl = self.config.router.liveness_timeout;
+            self.owner_cache
+                .retain(|_, (_, cached_at)| now.saturating_sub(*cached_at) <= ttl);
+            if self.owner_cache.len() >= Self::OWNER_CACHE_MAX {
+                self.owner_cache.clear();
+            }
+        }
+        self.owner_cache.insert(id, (owner, now));
+    }
+
+    /// A batched `put`: entries whose owner is determinable without a
+    /// routed lookup — from local routing state ([`Router::known_owner`]) or
+    /// from the membership-epoch-scoped owner cache fed by completed
+    /// lookups — are grouped into one [`DhtMessage::PutBatch`] per
+    /// destination node (locally-owned entries are stored directly); the
+    /// rest fall back to the classic per-entry lookup-then-transfer flow of
+    /// Figure 6 (and prime the cache for the next flush).  Every entry keeps
+    /// its own name and lifetime, so storage and expiry behave exactly as
+    /// separate puts — only message framing is shared.
     pub fn put_batch(
         &mut self,
         entries: Vec<(ObjectName, V, Duration)>,
@@ -357,7 +441,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         let mut unresolved = Vec::new();
         for (name, value, lifetime) in entries {
             let id = name.routing_id();
-            match self.router.known_owner(id, now) {
+            match self.resolved_owner(id, now) {
                 Some(owner) if owner.addr == self.me.addr => {
                     effects.extend(self.store_local(name, value, lifetime, now));
                 }
@@ -414,8 +498,13 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 })],
             );
         }
-        self.pending
-            .insert(request_id, PendingOp::Renew { name, lifetime });
+        self.pending.insert(
+            request_id,
+            (
+                self.router.membership_epoch(),
+                PendingOp::Renew { name, lifetime },
+            ),
+        );
         let effects = self.router.lookup(id, request_id, now);
         (request_id, self.absorb_router_effects(effects, now))
     }
@@ -463,7 +552,13 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
     /// arrives as [`OverlayEvent::LookupDone`].
     pub fn lookup(&mut self, target: Id, now: SimTime) -> (u64, Vec<OverlayEffect<V>>) {
         let request_id = self.next_request_id();
-        self.pending.insert(request_id, PendingOp::RawLookup);
+        self.pending.insert(
+            request_id,
+            (
+                self.router.membership_epoch(),
+                PendingOp::RawLookup { target },
+            ),
+        );
         let effects = self.router.lookup(target, request_id, now);
         (request_id, self.absorb_router_effects(effects, now))
     }
@@ -635,7 +730,17 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             DhtMessage::PutBatch { entries } => {
                 let mut effects = Vec::new();
                 for (name, value, lifetime) in entries {
-                    effects.extend(self.store_local(name, value, lifetime, now));
+                    if self.router.is_responsible(name.routing_id()) {
+                        effects.extend(self.store_local(name, value, lifetime, now));
+                    } else {
+                        // A membership change raced the coalesced transfer
+                        // (e.g. a joiner took over part of this arc after
+                        // the sender resolved us as the owner): re-enter the
+                        // classic lookup-then-transfer flow instead of
+                        // storing the entry out of place, where no correctly
+                        // routed get would ever find it.
+                        effects.extend(self.put(name, value, lifetime, now));
+                    }
                 }
                 effects
             }
@@ -769,10 +874,23 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         hops: u32,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
-        let op = match self.pending.remove(&request_id) {
-            Some(op) => op,
+        let (issued_epoch, op) = match self.pending.remove(&request_id) {
+            Some(entry) => entry,
             None => return Vec::new(),
         };
+        // Remember the resolution so later batched puts can group entries
+        // for this identifier's arc without re-paying the lookup round —
+        // but only when no membership change happened while the lookup was
+        // in flight; a pre-churn answer must not re-poison the cache the
+        // epoch bump just cleared.
+        if issued_epoch == self.router.membership_epoch() && owner.addr != self.me.addr {
+            let target = match &op {
+                PendingOp::Get { namespace, key } => crate::id::routing_id(namespace, key),
+                PendingOp::Put { name, .. } | PendingOp::Renew { name, .. } => name.routing_id(),
+                PendingOp::RawLookup { target } => *target,
+            };
+            self.cache_owner(target, owner, now);
+        }
         match op {
             PendingOp::Get { namespace, key } => {
                 if owner.addr == self.me.addr {
@@ -832,7 +950,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                     }]
                 }
             }
-            PendingOp::RawLookup => vec![OverlayEffect::Event(OverlayEvent::LookupDone {
+            PendingOp::RawLookup { .. } => vec![OverlayEffect::Event(OverlayEvent::LookupDone {
                 request_id,
                 owner,
                 hops,
@@ -1050,6 +1168,416 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         };
         assert!(msgs[0].1.wire_size() < separate);
+    }
+
+    #[test]
+    fn put_batch_never_coalesces_toward_a_departed_node() {
+        // Three nodes; node 1 owns the middle arc, then leaves (its probes
+        // go unanswered until stabilization evicts it).  A batch flushed
+        // after the eviction must not group a single entry toward it.
+        let refs = vec![
+            NodeRef {
+                id: Id(100),
+                addr: NodeAddr(0),
+            },
+            NodeRef {
+                id: Id(u64::MAX / 3),
+                addr: NodeAddr(1),
+            },
+            NodeRef {
+                id: Id(2 * (u64::MAX / 3)),
+                addr: NodeAddr(2),
+            },
+        ];
+        let mut a: Overlay<String> =
+            Overlay::with_static_ring(refs[0], &refs, OverlayConfig::default());
+        let keys: Vec<String> = (0..200)
+            .map(|i| format!("k{i}"))
+            .filter(|k| {
+                let id = routing_id("t", k);
+                id.in_interval(refs[0].id, refs[1].id)
+            })
+            .take(6)
+            .collect();
+        assert!(keys.len() >= 4, "need keys in the departed node's arc");
+        let entries = |suffix: u64| -> Vec<(ObjectName, String, u64)> {
+            keys.iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    (
+                        ObjectName::new("t", k.clone(), suffix + i as u64),
+                        "v".to_string(),
+                        1_000_000,
+                    )
+                })
+                .collect()
+        };
+        // Before the churn the whole pile coalesces toward node 1.
+        let effects = a.put_batch(entries(0), 0);
+        assert!(sends(&effects).iter().all(|(to, _)| *to == NodeAddr(1)));
+        assert!(sends(&effects)
+            .iter()
+            .any(|(_, m)| matches!(m, DhtMessage::PutBatch { .. })));
+        // Node 1 departs: its stabilization probe goes unanswered past the
+        // liveness timeout; node 2 keeps answering and stays trusted.
+        a.on_timer(OverlayTimer::Stabilize, 0);
+        a.on_message(
+            NodeAddr(2),
+            DhtMessage::Routing(crate::router::RouterMessage::Notify { from: refs[2] }),
+            1_000,
+        );
+        let epoch_before = a.router().membership_epoch();
+        a.on_timer(OverlayTimer::Stabilize, 60_000_000);
+        assert!(
+            a.router().membership_epoch() > epoch_before,
+            "eviction must bump the membership epoch"
+        );
+        // The same arc now resolves to node 2 (the next live successor);
+        // nothing — batched or otherwise — travels to the departed node.
+        let effects = a.put_batch(entries(100), 60_000_001);
+        let msgs = sends(&effects);
+        assert!(!msgs.is_empty());
+        assert!(
+            msgs.iter().all(|(to, _)| *to != NodeAddr(1)),
+            "no transfer may target the departed node: {msgs:?}"
+        );
+        assert!(msgs
+            .iter()
+            .any(|(to, m)| *to == NodeAddr(2) && matches!(m, DhtMessage::PutBatch { .. })));
+    }
+
+    #[test]
+    fn owner_cache_extends_coalescing_and_invalidates_on_membership_change() {
+        // Six nodes, successor list truncated to 1: arcs beyond the direct
+        // successor are not locally determinable, so batched puts for them
+        // need either a lookup round or the lookup-fed owner cache.
+        let n = 6u64;
+        let refs: Vec<NodeRef> = (0..n)
+            .map(|i| NodeRef {
+                id: Id(100 + i * (u64::MAX / n)),
+                addr: NodeAddr(i as u32),
+            })
+            .collect();
+        let config = OverlayConfig {
+            router: RouterConfig {
+                successor_list_len: 1,
+                ..RouterConfig::default()
+            },
+            ..OverlayConfig::default()
+        };
+        let mut overlays: Vec<Overlay<String>> = refs
+            .iter()
+            .map(|r| Overlay::with_static_ring(*r, &refs, config))
+            .collect();
+        // Pick a target arc at least two hops from node 0.
+        let target = refs[3];
+        let keys: Vec<String> = (0..400)
+            .map(|i| format!("k{i}"))
+            .filter(|k| routing_id("t", k).in_interval(refs[2].id, refs[3].id))
+            .take(5)
+            .collect();
+        assert!(keys.len() >= 5, "need keys in the far arc");
+        // A single classic put resolves the owner via a routed lookup…
+        let mut queue: Vec<(NodeAddr, NodeAddr, DhtMessage<String>)> = overlays[0]
+            .put(
+                ObjectName::new("t", keys[0].clone(), 1),
+                "v".into(),
+                1_000_000,
+                0,
+            )
+            .into_iter()
+            .filter_map(|e| match e {
+                OverlayEffect::Send { to, msg } => Some((NodeAddr(0), to, msg)),
+                _ => None,
+            })
+            .collect();
+        let mut put_request_seen = false;
+        let mut guard = 0;
+        while let Some((from, to, msg)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 64, "lookup did not converge");
+            if matches!(msg, DhtMessage::PutRequest { .. }) {
+                assert_eq!(to, target.addr);
+                put_request_seen = true;
+                continue;
+            }
+            for e in overlays[to.index()].on_message(from, msg, 0) {
+                if let OverlayEffect::Send { to: next, msg } = e {
+                    queue.push((to, next, msg));
+                }
+            }
+        }
+        assert!(put_request_seen, "the classic put must reach the owner");
+        // …which primes the cache only for that exact identifier; batched
+        // puts for *other* keys of the arc still lack a local resolution, so
+        // they fall back to lookups whose replies fill the cache.
+        let entries: Vec<(ObjectName, String, u64)> = keys[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                (
+                    ObjectName::new("t", k.clone(), 10 + i as u64),
+                    "v".to_string(),
+                    1_000_000,
+                )
+            })
+            .collect();
+        let effects = overlays[0].put_batch(entries.clone(), 10);
+        let mut queue: Vec<(NodeAddr, NodeAddr, DhtMessage<String>)> = sends(&effects)
+            .into_iter()
+            .map(|(to, msg)| (NodeAddr(0), to, msg))
+            .collect();
+        let mut guard = 0;
+        while let Some((from, to, msg)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 256, "batch fallback lookups did not converge");
+            if matches!(
+                msg,
+                DhtMessage::PutRequest { .. } | DhtMessage::PutBatch { .. }
+            ) {
+                assert_eq!(to, target.addr);
+                continue;
+            }
+            for e in overlays[to.index()].on_message(from, msg, 10) {
+                if let OverlayEffect::Send { to: next, msg } = e {
+                    queue.push((to, next, msg));
+                }
+            }
+        }
+        assert!(
+            !overlays[0].owner_cache.is_empty(),
+            "completed lookups must feed the owner cache"
+        );
+        // With the cache warm, a fresh batch for the same arc coalesces into
+        // ONE PutBatch straight to the owner — no lookup round at all.
+        let warm: Vec<(ObjectName, String, u64)> = keys[1..]
+            .iter()
+            .enumerate()
+            .map(|(i, k)| {
+                (
+                    ObjectName::new("t", k.clone(), 50 + i as u64),
+                    "v".to_string(),
+                    1_000_000,
+                )
+            })
+            .collect();
+        let effects = overlays[0].put_batch(warm.clone(), 20);
+        let msgs = sends(&effects);
+        assert_eq!(
+            msgs.len(),
+            1,
+            "one coalesced transfer, no lookups: {msgs:?}"
+        );
+        assert_eq!(msgs[0].0, target.addr);
+        assert!(matches!(&msgs[0].1, DhtMessage::PutBatch { entries } if entries.len() == 4));
+        // A membership change (a new predecessor announces itself) bumps the
+        // router's epoch and clears the cache: the next batch must not trust
+        // the stale resolution.
+        let newcomer = NodeRef {
+            id: Id(99),
+            addr: NodeAddr(42),
+        };
+        overlays[0].on_message(
+            newcomer.addr,
+            DhtMessage::Routing(crate::router::RouterMessage::Notify { from: newcomer }),
+            30,
+        );
+        let effects = overlays[0].put_batch(warm, 30);
+        assert!(
+            overlays[0].owner_cache.is_empty(),
+            "membership change must clear the owner cache"
+        );
+        assert!(
+            sends(&effects)
+                .iter()
+                .all(|(_, m)| !matches!(m, DhtMessage::PutBatch { .. })),
+            "no coalesced transfer may ride a stale resolution"
+        );
+    }
+
+    #[test]
+    fn put_batch_receiver_forwards_entries_it_does_not_own() {
+        // A coalesced transfer landing at a node that is not (or no longer)
+        // responsible for its entries — e.g. the sender's cached owner went
+        // stale after a join — must re-enter the routed put flow, never
+        // store the objects where no correctly routed get would find them.
+        let refs = vec![
+            NodeRef {
+                id: Id(100),
+                addr: NodeAddr(0),
+            },
+            NodeRef {
+                id: Id(u64::MAX / 3),
+                addr: NodeAddr(1),
+            },
+            NodeRef {
+                id: Id(2 * (u64::MAX / 3)),
+                addr: NodeAddr(2),
+            },
+        ];
+        let mut b: Overlay<String> =
+            Overlay::with_static_ring(refs[1], &refs, OverlayConfig::default());
+        // Keys owned by node 2, misdirected to node 1 in one PutBatch.
+        let entries: Vec<(ObjectName, String, u64)> = (0..200)
+            .map(|i| format!("k{i}"))
+            .filter(|k| routing_id("t", k).in_interval(refs[1].id, refs[2].id))
+            .take(3)
+            .enumerate()
+            .map(|(i, k)| {
+                (
+                    ObjectName::new("t", k, i as u64),
+                    "v".to_string(),
+                    1_000_000,
+                )
+            })
+            .collect();
+        assert_eq!(entries.len(), 3);
+        let misdirected = DhtMessage::PutBatch {
+            entries: entries.clone(),
+        };
+        let effects = b.on_message(NodeAddr(0), misdirected, 0);
+        assert!(
+            events(&effects).is_empty(),
+            "nothing may be stored out of place"
+        );
+        assert_eq!(b.objects().len(), 0);
+        // Every entry is forwarded toward the true owner instead (node 2 is
+        // b's successor, so the re-entered put resolves it directly).
+        let msgs = sends(&effects);
+        assert_eq!(msgs.len(), entries.len());
+        assert!(msgs
+            .iter()
+            .all(|(to, m)| *to == NodeAddr(2) && matches!(m, DhtMessage::PutRequest { .. })));
+    }
+
+    #[test]
+    fn owner_cache_entries_expire_and_in_flight_lookups_cannot_repoison() {
+        // Same truncated-successor-list setup as the test above: far arcs
+        // resolve only through the lookup-fed owner cache.
+        let n = 6u64;
+        let refs: Vec<NodeRef> = (0..n)
+            .map(|i| NodeRef {
+                id: Id(100 + i * (u64::MAX / n)),
+                addr: NodeAddr(i as u32),
+            })
+            .collect();
+        let config = OverlayConfig {
+            router: RouterConfig {
+                successor_list_len: 1,
+                ..RouterConfig::default()
+            },
+            ..OverlayConfig::default()
+        };
+        let mut overlays: Vec<Overlay<String>> = refs
+            .iter()
+            .map(|r| Overlay::with_static_ring(*r, &refs, config))
+            .collect();
+        let target = refs[3];
+        let keys: Vec<String> = (0..400)
+            .map(|i| format!("k{i}"))
+            .filter(|k| routing_id("t", k).in_interval(refs[2].id, refs[3].id))
+            .take(3)
+            .collect();
+        assert!(keys.len() >= 3, "need keys in the far arc");
+        let entries = |suffix: u64, now_keys: &[String]| -> Vec<(ObjectName, String, u64)> {
+            now_keys
+                .iter()
+                .enumerate()
+                .map(|(i, k)| {
+                    (
+                        ObjectName::new("t", k.clone(), suffix + i as u64),
+                        "v".to_string(),
+                        1_000_000,
+                    )
+                })
+                .collect()
+        };
+        // Warm the cache: the fallback lookups of a first batch complete.
+        let effects = overlays[0].put_batch(entries(0, &keys), 0);
+        let mut queue: Vec<(NodeAddr, NodeAddr, DhtMessage<String>)> = sends(&effects)
+            .into_iter()
+            .map(|(to, msg)| (NodeAddr(0), to, msg))
+            .collect();
+        let mut guard = 0;
+        while let Some((from, to, msg)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 256, "warming lookups did not converge");
+            if matches!(msg, DhtMessage::PutRequest { .. }) {
+                continue;
+            }
+            for e in overlays[to.index()].on_message(from, msg, 0) {
+                if let OverlayEffect::Send { to: next, msg } = e {
+                    queue.push((to, next, msg));
+                }
+            }
+        }
+        assert!(!overlays[0].owner_cache.is_empty());
+        // Within the TTL the batch coalesces…
+        let ttl = RouterConfig::default().liveness_timeout;
+        let msgs = sends(&overlays[0].put_batch(entries(10, &keys), ttl));
+        assert_eq!(msgs.len(), 1);
+        assert!(matches!(&msgs[0].1, DhtMessage::PutBatch { .. }));
+        assert_eq!(msgs[0].0, target.addr);
+        // …past it the entry is no longer trusted: membership may have
+        // changed outside our neighbor view (a remote join never bumps our
+        // epoch), so the batch falls back to fresh lookups.
+        let msgs = sends(&overlays[0].put_batch(entries(20, &keys), 2 * ttl + 1));
+        assert!(
+            msgs.iter()
+                .all(|(_, m)| matches!(m, DhtMessage::Routing(_))),
+            "expired cache entries must force a lookup round: {msgs:?}"
+        );
+        assert!(
+            overlays[0].owner_cache.is_empty(),
+            "expired entries evicted"
+        );
+        // In-flight poisoning: a put issues its lookup, THEN the membership
+        // changes, THEN the pre-churn reply arrives.  The reply still
+        // completes the put (the classic Figure-6 race) but must not enter
+        // the cache the epoch bump just cleared.
+        let t = 2 * ttl + 2;
+        let effects = overlays[0].put(
+            ObjectName::new("t", keys[0].clone(), 99),
+            "v".into(),
+            1_000_000,
+            t,
+        );
+        let mut queue: Vec<(NodeAddr, NodeAddr, DhtMessage<String>)> = sends(&effects)
+            .into_iter()
+            .map(|(to, msg)| (NodeAddr(0), to, msg))
+            .collect();
+        let mut replies: Vec<(NodeAddr, DhtMessage<String>)> = Vec::new();
+        let mut guard = 0;
+        while let Some((from, to, msg)) = queue.pop() {
+            guard += 1;
+            assert!(guard < 64, "lookup did not converge");
+            if to == NodeAddr(0) {
+                replies.push((from, msg)); // hold the reply back
+                continue;
+            }
+            for e in overlays[to.index()].on_message(from, msg, t) {
+                if let OverlayEffect::Send { to: next, msg } = e {
+                    queue.push((to, next, msg));
+                }
+            }
+        }
+        assert!(!replies.is_empty(), "the lookup must produce a reply");
+        let newcomer = NodeRef {
+            id: Id(99),
+            addr: NodeAddr(42),
+        };
+        overlays[0].on_message(
+            newcomer.addr,
+            DhtMessage::Routing(crate::router::RouterMessage::Notify { from: newcomer }),
+            t,
+        );
+        for (from, msg) in replies {
+            overlays[0].on_message(from, msg, t);
+        }
+        assert!(
+            overlays[0].owner_cache.is_empty(),
+            "a pre-churn lookup reply must not re-poison the cleared cache"
+        );
     }
 
     #[test]

@@ -255,12 +255,85 @@ fn batch_at_a_time_operator_path_matches_per_tuple_dispatch() {
     // `batch_max_tuples`), as the executor's PutBatch receive path would.
     let mut batch_out = Vec::new();
     for window in rows.chunks(64) {
-        batch_out.extend(batched.push_batch(&TupleBatch::new(window.to_vec())));
+        batch_out.extend(
+            batched
+                .push_batch(&TupleBatch::new(window.to_vec()))
+                .into_tuples(),
+        );
     }
     assert_eq!(multiset(&batch_out), multiset(&streamed));
     let flushed_batched = batched.flush();
     assert!(!flushed_batched.is_empty(), "group-by must produce groups");
     assert_eq!(multiset(&flushed_batched), multiset(&per_tuple.flush()));
+}
+
+/// Multi-stage chunk-to-chunk execution over **mixed-schema** batches: the
+/// stream interleaves two shapes of `events` rows (one with an extra
+/// column) plus rows of an unrelated table that the selection must discard
+/// for lacking the filtered column — exercising the per-run row-major
+/// escape hatch between every stage.  Chunked `push_batch` + `flush` must
+/// equal per-tuple `push` + `flush` exactly.
+#[test]
+fn multi_stage_pipeline_matches_per_tuple_on_mixed_schema_batches() {
+    use pier::qp::{
+        AggFunc, CmpOp, Expr, GroupBy, LocalOperator, Pipeline, Projection, Selection, TupleBatch,
+    };
+    let rows: Vec<Tuple> = (0..900)
+        .map(|i| match i % 4 {
+            0 => Tuple::new(
+                "events",
+                vec![
+                    ("src", Value::Str(format!("10.0.0.{}", i % 6).into())),
+                    ("port", Value::Int(i % 1024)),
+                    ("len", Value::Int(40 + (i * 13) % 1400)),
+                    ("flagged", Value::Bool(i % 5 == 0)),
+                ],
+            ),
+            3 => Tuple::new("audit", vec![("note", Value::Str("skip".into()))]),
+            _ => Tuple::new(
+                "events",
+                vec![
+                    ("src", Value::Str(format!("10.0.0.{}", i % 6).into())),
+                    ("port", Value::Int(i % 1024)),
+                    ("len", Value::Int(40 + (i * 13) % 1400)),
+                ],
+            ),
+        })
+        .collect();
+    let mk = || {
+        Pipeline::new(vec![
+            Box::new(Selection::new(Expr::cmp(
+                CmpOp::Lt,
+                Expr::col("port"),
+                Expr::lit(700i64),
+            ))) as Box<dyn LocalOperator + Send>,
+            Box::new(Projection::new(vec!["src".into(), "len".into()])),
+            Box::new(GroupBy::new(
+                vec!["src".into()],
+                vec![AggFunc::Count, AggFunc::Avg("len".into())],
+                "per_src",
+            )),
+        ])
+    };
+    let mut per_tuple = mk();
+    let mut chunked = mk();
+    let mut streamed = Vec::new();
+    for t in rows.iter().cloned() {
+        streamed.extend(per_tuple.push(t));
+    }
+    let mut batch_out = Vec::new();
+    for window in rows.chunks(48) {
+        let batch = TupleBatch::new(window.to_vec());
+        assert!(
+            batch.chunks().len() > 1,
+            "the workload must actually interleave schemas"
+        );
+        batch_out.extend(chunked.push_batch(&batch).into_tuples());
+    }
+    assert_eq!(multiset(&batch_out), multiset(&streamed));
+    let flushed = chunked.flush();
+    assert!(!flushed.is_empty());
+    assert_eq!(multiset(&flushed), multiset(&per_tuple.flush()));
 }
 
 /// Chunk-wise probes of the symmetric-hash join (the rehash-join batch

@@ -377,6 +377,83 @@ proptest! {
         prop_assert_eq!(compiled.matches(tuple.values()), expr.matches(&tuple));
     }
 
+    /// Chunk-to-chunk `push_batch` + `flush` is equivalent to per-tuple
+    /// `push` + `flush` for arbitrary selection→projection→group-by stacks
+    /// over arbitrarily mixed-schema streams and arbitrary arrival batch
+    /// sizes — including shapes that lack the filtered column (discarded by
+    /// the best-effort policy) and the per-run row-major escape hatch for
+    /// interleaved schemas.
+    #[test]
+    fn chunked_pipeline_stack_matches_per_tuple_dispatch(
+        threshold in -20i64..20,
+        batch_size in 1usize..48,
+        shape_picks in proptest::collection::vec(0usize..3, 1..120),
+        vals in proptest::collection::vec(-30i64..30, 8..9),
+    ) {
+        use pier::qp::{CmpOp, Expr, Pipeline, Projection, Selection};
+        let rows: Vec<Tuple> = shape_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| {
+                let v = vals[i % vals.len()] + (i as i64 % 7);
+                match pick {
+                    0 => Tuple::new(
+                        "t",
+                        vec![("g", Value::Int(v.rem_euclid(4))), ("x", Value::Int(v))],
+                    ),
+                    1 => Tuple::new(
+                        "t",
+                        vec![
+                            ("g", Value::Int(v.rem_euclid(4))),
+                            ("x", Value::Int(v)),
+                            ("extra", Value::Bool(v % 2 == 0)),
+                        ],
+                    ),
+                    // No `x`: the selection must discard these wholesale.
+                    _ => Tuple::new("u", vec![("g", Value::Int(v.rem_euclid(4)))]),
+                }
+            })
+            .collect();
+        let mk = || {
+            Pipeline::new(vec![
+                Box::new(Selection::new(Expr::cmp(
+                    CmpOp::Ge,
+                    Expr::col("x"),
+                    Expr::lit(threshold),
+                ))) as Box<dyn LocalOperator + Send>,
+                Box::new(Projection::new(vec!["g".into(), "x".into()])),
+                Box::new(GroupBy::new(
+                    vec!["g".into()],
+                    vec![
+                        AggFunc::Count,
+                        AggFunc::Sum("x".into()),
+                        AggFunc::Avg("x".into()),
+                    ],
+                    "out",
+                )),
+            ])
+        };
+        let mut per_tuple = mk();
+        let mut chunked = mk();
+        let mut streamed = Vec::new();
+        for t in rows.iter().cloned() {
+            streamed.extend(per_tuple.push(t));
+        }
+        let mut batch_out = Vec::new();
+        for window in rows.chunks(batch_size) {
+            batch_out.extend(
+                chunked
+                    .push_batch(&TupleBatch::new(window.to_vec()))
+                    .into_tuples(),
+            );
+        }
+        // A group-by tail absorbs everything before flush, on both paths.
+        prop_assert_eq!(&batch_out, &streamed);
+        let a = chunked.flush();
+        let b = per_tuple.flush();
+        prop_assert_eq!(a, b);
+    }
+
     /// PHT range queries return exactly the keys a sorted scan would.
     #[test]
     fn pht_range_matches_sorted_scan(
