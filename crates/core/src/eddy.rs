@@ -112,20 +112,65 @@ impl EddyFilter for PredicateFilter {
     }
 }
 
+/// Per-observation retention factor of the exponentially decayed drop-rate
+/// estimate: past evidence loses half its weight every
+/// [`OBS_HALF_LIFE_ROWS`] tuples an operator sees.  Cumulative rates made
+/// the lottery slow to react when a long history had to be overcome (a
+/// selectivity flip after 1 000 rows needed ~250 rows of contrary evidence
+/// to cross); with decay the crossover happens within roughly two half-lives
+/// regardless of how much history preceded the flip.
+pub const OBS_HALF_LIFE_ROWS: f64 = 48.0;
+
+/// The per-observation retention factor itself, `0.5^(1/48)`, precomputed
+/// so the per-row record path pays no transcendental call (pinned equal to
+/// the formula by a test).
+const OBS_DECAY: f64 = 0.985_663_198_640_187_6;
+
 /// Per-operator dataflow observations (the eddy's "observation" half).
 /// Mergeable so distributed eddies can combine what different nodes saw.
+///
+/// Two estimates are kept: cumulative totals (`seen`/`dropped`, for
+/// diagnostics and the work metrics of the ablation) and an exponentially
+/// decayed pair driving [`OperatorObservation::drop_rate`], so the lottery
+/// weighs *recent* selectivity and adapts to a mid-stream flip within a
+/// bounded row budget instead of dragging the whole history along.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OperatorObservation {
-    /// Tuples routed into the operator.
+    /// Tuples routed into the operator (cumulative).
     pub seen: u64,
-    /// Tuples the operator dropped.
+    /// Tuples the operator dropped (cumulative).
     pub dropped: u64,
+    /// Exponentially decayed tuple weight.
+    decayed_seen: f64,
+    /// Exponentially decayed dropped weight.
+    decayed_dropped: f64,
 }
 
 impl OperatorObservation {
-    /// Observed drop probability, with an optimistic prior of 0.5 before any
-    /// evidence (so unexplored operators still get tried).
+    /// Record one routed tuple and whether the operator dropped it.
+    pub fn record(&mut self, dropped: bool) {
+        self.seen += 1;
+        self.decayed_seen = self.decayed_seen * OBS_DECAY + 1.0;
+        self.decayed_dropped *= OBS_DECAY;
+        if dropped {
+            self.dropped += 1;
+            self.decayed_dropped += 1.0;
+        }
+    }
+
+    /// Recency-weighted drop probability, with an optimistic prior of 0.5
+    /// before any evidence (so unexplored operators still get tried).
     pub fn drop_rate(&self) -> f64 {
+        if self.decayed_seen <= f64::EPSILON {
+            0.5
+        } else {
+            self.decayed_dropped / self.decayed_seen
+        }
+    }
+
+    /// Drop fraction over the operator's whole history (diagnostics; the
+    /// lottery routes on [`OperatorObservation::drop_rate`]).
+    pub fn cumulative_drop_rate(&self) -> f64 {
         if self.seen == 0 {
             0.5
         } else {
@@ -134,10 +179,14 @@ impl OperatorObservation {
     }
 
     /// Merge another node's observations for the same operator (§4.2.2's
-    /// cross-site aggregation of eddy statistics).
+    /// cross-site aggregation of eddy statistics).  Both the cumulative
+    /// totals and the decayed estimates combine, so a warm-started eddy
+    /// inherits the remote node's *recent* selectivity view.
     pub fn merge(&mut self, other: &OperatorObservation) {
         self.seen += other.seen;
         self.dropped += other.dropped;
+        self.decayed_seen += other.decayed_seen;
+        self.decayed_dropped += other.decayed_dropped;
     }
 }
 
@@ -263,11 +312,13 @@ impl Eddy {
         let mut current = tuple;
         for &idx in order {
             self.invocations += 1;
-            self.observations[idx].seen += 1;
             match self.filters[idx].apply(current) {
-                Some(t) => current = t,
+                Some(t) => {
+                    self.observations[idx].record(false);
+                    current = t;
+                }
                 None => {
-                    self.observations[idx].dropped += 1;
+                    self.observations[idx].record(true);
                     return None;
                 }
             }
@@ -296,21 +347,20 @@ impl Eddy {
         self.tuples_in += 1;
         for (pos, &idx) in order.iter().enumerate() {
             self.invocations += 1;
-            self.observations[idx].seen += 1;
             match self.filters[idx].apply_row(chunk, r) {
-                Some(true) => {}
+                Some(true) => self.observations[idx].record(false),
                 Some(false) => {
-                    self.observations[idx].dropped += 1;
+                    self.observations[idx].record(true);
                     return false;
                 }
                 None => {
                     debug_assert!(false, "supports_chunks filter declined apply_row");
-                    // Roll back this filter's counters and finish the row
-                    // through the shared materialised loop from this filter
-                    // onward; chunk-capable filters never transform, so
-                    // survival is all that matters for the mask.
+                    // Nothing was recorded for this filter yet: roll back the
+                    // invocation count and finish the row through the shared
+                    // materialised loop from this filter onward;
+                    // chunk-capable filters never transform, so survival is
+                    // all that matters for the mask.
                     self.invocations -= 1;
-                    self.observations[idx].seen -= 1;
                     let survived = self.apply_filters(&order[pos..], chunk.row(r)).is_some();
                     if survived {
                         self.tuples_out += 1;
@@ -482,19 +532,56 @@ mod tests {
 
     #[test]
     fn merged_observations_accumulate_counts() {
-        let mut a = OperatorObservation {
-            seen: 10,
-            dropped: 3,
+        let record = |drops: u64, passes: u64| {
+            let mut o = OperatorObservation::default();
+            for _ in 0..drops {
+                o.record(true);
+            }
+            for _ in 0..passes {
+                o.record(false);
+            }
+            o
         };
-        let b = OperatorObservation {
-            seen: 40,
-            dropped: 37,
-        };
+        let mut a = record(3, 7);
+        let b = record(37, 3);
         a.merge(&b);
         assert_eq!(a.seen, 50);
         assert_eq!(a.dropped, 40);
-        assert!((a.drop_rate() - 0.8).abs() < 1e-9);
+        assert!((a.cumulative_drop_rate() - 0.8).abs() < 1e-9);
+        // The decayed estimate also combines: mostly-dropping history on
+        // both sides keeps the merged rate high.
+        assert!(a.drop_rate() > 0.4, "decayed rate {}", a.drop_rate());
         assert_eq!(OperatorObservation::default().drop_rate(), 0.5);
+        assert_eq!(OperatorObservation::default().cumulative_drop_rate(), 0.5);
+    }
+
+    #[test]
+    fn precomputed_decay_matches_the_half_life_formula() {
+        assert!((OBS_DECAY - 0.5_f64.powf(1.0 / OBS_HALF_LIFE_ROWS)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn decayed_drop_rate_tracks_recent_selectivity() {
+        // 1 000 drops followed by two half-lives of passes: the cumulative
+        // rate barely moves, the decayed rate collapses below 0.3.
+        let mut o = OperatorObservation::default();
+        for _ in 0..1_000 {
+            o.record(true);
+        }
+        assert!(o.drop_rate() > 0.99);
+        for _ in 0..(2.0 * OBS_HALF_LIFE_ROWS) as usize {
+            o.record(false);
+        }
+        assert!(
+            o.drop_rate() < 0.3,
+            "decayed rate {} must forget the old regime within two half-lives",
+            o.drop_rate()
+        );
+        assert!(
+            o.cumulative_drop_rate() > 0.9,
+            "cumulative rate {} keeps the full history",
+            o.cumulative_drop_rate()
+        );
     }
 
     #[test]
@@ -563,10 +650,13 @@ mod tests {
         // the filters within a bounded number of rows of the flip:
         //   phase 1: ≤ EDDY_REORDER_ROWS rows at 2/row before `flip_a`
         //            (drop rate 1.0) takes the front, then 1/row;
-        //   phase 2: the *cumulative* drop rates cross — `flip_a` decays
-        //            from 1.0 while `flip_b` climbs against its phase-1
-        //            history — within ~250 rows even against the worst-case
-        //            0.05 jitter, then `flip_b` leads for good at 1/row.
+        //   phase 2: the *exponentially decayed* drop rates cross — `flip_a`
+        //            halves every OBS_HALF_LIFE_ROWS rows while `flip_b`
+        //            climbs — within ~2 half-lives (≈ 96 rows) even against
+        //            the worst-case 0.05 jitter, independent of how long
+        //            phase 1 ran; then `flip_b` leads for good at 1/row.
+        //            (Cumulative rates needed ~250 rows to overcome the
+        //            1 000-row history; decay makes the budget constant.)
         let rows: Vec<Tuple> = (0..4000)
             .map(|i| {
                 let phase = i64::from(i >= 1000);
@@ -582,17 +672,18 @@ mod tests {
         assert_eq!(batch.chunks().len(), 1, "one chunk, worst case");
         let survivors = eddy.route_batch(&batch);
         assert!(survivors.is_empty(), "no row passes both phases' filters");
-        let bound = 4000 + 10 * EDDY_REORDER_ROWS as u64;
+        let bound = 4000 + 5 * EDDY_REORDER_ROWS as u64;
         assert!(
             eddy.invocations() <= bound,
-            "re-drawn routing must spend ≤ {bound} invocations, spent {} \
-             (a single order per chunk would spend ≥ 7000)",
+            "re-drawn routing with decayed observations must spend ≤ {bound} \
+             invocations, spent {} (a single order per chunk would spend \
+             ≥ 7000; cumulative rates spent ≈ 4000 + 250)",
             eddy.invocations()
         );
         // After the crossover `flip_a` stops being visited: its seen count
         // stays within the same bounded window past the flip.
         assert!(
-            eddy.observations()[0].seen <= 1000 + 10 * EDDY_REORDER_ROWS as u64,
+            eddy.observations()[0].seen <= 1000 + 5 * EDDY_REORDER_ROWS as u64,
             "stale filter kept receiving rows: {:?}",
             eddy.observations()
         );

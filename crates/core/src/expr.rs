@@ -54,7 +54,10 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn test(self, ord: std::cmp::Ordering) -> bool {
+    /// Whether an ordering outcome satisfies this comparison (used by the
+    /// row and column evaluation kernels here and by `pier-mqo`'s predicate
+    /// index).
+    pub fn test(self, ord: std::cmp::Ordering) -> bool {
         use std::cmp::Ordering::*;
         match self {
             CmpOp::Eq => ord == Equal,
@@ -417,6 +420,154 @@ impl CompiledNode {
             }
         }
     }
+
+    /// Vectorised evaluation over a whole chunk: fill `truth`/`err` with the
+    /// three-valued per-row outcome (`err[r]` set ⇔ per-row evaluation of
+    /// this node errors on row `r`; otherwise `truth[r]` is the boolean
+    /// value).  Returns `false` when this node's shape is not vectorisable —
+    /// the caller then falls back to the per-row walk for the whole
+    /// expression, so partial vectorisation never changes semantics.
+    ///
+    /// Nodes that evaluate to non-boolean scalars (bare columns holding
+    /// ints, non-boolean constants) are represented as *boolean operands*:
+    /// a non-boolean value is an error in every context this mask feeds
+    /// (`matches` at the root, `expect_bool` under a connective), so the
+    /// three-valued encoding is exact.
+    fn eval_column(&self, chunk: &ColumnChunk, truth: &mut [bool], err: &mut [bool]) -> bool {
+        match self {
+            CompiledNode::Const(Value::Bool(b)) => {
+                truth.fill(*b);
+                err.fill(false);
+                true
+            }
+            // A non-boolean constant as a predicate / boolean operand is a
+            // type mismatch on every row.
+            CompiledNode::Const(_) | CompiledNode::Missing(_) => {
+                truth.fill(false);
+                err.fill(true);
+                true
+            }
+            CompiledNode::Col(i) => {
+                for (r, v) in chunk.column(*i).iter().enumerate() {
+                    match v {
+                        Value::Bool(b) => truth[r] = *b,
+                        _ => err[r] = true,
+                    }
+                }
+                true
+            }
+            CompiledNode::Cmp(op, l, r) => match (l.as_ref(), r.as_ref()) {
+                (_, _)
+                    if matches!(l.as_ref(), CompiledNode::Missing(_))
+                        || matches!(r.as_ref(), CompiledNode::Missing(_)) =>
+                {
+                    // A missing column in either operand errors every row.
+                    truth.fill(false);
+                    err.fill(true);
+                    true
+                }
+                (CompiledNode::Col(i), CompiledNode::Const(c)) => {
+                    cmp_col_const(*op, chunk.column(*i), c, truth, err);
+                    true
+                }
+                (CompiledNode::Const(c), CompiledNode::Col(i)) => {
+                    // `const op col` ⇔ `col op' const` with the ordering
+                    // reversed (Value::compare is antisymmetric).
+                    for (r, v) in chunk.column(*i).iter().enumerate() {
+                        match c.compare(v) {
+                            Some(ord) => truth[r] = op.test(ord),
+                            None => err[r] = true,
+                        }
+                    }
+                    true
+                }
+                (CompiledNode::Col(a), CompiledNode::Col(b)) => {
+                    let (ca, cb) = (chunk.column(*a), chunk.column(*b));
+                    for r in 0..ca.len() {
+                        match ca[r].compare(&cb[r]) {
+                            Some(ord) => truth[r] = op.test(ord),
+                            None => err[r] = true,
+                        }
+                    }
+                    true
+                }
+                (CompiledNode::Const(a), CompiledNode::Const(b)) => {
+                    match a.compare(b) {
+                        Some(ord) => truth.fill(op.test(ord)),
+                        None => {
+                            truth.fill(false);
+                            err.fill(true);
+                        }
+                    }
+                    true
+                }
+                _ => false, // nested comparison operands: fall back
+            },
+            CompiledNode::And(l, r) => {
+                if !l.eval_column(chunk, truth, err) {
+                    return false;
+                }
+                let mut rt = vec![false; truth.len()];
+                let mut re = vec![false; truth.len()];
+                if !r.eval_column(chunk, &mut rt, &mut re) {
+                    return false;
+                }
+                // Short-circuit semantics: the right side's error counts
+                // only when the left side was cleanly true.
+                for i in 0..truth.len() {
+                    let e = err[i] || (truth[i] && re[i]);
+                    truth[i] = !e && truth[i] && rt[i];
+                    err[i] = e;
+                }
+                true
+            }
+            CompiledNode::Or(l, r) => {
+                if !l.eval_column(chunk, truth, err) {
+                    return false;
+                }
+                let mut rt = vec![false; truth.len()];
+                let mut re = vec![false; truth.len()];
+                if !r.eval_column(chunk, &mut rt, &mut re) {
+                    return false;
+                }
+                // A cleanly-true left side short-circuits past any error on
+                // the right.
+                for i in 0..truth.len() {
+                    let e = err[i] || (!truth[i] && re[i]);
+                    truth[i] = !e && (truth[i] || rt[i]);
+                    err[i] = e;
+                }
+                true
+            }
+            CompiledNode::Not(e) => {
+                if !e.eval_column(chunk, truth, err) {
+                    return false;
+                }
+                for i in 0..truth.len() {
+                    truth[i] = !err[i] && !truth[i];
+                }
+                true
+            }
+            CompiledNode::Contains(col, needle) => match col.as_ref() {
+                CompiledNode::Col(i) => {
+                    for (r, v) in chunk.column(*i).iter().enumerate() {
+                        match v {
+                            Value::Str(s) => truth[r] = s.contains(needle.as_str()),
+                            _ => err[r] = true,
+                        }
+                    }
+                    true
+                }
+                CompiledNode::Missing(_) => {
+                    truth.fill(false);
+                    err.fill(true);
+                    true
+                }
+                _ => false,
+            },
+            CompiledNode::Arith(..) => false,
+        }
+    }
 }
 
 fn expect_bool(v: Value) -> Result<bool, EvalError> {
@@ -472,6 +623,102 @@ impl CompiledExpr {
     /// Predicate view over a borrowed [`ChunkRow`].
     pub fn matches_view(&self, row: &ChunkRow<'_>) -> bool {
         matches!(self.eval_view(row), Ok(Value::Bool(true)))
+    }
+
+    /// **Column-at-a-time** predicate evaluation: the per-row outcomes of
+    /// [`CompiledExpr::matches_row`] over the whole chunk, computed by
+    /// type-specialised inner loops over each referenced column's `&[Value]`
+    /// slice and combined with bitwise mask operations — no per-row
+    /// expression-tree walk on the comparison shapes that dominate selection
+    /// predicates (`column op constant`, conjunctions/disjunctions thereof,
+    /// `Contains`, boolean columns).
+    ///
+    /// Shapes the vectoriser does not cover (arithmetic, nested comparisons)
+    /// fall back to the row-at-a-time walk, so the returned mask is always
+    /// exactly what per-row evaluation would produce — including the
+    /// best-effort discard semantics: a row whose evaluation errors (missing
+    /// column, type mismatch, non-boolean operand) does not match.  This is
+    /// the selection mask [`Selection`](crate::operators::Selection) filters
+    /// chunks with, and the kernel layer `pier-mqo`'s predicate index fans
+    /// out across member queries.
+    pub fn eval_column(&self, chunk: &ColumnChunk) -> Vec<bool> {
+        debug_assert!(self.is_for(chunk.schema()));
+        let rows = chunk.rows();
+        let mut truth = vec![false; rows];
+        let mut err = vec![false; rows];
+        if self.root.eval_column(chunk, &mut truth, &mut err) {
+            // A clean boolean true is the only "match": error rows are
+            // masked out bitwise.
+            for (t, e) in truth.iter_mut().zip(&err) {
+                *t = *t && !*e;
+            }
+            truth
+        } else {
+            (0..rows).map(|r| self.matches_row(chunk, r)).collect()
+        }
+    }
+}
+
+/// Compare a column slice against one constant with a loop specialised to
+/// the constant's runtime type (the innermost kernel of
+/// [`CompiledExpr::eval_column`], also reused by `pier-mqo`'s predicate
+/// index so the two never drift).  `truth[r]`/`err[r]` receive the
+/// three-valued outcome exactly as per-row [`Value::compare`] would decide
+/// it: `err` rows are incomparable (type mismatch / NaN), matching the
+/// discard-on-mismatch policy.  Both slices must be parallel to `col` and
+/// are overwritten per row.
+pub fn cmp_col_const(
+    op: CmpOp,
+    col: &[Value],
+    constant: &Value,
+    truth: &mut [bool],
+    err: &mut [bool],
+) {
+    match constant {
+        Value::Int(k) => {
+            for (r, v) in col.iter().enumerate() {
+                match v {
+                    Value::Int(x) => truth[r] = op.test(x.cmp(k)),
+                    Value::Float(f) => match f.partial_cmp(&(*k as f64)) {
+                        Some(ord) => truth[r] = op.test(ord),
+                        None => err[r] = true,
+                    },
+                    _ => err[r] = true,
+                }
+            }
+        }
+        Value::Float(k) => {
+            for (r, v) in col.iter().enumerate() {
+                let ord = match v {
+                    Value::Int(x) => (*x as f64).partial_cmp(k),
+                    Value::Float(f) => f.partial_cmp(k),
+                    _ => {
+                        err[r] = true;
+                        continue;
+                    }
+                };
+                match ord {
+                    Some(ord) => truth[r] = op.test(ord),
+                    None => err[r] = true,
+                }
+            }
+        }
+        Value::Str(k) => {
+            for (r, v) in col.iter().enumerate() {
+                match v {
+                    Value::Str(s) => truth[r] = op.test(s.as_ref().cmp(k.as_ref())),
+                    _ => err[r] = true,
+                }
+            }
+        }
+        other => {
+            for (r, v) in col.iter().enumerate() {
+                match v.compare(other) {
+                    Some(ord) => truth[r] = op.test(ord),
+                    None => err[r] = true,
+                }
+            }
+        }
     }
 }
 
@@ -673,6 +920,89 @@ mod tests {
         assert!(!pred.matches_tuple(&other));
         assert!(pred.matches_tuple(&tup()));
         assert_eq!(pred.expr(), &Expr::eq("a", 5i64));
+    }
+
+    #[test]
+    fn eval_column_agrees_with_per_row_evaluation() {
+        use crate::tuple::TupleBatch;
+        // A deliberately messy chunk: ints, floats (incl. NaN), strings,
+        // bools and NULLs interleaved in every column the predicates read.
+        let rows: Vec<Tuple> = (0..64)
+            .map(|i| {
+                let a = match i % 5 {
+                    0 => Value::Int(i),
+                    1 => Value::Float(i as f64 / 2.0),
+                    2 => Value::Str(format!("s{i}").into()),
+                    3 => Value::Null,
+                    _ => Value::Float(f64::NAN),
+                };
+                Tuple::new(
+                    "t",
+                    vec![
+                        ("a", a),
+                        ("b", Value::Int(i % 7)),
+                        ("name", Value::Str(format!("row {i} beta").into())),
+                        (
+                            "ok",
+                            if i % 3 == 0 {
+                                Value::Bool(true)
+                            } else {
+                                Value::Int(1)
+                            },
+                        ),
+                    ],
+                )
+            })
+            .collect();
+        let exprs = vec![
+            Expr::eq("a", 10i64),
+            Expr::cmp(CmpOp::Ge, Expr::col("a"), Expr::lit(3.0)),
+            Expr::cmp(CmpOp::Lt, Expr::lit(4i64), Expr::col("b")),
+            Expr::cmp(CmpOp::Ne, Expr::col("a"), Expr::col("b")),
+            Expr::cmp(CmpOp::Eq, Expr::lit(1i64), Expr::lit(1.0)),
+            Expr::eq("name", "row 7 beta"),
+            Expr::And(
+                Box::new(Expr::cmp(CmpOp::Ge, Expr::col("b"), Expr::lit(2i64))),
+                Box::new(Expr::col("ok")),
+            ),
+            Expr::Or(
+                Box::new(Expr::col("missing")),
+                Box::new(Expr::eq("b", 3i64)),
+            ),
+            Expr::Or(
+                Box::new(Expr::eq("b", 3i64)),
+                Box::new(Expr::col("missing")),
+            ),
+            Expr::Not(Box::new(Expr::eq("b", 1i64))),
+            Expr::Contains("name".into(), "7 be".into()),
+            Expr::Contains("a".into(), "s1".into()),
+            Expr::Contains("missing".into(), "x".into()),
+            Expr::col("ok"),
+            Expr::col("missing"),
+            Expr::Const(Value::Int(3)),
+            Expr::eq("missing", 1i64),
+            // Arithmetic forces the row-at-a-time fallback path.
+            Expr::cmp(
+                CmpOp::Eq,
+                Expr::Arith(
+                    ArithOp::Add,
+                    Box::new(Expr::col("b")),
+                    Box::new(Expr::lit(1i64)),
+                ),
+                Expr::lit(3i64),
+            ),
+        ];
+        let batch = TupleBatch::new(rows.clone());
+        for e in exprs {
+            for chunk in batch.chunks() {
+                let compiled = e.compile(chunk.schema());
+                let mask = compiled.eval_column(chunk);
+                let per_row: Vec<bool> = (0..chunk.rows())
+                    .map(|r| compiled.matches_row(chunk, r))
+                    .collect();
+                assert_eq!(mask, per_row, "column and row evaluation diverge for {e:?}");
+            }
+        }
     }
 
     #[test]

@@ -70,6 +70,7 @@ pub mod plan;
 pub mod range_index;
 pub mod recursive;
 pub mod secondary_index;
+pub mod sharing;
 pub mod sqlish;
 pub mod tuple;
 pub mod value;
@@ -77,6 +78,7 @@ pub mod value;
 pub use aggregate::{AggClass, AggFunc, AggState, PartialDecoder};
 pub use eddy::{
     Eddy, EddyFilter, OperatorObservation, PredicateFilter, RoutingPolicy, EDDY_REORDER_ROWS,
+    OBS_HALF_LIFE_ROWS,
 };
 pub use expr::{ArithOp, CmpOp, CompiledExpr, CompiledPredicate, EvalError, Expr};
 pub use node::{CqDiagnostics, PierConfig, PierMsg, PierNode, PierOut, PierTimer};
@@ -91,6 +93,10 @@ pub use plan::{
 };
 pub use range_index::RangeIndexConfig;
 pub use recursive::TransitiveClosure;
+pub use sharing::{
+    GroupRoute, InstallOutcome, MultiQuerySharing, SharedEmission, SharingFactory, SharingStats,
+    TickOutput, UninstallOutcome,
+};
 pub use tuple::{
     ChunkRow, ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
 };

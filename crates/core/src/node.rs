@@ -18,6 +18,9 @@
 use crate::aggregate::{AggFunc, AggState, PartialDecoder};
 use crate::operators::{GroupBy, JoinSide, LocalOperator, Pipeline, SymmetricHashJoin};
 use crate::plan::{CqSpec, Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
+use crate::sharing::{
+    is_share_scoped_table, InstallOutcome, MultiQuerySharing, SharingFactory, SharingStats,
+};
 use crate::tuple::{
     ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
 };
@@ -51,6 +54,12 @@ pub struct PierConfig {
     /// Upper bound on how long a rehash tuple may sit in the batch buffer
     /// before the periodic flush tick ships it, microseconds.
     pub batch_flush_interval: Duration,
+    /// Optional multi-query sharing layer constructor (`pier_mqo::layer`):
+    /// when set, disseminated plans are offered to the layer first and
+    /// constant-varied continuous queries execute as share-group members
+    /// instead of independent dataflows.  `None` (the default) preserves
+    /// per-query execution exactly.
+    pub sharing: Option<SharingFactory>,
 }
 
 impl Default for PierConfig {
@@ -61,6 +70,7 @@ impl Default for PierConfig {
             batching: true,
             batch_max_tuples: 64,
             batch_flush_interval: 100_000,
+            sharing: None,
         }
     }
 }
@@ -158,6 +168,17 @@ pub enum PierTimer {
     /// Ship every buffered rehash batch that the size threshold has not
     /// already flushed (the "flush on tick" half of batched transfer).
     BatchFlush,
+    /// Periodic window maintenance for one **share group** of the sharing
+    /// layer: one tick chain per group *incarnation*, however many member
+    /// queries it serves (the shared counterpart of
+    /// [`PierTimer::WindowTick`]).
+    ShareTick {
+        /// The share group (plan fingerprint) being ticked.
+        group: u64,
+        /// The group incarnation this chain was armed for; the chain stops
+        /// when the live group's epoch differs (retired and re-created).
+        epoch: u64,
+    },
 }
 
 /// Values delivered to the client application attached to a node.
@@ -322,6 +343,8 @@ pub struct PierNode {
     next_query_seq: u64,
     rehash_buf: HashMap<String, RehashBuffer>,
     batch_timer_armed: bool,
+    /// The multi-query sharing layer (`pier-mqo`), when configured.
+    sharing: Option<Box<dyn MultiQuerySharing + Send>>,
 }
 
 impl PierNode {
@@ -331,6 +354,7 @@ impl PierNode {
             overlay: Overlay::with_static_ring(me, all, config.overlay),
             bootstrap: None,
             rng: Rng64::new(me.id.0 ^ 0x9D5F),
+            sharing: config.sharing.map(|factory| factory()),
             config,
             local_tables: HashMap::new(),
             queries: HashMap::new(),
@@ -348,6 +372,7 @@ impl PierNode {
             overlay: Overlay::new(me, config.overlay),
             bootstrap,
             rng: Rng64::new(me.id.0 ^ 0x9D5F),
+            sharing: config.sharing.map(|factory| factory()),
             config,
             local_tables: HashMap::new(),
             queries: HashMap::new(),
@@ -364,9 +389,21 @@ impl PierNode {
         &self.overlay
     }
 
-    /// Number of queries currently installed at this node.
+    /// Number of queries currently installed at this node, counting both
+    /// independent dataflows and share-group members.
     pub fn installed_queries(&self) -> usize {
         self.queries.len()
+            + self
+                .sharing
+                .as_ref()
+                .map(|l| l.stats().members)
+                .unwrap_or(0)
+    }
+
+    /// Diagnostics of the multi-query sharing layer (`None` when the node
+    /// was built without one).
+    pub fn sharing_stats(&self) -> Option<SharingStats> {
+        self.sharing.as_ref().map(|l| l.stats())
     }
 
     /// Rows of a node-local table (the decoupled-storage access method over
@@ -641,6 +678,36 @@ impl PierNode {
                             return effects;
                         }
                     }
+                    // Share-group window partials combine en route exactly
+                    // like per-query ones, but into the group's single
+                    // shared store.
+                    if self.sharing.is_some() {
+                        let namespace = object.name.namespace.clone();
+                        let mut group = None;
+                        let mut absorbed = false;
+                        let mut refused: Vec<Tuple> = Vec::new();
+                        for partial in object.value.iter_tuples() {
+                            let layer = self.sharing.as_mut().expect("checked above");
+                            match layer.absorb_window_partial(&namespace, &partial) {
+                                None => break, // not a share-group namespace
+                                Some((g, ok)) => {
+                                    group = Some(g);
+                                    if ok {
+                                        absorbed = true;
+                                    } else {
+                                        refused.push(partial);
+                                    }
+                                }
+                            }
+                        }
+                        if absorbed {
+                            let mut effects = self.overlay.resume_upcall(token, false, now);
+                            if let Some(group) = group {
+                                effects.extend(self.reship_group_partials(group, refused, now));
+                            }
+                            return effects;
+                        }
+                    }
                 }
                 self.overlay.resume_upcall(token, true, now)
             }
@@ -697,6 +764,33 @@ impl PierNode {
             .send_routed(root_id, name, shipment, lifetime, now)
     }
 
+    /// Re-route share-group window partials this node could not absorb
+    /// toward the group's window root (the shared counterpart of
+    /// [`PierNode::reship_window_partials`]).
+    fn reship_group_partials(
+        &mut self,
+        group: u64,
+        partials: Vec<Tuple>,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<QpObject>> {
+        if partials.is_empty() {
+            return Vec::new();
+        }
+        let Some(route) = self.sharing.as_ref().and_then(|l| l.group_route(group)) else {
+            return Vec::new();
+        };
+        let root_id = routing_id(&route.namespace, &route.root_key);
+        let lifetime = self.config.publish_lifetime;
+        let shipment = if partials.len() == 1 {
+            QpObject::Tuple(partials.into_iter().next().expect("len checked"))
+        } else {
+            QpObject::Batch(TupleBatch::new(partials))
+        };
+        let name = ObjectName::new(route.namespace, route.root_key, self.rng.next_u64());
+        self.overlay
+            .send_routed(root_id, name, shipment, lifetime, now)
+    }
+
     fn query_for_partial_namespace(&self, namespace: &str) -> Option<u64> {
         self.queries
             .iter()
@@ -749,6 +843,14 @@ impl PierNode {
             self.absorb_window_partial(query_id, &tuple);
             return effects;
         }
+        // Share-group window partials arriving at the group's root (a
+        // budget-refused arrival is dropped, exactly as per-query partials
+        // are when the root's store refuses them).
+        if let Some(layer) = self.sharing.as_mut() {
+            if layer.absorb_window_partial(namespace, &tuple).is_some() {
+                return effects;
+            }
+        }
         // Partial aggregates arriving at the aggregation-tree root.
         if let Some(query_id) = self.query_for_partial_namespace(namespace) {
             if let Some(q) = self.queries.get_mut(&query_id) {
@@ -759,6 +861,14 @@ impl PierNode {
                 }
             }
             return effects;
+        }
+        // Shared ingest: hand the tuple to the sharing layer once; its
+        // predicate index fans it out to every member query.  Independent
+        // queries over the same namespace still receive it below.
+        if let Some(layer) = self.sharing.as_mut() {
+            if layer.wants_namespace(namespace) {
+                layer.absorb_tuple(namespace, &tuple, ctx.now());
+            }
         }
         // Base-table or rehash-namespace tuples feeding installed opgraphs.
         let targets: Vec<(u64, usize)> = self
@@ -796,6 +906,20 @@ impl PierNode {
             }
             return Vec::new();
         }
+        // Share-group window partials: the first tuple decides whether the
+        // namespace belongs to a share group (namespaces are disjoint).
+        if let Some(layer) = self.sharing.as_mut() {
+            let mut handled = false;
+            for tuple in batch.iter() {
+                if layer.absorb_window_partial(namespace, &tuple).is_none() {
+                    break;
+                }
+                handled = true;
+            }
+            if handled {
+                return Vec::new();
+            }
+        }
         // Partial aggregates arriving at the aggregation-tree root.
         if let Some(query_id) = self.query_for_partial_namespace(namespace) {
             if let Some(q) = self.queries.get_mut(&query_id) {
@@ -808,6 +932,16 @@ impl PierNode {
                 }
             }
             return Vec::new();
+        }
+        // Shared ingest: each chunk is handed to the sharing layer once —
+        // the dispatch cost of N member queries is one predicate-index scan.
+        if let Some(layer) = self.sharing.as_mut() {
+            if layer.wants_namespace(namespace) {
+                let now = ctx.now();
+                for chunk in batch.chunks() {
+                    layer.absorb_chunk(namespace, chunk, now);
+                }
+            }
         }
         // Base-table or rehash-namespace batches feeding installed opgraphs.
         let targets: Vec<(u64, usize)> = self
@@ -838,6 +972,30 @@ impl PierNode {
                 cq.lease.renew(ctx.now());
             }
             return;
+        }
+        // Multi-query sharing: offer the plan to the layer first.  A plan
+        // that normalizes into a share group installs as a *member* — the
+        // executor arms its lifecycle timers but builds no dataflow; the
+        // group's single tick chain starts with its first member.
+        if let Some(layer) = self.sharing.as_mut() {
+            if layer.renew(query_id, ctx.now()) {
+                return; // re-dissemination of a shared standing query
+            }
+            if let InstallOutcome::Member {
+                group,
+                new_group,
+                epoch,
+                slide,
+                lease,
+            } = layer.try_install(&plan, ctx.now())
+            {
+                ctx.set_timer(plan.timeout, PierTimer::QueryEnd { query_id });
+                ctx.set_timer(lease, PierTimer::CqLease { query_id });
+                if new_group {
+                    ctx.set_timer(slide, PierTimer::ShareTick { group, epoch });
+                }
+                return;
+            }
         }
         let agg_root_id = routing_id(&plan.partial_namespace(), &plan.agg_root_key());
         let cq = Self::build_cq_state(&plan, ctx.now());
@@ -955,6 +1113,18 @@ impl PierNode {
     fn uninstall_query(&mut self, query_id: u64) {
         if self.queries.remove(&query_id).is_some() {
             SchemaRegistry::global().sweep_matching(is_query_scoped_table);
+            return;
+        }
+        // Share-group members tear down through the layer: the group's
+        // refcount drops, and retiring its last member sweeps both the
+        // group's interned shapes (`g{fp:016x}.…`) and any unreferenced
+        // query-scoped ones (the member's result schema).
+        if let Some(layer) = self.sharing.as_mut() {
+            let out = layer.uninstall(query_id);
+            if out.was_member {
+                SchemaRegistry::global()
+                    .sweep_matching(|t| is_query_scoped_table(t) || is_share_scoped_table(t));
+            }
         }
     }
 
@@ -1776,7 +1946,7 @@ impl PierNode {
                         Tuple::from_schema(Arc::clone(&cq.result_schema), values)
                     })
                     .collect();
-                rows.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+                rows.sort_by_cached_key(|t| t.to_string());
                 if !cq.final_ops.is_empty() {
                     let mut finisher = Pipeline::new(
                         cq.final_ops
@@ -1864,6 +2034,85 @@ impl PierNode {
         // 4. Re-arm while the query is installed.
         if self.queries.contains_key(&query_id) {
             ctx.set_timer(window.slide, PierTimer::WindowTick { query_id });
+        }
+    }
+
+    /// Periodic window maintenance for one share group (fires every slide,
+    /// once per group — the shared counterpart of
+    /// [`PierNode::window_tick`]): the layer closes due windows and hands
+    /// back one partial stream to ship toward the group's root plus, at the
+    /// root, per-member emissions the executor forwards to each member's
+    /// proxy.
+    fn share_tick(&mut self, ctx: &mut ProgramContext<Self>, group: u64, epoch: u64) {
+        let now = ctx.now();
+        let Some(route) = self.sharing.as_ref().and_then(|l| l.group_route(group)) else {
+            return; // group retired: the tick chain stops
+        };
+        if route.epoch != epoch {
+            // The group was retired and re-created since this chain was
+            // armed; the new incarnation drives its own chain — a stale
+            // timer must not stack a duplicate one.
+            return;
+        }
+        let root_id = routing_id(&route.namespace, &route.root_key);
+        let is_root = self.overlay.router().is_responsible(root_id);
+        let out = self
+            .sharing
+            .as_mut()
+            .expect("route resolved above")
+            .tick(group, now, is_root);
+        let lifetime = self.config.publish_lifetime;
+        let mut effects = Vec::new();
+        // One transfer per tick per group: every partial shares the group's
+        // window-root destination, so batching collapses the train.
+        let shipments: Vec<QpObject> = if self.config.batching && out.partials.len() > 1 {
+            vec![QpObject::Batch(TupleBatch::new(out.partials))]
+        } else {
+            out.partials.into_iter().map(QpObject::Tuple).collect()
+        };
+        for shipment in shipments {
+            let name = ObjectName::new(
+                route.namespace.clone(),
+                route.root_key.clone(),
+                self.rng.next_u64(),
+            );
+            effects.extend(
+                self.overlay
+                    .send_routed(root_id, name, shipment, lifetime, now),
+            );
+        }
+        self.drive(ctx, effects);
+        for e in out.emissions {
+            if e.proxy == ctx.me() {
+                self.proxy_receive_window(
+                    ctx,
+                    e.query_id,
+                    e.window_start,
+                    e.window_end,
+                    e.retracts,
+                    e.inserts,
+                );
+            } else {
+                ctx.send(
+                    e.proxy,
+                    PierMsg::WindowResults {
+                        query_id: e.query_id,
+                        window_start: e.window_start,
+                        window_end: e.window_end,
+                        retracts: e.retracts,
+                        inserts: e.inserts,
+                    },
+                );
+            }
+        }
+        // Re-arm while this incarnation of the group lives.
+        if self
+            .sharing
+            .as_ref()
+            .and_then(|l| l.group_route(group))
+            .is_some_and(|r| r.epoch == epoch)
+        {
+            ctx.set_timer(route.slide, PierTimer::ShareTick { group, epoch });
         }
     }
 
@@ -1980,6 +2229,7 @@ impl Program for PierNode {
                 }
             }
             PierTimer::WindowTick { query_id } => self.window_tick(ctx, query_id),
+            PierTimer::ShareTick { group, epoch } => self.share_tick(ctx, group, epoch),
             PierTimer::BatchFlush => {
                 let now = ctx.now();
                 self.batch_timer_armed = false;
@@ -2006,7 +2256,15 @@ impl Program for PierNode {
                         Some(cq) => cq.lease.expires_at,
                         None => return,
                     },
-                    None => return,
+                    // Share-group members keep their lease in the layer.
+                    None => match self
+                        .sharing
+                        .as_ref()
+                        .and_then(|l| l.lease_expires_at(query_id))
+                    {
+                        Some(expires_at) => expires_at,
+                        None => return,
+                    },
                 };
                 if now >= expires_at {
                     // The owner stopped renewing (or we are partitioned

@@ -91,15 +91,15 @@ impl LocalOperator for Selection {
     }
 
     fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
-        // Mask-and-filter: the predicate evaluates over borrowed row views
-        // and the survivors are copied out as one whole chunk per input
-        // chunk — zero per-row `Tuple` materialisations on this path.
+        // Mask-and-filter: the predicate evaluates **column-at-a-time**
+        // ([`CompiledExpr::eval_column`] — type-specialised loops over each
+        // referenced column, masks combined bitwise) and the survivors are
+        // copied out as one whole chunk per input chunk — zero per-row
+        // `Tuple` materialisations and no per-row expression-tree walk.
         let mut out = TupleBatch::default();
         for chunk in batch.chunks() {
             let compiled = self.predicate.for_schema(chunk.schema());
-            let mask: Vec<bool> = (0..chunk.rows())
-                .map(|r| compiled.matches_view(&chunk.row_view(r)))
-                .collect();
+            let mask = compiled.eval_column(chunk);
             out.push_chunk(chunk.filter(&mask));
         }
         out
@@ -487,8 +487,9 @@ impl LocalOperator for GroupBy {
             .values()
             .map(|(vals, states)| self.group_tuple(vals, states))
             .collect();
-        // Deterministic output order helps tests and clients.
-        out.sort_by(|a, b| format!("{a}").cmp(&format!("{b}")));
+        // Deterministic output order helps tests and clients (cached keys:
+        // one render per row, not two per comparison).
+        out.sort_by_cached_key(|t| t.to_string());
         out
     }
 }

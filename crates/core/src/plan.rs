@@ -573,6 +573,44 @@ impl PlanBuilder {
             .build()
     }
 
+    /// Shorthand for one *tenant* of the multi-query monitoring workload: a
+    /// windowed grouped count restricted to a single group constant
+    /// (`WHERE group_col = watched`).  Plans built this way for different
+    /// `watched` constants are identical up to the constant, so a sharing
+    /// layer (`pier-mqo`) normalizes them into one share group; without a
+    /// layer each runs as an independent continuous query.
+    pub fn windowed_filtered_count(
+        proxy: NodeAddr,
+        table: &str,
+        group_col: &str,
+        watched: impl Into<crate::value::Value>,
+        window: WindowSpec,
+        cq: CqSpec,
+        timeout: Duration,
+    ) -> QueryPlan {
+        PlanBuilder::new(proxy)
+            .timeout(timeout)
+            .cq(cq)
+            .opgraph(OpGraph {
+                id: 0,
+                source: SourceSpec::Table {
+                    namespace: table.to_string(),
+                },
+                join: None,
+                ops: vec![OperatorSpec::Selection(Expr::eq(group_col, watched))],
+                sink: SinkSpec::WindowedAgg {
+                    window,
+                    group_cols: vec![group_col.to_string()],
+                    aggs: vec![AggFunc::Count],
+                    time_col: Some("ts".to_string()),
+                    dedup_cols: vec![],
+                    delta: DeltaMode::Snapshot,
+                    final_ops: vec![],
+                },
+            })
+            .build()
+    }
+
     /// Shorthand for the Figure-2 style "top-k grouped count" query computed
     /// with hierarchical aggregation.
     pub fn top_k_group_count(
@@ -638,6 +676,35 @@ mod tests {
             output_table: "j".into(),
         };
         assert!(fetch.build().is_none(), "FetchMatches is executor-managed");
+    }
+
+    #[test]
+    fn windowed_filtered_count_builds_a_share_eligible_shape() {
+        use pier_cq::WindowSpec;
+        let plan = PlanBuilder::windowed_filtered_count(
+            NodeAddr(2),
+            "packets",
+            "src",
+            "10.0.0.9",
+            WindowSpec::sliding(2_000_000, 1_000_000),
+            CqSpec::default(),
+            60_000_000,
+        );
+        assert!(plan.cq.is_some());
+        assert!(matches!(plan.dissemination, Dissemination::Broadcast));
+        let graph = &plan.opgraphs[0];
+        assert!(matches!(&graph.ops[..], [OperatorSpec::Selection(_)]));
+        match &graph.sink {
+            SinkSpec::WindowedAgg {
+                group_cols,
+                dedup_cols,
+                ..
+            } => {
+                assert_eq!(group_cols, &vec!["src".to_string()]);
+                assert!(dedup_cols.is_empty(), "dedup would block sharing");
+            }
+            other => panic!("unexpected sink {other:?}"),
+        }
     }
 
     #[test]

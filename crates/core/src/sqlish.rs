@@ -27,6 +27,16 @@
 //! standing plan at, and `DELTAS` switches per-window output from snapshots
 //! to insert/retract streams.  Durations accept `us`, `ms`, `s` and `m`
 //! suffixes (a bare number is seconds).
+//!
+//! **Multi-query sharing.**  A windowed statement whose `WHERE` predicates
+//! reference only `GROUP BY` columns — the shape of the multi-tenant
+//! monitoring workload, `… WHERE src = '<mine>' GROUP BY src WINDOW …` —
+//! compiles to a plan that `pier-mqo` normalizes into a **share group**:
+//! constant-only-different statements installed by different users execute
+//! as one shared dataflow on nodes configured with the sharing layer
+//! (member-level `DELTAS` and `TOP k` clauses are preserved per user).
+//! Nothing here changes for that: the planner emits the same plan either
+//! way, and nodes without a sharing layer run it independently.
 
 use crate::aggregate::AggFunc;
 use crate::expr::{CmpOp, Expr};

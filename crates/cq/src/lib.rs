@@ -15,6 +15,11 @@
 //! * [`delta`] — delta-output semantics: per-window snapshot results or
 //!   insert/retract streams computed against the previous emission of the
 //!   same window ([`delta::DeltaTracker`]).
+//! * [`shared`] — multi-query **share-group** window state: one
+//!   local/root [`state::WindowStore`] pair serving N constant-varied
+//!   member queries, each member's per-window answer derived from the
+//!   shared accumulators at flush through its own [`delta::DeltaTracker`]
+//!   (the state half of the `pier-mqo` subsystem).
 //! * [`lifecycle`] — the soft-state continuous-query lifecycle: leases that
 //!   must be renewed by periodic re-dissemination (so a query dies everywhere
 //!   once its owner stops renewing, and reaches nodes that joined after it
@@ -49,10 +54,12 @@
 
 pub mod delta;
 pub mod lifecycle;
+pub mod shared;
 pub mod state;
 pub mod window;
 
 pub use delta::{Delta, DeltaMode, DeltaTracker};
 pub use lifecycle::{CqBudget, Lease};
+pub use shared::{MemberEmission, SharedWindowState};
 pub use state::{WindowAccumulator, WindowStats, WindowStore};
 pub use window::{WindowId, WindowSpec};

@@ -180,6 +180,15 @@ enum PendingOp<V> {
     },
 }
 
+/// One owner-cache entry: the resolved owner, when the resolution was
+/// learned (TTL anchor) and when it last served a batched put (LRU anchor).
+#[derive(Debug, Clone, Copy)]
+struct CachedOwner {
+    owner: NodeRef,
+    cached_at: SimTime,
+    last_used: SimTime,
+}
+
 /// The overlay wrapper: one instance per node.
 #[derive(Debug, Clone)]
 pub struct Overlay<V> {
@@ -203,14 +212,18 @@ pub struct Overlay<V> {
     /// stamped with its fill time and valid only within
     /// `owner_cache_epoch` (the router's membership epoch at fill time).
     /// Extends [`Overlay::put_batch`] coalescing beyond the successor list
-    /// on large rings.  Two invalidation layers bound staleness: any
-    /// *locally visible* membership change — a neighbor joining, leaving,
-    /// or being presumed dead — clears the cache wholesale via the epoch,
-    /// and a per-entry TTL (the router's liveness timeout) bounds how long
-    /// a resolution can be trusted when membership changes *outside* the
-    /// local neighbor view (a remote join taking over the arc never bumps
-    /// our epoch; after the TTL the entry falls back to a fresh lookup).
-    owner_cache: HashMap<Id, (NodeRef, SimTime)>,
+    /// on large rings.  Three bounds keep it honest: any *locally visible*
+    /// membership change — a neighbor joining, leaving, or being presumed
+    /// dead — clears the cache wholesale via the epoch; a per-entry TTL
+    /// (the router's liveness timeout) bounds how long a resolution can be
+    /// trusted when membership changes *outside* the local neighbor view
+    /// (a remote join taking over the arc never bumps our epoch; after the
+    /// TTL the entry falls back to a fresh lookup); and an LRU capacity
+    /// bound ([`Overlay::OWNER_CACHE_MAX`]) keeps a long-lived node on a
+    /// huge churn-free ring from accumulating one entry per identifier it
+    /// ever resolved — the least-recently-used resolution is evicted, so
+    /// the hot destinations of a steady rehash stream stay warm.
+    owner_cache: HashMap<Id, CachedOwner>,
     owner_cache_epoch: u64,
 }
 
@@ -385,41 +398,62 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
     /// lookup: authoritative local routing state first
     /// ([`Router::known_owner`]), then the lookup-fed owner cache (valid
     /// for the current membership epoch, younger than the liveness-timeout
-    /// TTL, and only while the cached node is not presumed dead).
+    /// TTL, and only while the cached node is not presumed dead).  A hit
+    /// refreshes the entry's LRU stamp.
     fn resolved_owner(&mut self, id: Id, now: SimTime) -> Option<NodeRef> {
         if let Some(owner) = self.router.known_owner(id, now) {
             return Some(owner);
         }
         self.validate_owner_cache();
         let ttl = self.config.router.liveness_timeout;
-        let (owner, cached_at) = self.owner_cache.get(&id).copied()?;
+        let entry = self.owner_cache.get_mut(&id)?;
+        let (owner, cached_at) = (entry.owner, entry.cached_at);
         if now.saturating_sub(cached_at) > ttl || self.router.presumed_dead(owner.addr, now) {
             self.owner_cache.remove(&id);
             return None;
         }
+        entry.last_used = now;
         Some(owner)
     }
 
     /// Hard cap on cached owner resolutions.  Reaching it first purges
-    /// TTL-expired entries; if the cache is still full, it is cleared
-    /// wholesale (losing warm resolutions is only a perf hiccup — the next
-    /// flush re-primes via lookups).  Without the cap, a long-lived node on
-    /// a churn-free ring (epoch never bumps) would accumulate one entry per
-    /// distinct identifier ever resolved.
+    /// TTL-expired entries; if the cache is still full, the
+    /// **least-recently-used** entry is evicted, so the hot destinations of
+    /// a steady rehash stream survive while one-off resolutions rotate out.
+    /// Without the cap, a long-lived node on a churn-free ring (epoch never
+    /// bumps) would accumulate one entry per distinct identifier ever
+    /// resolved.
     const OWNER_CACHE_MAX: usize = 1024;
 
     /// Record a lookup-resolved owner for reuse by later batched puts.
+    /// Never grows the cache past [`Overlay::OWNER_CACHE_MAX`].
     fn cache_owner(&mut self, id: Id, owner: NodeRef, now: SimTime) {
         self.validate_owner_cache();
-        if self.owner_cache.len() >= Self::OWNER_CACHE_MAX {
+        if self.owner_cache.len() >= Self::OWNER_CACHE_MAX && !self.owner_cache.contains_key(&id) {
             let ttl = self.config.router.liveness_timeout;
             self.owner_cache
-                .retain(|_, (_, cached_at)| now.saturating_sub(*cached_at) <= ttl);
-            if self.owner_cache.len() >= Self::OWNER_CACHE_MAX {
-                self.owner_cache.clear();
+                .retain(|_, e| now.saturating_sub(e.cached_at) <= ttl);
+            while self.owner_cache.len() >= Self::OWNER_CACHE_MAX {
+                // O(capacity) scan, paid only when the bound is hit with no
+                // expired entries to shed — rare under real churn, cheap at
+                // this capacity.
+                let lru = self
+                    .owner_cache
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                    .expect("cache at capacity is non-empty");
+                self.owner_cache.remove(&lru);
             }
         }
-        self.owner_cache.insert(id, (owner, now));
+        self.owner_cache.insert(
+            id,
+            CachedOwner {
+                owner,
+                cached_at: now,
+                last_used: now,
+            },
+        );
     }
 
     /// A batched `put`: entries whose owner is determinable without a
@@ -1578,6 +1612,64 @@ mod tests {
             overlays[0].owner_cache.is_empty(),
             "a pre-churn lookup reply must not re-poison the cleared cache"
         );
+    }
+
+    #[test]
+    fn owner_cache_is_lru_bounded_on_a_large_ring() {
+        // A ring whose truncated successor lists leave a far arc that only
+        // the lookup-fed cache can resolve — the shape under which the cache
+        // is actually exercised — then hammer it with far more distinct
+        // identifiers than the capacity bound.
+        let n = 6u64;
+        let step = u64::MAX / n;
+        let refs: Vec<NodeRef> = (0..n)
+            .map(|i| NodeRef {
+                id: Id(100 + i * step),
+                addr: NodeAddr(i as u32),
+            })
+            .collect();
+        let config = OverlayConfig {
+            router: RouterConfig {
+                successor_list_len: 1,
+                ..RouterConfig::default()
+            },
+            ..OverlayConfig::default()
+        };
+        let mut overlay: Overlay<String> = Overlay::with_static_ring(refs[0], &refs, config);
+        let target = refs[3];
+        // Identifiers strictly inside the far arc (refs[2], refs[3]): node 0
+        // has no authoritative routing state for them.
+        let far = |i: u64| Id(100 + 2 * step + 1 + (i % (step - 2)));
+        let max = Overlay::<String>::OWNER_CACHE_MAX;
+        for i in 0..(3 * max as u64) {
+            overlay.cache_owner(far(i), target, 0);
+            assert!(
+                overlay.owner_cache.len() <= max,
+                "cache exceeded its bound at insert {i}: {}",
+                overlay.owner_cache.len()
+            );
+        }
+        assert_eq!(overlay.owner_cache.len(), max);
+        // A recently-used entry survives LRU churn: touch one resolution,
+        // then push a full capacity's worth of fresh inserts through.  Every
+        // timestamp stays within the TTL, so the bound below is enforced
+        // purely by least-recently-used eviction — and the touched entry is
+        // never the victim.
+        let hot = far(3 * max as u64);
+        overlay.cache_owner(hot, target, 1);
+        assert_eq!(
+            overlay.resolved_owner(hot, 2).map(|o| o.addr),
+            Some(target.addr)
+        );
+        for i in 0..(max as u64 - 1) {
+            overlay.cache_owner(far(10_000_000 + i), target, 2);
+            assert!(overlay.owner_cache.len() <= max);
+        }
+        assert!(
+            overlay.owner_cache.contains_key(&hot),
+            "the most-recently-used entry must survive LRU eviction"
+        );
+        assert_eq!(overlay.owner_cache.len(), max);
     }
 
     #[test]

@@ -19,6 +19,11 @@
 //!   a standing sqlish windowed aggregate over a live packet stream, with
 //!   optional churn, measuring sustained throughput, per-window latency and
 //!   per-node state bounds.
+//! * [`tenants`] — the `many_tenants` workload (`pier-mqo`): 64–256
+//!   constant-varied monitoring queries over one packet stream, run shared
+//!   (share groups + predicate index) or independent, with optional
+//!   mid-stream install/uninstall and node churn — the multi-query sharing
+//!   equivalence and throughput driver.
 //! * [`adaptivity`] — the eddy routing-policy ablation (EXP-H, §4.2.2).
 //! * [`robustness`] — adversary fidelity and spot-checking studies
 //!   (EXP-I, §4.1.2), built on `pier-security`.
@@ -32,8 +37,10 @@ pub mod experiments;
 pub mod indexes;
 pub mod recursion;
 pub mod robustness;
+pub mod tenants;
 pub mod workloads;
 
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use continuous::{continuous_netmon, ContinuousNetmonConfig, ContinuousOutcome};
+pub use tenants::{many_tenants, ManyTenantsConfig, ManyTenantsOutcome, TenantResult};
 pub use workloads::{FilesharingWorkload, FirewallWorkload};

@@ -1,0 +1,351 @@
+//! The `many_tenants` workload: N constant-varied monitoring queries.
+//!
+//! The multi-tenant network-monitoring scenario the paper's scale target
+//! implies: tens to hundreds of users each install the *same* standing
+//! windowed aggregate over the shared packet stream, differing only in the
+//! constant of their `WHERE src = <mine>` predicate.  The driver installs
+//! one such continuous query per tenant (optionally staggered mid-stream,
+//! optionally torn down early), streams Zipf-skewed packet events to every
+//! node for many windows of virtual time — optionally with node churn —
+//! and collects each tenant's per-window result stream at that tenant's
+//! own proxy.
+//!
+//! Run with [`ManyTenantsConfig::sharing`] on, the cluster executes the
+//! tenants through `pier-mqo` share groups (one shared dataflow, one
+//! predicate-index scan per chunk, one partial stream per group); off,
+//! every tenant runs its own dataflow.  The mqo equivalence suite runs the
+//! same stream both ways and pins identical per-tenant results; the
+//! `mqo_shared` bench reports the throughput and traffic ratio.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use pier_core::{sqlish, PierConfig, PierNode, PierOut, Tuple, Value};
+use pier_dht::NodeRef;
+use pier_runtime::{NodeAddr, Rng64, SimTime, Zipf};
+use std::collections::BTreeMap;
+
+/// Configuration of a many-tenants run.
+#[derive(Debug, Clone)]
+pub struct ManyTenantsConfig {
+    /// Number of nodes at boot.
+    pub nodes: usize,
+    /// Determinism seed (also controls the packet stream, which is
+    /// identical for equal seeds regardless of `sharing`).
+    pub seed: u64,
+    /// Number of tenant queries; tenant `i` watches source `i`.
+    pub tenants: usize,
+    /// Execute tenants through the `pier-mqo` sharing layer.
+    pub sharing: bool,
+    /// Events generated per node per second of virtual time.
+    pub events_per_node_per_sec: u64,
+    /// Distinct packet sources (at least `tenants`; extra sources generate
+    /// rows no tenant selects).
+    pub sources: usize,
+    /// Zipf skew of source popularity.
+    pub zipf_theta: f64,
+    /// How long the stream runs (virtual seconds).
+    pub run_secs: u64,
+    /// This many tenants (from the high end) install mid-stream, at
+    /// one-third of the run.
+    pub late_installs: usize,
+    /// This many tenants (from the low end) tear down mid-stream, at
+    /// two-thirds of the run (their query timeout expires there).
+    pub early_uninstalls: usize,
+    /// Churn: `(at_sec, kills, joins)` — at virtual second `at_sec`, fail
+    /// `kills` non-proxy nodes and boot `joins` fresh ones.
+    pub churn: Option<(u64, usize, usize)>,
+    /// Per-node configuration (the driver sets `sharing` on it).
+    pub pier: PierConfig,
+}
+
+impl ManyTenantsConfig {
+    /// A standard run: `tenants` constant-varied queries over a steady
+    /// stream, all installed up front.
+    pub fn new(nodes: usize, tenants: usize, run_secs: u64, seed: u64) -> Self {
+        ManyTenantsConfig {
+            nodes,
+            seed,
+            tenants,
+            sharing: true,
+            events_per_node_per_sec: 8,
+            sources: tenants + tenants / 4,
+            zipf_theta: 0.6,
+            run_secs,
+            late_installs: 0,
+            early_uninstalls: 0,
+            churn: None,
+            pier: PierConfig::default(),
+        }
+    }
+
+    /// The tenant's source address and standing query.
+    pub fn tenant_query(&self, tenant: usize) -> (String, String) {
+        let src = source_addr(tenant);
+        let sql = format!(
+            "SELECT src, COUNT(*) FROM packets WHERE src = '{src}' \
+             GROUP BY src WINDOW 2s SLIDE 1s EVERY 5s"
+        );
+        (src, sql)
+    }
+}
+
+/// Source address of rank `i` (shared by tenants and the generator).
+fn source_addr(rank: usize) -> String {
+    format!("10.0.{}.{}", (rank / 256) % 256, rank % 256)
+}
+
+/// One tenant's collected results.
+#[derive(Debug, Clone)]
+pub struct TenantResult {
+    /// The tenant's query id.
+    pub query_id: u64,
+    /// The tenant's proxy node.
+    pub proxy: NodeAddr,
+    /// The source this tenant watches.
+    pub src: String,
+    /// Virtual time the tenant's query was submitted.
+    pub installed_at: SimTime,
+    /// Virtual time the tenant's query times out.
+    pub ends_at: SimTime,
+    /// Final per-window rows (last emission wins, retractions applied),
+    /// keyed by `(window_start, window_end)`.
+    pub windows: BTreeMap<(SimTime, SimTime), Vec<Tuple>>,
+}
+
+/// Result of a many-tenants run.
+#[derive(Debug)]
+pub struct ManyTenantsOutcome {
+    /// Per-tenant results, indexed by tenant rank.
+    pub tenants: Vec<TenantResult>,
+    /// Total events fed to the cluster.
+    pub events: u64,
+    /// Virtual instant the stream started / ended.
+    pub stream: (SimTime, SimTime),
+    /// Wall-clock seconds spent driving the simulation from first install
+    /// to full drain (the bench's throughput denominator).
+    pub wall_secs: f64,
+    /// Messages delivered between stream start and end of drain.
+    pub total_msgs: u64,
+    /// Bytes delivered over the same interval.
+    pub total_bytes: u64,
+    /// Largest number of live share groups observed on any node (0 without
+    /// sharing).
+    pub max_shared_groups: usize,
+    /// Virtual instant the configured churn fired, if it did.
+    pub churn_at: Option<SimTime>,
+    /// Share groups still alive anywhere after the run's tenants ended
+    /// (leak detector for refcounted teardown).
+    pub residual_groups: usize,
+    /// Share-group members still alive anywhere after the run.
+    pub residual_members: usize,
+}
+
+impl ManyTenantsOutcome {
+    /// Sustained ingest rate in rows per *wall-clock* second — the bench's
+    /// headline shared-vs-independent comparison.
+    pub fn rows_per_wall_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs.max(1e-9)
+    }
+}
+
+/// Run the many-tenants workload.
+pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
+    assert!(cfg.sources >= cfg.tenants, "every tenant needs its source");
+    let mut cluster_cfg = ClusterConfig::lan(cfg.nodes, cfg.seed);
+    cluster_cfg.pier = cfg.pier.clone();
+    cluster_cfg.pier.sharing = if cfg.sharing {
+        Some(pier_mqo::layer)
+    } else {
+        None
+    };
+    let cluster_cfg = cluster_cfg.with_liveness_timeout(3_000_000);
+    let mut cluster = Cluster::start(&cluster_cfg);
+    let _ = cluster.sim.drain_outputs();
+    let run_micros = cfg.run_secs * 1_000_000;
+    let wall_start = std::time::Instant::now();
+
+    // Install the up-front tenants; late ones install at run/3, early
+    // teardowns expire their timeout at 2*run/3.
+    let late_from = cfg.tenants.saturating_sub(cfg.late_installs);
+    let stream_begin_estimate = cluster.sim.now() + 1_000_000;
+    let mut tenants: Vec<TenantResult> = Vec::with_capacity(cfg.tenants);
+    let submit = |cluster: &mut Cluster, tenant: usize, ends_at: SimTime| -> TenantResult {
+        let (src, sql) = cfg.tenant_query(tenant);
+        let proxy = cluster.addr(tenant % cfg.nodes);
+        let now = cluster.sim.now();
+        let plan = sqlish::compile(&sql, proxy, ends_at.saturating_sub(now).max(1_000_000))
+            .expect("tenant query compiles");
+        let mut query_id = 0u64;
+        cluster.sim.invoke(proxy, |node, ctx| {
+            query_id = node.submit_query(ctx, plan);
+        });
+        TenantResult {
+            query_id,
+            proxy,
+            src,
+            installed_at: now,
+            ends_at,
+            windows: BTreeMap::new(),
+        }
+    };
+    let default_end = stream_begin_estimate + run_micros + 20_000_000;
+    let early_end = stream_begin_estimate + (run_micros / 3) * 2;
+    for tenant in 0..late_from {
+        let ends_at = if tenant < cfg.early_uninstalls {
+            early_end
+        } else {
+            default_end
+        };
+        let t = submit(&mut cluster, tenant, ends_at);
+        tenants.push(t);
+    }
+    // Let dissemination reach everyone, then isolate stream traffic.
+    cluster.settle(1_000_000);
+    cluster.reset_stats();
+
+    let mut rng = Rng64::new(cfg.seed ^ 0x7E4A47);
+    let zipf = Zipf::new(cfg.sources.max(1), cfg.zipf_theta);
+    let tick = 250_000u64; // 4 ingest rounds per virtual second
+    let mut events = 0u64;
+    let stream_begin = cluster.sim.now();
+    let stream_end = stream_begin + run_micros;
+    let late_at = stream_begin + run_micros / 3;
+    let mut churned = false;
+    let mut churn_at = None;
+    let mut late_installed = false;
+    let mut max_shared_groups = 0usize;
+    while cluster.sim.now() < stream_end {
+        let now = cluster.sim.now();
+        if !late_installed && cfg.late_installs > 0 && now >= late_at {
+            late_installed = true;
+            for tenant in late_from..cfg.tenants {
+                let t = submit(&mut cluster, tenant, default_end);
+                tenants.push(t);
+            }
+            cluster.settle(1_000_000);
+            continue;
+        }
+        if let Some((at_sec, kills, joins)) = cfg.churn {
+            if !churned && now >= stream_begin + at_sec * 1_000_000 {
+                churned = true;
+                churn_at = Some(now);
+                let proxies: Vec<NodeAddr> = tenants.iter().map(|t| t.proxy).collect();
+                let alive: Vec<NodeAddr> = cluster
+                    .sim
+                    .alive_nodes()
+                    .into_iter()
+                    .filter(|a| !proxies.contains(a))
+                    .collect();
+                for victim in alive.iter().rev().take(kills) {
+                    cluster.sim.fail_node_at(*victim, now);
+                }
+                for _ in 0..joins {
+                    let addr = NodeAddr(cluster.sim.node_count() as u32);
+                    let me = NodeRef {
+                        id: pier_dht::Id(rng.next_u64()),
+                        addr,
+                    };
+                    let mut ring = cluster.refs.clone();
+                    ring.push(me);
+                    let assigned = cluster.sim.add_node(PierNode::with_static_ring(
+                        me,
+                        &ring,
+                        cluster_cfg.pier.clone(),
+                    ));
+                    debug_assert_eq!(assigned, addr);
+                }
+                cluster.settle(1);
+                continue;
+            }
+        }
+        let per_tick = (cfg.events_per_node_per_sec * tick / 1_000_000).max(1) as usize;
+        for addr in cluster.sim.alive_nodes() {
+            for _ in 0..per_tick {
+                // Zipf ranks are 1-based; sources (and tenants) are 0-based.
+                let rank = zipf.sample(&mut rng) - 1;
+                let tuple = Tuple::new(
+                    "packets",
+                    vec![
+                        ("src", Value::Str(source_addr(rank).into())),
+                        ("ts", Value::Int(now as i64)),
+                        ("len", Value::Int(40 + (rng.index(1400) as i64))),
+                    ],
+                );
+                events += 1;
+                cluster.sim.invoke(addr, move |node, ctx| {
+                    node.ingest(ctx, "packets", tuple);
+                });
+            }
+        }
+        cluster.sim.run_for(tick);
+        if cfg.sharing {
+            for addr in cluster.sim.alive_nodes() {
+                if let Some(stats) = cluster.sim.node(addr).and_then(|n| n.sharing_stats()) {
+                    max_shared_groups = max_shared_groups.max(stats.groups);
+                }
+            }
+        }
+    }
+    // Drain: trailing windows close and travel; every tenant's timeout —
+    // and the lease lapse of any straggler node still holding the query —
+    // has comfortably passed at the end, so teardown is observable.
+    cluster.sim.run_for(run_micros / 2 + 40_000_000);
+    let total_msgs = cluster.sim.stats().total_msgs;
+    let total_bytes = cluster.sim.stats().total_bytes;
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+
+    // Collect each tenant's per-window rows at that tenant's proxy.
+    let by_query: BTreeMap<u64, usize> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (t.query_id, i))
+        .collect();
+    for out in cluster.sim.drain_outputs() {
+        if let PierOut::WindowResult {
+            query_id,
+            window_start,
+            window_end,
+            retract,
+            tuple,
+        } = out.value
+        {
+            let Some(&idx) = by_query.get(&query_id) else {
+                continue;
+            };
+            if tenants[idx].proxy != out.node {
+                continue;
+            }
+            let rows = tenants[idx]
+                .windows
+                .entry((window_start, window_end))
+                .or_default();
+            if retract {
+                rows.retain(|t| *t != tuple);
+            } else {
+                rows.retain(|t| t.get("src") != tuple.get("src"));
+                rows.push(tuple);
+            }
+        }
+    }
+    // Leak detection: after every tenant ended, no node may retain share
+    // groups or members.
+    let mut residual_groups = 0usize;
+    let mut residual_members = 0usize;
+    for addr in cluster.sim.alive_nodes() {
+        if let Some(stats) = cluster.sim.node(addr).and_then(|n| n.sharing_stats()) {
+            residual_groups += stats.groups;
+            residual_members += stats.members;
+        }
+    }
+    ManyTenantsOutcome {
+        tenants,
+        events,
+        stream: (stream_begin, stream_end),
+        wall_secs,
+        total_msgs,
+        total_bytes,
+        max_shared_groups,
+        churn_at,
+        residual_groups,
+        residual_members,
+    }
+}

@@ -1,0 +1,610 @@
+//! The predicate index: N member predicates, one scan per chunk.
+//!
+//! A share group's members are near-identical predicates differing in
+//! constants (`src = '10.0.0.1'`, `src = '10.0.0.2'`, …).  Evaluating them
+//! independently costs N expression walks per row; the [`PredicateIndex`]
+//! instead **decomposes** each member predicate into a conjunction of
+//! `column op constant` atoms, groups the atoms **by column**, and scans
+//! each referenced column once per chunk with a type-specialised kernel:
+//!
+//! * equality atoms on a column form a hash kernel (`i64`- and
+//!   `&str`-keyed), so a scan row finds *all* members whose constant it
+//!   equals with one lookup — the per-row cost is O(1) in the member count;
+//! * ordering atoms (`<`, `<=`, `>`, `>=`, `!=`) each scan the column with
+//!   an inner loop specialised to the constant's type;
+//! * members whose predicate does not decompose (disjunctions, arithmetic)
+//!   fall back to [`CompiledExpr::eval_column`] — still column-at-a-time,
+//!   just not shared.
+//!
+//! Every atom's outcome lands in word-packed [`SelMask`]s combined with
+//! bitwise ops: ANDing a member's atoms, ORing members into the union mask
+//! the shared window store absorbs.  The masks are exactly what per-member
+//! [`CompiledPredicate`] evaluation would produce row by row — including
+//! best-effort discard on missing columns and type mismatches — which the
+//! equivalence and property tests pin.
+
+use crate::mask::SelMask;
+use pier_core::tuple::{ColumnChunk, Schema};
+use pier_core::{CmpOp, CompiledPredicate, Expr, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// 2^53: strictly below this magnitude, `f64` represents every integer
+/// exactly, so `f as i64` round-trips and hashing the cast agrees with
+/// [`Value::compare`]'s widening comparison.  At and beyond it, distinct
+/// `i64` constants round to the *same* `f64` (2^53 + 1 rounds onto 2^53),
+/// so integral float row values fall back to comparing against each
+/// integer constant the way per-row evaluation would.
+const F64_EXACT_INT_MAX: f64 = 9_007_199_254_740_992.0;
+
+/// One `column op constant` conjunct of a member predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Atom {
+    /// The column compared.
+    pub column: String,
+    /// The comparison.
+    pub op: CmpOp,
+    /// The constant compared against.
+    pub constant: Value,
+}
+
+/// Decompose a predicate into a conjunction of [`Atom`]s, or `None` when
+/// its shape does not permit it (the member then evaluates through the
+/// vectorised fallback).  `TRUE` decomposes to the empty conjunction.
+pub fn decompose(expr: &Expr) -> Option<Vec<Atom>> {
+    match expr {
+        Expr::Const(Value::Bool(true)) => Some(Vec::new()),
+        Expr::Cmp(op, l, r) => match (l.as_ref(), r.as_ref()) {
+            (Expr::Column(c), Expr::Const(v)) => Some(vec![Atom {
+                column: c.clone(),
+                op: *op,
+                constant: v.clone(),
+            }]),
+            (Expr::Const(v), Expr::Column(c)) => Some(vec![Atom {
+                column: c.clone(),
+                op: flip(*op),
+                constant: v.clone(),
+            }]),
+            _ => None,
+        },
+        Expr::And(l, r) => {
+            let mut atoms = decompose(l)?;
+            atoms.extend(decompose(r)?);
+            Some(atoms)
+        }
+        _ => None,
+    }
+}
+
+/// `const op col` ⇔ `col flip(op) const`.
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+#[derive(Debug)]
+struct IndexedMember {
+    id: u64,
+    /// Conjunction decomposition; `None` routes through `fallback`.
+    atoms: Option<Vec<Atom>>,
+    /// The full predicate, for the vectorised fallback path.
+    fallback: CompiledPredicate,
+}
+
+/// One column's compiled kernels.  Equality atoms index into the global
+/// per-atom scratch-mask table (`entries` lists this kernel's share of it);
+/// ordering atoms carry their member slot directly and clear failing rows
+/// in place.
+#[derive(Debug, Default)]
+struct ColumnKernel {
+    col: usize,
+    /// Integer constant → equality-entry ids.
+    int_eq: HashMap<i64, Vec<u32>>,
+    /// String constant → equality-entry ids.
+    str_eq: HashMap<String, Vec<u32>>,
+    /// Float equality constants `(entry, constant)`; compared per row
+    /// (they can also equal integer row values).
+    float_eq: Vec<(u32, Value)>,
+    /// Bool/bytes/null equality constants `(entry, constant)`.
+    misc_eq: Vec<(u32, Value)>,
+    /// Every equality entry of this kernel (for the AND step).
+    entries: Vec<u32>,
+    /// Ordering / inequality atoms: `(op, constant, member slot)`.
+    cmps: Vec<(CmpOp, Value, u32)>,
+}
+
+/// The index compiled against one interned schema (single-entry cache,
+/// pointer-keyed like every per-schema cache in `pier-core`).
+#[derive(Debug)]
+struct CompiledIndex {
+    schema: Arc<Schema>,
+    kernels: Vec<ColumnKernel>,
+    /// Members with an atom on a column the schema lacks: evaluation would
+    /// error on every row, so their mask is all-false (best-effort
+    /// discard).
+    always_false: Vec<u32>,
+    /// Members whose predicate did not decompose.
+    fallback: Vec<u32>,
+    /// Members served by the atom kernels (mask starts all-true).
+    atom_slots: Vec<u32>,
+    /// Equality entry → member slot.
+    entry_slot: Vec<u32>,
+}
+
+/// The multi-query predicate index: member predicates in, per-member
+/// selection masks (plus their union) out, one column scan at a time.
+#[derive(Debug, Default)]
+pub struct PredicateIndex {
+    members: Vec<IndexedMember>,
+    by_id: HashMap<u64, usize>,
+    compiled: Option<CompiledIndex>,
+    /// Per-member masks, parallel to `members` (valid after
+    /// [`PredicateIndex::eval_chunk`]).
+    masks: Vec<SelMask>,
+    /// Per-equality-entry scratch masks, reused across chunks.
+    scratch: Vec<SelMask>,
+    /// Three-valued scratch for the ordering-atom kernel, reused across
+    /// chunks (no per-atom allocation).
+    truth_scratch: Vec<bool>,
+    err_scratch: Vec<bool>,
+    union: SelMask,
+}
+
+impl PredicateIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        PredicateIndex {
+            union: SelMask::new(0, false),
+            ..Default::default()
+        }
+    }
+
+    /// Number of member predicates.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no member is registered.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Register a member predicate.  `false` when the id already exists.
+    pub fn insert(&mut self, id: u64, predicate: Expr) -> bool {
+        if self.by_id.contains_key(&id) {
+            return false;
+        }
+        self.by_id.insert(id, self.members.len());
+        self.members.push(IndexedMember {
+            id,
+            atoms: decompose(&predicate),
+            fallback: CompiledPredicate::new(predicate),
+        });
+        self.compiled = None;
+        true
+    }
+
+    /// Remove a member predicate.  `false` when the id is unknown.
+    pub fn remove(&mut self, id: u64) -> bool {
+        let Some(slot) = self.by_id.remove(&id) else {
+            return false;
+        };
+        self.members.swap_remove(slot);
+        if slot < self.members.len() {
+            self.by_id.insert(self.members[slot].id, slot);
+        }
+        self.compiled = None;
+        true
+    }
+
+    /// Compile the member set against `schema`.
+    fn compile(members: &[IndexedMember], schema: &Arc<Schema>) -> CompiledIndex {
+        let mut kernels_by_col: HashMap<usize, ColumnKernel> = HashMap::new();
+        let mut always_false = Vec::new();
+        let mut fallback = Vec::new();
+        let mut atom_slots = Vec::new();
+        let mut entry_slot: Vec<u32> = Vec::new();
+        for (slot, member) in members.iter().enumerate() {
+            let slot32 = slot as u32;
+            let Some(atoms) = &member.atoms else {
+                fallback.push(slot32);
+                continue;
+            };
+            let resolved: Option<Vec<usize>> =
+                atoms.iter().map(|a| schema.position(&a.column)).collect();
+            let Some(cols) = resolved else {
+                always_false.push(slot32);
+                continue;
+            };
+            atom_slots.push(slot32);
+            for (atom, col) in atoms.iter().zip(cols) {
+                let kernel = kernels_by_col.entry(col).or_insert_with(|| ColumnKernel {
+                    col,
+                    ..ColumnKernel::default()
+                });
+                if atom.op == CmpOp::Eq {
+                    let entry = entry_slot.len() as u32;
+                    entry_slot.push(slot32);
+                    kernel.entries.push(entry);
+                    match &atom.constant {
+                        Value::Int(i) => kernel.int_eq.entry(*i).or_default().push(entry),
+                        Value::Str(s) => {
+                            kernel.str_eq.entry(s.to_string()).or_default().push(entry)
+                        }
+                        Value::Float(_) => kernel.float_eq.push((entry, atom.constant.clone())),
+                        other => kernel.misc_eq.push((entry, other.clone())),
+                    }
+                } else {
+                    kernel.cmps.push((atom.op, atom.constant.clone(), slot32));
+                }
+            }
+        }
+        CompiledIndex {
+            schema: Arc::clone(schema),
+            kernels: kernels_by_col.into_values().collect(),
+            always_false,
+            fallback,
+            atom_slots,
+            entry_slot,
+        }
+    }
+
+    /// Evaluate every member predicate over `chunk`, column-at-a-time.
+    /// Afterwards [`PredicateIndex::member_mask`] holds each member's
+    /// selection mask and [`PredicateIndex::union`] their bitwise OR (the
+    /// rows at least one member selects).
+    pub fn eval_chunk(&mut self, chunk: &ColumnChunk) {
+        let rows = chunk.rows();
+        let schema = chunk.schema();
+        let hit = self
+            .compiled
+            .as_ref()
+            .is_some_and(|c| Arc::ptr_eq(&c.schema, schema));
+        if !hit {
+            self.compiled = Some(Self::compile(&self.members, schema));
+        }
+        while self.masks.len() < self.members.len() {
+            self.masks.push(SelMask::new(0, false));
+        }
+        let compiled = self.compiled.as_ref().expect("compiled above");
+        for &slot in &compiled.atom_slots {
+            self.masks[slot as usize].reset(rows, true);
+        }
+        for &slot in &compiled.always_false {
+            self.masks[slot as usize].reset(rows, false);
+        }
+        // Fallback members: whole-predicate vectorised evaluation.
+        for &slot in &compiled.fallback {
+            let member = &mut self.members[slot as usize];
+            let bools = member.fallback.for_schema(schema).eval_column(chunk);
+            self.masks[slot as usize].load_bools(&bools);
+        }
+        // Equality scratch masks: one per (member, eq-atom) pair.
+        while self.scratch.len() < compiled.entry_slot.len() {
+            self.scratch.push(SelMask::new(0, false));
+        }
+        for entry in 0..compiled.entry_slot.len() {
+            self.scratch[entry].reset(rows, false);
+        }
+        for kernel in &compiled.kernels {
+            let column = chunk.column(kernel.col);
+            // One scan resolves every equality atom on this column: the row
+            // value hashes straight to the matching entries.
+            if !kernel.entries.is_empty() {
+                for (r, v) in column.iter().enumerate() {
+                    match v {
+                        Value::Int(x) => {
+                            if let Some(entries) = kernel.int_eq.get(x) {
+                                for &e in entries {
+                                    self.scratch[e as usize].set(r);
+                                }
+                            }
+                            for (e, c) in &kernel.float_eq {
+                                if v.compare(c) == Some(std::cmp::Ordering::Equal) {
+                                    self.scratch[*e as usize].set(r);
+                                }
+                            }
+                        }
+                        Value::Float(f) => {
+                            if f.fract() == 0.0 {
+                                // Strictly below 2^53: every i64 the
+                                // widening comparison could equate casts
+                                // back exactly, so the hash lookup is
+                                // complete.  At and beyond it, neighbours
+                                // like 2^53+1 round onto the same f64.
+                                if f.abs() < F64_EXACT_INT_MAX {
+                                    if let Some(entries) = kernel.int_eq.get(&(*f as i64)) {
+                                        for &e in entries {
+                                            self.scratch[e as usize].set(r);
+                                        }
+                                    }
+                                } else {
+                                    // Beyond the exactly-representable range
+                                    // the cast can miss constants that
+                                    // Value::compare's widening would equate;
+                                    // compare each (rare: only huge integral
+                                    // float rows pay this).
+                                    for (k, entries) in &kernel.int_eq {
+                                        if v.compare(&Value::Int(*k))
+                                            == Some(std::cmp::Ordering::Equal)
+                                        {
+                                            for &e in entries {
+                                                self.scratch[e as usize].set(r);
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            for (e, c) in &kernel.float_eq {
+                                if v.compare(c) == Some(std::cmp::Ordering::Equal) {
+                                    self.scratch[*e as usize].set(r);
+                                }
+                            }
+                        }
+                        Value::Str(s) => {
+                            if let Some(entries) = kernel.str_eq.get(s.as_ref()) {
+                                for &e in entries {
+                                    self.scratch[e as usize].set(r);
+                                }
+                            }
+                        }
+                        other => {
+                            for (e, c) in &kernel.misc_eq {
+                                if other.compare(c) == Some(std::cmp::Ordering::Equal) {
+                                    self.scratch[*e as usize].set(r);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Ordering atoms: one specialised scan each, clearing failing
+            // rows from the member's mask in place.  The scan delegates to
+            // `pier-core`'s `cmp_col_const` kernel — the exact loops
+            // single-query `Selection` vectorises with, so the index and
+            // per-row evaluation share one comparison semantics by
+            // construction — over reused three-valued scratch (incomparable
+            // rows fail, per the discard-on-mismatch policy).
+            for (op, constant, slot) in &kernel.cmps {
+                self.truth_scratch.clear();
+                self.truth_scratch.resize(rows, false);
+                self.err_scratch.clear();
+                self.err_scratch.resize(rows, false);
+                pier_core::expr::cmp_col_const(
+                    *op,
+                    column,
+                    constant,
+                    &mut self.truth_scratch,
+                    &mut self.err_scratch,
+                );
+                let mask = &mut self.masks[*slot as usize];
+                for (r, (t, e)) in self.truth_scratch.iter().zip(&self.err_scratch).enumerate() {
+                    if !*t || *e {
+                        mask.clear(r);
+                    }
+                }
+            }
+        }
+        // AND each member's equality outcomes into its mask, then OR all
+        // members into the union the shared store absorbs.
+        for kernel in &compiled.kernels {
+            for &entry in &kernel.entries {
+                let slot = compiled.entry_slot[entry as usize];
+                self.masks[slot as usize].and_assign(&self.scratch[entry as usize]);
+            }
+        }
+        self.union.reset(rows, false);
+        for (slot, _) in self.members.iter().enumerate() {
+            self.union.or_assign(&self.masks[slot]);
+        }
+    }
+
+    /// Member `id`'s selection mask from the last
+    /// [`PredicateIndex::eval_chunk`].
+    pub fn member_mask(&self, id: u64) -> Option<&SelMask> {
+        self.by_id.get(&id).map(|slot| &self.masks[*slot])
+    }
+
+    /// The union mask from the last [`PredicateIndex::eval_chunk`]: rows
+    /// selected by at least one member.
+    pub fn union(&self) -> &SelMask {
+        &self.union
+    }
+
+    /// Member ids currently indexed (arbitrary order).
+    pub fn member_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.members.iter().map(|m| m.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pier_core::{Tuple, TupleBatch};
+
+    fn chunk(rows: Vec<Tuple>) -> TupleBatch {
+        TupleBatch::new(rows)
+    }
+
+    fn messy_rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let port = match i % 6 {
+                    0 => Value::Int(i % 100),
+                    1 => Value::Float((i % 100) as f64),
+                    2 => Value::Float(i as f64 + 0.5),
+                    3 => Value::Str(format!("p{i}").into()),
+                    4 => Value::Null,
+                    _ => Value::Int(i % 100),
+                };
+                Tuple::new(
+                    "packets",
+                    vec![
+                        ("src", Value::Str(format!("10.0.0.{}", i % 16).into())),
+                        ("port", port),
+                        ("len", Value::Int(40 + i % 1400)),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    /// Every member mask must equal row-by-row evaluation of the member's
+    /// own predicate — the index is an optimization, never a semantics
+    /// change.
+    fn assert_masks_match(index: &mut PredicateIndex, preds: &[(u64, Expr)], rows: Vec<Tuple>) {
+        let batch = chunk(rows);
+        for chunk in batch.chunks() {
+            index.eval_chunk(chunk);
+            let mut union = vec![false; chunk.rows()];
+            for (id, expr) in preds {
+                let mut reference = CompiledPredicate::new(expr.clone());
+                let compiled = reference.for_schema(chunk.schema());
+                let expect: Vec<bool> = (0..chunk.rows())
+                    .map(|r| compiled.matches_row(chunk, r))
+                    .collect();
+                let got = index.member_mask(*id).expect("member indexed").to_bools();
+                assert_eq!(got, expect, "member {id} ({expr:?}) diverges");
+                for (u, e) in union.iter_mut().zip(&expect) {
+                    *u = *u || *e;
+                }
+            }
+            assert_eq!(index.union().to_bools(), union, "union mask diverges");
+        }
+    }
+
+    #[test]
+    fn constant_varied_equality_members_match_per_row_eval() {
+        let mut index = PredicateIndex::new();
+        let preds: Vec<(u64, Expr)> = (0..24)
+            .map(|i| (i, Expr::eq("src", format!("10.0.0.{}", i % 16).as_str())))
+            .collect();
+        for (id, p) in &preds {
+            assert!(index.insert(*id, p.clone()));
+        }
+        assert_eq!(index.len(), 24);
+        assert_masks_match(&mut index, &preds, messy_rows(300));
+    }
+
+    #[test]
+    fn mixed_atom_shapes_and_fallbacks_match_per_row_eval() {
+        let mut index = PredicateIndex::new();
+        let preds: Vec<(u64, Expr)> = vec![
+            (1, Expr::eq("port", 40i64)),
+            (2, Expr::eq("port", 41.0)),
+            (3, Expr::cmp(CmpOp::Ge, Expr::col("port"), Expr::lit(50i64))),
+            (4, Expr::cmp(CmpOp::Lt, Expr::lit(60.0), Expr::col("port"))),
+            (
+                5,
+                Expr::And(
+                    Box::new(Expr::eq("src", "10.0.0.3")),
+                    Box::new(Expr::cmp(CmpOp::Le, Expr::col("len"), Expr::lit(500i64))),
+                ),
+            ),
+            // Disjunction: not decomposable, served by the fallback path.
+            (
+                6,
+                Expr::Or(
+                    Box::new(Expr::eq("src", "10.0.0.1")),
+                    Box::new(Expr::eq("src", "10.0.0.2")),
+                ),
+            ),
+            // Missing column: all rows discard.
+            (7, Expr::eq("nope", 1i64)),
+            // Contradictory conjunction on one column: never matches.
+            (
+                8,
+                Expr::And(
+                    Box::new(Expr::eq("port", 40i64)),
+                    Box::new(Expr::eq("port", 42i64)),
+                ),
+            ),
+            // TRUE predicate: matches everything.
+            (9, Expr::Const(Value::Bool(true))),
+            (
+                10,
+                Expr::cmp(CmpOp::Ne, Expr::col("port"), Expr::lit(40i64)),
+            ),
+        ];
+        for (id, p) in &preds {
+            assert!(index.insert(*id, p.clone()));
+        }
+        assert_masks_match(&mut index, &preds, messy_rows(360));
+    }
+
+    #[test]
+    fn huge_integer_constants_agree_with_widening_comparison() {
+        // 2^53 + 1 is the first i64 that f64 cannot represent: a Float row
+        // of 2^53 equals it under Value::compare's widening (both sides
+        // round to 2^53), and the hash kernel's cast must not miss that.
+        let k = (1i64 << 53) + 1;
+        let preds: Vec<(u64, Expr)> = vec![
+            (1, Expr::eq("x", k)),
+            (2, Expr::eq("x", 1i64 << 53)),
+            (3, Expr::eq("x", i64::MAX)),
+        ];
+        let mut index = PredicateIndex::new();
+        for (id, p) in &preds {
+            index.insert(*id, p.clone());
+        }
+        let rows: Vec<Tuple> = [
+            Value::Float((1u64 << 53) as f64),
+            Value::Float(9.3e18),
+            Value::Float(f64::NAN),
+            Value::Int(k),
+            Value::Int(1i64 << 53),
+            Value::Float(1.5),
+        ]
+        .into_iter()
+        .map(|x| Tuple::new("t", vec![("x", x)]))
+        .collect();
+        assert_masks_match(&mut index, &preds, rows);
+    }
+
+    #[test]
+    fn membership_changes_invalidate_and_recompile() {
+        let mut index = PredicateIndex::new();
+        assert!(index.insert(1, Expr::eq("src", "10.0.0.1")));
+        assert!(index.insert(2, Expr::eq("src", "10.0.0.2")));
+        assert!(!index.insert(2, Expr::eq("src", "other")), "duplicate id");
+        let rows = messy_rows(64);
+        assert_masks_match(
+            &mut index,
+            &[
+                (1, Expr::eq("src", "10.0.0.1")),
+                (2, Expr::eq("src", "10.0.0.2")),
+            ],
+            rows.clone(),
+        );
+        assert!(index.remove(1));
+        assert!(!index.remove(1));
+        assert_eq!(index.len(), 1);
+        assert_masks_match(&mut index, &[(2, Expr::eq("src", "10.0.0.2"))], rows);
+        assert!(index.member_mask(1).is_none());
+        assert_eq!(index.member_ids().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn decompose_recognises_conjunctions_of_atoms() {
+        let atoms = decompose(&Expr::all(vec![
+            Expr::eq("a", 1i64),
+            Expr::cmp(CmpOp::Lt, Expr::lit(5i64), Expr::col("b")),
+        ]))
+        .expect("decomposes");
+        assert_eq!(atoms.len(), 2);
+        assert_eq!(atoms[1].op, CmpOp::Gt, "const < col flips to col > const");
+        assert_eq!(decompose(&Expr::Const(Value::Bool(true))), Some(vec![]));
+        assert!(decompose(&Expr::Or(
+            Box::new(Expr::eq("a", 1i64)),
+            Box::new(Expr::eq("a", 2i64)),
+        ))
+        .is_none());
+        assert!(decompose(&Expr::Contains("a".into(), "x".into())).is_none());
+    }
+}

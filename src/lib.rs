@@ -20,6 +20,9 @@
 //! * [`cq`] — the continuous-query subsystem: tumbling/sliding windows with
 //!   budgeted per-node state, snapshot/delta output semantics, and the
 //!   soft-state lease lifecycle of standing queries.
+//! * [`mqo`] — multi-query sharing: plan fingerprinting, the vectorised
+//!   predicate index, and share-group execution that turns N
+//!   constant-varied standing queries into one shared dataflow.
 //! * [`security`] — the §4.1 defenses: duplicate-insensitive sketches,
 //!   redundant aggregation topologies and adversary fidelity metrics, rate
 //!   limitation, spot-checking with early commitment, and the
@@ -37,6 +40,7 @@ pub use pier_cq as cq;
 pub use pier_dht as dht;
 pub use pier_gnutella as gnutella;
 pub use pier_harness as harness;
+pub use pier_mqo as mqo;
 pub use pier_pht as pht;
 pub use pier_runtime as runtime;
 pub use pier_security as security;
