@@ -160,9 +160,9 @@ fn main() {
     let mut cfg = ManyTenantsConfig::new(nodes, tenants, run_secs, 29);
     cfg.events_per_node_per_sec = if smoke() { 8 } else { 16 };
     cfg.sharing = true;
-    let shared = many_tenants(&cfg);
+    let mut shared = many_tenants(&cfg);
     cfg.sharing = false;
-    let independent = many_tenants(&cfg);
+    let mut independent = many_tenants(&cfg);
     assert_eq!(
         shared.events, independent.events,
         "both runs must stream the same workload"
@@ -205,6 +205,28 @@ fn main() {
     );
     emit_metric("mqo_shared", "tenants_msgs_ratio", msgs_ratio);
     emit_metric("mqo_shared", "tenants_bytes_ratio", bytes_ratio);
+    // Per-tenant result latency (window close → proxy delivery): the median
+    // tenant's p50 and the worst tenant's p99, for both execution modes —
+    // sharing must not trade throughput for delivery tail latency.
+    for (mode, outcome) in [("shared", &mut shared), ("independent", &mut independent)] {
+        let (p50, p99) = outcome
+            .result_latency_summary_us()
+            .expect("tenants received results");
+        println!(
+            "tenants_{mode}_result_latency        p50 {:>8.0} us   p99 {:>8.0} us",
+            p50, p99
+        );
+        emit_metric(
+            "mqo_shared",
+            &format!("tenants_{mode}_result_latency_p50_us"),
+            p50,
+        );
+        emit_metric(
+            "mqo_shared",
+            &format!("tenants_{mode}_result_latency_p99_us"),
+            p99,
+        );
+    }
     // The acceptance bar is ≥2x at full scale; the smoke run is too short
     // for stable wall-clock ratios (measured ~2.6x), so CI asserts a softer
     // floor that still catches a sharing regression.

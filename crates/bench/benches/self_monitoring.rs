@@ -1,0 +1,74 @@
+//! Self-monitoring telemetry benchmark: the dogfood loop end to end.
+//!
+//! Runs the `self_monitoring` workload — every node publishes its
+//! telemetry hub into the `system.metrics` DHT namespace and two standing
+//! sqlish queries (per-node windowed `MAX(bytes_recv)` and
+//! `MAX(lookup_p99_us)`) monitor the cluster through PIER itself — and
+//! asserts the acceptance bar: the monitoring queries return live values
+//! for *every* node.  Emits the standard JSON metric lines.
+//!
+//! When `PIER_TRACE_OUT` names a file, node 0's structured event trace is
+//! written there as JSONL; CI validates each line against the event schema
+//! documented in `docs/OBSERVABILITY.md`.
+
+use pier_bench::emit_metric;
+use pier_harness::{self_monitoring, SelfMonitoringConfig};
+
+/// Smoke mode (`PIER_BENCH_SMOKE=1`, used by CI) shrinks the cluster and
+/// run length while still emitting every metric line and assertion.
+fn smoke() -> bool {
+    std::env::var_os("PIER_BENCH_SMOKE").is_some()
+}
+
+fn main() {
+    println!("# self-monitoring: standing queries over system.metrics");
+    let (nodes, run_secs) = if smoke() { (8, 12) } else { (24, 30) };
+    let cfg = SelfMonitoringConfig::new(nodes, run_secs, 11);
+    let out = self_monitoring(&cfg);
+
+    let windows = out.bytes_recv.len() as f64;
+    let reporting = out.nodes_reporting() as f64;
+    println!(
+        "self_monitoring                      {:>10.0} publishes  ({} windows, {}/{} nodes reporting)",
+        out.publishes,
+        out.bytes_recv.len(),
+        out.nodes_reporting(),
+        nodes
+    );
+    println!(
+        "self_monitoring_peaks                  bytes_recv {:>10.0}   lookup_p99 {:>8.0} us",
+        out.peak_bytes_recv(),
+        out.peak_lookup_p99()
+    );
+    emit_metric("self_monitoring", "metrics_publishes", out.publishes as f64);
+    emit_metric("self_monitoring", "bytes_recv_windows", windows);
+    emit_metric("self_monitoring", "nodes_reporting", reporting);
+    emit_metric("self_monitoring", "peak_bytes_recv", out.peak_bytes_recv());
+    emit_metric(
+        "self_monitoring",
+        "peak_lookup_p99_us",
+        out.peak_lookup_p99(),
+    );
+    let trace_events = out.trace_jsonl.lines().count() as f64;
+    emit_metric("self_monitoring", "trace_events_node0", trace_events);
+
+    if let Some(path) = std::env::var_os("PIER_TRACE_OUT") {
+        std::fs::write(&path, &out.trace_jsonl).expect("write trace JSONL");
+        println!("trace written to {}", path.to_string_lossy());
+    }
+
+    assert!(out.publishes > 0, "nodes must publish metrics tuples");
+    assert_eq!(
+        out.nodes_reporting(),
+        nodes,
+        "the monitoring query must observe every node"
+    );
+    assert!(
+        out.peak_bytes_recv() > 0.0 && out.peak_lookup_p99() > 0.0,
+        "monitored metrics must move during the run"
+    );
+    assert!(
+        trace_events > 0.0,
+        "node 0 must record trace events (query installs at minimum)"
+    );
+}

@@ -32,6 +32,7 @@ use crate::expr::{CompiledPredicate, Expr};
 use crate::operators::LocalOperator;
 use crate::tuple::{ColumnChunk, Tuple, TupleBatch};
 use pier_runtime::Rng64;
+use pier_telemetry::Telemetry;
 
 /// Rows routed between two lottery re-draws inside one chunk.  Deciding the
 /// order once per chunk is cheap but lets a skewed stream lock in a stale
@@ -215,6 +216,10 @@ pub struct Eddy {
     invocations: u64,
     tuples_in: u64,
     tuples_out: u64,
+    /// Telemetry handle plus the last routing order it saw, so only actual
+    /// order changes are reported as `eddy_reorder` events.
+    tel: Telemetry,
+    last_order: Vec<usize>,
 }
 
 impl Eddy {
@@ -230,7 +235,52 @@ impl Eddy {
             invocations: 0,
             tuples_in: 0,
             tuples_out: 0,
+            tel: Telemetry::disabled(),
+            last_order: Vec::new(),
         }
+    }
+
+    /// Attach a telemetry hub: routing-order changes are counted (and
+    /// traced) as they happen, and the cumulative throughput/observation
+    /// counts are synced as `eddy.*` gauges on every [`Eddy::flush`] or
+    /// explicit [`Eddy::sync_telemetry`] call.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Publish the eddy's cumulative counters into the hub: total
+    /// invocations and tuples in/out as `eddy.*` gauges, plus per-operator
+    /// seen/dropped counts as `eddy.op<i>.*` gauges — the diagnostics the
+    /// adaptivity experiments read, now queryable.
+    pub fn sync_telemetry(&self) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        self.tel.gauge("eddy.invocations", self.invocations as f64);
+        self.tel.gauge("eddy.tuples_in", self.tuples_in as f64);
+        self.tel.gauge("eddy.tuples_out", self.tuples_out as f64);
+        for (i, obs) in self.observations.iter().enumerate() {
+            self.tel.gauge(&format!("eddy.op{i}.seen"), obs.seen as f64);
+            self.tel
+                .gauge(&format!("eddy.op{i}.dropped"), obs.dropped as f64);
+        }
+    }
+
+    /// Draw the next routing order, reporting a change of order to the hub.
+    fn next_order(&mut self) -> Vec<usize> {
+        let order = self.route_order();
+        if self.tel.is_enabled() && order != self.last_order {
+            self.tel.inc("eddy.reorders");
+            let order_str = order
+                .iter()
+                .map(|i| i.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            self.tel
+                .event("eddy_reorder", || vec![("order", order_str)]);
+            self.last_order = order.clone();
+        }
+        order
     }
 
     /// Convenience: an eddy over named selection predicates.
@@ -375,7 +425,7 @@ impl Eddy {
 
     /// Route one tuple; returns the tuple if it survives every filter.
     pub fn route(&mut self, tuple: Tuple) -> Option<Tuple> {
-        let order = self.route_order();
+        let order = self.next_order();
         self.route_with_order(&order, tuple)
     }
 
@@ -396,12 +446,12 @@ impl Eddy {
         let chunkable = self.filters.iter().all(|f| f.supports_chunks());
         let mut out = TupleBatch::default();
         for chunk in batch.chunks() {
-            let mut order = self.route_order();
+            let mut order = self.next_order();
             if chunkable {
                 let mut mask = vec![false; chunk.rows()];
                 for (r, kept) in mask.iter_mut().enumerate() {
                     if r > 0 && r % EDDY_REORDER_ROWS == 0 {
-                        order = self.route_order();
+                        order = self.next_order();
                     }
                     *kept = self.route_row_in_chunk(&order, chunk, r);
                 }
@@ -409,7 +459,7 @@ impl Eddy {
             } else {
                 for r in 0..chunk.rows() {
                     if r > 0 && r % EDDY_REORDER_ROWS == 0 {
-                        order = self.route_order();
+                        order = self.next_order();
                     }
                     if let Some(t) = self.route_with_order(&order, chunk.row(r)) {
                         out.push_tuple(t);
@@ -422,12 +472,24 @@ impl Eddy {
 }
 
 impl LocalOperator for Eddy {
+    fn name(&self) -> &'static str {
+        "eddy"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         self.route(tuple).into_iter().collect()
     }
 
     fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
         self.route_batch(batch)
+    }
+
+    /// The eddy buffers nothing, so flush is the natural moment to sync its
+    /// cumulative diagnostics into the hub (pipelines flush at window and
+    /// aggregation boundaries).
+    fn flush(&mut self) -> Vec<Tuple> {
+        self.sync_telemetry();
+        Vec::new()
     }
 }
 
@@ -700,5 +762,43 @@ mod tests {
         }
         assert_eq!(eddy.invocations(), 18);
         assert_eq!(eddy.filter_count(), 3);
+    }
+
+    #[test]
+    fn telemetry_reconciles_with_pipeline_operator_counters() {
+        use crate::operators::Pipeline;
+
+        let tel = Telemetry::attached();
+        let mut eddy = Eddy::over_predicates(three_predicates(), RoutingPolicy::Lottery, 7);
+        eddy.set_telemetry(tel.clone());
+        let mut pipeline = Pipeline::new(vec![Box::new(eddy)]);
+        pipeline.set_telemetry(&tel);
+
+        let mut batch = TupleBatch::default();
+        for i in 0..200i64 {
+            batch.push_tuple(row(i, i % 100, i % 10));
+        }
+        let out = pipeline.push_batch(&batch);
+        pipeline.flush(); // triggers the eddy's gauge sync
+
+        // The pipeline's per-operator counters and the eddy's own cumulative
+        // diagnostics describe the same stream.
+        assert_eq!(tel.counter("op.eddy.rows_in"), 200);
+        assert_eq!(tel.counter("op.eddy.rows_out"), out.len() as u64);
+        assert_eq!(tel.gauge_value("eddy.tuples_in"), Some(200.0));
+        assert_eq!(tel.gauge_value("eddy.tuples_out"), Some(out.len() as f64));
+
+        // Per-operator drop counts account for every tuple the eddy lost.
+        let dropped: f64 = (0..3)
+            .map(|i| tel.gauge_value(&format!("eddy.op{i}.dropped")).unwrap())
+            .sum();
+        assert_eq!(dropped as u64, 200 - out.len() as u64);
+        // And every invocation is a row seen by some operator.
+        let seen: f64 = (0..3)
+            .map(|i| tel.gauge_value(&format!("eddy.op{i}.seen")).unwrap())
+            .sum();
+        assert_eq!(Some(seen), tel.gauge_value("eddy.invocations"));
+        // At least the initial order draw was reported.
+        assert!(tel.counter("eddy.reorders") >= 1);
     }
 }

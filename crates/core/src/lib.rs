@@ -87,6 +87,7 @@ pub use operators::{
     Projection, Queue, Selection, SymmetricHashJoin, TopK,
 };
 pub use pier_cq::{CqBudget, DeltaMode, WindowSpec};
+pub use pier_telemetry::{Telemetry, TelemetryConfig, TelemetryHub, TraceEvent};
 pub use plan::{
     CqSpec, Dissemination, JoinSpec, OpGraph, OperatorSpec, PlanBuilder, QpObject, QueryPlan,
     SinkSpec, SourceSpec,

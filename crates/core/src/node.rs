@@ -33,6 +33,7 @@ use pier_dht::{
     OverlayEvent, OverlayTimer,
 };
 use pier_runtime::{Duration, NodeAddr, Program, ProgramContext, Rng64, SimTime, WireSize};
+use pier_telemetry::{Telemetry, TelemetryConfig};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -60,6 +61,15 @@ pub struct PierConfig {
     /// instead of independent dataflows.  `None` (the default) preserves
     /// per-query execution exactly.
     pub sharing: Option<SharingFactory>,
+    /// Self-monitoring telemetry: disabled by default (zero overhead beyond
+    /// one discriminant check per instrumentation point).  When enabled the
+    /// node keeps a [`pier_telemetry::TelemetryHub`] of counters, gauges,
+    /// histograms and a bounded trace ring; when
+    /// [`TelemetryConfig::publish_interval`] is also set the node
+    /// periodically materialises its hub as tuples into the
+    /// `system.metrics` DHT namespace so standing queries can monitor the
+    /// cluster through PIER itself.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for PierConfig {
@@ -71,6 +81,7 @@ impl Default for PierConfig {
             batch_max_tuples: 64,
             batch_flush_interval: 100_000,
             sharing: None,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -179,6 +190,10 @@ pub enum PierTimer {
         /// when the live group's epoch differs (retired and re-created).
         epoch: u64,
     },
+    /// Periodic self-monitoring publish: materialise the telemetry hub as a
+    /// `system.metrics` tuple into the DHT (the dogfood loop — armed only
+    /// when [`TelemetryConfig::publish_interval`] is set).
+    MetricsPublish,
 }
 
 /// Values delivered to the client application attached to a node.
@@ -292,6 +307,12 @@ struct CqState {
     lease: Lease,
     /// Windows this node emitted to the proxy as root.
     windows_emitted: u64,
+    /// Shed tuples+groups already reported to telemetry (delta baseline for
+    /// the `window_shed` trace event).
+    tel_shed: u64,
+    /// Evicted windows already reported to telemetry (delta baseline for
+    /// the `window_evict` trace event).
+    tel_evicted: u64,
 }
 
 impl CqState {
@@ -345,16 +366,27 @@ pub struct PierNode {
     batch_timer_armed: bool,
     /// The multi-query sharing layer (`pier-mqo`), when configured.
     sharing: Option<Box<dyn MultiQuerySharing + Send>>,
+    /// Self-monitoring telemetry handle (shared with the overlay, the
+    /// sharing layer and every installed pipeline; inert when disabled).
+    tel: Telemetry,
 }
 
 impl PierNode {
     /// A node whose overlay routing state is precomputed from the full ring.
     pub fn with_static_ring(me: NodeRef, all: &[NodeRef], config: PierConfig) -> Self {
+        let tel = Telemetry::from_config(&config.telemetry);
+        let mut overlay = Overlay::with_static_ring(me, all, config.overlay);
+        overlay.set_telemetry(tel.clone());
+        let mut sharing = config.sharing.map(|factory| factory());
+        if let Some(layer) = sharing.as_mut() {
+            layer.set_telemetry(tel.clone());
+        }
         PierNode {
-            overlay: Overlay::with_static_ring(me, all, config.overlay),
+            overlay,
             bootstrap: None,
             rng: Rng64::new(me.id.0 ^ 0x9D5F),
-            sharing: config.sharing.map(|factory| factory()),
+            sharing,
+            tel,
             config,
             local_tables: HashMap::new(),
             queries: HashMap::new(),
@@ -368,11 +400,19 @@ impl PierNode {
 
     /// A node that joins an existing overlay through `bootstrap` when started.
     pub fn joining(me: NodeRef, bootstrap: Option<NodeAddr>, config: PierConfig) -> Self {
+        let tel = Telemetry::from_config(&config.telemetry);
+        let mut overlay = Overlay::new(me, config.overlay);
+        overlay.set_telemetry(tel.clone());
+        let mut sharing = config.sharing.map(|factory| factory());
+        if let Some(layer) = sharing.as_mut() {
+            layer.set_telemetry(tel.clone());
+        }
         PierNode {
-            overlay: Overlay::new(me, config.overlay),
+            overlay,
             bootstrap,
             rng: Rng64::new(me.id.0 ^ 0x9D5F),
-            sharing: config.sharing.map(|factory| factory()),
+            sharing,
+            tel,
             config,
             local_tables: HashMap::new(),
             queries: HashMap::new(),
@@ -387,6 +427,13 @@ impl PierNode {
     /// Read access to the overlay (diagnostics, experiments).
     pub fn overlay(&self) -> &Overlay<QpObject> {
         &self.overlay
+    }
+
+    /// The node's telemetry handle (inert unless
+    /// [`PierConfig::telemetry`] enables it).  Harnesses use this to read
+    /// counters, sync host-level stats in as gauges, or export the trace.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
     }
 
     /// Number of queries currently installed at this node, counting both
@@ -970,6 +1017,9 @@ impl PierNode {
             // Re-dissemination of a standing query: renew the lease.
             if let Some(cq) = q.cq.as_mut() {
                 cq.lease.renew(ctx.now());
+                self.tel.inc("cq.lease_renewals");
+                self.tel
+                    .event("lease_renew", || vec![("query_id", query_id.to_string())]);
             }
             return;
         }
@@ -989,6 +1039,13 @@ impl PierNode {
                 lease,
             } = layer.try_install(&plan, ctx.now())
             {
+                self.tel.event("share_join", || {
+                    vec![
+                        ("query_id", query_id.to_string()),
+                        ("group", format!("{group:016x}")),
+                        ("new_group", new_group.to_string()),
+                    ]
+                });
                 ctx.set_timer(plan.timeout, PierTimer::QueryEnd { query_id });
                 ctx.set_timer(lease, PierTimer::CqLease { query_id });
                 if new_group {
@@ -1002,7 +1059,9 @@ impl PierNode {
         let mut graphs = Vec::new();
         let mut has_agg = false;
         for spec in &plan.opgraphs {
-            let pipeline = Pipeline::new(spec.ops.iter().filter_map(OperatorSpec::build).collect());
+            let mut pipeline =
+                Pipeline::new(spec.ops.iter().filter_map(OperatorSpec::build).collect());
+            pipeline.set_telemetry(&self.tel);
             let join = spec.join.as_ref().map(|j| {
                 SymmetricHashJoin::new(
                     j.left_key.clone(),
@@ -1047,6 +1106,14 @@ impl PierNode {
         let has_cq = cq.is_some();
         let cq_slide = cq.as_ref().map(|c| c.window.slide).unwrap_or(0);
         let cq_lease = cq.as_ref().map(|c| c.spec.lease).unwrap_or(0);
+        self.tel.inc("query.installs");
+        self.tel.event("query_install", || {
+            vec![
+                ("query_id", query_id.to_string()),
+                ("graphs", graphs.len().to_string()),
+                ("continuous", has_cq.to_string()),
+            ]
+        });
         self.queries.insert(
             query_id,
             QueryState {
@@ -1112,6 +1179,10 @@ impl PierNode {
     /// working set instead of growing with every query ever installed.
     fn uninstall_query(&mut self, query_id: u64) {
         if self.queries.remove(&query_id).is_some() {
+            self.tel.inc("query.teardowns");
+            self.tel.event("query_teardown", || {
+                vec![("query_id", query_id.to_string())]
+            });
             SchemaRegistry::global().sweep_matching(is_query_scoped_table);
             return;
         }
@@ -1122,6 +1193,16 @@ impl PierNode {
         if let Some(layer) = self.sharing.as_mut() {
             let out = layer.uninstall(query_id);
             if out.was_member {
+                self.tel.event("share_leave", || {
+                    let retired = out
+                        .retired_group
+                        .map(|g| format!("{g:016x}"))
+                        .unwrap_or_default();
+                    vec![
+                        ("query_id", query_id.to_string()),
+                        ("retired_group", retired),
+                    ]
+                });
                 SchemaRegistry::global()
                     .sweep_matching(|t| is_query_scoped_table(t) || is_share_scoped_table(t));
             }
@@ -1754,6 +1835,8 @@ impl PierNode {
             tracker: DeltaTracker::new(*delta),
             lease: Lease::granted(now, spec.lease),
             windows_emitted: 0,
+            tel_shed: 0,
+            tel_evicted: 0,
         })
     }
 
@@ -2031,7 +2114,60 @@ impl PierNode {
                 );
             }
         }
-        // 4. Re-arm while the query is installed.
+        // 4. Window health into telemetry: absolute occupancy/shed gauges
+        //    summed over every installed continuous query, plus shed/evict
+        //    *deltas* of this query as trace events.
+        if self.tel.is_enabled() {
+            if let Some(cq) = self.queries.get_mut(&query_id).and_then(|q| q.cq.as_mut()) {
+                let local = cq.store.stats();
+                let root = cq.root_store.stats();
+                let shed =
+                    local.shed_tuples + local.shed_groups + root.shed_tuples + root.shed_groups;
+                let evicted = local.evicted_windows + root.evicted_windows;
+                if shed > cq.tel_shed {
+                    let delta = shed - cq.tel_shed;
+                    cq.tel_shed = shed;
+                    self.tel.event("window_shed", || {
+                        vec![
+                            ("query_id", query_id.to_string()),
+                            ("shed", delta.to_string()),
+                        ]
+                    });
+                }
+                if evicted > cq.tel_evicted {
+                    let delta = evicted - cq.tel_evicted;
+                    cq.tel_evicted = evicted;
+                    self.tel.event("window_evict", || {
+                        vec![
+                            ("query_id", query_id.to_string()),
+                            ("evicted", delta.to_string()),
+                        ]
+                    });
+                }
+            }
+            let mut accepted = 0u64;
+            let mut shed = 0u64;
+            let mut evicted = 0u64;
+            let mut open = 0u64;
+            let mut groups = 0u64;
+            for q in self.queries.values() {
+                let Some(cq) = q.cq.as_ref() else { continue };
+                for stats in [cq.store.stats(), cq.root_store.stats()] {
+                    accepted += stats.accepted;
+                    shed += stats.shed_tuples + stats.shed_groups;
+                    evicted += stats.evicted_windows;
+                }
+                open += (cq.store.open_windows() + cq.root_store.open_windows()) as u64;
+                groups += (cq.store.total_groups() + cq.root_store.total_groups()) as u64;
+            }
+            self.tel.gauge("cq.accepted", accepted as f64);
+            self.tel.gauge("cq.shed", shed as f64);
+            self.tel.gauge("cq.evicted_windows", evicted as f64);
+            self.tel.gauge("cq.open_windows", open as f64);
+            self.tel.gauge("cq.state_groups", groups as f64);
+        }
+
+        // 5. Re-arm while the query is installed.
         if self.queries.contains_key(&query_id) {
             ctx.set_timer(window.slide, PierTimer::WindowTick { query_id });
         }
@@ -2150,6 +2286,65 @@ impl PierNode {
         }
     }
 
+    /// Materialise the telemetry hub as one `system.metrics` tuple and
+    /// publish it into the DHT — the self-monitoring dogfood loop.  The
+    /// tuple travels to its DHT owner like any other published row and is
+    /// absorbed there **exactly once** (via `newData`), so standing queries
+    /// over `system.metrics` — installed everywhere by broadcast
+    /// dissemination — observe every node's metrics without double
+    /// counting.  `system.metrics` matches neither the query-scoped nor the
+    /// share-scoped namespace forms, so teardown sweeps never evict it.
+    fn publish_metrics(&mut self, ctx: &mut ProgramContext<Self>) {
+        let Some(interval) = self.config.telemetry.publish_interval else {
+            return;
+        };
+        if !self.tel.is_enabled() {
+            return;
+        }
+        let now = ctx.now();
+        let node_label = format!("n{}", ctx.me().0);
+        let p50 = self
+            .tel
+            .percentile("dht.lookup_latency_us", 50.0)
+            .unwrap_or(0.0);
+        let p99 = self
+            .tel
+            .percentile("dht.lookup_latency_us", 99.0)
+            .unwrap_or(0.0);
+        let schema = SchemaRegistry::global().intern(
+            "system.metrics",
+            &[
+                "node",
+                "ts",
+                "msgs_recv",
+                "bytes_recv",
+                "lookups",
+                "lookup_p50_us",
+                "lookup_p99_us",
+                "owner_cache_hits",
+                "owner_cache_misses",
+            ],
+        );
+        let count = |name: &str| Value::Int(self.tel.counter(name) as i64);
+        let tuple = Tuple::from_schema(
+            schema,
+            vec![
+                Value::str(&node_label),
+                Value::Int(now as i64),
+                count("net.msgs_recv"),
+                count("net.bytes_recv"),
+                count("dht.lookups"),
+                Value::Float(p50),
+                Value::Float(p99),
+                count("dht.owner_cache.hits"),
+                count("dht.owner_cache.misses"),
+            ],
+        );
+        self.tel.inc("telemetry.publishes");
+        self.publish_keyed(ctx, "system.metrics", node_label, tuple);
+        ctx.set_timer(interval, PierTimer::MetricsPublish);
+    }
+
     /// Diagnostics of an installed continuous query (`None` when the query
     /// is not installed here or is not continuous).
     pub fn cq_diagnostics(&self, query_id: u64) -> Option<CqDiagnostics> {
@@ -2174,11 +2369,22 @@ impl Program for PierNode {
 
     fn on_start(&mut self, ctx: &mut ProgramContext<Self>) {
         let now: SimTime = ctx.now();
+        self.tel.set_now(now);
         let effects = self.overlay.start(self.bootstrap, now);
         self.drive(ctx, effects);
+        if self.tel.is_enabled() {
+            if let Some(interval) = self.config.telemetry.publish_interval {
+                ctx.set_timer(interval, PierTimer::MetricsPublish);
+            }
+        }
     }
 
     fn on_message(&mut self, ctx: &mut ProgramContext<Self>, from: NodeAddr, msg: Self::Msg) {
+        if self.tel.is_enabled() {
+            self.tel.set_now(ctx.now());
+            self.tel.inc("net.msgs_recv");
+            self.tel.add("net.bytes_recv", msg.wire_size() as u64);
+        }
         match msg {
             PierMsg::Dht(m) => {
                 let now = ctx.now();
@@ -2208,6 +2414,7 @@ impl Program for PierNode {
     }
 
     fn on_timer(&mut self, ctx: &mut ProgramContext<Self>, timer: Self::Timer) {
+        self.tel.set_now(ctx.now());
         match timer {
             PierTimer::Overlay(t) => {
                 let now = ctx.now();
@@ -2230,6 +2437,7 @@ impl Program for PierNode {
             }
             PierTimer::WindowTick { query_id } => self.window_tick(ctx, query_id),
             PierTimer::ShareTick { group, epoch } => self.share_tick(ctx, group, epoch),
+            PierTimer::MetricsPublish => self.publish_metrics(ctx),
             PierTimer::BatchFlush => {
                 let now = ctx.now();
                 self.batch_timer_armed = false;

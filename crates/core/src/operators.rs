@@ -21,6 +21,7 @@ use crate::tuple::{
     ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
 };
 use crate::value::Value;
+use pier_telemetry::Telemetry;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -57,6 +58,12 @@ pub trait LocalOperator: std::fmt::Debug {
     fn flush(&mut self) -> Vec<Tuple> {
         Vec::new()
     }
+
+    /// Short stable tag naming the operator kind; keys the per-operator
+    /// telemetry counters (`op.<name>.rows_in` / `rows_out` / `chunks_in`).
+    fn name(&self) -> &'static str {
+        "op"
+    }
 }
 
 /// Selection: drop tuples that do not satisfy the predicate.  Tuples the
@@ -82,6 +89,10 @@ impl Selection {
 }
 
 impl LocalOperator for Selection {
+    fn name(&self) -> &'static str {
+        "selection"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         if self.predicate.matches_tuple(&tuple) {
             vec![tuple]
@@ -145,6 +156,10 @@ impl Projection {
 }
 
 impl LocalOperator for Projection {
+    fn name(&self) -> &'static str {
+        "projection"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         let (_, out, srcs) = self.ensure(tuple.schema());
         let values = srcs
@@ -211,6 +226,10 @@ impl Distinct {
 }
 
 impl LocalOperator for Distinct {
+    fn name(&self) -> &'static str {
+        "distinct"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         let key = self.key_of(&tuple);
         if self.seen.insert(key) {
@@ -266,6 +285,10 @@ impl Limit {
 }
 
 impl LocalOperator for Limit {
+    fn name(&self) -> &'static str {
+        "limit"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         if self.remaining == 0 {
             return Vec::new();
@@ -303,6 +326,10 @@ pub struct Queue {
 }
 
 impl LocalOperator for Queue {
+    fn name(&self) -> &'static str {
+        "queue"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         self.yields += 1;
         vec![tuple]
@@ -416,6 +443,10 @@ impl GroupBy {
 }
 
 impl LocalOperator for GroupBy {
+    fn name(&self) -> &'static str {
+        "groupby"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         let Some(key) = self.group_cols.key(&tuple) else {
             return Vec::new(); // malformed tuple: discard
@@ -515,6 +546,10 @@ impl TopK {
 }
 
 impl LocalOperator for TopK {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+
     fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         if self.order_col.get(&tuple).and_then(Value::as_f64).is_some() {
             self.buffer.push(tuple);
@@ -753,28 +788,75 @@ pub fn nested_loop_join(
     out
 }
 
+/// Pre-composed counter keys for one instrumented pipeline stage, so the
+/// hot path increments by string lookup without formatting.
+#[derive(Debug)]
+struct StageMeter {
+    rows_in: String,
+    rows_out: String,
+    chunks_in: String,
+}
+
 /// A pipeline of local operators: tuples pushed in flow through every stage;
 /// flush drains stateful stages in order.
+///
+/// With a telemetry hub attached ([`Pipeline::set_telemetry`]) every stage
+/// accumulates `op.<name>.rows_in`, `op.<name>.rows_out` and (on the batch
+/// path) `op.<name>.chunks_in` counters — for a [`Selection`] the
+/// rows-out/rows-in ratio is exactly the compiled predicate's observed
+/// selectivity.  Counters are keyed by operator kind, so pipelines of many
+/// queries aggregate into one per-node view.
 #[derive(Debug, Default)]
 pub struct Pipeline {
     stages: Vec<Box<dyn LocalOperator + Send>>,
+    meters: Option<(Telemetry, Vec<StageMeter>)>,
 }
 
 impl Pipeline {
     /// Create an empty (pass-through) pipeline.
     pub fn new(stages: Vec<Box<dyn LocalOperator + Send>>) -> Self {
-        Pipeline { stages }
+        Pipeline {
+            stages,
+            meters: None,
+        }
+    }
+
+    /// Attach (or, with a disabled handle, detach) per-stage telemetry.
+    pub fn set_telemetry(&mut self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            self.meters = None;
+            return;
+        }
+        let meters = self
+            .stages
+            .iter()
+            .map(|s| {
+                let name = s.name();
+                StageMeter {
+                    rows_in: format!("op.{name}.rows_in"),
+                    rows_out: format!("op.{name}.rows_out"),
+                    chunks_in: format!("op.{name}.chunks_in"),
+                }
+            })
+            .collect();
+        self.meters = Some((tel.clone(), meters));
     }
 
     /// Push one tuple through every stage.
     pub fn push(&mut self, tuple: Tuple) -> Vec<Tuple> {
         let mut current = vec![tuple];
-        for stage in self.stages.iter_mut() {
+        for (i, stage) in self.stages.iter_mut().enumerate() {
+            let rows_in = current.len();
             let mut next = Vec::new();
             for t in current {
                 next.extend(stage.push(t));
             }
             current = next;
+            if let Some((tel, meters)) = &self.meters {
+                let m = &meters[i];
+                tel.add(&m.rows_in, rows_in as u64);
+                tel.add(&m.rows_out, current.len() as u64);
+            }
             if current.is_empty() {
                 break;
             }
@@ -794,11 +876,26 @@ impl Pipeline {
             return batch.clone(); // pass-through pipeline
         };
         let mut current = first.push_batch(batch);
-        for stage in rest.iter_mut() {
+        if let Some((tel, meters)) = &self.meters {
+            let m = &meters[0];
+            tel.add(&m.rows_in, batch.len() as u64);
+            tel.add(&m.chunks_in, batch.chunks().len() as u64);
+            tel.add(&m.rows_out, current.len() as u64);
+        }
+        for (i, stage) in rest.iter_mut().enumerate() {
             if current.is_empty() {
                 break;
             }
-            current = stage.push_batch(&current);
+            let rows_in = current.len();
+            let chunks_in = current.chunks().len();
+            let next = stage.push_batch(&current);
+            if let Some((tel, meters)) = &self.meters {
+                let m = &meters[i + 1];
+                tel.add(&m.rows_in, rows_in as u64);
+                tel.add(&m.chunks_in, chunks_in as u64);
+                tel.add(&m.rows_out, next.len() as u64);
+            }
+            current = next;
         }
         current
     }
@@ -809,6 +906,8 @@ impl Pipeline {
     pub fn flush(&mut self) -> Vec<Tuple> {
         let mut carried = TupleBatch::default();
         for i in 0..self.stages.len() {
+            let rows_in = carried.len();
+            let chunks_in = carried.chunks().len();
             // Tuples released by upstream flushes still have to traverse the
             // remaining stages.
             let mut released = if carried.is_empty() {
@@ -818,6 +917,12 @@ impl Pipeline {
             };
             for t in self.stages[i].flush() {
                 released.push_tuple(t);
+            }
+            if let Some((tel, meters)) = &self.meters {
+                let m = &meters[i];
+                tel.add(&m.rows_in, rows_in as u64);
+                tel.add(&m.chunks_in, chunks_in as u64);
+                tel.add(&m.rows_out, released.len() as u64);
             }
             carried = released;
         }

@@ -161,6 +161,12 @@ pub struct SharingStats {
 /// plugging a layer in can never change *which* queries run — only how
 /// much work they share.
 pub trait MultiQuerySharing: std::fmt::Debug + Send {
+    /// Attach the node's telemetry hub.  Layers that instrument themselves
+    /// (share-group membership events, predicate-index fan-out counters —
+    /// `pier-mqo` does) override this; the default keeps plain layers
+    /// oblivious.
+    fn set_telemetry(&mut self, _tel: pier_telemetry::Telemetry) {}
+
     /// Offer a freshly disseminated plan for shared installation.
     fn try_install(&mut self, plan: &QueryPlan, now: SimTime) -> InstallOutcome;
 

@@ -31,6 +31,7 @@ use crate::naming::ObjectName;
 use crate::object_manager::{ObjectManager, StoredObject};
 use crate::router::{NodeRef, Router, RouterConfig, RouterEffect};
 use pier_runtime::{Duration, NodeAddr, SimTime, WireSize};
+use pier_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::fmt::Debug;
 
@@ -197,12 +198,13 @@ pub struct Overlay<V> {
     router: Router,
     objects: ObjectManager<V>,
     /// In-flight operations awaiting a lookup, stamped with the router's
-    /// membership epoch at issue time: a resolution that completes after a
+    /// membership epoch at issue time — a resolution that completes after a
     /// membership change is used for the operation itself (the classic
     /// Figure-6 race, tolerated by soft state) but is NOT admitted into the
     /// owner cache, so a pre-churn answer cannot re-poison a just-cleared
-    /// cache.
-    pending: HashMap<u64, (u64, PendingOp<V>)>,
+    /// cache — and with the issue time, which prices the lookup-latency
+    /// histogram when the resolution lands.
+    pending: HashMap<u64, (u64, SimTime, PendingOp<V>)>,
     pending_upcalls: HashMap<u64, (Id, ObjectName, V, Duration, u32)>,
     next_request_id: u64,
     next_upcall_token: u64,
@@ -225,6 +227,10 @@ pub struct Overlay<V> {
     /// the hot destinations of a steady rehash stream stay warm.
     owner_cache: HashMap<Id, CachedOwner>,
     owner_cache_epoch: u64,
+    /// Telemetry handle (empty unless the host attaches one): lookup
+    /// hop/latency histograms, owner-cache hit/miss/invalidation counters
+    /// and put-batch coalescing counters, all under the `dht.*` prefix.
+    tel: Telemetry,
 }
 
 impl<V: Clone + Debug + WireSize> Overlay<V> {
@@ -244,7 +250,13 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             tree_children: HashMap::new(),
             owner_cache: HashMap::new(),
             owner_cache_epoch: 0,
+            tel: Telemetry::disabled(),
         }
+    }
+
+    /// Attach a telemetry hub (the node's) to this overlay instance.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Create an overlay whose routing state is pre-converged from full
@@ -343,6 +355,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             request_id,
             (
                 self.router.membership_epoch(),
+                now,
                 PendingOp::Get {
                     namespace: namespace.to_string(),
                     key: key.to_string(),
@@ -371,6 +384,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             request_id,
             (
                 self.router.membership_epoch(),
+                now,
                 PendingOp::Put {
                     name,
                     value,
@@ -389,6 +403,16 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
     fn validate_owner_cache(&mut self) {
         let epoch = self.router.membership_epoch();
         if epoch != self.owner_cache_epoch {
+            if !self.owner_cache.is_empty() {
+                let dropped = self.owner_cache.len();
+                self.tel.inc("dht.owner_cache.invalidations");
+                self.tel.event("owner_cache_invalidate", || {
+                    vec![
+                        ("epoch", epoch.to_string()),
+                        ("dropped", dropped.to_string()),
+                    ]
+                });
+            }
             self.owner_cache.clear();
             self.owner_cache_epoch = epoch;
         }
@@ -406,13 +430,19 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         }
         self.validate_owner_cache();
         let ttl = self.config.router.liveness_timeout;
-        let entry = self.owner_cache.get_mut(&id)?;
+        let Some(entry) = self.owner_cache.get_mut(&id) else {
+            self.tel.inc("dht.owner_cache.misses");
+            return None;
+        };
         let (owner, cached_at) = (entry.owner, entry.cached_at);
         if now.saturating_sub(cached_at) > ttl || self.router.presumed_dead(owner.addr, now) {
             self.owner_cache.remove(&id);
+            self.tel.inc("dht.owner_cache.expired");
+            self.tel.inc("dht.owner_cache.misses");
             return None;
         }
         entry.last_used = now;
+        self.tel.inc("dht.owner_cache.hits");
         Some(owner)
     }
 
@@ -444,6 +474,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                     .map(|(k, _)| *k)
                     .expect("cache at capacity is non-empty");
                 self.owner_cache.remove(&lru);
+                self.tel.inc("dht.owner_cache.lru_evictions");
             }
         }
         self.owner_cache.insert(
@@ -473,10 +504,13 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         let mut effects = Vec::new();
         let mut grouped: HashMap<NodeAddr, Vec<(ObjectName, V, Duration)>> = HashMap::new();
         let mut unresolved = Vec::new();
+        let mut local = 0u64;
+        let total = entries.len() as u64;
         for (name, value, lifetime) in entries {
             let id = name.routing_id();
             match self.resolved_owner(id, now) {
                 Some(owner) if owner.addr == self.me.addr => {
+                    local += 1;
                     effects.extend(self.store_local(name, value, lifetime, now));
                 }
                 Some(owner) => grouped
@@ -486,9 +520,12 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 None => unresolved.push((name, value, lifetime)),
             }
         }
+        let mut coalesced = 0u64;
+        let mut singles = 0u64;
         for (to, batch) in grouped {
             if batch.len() == 1 {
                 // No point framing a batch around a single object.
+                singles += 1;
                 let (name, value, lifetime) = batch.into_iter().next().expect("len checked");
                 effects.push(OverlayEffect::Send {
                     to,
@@ -499,12 +536,23 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                     },
                 });
             } else {
+                coalesced += batch.len() as u64;
+                self.tel
+                    .observe_count("dht.put_batch.group_size", batch.len() as f64);
                 effects.push(OverlayEffect::Send {
                     to,
                     msg: DhtMessage::PutBatch { entries: batch },
                 });
             }
         }
+        // Coalescing ratio = dht.put_batch.coalesced / dht.put_batch.entries.
+        self.tel.inc("dht.put_batch.flushes");
+        self.tel.add("dht.put_batch.entries", total);
+        self.tel.add("dht.put_batch.local", local);
+        self.tel.add("dht.put_batch.coalesced", coalesced);
+        self.tel.add("dht.put_batch.singles", singles);
+        self.tel
+            .add("dht.put_batch.unresolved", unresolved.len() as u64);
         for (name, value, lifetime) in unresolved {
             effects.extend(self.put(name, value, lifetime, now));
         }
@@ -536,6 +584,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             request_id,
             (
                 self.router.membership_epoch(),
+                now,
                 PendingOp::Renew { name, lifetime },
             ),
         );
@@ -590,6 +639,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             request_id,
             (
                 self.router.membership_epoch(),
+                now,
                 PendingOp::RawLookup { target },
             ),
         );
@@ -908,10 +958,16 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         hops: u32,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
-        let (issued_epoch, op) = match self.pending.remove(&request_id) {
+        let (issued_epoch, issued_at, op) = match self.pending.remove(&request_id) {
             Some(entry) => entry,
             None => return Vec::new(),
         };
+        self.tel.inc("dht.lookups");
+        self.tel.observe_count("dht.lookup_hops", hops as f64);
+        self.tel.observe_latency(
+            "dht.lookup_latency_us",
+            now.saturating_sub(issued_at) as f64,
+        );
         // Remember the resolution so later batched puts can group entries
         // for this identifier's arc without re-paying the lookup round —
         // but only when no membership change happened while the lookup was

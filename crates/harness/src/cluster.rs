@@ -1,6 +1,6 @@
 //! Boot and drive a PIER cluster under the Simulation Environment.
 
-use pier_core::{PierConfig, PierNode, PierOut, QueryPlan, Tuple};
+use pier_core::{PierConfig, PierNode, PierOut, QueryPlan, Telemetry, TelemetryConfig, Tuple};
 use pier_dht::{make_ring_refs, NodeRef};
 use pier_runtime::sim::{CongestionKind, TopologyConfig};
 use pier_runtime::{NodeAddr, SimConfig, SimTime, Simulator};
@@ -48,6 +48,12 @@ impl ClusterConfig {
     /// routes to heal within a window slide, not the conservative default.
     pub fn with_liveness_timeout(mut self, micros: u64) -> Self {
         self.pier.overlay.router.liveness_timeout = micros;
+        self
+    }
+
+    /// Enable self-monitoring telemetry on every node.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.pier.telemetry = telemetry;
         self
     }
 }
@@ -269,6 +275,32 @@ impl Cluster {
     /// Reset the per-node traffic counters (used between experiment phases).
     pub fn reset_stats(&mut self) {
         self.sim.stats_mut().reset();
+    }
+
+    /// A node's telemetry handle (a cheap clone of the shared hub; inert
+    /// when the cluster runs without telemetry).
+    pub fn telemetry(&self, node: NodeAddr) -> Option<Telemetry> {
+        self.sim.node(node).map(|n| n.telemetry().clone())
+    }
+
+    /// Feed the simulator's per-node [`NetStats`](pier_runtime::NetStats)
+    /// into each node's telemetry hub as `host.*` gauges — the host-level
+    /// counterpart of the node's own `net.*` counters (a physical
+    /// deployment syncs `UdpCc::stats` the same way, as `udpcc.*`).
+    pub fn sync_host_stats(&mut self) {
+        for addr in self.sim.alive_nodes() {
+            let stats = self.sim.stats().node(addr);
+            let Some(tel) = self.telemetry(addr) else {
+                continue;
+            };
+            if !tel.is_enabled() {
+                continue;
+            }
+            tel.gauge("host.msgs_sent", stats.msgs_sent as f64);
+            tel.gauge("host.msgs_recv", stats.msgs_recv as f64);
+            tel.gauge("host.bytes_sent", stats.bytes_sent as f64);
+            tel.gauge("host.bytes_recv", stats.bytes_recv as f64);
+        }
     }
 }
 

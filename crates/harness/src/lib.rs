@@ -24,6 +24,9 @@
 //!   (share groups + predicate index) or independent, with optional
 //!   mid-stream install/uninstall and node churn — the multi-query sharing
 //!   equivalence and throughput driver.
+//! * [`self_monitoring`] — the telemetry dogfood workload: every node
+//!   publishes its metrics hub into the `system.metrics` DHT namespace and
+//!   standing sqlish queries monitor the cluster through PIER itself.
 //! * [`adaptivity`] — the eddy routing-policy ablation (EXP-H, §4.2.2).
 //! * [`robustness`] — adversary fidelity and spot-checking studies
 //!   (EXP-I, §4.1.2), built on `pier-security`.
@@ -37,10 +40,14 @@ pub mod experiments;
 pub mod indexes;
 pub mod recursion;
 pub mod robustness;
+pub mod self_monitoring;
 pub mod tenants;
 pub mod workloads;
 
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use continuous::{continuous_netmon, ContinuousNetmonConfig, ContinuousOutcome};
+pub use self_monitoring::{
+    self_monitoring, MetricWindow, SelfMonitoringConfig, SelfMonitoringOutcome,
+};
 pub use tenants::{many_tenants, ManyTenantsConfig, ManyTenantsOutcome, TenantResult};
 pub use workloads::{FilesharingWorkload, FirewallWorkload};

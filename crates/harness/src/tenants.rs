@@ -20,7 +20,7 @@
 use crate::cluster::{Cluster, ClusterConfig};
 use pier_core::{sqlish, PierConfig, PierNode, PierOut, Tuple, Value};
 use pier_dht::NodeRef;
-use pier_runtime::{NodeAddr, Rng64, SimTime, Zipf};
+use pier_runtime::{LatencyCdf, NodeAddr, Rng64, SimTime, Zipf};
 use std::collections::BTreeMap;
 
 /// Configuration of a many-tenants run.
@@ -109,6 +109,18 @@ pub struct TenantResult {
     /// Final per-window rows (last emission wins, retractions applied),
     /// keyed by `(window_start, window_end)`.
     pub windows: BTreeMap<(SimTime, SimTime), Vec<Tuple>>,
+    /// Result latency samples (microseconds): per result row, the delay
+    /// from the row's window *end* — the first instant the window's answer
+    /// can exist — to its arrival at this tenant's proxy.
+    pub result_latency: LatencyCdf,
+}
+
+impl TenantResult {
+    /// This tenant's result-latency percentile in microseconds
+    /// (`None` until a result arrived).
+    pub fn latency_percentile_us(&mut self, p: f64) -> Option<f64> {
+        self.result_latency.percentile(p)
+    }
 }
 
 /// Result of a many-tenants run.
@@ -144,6 +156,22 @@ impl ManyTenantsOutcome {
     /// headline shared-vs-independent comparison.
     pub fn rows_per_wall_sec(&self) -> f64 {
         self.events as f64 / self.wall_secs.max(1e-9)
+    }
+
+    /// Cross-tenant result-latency summary in microseconds: the median of
+    /// the per-tenant p50s and the worst per-tenant p99 (`None` until some
+    /// tenant received a result).  The bench emits both as metric lines.
+    pub fn result_latency_summary_us(&mut self) -> Option<(f64, f64)> {
+        let mut p50s = LatencyCdf::new();
+        let mut worst_p99 = f64::NEG_INFINITY;
+        for t in &mut self.tenants {
+            let Some(p50) = t.result_latency.percentile(50.0) else {
+                continue;
+            };
+            p50s.add(p50);
+            worst_p99 = worst_p99.max(t.result_latency.percentile(99.0)?);
+        }
+        Some((p50s.percentile(50.0)?, worst_p99))
     }
 }
 
@@ -185,6 +213,7 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
             installed_at: now,
             ends_at,
             windows: BTreeMap::new(),
+            result_latency: LatencyCdf::new(),
         }
     };
     let default_end = stream_begin_estimate + run_micros + 20_000_000;
@@ -314,7 +343,13 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
             if tenants[idx].proxy != out.node {
                 continue;
             }
-            let rows = tenants[idx]
+            let tenant = &mut tenants[idx];
+            if !retract {
+                tenant
+                    .result_latency
+                    .add(out.time.saturating_sub(window_end) as f64);
+            }
+            let rows = tenant
                 .windows
                 .entry((window_start, window_end))
                 .or_default();

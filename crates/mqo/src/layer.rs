@@ -36,6 +36,7 @@ use pier_core::{
 };
 use pier_cq::{Delta, Lease, SharedWindowState, WindowAccumulator, WindowId};
 use pier_runtime::{NodeAddr, SimTime};
+use pier_telemetry::Telemetry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -401,6 +402,8 @@ pub struct MqoLayer {
     chunks_absorbed: u64,
     rows_absorbed: u64,
     rows_selected: u64,
+    /// Node telemetry handle (inert unless the executor attaches one).
+    tel: Telemetry,
 }
 
 impl MqoLayer {
@@ -409,9 +412,29 @@ impl MqoLayer {
     pub fn group_of(&self, query_id: u64) -> Option<u64> {
         self.by_query.get(&query_id).copied()
     }
+
+    /// Sync membership gauges (and, on join, the joined group's size) into
+    /// the telemetry hub.
+    fn sync_membership(&self, joined: Option<u64>) {
+        if !self.tel.is_enabled() {
+            return;
+        }
+        self.tel.gauge("mqo.groups", self.groups.len() as f64);
+        self.tel.gauge("mqo.members", self.by_query.len() as f64);
+        if let Some(size) = joined
+            .and_then(|fp| self.groups.get(&fp))
+            .map(|g| g.members.len())
+        {
+            self.tel.observe_count("mqo.group_size", size as f64);
+        }
+    }
 }
 
 impl MultiQuerySharing for MqoLayer {
+    fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
     fn try_install(&mut self, plan: &QueryPlan, now: SimTime) -> InstallOutcome {
         let Some(candidate) = normalize(plan) else {
             return InstallOutcome::NotShareable;
@@ -452,6 +475,7 @@ impl MultiQuerySharing for MqoLayer {
                 .push(fingerprint);
         }
         self.by_query.insert(query_id, fingerprint);
+        self.sync_membership(Some(fingerprint));
         InstallOutcome::Member {
             group: fingerprint,
             new_group,
@@ -499,11 +523,13 @@ impl MultiQuerySharing for MqoLayer {
                     self.base_ns.remove(&namespace);
                 }
             }
+            self.sync_membership(None);
             UninstallOutcome {
                 was_member: true,
                 retired_group: Some(fp),
             }
         } else {
+            self.sync_membership(None);
             UninstallOutcome {
                 was_member: true,
                 retired_group: None,
@@ -528,13 +554,24 @@ impl MultiQuerySharing for MqoLayer {
             return;
         };
         let fps = fps.clone();
+        let fanout = fps.len();
         self.chunks_absorbed += 1;
+        let mut scanned_total = 0u64;
+        let mut selected_total = 0u64;
         for fp in fps {
             if let Some(group) = self.groups.get_mut(&fp) {
                 let (scanned, selected) = group.absorb_chunk(chunk, now);
                 self.rows_absorbed += scanned;
                 self.rows_selected += selected;
+                scanned_total += scanned;
+                selected_total += selected;
             }
+        }
+        if self.tel.is_enabled() {
+            self.tel.inc("mqo.chunks_absorbed");
+            self.tel.observe_count("mqo.index_fanout", fanout as f64);
+            self.tel.add("mqo.rows_scanned", scanned_total);
+            self.tel.add("mqo.rows_selected", selected_total);
         }
     }
 

@@ -41,7 +41,7 @@ pub mod time;
 pub mod udpcc;
 pub mod wire;
 
-pub use metrics::{NetStats, NodeStats};
+pub use metrics::{percentile_rank, weighted_percentile, LatencyCdf, NetStats, NodeStats};
 pub use node::{Action, Context, NodeAddr, Program, ProgramContext};
 pub use rng::{Rng64, Zipf};
 pub use sim::{SimConfig, Simulator};

@@ -108,7 +108,41 @@ impl NetStats {
         self.per_node.clear();
         self.total_msgs = 0;
         self.total_bytes = 0;
+        self.last_event_time = 0;
     }
+}
+
+/// Index of the sample holding percentile `p` (in `[0, 100]`) among `total`
+/// rank-ordered samples — the nearest-rank rule used by every percentile
+/// reporter in the workspace ([`LatencyCdf`] and pier-telemetry's
+/// fixed-bucket histogram).
+pub fn percentile_rank(total: u64, p: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((p / 100.0).clamp(0.0, 1.0) * (total - 1) as f64).round() as u64;
+    rank.min(total - 1)
+}
+
+/// Value at percentile `p` over `(value, weight)` pairs sorted by value.
+///
+/// This is the weighted counterpart of [`LatencyCdf::percentile`]: each pair
+/// stands for `weight` identical samples.  Returns `None` when the total
+/// weight is zero.
+pub fn weighted_percentile(pairs: &[(f64, u64)], p: f64) -> Option<f64> {
+    let total: u64 = pairs.iter().map(|(_, w)| w).sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = percentile_rank(total, p);
+    let mut seen = 0u64;
+    for (value, weight) in pairs {
+        seen += weight;
+        if seen > rank {
+            return Some(*value);
+        }
+    }
+    pairs.last().map(|(v, _)| *v)
 }
 
 /// An online latency/percentile accumulator used for CDF-style figures.
@@ -154,8 +188,8 @@ impl LatencyCdf {
             return None;
         }
         self.ensure_sorted();
-        let rank = ((p / 100.0) * (self.samples.len() - 1) as f64).round() as usize;
-        Some(self.samples[rank.min(self.samples.len() - 1)])
+        let rank = percentile_rank(self.samples.len() as u64, p) as usize;
+        Some(self.samples[rank])
     }
 
     /// Fraction of samples ≤ `value`, in `[0, 1]`.
@@ -209,9 +243,29 @@ mod tests {
     fn reset_clears_counters() {
         let mut s = NetStats::new();
         s.record_send(NodeAddr(1), NodeAddr(2), 10);
+        s.last_event_time = 42;
         s.reset();
         assert_eq!(s.total_msgs, 0);
         assert_eq!(s.node(NodeAddr(1)), NodeStats::default());
+        assert_eq!(s.last_event_time, 0);
+    }
+
+    #[test]
+    fn weighted_percentile_matches_expanded_samples() {
+        // (value, weight) pairs must select exactly what a LatencyCdf over
+        // the expanded sample list would.
+        let pairs = [(1.0, 3), (5.0, 2), (9.0, 5)];
+        let mut cdf = LatencyCdf::new();
+        for (v, w) in pairs {
+            for _ in 0..w {
+                cdf.add(v);
+            }
+        }
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            assert_eq!(weighted_percentile(&pairs, p), cdf.percentile(p));
+        }
+        assert_eq!(weighted_percentile(&[], 50.0), None);
+        assert_eq!(weighted_percentile(&[(2.0, 0)], 50.0), None);
     }
 
     #[test]

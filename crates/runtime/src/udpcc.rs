@@ -139,11 +139,33 @@ impl Default for CcConfig {
     }
 }
 
+/// Cumulative transport counters for one [`UdpCc`] instance.
+///
+/// A host embedding UdpCC syncs these into its telemetry hub (gauges under
+/// the `udpcc.*` prefix — see `docs/OBSERVABILITY.md`); the struct itself
+/// has no telemetry dependency so the transport stays layered below it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CcStats {
+    /// First-attempt data transmissions.
+    pub transmits: u64,
+    /// Timeout-driven retransmissions.
+    pub retransmits: u64,
+    /// Messages acknowledged end-to-end.
+    pub delivered: u64,
+    /// Messages dropped after exhausting the retry budget.
+    pub failed: u64,
+    /// Distinct payloads handed to the application.
+    pub receives: u64,
+    /// Data packets discarded as duplicates (still re-acked).
+    pub duplicates: u64,
+}
+
 /// Reliable-delivery + congestion-control state machine (one per node).
 #[derive(Debug, Clone)]
 pub struct UdpCc<M> {
     config: CcConfig,
     peers: HashMap<NodeAddr, PeerState<M>>,
+    stats: CcStats,
 }
 
 impl<M: Clone> Default for UdpCc<M> {
@@ -158,12 +180,29 @@ impl<M: Clone> UdpCc<M> {
         UdpCc {
             config,
             peers: HashMap::new(),
+            stats: CcStats::default(),
         }
     }
 
     /// Current congestion window towards `to` (messages), for diagnostics.
     pub fn cwnd(&self, to: NodeAddr) -> f64 {
         self.peers.get(&to).map(|p| p.cwnd).unwrap_or(1.0)
+    }
+
+    /// Cumulative transport counters since construction.
+    pub fn stats(&self) -> CcStats {
+        self.stats
+    }
+
+    /// Total messages waiting in per-destination backlogs (not yet on the
+    /// wire because the congestion window is closed).
+    pub fn queue_depth(&self) -> usize {
+        self.peers.values().map(|p| p.backlog.len()).sum()
+    }
+
+    /// Total messages on the wire awaiting acknowledgement.
+    pub fn in_flight_total(&self) -> usize {
+        self.peers.values().map(|p| p.in_flight.len()).sum()
     }
 
     /// Number of messages queued or in flight towards `to`.
@@ -184,10 +223,15 @@ impl<M: Clone> UdpCc<M> {
     ) -> Vec<CcEvent<M>> {
         let peer = self.peers.entry(to).or_default();
         peer.backlog.push_back((payload, token));
-        Self::drain_backlog(peer, to, now)
+        Self::drain_backlog(peer, to, now, &mut self.stats)
     }
 
-    fn drain_backlog(peer: &mut PeerState<M>, to: NodeAddr, now: SimTime) -> Vec<CcEvent<M>> {
+    fn drain_backlog(
+        peer: &mut PeerState<M>,
+        to: NodeAddr,
+        now: SimTime,
+        stats: &mut CcStats,
+    ) -> Vec<CcEvent<M>> {
         let mut events = Vec::new();
         while peer.in_flight.len() < peer.cwnd as usize + 1 {
             let (payload, token) = match peer.backlog.pop_front() {
@@ -205,6 +249,7 @@ impl<M: Clone> UdpCc<M> {
                     retries: 0,
                 },
             );
+            stats.transmits += 1;
             events.push(CcEvent::Transmit {
                 to,
                 packet: CcPacket::Data { seq, payload },
@@ -230,12 +275,16 @@ impl<M: Clone> UdpCc<M> {
                 });
                 let peer = self.peers.entry(from).or_default();
                 if peer.seen.insert(seq) {
+                    self.stats.receives += 1;
                     events.push(CcEvent::Receive { from, payload });
+                } else {
+                    self.stats.duplicates += 1;
                 }
             }
             CcPacket::Ack { seq } => {
                 if let Some(peer) = self.peers.get_mut(&from) {
                     if let Some(flight) = peer.in_flight.remove(&seq) {
+                        self.stats.delivered += 1;
                         events.push(CcEvent::Delivered {
                             to: from,
                             token: flight.token,
@@ -247,7 +296,7 @@ impl<M: Clone> UdpCc<M> {
                             peer.cwnd += 1.0 / peer.cwnd;
                         }
                     }
-                    events.extend(Self::drain_backlog(peer, from, now));
+                    events.extend(Self::drain_backlog(peer, from, now, &mut self.stats));
                 }
             }
         }
@@ -280,6 +329,7 @@ impl<M: Clone> UdpCc<M> {
             }
             for seq in failed {
                 let flight = peer.in_flight.remove(&seq).expect("failed seq present");
+                self.stats.failed += 1;
                 events.push(CcEvent::Failed {
                     to,
                     token: flight.token,
@@ -292,6 +342,7 @@ impl<M: Clone> UdpCc<M> {
                     .expect("retransmit seq present");
                 flight.retries += 1;
                 flight.sent_at = now;
+                self.stats.retransmits += 1;
                 events.push(CcEvent::Transmit {
                     to,
                     packet: CcPacket::Data {
@@ -300,7 +351,7 @@ impl<M: Clone> UdpCc<M> {
                     },
                 });
             }
-            events.extend(Self::drain_backlog(peer, to, now));
+            events.extend(Self::drain_backlog(peer, to, now, &mut self.stats));
         }
         events
     }
@@ -413,6 +464,46 @@ mod tests {
         let more = a.on_packet(B, acks[0].clone(), 10);
         assert!(!transmits(&more).is_empty());
         assert!(a.cwnd(B) > 1.0);
+    }
+
+    #[test]
+    fn stats_count_transport_events() {
+        let config = CcConfig {
+            rto: 100,
+            backoff: 2,
+            max_retries: 1,
+        };
+        let mut a: UdpCc<u32> = UdpCc::new(config);
+        let mut b: UdpCc<u32> = UdpCc::default();
+
+        // One delivered round trip.
+        let out = a.send(B, 1, 1, 0);
+        let b_events = b.on_packet(A, transmits(&out)[0].clone(), 5);
+        let acks = transmits(&b_events);
+        a.on_packet(B, acks[0].clone(), 10);
+        // Duplicate data at B.
+        b.on_packet(A, CcPacket::Data { seq: 0, payload: 1 }, 15);
+        // One message that retransmits once, then fails.
+        a.send(B, 2, 2, 20);
+        assert_eq!(a.queue_depth(), 0);
+        assert_eq!(a.in_flight_total(), 1);
+        a.on_tick(200);
+        a.on_tick(10_000);
+
+        assert_eq!(
+            a.stats(),
+            CcStats {
+                transmits: 2,
+                retransmits: 1,
+                delivered: 1,
+                failed: 1,
+                receives: 0,
+                duplicates: 0,
+            }
+        );
+        assert_eq!(b.stats().receives, 1);
+        assert_eq!(b.stats().duplicates, 1);
+        assert_eq!(a.in_flight_total(), 0);
     }
 
     #[test]

@@ -29,6 +29,11 @@
 //!   accountability/reputation database.
 //! * [`gnutella`] — a Gnutella-style flooding-search baseline used by the
 //!   Figure-1 comparison.
+//! * [`telemetry`] — the self-monitoring layer: per-node metric hubs
+//!   (counters, gauges, histograms) and bounded structured event traces,
+//!   stamped with sim time for deterministic replay, queryable through
+//!   PIER itself via the `system.metrics` namespace (see
+//!   `docs/OBSERVABILITY.md`).
 //! * [`harness`] — cluster builder, workload generators, metrics and the
 //!   experiment drivers that regenerate every figure/table of the paper.
 //!
@@ -44,3 +49,4 @@ pub use pier_mqo as mqo;
 pub use pier_pht as pht;
 pub use pier_runtime as runtime;
 pub use pier_security as security;
+pub use pier_telemetry as telemetry;
