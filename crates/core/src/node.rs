@@ -26,7 +26,8 @@ use crate::tuple::{
 };
 use crate::value::Value;
 use pier_cq::{
-    Delta, DeltaTracker, Lease, WindowAccumulator, WindowId, WindowSpec, WindowStats, WindowStore,
+    Delta, DeltaTracker, DurableStore, Lease, LeaseStatus, RehydrateReport, RenewalBackoff,
+    SegmentCodec, SegmentLog, WindowAccumulator, WindowId, WindowSpec, WindowStats, WindowStore,
 };
 use pier_dht::{
     routing_id, DhtMessage, Id, NodeRef, ObjectName, Overlay, OverlayConfig, OverlayEffect,
@@ -70,6 +71,13 @@ pub struct PierConfig {
     /// `system.metrics` DHT namespace so standing queries can monitor the
     /// cluster through PIER itself.
     pub telemetry: TelemetryConfig,
+    /// Durable window segments: when set, every window tick snapshots the
+    /// node's continuous-query window state into this [`DurableStore`]
+    /// (keys `q{id}.local` / `q{id}.root`), and a node restarted with the
+    /// *same* store handle rehydrates warm windows when the query's next
+    /// re-dissemination re-installs it, instead of recomputing retained
+    /// panes from scratch.  `None` (the default) keeps all state soft.
+    pub durable: Option<DurableStore>,
 }
 
 impl Default for PierConfig {
@@ -82,6 +90,7 @@ impl Default for PierConfig {
             batch_flush_interval: 100_000,
             sharing: None,
             telemetry: TelemetryConfig::default(),
+            durable: None,
         }
     }
 }
@@ -269,6 +278,181 @@ impl WindowAccumulator for GroupAgg {
     }
 }
 
+// Lossless little-endian byte codec for the durable window segments of
+// `pier-cq`: floats are persisted as raw IEEE-754 bits, so a rehydrated
+// accumulator is *exactly* the one that was snapshotted and re-encoding it
+// reproduces identical bytes (the round-trip contract of [`SegmentCodec`]).
+
+fn seg_put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn seg_put_slice(buf: &mut Vec<u8>, b: &[u8]) {
+    seg_put_u64(buf, b.len() as u64);
+    buf.extend_from_slice(b);
+}
+
+fn seg_put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(0),
+        Value::Bool(b) => {
+            buf.push(1);
+            buf.push(*b as u8);
+        }
+        Value::Int(i) => {
+            buf.push(2);
+            seg_put_u64(buf, *i as u64);
+        }
+        Value::Float(f) => {
+            buf.push(3);
+            seg_put_u64(buf, f.to_bits());
+        }
+        Value::Str(s) => {
+            buf.push(4);
+            seg_put_slice(buf, s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            buf.push(5);
+            seg_put_slice(buf, b);
+        }
+    }
+}
+
+fn seg_put_opt_value(buf: &mut Vec<u8>, v: &Option<Value>) {
+    match v {
+        None => buf.push(0),
+        Some(v) => {
+            buf.push(1);
+            seg_put_value(buf, v);
+        }
+    }
+}
+
+fn seg_put_state(buf: &mut Vec<u8>, state: &AggState) {
+    match state {
+        AggState::Count(n) => {
+            buf.push(0);
+            seg_put_u64(buf, *n);
+        }
+        AggState::Sum(s) => {
+            buf.push(1);
+            seg_put_u64(buf, s.to_bits());
+        }
+        AggState::Min(v) => {
+            buf.push(2);
+            seg_put_opt_value(buf, v);
+        }
+        AggState::Max(v) => {
+            buf.push(3);
+            seg_put_opt_value(buf, v);
+        }
+        AggState::Avg { sum, count } => {
+            buf.push(4);
+            seg_put_u64(buf, sum.to_bits());
+            seg_put_u64(buf, *count);
+        }
+    }
+}
+
+struct SegReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SegReader<'a> {
+    fn u8(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.pos.checked_add(8)?;
+        let raw: [u8; 8] = self.bytes.get(self.pos..end)?.try_into().ok()?;
+        self.pos = end;
+        Some(u64::from_le_bytes(raw))
+    }
+
+    fn slice(&mut self) -> Option<&'a [u8]> {
+        let len = usize::try_from(self.u64()?).ok()?;
+        let end = self.pos.checked_add(len)?;
+        let s = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(s)
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        Some(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(self.u64()? as i64),
+            3 => Value::Float(f64::from_bits(self.u64()?)),
+            4 => Value::str(std::str::from_utf8(self.slice()?).ok()?),
+            5 => Value::bytes(self.slice()?),
+            _ => return None,
+        })
+    }
+
+    fn opt_value(&mut self) -> Option<Option<Value>> {
+        Some(match self.u8()? {
+            0 => None,
+            1 => Some(self.value()?),
+            _ => return None,
+        })
+    }
+
+    fn state(&mut self) -> Option<AggState> {
+        Some(match self.u8()? {
+            0 => AggState::Count(self.u64()?),
+            1 => AggState::Sum(f64::from_bits(self.u64()?)),
+            2 => AggState::Min(self.opt_value()?),
+            3 => AggState::Max(self.opt_value()?),
+            4 => AggState::Avg {
+                sum: f64::from_bits(self.u64()?),
+                count: self.u64()?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+impl SegmentCodec for GroupAgg {
+    fn encode_state(&self, buf: &mut Vec<u8>) {
+        seg_put_u64(buf, self.vals.len() as u64);
+        for v in &self.vals {
+            seg_put_value(buf, v);
+        }
+        seg_put_u64(buf, self.states.len() as u64);
+        for s in &self.states {
+            seg_put_state(buf, s);
+        }
+    }
+
+    fn decode_state(bytes: &[u8]) -> Option<Self> {
+        let mut r = SegReader { bytes, pos: 0 };
+        let nv = usize::try_from(r.u64()?).ok()?;
+        if nv > bytes.len() {
+            return None; // length prefix cannot exceed the payload
+        }
+        let mut vals = Vec::with_capacity(nv);
+        for _ in 0..nv {
+            vals.push(r.value()?);
+        }
+        let ns = usize::try_from(r.u64()?).ok()?;
+        if ns > bytes.len() {
+            return None;
+        }
+        let mut states = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            states.push(r.state()?);
+        }
+        if r.pos != bytes.len() {
+            return None; // trailing garbage: not a clean snapshot
+        }
+        Some(GroupAgg { vals, states })
+    }
+}
+
 /// Runtime state of one continuous (windowed) query at one node.
 #[derive(Debug)]
 struct CqState {
@@ -313,6 +497,9 @@ struct CqState {
     /// Evicted windows already reported to telemetry (delta baseline for
     /// the `window_evict` trace event).
     tel_evicted: u64,
+    /// Windows restored from durable segments when this installation
+    /// rehydrated (0 for a cold install) — the warm-restart diagnostic.
+    rehydrated_windows: u64,
 }
 
 impl CqState {
@@ -338,6 +525,13 @@ struct ProxyState {
     done: bool,
     /// The standing plan, kept proxy-side for periodic re-dissemination.
     renew_plan: Option<QueryPlan>,
+    /// Jittered exponential backoff driving the re-dissemination clock
+    /// (created on the first renewal round from the plan's lifecycle).
+    backoff: Option<RenewalBackoff>,
+    /// `results` at the previous renewal round: a stalled stream (no new
+    /// results since the last round) escalates the backoff, progress
+    /// resets it.
+    renew_results: u64,
 }
 
 /// Rehash tuples buffered per rendezvous namespace, grouped by partition
@@ -1026,8 +1220,11 @@ impl PierNode {
         // Multi-query sharing: offer the plan to the layer first.  A plan
         // that normalizes into a share group installs as a *member* — the
         // executor arms its lifecycle timers but builds no dataflow; the
-        // group's single tick chain starts with its first member.
-        if let Some(layer) = self.sharing.as_mut() {
+        // group's single tick chain starts with its first member.  Plans
+        // marked exclusive skip the offer: shared state is not persisted,
+        // so a durable query keeps its own (rehydratable) stores.
+        let exclusive = plan.cq.as_ref().is_some_and(|cq| cq.exclusive);
+        if let Some(layer) = self.sharing.as_mut().filter(|_| !exclusive) {
             if layer.renew(query_id, ctx.now()) {
                 return; // re-dissemination of a shared standing query
             }
@@ -1055,7 +1252,12 @@ impl PierNode {
             }
         }
         let agg_root_id = routing_id(&plan.partial_namespace(), &plan.agg_root_key());
-        let cq = Self::build_cq_state(&plan, ctx.now());
+        let mut cq = Self::build_cq_state(&plan, ctx.now());
+        if let Some(cq) = cq.as_mut() {
+            // Warm restart: rehydrate retained panes from durable segments
+            // (a no-op on cold installs or without a durable store).
+            self.rehydrate_cq(query_id, cq);
+        }
         let mut graphs = Vec::new();
         let mut has_agg = false;
         for spec in &plan.opgraphs {
@@ -1178,11 +1380,21 @@ impl PierNode {
     /// later teardown's sweep, so the registry stays bounded by the live
     /// working set instead of growing with every query ever installed.
     fn uninstall_query(&mut self, query_id: u64) {
-        if self.queries.remove(&query_id).is_some() {
+        if let Some(q) = self.queries.remove(&query_id) {
             self.tel.inc("query.teardowns");
             self.tel.event("query_teardown", || {
                 vec![("query_id", query_id.to_string())]
             });
+            // A deliberate teardown means the query is over everywhere it
+            // matters: its durable segments will never be rehydrated, so
+            // drop them rather than leak "disk".
+            if q.cq.is_some() {
+                if let Some(durable) = self.config.durable.as_ref() {
+                    let (local_key, root_key) = Self::segment_keys(query_id);
+                    durable.remove(&local_key);
+                    durable.remove(&root_key);
+                }
+            }
             SchemaRegistry::global().sweep_matching(is_query_scoped_table);
             return;
         }
@@ -1511,7 +1723,11 @@ impl PierNode {
         };
         let lifetime = self.config.publish_lifetime;
         let mut entries = Vec::with_capacity(buf.by_key.len());
-        for (key, mut tuples) in buf.by_key {
+        // Key order feeds both the rng stream (name suffixes) and the
+        // message order, so it must not depend on hash seeding.
+        let mut by_key: Vec<(String, Vec<Tuple>)> = buf.by_key.into_iter().collect();
+        by_key.sort_by(|a, b| a.0.cmp(&b.0));
+        for (key, mut tuples) in by_key {
             let name = ObjectName::new(namespace.to_string(), key, self.rng.next_u64());
             let value = if tuples.len() == 1 {
                 QpObject::Tuple(tuples.pop().expect("len checked"))
@@ -1525,7 +1741,8 @@ impl PierNode {
 
     /// Flush every buffered rehash namespace (the periodic tick).
     fn flush_all_rehash(&mut self, now: SimTime) -> Vec<OverlayEffect<QpObject>> {
-        let namespaces: Vec<String> = self.rehash_buf.keys().cloned().collect();
+        let mut namespaces: Vec<String> = self.rehash_buf.keys().cloned().collect();
+        namespaces.sort_unstable();
         let mut effects = Vec::new();
         for ns in namespaces {
             effects.extend(self.flush_rehash(&ns, now));
@@ -1767,6 +1984,9 @@ pub struct CqDiagnostics {
     pub windows_emitted: u64,
     /// Lease renewals observed since installation.
     pub lease_renewals: u32,
+    /// Windows rehydrated from durable segments at installation (0 on a
+    /// cold install): nonzero means this node restarted warm.
+    pub rehydrated_windows: u64,
 }
 
 impl PierNode {
@@ -1837,7 +2057,76 @@ impl PierNode {
             windows_emitted: 0,
             tel_shed: 0,
             tel_evicted: 0,
+            rehydrated_windows: 0,
         })
+    }
+
+    /// A per-store segment log larger than this is compacted (rewritten as
+    /// one fresh snapshot) on the next persist.
+    const SEGMENT_COMPACT_BYTES: usize = 1 << 20;
+
+    /// Durable-store keys of one query's two window stores.
+    fn segment_keys(query_id: u64) -> (String, String) {
+        (format!("q{query_id}.local"), format!("q{query_id}.root"))
+    }
+
+    /// Rehydrate a freshly built [`CqState`] from durable window segments,
+    /// if the node has a [`DurableStore`] holding any.  Called on the
+    /// install path *before* the state is inserted, so a restarted node
+    /// serves warm windows from its first tick: re-dissemination re-installs
+    /// the query and the retained panes come back from the segment log
+    /// instead of being recomputed.
+    fn rehydrate_cq(&self, query_id: u64, cq: &mut CqState) {
+        let Some(durable) = self.config.durable.as_ref() else {
+            return;
+        };
+        let (local_key, root_key) = Self::segment_keys(query_id);
+        let mut total = RehydrateReport::default();
+        for (key, store) in [(local_key, &mut cq.store), (root_key, &mut cq.root_store)] {
+            let Some(log) = durable.get(&key) else {
+                continue;
+            };
+            let report = store.rehydrate_from(&log);
+            total.windows += report.windows;
+            total.groups += report.groups;
+            total.tuples += report.tuples;
+            total.records += report.records;
+            total.skipped += report.skipped;
+            total.torn_tail |= report.torn_tail;
+        }
+        if total.records == 0 && !total.torn_tail {
+            return; // nothing durable for this query: a genuinely cold start
+        }
+        cq.rehydrated_windows = total.windows as u64;
+        self.tel.add("cq.rehydrated_windows", total.windows as u64);
+        self.tel.event("window.rehydrate", || {
+            vec![
+                ("query_id", query_id.to_string()),
+                ("windows", total.windows.to_string()),
+                ("groups", total.groups.to_string()),
+                ("tuples", total.tuples.to_string()),
+                ("skipped", total.skipped.to_string()),
+                ("torn_tail", total.torn_tail.to_string()),
+            ]
+        });
+    }
+
+    /// Snapshot a continuous query's window state into the durable store
+    /// (both the local and the relay/root [`WindowStore`]).  Appends one
+    /// snapshot per tick; once a log outgrows
+    /// [`PierNode::SEGMENT_COMPACT_BYTES`] it is rewritten from scratch —
+    /// rehydration only reads the *latest* snapshot of each window, so
+    /// compaction loses nothing.
+    fn persist_cq(durable: &DurableStore, query_id: u64, cq: &CqState) {
+        let (local_key, root_key) = Self::segment_keys(query_id);
+        for (key, store) in [(local_key, &cq.store), (root_key, &cq.root_store)] {
+            durable.with_log(&key, |log| {
+                if log.len() > Self::SEGMENT_COMPACT_BYTES {
+                    *log = SegmentLog::new();
+                }
+                store.write_segments(log);
+            });
+        }
     }
 
     /// Fold one dataflow output into the query's window store.  Columns are
@@ -2167,7 +2456,15 @@ impl PierNode {
             self.tel.gauge("cq.state_groups", groups as f64);
         }
 
-        // 5. Re-arm while the query is installed.
+        // 5. Persist the surviving window state as durable segments, so a
+        //    crash after this tick restarts warm.
+        if let Some(durable) = self.config.durable.as_ref() {
+            if let Some(cq) = self.queries.get(&query_id).and_then(|q| q.cq.as_ref()) {
+                Self::persist_cq(durable, query_id, cq);
+            }
+        }
+
+        // 6. Re-arm while the query is installed.
         if self.queries.contains_key(&query_id) {
             ctx.set_timer(window.slide, PierTimer::WindowTick { query_id });
         }
@@ -2358,6 +2655,7 @@ impl PierNode {
             tracked_emissions: cq.tracker.tracked_windows(),
             windows_emitted: cq.windows_emitted,
             lease_renewals: cq.lease.renewals,
+            rehydrated_windows: cq.rehydrated_windows,
         })
     }
 }
@@ -2447,21 +2745,59 @@ impl Program for PierNode {
             PierTimer::CqRenew { query_id } => {
                 // Proxy-side: re-disseminate the standing plan so leases
                 // extend everywhere and churned-in nodes pick the query up.
+                // The next round is scheduled by jittered exponential
+                // backoff rather than a fixed interval: rounds that are not
+                // producing results (the stream stalled — partitioned away,
+                // or the holders are down) spread out exponentially instead
+                // of hammering a dead path in lockstep with every other
+                // proxy, and the first successful round snaps back to the
+                // base interval.  Jitter desynchronises proxies after a
+                // partition heals.
                 let plan = match self.proxied.get(&query_id) {
                     Some(state) if !state.done => state.renew_plan.clone(),
                     _ => None,
                 };
                 if let Some(plan) = plan {
                     let renew_every = plan.cq.map(|c| c.renew_every).unwrap_or(10_000_000).max(1);
+                    let lease = plan.cq.map(|c| c.lease).unwrap_or(renew_every * 3);
                     self.disseminate(ctx, plan);
-                    ctx.set_timer(renew_every, PierTimer::CqRenew { query_id });
+                    let mut delay = renew_every;
+                    if let Some(state) = self.proxied.get_mut(&query_id) {
+                        // Cap below the lease so a healthy-but-quiet query
+                        // still renews in time; holders additionally park
+                        // (rather than sweep) lapsed leases when durable.
+                        let cap = lease.saturating_sub(renew_every / 2).max(renew_every);
+                        let backoff = state
+                            .backoff
+                            .get_or_insert_with(|| RenewalBackoff::new(renew_every, cap));
+                        if state.results > state.renew_results || state.results == 0 {
+                            // Progress — or a stream that has not started
+                            // yet, which is not evidence of failure.
+                            backoff.reset();
+                        } else {
+                            backoff.escalate();
+                        }
+                        state.renew_results = state.results;
+                        let attempt = backoff.attempt();
+                        delay = backoff.next_delay(&mut self.rng);
+                        if attempt > 0 {
+                            self.tel.event("lease.backoff", || {
+                                vec![
+                                    ("query_id", query_id.to_string()),
+                                    ("attempt", attempt.to_string()),
+                                    ("delay", delay.to_string()),
+                                ]
+                            });
+                        }
+                    }
+                    ctx.set_timer(delay.max(1), PierTimer::CqRenew { query_id });
                 }
             }
             PierTimer::CqLease { query_id } => {
                 let now = ctx.now();
-                let expires_at = match self.queries.get(&query_id) {
+                let (lease, shared) = match self.queries.get(&query_id) {
                     Some(q) => match q.cq.as_ref() {
-                        Some(cq) => cq.lease.expires_at,
+                        Some(cq) => (cq.lease, false),
                         None => return,
                     },
                     // Share-group members keep their lease in the layer.
@@ -2470,19 +2806,45 @@ impl Program for PierNode {
                         .as_ref()
                         .and_then(|l| l.lease_expires_at(query_id))
                     {
-                        Some(expires_at) => expires_at,
+                        Some(expires_at) => (Lease::granted(expires_at, 0), true),
                         None => return,
                     },
                 };
-                if now >= expires_at {
-                    // The owner stopped renewing (or we are partitioned
-                    // away): the soft state lapses.
-                    self.uninstall_query(query_id);
+                // With durable segments the owner may be a *restarted* node
+                // whose renewals resume once it rejoins: a lapsed lease
+                // parks in a grace window (one lease duration) before the
+                // query is swept; shared members and soft-only nodes keep
+                // the original hard expiry.
+                let grace = if !shared && self.config.durable.is_some() {
+                    lease.duration
                 } else {
-                    ctx.set_timer(
-                        expires_at.saturating_sub(now).max(1),
-                        PierTimer::CqLease { query_id },
-                    );
+                    0
+                };
+                match lease.status(now, grace) {
+                    LeaseStatus::Gone => {
+                        // The owner stopped renewing (or we are partitioned
+                        // away): the soft state lapses.
+                        self.uninstall_query(query_id);
+                    }
+                    LeaseStatus::Active => {
+                        ctx.set_timer(
+                            lease.expires_at.saturating_sub(now).max(1),
+                            PierTimer::CqLease { query_id },
+                        );
+                    }
+                    LeaseStatus::Rehydrating => {
+                        // Parked: hold the state through the grace window
+                        // and re-check at its end (a renewal arriving in
+                        // between pushes `expires_at` forward again).
+                        ctx.set_timer(
+                            lease
+                                .expires_at
+                                .saturating_add(grace)
+                                .saturating_sub(now)
+                                .max(1),
+                            PierTimer::CqLease { query_id },
+                        );
+                    }
                 }
             }
         }
@@ -2566,5 +2928,98 @@ mod tests {
             PierNode::cq_absorb_chunk(&mut cq, chunk, 0);
         }
         assert!(drain_canonical(&mut cq).is_empty());
+    }
+
+    #[test]
+    fn group_agg_segment_codec_round_trips_every_variant() {
+        let agg = GroupAgg {
+            vals: vec![
+                Value::Null,
+                Value::Bool(true),
+                Value::Int(-5),
+                Value::Float(2.5),
+                Value::str("host-α"),
+                Value::bytes([0u8, 255, 7]),
+            ],
+            states: vec![
+                AggState::Count(3),
+                AggState::Sum(1.5),
+                AggState::Min(Some(Value::Int(-9))),
+                AggState::Max(None),
+                AggState::Avg { sum: 2.0, count: 4 },
+            ],
+        };
+        let mut buf = Vec::new();
+        agg.encode_state(&mut buf);
+        let back = GroupAgg::decode_state(&buf).expect("clean bytes decode");
+        assert_eq!(back.vals, agg.vals);
+        assert_eq!(back.states, agg.states);
+        // Byte-for-byte: re-encoding the decoded state reproduces the bytes.
+        let mut again = Vec::new();
+        back.encode_state(&mut again);
+        assert_eq!(buf, again);
+        // A truncated payload is rejected, not half-decoded.
+        assert!(GroupAgg::decode_state(&buf[..buf.len() - 1]).is_none());
+        // Trailing garbage is rejected too.
+        let mut padded = buf.clone();
+        padded.push(0);
+        assert!(GroupAgg::decode_state(&padded).is_none());
+    }
+
+    #[test]
+    fn persisted_cq_state_rehydrates_warm() {
+        let mut cq = windowed_cq_state();
+        for t in netmon_rows(120) {
+            PierNode::cq_absorb(&mut cq, &t, 0);
+        }
+        let durable = DurableStore::new();
+        PierNode::persist_cq(&durable, 7, &cq);
+        let (local_key, _) = PierNode::segment_keys(7);
+        let log = durable.get(&local_key).expect("snapshot was written");
+
+        // A cold store (what a restarted node builds) rehydrates to the
+        // same canonical contents the crashed node held.
+        let mut cold = windowed_cq_state();
+        let report = cold.store.rehydrate_from(&log);
+        assert!(report.windows > 0, "open windows came back");
+        assert!(!report.torn_tail);
+        assert_eq!(drain_canonical(&mut cold), drain_canonical(&mut cq));
+    }
+
+    #[test]
+    fn persist_compacts_once_the_log_outgrows_the_bound() {
+        let mut cq = windowed_cq_state();
+        for t in netmon_rows(50) {
+            PierNode::cq_absorb(&mut cq, &t, 0);
+        }
+        let durable = DurableStore::new();
+        PierNode::persist_cq(&durable, 1, &cq);
+        let after_one = durable.total_bytes();
+        // Snapshots append...
+        PierNode::persist_cq(&durable, 1, &cq);
+        assert!(durable.total_bytes() > after_one);
+        // ...until the log crosses the compaction bound, which rewrites it
+        // as a single fresh snapshot.
+        let (local_key, _) = PierNode::segment_keys(1);
+        loop {
+            let over = durable
+                .get(&local_key)
+                .is_some_and(|log| log.len() > PierNode::SEGMENT_COMPACT_BYTES);
+            if over {
+                break;
+            }
+            PierNode::persist_cq(&durable, 1, &cq);
+        }
+        PierNode::persist_cq(&durable, 1, &cq);
+        durable.with_log(&local_key, |log| {
+            assert!(
+                log.len() <= PierNode::SEGMENT_COMPACT_BYTES,
+                "compaction rewrote the oversized log"
+            );
+        });
+        let mut cold = windowed_cq_state();
+        let log = durable.get(&local_key).expect("compacted snapshot");
+        cold.store.rehydrate_from(&log);
+        assert_eq!(drain_canonical(&mut cold), drain_canonical(&mut cq));
     }
 }

@@ -23,7 +23,14 @@
 //! * [`lifecycle`] — the soft-state continuous-query lifecycle: leases that
 //!   must be renewed by periodic re-dissemination (so a query dies everywhere
 //!   once its owner stops renewing, and reaches nodes that joined after it
-//!   was first disseminated), plus per-query budgets.
+//!   was first disseminated), plus per-query budgets, jittered-exponential
+//!   renewal backoff ([`lifecycle::RenewalBackoff`]) and the
+//!   restarted-vs-gone lease distinction ([`lifecycle::LeaseStatus`]).
+//! * [`segment`] — the durable half of recovery: an append-only
+//!   [`segment::SegmentLog`] of length-prefixed, checksummed window
+//!   snapshots with torn-tail detection, and the shared
+//!   [`segment::DurableStore`] "disk" a restarted node rehydrates warm
+//!   windows from ([`state::WindowStore::rehydrate_from`]).
 //!
 //! The crate is deliberately *below* the query processor: everything here is
 //! generic over the accumulator type (`pier-core` plugs its mergeable
@@ -54,12 +61,17 @@
 
 pub mod delta;
 pub mod lifecycle;
+pub mod segment;
 pub mod shared;
 pub mod state;
 pub mod window;
 
 pub use delta::{Delta, DeltaMode, DeltaTracker};
-pub use lifecycle::{CqBudget, Lease};
+pub use lifecycle::{CqBudget, Lease, LeaseStatus, RenewalBackoff};
+pub use segment::{
+    DurableStore, RehydrateReport, SegmentCodec, SegmentLog, SegmentRecord, SegmentScan,
+    WindowSegment,
+};
 pub use shared::{MemberEmission, SharedWindowState};
 pub use state::{WindowAccumulator, WindowStats, WindowStore};
 pub use window::{WindowId, WindowSpec};

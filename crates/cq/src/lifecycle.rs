@@ -14,7 +14,7 @@
 //! locally (PIQL-style bounded-work contracts): a continuous query may be
 //! long-lived, but its footprint on any node is capped.
 
-use pier_runtime::{Duration, SimTime, WireSize};
+use pier_runtime::{Duration, Rng64, SimTime, WireSize};
 
 /// Per-node, per-query work and state bounds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +74,98 @@ impl Lease {
     pub fn expired(&self, now: SimTime) -> bool {
         now >= self.expires_at
     }
+
+    /// Classify the lease at `now`, distinguishing a peer that is
+    /// *restarted-and-rehydrating* from one that is *gone*.  With durable
+    /// window segments, a node that crashes and restarts can rejoin with
+    /// warm state — tearing its query down at the instant the lease lapses
+    /// would throw that state away.  `rehydrate_grace` is the extra window
+    /// after expiry during which the holder keeps the query's state parked
+    /// (status [`LeaseStatus::Rehydrating`]) waiting for a renewal from the
+    /// restarted owner; only after it passes is the query
+    /// [`LeaseStatus::Gone`] and swept.  A zero grace reproduces the
+    /// original hard-expiry behaviour.
+    pub fn status(&self, now: SimTime, rehydrate_grace: Duration) -> LeaseStatus {
+        if now < self.expires_at {
+            LeaseStatus::Active
+        } else if now < self.expires_at.saturating_add(rehydrate_grace) {
+            LeaseStatus::Rehydrating
+        } else {
+            LeaseStatus::Gone
+        }
+    }
+}
+
+/// Where a lease stands in its life, including the restart grace window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseStatus {
+    /// The lease is live.
+    Active,
+    /// The lease lapsed recently; the owner may be a restarted node still
+    /// rehydrating durable state, so keep the query parked.
+    Rehydrating,
+    /// The lease lapsed beyond the grace window: the owner is gone, sweep.
+    Gone,
+}
+
+/// Jittered exponential backoff for lease renewal / re-dissemination.
+///
+/// A fixed renewal interval synchronises: after a partition heals, every
+/// proxy whose renewals were failing re-disseminates at the same instant and
+/// the burst congests exactly the links that just recovered.  This schedule
+/// instead draws each delay uniformly from `[d/2, d)` ("equal jitter") where
+/// `d = min(base << attempt, cap)`: renewals that keep failing spread out
+/// exponentially, and a success resets the schedule to the base interval.
+///
+/// The first no-progress round is **grace**, not failure: a healthy windowed
+/// query emits on its own `EVERY` cadence, and a renewal tick landing just
+/// before an emission tick routinely sees "no new results" for one round.
+/// Backing off on that phase misalignment would throttle re-dissemination —
+/// the very mechanism that repairs churned-in nodes — so the delay only
+/// starts doubling on the *second* consecutive miss.  All randomness comes
+/// from the caller's [`Rng64`], so runs replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenewalBackoff {
+    base: Duration,
+    cap: Duration,
+    misses: u32,
+}
+
+impl RenewalBackoff {
+    /// A schedule starting at `base` and never exceeding `cap` per step.
+    pub fn new(base: Duration, cap: Duration) -> Self {
+        RenewalBackoff {
+            base: base.max(1),
+            cap: cap.max(base.max(1)),
+            misses: 0,
+        }
+    }
+
+    /// Escalations applied since the last reset (0 while in grace).
+    pub fn attempt(&self) -> u32 {
+        self.misses.saturating_sub(1)
+    }
+
+    /// Note a no-progress renewal round.  The first is forgiven (grace);
+    /// from the second consecutive miss on, the next delay doubles, up to
+    /// the cap.
+    pub fn escalate(&mut self) {
+        self.misses = self.misses.saturating_add(1).min(33);
+    }
+
+    /// Note a successful renewal: the schedule returns to the base interval.
+    pub fn reset(&mut self) {
+        self.misses = 0;
+    }
+
+    /// Draw the next delay: uniform in `[d/2, d)` for the current ceiling
+    /// `d = min(base << attempt, cap)`.
+    pub fn next_delay(&self, rng: &mut Rng64) -> Duration {
+        let factor = 1u64.checked_shl(self.attempt()).unwrap_or(u64::MAX);
+        let ceiling = self.base.saturating_mul(factor).min(self.cap).max(2);
+        let half = ceiling / 2;
+        half + rng.next_below(ceiling - half)
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +188,59 @@ mod tests {
         // A stale renewal (clock skew) never shortens the lease.
         lease.renew(10);
         assert_eq!(lease.expires_at, 90);
+    }
+
+    #[test]
+    fn status_distinguishes_rehydrating_from_gone() {
+        let lease = Lease::granted(0, 100);
+        assert_eq!(lease.status(99, 50), LeaseStatus::Active);
+        assert_eq!(lease.status(100, 50), LeaseStatus::Rehydrating);
+        assert_eq!(lease.status(149, 50), LeaseStatus::Rehydrating);
+        assert_eq!(lease.status(150, 50), LeaseStatus::Gone);
+        // Zero grace reproduces hard expiry.
+        assert_eq!(lease.status(100, 0), LeaseStatus::Gone);
+    }
+
+    #[test]
+    fn backoff_grows_jittered_and_resets() {
+        let mut rng = Rng64::new(7);
+        let mut b = RenewalBackoff::new(1_000, 16_000);
+        let d0 = b.next_delay(&mut rng);
+        assert!((500..1_000).contains(&d0));
+        // The first miss is grace: still the base interval.
+        b.escalate();
+        assert_eq!(b.attempt(), 0);
+        let grace = b.next_delay(&mut rng);
+        assert!((500..1_000).contains(&grace));
+        // The second consecutive miss starts doubling.
+        b.escalate();
+        b.escalate();
+        let d2 = b.next_delay(&mut rng);
+        assert!((2_000..4_000).contains(&d2));
+        for _ in 0..10 {
+            b.escalate();
+        }
+        let capped = b.next_delay(&mut rng);
+        assert!((8_000..16_000).contains(&capped), "cap bounds the ceiling");
+        b.reset();
+        let back = b.next_delay(&mut rng);
+        assert!((500..1_000).contains(&back));
+    }
+
+    #[test]
+    fn backoff_desynchronises_equal_schedules() {
+        // Two proxies with the same schedule but different rng streams must
+        // not renew at the same instant — the whole point of the jitter.
+        let mut r1 = Rng64::new(1);
+        let mut r2 = Rng64::new(2);
+        let b = RenewalBackoff::new(1_000_000, 8_000_000);
+        let delays1: Vec<Duration> = (0..8).map(|_| b.next_delay(&mut r1)).collect();
+        let delays2: Vec<Duration> = (0..8).map(|_| b.next_delay(&mut r2)).collect();
+        assert_ne!(delays1, delays2);
+        // And the same stream replays identically.
+        let mut r1b = Rng64::new(1);
+        let replay: Vec<Duration> = (0..8).map(|_| b.next_delay(&mut r1b)).collect();
+        assert_eq!(delays1, replay);
     }
 
     #[test]

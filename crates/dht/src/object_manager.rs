@@ -13,7 +13,7 @@
 
 use crate::naming::{ObjectName, PartitionKey};
 use pier_runtime::{SimTime, WireSize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// An object held by the object manager, together with its expiry time.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,8 +35,10 @@ impl<V: WireSize> WireSize for StoredObject<V> {
 /// Per-node soft-state store.
 #[derive(Debug, Clone)]
 pub struct ObjectManager<V> {
-    /// (namespace, key) -> suffix -> object.
-    groups: HashMap<(String, PartitionKey), HashMap<u64, StoredObject<V>>>,
+    /// (namespace, key) -> suffix -> object.  Ordered maps: scan and get
+    /// results feed pipelines and outgoing messages, so their order must
+    /// not depend on hash seeding (equal-seed runs replay byte-for-byte).
+    groups: BTreeMap<(String, PartitionKey), BTreeMap<u64, StoredObject<V>>>,
     /// Upper bound the store imposes on any requested lifetime.
     max_lifetime: u64,
     /// Number of objects ever dropped by expiry (for diagnostics/tests).
@@ -48,7 +50,7 @@ impl<V: Clone> ObjectManager<V> {
     /// microseconds.
     pub fn new(max_lifetime: u64) -> Self {
         ObjectManager {
-            groups: HashMap::new(),
+            groups: BTreeMap::new(),
             max_lifetime,
             expired_count: 0,
         }

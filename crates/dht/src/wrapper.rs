@@ -32,8 +32,11 @@ use crate::object_manager::{ObjectManager, StoredObject};
 use crate::router::{NodeRef, Router, RouterConfig, RouterEffect};
 use pier_runtime::{Duration, NodeAddr, SimTime, WireSize};
 use pier_telemetry::Telemetry;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Debug;
+
+/// One entry of a grouped put: object name, value, and its soft-state TTL.
+type PutEntry<V> = (ObjectName, V, Duration);
 
 /// Well-known name of the query-dissemination tree root; its hash is the
 /// root identifier hard-coded into every PIER node (§3.3.3).
@@ -209,7 +212,10 @@ pub struct Overlay<V> {
     next_request_id: u64,
     next_upcall_token: u64,
     tree_root: Id,
-    tree_children: HashMap<NodeAddr, SimTime>,
+    /// Ordered: the broadcast fan-out below follows iteration order, which
+    /// must not depend on hash seeding (equal-seed runs replay
+    /// byte-for-byte).
+    tree_children: BTreeMap<NodeAddr, SimTime>,
     /// Identifier→owner resolutions learned from completed lookups, each
     /// stamped with its fill time and valid only within
     /// `owner_cache_epoch` (the router's membership epoch at fill time).
@@ -247,7 +253,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             next_request_id: 0,
             next_upcall_token: 0,
             tree_root: hash_str(TREE_ROOT_NAME),
-            tree_children: HashMap::new(),
+            tree_children: BTreeMap::new(),
             owner_cache: HashMap::new(),
             owner_cache_epoch: 0,
             tel: Telemetry::disabled(),
@@ -502,7 +508,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
         let mut effects = Vec::new();
-        let mut grouped: HashMap<NodeAddr, Vec<(ObjectName, V, Duration)>> = HashMap::new();
+        let mut grouped: HashMap<NodeAddr, Vec<PutEntry<V>>> = HashMap::new();
         let mut unresolved = Vec::new();
         let mut local = 0u64;
         let total = entries.len() as u64;
@@ -522,6 +528,10 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         }
         let mut coalesced = 0u64;
         let mut singles = 0u64;
+        // Send in destination order: message order must not depend on hash
+        // seeding (equal-seed runs replay byte-for-byte).
+        let mut grouped: Vec<(NodeAddr, Vec<PutEntry<V>>)> = grouped.into_iter().collect();
+        grouped.sort_by_key(|(to, _)| to.index());
         for (to, batch) in grouped {
             if batch.len() == 1 {
                 // No point framing a batch around a single object.

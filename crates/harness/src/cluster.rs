@@ -1,6 +1,7 @@
 //! Boot and drive a PIER cluster under the Simulation Environment.
 
 use pier_core::{PierConfig, PierNode, PierOut, QueryPlan, Telemetry, TelemetryConfig, Tuple};
+use pier_cq::DurableStore;
 use pier_dht::{make_ring_refs, NodeRef};
 use pier_runtime::sim::{CongestionKind, TopologyConfig};
 use pier_runtime::{NodeAddr, SimConfig, SimTime, Simulator};
@@ -18,6 +19,10 @@ pub struct ClusterConfig {
     pub congestion: CongestionKind,
     /// Per-node configuration (overlay tuning, publish lifetimes).
     pub pier: PierConfig,
+    /// Give every node its own [`DurableStore`] "disk" that survives
+    /// crashes, so [`Cluster::restart_node_at`] brings the node back with warm
+    /// window segments instead of empty continuous-query state.
+    pub durable: bool,
 }
 
 impl ClusterConfig {
@@ -29,6 +34,7 @@ impl ClusterConfig {
             topology: TopologyConfig::lan(),
             congestion: CongestionKind::None,
             pier: PierConfig::default(),
+            durable: false,
         }
     }
 
@@ -41,6 +47,7 @@ impl ClusterConfig {
             topology: TopologyConfig::internet_like(),
             congestion: CongestionKind::Fifo,
             pier: PierConfig::default(),
+            durable: false,
         }
     }
 
@@ -54,6 +61,12 @@ impl ClusterConfig {
     /// Enable self-monitoring telemetry on every node.
     pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
         self.pier.telemetry = telemetry;
+        self
+    }
+
+    /// Enable per-node durable window segments (warm restarts).
+    pub fn with_durable(mut self) -> Self {
+        self.durable = true;
         self
     }
 }
@@ -91,6 +104,11 @@ pub struct Cluster {
     pub sim: Simulator<PierNode>,
     /// The ring references of all nodes, index = node address.
     pub refs: Vec<NodeRef>,
+    /// Per-node configuration, kept so crashed nodes restart identically.
+    pier: PierConfig,
+    /// Each node's durable "disk" (empty when the cluster is soft-only):
+    /// it outlives the node's program, which is the whole point.
+    durable: Vec<Option<DurableStore>>,
 }
 
 impl Cluster {
@@ -105,13 +123,50 @@ impl Cluster {
             ..SimConfig::default()
         };
         let mut sim: Simulator<PierNode> = Simulator::new(sim_config);
+        let mut durable = Vec::with_capacity(refs.len());
         for r in &refs {
-            sim.add_node(PierNode::with_static_ring(*r, &refs, config.pier.clone()));
+            // One DurableStore per node: keys are query-scoped, so sharing
+            // a store across nodes would collide their segment logs.
+            let disk = config.durable.then(DurableStore::new);
+            let mut pier = config.pier.clone();
+            pier.durable = disk.clone();
+            durable.push(disk);
+            sim.add_node(PierNode::with_static_ring(*r, &refs, pier));
         }
         // Let start-up timers fire and the distribution tree form (tree
         // join announcements go out within the first refresh interval).
         sim.run_for(6_000_000);
-        Cluster { sim, refs }
+        Cluster {
+            sim,
+            refs,
+            pier: config.pier.clone(),
+            durable,
+        }
+    }
+
+    /// Crash node `i` at virtual time `at`: its program state (window
+    /// stores, routing tables, installed queries) is lost; only its
+    /// [`DurableStore`], held here, survives.
+    pub fn crash_node_at(&mut self, i: usize, at: SimTime) {
+        self.sim.fail_node_at(self.refs[i].addr, at);
+    }
+
+    /// Restart a crashed node `i` at virtual time `at` with a *cold*
+    /// program but its original identity and durable disk: the overlay
+    /// re-converges around the same ring position, and the next query
+    /// re-dissemination rehydrates warm windows from the surviving
+    /// segment logs.
+    pub fn restart_node_at(&mut self, i: usize, at: SimTime) {
+        let mut pier = self.pier.clone();
+        pier.durable = self.durable[i].clone();
+        let program = PierNode::with_static_ring(self.refs[i], &self.refs, pier);
+        self.sim.restart_node_at(self.refs[i].addr, program, at);
+    }
+
+    /// Node `i`'s durable store, when the cluster was started
+    /// [`ClusterConfig::durable`] (for warm-restart assertions).
+    pub fn durable_store(&self, i: usize) -> Option<&DurableStore> {
+        self.durable[i].as_ref()
     }
 
     /// Number of nodes.

@@ -65,7 +65,7 @@ impl ContinuousNetmonConfig {
 }
 
 /// One per-window emission observed at the proxy's client.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WindowEmission {
     /// Insert/snapshot rows, latest emission per window.
     pub rows: Vec<Tuple>,

@@ -24,9 +24,14 @@
 //!   (share groups + predicate index) or independent, with optional
 //!   mid-stream install/uninstall and node churn — the multi-query sharing
 //!   equivalence and throughput driver.
-//! * [`self_monitoring`] — the telemetry dogfood workload: every node
+//! * [`self_monitoring()`] — the telemetry dogfood workload: every node
 //!   publishes its metrics hub into the `system.metrics` DHT namespace and
 //!   standing sqlish queries monitor the cluster through PIER itself.
+//! * [`chaos`] — the robustness gauntlet: continuous netmon plus shared
+//!   mqo tenants driven through seeded loss, partition and restart-storm
+//!   phases ([`pier_runtime::sim::FaultPlan`]), measuring bounded result
+//!   error, post-heal recovery time and warm restarts from durable window
+//!   segments.
 //! * [`adaptivity`] — the eddy routing-policy ablation (EXP-H, §4.2.2).
 //! * [`robustness`] — adversary fidelity and spot-checking studies
 //!   (EXP-I, §4.1.2), built on `pier-security`.
@@ -34,6 +39,7 @@
 //!   (EXP-K, §3.3.2).
 
 pub mod adaptivity;
+pub mod chaos;
 pub mod cluster;
 pub mod continuous;
 pub mod experiments;
@@ -44,6 +50,7 @@ pub mod self_monitoring;
 pub mod tenants;
 pub mod workloads;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosOutcome, ChaosSpans};
 pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
 pub use continuous::{continuous_netmon, ContinuousNetmonConfig, ContinuousOutcome};
 pub use self_monitoring::{

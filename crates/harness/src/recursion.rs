@@ -2,7 +2,7 @@
 //! distributed index joins (§3.3.2).
 //!
 //! The paper supports cyclic UFL opgraphs for recursive queries and points
-//! at declarative routing [42] as the motivating application: computing
+//! at declarative routing \[42\] as the motivating application: computing
 //! which nodes are reachable from a given node over a distributed `links`
 //! table.  This driver evaluates that query semi-naively over a simulated
 //! PIER cluster:

@@ -13,7 +13,7 @@
 //! * ordering atoms (`<`, `<=`, `>`, `>=`, `!=`) each scan the column with
 //!   an inner loop specialised to the constant's type;
 //! * members whose predicate does not decompose (disjunctions, arithmetic)
-//!   fall back to [`CompiledExpr::eval_column`] — still column-at-a-time,
+//!   fall back to `CompiledExpr::eval_column` — still column-at-a-time,
 //!   just not shared.
 //!
 //! Every atom's outcome lands in word-packed [`SelMask`]s combined with

@@ -1,6 +1,6 @@
 //! Share groups and the [`MultiQuerySharing`] implementation.
 //!
-//! A [`ShareGroup`] is the runtime of one plan fingerprint at one node: the
+//! A `ShareGroup` is the runtime of one plan fingerprint at one node: the
 //! [`PredicateIndex`] over its members' predicates, the single
 //! [`SharedWindowState`] their windows accumulate in, and the per-member
 //! residue (compiled derivation predicate, proxy address, lease, result

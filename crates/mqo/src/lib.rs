@@ -19,7 +19,7 @@
 //!   produce per-member selection [`mask`]s combined with bitwise ops —
 //!   the per-chunk cost of N members is one scan per referenced column,
 //!   not N expression walks per row.
-//! * [`layer`] — share-group execution implementing `pier-core`'s
+//! * [`mod@layer`] — share-group execution implementing `pier-core`'s
 //!   [`MultiQuerySharing`](pier_core::MultiQuerySharing) seam: each
 //!   group keeps **one** shared window store
 //!   ([`pier_cq::SharedWindowState`]) fed by the union mask, ships **one**

@@ -44,6 +44,6 @@ pub mod wire;
 pub use metrics::{percentile_rank, weighted_percentile, LatencyCdf, NetStats, NodeStats};
 pub use node::{Action, Context, NodeAddr, Program, ProgramContext};
 pub use rng::{Rng64, Zipf};
-pub use sim::{SimConfig, Simulator};
+pub use sim::{FaultCounts, FaultKind, FaultPlan, FaultRecord, SimConfig, Simulator, StormEvent};
 pub use time::{Duration, SimTime, MICROS_PER_MILLI, MICROS_PER_SEC};
 pub use wire::WireSize;

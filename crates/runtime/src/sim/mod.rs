@@ -9,9 +9,11 @@
 //! that is the point of native simulation.
 
 pub mod congestion;
+pub mod faults;
 pub mod topology;
 
 pub use congestion::{CongestionKind, CongestionState};
+pub use faults::{FaultCounts, FaultKind, FaultPlan, FaultRecord, StormEvent};
 pub use topology::{NetworkTopology, TopologyConfig};
 
 use crate::metrics::NetStats;
@@ -75,6 +77,7 @@ enum EventKind<P: Program> {
     Deliver { from: NodeAddr, msg: P::Msg },
     Timer { timer: P::Timer },
     Fail,
+    Restart { program: Box<P> },
 }
 
 struct Event<P: Program> {
@@ -130,7 +133,12 @@ pub struct Simulator<P: Program> {
     congestion: CongestionState,
     stats: NetStats,
     outputs: Vec<SimOutput<P::Out>>,
+    faults: Option<FaultPlan>,
+    fault_sink: Option<FaultSink>,
 }
+
+/// Callback journaling every injected fault (see [`Simulator::set_fault_sink`]).
+pub type FaultSink = Box<dyn FnMut(&FaultRecord)>;
 
 impl<P: Program> Simulator<P> {
     /// Create an empty simulator.
@@ -149,6 +157,36 @@ impl<P: Program> Simulator<P> {
             congestion,
             stats: NetStats::new(),
             outputs: Vec::new(),
+            faults: None,
+            fault_sink: None,
+        }
+    }
+
+    /// Install a fault plan.  Subsequent sends and dispatches consult it; the
+    /// schedule is replayed identically for equal seeds and plans.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// The installed fault plan, if any (its log records every injection).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref()
+    }
+
+    /// Install a callback invoked once per injected fault, in injection
+    /// order.  The harness uses this to mirror faults into telemetry.
+    pub fn set_fault_sink(&mut self, sink: impl FnMut(&FaultRecord) + 'static) {
+        self.fault_sink = Some(Box::new(sink));
+    }
+
+    fn flush_fault_records(&mut self) {
+        if let Some(plan) = self.faults.as_mut() {
+            let new = plan.drain_new();
+            if let Some(sink) = self.fault_sink.as_mut() {
+                for rec in &new {
+                    sink(rec);
+                }
+            }
         }
     }
 
@@ -234,6 +272,27 @@ impl<P: Program> Simulator<P> {
         });
     }
 
+    /// Schedule an in-place restart of a previously failed node at time `at`:
+    /// the address is re-occupied by `program`, whose `on_start` runs then.
+    /// Durable state (e.g. a window-segment store shared with the replaced
+    /// program) is how a restarted node comes back warm — the simulator
+    /// itself hands over nothing.
+    pub fn restart_node_at(&mut self, node: NodeAddr, program: P, at: SimTime) {
+        assert!(
+            node.index() < self.nodes.len(),
+            "restart_node_at: unknown node {node}"
+        );
+        let seq = self.next_seq();
+        self.queue.push(Event {
+            time: at.max(self.now),
+            seq,
+            node,
+            kind: EventKind::Restart {
+                program: Box::new(program),
+            },
+        });
+    }
+
     /// Immediately and gracefully remove a node: `on_stop` runs and its
     /// actions (e.g. goodbye messages) are applied, then the node is dead.
     pub fn remove_node(&mut self, node: NodeAddr) {
@@ -297,16 +356,42 @@ impl<P: Program> Simulator<P> {
             Action::Send { to, msg } => {
                 let bytes = msg.wire_size() + self.config.header_overhead;
                 self.stats.record_send(node, to, bytes);
+                // The fault plan decides how many copies arrive and with how
+                // much extra delay; an empty set means the message was lost
+                // in the network (the sender still paid for the send).
+                let copies = match self.faults.as_mut() {
+                    Some(plan) => {
+                        let copies = plan.on_send(self.now, node, to, &self.topology);
+                        self.flush_fault_records();
+                        copies
+                    }
+                    None => vec![0],
+                };
+                if copies.is_empty() {
+                    return;
+                }
                 let arrival =
                     self.congestion
                         .delivery_time(self.now, node, to, bytes, &self.topology);
-                let seq = self.next_seq();
-                self.queue.push(Event {
-                    time: arrival,
-                    seq,
-                    node: to,
-                    kind: EventKind::Deliver { from: node, msg },
-                });
+                let n = copies.len();
+                let mut msg = Some(msg);
+                for (i, extra) in copies.into_iter().enumerate() {
+                    let payload = if i + 1 == n {
+                        msg.take().expect("last copy consumes the original")
+                    } else {
+                        msg.as_ref().expect("copies remain").clone()
+                    };
+                    let seq = self.next_seq();
+                    self.queue.push(Event {
+                        time: arrival + extra,
+                        seq,
+                        node: to,
+                        kind: EventKind::Deliver {
+                            from: node,
+                            msg: payload,
+                        },
+                    });
+                }
             }
             Action::SetTimer { delay, timer } => {
                 let seq = self.next_seq();
@@ -341,7 +426,33 @@ impl<P: Program> Simulator<P> {
         );
         self.now = self.now.max(event.time);
         self.stats.last_event_time = self.now;
+        if let Some(plan) = self.faults.as_mut() {
+            plan.observe(self.now);
+        }
+        self.flush_fault_records();
         let node = event.node;
+        // A stalled node is alive but silent: its deliveries and timers are
+        // deferred (re-queued) until the stall ends, then fire in a burst —
+        // the GC-pause / overloaded-node failure mode.
+        if matches!(
+            event.kind,
+            EventKind::Deliver { .. } | EventKind::Timer { .. }
+        ) {
+            let stall_until = self
+                .faults
+                .as_ref()
+                .and_then(|plan| plan.stall_until(node, self.now));
+            if let Some(until) = stall_until {
+                let seq = self.next_seq();
+                self.queue.push(Event {
+                    time: until,
+                    seq,
+                    node,
+                    kind: event.kind,
+                });
+                return true;
+            }
+        }
         match event.kind {
             EventKind::Start => {
                 if self.is_alive(node) {
@@ -359,8 +470,24 @@ impl<P: Program> Simulator<P> {
                 }
             }
             EventKind::Fail => {
-                if node.index() < self.alive.len() {
+                if node.index() < self.alive.len() && self.alive[node.index()] {
                     self.alive[node.index()] = false;
+                    if let Some(plan) = self.faults.as_mut() {
+                        plan.record_crash(self.now, node);
+                    }
+                    self.flush_fault_records();
+                }
+            }
+            EventKind::Restart { program } => {
+                let idx = node.index();
+                if idx < self.nodes.len() && !self.alive[idx] {
+                    self.nodes[idx] = Some(*program);
+                    self.alive[idx] = true;
+                    if let Some(plan) = self.faults.as_mut() {
+                        plan.record_restart(self.now, node);
+                    }
+                    self.flush_fault_records();
+                    self.dispatch(node, |p, ctx| p.on_start(ctx));
                 }
             }
         }
@@ -378,6 +505,10 @@ impl<P: Program> Simulator<P> {
             self.step();
         }
         self.now = self.now.max(deadline);
+        if let Some(plan) = self.faults.as_mut() {
+            plan.observe(self.now);
+        }
+        self.flush_fault_records();
     }
 
     /// Run for `duration` of virtual time from the current clock.
@@ -562,6 +693,165 @@ mod tests {
         assert_eq!(sim.stats().total_msgs, 0, "late node has not started yet");
         sim.run_until(6_000_000);
         assert!(sim.stats().total_msgs >= 2);
+    }
+
+    #[test]
+    fn total_loss_drops_every_message() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(7));
+        sim.set_fault_plan(FaultPlan::new(7).with_loss(0, 10_000_000, 1.0));
+        let a = sim.add_node(Greeter::default());
+        let b = sim.add_node(Greeter {
+            peer: Some(a),
+            ..Default::default()
+        });
+        sim.run_until(2_000_000);
+        // The Hello was sent (and counted) but never delivered.
+        assert_eq!(sim.stats().total_msgs, 1);
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 0);
+        let plan = sim.fault_plan().unwrap();
+        assert_eq!(plan.counts().losses, 1);
+        assert!(matches!(plan.log()[0].kind, FaultKind::Loss { .. }));
+        let _ = b;
+    }
+
+    #[test]
+    fn duplication_delivers_twice() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(8));
+        sim.set_fault_plan(FaultPlan::new(8).with_duplication(0, 10_000_000, 1.0));
+        let a = sim.add_node(Greeter::default());
+        let _b = sim.add_node(Greeter {
+            peer: Some(a),
+            ..Default::default()
+        });
+        sim.run_until(2_000_000);
+        // Hello duplicated: a greets twice (replies are duplicated too).
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 2);
+        assert!(sim.fault_plan().unwrap().counts().duplicates >= 1);
+    }
+
+    #[test]
+    fn partition_blocks_and_heals() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(9));
+        let plan = FaultPlan::new(9).with_partition(0, 1_000_000, vec![NodeAddr(0)]);
+        sim.set_fault_plan(plan);
+        let a = sim.add_node(Greeter::default());
+        let b = sim.add_node(Greeter {
+            peer: Some(a),
+            ..Default::default()
+        });
+        sim.run_until(500_000);
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 0, "cut blocks Hello");
+        // After heal, a fresh Hello goes through.
+        sim.run_until(1_100_000);
+        sim.invoke(b, |_p, ctx| ctx.send(a, GreeterMsg::Hello));
+        sim.run_until(2_000_000);
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 1);
+        let counts = sim.fault_plan().unwrap().counts();
+        assert_eq!(counts.partition_drops, 1);
+        assert_eq!(counts.partitions_started, 1);
+        assert_eq!(counts.partitions_healed, 1);
+    }
+
+    #[test]
+    fn stalled_node_defers_then_catches_up() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(10));
+        sim.set_fault_plan(FaultPlan::new(10).with_stall(NodeAddr(0), 0, 3_000_000));
+        let a = sim.add_node(Greeter::default());
+        let _b = sim.add_node(Greeter {
+            peer: Some(a),
+            ..Default::default()
+        });
+        sim.run_until(2_999_999);
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 0, "stalled: deferred");
+        assert!(sim.is_alive(a), "stalled is not dead");
+        sim.run_until(4_000_000);
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 1, "burst after stall");
+        // a's own 1s tick was also deferred to the stall end, not dropped.
+        assert!(sim
+            .outputs()
+            .iter()
+            .any(|o| o.node == a && o.value == "tick" && o.time >= 3_000_000));
+    }
+
+    #[test]
+    fn restart_reoccupies_the_address() {
+        let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::lan(11));
+        sim.set_fault_plan(FaultPlan::new(11));
+        let a = sim.add_node(Greeter::default());
+        let b = sim.add_node(Greeter::default());
+        sim.fail_node_at(a, 100_000);
+        sim.restart_node_at(a, Greeter::default(), 2_000_000);
+        sim.run_until(1_000_000);
+        assert!(!sim.is_alive(a));
+        sim.invoke(b, |_p, ctx| ctx.send(a, GreeterMsg::Hello));
+        sim.run_until(1_500_000);
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 0, "dead nodes drop");
+        sim.run_until(2_500_000);
+        assert!(sim.is_alive(a), "restarted in place");
+        sim.invoke(b, |_p, ctx| ctx.send(a, GreeterMsg::Hello));
+        sim.run_until(3_000_000);
+        assert_eq!(sim.node(a).unwrap().greetings_seen, 1);
+        let counts = sim.fault_plan().unwrap().counts();
+        assert_eq!((counts.crashes, counts.restarts), (1, 1));
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = |seed: u64| {
+            let mut sim: Simulator<Greeter> = Simulator::new(SimConfig::internet(seed));
+            let plan = FaultPlan::new(seed)
+                .with_loss(0, 8_000_000, 0.3)
+                .with_duplication(0, 8_000_000, 0.2)
+                .with_reorder(0, 8_000_000, 0.5, 20_000)
+                .with_delay_spike(2_000_000, 4_000_000, None, 5_000, 1.0)
+                .with_partition(3_000_000, 6_000_000, vec![NodeAddr(1), NodeAddr(2)])
+                .with_stall(NodeAddr(3), 1_000_000, 2_000_000);
+            sim.set_fault_plan(plan);
+            let mut sink_seen = 0u64;
+            // A sink must observe exactly the log, in order.
+            let seen = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+            let seen2 = seen.clone();
+            sim.set_fault_sink(move |rec| seen2.borrow_mut().push(rec.clone()));
+            let a = sim.add_node(Greeter::default());
+            for _ in 0..8 {
+                sim.add_node(Greeter {
+                    peer: Some(a),
+                    ..Default::default()
+                });
+            }
+            for i in 0..9u32 {
+                let peer = NodeAddr((i + 1) % 9);
+                sim.invoke(NodeAddr(i), |_p, ctx| ctx.send(peer, GreeterMsg::Hello));
+            }
+            sim.run_until(10_000_000);
+            sink_seen += seen.borrow().len() as u64;
+            let log = sim.fault_plan().unwrap().log().to_vec();
+            assert_eq!(seen.borrow().as_slice(), log.as_slice());
+            (sim.stats().total_bytes, sim.outputs().len(), log, sink_seen)
+        };
+        let (b1, o1, l1, s1) = run(42);
+        let (b2, o2, l2, s2) = run(42);
+        assert_eq!((b1, o1, s1), (b2, o2, s2));
+        assert_eq!(l1, l2, "fault logs replay byte-for-byte");
+        assert!(!l1.is_empty());
+    }
+
+    #[test]
+    fn storm_schedule_is_pre_drawn_and_sorted() {
+        let victims = [NodeAddr(0), NodeAddr(1), NodeAddr(2)];
+        let plan = FaultPlan::new(5)
+            .with_restart_storm(1_000_000, 9_000_000, &victims, 4, 500_000, 1_500_000);
+        let storm = plan.storm();
+        assert_eq!(storm.len(), 4);
+        assert!(storm.windows(2).all(|w| w[0].crash_at <= w[1].crash_at));
+        for e in storm {
+            assert!((1_000_000..9_000_000).contains(&e.crash_at));
+            let up = e.restart_at.unwrap();
+            assert!((500_000..1_500_000).contains(&(up - e.crash_at)));
+        }
+        let plan2 = FaultPlan::new(5)
+            .with_restart_storm(1_000_000, 9_000_000, &victims, 4, 500_000, 1_500_000);
+        assert_eq!(storm, plan2.storm(), "storms replay from the seed");
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! Congestion control is a classic AIMD scheme per destination: slow start
 //! up to `ssthresh`, additive increase afterwards, multiplicative decrease
 //! (and window reset to 1) on a retransmission timeout.
+//!
+//! The window is **byte-aware**: a payload is charged
+//! `ceil(wire_size / mss)` window *segments* rather than a flat one, so a
+//! jumbo `PutBatch` occupies the window share its bytes actually consume
+//! instead of being priced like a tiny lookup (it is "fragmented against
+//! the congestion window").  The head-of-line message always transmits when
+//! nothing is in flight, so an oversized payload caps at the whole window
+//! but can never deadlock behind it.
 
 use crate::node::NodeAddr;
 use crate::time::{Duration, SimTime};
@@ -92,6 +100,8 @@ struct InFlight<M> {
     token: CcToken,
     sent_at: SimTime,
     retries: u32,
+    /// Window segments this payload occupies (`ceil(wire_size / mss)`).
+    segments: usize,
 }
 
 #[derive(Debug, Clone)]
@@ -100,6 +110,8 @@ struct PeerState<M> {
     cwnd: f64,
     ssthresh: f64,
     in_flight: HashMap<u64, InFlight<M>>,
+    /// Sum of `segments` over `in_flight` — the byte-aware window load.
+    flight_segments: usize,
     backlog: VecDeque<(M, CcToken)>,
     seen: HashSet<u64>,
 }
@@ -111,6 +123,7 @@ impl<M> Default for PeerState<M> {
             cwnd: 1.0,
             ssthresh: 16.0,
             in_flight: HashMap::new(),
+            flight_segments: 0,
             backlog: VecDeque::new(),
             seen: HashSet::new(),
         }
@@ -127,6 +140,10 @@ pub struct CcConfig {
     pub backoff: u32,
     /// Give up and report failure after this many retransmissions.
     pub max_retries: u32,
+    /// Maximum segment size, bytes: a payload is charged
+    /// `ceil(wire_size / mss)` congestion-window segments, so oversized
+    /// batches are paced by their size rather than their message count.
+    pub mss: usize,
 }
 
 impl Default for CcConfig {
@@ -135,6 +152,7 @@ impl Default for CcConfig {
             rto: 500_000,
             backoff: 2,
             max_retries: 4,
+            mss: 1_400,
         }
     }
 }
@@ -158,6 +176,9 @@ pub struct CcStats {
     pub receives: u64,
     /// Data packets discarded as duplicates (still re-acked).
     pub duplicates: u64,
+    /// Retransmission-timeout events (each collapses the window back to
+    /// slow start) — the transport-health signal hosts alarm on.
+    pub timeouts: u64,
 }
 
 /// Reliable-delivery + congestion-control state machine (one per node).
@@ -168,13 +189,18 @@ pub struct UdpCc<M> {
     stats: CcStats,
 }
 
-impl<M: Clone> Default for UdpCc<M> {
+/// Window segments a payload of `size` bytes occupies.
+fn segments_for(size: usize, mss: usize) -> usize {
+    size.div_ceil(mss.max(1)).max(1)
+}
+
+impl<M: Clone + WireSize> Default for UdpCc<M> {
     fn default() -> Self {
         Self::new(CcConfig::default())
     }
 }
 
-impl<M: Clone> UdpCc<M> {
+impl<M: Clone + WireSize> UdpCc<M> {
     /// Create a state machine with the given configuration.
     pub fn new(config: CcConfig) -> Self {
         UdpCc {
@@ -213,6 +239,12 @@ impl<M: Clone> UdpCc<M> {
             .unwrap_or(0)
     }
 
+    /// Window segments currently in flight towards `to` (the byte-aware
+    /// window load), for diagnostics.
+    pub fn flight_segments(&self, to: NodeAddr) -> usize {
+        self.peers.get(&to).map(|p| p.flight_segments).unwrap_or(0)
+    }
+
     /// Submit an application message for reliable delivery to `to`.
     pub fn send(
         &mut self,
@@ -221,9 +253,10 @@ impl<M: Clone> UdpCc<M> {
         token: CcToken,
         now: SimTime,
     ) -> Vec<CcEvent<M>> {
+        let mss = self.config.mss;
         let peer = self.peers.entry(to).or_default();
         peer.backlog.push_back((payload, token));
-        Self::drain_backlog(peer, to, now, &mut self.stats)
+        Self::drain_backlog(peer, to, now, &mut self.stats, mss)
     }
 
     fn drain_backlog(
@@ -231,15 +264,22 @@ impl<M: Clone> UdpCc<M> {
         to: NodeAddr,
         now: SimTime,
         stats: &mut CcStats,
+        mss: usize,
     ) -> Vec<CcEvent<M>> {
         let mut events = Vec::new();
-        while peer.in_flight.len() < peer.cwnd as usize + 1 {
-            let (payload, token) = match peer.backlog.pop_front() {
-                Some(x) => x,
-                None => break,
-            };
+        // Charge the head message by its size before committing to it: an
+        // oversized payload may cap out the whole window, but when nothing
+        // is in flight it always goes (no head-of-line deadlock).
+        while let Some((head, _)) = peer.backlog.front() {
+            let segments = segments_for(head.wire_size(), mss);
+            let budget = peer.cwnd as usize + 1;
+            if peer.flight_segments > 0 && peer.flight_segments + segments > budget {
+                break;
+            }
+            let (payload, token) = peer.backlog.pop_front().expect("front was just peeked");
             let seq = peer.next_seq;
             peer.next_seq += 1;
+            peer.flight_segments += segments;
             peer.in_flight.insert(
                 seq,
                 InFlight {
@@ -247,6 +287,7 @@ impl<M: Clone> UdpCc<M> {
                     token,
                     sent_at: now,
                     retries: 0,
+                    segments,
                 },
             );
             stats.transmits += 1;
@@ -282,8 +323,10 @@ impl<M: Clone> UdpCc<M> {
                 }
             }
             CcPacket::Ack { seq } => {
+                let mss = self.config.mss;
                 if let Some(peer) = self.peers.get_mut(&from) {
                     if let Some(flight) = peer.in_flight.remove(&seq) {
+                        peer.flight_segments = peer.flight_segments.saturating_sub(flight.segments);
                         self.stats.delivered += 1;
                         events.push(CcEvent::Delivered {
                             to: from,
@@ -296,7 +339,7 @@ impl<M: Clone> UdpCc<M> {
                             peer.cwnd += 1.0 / peer.cwnd;
                         }
                     }
-                    events.extend(Self::drain_backlog(peer, from, now, &mut self.stats));
+                    events.extend(Self::drain_backlog(peer, from, now, &mut self.stats, mss));
                 }
             }
         }
@@ -326,9 +369,11 @@ impl<M: Clone> UdpCc<M> {
                 // Timeout => multiplicative decrease, back to slow start.
                 peer.ssthresh = (peer.cwnd / 2.0).max(1.0);
                 peer.cwnd = 1.0;
+                self.stats.timeouts += 1;
             }
             for seq in failed {
                 let flight = peer.in_flight.remove(&seq).expect("failed seq present");
+                peer.flight_segments = peer.flight_segments.saturating_sub(flight.segments);
                 self.stats.failed += 1;
                 events.push(CcEvent::Failed {
                     to,
@@ -351,7 +396,13 @@ impl<M: Clone> UdpCc<M> {
                     },
                 });
             }
-            events.extend(Self::drain_backlog(peer, to, now, &mut self.stats));
+            events.extend(Self::drain_backlog(
+                peer,
+                to,
+                now,
+                &mut self.stats,
+                config.mss,
+            ));
         }
         events
     }
@@ -424,6 +475,7 @@ mod tests {
             rto: 100,
             backoff: 2,
             max_retries: 2,
+            ..CcConfig::default()
         };
         let mut a: UdpCc<u32> = UdpCc::new(config);
         let out = a.send(B, 5, 99, 0);
@@ -472,6 +524,7 @@ mod tests {
             rto: 100,
             backoff: 2,
             max_retries: 1,
+            ..CcConfig::default()
         };
         let mut a: UdpCc<u32> = UdpCc::new(config);
         let mut b: UdpCc<u32> = UdpCc::default();
@@ -499,11 +552,49 @@ mod tests {
                 failed: 1,
                 receives: 0,
                 duplicates: 0,
+                // One RTO event for the retransmission, one for the failure.
+                timeouts: 2,
             }
         );
         assert_eq!(b.stats().receives, 1);
         assert_eq!(b.stats().duplicates, 1);
         assert_eq!(a.in_flight_total(), 0);
+    }
+
+    #[test]
+    fn jumbo_payloads_are_charged_by_size_not_count() {
+        // mss 100: a 450-byte string payload occupies 5 window segments.
+        let mut a: UdpCc<String> = UdpCc::new(CcConfig {
+            mss: 100,
+            ..CcConfig::default()
+        });
+        let jumbo = "x".repeat(450);
+        let out = a.send(B, jumbo, 1, 0);
+        assert_eq!(
+            transmits(&out).len(),
+            1,
+            "head-of-line jumbo transmits even though it exceeds the window"
+        );
+        assert!(a.flight_segments(B) >= 5);
+
+        // A small follow-up is blocked: the jumbo's segments cap the window.
+        let out = a.send(B, "tiny".into(), 2, 1);
+        assert!(transmits(&out).is_empty(), "window full of jumbo segments");
+        assert_eq!(a.queue_depth(), 1);
+
+        // Acking the jumbo frees its segments and releases the backlog.
+        let more = a.on_packet(B, CcPacket::Ack { seq: 0 }, 10);
+        assert_eq!(transmits(&more).len(), 1);
+        assert_eq!(a.queue_depth(), 0);
+
+        // By contrast, small payloads still pack the window by count.
+        let mut c: UdpCc<String> = UdpCc::new(CcConfig {
+            mss: 100,
+            ..CcConfig::default()
+        });
+        let first = c.send(B, "a".into(), 1, 0);
+        let second = c.send(B, "b".into(), 2, 0);
+        assert_eq!(transmits(&first).len() + transmits(&second).len(), 2);
     }
 
     #[test]

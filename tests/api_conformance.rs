@@ -32,6 +32,7 @@ fn table1_udpcc_ack_and_failure_callbacks() {
         rto: 100,
         backoff: 2,
         max_retries: 1,
+        ..CcConfig::default()
     });
     let mut receiver: UdpCc<&'static str> = UdpCc::default();
     let out = sender.send(NodeAddr(9), "payload", 7, 0);

@@ -1,0 +1,108 @@
+//! Chaos-recovery integration tests: deterministic fault injection and the
+//! telemetry that documents it.
+//!
+//! Two invariants from the robustness work are pinned here rather than in
+//! the (release-built) chaos bench so that `cargo test` alone can catch a
+//! regression:
+//!
+//! 1. **Replayability** — equal-seed chaos runs produce byte-identical
+//!    telemetry traces.  Every message drop, partition and crash is driven
+//!    off the seeded [`FaultPlan`] RNG, and no send path may iterate a
+//!    hash-ordered container, or the replay diverges.
+//! 2. **Reconciliation** — the `fault.inject` / `partition.heal` events the
+//!    trace records agree exactly with the fault plan's own applied-fault
+//!    counters: telemetry is a faithful journal of the schedule, not a
+//!    best-effort sample.
+//!
+//! [`FaultPlan`]: pier::runtime::FaultPlan
+
+use pier::harness::{run_chaos, ChaosConfig};
+
+/// A deliberately small gauntlet so the debug-build test stays fast while
+/// still exercising every phase: loss, partition + heal, and a one-node
+/// crash/restart storm.
+fn small_config(seed: u64) -> ChaosConfig {
+    let mut cfg = ChaosConfig::standard(8, seed);
+    cfg.tenants = 2;
+    cfg.events_per_node_per_sec = 4;
+    cfg.sources = 16;
+    cfg.baseline_secs = 4;
+    cfg.degraded_secs = 6;
+    cfg.heal_secs = 5;
+    cfg.storm_secs = 8;
+    cfg.storm_kills = 1;
+    cfg
+}
+
+/// Count trace lines whose event kind is `event` and (optionally) whose
+/// `kind` field carries the given fault label.
+fn count_events(trace: &str, event: &str, label: Option<&str>) -> u64 {
+    let event_pat = format!("\"kind\":\"{event}\"");
+    let label_pat = label.map(|l| format!("\"kind\":\"{l}\""));
+    trace
+        .lines()
+        .filter(|line| line.contains(&event_pat))
+        .filter(|line| label_pat.as_ref().is_none_or(|p| line.contains(p)))
+        .count() as u64
+}
+
+#[test]
+fn equal_seed_chaos_runs_replay_byte_for_byte() {
+    let cfg = small_config(7);
+    let a = run_chaos(&cfg);
+    let b = run_chaos(&cfg);
+    assert!(!a.trace.is_empty(), "the trace must record the run");
+    assert_eq!(
+        a.trace, b.trace,
+        "equal-seed chaos runs must produce byte-identical telemetry traces"
+    );
+    assert_eq!(a.fault_counts, b.fault_counts);
+    assert_eq!(a.windows, b.windows, "results must replay too");
+    assert_eq!(a.restarted, b.restarted);
+}
+
+#[test]
+fn trace_fault_events_reconcile_with_the_plan() {
+    let out = run_chaos(&small_config(7));
+    let c = &out.fault_counts;
+
+    // Every applied fault appears as exactly one trace event, labelled with
+    // the plan's stable fault label.
+    assert!(c.losses > 0 && c.partition_drops > 0, "faults must fire");
+    assert_eq!(
+        count_events(&out.trace, "fault.inject", Some("loss")),
+        c.losses
+    );
+    assert_eq!(
+        count_events(&out.trace, "fault.inject", Some("partition_drop")),
+        c.partition_drops
+    );
+    assert_eq!(
+        count_events(&out.trace, "fault.inject", Some("partition_start")),
+        c.partitions_started
+    );
+    assert_eq!(
+        count_events(&out.trace, "fault.inject", Some("crash")),
+        c.crashes
+    );
+    assert_eq!(
+        count_events(&out.trace, "fault.inject", Some("restart")),
+        c.restarts
+    );
+
+    // Heals are surfaced as their own event kind (recovery, not a fault).
+    assert_eq!(
+        count_events(&out.trace, "partition.heal", None),
+        c.partitions_healed
+    );
+    assert!(c.partitions_healed > 0, "the partition must heal");
+
+    // The chaos phases never enable duplication or reordering — duplicate
+    // partial deltas would double-count through additive refinement merges.
+    assert_eq!(c.duplicates, 0);
+    assert_eq!(c.reorders, 0);
+
+    // The storm's armed crash/restart pairs all fired.
+    assert_eq!(c.restarts as usize, out.restarted.len());
+    assert!(!out.restarted.is_empty(), "the storm must restart a node");
+}
