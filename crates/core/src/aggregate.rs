@@ -9,7 +9,7 @@
 //! explicit.
 
 use crate::tuple::{Schema, Tuple};
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use pier_runtime::WireSize;
 
 /// Which aggregate function to compute.
@@ -130,10 +130,18 @@ impl AggState {
     /// aggregated column's value, or `None` when the column is absent (or
     /// for `COUNT(*)`, which takes no input).
     pub fn update_with(&mut self, func: &AggFunc, value: Option<&Value>) {
+        self.update_ref(func, value.map(Value::as_ref));
+    }
+
+    /// [`AggState::update_with`] over a borrowed column view — what the
+    /// chunk-at-a-time group-by paths feed straight from the typed buffers
+    /// (no per-row [`Value`] materialisation; MIN/MAX of a string column
+    /// allocate only when the extremum actually improves).
+    pub fn update_ref(&mut self, func: &AggFunc, value: Option<ValueRef<'_>>) {
         match (self, func) {
             (AggState::Count(n), AggFunc::Count) => *n += 1,
             (AggState::Sum(s), AggFunc::Sum(_)) => {
-                if let Some(v) = value.and_then(Value::as_f64) {
+                if let Some(v) = value.and_then(|v| v.as_f64()) {
                     *s += v;
                 }
             }
@@ -141,10 +149,12 @@ impl AggState {
                 if let Some(v) = value {
                     let better = match m {
                         None => true,
-                        Some(cur) => matches!(v.compare(cur), Some(std::cmp::Ordering::Less)),
+                        Some(cur) => {
+                            matches!(v.compare_value(cur), Some(std::cmp::Ordering::Less))
+                        }
                     };
                     if better {
-                        *m = Some(v.clone());
+                        *m = Some(v.to_value());
                     }
                 }
             }
@@ -152,15 +162,17 @@ impl AggState {
                 if let Some(v) = value {
                     let better = match m {
                         None => true,
-                        Some(cur) => matches!(v.compare(cur), Some(std::cmp::Ordering::Greater)),
+                        Some(cur) => {
+                            matches!(v.compare_value(cur), Some(std::cmp::Ordering::Greater))
+                        }
                     };
                     if better {
-                        *m = Some(v.clone());
+                        *m = Some(v.to_value());
                     }
                 }
             }
             (AggState::Avg { sum, count }, AggFunc::Avg(_)) => {
-                if let Some(v) = value.and_then(Value::as_f64) {
+                if let Some(v) = value.and_then(|v| v.as_f64()) {
                     *sum += v;
                     *count += 1;
                 }

@@ -16,8 +16,9 @@
 //! [`CompiledPredicate`] packages the per-schema compilation cache the way
 //! selections and eddies use it.
 
+use crate::column::{Bitmap, Column};
 use crate::tuple::{ChunkRow, ColumnChunk, Schema, Tuple};
-use crate::value::Value;
+use crate::value::{Value, ValueRef};
 use std::sync::Arc;
 
 /// Why an expression could not be evaluated against a tuple.
@@ -66,6 +67,21 @@ impl CmpOp {
             CmpOp::Le => ord != Greater,
             CmpOp::Gt => ord == Greater,
             CmpOp::Ge => ord != Less,
+        }
+    }
+
+    /// The comparison that holds for `b ? a` whenever `self` holds for
+    /// `a ? b` — rewrites `const op col` into `col op' const` so both shapes
+    /// share one column kernel (comparability is symmetric, so the error
+    /// rows are identical).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Le,
         }
     }
 }
@@ -324,30 +340,32 @@ impl CompiledNode {
         }
     }
 
-    /// The value of a leaf node by reference — the clone-free fast path for
-    /// comparisons over `column op constant` shapes, which dominate
+    /// The value of a leaf node as a borrowed view — the clone-free fast
+    /// path for comparisons over `column op constant` shapes, which dominate
     /// selection predicates.
-    fn leaf_ref<'v>(&'v self, get: &impl Fn(usize) -> &'v Value) -> Option<&'v Value> {
+    fn leaf_ref<'v>(&'v self, get: &impl Fn(usize) -> ValueRef<'v>) -> Option<ValueRef<'v>> {
         match self {
             CompiledNode::Col(i) => Some(get(*i)),
-            CompiledNode::Const(v) => Some(v),
+            CompiledNode::Const(v) => Some(v.as_ref()),
             _ => None,
         }
     }
 
-    /// Evaluate with `get(i)` supplying the value of column `i` — the same
-    /// semantics (including short-circuiting and error cases) as
-    /// [`Expr::eval`], minus the per-row name resolution.
-    fn eval_with<'v>(&'v self, get: &impl Fn(usize) -> &'v Value) -> Result<Value, EvalError> {
+    /// Evaluate with `get(i)` supplying a borrowed view of column `i` — the
+    /// same semantics (including short-circuiting and error cases) as
+    /// [`Expr::eval`], minus the per-row name resolution.  Views come
+    /// straight from the typed column buffers, so the leaf-compare fast path
+    /// never materialises a [`Value`].
+    fn eval_with<'v>(&'v self, get: &impl Fn(usize) -> ValueRef<'v>) -> Result<Value, EvalError> {
         match self {
-            CompiledNode::Col(i) => Ok(get(*i).clone()),
+            CompiledNode::Col(i) => Ok(get(*i).to_value()),
             CompiledNode::Missing(name) => Err(EvalError::MissingColumn(name.clone())),
             CompiledNode::Const(v) => Ok(v.clone()),
             CompiledNode::Cmp(op, l, r) => {
                 // Leaf operands compare in place — no value clones at all on
                 // the `column op constant` hot shape.
                 if let (Some(lv), Some(rv)) = (l.leaf_ref(get), r.leaf_ref(get)) {
-                    return match lv.compare(rv) {
+                    return match lv.compare(&rv) {
                         Some(ord) => Ok(Value::Bool(op.test(ord))),
                         None => Err(EvalError::TypeMismatch {
                             op: "compare",
@@ -448,10 +466,25 @@ impl CompiledNode {
                 true
             }
             CompiledNode::Col(i) => {
-                for (r, v) in chunk.column(*i).iter().enumerate() {
-                    match v {
-                        Value::Bool(b) => truth[r] = *b,
-                        _ => err[r] = true,
+                match chunk.col(*i) {
+                    Column::Bool { data, validity } => {
+                        for (r, &b) in data.iter().enumerate() {
+                            truth[r] = b;
+                        }
+                        mask_invalid(validity.as_ref(), truth, err);
+                    }
+                    Column::Values(vals) => {
+                        for (r, v) in vals.iter().enumerate() {
+                            match v {
+                                Value::Bool(b) => truth[r] = *b,
+                                _ => err[r] = true,
+                            }
+                        }
+                    }
+                    // A typed non-boolean column errors every row.
+                    _ => {
+                        truth.fill(false);
+                        err.fill(true);
                     }
                 }
                 true
@@ -467,28 +500,18 @@ impl CompiledNode {
                     true
                 }
                 (CompiledNode::Col(i), CompiledNode::Const(c)) => {
-                    cmp_col_const(*op, chunk.column(*i), c, truth, err);
+                    cmp_col_const(*op, chunk.col(*i), c, truth, err);
                     true
                 }
                 (CompiledNode::Const(c), CompiledNode::Col(i)) => {
-                    // `const op col` ⇔ `col op' const` with the ordering
-                    // reversed (Value::compare is antisymmetric).
-                    for (r, v) in chunk.column(*i).iter().enumerate() {
-                        match c.compare(v) {
-                            Some(ord) => truth[r] = op.test(ord),
-                            None => err[r] = true,
-                        }
-                    }
+                    // `const op col` ⇔ `col op' const` with the comparison
+                    // swapped (comparability is symmetric, so error rows
+                    // are identical).
+                    cmp_col_const(op.swapped(), chunk.col(*i), c, truth, err);
                     true
                 }
                 (CompiledNode::Col(a), CompiledNode::Col(b)) => {
-                    let (ca, cb) = (chunk.column(*a), chunk.column(*b));
-                    for r in 0..ca.len() {
-                        match ca[r].compare(&cb[r]) {
-                            Some(ord) => truth[r] = op.test(ord),
-                            None => err[r] = true,
-                        }
-                    }
+                    cmp_col_col(*op, chunk.col(*a), chunk.col(*b), truth, err);
                     true
                 }
                 (CompiledNode::Const(a), CompiledNode::Const(b)) => {
@@ -550,10 +573,46 @@ impl CompiledNode {
             }
             CompiledNode::Contains(col, needle) => match col.as_ref() {
                 CompiledNode::Col(i) => {
-                    for (r, v) in chunk.column(*i).iter().enumerate() {
-                        match v {
-                            Value::Str(s) => truth[r] = s.contains(needle.as_str()),
-                            _ => err[r] = true,
+                    match chunk.col(*i) {
+                        Column::Dict {
+                            codes,
+                            dict,
+                            validity,
+                        } => {
+                            // One substring scan per *distinct* value, then a
+                            // code-indexed table lookup per row.
+                            let verdicts: Vec<bool> =
+                                dict.iter().map(|s| s.contains(needle.as_str())).collect();
+                            for (r, &code) in codes.iter().enumerate() {
+                                truth[r] = verdicts[code as usize];
+                            }
+                            mask_invalid(validity.as_ref(), truth, err);
+                        }
+                        Column::Str {
+                            arena,
+                            offsets,
+                            validity,
+                        } => {
+                            // One arena-wide UTF-8 validation, then
+                            // per-row slicing (as in `cmp_col_const`).
+                            let arena = std::str::from_utf8(arena).expect("arena holds UTF-8");
+                            for r in 0..offsets.len() - 1 {
+                                let s = &arena[offsets[r] as usize..offsets[r + 1] as usize];
+                                truth[r] = s.contains(needle.as_str());
+                            }
+                            mask_invalid(validity.as_ref(), truth, err);
+                        }
+                        Column::Values(vals) => {
+                            for (r, v) in vals.iter().enumerate() {
+                                match v {
+                                    Value::Str(s) => truth[r] = s.contains(needle.as_str()),
+                                    _ => err[r] = true,
+                                }
+                            }
+                        }
+                        _ => {
+                            truth.fill(false);
+                            err.fill(true);
                         }
                     }
                     true
@@ -593,13 +652,13 @@ impl CompiledExpr {
     /// Evaluate over a row-major value slice (parallel to the compiled
     /// schema's columns).
     pub fn eval(&self, values: &[Value]) -> Result<Value, EvalError> {
-        self.root.eval_with(&|i| &values[i])
+        self.root.eval_with(&|i| values[i].as_ref())
     }
 
     /// Evaluate row `r` of a columnar chunk without materialising the row.
     pub fn eval_row(&self, chunk: &ColumnChunk, r: usize) -> Result<Value, EvalError> {
         debug_assert!(self.is_for(chunk.schema()));
-        self.root.eval_with(&|i| &chunk.column(i)[r])
+        self.root.eval_with(&|i| chunk.col(i).value_ref(r))
     }
 
     /// Evaluate a borrowed [`ChunkRow`] view (positional, allocation-free on
@@ -627,10 +686,12 @@ impl CompiledExpr {
 
     /// **Column-at-a-time** predicate evaluation: the per-row outcomes of
     /// [`CompiledExpr::matches_row`] over the whole chunk, computed by
-    /// type-specialised inner loops over each referenced column's `&[Value]`
-    /// slice and combined with bitwise mask operations — no per-row
-    /// expression-tree walk on the comparison shapes that dominate selection
-    /// predicates (`column op constant`, conjunctions/disjunctions thereof,
+    /// layout-specialised inner loops over each referenced column's typed
+    /// buffers (raw `i64`/`f64` slices, dictionary code tables, validity
+    /// words) and combined with bitwise mask operations — no per-row
+    /// expression-tree walk and no per-element enum dispatch on the
+    /// comparison shapes that dominate selection predicates
+    /// (`column op constant`, conjunctions/disjunctions thereof,
     /// `Contains`, boolean columns).
     ///
     /// Shapes the vectoriser does not cover (arithmetic, nested comparisons)
@@ -659,15 +720,138 @@ impl CompiledExpr {
     }
 }
 
-/// Compare a column slice against one constant with a loop specialised to
-/// the constant's runtime type (the innermost kernel of
+/// Overwrite the outcome of every null row with "error" (null compares to
+/// nothing — the discard-on-mismatch policy).  No-op when the column has no
+/// validity bitmap.
+fn mask_invalid(validity: Option<&Bitmap>, truth: &mut [bool], err: &mut [bool]) {
+    if let Some(v) = validity {
+        for r in 0..truth.len() {
+            if !v.get(r) {
+                truth[r] = false;
+                err[r] = true;
+            }
+        }
+    }
+}
+
+/// Compare a typed column against one constant with a kernel specialised to
+/// the column's *layout* (the innermost kernel of
 /// [`CompiledExpr::eval_column`], also reused by `pier-mqo`'s predicate
-/// index so the two never drift).  `truth[r]`/`err[r]` receive the
+/// index so the two never drift).  Native `i64`/`f64` buffers compare in a
+/// branch-free loop over raw slices; dictionary columns compare each
+/// *distinct* value once and broadcast through the code table; the fallback
+/// layout keeps the per-value loop.  `truth[r]`/`err[r]` receive the
 /// three-valued outcome exactly as per-row [`Value::compare`] would decide
-/// it: `err` rows are incomparable (type mismatch / NaN), matching the
-/// discard-on-mismatch policy.  Both slices must be parallel to `col` and
-/// are overwritten per row.
+/// it: `err` rows are incomparable (type mismatch / NaN / null), matching
+/// the discard-on-mismatch policy.  Both slices must be parallel to `col`
+/// and are overwritten per row.
 pub fn cmp_col_const(
+    op: CmpOp,
+    col: &Column,
+    constant: &Value,
+    truth: &mut [bool],
+    err: &mut [bool],
+) {
+    match (col, constant) {
+        (Column::Int { data, validity }, Value::Int(k)) => {
+            for (r, x) in data.iter().enumerate() {
+                truth[r] = op.test(x.cmp(k));
+                err[r] = false;
+            }
+            mask_invalid(validity.as_ref(), truth, err);
+        }
+        (Column::Int { data, validity }, Value::Float(k)) => {
+            for (r, x) in data.iter().enumerate() {
+                match (*x as f64).partial_cmp(k) {
+                    Some(ord) => {
+                        truth[r] = op.test(ord);
+                        err[r] = false;
+                    }
+                    None => {
+                        truth[r] = false;
+                        err[r] = true;
+                    }
+                }
+            }
+            mask_invalid(validity.as_ref(), truth, err);
+        }
+        (Column::Float { data, validity }, k) if matches!(k, Value::Int(_) | Value::Float(_)) => {
+            let k = k.as_f64().expect("numeric constant");
+            for (r, f) in data.iter().enumerate() {
+                match f.partial_cmp(&k) {
+                    Some(ord) => {
+                        truth[r] = op.test(ord);
+                        err[r] = false;
+                    }
+                    None => {
+                        truth[r] = false;
+                        err[r] = true;
+                    }
+                }
+            }
+            mask_invalid(validity.as_ref(), truth, err);
+        }
+        (Column::Bool { data, validity }, Value::Bool(k)) => {
+            for (r, b) in data.iter().enumerate() {
+                truth[r] = op.test(b.cmp(k));
+                err[r] = false;
+            }
+            mask_invalid(validity.as_ref(), truth, err);
+        }
+        (
+            Column::Dict {
+                codes,
+                dict,
+                validity,
+            },
+            Value::Str(k),
+        ) => {
+            // Compare each distinct dictionary entry once, then broadcast
+            // the verdicts through the code table.
+            let verdicts: Vec<bool> = dict
+                .iter()
+                .map(|s| op.test(s.as_ref().cmp(k.as_ref())))
+                .collect();
+            for (r, &code) in codes.iter().enumerate() {
+                truth[r] = verdicts[code as usize];
+                err[r] = false;
+            }
+            mask_invalid(validity.as_ref(), truth, err);
+        }
+        (
+            Column::Str {
+                arena,
+                offsets,
+                validity,
+            },
+            Value::Str(k),
+        ) => {
+            // Validate the arena once, then slice per row — a per-row
+            // `from_utf8` would re-walk every string on every scan.
+            let arena = std::str::from_utf8(arena).expect("arena holds UTF-8");
+            let k = k.as_ref();
+            for r in 0..offsets.len() - 1 {
+                let v = &arena[offsets[r] as usize..offsets[r + 1] as usize];
+                truth[r] = op.test(v.cmp(k));
+                err[r] = false;
+            }
+            mask_invalid(validity.as_ref(), truth, err);
+        }
+        (Column::Values(vals), constant) => {
+            cmp_values_const(op, vals, constant, truth, err);
+        }
+        // Typed layout vs a constant of an incompatible type: every row is
+        // a mismatch (nulls included).
+        _ => {
+            truth.fill(false);
+            err.fill(true);
+        }
+    }
+}
+
+/// The fallback-layout arm of [`cmp_col_const`]: a per-value loop
+/// specialised to the constant's runtime type.
+fn cmp_values_const(
     op: CmpOp,
     col: &[Value],
     constant: &Value,
@@ -714,6 +898,52 @@ pub fn cmp_col_const(
         other => {
             for (r, v) in col.iter().enumerate() {
                 match v.compare(other) {
+                    Some(ord) => truth[r] = op.test(ord),
+                    None => err[r] = true,
+                }
+            }
+        }
+    }
+}
+
+/// Column-vs-column comparison kernel: native loops when both sides share a
+/// typed all-valid layout, the borrowed-view walk otherwise.
+fn cmp_col_col(op: CmpOp, ca: &Column, cb: &Column, truth: &mut [bool], err: &mut [bool]) {
+    match (ca, cb) {
+        (
+            Column::Int {
+                data: a,
+                validity: None,
+            },
+            Column::Int {
+                data: b,
+                validity: None,
+            },
+        ) => {
+            for r in 0..a.len() {
+                truth[r] = op.test(a[r].cmp(&b[r]));
+            }
+        }
+        (
+            Column::Float {
+                data: a,
+                validity: None,
+            },
+            Column::Float {
+                data: b,
+                validity: None,
+            },
+        ) => {
+            for r in 0..a.len() {
+                match a[r].partial_cmp(&b[r]) {
+                    Some(ord) => truth[r] = op.test(ord),
+                    None => err[r] = true,
+                }
+            }
+        }
+        _ => {
+            for r in 0..ca.len() {
+                match ca.value_ref(r).compare(&cb.value_ref(r)) {
                     Some(ord) => truth[r] = op.test(ord),
                     None => err[r] = true,
                 }

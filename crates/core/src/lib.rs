@@ -8,9 +8,10 @@
 //!   (no catalog, §3.3.1), held zero-copy: values share string/bytes
 //!   payloads behind `Arc`s, tuples pair an interned `Arc<Schema>` with an
 //!   `Arc<[Value]>` (cloning is allocation-free), and [`tuple::TupleBatch`]
-//!   stores same-schema runs **columnar** ([`tuple::ColumnChunk`], one
-//!   `Vec<Value>` per column) for batch-at-a-time operator scans and
-//!   schema-amortised wire accounting.
+//!   stores same-schema runs **columnar** ([`tuple::ColumnChunk`], one typed
+//!   [`column::Column`] per column — native `i64`/`f64` buffers, dictionary
+//!   or arena strings, validity bitmaps) for batch-at-a-time operator scans
+//!   and schema-amortised wire accounting.
 //! * [`expr`] — predicate and scalar expressions with discard-on-mismatch
 //!   semantics (§3.3.4 "Malformed Tuples"), plus their compiled form
 //!   ([`expr::CompiledExpr`]/[`expr::CompiledPredicate`]): column names
@@ -62,6 +63,7 @@
 //! picture (life of a query, message flows).
 
 pub mod aggregate;
+pub mod column;
 pub mod eddy;
 pub mod expr;
 pub mod node;
@@ -76,6 +78,7 @@ pub mod tuple;
 pub mod value;
 
 pub use aggregate::{AggClass, AggFunc, AggState, PartialDecoder};
+pub use column::{Bitmap, Column, DICT_MAX};
 pub use eddy::{
     Eddy, EddyFilter, OperatorObservation, PredicateFilter, RoutingPolicy, EDDY_REORDER_ROWS,
     OBS_HALF_LIFE_ROWS,
@@ -101,4 +104,4 @@ pub use sharing::{
 pub use tuple::{
     ChunkRow, ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
 };
-pub use value::Value;
+pub use value::{Value, ValueRef};

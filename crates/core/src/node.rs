@@ -282,40 +282,11 @@ impl WindowAccumulator for GroupAgg {
 // `pier-cq`: floats are persisted as raw IEEE-754 bits, so a rehydrated
 // accumulator is *exactly* the one that was snapshotted and re-encoding it
 // reproduces identical bytes (the round-trip contract of [`SegmentCodec`]).
+// Scalars serialise through the shared wire codec ([`Value::encode`]) — one
+// tagged-LE value format for DHT messages and durable segments alike.
 
 fn seg_put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_le_bytes());
-}
-
-fn seg_put_slice(buf: &mut Vec<u8>, b: &[u8]) {
-    seg_put_u64(buf, b.len() as u64);
-    buf.extend_from_slice(b);
-}
-
-fn seg_put_value(buf: &mut Vec<u8>, v: &Value) {
-    match v {
-        Value::Null => buf.push(0),
-        Value::Bool(b) => {
-            buf.push(1);
-            buf.push(*b as u8);
-        }
-        Value::Int(i) => {
-            buf.push(2);
-            seg_put_u64(buf, *i as u64);
-        }
-        Value::Float(f) => {
-            buf.push(3);
-            seg_put_u64(buf, f.to_bits());
-        }
-        Value::Str(s) => {
-            buf.push(4);
-            seg_put_slice(buf, s.as_bytes());
-        }
-        Value::Bytes(b) => {
-            buf.push(5);
-            seg_put_slice(buf, b);
-        }
-    }
 }
 
 fn seg_put_opt_value(buf: &mut Vec<u8>, v: &Option<Value>) {
@@ -323,7 +294,7 @@ fn seg_put_opt_value(buf: &mut Vec<u8>, v: &Option<Value>) {
         None => buf.push(0),
         Some(v) => {
             buf.push(1);
-            seg_put_value(buf, v);
+            v.encode(buf);
         }
     }
 }
@@ -373,24 +344,10 @@ impl<'a> SegReader<'a> {
         Some(u64::from_le_bytes(raw))
     }
 
-    fn slice(&mut self) -> Option<&'a [u8]> {
-        let len = usize::try_from(self.u64()?).ok()?;
-        let end = self.pos.checked_add(len)?;
-        let s = self.bytes.get(self.pos..end)?;
-        self.pos = end;
-        Some(s)
-    }
-
     fn value(&mut self) -> Option<Value> {
-        Some(match self.u8()? {
-            0 => Value::Null,
-            1 => Value::Bool(self.u8()? != 0),
-            2 => Value::Int(self.u64()? as i64),
-            3 => Value::Float(f64::from_bits(self.u64()?)),
-            4 => Value::str(std::str::from_utf8(self.slice()?).ok()?),
-            5 => Value::bytes(self.slice()?),
-            _ => return None,
-        })
+        let (v, used) = Value::decode(self.bytes.get(self.pos..)?)?;
+        self.pos += used;
+        Some(v)
     }
 
     fn opt_value(&mut self) -> Option<Option<Value>> {
@@ -420,7 +377,7 @@ impl SegmentCodec for GroupAgg {
     fn encode_state(&self, buf: &mut Vec<u8>) {
         seg_put_u64(buf, self.vals.len() as u64);
         for v in &self.vals {
-            seg_put_value(buf, v);
+            v.encode(buf);
         }
         seg_put_u64(buf, self.states.len() as u64);
         for s in &self.states {
@@ -1515,22 +1472,24 @@ impl PierNode {
                     (Some(join), Some(join_spec)) => {
                         // Two-input join fed from the rehash namespace: each
                         // chunk's table name decides the side it belongs to.
-                        // Join results share one output schema, so re-packing
-                        // them re-chunks into (usually) a single run for the
-                        // pipeline's chunk-to-chunk traversal.
-                        let mut staged = Vec::new();
+                        // The join emits whole typed chunks (gathered from
+                        // both sides' stored buffers), which share one output
+                        // schema — so the staged batch flows into the
+                        // pipeline's chunk-to-chunk traversal without ever
+                        // materialising per-row tuples.
+                        let mut staged = TupleBatch::default();
                         for chunk in batch.chunks() {
                             let table = chunk.schema().table();
                             if table == join_spec.left_table {
-                                staged.extend(join.push_chunk(JoinSide::Left, chunk));
+                                staged.append(join.push_chunk_batch(JoinSide::Left, chunk));
                             } else if table == join_spec.right_table {
-                                staged.extend(join.push_chunk(JoinSide::Right, chunk));
+                                staged.append(join.push_chunk_batch(JoinSide::Right, chunk));
                             } // unknown table: discard (best effort)
                         }
                         if staged.is_empty() {
                             TupleBatch::default()
                         } else {
-                            g.pipeline.push_batch(&TupleBatch::new(staged))
+                            g.pipeline.push_batch(&staged)
                         }
                     }
                     _ => g.pipeline.push_batch(batch),
@@ -2207,7 +2166,7 @@ impl PierNode {
         let aggs = &cq.aggs;
         for r in 0..chunk.rows() {
             let event_time = time_idx
-                .and_then(|i| chunk.column(i)[r].as_i64())
+                .and_then(|i| chunk.col(i).value_ref(r).as_i64())
                 .map(|v| v.max(0) as u64)
                 .unwrap_or(now);
             let key = chunk.key_at(&group_idxs, r);
@@ -2221,7 +2180,7 @@ impl PierNode {
                         out.push('|');
                     }
                     match idx {
-                        Some(c) => chunk.column(*c)[r].write_key(&mut out),
+                        Some(c) => chunk.col(*c).value_ref(r).write_key(&mut out),
                         None => out.push('∅'),
                     }
                 }
@@ -2232,16 +2191,13 @@ impl PierNode {
                 &key,
                 dedup.as_deref(),
                 || GroupAgg {
-                    vals: group_idxs
-                        .iter()
-                        .map(|&i| chunk.column(i)[r].clone())
-                        .collect(),
+                    vals: group_idxs.iter().map(|&i| chunk.col(i).value(r)).collect(),
                     states: aggs.iter().map(AggFunc::init).collect(),
                 },
                 |acc| {
                     for ((agg, idx), state) in aggs.iter().zip(&agg_idxs).zip(acc.states.iter_mut())
                     {
-                        state.update_with(agg, idx.map(|i| &chunk.column(i)[r]));
+                        state.update_ref(agg, idx.map(|i| chunk.col(i).value_ref(r)));
                     }
                 },
             );

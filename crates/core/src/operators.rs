@@ -16,6 +16,7 @@
 //! isolation.
 
 use crate::aggregate::{AggFunc, AggState};
+use crate::column::Column;
 use crate::expr::{CompiledPredicate, Expr};
 use crate::tuple::{
     ColumnChunk, ColumnRef, ColumnResolver, Schema, SchemaRegistry, Tuple, TupleBatch,
@@ -173,18 +174,18 @@ impl LocalOperator for Projection {
     }
 
     fn push_batch(&mut self, batch: &TupleBatch) -> TupleBatch {
-        // Column gather: each projected output column is the source column
-        // copied (or a NULL run) — the output chunk is assembled without
-        // materialising a single row.
+        // Column gather: each projected output column is the source column's
+        // typed buffer cloned whole (or a NULL run) — the output chunk is
+        // assembled without materialising a single row or value.
         let mut outputs = TupleBatch::default();
         for chunk in batch.chunks() {
             let (_, out, srcs) = self.ensure(chunk.schema());
             let out = Arc::clone(out);
-            let columns: Vec<Vec<Value>> = srcs
+            let columns: Vec<Column> = srcs
                 .iter()
                 .map(|src| match src {
-                    Some(i) => chunk.column(*i).to_vec(),
-                    None => vec![Value::Null; chunk.rows()],
+                    Some(i) => chunk.col(*i).clone(),
+                    None => Column::from_values(vec![Value::Null; chunk.rows()]),
                 })
                 .collect();
             outputs.push_chunk(ColumnChunk::from_columns(out, columns, chunk.rows()));
@@ -492,16 +493,13 @@ impl LocalOperator for GroupBy {
                 let entry = match self.groups.entry(key) {
                     std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
                     std::collections::hash_map::Entry::Vacant(e) => {
-                        let vals = group_idxs
-                            .iter()
-                            .map(|&i| chunk.column(i)[r].clone())
-                            .collect();
+                        let vals = group_idxs.iter().map(|&i| chunk.col(i).value(r)).collect();
                         e.insert((vals, self.aggs.iter().map(AggFunc::init).collect()))
                     }
                 };
                 for ((agg, idx), state) in self.aggs.iter().zip(&agg_idxs).zip(entry.1.iter_mut()) {
-                    let value = idx.map(|i| &chunk.column(i)[r]);
-                    state.update_with(agg, value);
+                    let value = idx.map(|i| chunk.col(i).value_ref(r));
+                    state.update_ref(agg, value);
                 }
             }
         }
@@ -566,7 +564,7 @@ impl LocalOperator for TopK {
                 continue; // chunk lacks the order column: discard
             };
             for r in 0..chunk.rows() {
-                if chunk.column(idx)[r].as_f64().is_some() {
+                if chunk.col(idx).value_ref(r).as_f64().is_some() {
                     self.buffer.push(chunk.row(r));
                 }
             }
@@ -644,19 +642,44 @@ impl BloomFilter {
     }
 }
 
-/// One side's state in a Symmetric Hash join [Wilschut & Apers]: tuples are
-/// inserted into their side's hash table and probe the opposite side's table
-/// as they arrive, so results stream out without blocking.
+/// One side's state in the chunk-native Symmetric Hash join: arrived rows
+/// stay inside their typed [`ColumnChunk`]s and the hash table maps join
+/// keys to `(chunk, row)` locations instead of owned tuples.
+#[derive(Debug, Default)]
+struct JoinSideState {
+    /// Every chunk pushed on this side, in arrival order.  Single-tuple
+    /// pushes land as one-row chunks so both ingest paths share one state
+    /// shape (and one equivalence argument).
+    chunks: Vec<ColumnChunk>,
+    /// `join key → stored (chunk, row) locations`, in arrival order (which
+    /// is ascending `(chunk, row)` — chunks are appended, rows scanned in
+    /// order).
+    table: HashMap<String, Vec<(u32, u32)>>,
+    /// Total stored rows (sum of the table's bucket lengths).
+    rows: usize,
+}
+
+/// Symmetric Hash join [Wilschut & Apers]: rows are inserted into their
+/// side's hash table and probe the opposite side's table as they arrive, so
+/// results stream out without blocking.
 ///
-/// Key columns resolve to schema indices once per side schema, and the
-/// joined output schema is interned once per (left, right) schema pair, so
-/// the streaming inner loop is hashing plus value concatenation.
+/// The state is **chunk-native**: each side keeps its arrived
+/// [`ColumnChunk`]s intact (typed buffers and all) plus a hash table of
+/// `key → (chunk, row)` match locations.  A probing chunk collects its match
+/// indices per stored chunk and emits joined output via
+/// [`ColumnChunk::gather`] — whole typed chunks, no per-row `Tuple`
+/// materialisation on the batch path.  Key columns resolve to schema indices
+/// once per side schema, and the joined output schema is interned once per
+/// (left, right) schema pair.
+/// Parallel (probe row, stored row) gather index lists for one stored chunk.
+type GatherPair = (Vec<u32>, Vec<u32>);
+
 #[derive(Debug)]
 pub struct SymmetricHashJoin {
     left_key: ColumnResolver,
     right_key: ColumnResolver,
-    left_table: HashMap<String, Vec<Tuple>>,
-    right_table: HashMap<String, Vec<Tuple>>,
+    left: JoinSideState,
+    right: JoinSideState,
     output_table: String,
     /// `(left schema, right schema) → joined schema` single-entry cache.
     out_schema: Option<(Arc<Schema>, Arc<Schema>, Arc<Schema>)>,
@@ -681,90 +704,136 @@ impl SymmetricHashJoin {
         SymmetricHashJoin {
             left_key: ColumnResolver::new(left_key),
             right_key: ColumnResolver::new(right_key),
-            left_table: HashMap::new(),
-            right_table: HashMap::new(),
+            left: JoinSideState::default(),
+            right: JoinSideState::default(),
             output_table: output_table.into(),
             out_schema: None,
         }
     }
 
-    /// Number of tuples currently held on each side.
+    /// Number of rows currently held on each side.
     pub fn state_size(&self) -> (usize, usize) {
-        (
-            self.left_table.values().map(Vec::len).sum(),
-            self.right_table.values().map(Vec::len).sum(),
-        )
+        (self.left.rows, self.right.rows)
     }
 
     /// Insert a tuple arriving on `side`; returns the join results it
-    /// produces immediately.
+    /// produces immediately.  The tuple lands in the shared chunk-native
+    /// state as a one-row chunk.
     pub fn push_side(&mut self, side: JoinSide, tuple: Tuple) -> Vec<Tuple> {
-        let key_cols = match side {
-            JoinSide::Left => &mut self.left_key,
-            JoinSide::Right => &mut self.right_key,
-        };
-        let Some(key) = key_cols.key(&tuple) else {
-            return Vec::new(); // malformed tuple: discard
-        };
-        self.push_with_key(side, key, tuple)
+        let chunk = ColumnChunk::from_tuple(&tuple);
+        self.push_chunk_batch(side, &chunk).into_tuples()
     }
 
-    /// Insert a whole columnar chunk arriving on `side`: the key columns
-    /// resolve against the chunk's schema once, then every row is keyed by
-    /// direct column indexing and probes the opposite table — the
-    /// batch-at-a-time counterpart of [`SymmetricHashJoin::push_side`].
+    /// Insert a whole columnar chunk arriving on `side`, materialising the
+    /// joined output as owned tuples — a compatibility wrapper over
+    /// [`SymmetricHashJoin::push_chunk_batch`] for per-tuple consumers.
     pub fn push_chunk(&mut self, side: JoinSide, chunk: &ColumnChunk) -> Vec<Tuple> {
+        self.push_chunk_batch(side, chunk).into_tuples()
+    }
+
+    /// Insert a whole columnar chunk arriving on `side` and emit the joined
+    /// rows as typed chunks.
+    ///
+    /// The key columns resolve against the chunk's schema once; every row is
+    /// keyed by direct column indexing, records its `(chunk, row)` location
+    /// in this side's table, and collects the opposite side's match
+    /// locations.  Matches are grouped per stored chunk and both sides are
+    /// emitted via [`ColumnChunk::gather`] — one joined typed chunk per
+    /// (probe chunk, stored chunk) pair, never a per-row tuple build.
+    ///
+    /// Produces exactly the rows the per-tuple path would, as a multiset:
+    /// output is grouped stored-chunk-major (then probe-row order within a
+    /// group) rather than probe-row-major.
+    pub fn push_chunk_batch(&mut self, side: JoinSide, chunk: &ColumnChunk) -> TupleBatch {
+        if chunk.rows() == 0 {
+            return TupleBatch::default();
+        }
         let key_cols = match side {
             JoinSide::Left => &mut self.left_key,
             JoinSide::Right => &mut self.right_key,
         };
         let Some(idxs) = key_cols.indices_for(chunk.schema()) else {
-            return Vec::new(); // malformed chunk: discard
+            return TupleBatch::default(); // malformed chunk: discard
         };
         let idxs = idxs.to_vec();
-        let mut out = Vec::new();
-        for r in 0..chunk.rows() {
-            let key = chunk.key_at(&idxs, r);
-            out.extend(self.push_with_key(side, key, chunk.row(r)));
+        let (own, other) = match side {
+            JoinSide::Left => (&mut self.left, &self.right),
+            JoinSide::Right => (&mut self.right, &self.left),
+        };
+        let chunk_id = own.chunks.len() as u32;
+        // Per stored opposite-side chunk: parallel (probe row, stored row)
+        // gather indices, accumulated while this chunk's rows are keyed.
+        let mut matched: HashMap<u32, GatherPair> = HashMap::new();
+        let mut key = String::new();
+        for r in 0..chunk.rows() as u32 {
+            key.clear();
+            chunk.write_key_at(&idxs, r as usize, &mut key);
+            if let Some(hits) = other.table.get(key.as_str()) {
+                for &(c, sr) in hits {
+                    let (probe, stored) = matched.entry(c).or_default();
+                    probe.push(r);
+                    stored.push(sr);
+                }
+            }
+            match own.table.get_mut(key.as_str()) {
+                Some(bucket) => bucket.push((chunk_id, r)),
+                None => {
+                    own.table.insert(key.clone(), vec![(chunk_id, r)]);
+                }
+            }
+            own.rows += 1;
+        }
+        own.chunks.push(chunk.clone());
+
+        let mut out = TupleBatch::default();
+        if matched.is_empty() {
+            return out;
+        }
+        // Deterministic emission order: stored chunks in arrival order.
+        let mut groups: Vec<(u32, GatherPair)> = matched.into_iter().collect();
+        groups.sort_unstable_by_key(|(c, _)| *c);
+        for (c, (probe_rows, stored_rows)) in groups {
+            let stored = &other.chunks[c as usize];
+            let (left_chunk, left_rows, right_chunk, right_rows) = match side {
+                JoinSide::Left => (chunk, &probe_rows, stored, &stored_rows),
+                JoinSide::Right => (stored, &stored_rows, chunk, &probe_rows),
+            };
+            let joined = Self::joined_schema(
+                &mut self.out_schema,
+                &self.output_table,
+                left_chunk.schema(),
+                right_chunk.schema(),
+            );
+            let rows = probe_rows.len();
+            let mut columns: Vec<Column> = Vec::with_capacity(joined.arity());
+            for i in 0..left_chunk.schema().arity() {
+                columns.push(left_chunk.col(i).gather(left_rows));
+            }
+            for i in 0..right_chunk.schema().arity() {
+                columns.push(right_chunk.col(i).gather(right_rows));
+            }
+            out.push_chunk(ColumnChunk::from_columns(joined, columns, rows));
         }
         out
     }
 
-    /// The probe/insert step shared by the tuple and chunk paths: the key is
-    /// already extracted.
-    fn push_with_key(&mut self, side: JoinSide, key: String, tuple: Tuple) -> Vec<Tuple> {
-        let (own, other) = match side {
-            JoinSide::Left => (&mut self.left_table, &self.right_table),
-            JoinSide::Right => (&mut self.right_table, &self.left_table),
-        };
-        own.entry(key.clone()).or_default().push(tuple.clone());
-        let Some(matches) = other.get(&key) else {
-            return Vec::new();
-        };
-        let out_schema = &mut self.out_schema;
-        let output_table = &self.output_table;
-        matches
-            .iter()
-            .map(|m| {
-                let (left, right) = match side {
-                    JoinSide::Left => (&tuple, m),
-                    JoinSide::Right => (m, &tuple),
-                };
-                let hit = out_schema.as_ref().is_some_and(|(l, r, _)| {
-                    Arc::ptr_eq(l, left.schema()) && Arc::ptr_eq(r, right.schema())
-                });
-                if !hit {
-                    let joined = Tuple::join_schema(left.schema(), right.schema(), output_table);
-                    *out_schema = Some((
-                        Arc::clone(left.schema()),
-                        Arc::clone(right.schema()),
-                        joined,
-                    ));
-                }
-                let (_, _, joined) = out_schema.as_ref().expect("cache populated above");
-                left.join_with_schema(right, Arc::clone(joined))
-            })
-            .collect()
+    /// `(left schema, right schema) → joined schema` through the
+    /// single-entry cache (an associated fn so callers holding side borrows
+    /// can still reach it).
+    fn joined_schema(
+        cache: &mut Option<(Arc<Schema>, Arc<Schema>, Arc<Schema>)>,
+        output_table: &str,
+        left: &Arc<Schema>,
+        right: &Arc<Schema>,
+    ) -> Arc<Schema> {
+        let hit = cache
+            .as_ref()
+            .is_some_and(|(l, r, _)| Arc::ptr_eq(l, left) && Arc::ptr_eq(r, right));
+        if !hit {
+            let joined = Tuple::join_schema(left, right, output_table);
+            *cache = Some((Arc::clone(left), Arc::clone(right), joined));
+        }
+        Arc::clone(&cache.as_ref().expect("cache populated above").2)
     }
 }
 

@@ -25,12 +25,13 @@
 //!   interning makes pointer equality a sound schema-equality check;
 //! * [`TupleBatch`] groups same-destination tuples for a single overlay
 //!   transfer and stores them **columnar**: consecutive same-schema tuples
-//!   form a [`ColumnChunk`] holding one `Vec<Value>` per column, so
-//!   batch-at-a-time operators scan a column contiguously and the wire
-//!   accounting charges each self-describing schema once per chunk.  A
-//!   batch of interleaved schemas degrades gracefully — every schema run
-//!   becomes its own chunk, the row-major escape hatch for mixed-schema
-//!   paths.
+//!   form a [`ColumnChunk`] holding one typed [`Column`] per column (native
+//!   `i64`/`f64` buffers, dictionary/arena strings, validity bitmaps — see
+//!   [`crate::column`]), so batch-at-a-time operators scan raw buffers
+//!   contiguously and the wire accounting charges each self-describing
+//!   schema once per chunk.  A batch of interleaved schemas degrades
+//!   gracefully — every schema run becomes its own chunk, the row-major
+//!   escape hatch for mixed-schema paths.
 //!
 //! `Tuple::wire_size` still charges the full self-describing cost (schema +
 //! values), exactly as in the paper, so unbatched transfers are accounted
@@ -46,7 +47,8 @@
 //! column vectors are parallel to its schema's columns and all of equal
 //! length.
 
-use crate::value::Value;
+use crate::column::Column;
+use crate::value::{Value, ValueRef};
 use pier_runtime::WireSize;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -477,25 +479,26 @@ impl std::fmt::Display for Tuple {
     }
 }
 
-/// A run of same-schema tuples stored column-wise: one `Vec<Value>` per
-/// column, all of equal length.  Batch-at-a-time operators resolve their
-/// columns against [`ColumnChunk::schema`] once and then scan the relevant
-/// [`ColumnChunk::column`]s contiguously — no per-row schema dispatch, no
-/// per-row name lookup.
+/// A run of same-schema tuples stored column-wise: one typed [`Column`] per
+/// schema column, all of equal length — native `i64`/`f64` buffers,
+/// dictionary or arena strings, validity bitmaps for nulls, with a
+/// `Vec<Value>` fallback for mixed-type columns.  Batch-at-a-time operators
+/// resolve their columns against [`ColumnChunk::schema`] once and then scan
+/// the relevant [`ColumnChunk::col`]s' raw buffers contiguously — no per-row
+/// schema dispatch, no per-row name lookup, no per-element enum tag on the
+/// typed layouts.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnChunk {
     schema: Arc<Schema>,
-    /// `columns[c][r]` is the value of column `c` in row `r`; the outer
-    /// vector is parallel to `schema.columns()`.
-    columns: Vec<Vec<Value>>,
+    /// `columns[c]` holds column `c`'s rows; the vector is parallel to
+    /// `schema.columns()` and every column has [`ColumnChunk::rows`] rows.
+    columns: Vec<Column>,
     rows: usize,
 }
 
 impl ColumnChunk {
-    fn with_capacity(schema: Arc<Schema>, capacity: usize) -> Self {
-        let columns = (0..schema.arity())
-            .map(|_| Vec::with_capacity(capacity))
-            .collect();
+    fn with_capacity(schema: Arc<Schema>, _capacity: usize) -> Self {
+        let columns = (0..schema.arity()).map(|_| Column::new()).collect();
         ColumnChunk {
             schema,
             columns,
@@ -506,17 +509,25 @@ impl ColumnChunk {
     fn push_row(&mut self, tuple: &Tuple) {
         debug_assert!(Arc::ptr_eq(&self.schema, tuple.schema()));
         for (col, v) in self.columns.iter_mut().zip(tuple.values()) {
-            col.push(v.clone());
+            col.push_value(v);
         }
         self.rows += 1;
     }
 
-    /// Assemble a chunk directly from pre-built column vectors (the way
+    /// Build a one-row chunk holding just `tuple` (how single-tuple pushes
+    /// enter chunk-native operator state, e.g. the symmetric hash join's).
+    pub fn from_tuple(tuple: &Tuple) -> Self {
+        let mut chunk = ColumnChunk::with_capacity(Arc::clone(tuple.schema()), 1);
+        chunk.push_row(tuple);
+        chunk
+    }
+
+    /// Assemble a chunk directly from pre-built typed columns (the way
     /// batch-at-a-time operators emit their output without ever
     /// materialising a row).  `rows` disambiguates the row count for
-    /// zero-column schemas; every column vector must have exactly that
-    /// length and the outer vector must be parallel to the schema's columns.
-    pub fn from_columns(schema: Arc<Schema>, columns: Vec<Vec<Value>>, rows: usize) -> Self {
+    /// zero-column schemas; every column must have exactly that length and
+    /// the vector must be parallel to the schema's columns.
+    pub fn from_columns(schema: Arc<Schema>, columns: Vec<Column>, rows: usize) -> Self {
         debug_assert_eq!(
             schema.arity(),
             columns.len(),
@@ -533,6 +544,17 @@ impl ColumnChunk {
         }
     }
 
+    /// [`ColumnChunk::from_columns`] from row-major `Vec<Value>` columns,
+    /// running layout inference on each (the ingest path tests and the
+    /// differential oracle build reference chunks through this).
+    pub fn from_value_columns(schema: Arc<Schema>, columns: Vec<Vec<Value>>, rows: usize) -> Self {
+        ColumnChunk::from_columns(
+            schema,
+            columns.into_iter().map(Column::from_values).collect(),
+            rows,
+        )
+    }
+
     /// The shared schema of every row in this chunk.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
@@ -543,15 +565,15 @@ impl ColumnChunk {
         self.rows
     }
 
-    /// One column's values, contiguous across the chunk's rows.
-    pub fn column(&self, idx: usize) -> &[Value] {
+    /// One column's typed buffer, contiguous across the chunk's rows.
+    pub fn col(&self, idx: usize) -> &Column {
         &self.columns[idx]
     }
 
-    /// Materialise row `r` as a [`Tuple`] (one slice allocation; the values
-    /// themselves are shared).
+    /// Materialise row `r` as a [`Tuple`] (one slice allocation; dictionary
+    /// strings are shared with the chunk, arena strings are copied out).
     pub fn row(&self, r: usize) -> Tuple {
-        let values: Vec<Value> = self.columns.iter().map(|c| c[r].clone()).collect();
+        let values: Vec<Value> = self.columns.iter().map(|c| c.value(r)).collect();
         Tuple::from_schema(Arc::clone(&self.schema), values)
     }
 
@@ -563,31 +585,29 @@ impl ColumnChunk {
     }
 
     /// Copy the rows selected by `mask` (parallel to the chunk's rows) into
-    /// a new chunk of the same schema.  The survivor count is known up
-    /// front, so every column vector is allocated exactly once — emitting a
-    /// whole filtered chunk costs `O(columns)` allocations regardless of the
-    /// row count, never a per-row `Tuple` materialisation.
+    /// a new chunk of the same schema.  The survivor indices are computed
+    /// once and every column is gathered through its typed layout — emitting
+    /// a whole filtered chunk costs `O(columns)` allocations regardless of
+    /// the row count, never a per-row `Tuple` materialisation.
     pub fn filter(&self, mask: &[bool]) -> ColumnChunk {
         debug_assert_eq!(mask.len(), self.rows, "mask must be parallel to rows");
-        let kept = mask.iter().filter(|m| **m).count();
-        let columns = self
-            .columns
+        let kept: Vec<u32> = mask
             .iter()
-            .map(|col| {
-                let mut out = Vec::with_capacity(kept);
-                out.extend(
-                    col.iter()
-                        .zip(mask)
-                        .filter(|(_, m)| **m)
-                        .map(|(v, _)| v.clone()),
-                );
-                out
-            })
+            .enumerate()
+            .filter(|(_, m)| **m)
+            .map(|(r, _)| r as u32)
             .collect();
+        self.gather(&kept)
+    }
+
+    /// Gather the given rows (in order, duplicates allowed) into a new chunk
+    /// of the same schema — the building block of filters and of the
+    /// chunk-native join's match-index output path.
+    pub fn gather(&self, idx: &[u32]) -> ColumnChunk {
         ColumnChunk {
             schema: Arc::clone(&self.schema),
-            columns,
-            rows: kept,
+            columns: self.columns.iter().map(|c| c.gather(idx)).collect(),
+            rows: idx.len(),
         }
     }
 
@@ -595,13 +615,19 @@ impl ColumnChunk {
     /// the chunk-level counterpart of [`Tuple::key_at`].
     pub fn key_at(&self, indices: &[usize], r: usize) -> String {
         let mut out = String::with_capacity(12 * indices.len());
+        self.write_key_at(indices, r, &mut out);
+        out
+    }
+
+    /// Write the key of [`ColumnChunk::key_at`] into a caller-owned buffer,
+    /// so per-row key loops can reuse one allocation.
+    pub fn write_key_at(&self, indices: &[usize], r: usize, out: &mut String) {
         for (i, &idx) in indices.iter().enumerate() {
             if i > 0 {
                 out.push('|');
             }
-            self.columns[idx][r].write_key(&mut out);
+            self.columns[idx].value_ref(r).write_key(out);
         }
-        out
     }
 
     /// Iterate the chunk's rows as materialised tuples.
@@ -611,20 +637,52 @@ impl ColumnChunk {
 }
 
 impl ColumnChunk {
-    /// Wire bytes of the chunk body: a 2-byte schema reference, a 4-byte
-    /// row count, and per column a 4-byte length prefix plus the values
-    /// (each value carries its own type tag).  No per-row framing — that is
-    /// the wire saving of the columnar layout over row-major batching.  The
-    /// self-describing schema header itself is charged by the containing
+    /// Wire bytes of the chunk body: exactly the length of
+    /// [`ColumnChunk::encode_body`]'s output, computed without encoding.
+    /// The self-describing schema header itself is charged by the containing
     /// batch, once per *distinct* schema (chunks of an interleaved batch
     /// share one dictionary entry).
     fn body_wire_size(&self) -> usize {
-        2 + 4
-            + self
-                .columns
-                .iter()
-                .map(|c| 4 + c.iter().map(WireSize::wire_size).sum::<usize>())
-                .sum::<usize>()
+        2 + 4 + self.columns.iter().map(Column::encoded_len).sum::<usize>()
+    }
+
+    /// Append the chunk body's byte encoding: a `u16` column count, a `u32`
+    /// row count, then each column's typed encoding (dictionary pages, byte
+    /// arenas, packed validity words — see [`Column::encode_body`]).  The
+    /// schema is *not* encoded; it travels (or is persisted) separately and
+    /// is required to decode.
+    pub fn encode_body(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&(self.columns.len() as u16).to_le_bytes());
+        buf.extend_from_slice(&(self.rows as u32).to_le_bytes());
+        for col in &self.columns {
+            col.encode_body(buf);
+        }
+    }
+
+    /// Decode a chunk body for `schema` from the front of `buf`, returning
+    /// the chunk and the bytes consumed.  `None` on truncated input or a
+    /// column count that does not match the schema's arity.
+    pub fn decode_body(schema: Arc<Schema>, buf: &[u8]) -> Option<(ColumnChunk, usize)> {
+        let ncols = u16::from_le_bytes(buf.get(..2)?.try_into().ok()?) as usize;
+        if ncols != schema.arity() {
+            return None;
+        }
+        let rows = u32::from_le_bytes(buf.get(2..6)?.try_into().ok()?) as usize;
+        let mut at = 6;
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let (col, used) = Column::decode_body(rows, buf.get(at..)?)?;
+            columns.push(col);
+            at += used;
+        }
+        Some((
+            ColumnChunk {
+                schema,
+                columns,
+                rows,
+            },
+            at,
+        ))
     }
 }
 
@@ -669,14 +727,16 @@ impl<'a> ChunkRow<'a> {
 
     /// The value of column `idx` — positional, the resolved-index access
     /// every per-schema cache ([`ColumnResolver`], compiled expressions)
-    /// boils down to.
-    pub fn get(&self, idx: usize) -> &'a Value {
-        &self.chunk.columns[idx][self.r]
+    /// boils down to.  Returns a borrowed [`ValueRef`] (the typed layouts
+    /// have no stored [`Value`] to point at); the view is copy-free on every
+    /// layout.
+    pub fn get(&self, idx: usize) -> ValueRef<'a> {
+        self.chunk.columns[idx].value_ref(self.r)
     }
 
     /// The value of the named column, resolved through the schema (prefer
     /// [`ChunkRow::get`] with a pre-resolved index on hot paths).
-    pub fn get_named(&self, column: &str) -> Option<&'a Value> {
+    pub fn get_named(&self, column: &str) -> Option<ValueRef<'a>> {
         self.chunk.schema.position(column).map(|i| self.get(i))
     }
 
@@ -1104,8 +1164,8 @@ mod tests {
         let chunk = &batch.chunks()[0];
         assert_eq!(chunk.rows(), 10);
         assert_eq!(
-            chunk.column(1),
-            &(0..10).map(Value::Int).collect::<Vec<_>>()
+            chunk.col(1).to_values(),
+            (0..10).map(Value::Int).collect::<Vec<_>>()
         );
         // Round trip preserves order and content.
         assert_eq!(batch.clone().into_tuples(), tuples);
@@ -1265,9 +1325,12 @@ mod tests {
         // Row views read the same values positionally and by name.
         for (r, t) in tuples.iter().enumerate() {
             let view = chunk.row_view(r);
-            assert_eq!(view.get(1), &Value::Int(r as i64));
-            assert_eq!(view.get_named("src"), t.get("src"));
-            assert_eq!(view.get_named("nope"), None);
+            assert_eq!(view.get(1), ValueRef::Int(r as i64));
+            assert_eq!(
+                view.get_named("src").map(|v| v.to_value()),
+                t.get("src").cloned()
+            );
+            assert!(view.get_named("nope").is_none());
             assert_eq!(view.key_at(&[1, 0]), t.key_at(&[1, 0]));
             assert_eq!(view.to_tuple(), *t);
             assert_eq!(view.arity(), 2);
@@ -1324,6 +1387,40 @@ mod tests {
         );
         assert_eq!(rebuilt.len(), 4);
         assert_eq!(rebuilt.chunks().len(), 3);
+    }
+
+    #[test]
+    fn chunk_codec_round_trips_and_matches_wire_size() {
+        let tuples: Vec<Tuple> = (0..20)
+            .map(|i| {
+                Tuple::new(
+                    "events",
+                    vec![
+                        ("src", Value::str(format!("10.0.0.{}", i % 3))),
+                        ("port", if i == 7 { Value::Null } else { Value::Int(i) }),
+                        ("load", Value::Float(i as f64 / 2.0)),
+                    ],
+                )
+            })
+            .collect();
+        let batch = TupleBatch::new(tuples.clone());
+        let chunk = &batch.chunks()[0];
+        let mut buf = Vec::new();
+        chunk.encode_body(&mut buf);
+        assert_eq!(buf.len(), chunk.body_wire_size());
+        let (back, used) = ColumnChunk::decode_body(Arc::clone(chunk.schema()), &buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(&back, chunk);
+        assert_eq!(back.iter_rows().collect::<Vec<_>>(), tuples);
+        let mut again = Vec::new();
+        back.encode_body(&mut again);
+        assert_eq!(buf, again, "decode→re-encode must be bit-stable");
+        // Truncated bodies and arity mismatches are rejected.
+        assert!(
+            ColumnChunk::decode_body(Arc::clone(chunk.schema()), &buf[..buf.len() - 1]).is_none()
+        );
+        let other = Tuple::new("x", vec![("a", Value::Int(1))]);
+        assert!(ColumnChunk::decode_body(Arc::clone(other.schema()), &buf).is_none());
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //!
 //! Accumulators serialise through [`SegmentCodec`], implemented by the
 //! executor's aggregate partials (`pier-core`'s `GroupAgg`) and by anything
-//! else that wants durable windows.
+//! else that wants durable windows.  Scalar values inside those states use
+//! the same tagged little-endian codec as the wire (`pier-core`'s
+//! `Value::encode`/`Value::decode`), so durable snapshots and DHT payloads
+//! share one byte-level value format.
 
 use crate::window::WindowId;
 use std::collections::HashMap;

@@ -16,9 +16,12 @@
 //! dictionary-encoded: each distinct namespace string is charged once per
 //! message, mirroring the payload-level counterpart — `pier_core`'s
 //! columnar `TupleBatch`, whose wire size charges each self-describing
-//! schema once per chunk instead of once per tuple (§3.3.1's "no catalog"
-//! requirement constrains what travels between trust domains, not how often
-//! identical column names must be repeated within a single transfer).
+//! schema once per batch and then counts each chunk's **typed body
+//! encoding** exactly: native little-endian `i64`/`f64` buffers, dictionary
+//! pages and byte arenas for strings, and packed validity words (§3.3.1's
+//! "no catalog" requirement constrains what travels between trust domains,
+//! not how often identical column names or value tags must be repeated
+//! within a single transfer).
 
 use crate::naming::ObjectName;
 use crate::object_manager::StoredObject;

@@ -25,7 +25,7 @@
 
 use crate::mask::SelMask;
 use pier_core::tuple::{ColumnChunk, Schema};
-use pier_core::{CmpOp, CompiledPredicate, Expr, Value};
+use pier_core::{CmpOp, Column, CompiledPredicate, Expr, Value, ValueRef};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -117,6 +117,74 @@ struct ColumnKernel {
     entries: Vec<u32>,
     /// Ordering / inequality atoms: `(op, constant, member slot)`.
     cmps: Vec<(CmpOp, Value, u32)>,
+}
+
+/// Apply every equality atom of `kernel` to row `r` holding `v` — the
+/// layout-independent per-value dispatch, exactly what per-row predicate
+/// evaluation would conclude for the row.  The typed arms of the chunk scan
+/// are shortcuts for the `Int`/`Str` branches below; null rows and mixed
+/// layouts funnel through here.
+fn eq_scan_row(kernel: &ColumnKernel, scratch: &mut [SelMask], r: usize, v: ValueRef<'_>) {
+    match v {
+        ValueRef::Int(x) => {
+            if let Some(entries) = kernel.int_eq.get(&x) {
+                for &e in entries {
+                    scratch[e as usize].set(r);
+                }
+            }
+            for (e, c) in &kernel.float_eq {
+                if v.compare_value(c) == Some(std::cmp::Ordering::Equal) {
+                    scratch[*e as usize].set(r);
+                }
+            }
+        }
+        ValueRef::Float(f) => {
+            if f.fract() == 0.0 {
+                // Strictly below 2^53: every i64 the widening comparison
+                // could equate casts back exactly, so the hash lookup is
+                // complete.  At and beyond it, neighbours like 2^53+1 round
+                // onto the same f64.
+                if f.abs() < F64_EXACT_INT_MAX {
+                    if let Some(entries) = kernel.int_eq.get(&(f as i64)) {
+                        for &e in entries {
+                            scratch[e as usize].set(r);
+                        }
+                    }
+                } else {
+                    // Beyond the exactly-representable range the cast can
+                    // miss constants that Value::compare's widening would
+                    // equate; compare each (rare: only huge integral float
+                    // rows pay this).
+                    for (k, entries) in &kernel.int_eq {
+                        if v.compare_value(&Value::Int(*k)) == Some(std::cmp::Ordering::Equal) {
+                            for &e in entries {
+                                scratch[e as usize].set(r);
+                            }
+                        }
+                    }
+                }
+            }
+            for (e, c) in &kernel.float_eq {
+                if v.compare_value(c) == Some(std::cmp::Ordering::Equal) {
+                    scratch[*e as usize].set(r);
+                }
+            }
+        }
+        ValueRef::Str(s) => {
+            if let Some(entries) = kernel.str_eq.get(s) {
+                for &e in entries {
+                    scratch[e as usize].set(r);
+                }
+            }
+        }
+        other => {
+            for (e, c) in &kernel.misc_eq {
+                if other.compare_value(c) == Some(std::cmp::Ordering::Equal) {
+                    scratch[*e as usize].set(r);
+                }
+            }
+        }
+    }
 }
 
 /// The index compiled against one interned schema (single-entry cache,
@@ -293,73 +361,80 @@ impl PredicateIndex {
             self.scratch[entry].reset(rows, false);
         }
         for kernel in &compiled.kernels {
-            let column = chunk.column(kernel.col);
+            let column = chunk.col(kernel.col);
             // One scan resolves every equality atom on this column: the row
-            // value hashes straight to the matching entries.
+            // value hashes straight to the matching entries.  The scan is
+            // layout-specialised: native-int columns hash straight off the
+            // `i64` slice, dictionary columns resolve each distinct string
+            // once and broadcast by code, everything else borrows each row
+            // ([`Column::value_ref`]) into the shared per-value dispatch.
             if !kernel.entries.is_empty() {
-                for (r, v) in column.iter().enumerate() {
-                    match v {
-                        Value::Int(x) => {
-                            if let Some(entries) = kernel.int_eq.get(x) {
+                match column {
+                    Column::Int { data, validity } => {
+                        for (r, &x) in data.iter().enumerate() {
+                            if validity.as_ref().is_some_and(|b| !b.get(r)) {
+                                eq_scan_row(kernel, &mut self.scratch, r, ValueRef::Null);
+                                continue;
+                            }
+                            if let Some(entries) = kernel.int_eq.get(&x) {
                                 for &e in entries {
                                     self.scratch[e as usize].set(r);
                                 }
                             }
                             for (e, c) in &kernel.float_eq {
-                                if v.compare(c) == Some(std::cmp::Ordering::Equal) {
+                                if ValueRef::Int(x).compare_value(c)
+                                    == Some(std::cmp::Ordering::Equal)
+                                {
                                     self.scratch[*e as usize].set(r);
                                 }
                             }
                         }
-                        Value::Float(f) => {
-                            if f.fract() == 0.0 {
-                                // Strictly below 2^53: every i64 the
-                                // widening comparison could equate casts
-                                // back exactly, so the hash lookup is
-                                // complete.  At and beyond it, neighbours
-                                // like 2^53+1 round onto the same f64.
-                                if f.abs() < F64_EXACT_INT_MAX {
-                                    if let Some(entries) = kernel.int_eq.get(&(*f as i64)) {
-                                        for &e in entries {
-                                            self.scratch[e as usize].set(r);
-                                        }
-                                    }
-                                } else {
-                                    // Beyond the exactly-representable range
-                                    // the cast can miss constants that
-                                    // Value::compare's widening would equate;
-                                    // compare each (rare: only huge integral
-                                    // float rows pay this).
-                                    for (k, entries) in &kernel.int_eq {
-                                        if v.compare(&Value::Int(*k))
-                                            == Some(std::cmp::Ordering::Equal)
-                                        {
-                                            for &e in entries {
-                                                self.scratch[e as usize].set(r);
-                                            }
-                                        }
-                                    }
-                                }
+                    }
+                    Column::Dict {
+                        codes,
+                        dict,
+                        validity,
+                    } => {
+                        let per_code: Vec<&[u32]> = dict
+                            .iter()
+                            .map(|s| {
+                                kernel
+                                    .str_eq
+                                    .get(s.as_ref())
+                                    .map(Vec::as_slice)
+                                    .unwrap_or(&[])
+                            })
+                            .collect();
+                        for (r, &code) in codes.iter().enumerate() {
+                            if validity.as_ref().is_some_and(|b| !b.get(r)) {
+                                eq_scan_row(kernel, &mut self.scratch, r, ValueRef::Null);
+                                continue;
                             }
-                            for (e, c) in &kernel.float_eq {
-                                if v.compare(c) == Some(std::cmp::Ordering::Equal) {
-                                    self.scratch[*e as usize].set(r);
-                                }
+                            for &e in per_code[code as usize] {
+                                self.scratch[e as usize].set(r);
                             }
                         }
-                        Value::Str(s) => {
-                            if let Some(entries) = kernel.str_eq.get(s.as_ref()) {
-                                for &e in entries {
-                                    self.scratch[e as usize].set(r);
-                                }
+                    }
+                    Column::Str {
+                        arena,
+                        offsets,
+                        validity,
+                    } => {
+                        // Validate the arena once and slice rows from it —
+                        // `value_ref` would re-run `from_utf8` per row.
+                        let arena = std::str::from_utf8(arena).expect("arena holds UTF-8");
+                        for r in 0..offsets.len() - 1 {
+                            if validity.as_ref().is_some_and(|b| !b.get(r)) {
+                                eq_scan_row(kernel, &mut self.scratch, r, ValueRef::Null);
+                                continue;
                             }
+                            let s = &arena[offsets[r] as usize..offsets[r + 1] as usize];
+                            eq_scan_row(kernel, &mut self.scratch, r, ValueRef::Str(s));
                         }
-                        other => {
-                            for (e, c) in &kernel.misc_eq {
-                                if other.compare(c) == Some(std::cmp::Ordering::Equal) {
-                                    self.scratch[*e as usize].set(r);
-                                }
-                            }
+                    }
+                    _ => {
+                        for r in 0..rows {
+                            eq_scan_row(kernel, &mut self.scratch, r, column.value_ref(r));
                         }
                     }
                 }

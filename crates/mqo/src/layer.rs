@@ -217,7 +217,7 @@ impl ShareGroup {
                 continue;
             }
             let event_time = time_idx
-                .and_then(|i| chunk.column(i)[r].as_i64())
+                .and_then(|i| chunk.col(i).value_ref(r).as_i64())
                 .map(|v| v.max(0) as u64)
                 .unwrap_or(now);
             let key = chunk.key_at(&group_idxs, r);
@@ -226,16 +226,13 @@ impl ShareGroup {
                 &key,
                 None,
                 || GroupAcc {
-                    vals: group_idxs
-                        .iter()
-                        .map(|&i| chunk.column(i)[r].clone())
-                        .collect(),
+                    vals: group_idxs.iter().map(|&i| chunk.col(i).value(r)).collect(),
                     states: aggs.iter().map(AggFunc::init).collect(),
                 },
                 |acc| {
                     for ((agg, idx), state) in aggs.iter().zip(&agg_idxs).zip(acc.states.iter_mut())
                     {
-                        state.update_with(agg, idx.map(|i| &chunk.column(i)[r]));
+                        state.update_ref(agg, idx.map(|i| chunk.col(i).value_ref(r)));
                     }
                 },
             );

@@ -312,6 +312,14 @@ pub mod prelude {
     };
 }
 
+/// Case-count override from the `PROPTEST_CASES` environment variable, read
+/// once per test.  Lets CI run the same property suites at nightly depth
+/// (e.g. `PROPTEST_CASES=1024`) without touching per-test configs; unset or
+/// unparsable values leave the configured count in force.
+pub fn env_case_override() -> Option<u32> {
+    std::env::var("PROPTEST_CASES").ok()?.trim().parse().ok()
+}
+
 /// FNV-1a over a test's name, used to give every test its own seed.
 pub fn seed_from_name(name: &str) -> u64 {
     let mut h = 0xCBF2_9CE4_8422_2325u64;
@@ -366,6 +374,20 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if !(l == r) {
+            return ::core::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
 }
 
 /// Like `assert_ne!`, but reports through the proptest harness.
@@ -395,7 +417,10 @@ macro_rules! __proptest_case {
     ) => {
         $(#[$attr])*
         fn $name() {
-            let config: $crate::ProptestConfig = $cfg;
+            let mut config: $crate::ProptestConfig = $cfg;
+            if let ::core::option::Option::Some(cases) = $crate::env_case_override() {
+                config.cases = cases;
+            }
             let seed = $crate::seed_from_name(stringify!($name));
             let mut rng = $crate::TestRng::new(seed);
             for case in 0..config.cases {

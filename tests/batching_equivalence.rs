@@ -9,6 +9,18 @@ use pier::harness::continuous::{continuous_netmon, ContinuousNetmonConfig};
 use pier::harness::{Cluster, ClusterConfig};
 use pier::qp::{sqlish, JoinSpec, OpGraph, PlanBuilder, SinkSpec, SourceSpec, Tuple, Value};
 
+/// Mix the CI seed matrix into a test's default seed: `PIER_SEED`, when
+/// set, perturbs every cluster/workload seed so the equivalence properties
+/// are exercised under several distinct topologies and fault realisations
+/// (the assertions here are structural — equality between two runs over the
+/// same seed — so they must hold for *any* seed).
+fn seeded(default: u64) -> u64 {
+    match std::env::var("PIER_SEED") {
+        Ok(s) => default ^ s.trim().parse::<u64>().expect("PIER_SEED must be a u64"),
+        Err(_) => default,
+    }
+}
+
 /// Sorted display strings — a canonical multiset representation.
 fn multiset(tuples: &[Tuple]) -> Vec<String> {
     let mut rows: Vec<String> = tuples.iter().map(|t| t.to_string()).collect();
@@ -19,7 +31,7 @@ fn multiset(tuples: &[Tuple]) -> Vec<String> {
 /// The Figure-2 snapshot query (per-source counts via hierarchical
 /// aggregation) over node-local event logs.
 fn run_netmon_snapshot(batching: bool) -> (Vec<String>, u64, u64) {
-    let mut cfg = ClusterConfig::lan(14, 707);
+    let mut cfg = ClusterConfig::lan(14, seeded(707));
     cfg.pier.batching = batching;
     let mut cluster = Cluster::start(&cfg);
     // Enough distinct sources that every periodic flush ships a real pile
@@ -61,7 +73,7 @@ fn run_netmon_snapshot(batching: bool) -> (Vec<String>, u64, u64) {
 
 /// A rehash (Put/Exchange) symmetric-hash join — the other batched path.
 fn run_rehash_join(batching: bool) -> (Vec<String>, u64, u64) {
-    let mut cfg = ClusterConfig::lan(12, 909);
+    let mut cfg = ClusterConfig::lan(12, seeded(909));
     cfg.pier.batching = batching;
     let mut cluster = Cluster::start(&cfg);
     let key = vec!["b".to_string()];
@@ -133,7 +145,7 @@ fn run_rehash_join(batching: bool) -> (Vec<String>, u64, u64) {
 
 /// The continuous (standing) netmon query: per-window per-source counts.
 fn run_continuous(batching: bool) -> (Vec<String>, u64, u64) {
-    let mut cfg = ContinuousNetmonConfig::steady(10, 12, 42);
+    let mut cfg = ContinuousNetmonConfig::steady(10, 12, seeded(42));
     cfg.pier.batching = batching;
     let out = continuous_netmon(&cfg);
     let mut rows: Vec<String> = out
@@ -411,4 +423,162 @@ fn join_chunk_probe_matches_per_tuple_probe_on_netmon_rehash() {
     assert_eq!(multiset(&got), multiset(&expected));
     assert!(!got.is_empty());
     assert_eq!(chunked.state_size(), per_tuple.state_size());
+}
+
+/// The gather-based `push_chunk_batch` — the join's chunk-native fast path,
+/// which emits joined **typed chunks** directly instead of materialising
+/// row tuples — produces the same result multiset as per-tuple `push_side`
+/// on the netmon rehash workload, and its output chunks stay columnar:
+/// every chunk carries the cached joined schema and the gathered key column
+/// keeps its dictionary layout end to end (no degrade to the reference
+/// layout mid-join).
+#[test]
+fn gather_join_batch_matches_per_tuple_and_stays_typed() {
+    use pier::qp::tuple::ColumnChunk;
+    use pier::qp::{JoinSide, SymmetricHashJoin, TupleBatch};
+    // Netmon rehash shape: flows keyed by a low-cardinality source address
+    // (dictionary column) joined against a blocked-source watchlist.
+    let flows: Vec<Tuple> = (0..400)
+        .map(|i| {
+            Tuple::new(
+                "flows",
+                vec![
+                    ("src", Value::Str(format!("10.0.0.{}", i % 11).into())),
+                    ("bytes", Value::Int(i * 7)),
+                ],
+            )
+        })
+        .collect();
+    let blocked: Vec<Tuple> = (0..40)
+        .map(|i| {
+            Tuple::new(
+                "blocked",
+                vec![
+                    ("src", Value::Str(format!("10.0.0.{}", i % 14).into())),
+                    ("rule", Value::Int(i % 5)),
+                ],
+            )
+        })
+        .collect();
+    let key = vec!["src".to_string()];
+    let mut per_tuple = SymmetricHashJoin::new(key.clone(), key.clone(), "hits");
+    let mut gathered = SymmetricHashJoin::new(key.clone(), key, "hits");
+    let mut expected = Vec::new();
+    for t in flows.iter().cloned() {
+        expected.extend(per_tuple.push_side(JoinSide::Left, t));
+    }
+    for t in blocked.iter().cloned() {
+        expected.extend(per_tuple.push_side(JoinSide::Right, t));
+    }
+    let mut got: Vec<Tuple> = Vec::new();
+    let mut out_chunks: Vec<ColumnChunk> = Vec::new();
+    for (side, rows) in [(JoinSide::Left, &flows), (JoinSide::Right, &blocked)] {
+        for window in rows.chunks(64) {
+            for chunk in TupleBatch::new(window.to_vec()).chunks() {
+                let out = gathered.push_chunk_batch(side, chunk);
+                got.extend(out.iter().map(|t| t.to_owned()));
+                out_chunks.extend(out.chunks().iter().cloned());
+            }
+        }
+    }
+    assert_eq!(multiset(&got), multiset(&expected));
+    assert!(!got.is_empty());
+    assert_eq!(gathered.state_size(), per_tuple.state_size());
+    // Typed all the way through: each emitted chunk shares one joined
+    // schema and its gathered key column is still dictionary-encoded.
+    let joined_schema = out_chunks[0].schema().clone();
+    for chunk in &out_chunks {
+        assert!(
+            std::sync::Arc::ptr_eq(chunk.schema(), &joined_schema),
+            "joined schema must be cached and shared across output chunks"
+        );
+        let key_idx = chunk
+            .schema()
+            .position("src")
+            .expect("joined schema keeps the key column");
+        assert_eq!(
+            chunk.col(key_idx).layout_name(),
+            "dict",
+            "gathering a dictionary column must preserve its layout"
+        );
+    }
+}
+
+/// Same equivalence on the mqo **shared-workload** shape: many tenants'
+/// per-flow streams share one join against a slowly-changing reference
+/// table, with mixed column types (ints, floats with nulls, dictionary
+/// strings).  Chunked gather output must equal per-tuple output as a
+/// multiset even when probe chunks match rows spread over many stored
+/// chunks.
+#[test]
+fn gather_join_matches_per_tuple_on_mqo_shared_workload() {
+    use pier::qp::{JoinSide, SymmetricHashJoin, TupleBatch};
+    let packets: Vec<Tuple> = (0..500)
+        .map(|i| {
+            let mut cols = vec![
+                ("flow", Value::Int(i % 23)),
+                (
+                    "proto",
+                    Value::Str(["tcp", "udp", "icmp"][i as usize % 3].into()),
+                ),
+            ];
+            // Sparse measurement column: nulls interleave with floats.
+            if i % 4 == 0 {
+                cols.push(("rtt", Value::Null));
+            } else {
+                cols.push(("rtt", Value::Float(i as f64 / 8.0)));
+            }
+            Tuple::new("packets", cols)
+        })
+        .collect();
+    let flows: Vec<Tuple> = (0..23)
+        .map(|i| {
+            Tuple::new(
+                "flowinfo",
+                vec![("flow", Value::Int(i)), ("tenant", Value::Int(i % 4))],
+            )
+        })
+        .collect();
+    let key = vec!["flow".to_string()];
+    let mut per_tuple = SymmetricHashJoin::new(key.clone(), key.clone(), "enriched");
+    let mut gathered = SymmetricHashJoin::new(key.clone(), key, "enriched");
+    let mut expected = Vec::new();
+    let mut got = Vec::new();
+    // Interleave small reference-table updates between probe batches so
+    // probe chunks hit stored chunks on both sides.
+    let mut fi = flows.iter().cloned();
+    for (round, window) in packets.chunks(100).enumerate() {
+        if round % 2 == 0 {
+            for t in fi.by_ref().take(8) {
+                expected.extend(per_tuple.push_side(JoinSide::Right, t.clone()));
+                got.extend(
+                    gathered
+                        .push_chunk_batch(JoinSide::Right, &ColumnChunkFromTuple::chunk(&t))
+                        .into_tuples(),
+                );
+            }
+        }
+        for t in window.iter().cloned() {
+            expected.extend(per_tuple.push_side(JoinSide::Left, t));
+        }
+        for chunk in TupleBatch::new(window.to_vec()).chunks() {
+            got.extend(
+                gathered
+                    .push_chunk_batch(JoinSide::Left, chunk)
+                    .into_tuples(),
+            );
+        }
+    }
+    assert_eq!(multiset(&got), multiset(&expected));
+    assert!(!got.is_empty());
+    assert_eq!(gathered.state_size(), per_tuple.state_size());
+}
+
+/// Helper: a one-row chunk for single-tuple reference-table updates.
+struct ColumnChunkFromTuple;
+
+impl ColumnChunkFromTuple {
+    fn chunk(t: &Tuple) -> pier::qp::tuple::ColumnChunk {
+        pier::qp::tuple::ColumnChunk::from_tuple(t)
+    }
 }
