@@ -10,6 +10,11 @@
 //! prints a machine-readable JSON line; `BENCH_dht_ops.json` records a
 //! baseline run for cross-PR comparison (see `docs/BENCHMARKS.md`).
 
+// The counting allocator below is a justified unsafe site: it delegates to
+// the system allocator verbatim and only bumps a relaxed counter, so the
+// alloc/dealloc contracts are inherited.
+#![allow(unsafe_code)]
+
 use pier_bench::emit_metric;
 use pier_core::{
     CmpOp, Expr, JoinSide, LocalOperator, Pipeline, Projection, Selection, SymmetricHashJoin,

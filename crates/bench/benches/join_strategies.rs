@@ -17,8 +17,7 @@ fn main() {
             row.results,
             row.bytes,
             row.first_result_secs
-                .map(|s| format!("{s:.2}"))
-                .unwrap_or_else(|| "-".into())
+                .map_or_else(|| "-".into(), |s| format!("{s:.2}"))
         );
         emit_metric(
             "join_strategies",

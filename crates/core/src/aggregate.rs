@@ -105,7 +105,7 @@ impl WireSize for AggState {
         match self {
             AggState::Count(_) | AggState::Sum(_) => 9,
             AggState::Min(v) | AggState::Max(v) => {
-                1 + v.as_ref().map(|x| x.wire_size()).unwrap_or(0)
+                1 + v.as_ref().map_or(0, pier_runtime::WireSize::wire_size)
             }
             AggState::Avg { .. } => 17,
         }

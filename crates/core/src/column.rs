@@ -296,7 +296,7 @@ impl Column {
     pub fn is_valid(&self, r: usize) -> bool {
         match self {
             Column::Values(vals) => !vals[r].is_null(),
-            _ => self.validity().map(|v| v.get(r)).unwrap_or(true),
+            _ => self.validity().is_none_or(|v| v.get(r)),
         }
     }
 
@@ -524,12 +524,12 @@ impl Column {
         if dict.len() >= DICT_MAX {
             return None;
         }
-        dict.push(arc.map(Arc::clone).unwrap_or_else(|| Arc::from(s)));
+        dict.push(arc.map_or_else(|| Arc::from(s), Arc::clone));
         Some((dict.len() - 1) as u8)
     }
 
     fn push_str(&mut self, s: &str) {
-        self.push_str_inner(s, None)
+        self.push_str_inner(s, None);
     }
 
     fn push_str_arc(&mut self, s: &Arc<str>) {
@@ -541,7 +541,7 @@ impl Column {
             vals.push(Value::Str(Arc::clone(s)));
             return;
         }
-        self.push_str_inner(s, Some(s))
+        self.push_str_inner(s, Some(s));
     }
 
     fn push_str_inner(&mut self, s: &str, arc: Option<&Arc<str>>) {
@@ -598,10 +598,7 @@ impl Column {
                 let Column::Values(vals) = self else {
                     unreachable!()
                 };
-                vals.push(
-                    arc.map(|a| Value::Str(Arc::clone(a)))
-                        .unwrap_or_else(|| Value::str(s)),
-                );
+                vals.push(arc.map_or_else(|| Value::str(s), |a| Value::Str(Arc::clone(a))));
             }
         }
     }
@@ -620,7 +617,7 @@ impl Column {
         let mut offsets = Vec::with_capacity(codes.len() + 1);
         offsets.push(0u32);
         for (r, &code) in codes.iter().enumerate() {
-            let valid = validity.as_ref().map(|v| v.get(r)).unwrap_or(true);
+            let valid = validity.as_ref().is_none_or(|v| v.get(r));
             if valid {
                 arena.extend_from_slice(dict[code as usize].as_bytes());
             }
@@ -723,10 +720,10 @@ impl Column {
             Column::Str {
                 arena, validity, ..
             } => validity_len(validity) + 4 + arena.len() + (rows + 1) * 4,
-            Column::Values(vals) => {
-                use pier_runtime::WireSize;
-                vals.iter().map(|v| v.wire_size()).sum::<usize>()
-            }
+            Column::Values(vals) => vals
+                .iter()
+                .map(pier_runtime::WireSize::wire_size)
+                .sum::<usize>(),
         }
     }
 

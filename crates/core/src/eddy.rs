@@ -273,7 +273,7 @@ impl Eddy {
             self.tel.inc("eddy.reorders");
             let order_str = order
                 .iter()
-                .map(|i| i.to_string())
+                .map(std::string::ToString::to_string)
                 .collect::<Vec<_>>()
                 .join(",");
             self.tel

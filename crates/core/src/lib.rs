@@ -62,6 +62,7 @@
 //! See `ARCHITECTURE.md` at the repository root for the cross-crate
 //! picture (life of a query, message flows).
 
+pub mod admission;
 pub mod aggregate;
 pub mod column;
 pub mod eddy;
@@ -77,6 +78,10 @@ pub mod sqlish;
 pub mod tuple;
 pub mod value;
 
+pub use admission::{
+    AdmissionControl, AdmissionDecision, AdmissionFactory, AdmissionVerdict, EnvModel, SloBudget,
+    SloPolicy,
+};
 pub use aggregate::{AggClass, AggFunc, AggState, PartialDecoder};
 pub use column::{Bitmap, Column, DICT_MAX};
 pub use eddy::{

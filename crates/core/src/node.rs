@@ -15,6 +15,7 @@
 //! forwarded to the proxy, which delivers them to the client; execution
 //! stops when the query's timeout expires.
 
+use crate::admission::{AdmissionControl, AdmissionFactory, AdmissionVerdict, SloPolicy};
 use crate::aggregate::{AggFunc, AggState, PartialDecoder};
 use crate::operators::{GroupBy, JoinSide, LocalOperator, Pipeline, SymmetricHashJoin};
 use crate::plan::{CqSpec, Dissemination, OpGraph, OperatorSpec, QpObject, QueryPlan, SinkSpec};
@@ -78,6 +79,16 @@ pub struct PierConfig {
     /// re-dissemination re-installs it, instead of recomputing retained
     /// panes from scratch.  `None` (the default) keeps all state soft.
     pub durable: Option<DurableStore>,
+    /// Optional admission-control layer constructor (`pier_analyze`): when
+    /// set, every plan submitted at this node is statically costed *before
+    /// dissemination* and admitted, degraded to a sampled plan, or rejected
+    /// with a machine-readable report ([`PierOut::Admission`]).  `None`
+    /// (the default) admits everything unconditionally.
+    pub admission: Option<AdmissionFactory>,
+    /// Per-tenant SLO budgets and the deployment assumptions the admission
+    /// layer's cost model scales by.  Ignored without
+    /// [`PierConfig::admission`].
+    pub slo: SloPolicy,
 }
 
 impl Default for PierConfig {
@@ -91,6 +102,8 @@ impl Default for PierConfig {
             sharing: None,
             telemetry: TelemetryConfig::default(),
             durable: None,
+            admission: None,
+            slo: SloPolicy::default(),
         }
     }
 }
@@ -233,6 +246,25 @@ pub enum PierOut {
         retract: bool,
         /// The result row.
         tuple: Tuple,
+    },
+    /// The proxy's admission decision for a submitted query (emitted only
+    /// when the node is built with an admission layer,
+    /// [`crate::node::PierConfig::admission`]).  A rejected query also
+    /// receives a terminating [`PierOut::Done`]; a shed query runs with
+    /// `sample_every > 1`.
+    Admission {
+        /// The assessed query.
+        query_id: u64,
+        /// The tenant billed ([`QueryPlan::tenant`]).
+        tenant: u64,
+        /// False when the query was rejected and will not run.
+        accepted: bool,
+        /// Sampling modulus the plan was disseminated with (1 = full
+        /// fidelity, >1 = shed-to-sampling degraded mode).
+        sample_every: u32,
+        /// The machine-readable static cost report (JSON; schema in
+        /// `docs/ANALYSIS.md`).
+        report: String,
     },
 }
 
@@ -474,6 +506,9 @@ struct QueryState {
     agg_root_id: Id,
     /// Continuous-query runtime, present when the plan has a windowed sink.
     cq: Option<CqState>,
+    /// Source rows seen by a shed plan (`sample_every > 1`): the
+    /// deterministic per-query per-node sampling counter.
+    ingest_seen: u64,
 }
 
 #[derive(Debug, Default)]
@@ -517,6 +552,9 @@ pub struct PierNode {
     batch_timer_armed: bool,
     /// The multi-query sharing layer (`pier-mqo`), when configured.
     sharing: Option<Box<dyn MultiQuerySharing + Send>>,
+    /// The admission-control layer (`pier-analyze`), when configured.
+    /// Consulted at the proxy before dissemination; absent = admit all.
+    admission: Option<Box<dyn AdmissionControl + Send>>,
     /// Self-monitoring telemetry handle (shared with the overlay, the
     /// sharing layer and every installed pipeline; inert when disabled).
     tel: Telemetry,
@@ -532,11 +570,17 @@ impl PierNode {
         if let Some(layer) = sharing.as_mut() {
             layer.set_telemetry(tel.clone());
         }
+        let mut admission = config.admission.map(|factory| factory());
+        if let Some(layer) = admission.as_mut() {
+            layer.configure(&config.slo);
+            layer.set_telemetry(&tel);
+        }
         PierNode {
             overlay,
             bootstrap: None,
             rng: Rng64::new(me.id.0 ^ 0x9D5F),
             sharing,
+            admission,
             tel,
             config,
             local_tables: HashMap::new(),
@@ -558,11 +602,17 @@ impl PierNode {
         if let Some(layer) = sharing.as_mut() {
             layer.set_telemetry(tel.clone());
         }
+        let mut admission = config.admission.map(|factory| factory());
+        if let Some(layer) = admission.as_mut() {
+            layer.configure(&config.slo);
+            layer.set_telemetry(&tel);
+        }
         PierNode {
             overlay,
             bootstrap,
             rng: Rng64::new(me.id.0 ^ 0x9D5F),
             sharing,
+            admission,
             tel,
             config,
             local_tables: HashMap::new(),
@@ -590,12 +640,7 @@ impl PierNode {
     /// Number of queries currently installed at this node, counting both
     /// independent dataflows and share-group members.
     pub fn installed_queries(&self) -> usize {
-        self.queries.len()
-            + self
-                .sharing
-                .as_ref()
-                .map(|l| l.stats().members)
-                .unwrap_or(0)
+        self.queries.len() + self.sharing.as_ref().map_or(0, |l| l.stats().members)
     }
 
     /// Diagnostics of the multi-query sharing layer (`None` when the node
@@ -604,10 +649,16 @@ impl PierNode {
         self.sharing.as_ref().map(|l| l.stats())
     }
 
+    /// Queries currently holding admission budget at this proxy (`None`
+    /// when the node was built without an admission layer).
+    pub fn admitted_queries(&self) -> Option<usize> {
+        self.admission.as_ref().map(|l| l.admitted())
+    }
+
     /// Rows of a node-local table (the decoupled-storage access method over
     /// data that lives only on this node, e.g. its own firewall log).
     pub fn local_table_len(&self, table: &str) -> usize {
-        self.local_tables.get(table).map(Vec::len).unwrap_or(0)
+        self.local_tables.get(table).map_or(0, Vec::len)
     }
 
     /// Append a row to a node-local table.  Rows become visible to queries
@@ -712,6 +763,70 @@ impl PierNode {
             plan.cq = Some(CqSpec::default());
         }
         let query_id = plan.query_id;
+        // Admission: the proxy consults the static analyzer before any of
+        // the network sees the plan.  Rejected plans never disseminate —
+        // the submitter gets the machine-readable report plus a
+        // terminating `Done`; shed plans disseminate with the derived
+        // sampling modulus stamped in.
+        if let Some(layer) = self.admission.as_mut() {
+            let decision = layer.assess(&plan);
+            match decision.verdict {
+                AdmissionVerdict::Admit => {
+                    self.tel.inc("admission.admit");
+                    self.tel.event("admission.admit", || {
+                        vec![
+                            ("query", query_id.to_string()),
+                            ("tenant", plan.tenant.to_string()),
+                        ]
+                    });
+                    ctx.output(PierOut::Admission {
+                        query_id,
+                        tenant: plan.tenant,
+                        accepted: true,
+                        sample_every: plan.sample_every,
+                        report: decision.report,
+                    });
+                }
+                AdmissionVerdict::Shed { sample_every } => {
+                    plan.sample_every = sample_every.max(2);
+                    let every = plan.sample_every;
+                    self.tel.inc("admission.shed");
+                    self.tel.event("admission.shed", || {
+                        vec![
+                            ("query", query_id.to_string()),
+                            ("tenant", plan.tenant.to_string()),
+                            ("sample_every", every.to_string()),
+                        ]
+                    });
+                    ctx.output(PierOut::Admission {
+                        query_id,
+                        tenant: plan.tenant,
+                        accepted: true,
+                        sample_every: plan.sample_every,
+                        report: decision.report,
+                    });
+                }
+                AdmissionVerdict::Reject { reason } => {
+                    self.tel.inc("admission.reject");
+                    self.tel.event("admission.reject", || {
+                        vec![
+                            ("query", query_id.to_string()),
+                            ("tenant", plan.tenant.to_string()),
+                            ("reason", reason.clone()),
+                        ]
+                    });
+                    ctx.output(PierOut::Admission {
+                        query_id,
+                        tenant: plan.tenant,
+                        accepted: false,
+                        sample_every: plan.sample_every,
+                        report: decision.report,
+                    });
+                    ctx.output(PierOut::Done { query_id });
+                    return query_id;
+                }
+            }
+        }
         let mut proxy_state = ProxyState::default();
         if let Some(cq) = &plan.cq {
             // Standing query: keep the plan for periodic re-dissemination
@@ -778,7 +893,7 @@ impl PierNode {
                 match effect {
                     OverlayEffect::Send { to, msg } => ctx.send(to, PierMsg::Dht(msg)),
                     OverlayEffect::SetTimer { delay, timer } => {
-                        ctx.set_timer(delay, PierTimer::Overlay(timer))
+                        ctx.set_timer(delay, PierTimer::Overlay(timer));
                     }
                     OverlayEffect::Event(event) => {
                         next.extend(self.handle_overlay_event(ctx, event));
@@ -949,8 +1064,7 @@ impl PierNode {
         let root_id = routing_id(&window_ns, &root_key);
         let lifetime =
             q.cq.as_ref()
-                .map(|cq| cq.spec.lease)
-                .unwrap_or(0)
+                .map_or(0, |cq| cq.spec.lease)
                 .max(self.config.publish_lifetime);
         let shipment = if partials.len() == 1 {
             QpObject::Tuple(partials.into_iter().next().expect("len checked"))
@@ -1021,7 +1135,7 @@ impl PierNode {
             return false;
         };
         let mut absorbed = false;
-        for g in q.graphs.iter_mut() {
+        for g in &mut q.graphs {
             if let Some(uplink) = g.uplink.as_mut() {
                 absorbed |= uplink.merge_partial(partial);
             }
@@ -1052,7 +1166,7 @@ impl PierNode {
         // Partial aggregates arriving at the aggregation-tree root.
         if let Some(query_id) = self.query_for_partial_namespace(namespace) {
             if let Some(q) = self.queries.get_mut(&query_id) {
-                for g in q.graphs.iter_mut() {
+                for g in &mut q.graphs {
                     if let Some(root) = g.root_merge.as_mut() {
                         root.merge_partial(&tuple);
                     }
@@ -1122,7 +1236,7 @@ impl PierNode {
         if let Some(query_id) = self.query_for_partial_namespace(namespace) {
             if let Some(q) = self.queries.get_mut(&query_id) {
                 for tuple in batch.iter() {
-                    for g in q.graphs.iter_mut() {
+                    for g in &mut q.graphs {
                         if let Some(root) = g.root_merge.as_mut() {
                             root.merge_partial(&tuple);
                         }
@@ -1263,8 +1377,8 @@ impl PierNode {
             })
             .unwrap_or(2_000_000);
         let has_cq = cq.is_some();
-        let cq_slide = cq.as_ref().map(|c| c.window.slide).unwrap_or(0);
-        let cq_lease = cq.as_ref().map(|c| c.spec.lease).unwrap_or(0);
+        let cq_slide = cq.as_ref().map_or(0, |c| c.window.slide);
+        let cq_lease = cq.as_ref().map_or(0, |c| c.spec.lease);
         self.tel.inc("query.installs");
         self.tel.event("query_install", || {
             vec![
@@ -1280,6 +1394,7 @@ impl PierNode {
                 graphs,
                 agg_root_id,
                 cq,
+                ingest_seen: 0,
             },
         );
         ctx.set_timer(timeout, PierTimer::QueryEnd { query_id });
@@ -1389,6 +1504,17 @@ impl PierNode {
             let Some(q) = self.queries.get_mut(&query_id) else {
                 return Vec::new();
             };
+            // Shed-to-sampling: a degraded plan keeps one in `sample_every`
+            // *source* rows (query-scoped namespaces — rehashed join sides,
+            // shipped partials — are derived data and pass untouched).  The
+            // counter is per query per node, so equal-seed runs thin
+            // identically.
+            if q.plan.sample_every > 1 && !is_query_scoped_table(tuple.table()) {
+                q.ingest_seen += 1;
+                if (q.ingest_seen - 1) % u64::from(q.plan.sample_every) != 0 {
+                    return Vec::new();
+                }
+            }
             let Some(g) = q.graphs.get_mut(graph_idx) else {
                 return Vec::new();
             };
@@ -1450,6 +1576,21 @@ impl PierNode {
         batch: &TupleBatch,
     ) -> Vec<OverlayEffect<QpObject>> {
         let now = ctx.now();
+        // A shed plan samples per row; the chunk fast path would keep or
+        // drop whole chunks.  Degrade to per-tuple feeding — shed mode is
+        // already the degraded mode, fidelity of the thinning matters more
+        // than batch throughput.
+        if self
+            .queries
+            .get(&query_id)
+            .is_some_and(|q| q.plan.sample_every > 1)
+        {
+            let mut effects = Vec::new();
+            for tuple in batch.iter() {
+                effects.extend(self.feed_graph(ctx, query_id, graph_idx, tuple));
+            }
+            return effects;
+        }
         let outputs = {
             let Some(q) = self.queries.get_mut(&query_id) else {
                 return Vec::new();
@@ -1585,9 +1726,7 @@ impl PierNode {
                     if probe_is_key {
                         // The column already carries the inner relation's
                         // partition-key string (a secondary index tupleID).
-                        v.as_str()
-                            .map(str::to_string)
-                            .unwrap_or_else(|| v.key_string())
+                        v.as_str().map_or_else(|| v.key_string(), str::to_string)
                     } else {
                         v.key_string()
                     }
@@ -1753,7 +1892,7 @@ impl PierNode {
         let mut final_results: Vec<Tuple> = Vec::new();
         {
             let q = self.queries.get_mut(&query_id).expect("query present");
-            for g in q.graphs.iter_mut() {
+            for g in &mut q.graphs {
                 let Some(uplink) = g.uplink.as_mut() else {
                     continue;
                 };
@@ -2096,8 +2235,7 @@ impl PierNode {
             .as_mut()
             .and_then(|c| c.get(tuple))
             .and_then(Value::as_i64)
-            .map(|v| v.max(0) as u64)
-            .unwrap_or(now);
+            .map_or(now, |v| v.max(0) as u64);
         let Some(indices) = cq.group_resolver.indices(tuple) else {
             return; // malformed tuple: discard
         };
@@ -2167,8 +2305,7 @@ impl PierNode {
         for r in 0..chunk.rows() {
             let event_time = time_idx
                 .and_then(|i| chunk.col(i).value_ref(r).as_i64())
-                .map(|v| v.max(0) as u64)
-                .unwrap_or(now);
+                .map_or(now, |v| v.max(0) as u64);
             let key = chunk.key_at(&group_idxs, r);
             let dedup = if dedup_idxs.is_empty() {
                 None
@@ -2274,7 +2411,7 @@ impl PierNode {
                         Tuple::from_schema(Arc::clone(&cq.result_schema), values)
                     })
                     .collect();
-                rows.sort_by_cached_key(|t| t.to_string());
+                rows.sort_by_cached_key(std::string::ToString::to_string);
                 if !cq.final_ops.is_empty() {
                     let mut finisher = Pipeline::new(
                         cq.final_ops
@@ -2395,6 +2532,11 @@ impl PierNode {
             let mut evicted = 0u64;
             let mut open = 0u64;
             let mut groups = 0u64;
+            let mut state_bytes = 0u64;
+            let acc_bytes = |g: &GroupAgg| -> usize {
+                g.vals.iter().map(WireSize::wire_size).sum::<usize>()
+                    + g.states.iter().map(WireSize::wire_size).sum::<usize>()
+            };
             for q in self.queries.values() {
                 let Some(cq) = q.cq.as_ref() else { continue };
                 for stats in [cq.store.stats(), cq.root_store.stats()] {
@@ -2404,12 +2546,16 @@ impl PierNode {
                 }
                 open += (cq.store.open_windows() + cq.root_store.open_windows()) as u64;
                 groups += (cq.store.total_groups() + cq.root_store.total_groups()) as u64;
+                state_bytes += (cq.store.approx_state_bytes(&acc_bytes)
+                    + cq.root_store.approx_state_bytes(&acc_bytes))
+                    as u64;
             }
             self.tel.gauge("cq.accepted", accepted as f64);
             self.tel.gauge("cq.shed", shed as f64);
             self.tel.gauge("cq.evicted_windows", evicted as f64);
             self.tel.gauge("cq.open_windows", open as f64);
             self.tel.gauge("cq.state_groups", groups as f64);
+            self.tel.gauge("cq.state_bytes", state_bytes as f64);
         }
 
         // 5. Persist the surviving window state as durable segments, so a
@@ -2685,6 +2831,10 @@ impl Program for PierNode {
                     if !state.done {
                         state.done = true;
                         state.renew_plan = None;
+                        // The query's budget charge returns to its tenant.
+                        if let Some(layer) = self.admission.as_mut() {
+                            layer.release(query_id);
+                        }
                         ctx.output(PierOut::Done { query_id });
                     }
                 }
@@ -2714,8 +2864,8 @@ impl Program for PierNode {
                     _ => None,
                 };
                 if let Some(plan) = plan {
-                    let renew_every = plan.cq.map(|c| c.renew_every).unwrap_or(10_000_000).max(1);
-                    let lease = plan.cq.map(|c| c.lease).unwrap_or(renew_every * 3);
+                    let renew_every = plan.cq.map_or(10_000_000, |c| c.renew_every).max(1);
+                    let lease = plan.cq.map_or(renew_every * 3, |c| c.lease);
                     self.disseminate(ctx, plan);
                     let mut delay = renew_every;
                     if let Some(state) = self.proxied.get_mut(&query_id) {

@@ -518,7 +518,7 @@ impl LocalOperator for GroupBy {
             .collect();
         // Deterministic output order helps tests and clients (cached keys:
         // one render per row, not two per comparison).
-        out.sort_by_cached_key(|t| t.to_string());
+        out.sort_by_cached_key(std::string::ToString::to_string);
         out
     }
 }
@@ -1347,7 +1347,7 @@ mod tests {
         }
         assert_eq!(got.len(), expected.len());
         let canon = |v: &[Tuple]| {
-            let mut s: Vec<String> = v.iter().map(|t| t.to_string()).collect();
+            let mut s: Vec<String> = v.iter().map(std::string::ToString::to_string).collect();
             s.sort();
             s
         };

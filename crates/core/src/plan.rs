@@ -354,6 +354,15 @@ pub struct QueryPlan {
     /// Soft-state lifecycle for continuous queries; `None` for one-shot
     /// queries (install once, die at the timeout).
     pub cq: Option<CqSpec>,
+    /// The tenant this query is billed to (admission control charges the
+    /// plan's predicted cost against this tenant's SLO budget; `0` is the
+    /// anonymous default tenant).
+    pub tenant: u64,
+    /// Shed-to-sampling modulus stamped by admission control before
+    /// dissemination: every node keeps only one in `sample_every` source
+    /// rows for this query.  `1` (the default) is full fidelity.  The
+    /// counter is per query per node, so equal-seed runs thin identically.
+    pub sample_every: u32,
 }
 
 impl QueryPlan {
@@ -385,6 +394,8 @@ impl QueryPlan {
 
 impl WireSize for QueryPlan {
     fn wire_size(&self) -> usize {
+        // 64 covers the fixed header (ids, proxy, timeout, tenant and the
+        // sampling modulus); opgraphs are priced per spec below.
         64 + self
             .opgraphs
             .iter()
@@ -468,6 +479,7 @@ pub struct PlanBuilder {
     timeout: Duration,
     continuous: bool,
     cq: Option<CqSpec>,
+    tenant: u64,
 }
 
 impl PlanBuilder {
@@ -480,7 +492,14 @@ impl PlanBuilder {
             timeout: 30_000_000,
             continuous: false,
             cq: None,
+            tenant: 0,
         }
+    }
+
+    /// Bill the query to `tenant` (see [`QueryPlan::tenant`]).
+    pub fn tenant(mut self, tenant: u64) -> Self {
+        self.tenant = tenant;
+        self
     }
 
     /// Set the dissemination strategy.
@@ -524,6 +543,8 @@ impl PlanBuilder {
             timeout: self.timeout,
             continuous: self.continuous,
             cq: self.cq,
+            tenant: self.tenant,
+            sample_every: 1,
         }
     }
 

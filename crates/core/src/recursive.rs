@@ -33,8 +33,7 @@ use std::collections::{BTreeMap, BTreeSet};
 fn node_name(value: &Value) -> String {
     value
         .as_str()
-        .map(str::to_string)
-        .unwrap_or_else(|| value.key_string())
+        .map_or_else(|| value.key_string(), str::to_string)
 }
 
 /// A local semi-naive transitive-closure evaluator over edge tuples.
@@ -253,7 +252,10 @@ mod tests {
     fn reachability_over_a_chain_with_branches() {
         let tc = chain_and_branch();
         let (reached, rounds) = tc.reachable_from("a");
-        let expect: BTreeSet<String> = ["b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
+        let expect: BTreeSet<String> = ["b", "c", "d", "e"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(reached, expect);
         assert_eq!(rounds, 3, "d is three hops from a");
         let (from_x, _) = tc.reachable_from("x");
@@ -269,7 +271,10 @@ mod tests {
             tc.add_edge(s.into(), d.into());
         }
         let (reached, _) = tc.reachable_from("a");
-        let expect: BTreeSet<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let expect: BTreeSet<String> = ["a", "b", "c"]
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         assert_eq!(reached, expect, "a cycle reaches back to the start");
     }
 

@@ -153,9 +153,7 @@ impl Parser {
     }
 
     fn peek_is_kw(&self, kw: &str) -> bool {
-        self.peek()
-            .map(|t| t.eq_ignore_ascii_case(kw))
-            .unwrap_or(false)
+        self.peek().is_some_and(|t| t.eq_ignore_ascii_case(kw))
     }
 
     /// Parse a duration literal: `500ms`, `30s`, `2m`, `1500us`; a bare

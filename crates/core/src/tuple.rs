@@ -188,7 +188,10 @@ impl SchemaRegistry {
         }
         let schema = Arc::new(Schema::build(
             table.to_string(),
-            columns.iter().map(|c| c.to_string()).collect(),
+            columns
+                .iter()
+                .map(std::string::ToString::to_string)
+                .collect(),
         ));
         bucket.push(Arc::clone(&schema));
         schema

@@ -344,7 +344,7 @@ impl<'a> ValueRef<'a> {
             }
             ValueRef::Bytes(b) => {
                 out.push_str("x:");
-                for byte in b.iter() {
+                for byte in *b {
                     let _ = write!(out, "{byte:02x}");
                 }
             }

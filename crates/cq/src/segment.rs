@@ -199,7 +199,7 @@ impl SegmentRecord {
             }
             TAG_WATERMARK => {
                 let mut horizons = [None, None];
-                for h in horizons.iter_mut() {
+                for h in &mut horizons {
                     let present = r.u8()? != 0;
                     let v = r.u64()?;
                     *h = present.then_some(v);
@@ -379,7 +379,7 @@ impl DurableStore {
     /// Total bytes across all logs (the "disk" footprint).
     pub fn total_bytes(&self) -> usize {
         let inner = self.inner.lock().expect("durable store poisoned");
-        inner.values().map(|l| l.len()).sum()
+        inner.values().map(SegmentLog::len).sum()
     }
 
     /// Drop the log under `key` (e.g. on clean query teardown).

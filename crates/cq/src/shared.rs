@@ -119,10 +119,7 @@ impl<A: WindowAccumulator + Clone, R: Clone + PartialEq> SharedWindowState<A, R>
 
     /// Windows emitted to `member` so far.
     pub fn windows_emitted(&self, member: u64) -> u64 {
-        self.members
-            .get(&member)
-            .map(|m| m.windows_emitted)
-            .unwrap_or(0)
+        self.members.get(&member).map_or(0, |m| m.windows_emitted)
     }
 
     /// The shared local store (the absorb entry point: the caller folds the
@@ -171,7 +168,7 @@ impl<A: WindowAccumulator + Clone, R: Clone + PartialEq> SharedWindowState<A, R>
         let mut out = Vec::new();
         let mut emitted_max = None;
         for (wid, groups) in self.root.emit_due(now) {
-            for (member, sink) in self.members.iter_mut() {
+            for (member, sink) in &mut self.members {
                 let rows = derive(*member, wid, &groups);
                 let deltas = sink.tracker.emit(wid, rows);
                 if !deltas.is_empty() {

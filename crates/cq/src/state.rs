@@ -129,6 +129,27 @@ impl<A: WindowAccumulator> WindowStore<A> {
         self.windows.values().map(|w| w.groups.len()).sum()
     }
 
+    /// Approximate resident bytes of the open-window state: group keys,
+    /// accumulators (sized by the caller-supplied estimator), the
+    /// window-scoped dedup set, plus a fixed per-entry container overhead.
+    /// This is the measured counterpart of the static analyzer's
+    /// worst-case state-bytes bound (gauge `cq.state_bytes`).
+    pub fn approx_state_bytes(&self, acc_bytes: &dyn Fn(&A) -> usize) -> usize {
+        const ENTRY_OVERHEAD: usize = 48; // hash bucket + String header
+        self.windows
+            .values()
+            .map(|w| {
+                let groups: usize = w
+                    .groups
+                    .iter()
+                    .map(|(k, a)| k.len() + acc_bytes(a) + ENTRY_OVERHEAD)
+                    .sum();
+                let seen: usize = w.seen.iter().map(|k| k.len() + ENTRY_OVERHEAD).sum();
+                groups + seen + std::mem::size_of::<OpenWindow<A>>()
+            })
+            .sum()
+    }
+
     /// Fold one tuple with event time `event_time` into every window that
     /// covers it.  `dedup_key` (when given) suppresses duplicates *within
     /// each window*; `group_key` selects the accumulator; `init` creates a
@@ -528,14 +549,14 @@ mod tests {
         ];
         let mut fwd = store(spec, CqBudget::default());
         let mut rev = store(spec, CqBudget::default());
-        for (id, g, c) in parts.iter() {
+        for (id, g, c) in &parts {
             fwd.merge_partial(*id, g, c.clone());
         }
         for (id, g, c) in parts.iter().rev() {
             rev.merge_partial(*id, g, c.clone());
         }
         let norm = |mut v: Vec<(WindowId, Vec<(String, Count)>)>| {
-            for (_, groups) in v.iter_mut() {
+            for (_, groups) in &mut v {
                 groups.sort_by(|a, b| a.0.cmp(&b.0));
             }
             v

@@ -64,7 +64,10 @@ impl<V: Clone> ObjectManager<V> {
     /// Total number of live objects (may include objects whose expiry time
     /// has passed but that have not been swept yet).
     pub fn len(&self) -> usize {
-        self.groups.values().map(|g| g.len()).sum()
+        self.groups
+            .values()
+            .map(std::collections::BTreeMap::len)
+            .sum()
     }
 
     /// True when the store holds no objects.

@@ -264,8 +264,7 @@ impl Router {
     pub fn presumed_dead(&self, addr: NodeAddr, now: SimTime) -> bool {
         self.unanswered_probe
             .get(&addr)
-            .map(|&t| now.saturating_sub(t) >= self.config.liveness_timeout)
-            .unwrap_or(false)
+            .is_some_and(|&t| now.saturating_sub(t) >= self.config.liveness_timeout)
     }
 
     /// True when this node is responsible for `id`: the identifier falls in
@@ -543,8 +542,7 @@ impl Router {
                     if p.addr != self.me.addr
                         && self
                             .successor()
-                            .map(|s| p.id.strictly_between(self.me.id, s.id))
-                            .unwrap_or(false)
+                            .is_some_and(|s| p.id.strictly_between(self.me.id, s.id))
                     {
                         self.adopt_successor(p);
                     }
@@ -631,7 +629,7 @@ impl Router {
             self.membership_epoch += 1;
         }
         // Evict failed finger entries so routing stops using them.
-        for slot in self.fingers.iter_mut() {
+        for slot in &mut self.fingers {
             if let Some(f) = slot {
                 if dead.contains(&f.addr) {
                     *slot = None;

@@ -692,9 +692,9 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         continue_routing: bool,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
-        let (target, name, value, lifetime, hops) = match self.pending_upcalls.remove(&token) {
-            Some(entry) => entry,
-            None => return Vec::new(),
+        let Some((target, name, value, lifetime, hops)) = self.pending_upcalls.remove(&token)
+        else {
+            return Vec::new();
         };
         if !continue_routing {
             return Vec::new();
@@ -968,9 +968,8 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         hops: u32,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
-        let (issued_epoch, issued_at, op) = match self.pending.remove(&request_id) {
-            Some(entry) => entry,
-            None => return Vec::new(),
+        let Some((issued_epoch, issued_at, op)) = self.pending.remove(&request_id) else {
+            return Vec::new();
         };
         self.tel.inc("dht.lookups");
         self.tel.observe_count("dht.lookup_hops", hops as f64);

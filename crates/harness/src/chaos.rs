@@ -148,21 +148,21 @@ pub struct ChaosOutcome {
     pub total_msgs: u64,
     /// Bytes delivered over the same interval.
     pub total_bytes: u64,
+    /// Cluster-wide telemetry sums at the end of the run (zeros for
+    /// metrics the run never touched).
+    pub telemetry: crate::cluster::ClusterTelemetrySummary,
 }
 
 impl ChaosOutcome {
     /// Total netmon count delivered for a window across groups (last
     /// emission per group wins).
     pub fn total_for(&self, window: (SimTime, SimTime)) -> i64 {
-        self.windows
-            .get(&window)
-            .map(|w| {
-                w.rows
-                    .iter()
-                    .filter_map(|t| t.get("count").and_then(Value::as_i64))
-                    .sum()
-            })
-            .unwrap_or(0)
+        self.windows.get(&window).map_or(0, |w| {
+            w.rows
+                .iter()
+                .filter_map(|t| t.get("count").and_then(Value::as_i64))
+                .sum()
+        })
     }
 
     /// Relative error of one window against the generated ground truth.
@@ -432,7 +432,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     let fault_counts = cluster
         .sim
         .fault_plan()
-        .map(|p| p.counts())
+        .map(pier_runtime::FaultPlan::counts)
         .unwrap_or_default();
 
     // Collect netmon windows at node 0 and tenant windows at their proxies.
@@ -503,7 +503,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
     let mut expected = 0usize;
     let mut covered = 0usize;
     for (tenant, gen) in tenant_gen.iter().enumerate() {
-        for (&(start, end), _) in gen.iter() {
+        for &(start, end) in gen.keys() {
             if start < stream_begin || end > stream_end {
                 continue;
             }
@@ -548,5 +548,6 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         trace,
         total_msgs,
         total_bytes,
+        telemetry: cluster.telemetry_summary(),
     }
 }

@@ -71,6 +71,30 @@ impl ClusterConfig {
     }
 }
 
+/// Cluster-wide telemetry sums (see [`Cluster::telemetry_summary`]): the
+/// measured quantities the admission-soundness suite compares against the
+/// static [`CostReport`](pier_core::admission) bounds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClusterTelemetrySummary {
+    /// Sum over nodes of the `cq.accepted` gauge — rows accepted into
+    /// window stores (local + root), cumulative over the run.
+    pub cq_accepted: u64,
+    /// Sum over nodes of the final `cq.state_bytes` gauge.
+    pub cq_state_bytes: u64,
+    /// Largest single-node `cq.state_bytes` gauge.
+    pub max_node_state_bytes: u64,
+    /// Sum over nodes of the `dht.put_batch.entries` counter.
+    pub put_batch_entries: u64,
+    /// Sum over nodes of the `dht.put_batch.flushes` counter.
+    pub put_batch_flushes: u64,
+    /// Sum over nodes of the `admission.admit` counter.
+    pub admission_admit: u64,
+    /// Sum over nodes of the `admission.shed` counter.
+    pub admission_shed: u64,
+    /// Sum over nodes of the `admission.reject` counter.
+    pub admission_reject: u64,
+}
+
 /// The outcome of a query run through [`Cluster::run_query`].
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -288,8 +312,7 @@ impl Cluster {
             .filter(|r| {
                 self.sim
                     .node(r.addr)
-                    .map(|n| n.installed_queries() > 0)
-                    .unwrap_or(false)
+                    .is_some_and(|n| n.installed_queries() > 0)
             })
             .count();
         self.sim
@@ -336,6 +359,29 @@ impl Cluster {
     /// when the cluster runs without telemetry).
     pub fn telemetry(&self, node: NodeAddr) -> Option<Telemetry> {
         self.sim.node(node).map(|n| n.telemetry().clone())
+    }
+
+    /// Cluster-wide telemetry sums over all live nodes — the measured side
+    /// of the admission-soundness comparison (all zeros when the cluster
+    /// runs without telemetry).
+    pub fn telemetry_summary(&self) -> ClusterTelemetrySummary {
+        let mut s = ClusterTelemetrySummary::default();
+        for addr in self.sim.alive_nodes() {
+            let Some(tel) = self.telemetry(addr) else {
+                continue;
+            };
+            let accepted = tel.gauge_value("cq.accepted").unwrap_or(0.0) as u64;
+            let state_bytes = tel.gauge_value("cq.state_bytes").unwrap_or(0.0) as u64;
+            s.cq_accepted += accepted;
+            s.cq_state_bytes += state_bytes;
+            s.max_node_state_bytes = s.max_node_state_bytes.max(state_bytes);
+            s.put_batch_entries += tel.counter("dht.put_batch.entries");
+            s.put_batch_flushes += tel.counter("dht.put_batch.flushes");
+            s.admission_admit += tel.counter("admission.admit");
+            s.admission_shed += tel.counter("admission.shed");
+            s.admission_reject += tel.counter("admission.reject");
+        }
+        s
     }
 
     /// Feed the simulator's per-node [`NetStats`](pier_runtime::NetStats)
@@ -470,7 +516,7 @@ mod tests {
         );
         for t in outcome.tuples() {
             let src = t.get("src").and_then(|v| v.as_str()).unwrap().to_string();
-            let count = t.get("count").and_then(|v| v.as_i64()).unwrap();
+            let count = t.get("count").and_then(pier_core::Value::as_i64).unwrap();
             assert_eq!(count, expected[src.as_str()], "count for {src}");
         }
     }

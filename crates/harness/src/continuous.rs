@@ -104,6 +104,9 @@ pub struct ContinuousOutcome {
     pub total_msgs: u64,
     /// Bytes delivered over the same interval.
     pub total_bytes: u64,
+    /// Cluster-wide telemetry sums at the end of the run (all zeros when
+    /// the cluster ran without telemetry).
+    pub telemetry: crate::cluster::ClusterTelemetrySummary,
 }
 
 impl ContinuousOutcome {
@@ -120,15 +123,12 @@ impl ContinuousOutcome {
 
     /// Total count delivered for a window across groups (last emissions).
     pub fn total_for(&self, window: (SimTime, SimTime)) -> i64 {
-        self.windows
-            .get(&window)
-            .map(|w| {
-                w.rows
-                    .iter()
-                    .filter_map(|t| t.get("count").and_then(Value::as_i64))
-                    .sum()
-            })
-            .unwrap_or(0)
+        self.windows.get(&window).map_or(0, |w| {
+            w.rows
+                .iter()
+                .filter_map(|t| t.get("count").and_then(Value::as_i64))
+                .sum()
+        })
     }
 }
 
@@ -304,5 +304,6 @@ pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
         max_node_state,
         total_msgs,
         total_bytes,
+        telemetry: cluster.telemetry_summary(),
     }
 }

@@ -51,10 +51,12 @@ pub mod tenants;
 pub mod workloads;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosOutcome, ChaosSpans};
-pub use cluster::{Cluster, ClusterConfig, QueryOutcome};
+pub use cluster::{Cluster, ClusterConfig, ClusterTelemetrySummary, QueryOutcome};
 pub use continuous::{continuous_netmon, ContinuousNetmonConfig, ContinuousOutcome};
 pub use self_monitoring::{
     self_monitoring, MetricWindow, SelfMonitoringConfig, SelfMonitoringOutcome,
 };
-pub use tenants::{many_tenants, ManyTenantsConfig, ManyTenantsOutcome, TenantResult};
+pub use tenants::{
+    many_tenants, AdmissionOutcome, ManyTenantsConfig, ManyTenantsOutcome, TenantResult,
+};
 pub use workloads::{FilesharingWorkload, FirewallWorkload};

@@ -93,6 +93,19 @@ fn source_addr(rank: usize) -> String {
     format!("10.0.{}.{}", (rank / 256) % 256, rank % 256)
 }
 
+/// The admission decision a tenant's proxy reported for its query
+/// (captured from [`PierOut::Admission`]; absent when the cluster runs
+/// without an admission layer).
+#[derive(Debug, Clone)]
+pub struct AdmissionOutcome {
+    /// Whether the query was admitted (possibly shed to sampling).
+    pub accepted: bool,
+    /// Sampling stride imposed by shed-to-sampling (1 = full stream).
+    pub sample_every: u32,
+    /// The machine-readable decision envelope (JSON) from the analyzer.
+    pub report: String,
+}
+
 /// One tenant's collected results.
 #[derive(Debug, Clone)]
 pub struct TenantResult {
@@ -102,6 +115,9 @@ pub struct TenantResult {
     pub proxy: NodeAddr,
     /// The source this tenant watches.
     pub src: String,
+    /// Admission decision for this tenant's query, if an admission layer
+    /// was configured on the cluster.
+    pub admission: Option<AdmissionOutcome>,
     /// Virtual time the tenant's query was submitted.
     pub installed_at: SimTime,
     /// Virtual time the tenant's query times out.
@@ -149,6 +165,9 @@ pub struct ManyTenantsOutcome {
     pub residual_groups: usize,
     /// Share-group members still alive anywhere after the run.
     pub residual_members: usize,
+    /// Cluster-wide telemetry sums at the end of the run (all zeros when
+    /// the cluster ran without telemetry).
+    pub telemetry: crate::cluster::ClusterTelemetrySummary,
 }
 
 impl ManyTenantsOutcome {
@@ -200,8 +219,11 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
         let (src, sql) = cfg.tenant_query(tenant);
         let proxy = cluster.addr(tenant % cfg.nodes);
         let now = cluster.sim.now();
-        let plan = sqlish::compile(&sql, proxy, ends_at.saturating_sub(now).max(1_000_000))
+        let mut plan = sqlish::compile(&sql, proxy, ends_at.saturating_sub(now).max(1_000_000))
             .expect("tenant query compiles");
+        // Tenant rank doubles as the SLO tenant id, so per-tenant budgets
+        // in `PierConfig::slo` attach to the right queries.
+        plan.tenant = tenant as u64;
         let mut query_id = 0u64;
         cluster.sim.invoke(proxy, |node, ctx| {
             query_id = node.submit_query(ctx, plan);
@@ -210,6 +232,7 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
             query_id,
             proxy,
             src,
+            admission: None,
             installed_at: now,
             ends_at,
             windows: BTreeMap::new(),
@@ -308,7 +331,11 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
         cluster.sim.run_for(tick);
         if cfg.sharing {
             for addr in cluster.sim.alive_nodes() {
-                if let Some(stats) = cluster.sim.node(addr).and_then(|n| n.sharing_stats()) {
+                if let Some(stats) = cluster
+                    .sim
+                    .node(addr)
+                    .and_then(pier_core::PierNode::sharing_stats)
+                {
                     max_shared_groups = max_shared_groups.max(stats.groups);
                 }
             }
@@ -329,36 +356,57 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
         .map(|(i, t)| (t.query_id, i))
         .collect();
     for out in cluster.sim.drain_outputs() {
-        if let PierOut::WindowResult {
-            query_id,
-            window_start,
-            window_end,
-            retract,
-            tuple,
-        } = out.value
-        {
-            let Some(&idx) = by_query.get(&query_id) else {
-                continue;
-            };
-            if tenants[idx].proxy != out.node {
-                continue;
+        match out.value {
+            PierOut::WindowResult {
+                query_id,
+                window_start,
+                window_end,
+                retract,
+                tuple,
+            } => {
+                let Some(&idx) = by_query.get(&query_id) else {
+                    continue;
+                };
+                if tenants[idx].proxy != out.node {
+                    continue;
+                }
+                let tenant = &mut tenants[idx];
+                if !retract {
+                    tenant
+                        .result_latency
+                        .add(out.time.saturating_sub(window_end) as f64);
+                }
+                let rows = tenant
+                    .windows
+                    .entry((window_start, window_end))
+                    .or_default();
+                if retract {
+                    rows.retain(|t| *t != tuple);
+                } else {
+                    rows.retain(|t| t.get("src") != tuple.get("src"));
+                    rows.push(tuple);
+                }
             }
-            let tenant = &mut tenants[idx];
-            if !retract {
-                tenant
-                    .result_latency
-                    .add(out.time.saturating_sub(window_end) as f64);
+            PierOut::Admission {
+                query_id,
+                accepted,
+                sample_every,
+                report,
+                ..
+            } => {
+                let Some(&idx) = by_query.get(&query_id) else {
+                    continue;
+                };
+                if tenants[idx].proxy != out.node {
+                    continue;
+                }
+                tenants[idx].admission = Some(AdmissionOutcome {
+                    accepted,
+                    sample_every,
+                    report,
+                });
             }
-            let rows = tenant
-                .windows
-                .entry((window_start, window_end))
-                .or_default();
-            if retract {
-                rows.retain(|t| *t != tuple);
-            } else {
-                rows.retain(|t| t.get("src") != tuple.get("src"));
-                rows.push(tuple);
-            }
+            _ => {}
         }
     }
     // Leak detection: after every tenant ended, no node may retain share
@@ -366,7 +414,11 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
     let mut residual_groups = 0usize;
     let mut residual_members = 0usize;
     for addr in cluster.sim.alive_nodes() {
-        if let Some(stats) = cluster.sim.node(addr).and_then(|n| n.sharing_stats()) {
+        if let Some(stats) = cluster
+            .sim
+            .node(addr)
+            .and_then(pier_core::PierNode::sharing_stats)
+        {
             residual_groups += stats.groups;
             residual_members += stats.members;
         }
@@ -382,5 +434,6 @@ pub fn many_tenants(cfg: &ManyTenantsConfig) -> ManyTenantsOutcome {
         churn_at,
         residual_groups,
         residual_members,
+        telemetry: cluster.telemetry_summary(),
     }
 }

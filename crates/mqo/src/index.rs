@@ -303,7 +303,7 @@ impl PredicateIndex {
                     match &atom.constant {
                         Value::Int(i) => kernel.int_eq.entry(*i).or_default().push(entry),
                         Value::Str(s) => {
-                            kernel.str_eq.entry(s.to_string()).or_default().push(entry)
+                            kernel.str_eq.entry(s.to_string()).or_default().push(entry);
                         }
                         Value::Float(_) => kernel.float_eq.push((entry, atom.constant.clone())),
                         other => kernel.misc_eq.push((entry, other.clone())),
@@ -397,13 +397,7 @@ impl PredicateIndex {
                     } => {
                         let per_code: Vec<&[u32]> = dict
                             .iter()
-                            .map(|s| {
-                                kernel
-                                    .str_eq
-                                    .get(s.as_ref())
-                                    .map(Vec::as_slice)
-                                    .unwrap_or(&[])
-                            })
+                            .map(|s| kernel.str_eq.get(s.as_ref()).map_or(&[][..], Vec::as_slice))
                             .collect();
                         for (r, &code) in codes.iter().enumerate() {
                             if validity.as_ref().is_some_and(|b| !b.get(r)) {

@@ -218,8 +218,7 @@ impl ShareGroup {
             }
             let event_time = time_idx
                 .and_then(|i| chunk.col(i).value_ref(r).as_i64())
-                .map(|v| v.max(0) as u64)
-                .unwrap_or(now);
+                .map_or(now, |v| v.max(0) as u64);
             let key = chunk.key_at(&group_idxs, r);
             store.push(
                 event_time,
@@ -337,7 +336,7 @@ impl ShareGroup {
                 // Same deterministic order as the independent path's
                 // window_tick; cached keys render each row once instead of
                 // twice per comparison.
-                rows.sort_by_cached_key(|t| t.to_string());
+                rows.sort_by_cached_key(std::string::ToString::to_string);
                 if !m.final_ops.is_empty() {
                     let mut finisher =
                         Pipeline::new(m.final_ops.iter().filter_map(OperatorSpec::build).collect());
@@ -442,7 +441,7 @@ impl MultiQuerySharing for MqoLayer {
             // of a live member is just a renewal.
             self.renew(query_id, now);
             let group = self.by_query[&query_id];
-            let epoch = self.groups.get(&group).map(|g| g.epoch).unwrap_or(0);
+            let epoch = self.groups.get(&group).map_or(0, |g| g.epoch);
             return InstallOutcome::Member {
                 group,
                 new_group: false,
@@ -656,7 +655,7 @@ mod tests {
                         new_group,
                         qid == 1,
                         "only the first member creates the group"
-                    )
+                    );
                 }
                 other => panic!("expected membership, got {other:?}"),
             }

@@ -164,9 +164,10 @@ where
         let programs = finished.into_iter().map(|(_, p)| p).collect();
 
         let outputs = out_rx.try_iter().collect();
-        let stats = Arc::try_unwrap(stats)
-            .map(|m| m.into_inner().expect("stats poisoned"))
-            .unwrap_or_else(|arc| arc.lock().expect("stats poisoned").clone());
+        let stats = Arc::try_unwrap(stats).map_or_else(
+            |arc| arc.lock().expect("stats poisoned").clone(),
+            |m| m.into_inner().expect("stats poisoned"),
+        );
         PhysicalRun {
             outputs,
             programs,
@@ -232,7 +233,7 @@ where
     };
 
     apply(&mut program, &mut timers, &mut seq, &mut |p, ctx| {
-        p.on_start(ctx)
+        p.on_start(ctx);
     });
 
     loop {
@@ -245,7 +246,7 @@ where
             let entry = timers.pop().expect("peeked");
             let timer = entry.timer;
             apply(&mut program, &mut timers, &mut seq, &mut |p, ctx| {
-                p.on_timer(ctx, timer.clone())
+                p.on_timer(ctx, timer.clone());
             });
         }
         let wait = match timers.peek() {
@@ -258,11 +259,11 @@ where
         match rx.recv_timeout(wait) {
             Ok(Inbound::Net { from, msg }) => {
                 apply(&mut program, &mut timers, &mut seq, &mut |p, ctx| {
-                    p.on_message(ctx, from, msg.clone())
+                    p.on_message(ctx, from, msg.clone());
                 });
             }
             Ok(Inbound::Stop) => break,
-            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }

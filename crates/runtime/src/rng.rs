@@ -112,7 +112,7 @@ impl Zipf {
             total += 1.0 / (k as f64).powf(theta);
             cdf.push(total);
         }
-        for w in cdf.iter_mut() {
+        for w in &mut cdf {
             *w /= total;
         }
         Zipf { cdf }

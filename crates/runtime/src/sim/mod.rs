@@ -34,6 +34,12 @@ pub struct SimConfig {
     pub congestion: CongestionKind,
     /// Fixed per-message header overhead in bytes (UDP/IP + overlay header).
     pub header_overhead: usize,
+    /// Maximum segment size: an application message larger than this is
+    /// charged as `ceil(wire / mss)` fragments, each paying
+    /// `header_overhead` again.  Matches `CcConfig::mss` so UdpCC window
+    /// segments and the congestion models price a large `PutBatch`
+    /// consistently instead of as a single oversized packet.
+    pub mss: usize,
     /// Safety valve: the run aborts (panics) after this many events, which
     /// catches runaway message storms in buggy experiments.
     pub max_events: u64,
@@ -46,6 +52,7 @@ impl Default for SimConfig {
             topology: TopologyConfig::lan(),
             congestion: CongestionKind::None,
             header_overhead: 48,
+            mss: 1_400,
             max_events: 200_000_000,
         }
     }
@@ -299,7 +306,7 @@ impl<P: Program> Simulator<P> {
         if !self.is_alive(node) {
             return;
         }
-        self.dispatch(node, |p, ctx| p.on_stop(ctx));
+        self.dispatch(node, super::node::Program::on_stop);
         self.alive[node.index()] = false;
     }
 
@@ -338,9 +345,8 @@ impl<P: Program> Simulator<P> {
         F: FnOnce(&mut P, &mut ProgramContext<P>),
     {
         let idx = node.index();
-        let mut program = match self.nodes.get_mut(idx).and_then(Option::take) {
-            Some(p) => p,
-            None => return,
+        let Some(mut program) = self.nodes.get_mut(idx).and_then(Option::take) else {
+            return;
         };
         let mut ctx: ProgramContext<P> = Context::new(self.now, node);
         f(&mut program, &mut ctx);
@@ -354,7 +360,13 @@ impl<P: Program> Simulator<P> {
     fn apply_action(&mut self, node: NodeAddr, action: Action<P::Msg, P::Timer, P::Out>) {
         match action {
             Action::Send { to, msg } => {
-                let bytes = msg.wire_size() + self.config.header_overhead;
+                // A message longer than one MSS goes on the wire as several
+                // fragments, each with its own header: a multi-MSS `PutBatch`
+                // must pay transmission time and stats for every fragment,
+                // not for one fictitious jumbo packet.
+                let wire = msg.wire_size();
+                let frags = wire.div_ceil(self.config.mss.max(1)).max(1);
+                let bytes = wire + frags * self.config.header_overhead;
                 self.stats.record_send(node, to, bytes);
                 // The fault plan decides how many copies arrive and with how
                 // much extra delay; an empty set means the message was lost
@@ -414,9 +426,8 @@ impl<P: Program> Simulator<P> {
 
     /// Process a single event.  Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let event = match self.queue.pop() {
-            Some(e) => e,
-            None => return false,
+        let Some(event) = self.queue.pop() else {
+            return false;
         };
         self.events_processed += 1;
         assert!(
@@ -456,7 +467,7 @@ impl<P: Program> Simulator<P> {
         match event.kind {
             EventKind::Start => {
                 if self.is_alive(node) {
-                    self.dispatch(node, |p, ctx| p.on_start(ctx));
+                    self.dispatch(node, super::node::Program::on_start);
                 }
             }
             EventKind::Deliver { from, msg } => {
@@ -487,7 +498,7 @@ impl<P: Program> Simulator<P> {
                         plan.record_restart(self.now, node);
                     }
                     self.flush_fault_records();
-                    self.dispatch(node, |p, ctx| p.on_start(ctx));
+                    self.dispatch(node, super::node::Program::on_start);
                 }
             }
         }
@@ -661,6 +672,65 @@ mod tests {
         assert!(stats.node(b).msgs_sent == 1 && stats.node(b).msgs_recv == 1);
         assert!(stats.node(a).bytes_recv > 0);
         assert_eq!(stats.total_bytes, 2 * (8 + 48) as u64);
+    }
+
+    /// A program whose single message is far larger than one MSS, standing
+    /// in for a bulk `PutBatch` flush.
+    #[derive(Debug, Default)]
+    struct BulkSender {
+        peer: Option<NodeAddr>,
+    }
+
+    #[derive(Debug, Clone)]
+    struct JumboMsg;
+
+    impl WireSize for JumboMsg {
+        fn wire_size(&self) -> usize {
+            10_000
+        }
+    }
+
+    impl Program for BulkSender {
+        type Msg = JumboMsg;
+        type Timer = u32;
+        type Out = ();
+
+        fn on_start(&mut self, ctx: &mut ProgramContext<Self>) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, JumboMsg);
+            }
+        }
+
+        fn on_message(&mut self, _ctx: &mut ProgramContext<Self>, _from: NodeAddr, _msg: JumboMsg) {
+        }
+
+        fn on_timer(&mut self, _ctx: &mut ProgramContext<Self>, _timer: u32) {}
+    }
+
+    #[test]
+    fn multi_mss_message_pays_per_fragment_headers() {
+        // 10_000-byte payload over mss=1_400 → 8 fragments, each paying the
+        // 48-byte header: the wire carries 10_000 + 8*48 bytes, not 10_048.
+        let config = SimConfig::lan(8);
+        assert_eq!(config.mss, 1_400);
+        let mut sim: Simulator<BulkSender> = Simulator::new(config);
+        let a = sim.add_node(BulkSender::default());
+        let _b = sim.add_node(BulkSender { peer: Some(a) });
+        sim.run_until(500_000);
+        let frags = 10_000_u64.div_ceil(1_400);
+        assert_eq!(sim.stats().total_msgs, 1);
+        assert_eq!(sim.stats().total_bytes, 10_000 + frags * 48);
+
+        // A jumbo-frame config (mss >= payload) charges exactly one header,
+        // so fragmentation strictly increases the priced wire volume.
+        let mut jumbo: Simulator<BulkSender> = Simulator::new(SimConfig {
+            mss: 64 << 10,
+            ..SimConfig::lan(8)
+        });
+        let a = jumbo.add_node(BulkSender::default());
+        let _b = jumbo.add_node(BulkSender { peer: Some(a) });
+        jumbo.run_until(500_000);
+        assert_eq!(jumbo.stats().total_bytes, 10_000 + 48);
     }
 
     #[test]

@@ -212,7 +212,7 @@ impl<M: Clone + WireSize> UdpCc<M> {
 
     /// Current congestion window towards `to` (messages), for diagnostics.
     pub fn cwnd(&self, to: NodeAddr) -> f64 {
-        self.peers.get(&to).map(|p| p.cwnd).unwrap_or(1.0)
+        self.peers.get(&to).map_or(1.0, |p| p.cwnd)
     }
 
     /// Cumulative transport counters since construction.
@@ -235,14 +235,13 @@ impl<M: Clone + WireSize> UdpCc<M> {
     pub fn outstanding(&self, to: NodeAddr) -> usize {
         self.peers
             .get(&to)
-            .map(|p| p.in_flight.len() + p.backlog.len())
-            .unwrap_or(0)
+            .map_or(0, |p| p.in_flight.len() + p.backlog.len())
     }
 
     /// Window segments currently in flight towards `to` (the byte-aware
     /// window load), for diagnostics.
     pub fn flight_segments(&self, to: NodeAddr) -> usize {
-        self.peers.get(&to).map(|p| p.flight_segments).unwrap_or(0)
+        self.peers.get(&to).map_or(0, |p| p.flight_segments)
     }
 
     /// Submit an application message for reliable delivery to `to`.
@@ -352,10 +351,10 @@ impl<M: Clone + WireSize> UdpCc<M> {
     pub fn on_tick(&mut self, now: SimTime) -> Vec<CcEvent<M>> {
         let mut events = Vec::new();
         let config = self.config;
-        for (&to, peer) in self.peers.iter_mut() {
+        for (&to, peer) in &mut self.peers {
             let mut failed: Vec<u64> = Vec::new();
             let mut retransmit: Vec<u64> = Vec::new();
-            for (&seq, flight) in peer.in_flight.iter() {
+            for (&seq, flight) in &peer.in_flight {
                 let timeout = config.rto * (config.backoff as u64).pow(flight.retries);
                 if now >= flight.sent_at + timeout {
                     if flight.retries >= config.max_retries {

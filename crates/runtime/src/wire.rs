@@ -81,7 +81,7 @@ impl WireSize for &str {
 
 impl<T: WireSize> WireSize for Option<T> {
     fn wire_size(&self) -> usize {
-        1 + self.as_ref().map(WireSize::wire_size).unwrap_or(0)
+        1 + self.as_ref().map_or(0, WireSize::wire_size)
     }
 }
 

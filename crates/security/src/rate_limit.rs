@@ -232,10 +232,7 @@ impl Reciprocation {
     /// Current balance for `peer`: positive means we have done more work for
     /// them than they have for us.
     pub fn balance(&self, peer: &str) -> i64 {
-        self.ledger
-            .get(peer)
-            .map(|(us, them)| us - them)
-            .unwrap_or(0)
+        self.ledger.get(peer).map_or(0, |(us, them)| us - them)
     }
 
     /// Should we execute a query injected via `peer`?
@@ -301,7 +298,7 @@ mod tests {
         m.record("alice", 60.0, 10);
         match m.check("alice", 20) {
             RateDecision::NeedAggregate { local_consumption } => {
-                assert!((local_consumption - 120.0).abs() < 1e-9)
+                assert!((local_consumption - 120.0).abs() < 1e-9);
             }
             other => panic!("expected NeedAggregate, got {other:?}"),
         }

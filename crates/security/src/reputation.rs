@@ -96,7 +96,7 @@ impl ReputationDb {
 
     /// Number of observations currently held for `node`.
     pub fn observation_count(&self, node: u64) -> usize {
-        self.records.get(&node).map(|r| r.events.len()).unwrap_or(0)
+        self.records.get(&node).map_or(0, |r| r.events.len())
     }
 
     /// Fraction of `node`'s observations that are misbehaviour (0 when the

@@ -79,7 +79,7 @@ impl MerkleTree {
             leaves.iter().map(|(s, v)| leaf_hash(*s, *v)).collect()
         };
         levels.push(leaf_hashes);
-        while levels.last().map(Vec::len).unwrap_or(0) > 1 {
+        while levels.last().map_or(0, Vec::len) > 1 {
             let prev = levels.last().expect("at least one level");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
             for pair in prev.chunks(2) {

@@ -162,7 +162,7 @@ impl AggregationTopology {
 
     /// The parents of `member` (empty for the root, and for unknown members).
     pub fn parents_of(&self, member: u64) -> &[u64] {
-        self.parents.get(&member).map(Vec::as_slice).unwrap_or(&[])
+        self.parents.get(&member).map_or(&[], Vec::as_slice)
     }
 
     /// The depth of `member`: number of forwarding hops to reach the root

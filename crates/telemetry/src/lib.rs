@@ -444,7 +444,7 @@ impl Telemetry {
     fn hub(&self) -> Option<MutexGuard<'_, TelemetryHub>> {
         self.inner
             .as_ref()
-            .map(|m| m.lock().unwrap_or_else(|e| e.into_inner()))
+            .map(|m| m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
     }
 
     /// Run `f` against the hub, if attached.
@@ -503,7 +503,7 @@ impl Telemetry {
 
     /// Snapshot a counter (0 when disabled).
     pub fn counter(&self, name: &str) -> u64 {
-        self.hub().map(|h| h.counter(name)).unwrap_or(0)
+        self.hub().map_or(0, |h| h.counter(name))
     }
 
     /// Snapshot a gauge.

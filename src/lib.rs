@@ -23,6 +23,10 @@
 //! * [`mqo`] — multi-query sharing: plan fingerprinting, the vectorised
 //!   predicate index, and share-group execution that turns N
 //!   constant-varied standing queries into one shared dataflow.
+//! * [`analyze`] — static plan cost/boundedness analysis (PIQL-style
+//!   predeclared bounds) and the SLO admission layer that admits, sheds to
+//!   sampling, or rejects standing queries before dissemination (see
+//!   `docs/ANALYSIS.md`).
 //! * [`security`] — the §4.1 defenses: duplicate-insensitive sketches,
 //!   redundant aggregation topologies and adversary fidelity metrics, rate
 //!   limitation, spot-checking with early commitment, and the
@@ -40,6 +44,7 @@
 //! See `README.md` for a quickstart, the crate map and how to run the
 //! examples and benches.
 
+pub use pier_analyze as analyze;
 pub use pier_core as qp;
 pub use pier_cq as cq;
 pub use pier_dht as dht;

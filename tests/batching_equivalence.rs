@@ -23,7 +23,10 @@ fn seeded(default: u64) -> u64 {
 
 /// Sorted display strings — a canonical multiset representation.
 fn multiset(tuples: &[Tuple]) -> Vec<String> {
-    let mut rows: Vec<String> = tuples.iter().map(|t| t.to_string()).collect();
+    let mut rows: Vec<String> = tuples
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     rows.sort();
     rows
 }
@@ -476,7 +479,7 @@ fn gather_join_batch_matches_per_tuple_and_stays_typed() {
         for window in rows.chunks(64) {
             for chunk in TupleBatch::new(window.to_vec()).chunks() {
                 let out = gathered.push_chunk_batch(side, chunk);
-                got.extend(out.iter().map(|t| t.to_owned()));
+                got.extend(out.iter());
                 out_chunks.extend(out.chunks().iter().cloned());
             }
         }

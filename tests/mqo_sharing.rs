@@ -29,7 +29,8 @@ fn canonical(
         .iter()
         .filter(|((start, end), _)| *start >= from && *end <= to)
         .map(|(bounds, rows)| {
-            let mut rendered: Vec<String> = rows.iter().map(|t| t.to_string()).collect();
+            let mut rendered: Vec<String> =
+                rows.iter().map(std::string::ToString::to_string).collect();
             rendered.sort();
             (*bounds, rendered)
         })

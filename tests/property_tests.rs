@@ -118,7 +118,7 @@ proptest! {
             partials[i % split].push(t);
         }
         let mut root = mk();
-        for p in partials.iter_mut() {
+        for p in &mut partials {
             for partial in p.flush() {
                 root.merge_partial(&partial);
             }
@@ -171,7 +171,7 @@ proptest! {
                 store.merge_partial(*wid, &format!("g{group}"), PSum(*v));
             }
             let mut closed = store.close_due(10_000);
-            for (_, groups) in closed.iter_mut() {
+            for (_, groups) in &mut closed {
                 groups.sort_by(|a, b| a.0.cmp(&b.0));
             }
             closed
@@ -332,7 +332,7 @@ proptest! {
                     // Bit-for-bit for floats (PartialEq would also accept
                     // 0.0 == -0.0 and reject NaN == NaN).
                     (Value::Float(x), Value::Float(y)) => {
-                        prop_assert_eq!(x.to_bits(), y.to_bits())
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
                     }
                     _ => prop_assert_eq!(a, b),
                 }
@@ -340,7 +340,7 @@ proptest! {
         }
         // Iteration agrees with consumption, and chunk row counts add up.
         prop_assert_eq!(batch.iter().collect::<Vec<_>>(), back);
-        let chunk_rows: usize = batch.chunks().iter().map(|c| c.rows()).sum();
+        let chunk_rows: usize = batch.chunks().iter().map(pier::qp::ColumnChunk::rows).sum();
         prop_assert_eq!(chunk_rows, rows.len());
     }
 

@@ -19,7 +19,8 @@ fn window_map(tenants: &[TenantResult]) -> BTreeMap<(String, (u64, u64)), Vec<St
     let mut map = BTreeMap::new();
     for t in tenants {
         for (window, rows) in &t.windows {
-            let mut rendered: Vec<String> = rows.iter().map(|r| r.to_string()).collect();
+            let mut rendered: Vec<String> =
+                rows.iter().map(std::string::ToString::to_string).collect();
             rendered.sort();
             map.insert((t.src.clone(), *window), rendered);
         }

@@ -1,0 +1,52 @@
+//! Seeded violation corpus for the send-path determinism lint.  This file
+//! is NOT compiled — it lives outside any crate's source tree and exists so
+//! CI can prove `cargo xtask lint` still catches the PR 7 bug class:
+//! `cargo xtask lint xtask/fixtures` must FAIL with exactly the findings
+//! below, while the real tree passes.
+
+use std::collections::{HashMap, HashSet};
+
+struct Ctx;
+impl Ctx {
+    fn send(&mut self, _to: u64, _msg: &str) {}
+    fn output(&mut self, _msg: &str) {}
+}
+
+/// VIOLATION: hash-order fan-out straight into the wire.
+fn broadcast_pending(ctx: &mut Ctx, pending: &HashMap<u64, String>) {
+    for (to, msg) in pending.iter() {
+        ctx.send(*to, msg);
+    }
+}
+
+/// VIOLATION: hash-set order reaches an output stream.
+fn report_peers(ctx: &mut Ctx) {
+    let peers: HashSet<u64> = HashSet::new();
+    for p in &peers {
+        ctx.output(&format!("peer {p}"));
+    }
+}
+
+/// CLEAN: same shape, sorted before anything escapes.
+fn broadcast_sorted(ctx: &mut Ctx, pending: &HashMap<u64, String>) {
+    let mut items: Vec<_> = pending.iter().collect();
+    items.sort_by_key(|(to, _)| **to);
+    for (to, msg) in items {
+        ctx.send(*to, msg);
+    }
+}
+
+/// CLEAN: audited site — order is folded commutatively before the send.
+fn merged_send(ctx: &mut Ctx, pending: &HashMap<u64, u64>) {
+    let mut sum = 0;
+    // det-lint: allow (commutative fold; order cannot reach the wire)
+    for (_, v) in pending.iter() {
+        sum += v;
+    }
+    ctx.send(0, &sum.to_string());
+}
+
+/// CLEAN: no send/trace/persist marker in this function.
+fn local_count(pending: &HashMap<u64, String>) -> usize {
+    pending.iter().count()
+}

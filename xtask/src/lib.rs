@@ -1,0 +1,7 @@
+//! Workspace automation library: the send-path determinism lint.
+//!
+//! The `xtask` binary (`cargo xtask lint`) is a thin wrapper over
+//! [`lint::lint_tree`]; the logic lives here so the fixture tests can drive
+//! it in-process.
+
+pub mod lint;

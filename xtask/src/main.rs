@@ -1,0 +1,52 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! The one subcommand today is `lint`: the send-path determinism lint that
+//! mechanically enforces the invariant PR 7 established by hand — nothing
+//! iterates a `HashMap`/`HashSet` in unordered order on a path that sends
+//! messages, emits trace events, or persists state.  See
+//! `docs/ANALYSIS.md` ("The determinism lint") for the rule, the
+//! suppressions, and the allowlist-annotation workflow.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::lint;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = match args.next() {
+                Some(dir) => PathBuf::from(dir),
+                None => workspace_root(),
+            };
+            let findings = lint::lint_tree(&root);
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            if findings.is_empty() {
+                eprintln!("xtask lint: ok");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "xtask lint: {} unordered-iteration finding(s) on send/trace/persist paths",
+                    findings.len()
+                );
+                eprintln!(
+                    "  fix: sort before emitting, or annotate an audited site with \
+                     `// det-lint: allow (reason)`"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        _ => {
+            eprintln!("usage: cargo xtask lint [dir]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The workspace root: the manifest dir's parent (xtask lives one level in).
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(PathBuf::from).unwrap_or(manifest)
+}

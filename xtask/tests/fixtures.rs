@@ -1,0 +1,37 @@
+//! The determinism lint against its seeded fixture corpus and the live
+//! workspace: the fixture must FAIL with exactly the two seeded findings,
+//! and the real tree must PASS (PR 7 sorted every send path; the lint's job
+//! is to keep it that way).
+
+use std::path::PathBuf;
+use xtask::lint;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask lives one level below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn seeded_fixture_fails_with_expected_findings() {
+    let findings = lint::lint_tree(&workspace_root().join("xtask/fixtures"));
+    assert_eq!(
+        findings.len(),
+        2,
+        "expected exactly the two seeded violations, got: {findings:?}"
+    );
+    assert_eq!(findings[0].name, "pending");
+    assert_eq!(findings[0].marker, "ctx.send");
+    assert_eq!(findings[1].name, "peers");
+    assert_eq!(findings[1].marker, "ctx.output");
+}
+
+#[test]
+fn live_tree_passes() {
+    let findings = lint::lint_tree(&workspace_root());
+    assert!(
+        findings.is_empty(),
+        "send-path determinism lint must pass on the tree: {findings:?}"
+    );
+}
