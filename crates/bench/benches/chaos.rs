@@ -129,6 +129,11 @@ fn main() {
         out.trace, again.trace,
         "equal-seed chaos runs must produce byte-identical traces"
     );
+    // The merged all-nodes export inherits the same byte-level determinism.
+    assert_eq!(
+        out.merged_trace, again.merged_trace,
+        "equal-seed chaos runs must produce byte-identical merged traces"
+    );
     assert_eq!(out.fault_counts, again.fault_counts);
     emit_metric("chaos", "trace_deterministic", 1.0);
 }

@@ -9,7 +9,9 @@
 //!
 //! When `PIER_TRACE_OUT` names a file, node 0's structured event trace is
 //! written there as JSONL; CI validates each line against the event schema
-//! documented in `docs/OBSERVABILITY.md`.
+//! documented in `docs/OBSERVABILITY.md`.  `PIER_TRACE_MERGED_OUT` writes
+//! the merged all-nodes trace (stably ordered, byte-reproducible under
+//! equal seeds), and `PIER_SPANS_OUT` the merged all-nodes span export.
 
 use pier_bench::emit_metric;
 use pier_harness::{self_monitoring, SelfMonitoringConfig};
@@ -51,10 +53,21 @@ fn main() {
     );
     let trace_events = out.trace_jsonl.lines().count() as f64;
     emit_metric("self_monitoring", "trace_events_node0", trace_events);
+    let merged_events = out.merged_trace_jsonl.lines().count() as f64;
+    emit_metric("self_monitoring", "trace_events_all_nodes", merged_events);
+    emit_metric("self_monitoring", "trace_dropped", out.trace_dropped as f64);
 
     if let Some(path) = std::env::var_os("PIER_TRACE_OUT") {
         std::fs::write(&path, &out.trace_jsonl).expect("write trace JSONL");
         println!("trace written to {}", path.to_string_lossy());
+    }
+    if let Some(path) = std::env::var_os("PIER_TRACE_MERGED_OUT") {
+        std::fs::write(&path, &out.merged_trace_jsonl).expect("write merged trace JSONL");
+        println!("merged trace written to {}", path.to_string_lossy());
+    }
+    if let Some(path) = std::env::var_os("PIER_SPANS_OUT") {
+        std::fs::write(&path, &out.merged_span_jsonl).expect("write merged span JSONL");
+        println!("merged spans written to {}", path.to_string_lossy());
     }
 
     assert!(out.publishes > 0, "nodes must publish metrics tuples");
@@ -70,5 +83,9 @@ fn main() {
     assert!(
         trace_events > 0.0,
         "node 0 must record trace events (query installs at minimum)"
+    );
+    assert!(
+        merged_events >= trace_events,
+        "the merged all-nodes export must contain at least node 0's events"
     );
 }

@@ -95,7 +95,8 @@ pub use operators::{
     Projection, Queue, Selection, SymmetricHashJoin, TopK,
 };
 pub use pier_cq::{CqBudget, DeltaMode, WindowSpec};
-pub use pier_telemetry::{Telemetry, TelemetryConfig, TelemetryHub, TraceEvent};
+pub use pier_telemetry::{SpanRecord, Telemetry, TelemetryConfig, TelemetryHub, TraceEvent};
+pub use pier_trace::{trace_id_for, TraceConfig, TraceContext};
 pub use plan::{
     CqSpec, Dissemination, JoinSpec, OpGraph, OperatorSpec, PlanBuilder, QpObject, QueryPlan,
     SinkSpec, SourceSpec,

@@ -35,8 +35,9 @@ use pier_dht::{
     OverlayEvent, OverlayTimer,
 };
 use pier_runtime::{Duration, NodeAddr, Program, ProgramContext, Rng64, SimTime, WireSize};
-use pier_telemetry::{Telemetry, TelemetryConfig};
-use std::collections::HashMap;
+use pier_telemetry::{SpanRecord, Telemetry, TelemetryConfig};
+use pier_trace::{trace_id_for, TraceConfig, TraceContext};
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Tuning knobs for a PIER node.
@@ -89,6 +90,16 @@ pub struct PierConfig {
     /// layer's cost model scales by.  Ignored without
     /// [`PierConfig::admission`].
     pub slo: SloPolicy,
+    /// Distributed tracing (`pier-trace`): off by default.  When
+    /// [`TraceConfig::sample_every`] is nonzero the proxy samples one in N
+    /// submitted queries with a seeded-RNG draw (an `EXPLAIN ANALYZE` plan
+    /// arrives pre-marked and skips the roll); sampled queries record
+    /// virtual-time spans through the telemetry hub and their trace context
+    /// travels on the wire.  With tracing off the RNG is never drawn and no
+    /// context is attached, so runs stay byte-identical — results *and*
+    /// message sizes — to a build without tracing.  Spans are inert unless
+    /// [`PierConfig::telemetry`] is also enabled.
+    pub trace: TraceConfig,
 }
 
 impl Default for PierConfig {
@@ -104,6 +115,7 @@ impl Default for PierConfig {
             durable: None,
             admission: None,
             slo: SloPolicy::default(),
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -134,6 +146,9 @@ pub enum PierMsg {
         retracts: Vec<Tuple>,
         /// Rows inserted by this emission.
         inserts: Vec<Tuple>,
+        /// Trace context when the emitting query is sampled: the proxy's
+        /// `result.emit` span parents to the root's `window.emit` span.
+        trace: Option<TraceContext>,
     },
 }
 
@@ -145,10 +160,14 @@ impl WireSize for PierMsg {
                 8 + tuples.iter().map(WireSize::wire_size).sum::<usize>()
             }
             PierMsg::WindowResults {
-                retracts, inserts, ..
+                retracts,
+                inserts,
+                trace,
+                ..
             } => {
                 24 + retracts.iter().map(WireSize::wire_size).sum::<usize>()
                     + inserts.iter().map(WireSize::wire_size).sum::<usize>()
+                    + trace.map_or(0, |t| t.wire_size())
             }
         }
     }
@@ -558,6 +577,17 @@ pub struct PierNode {
     /// Self-monitoring telemetry handle (shared with the overlay, the
     /// sharing layer and every installed pipeline; inert when disabled).
     tel: Telemetry,
+    /// Per-node span-id sequence (`pier-trace`): ids are
+    /// `(addr + 1) << 32 | seq`, cluster-unique and purely counter-derived
+    /// so equal seeds allocate equal ids.
+    next_span_seq: u64,
+    /// Most recent span at this node that absorbed upstream work of a
+    /// sampled query (`window.combine` / `window.upcall`): the parent the
+    /// root's `window.emit` span links to.
+    last_combine_span: HashMap<u64, u64>,
+    /// Span ordinals at or above this watermark have not yet been published
+    /// into `system.spans` (the dogfood loop, [`TraceConfig::publish`]).
+    span_publish_cursor: u64,
 }
 
 impl PierNode {
@@ -590,6 +620,9 @@ impl PierNode {
             next_query_seq: 0,
             rehash_buf: HashMap::new(),
             batch_timer_armed: false,
+            next_span_seq: 0,
+            last_combine_span: HashMap::new(),
+            span_publish_cursor: 0,
         }
     }
 
@@ -622,6 +655,9 @@ impl PierNode {
             next_query_seq: 0,
             rehash_buf: HashMap::new(),
             batch_timer_armed: false,
+            next_span_seq: 0,
+            last_combine_span: HashMap::new(),
+            span_publish_cursor: 0,
         }
     }
 
@@ -653,6 +689,28 @@ impl PierNode {
     /// when the node was built without an admission layer).
     pub fn admitted_queries(&self) -> Option<usize> {
         self.admission.as_ref().map(|l| l.admitted())
+    }
+
+    // ----- distributed tracing (pier-trace) ---------------------------------
+
+    /// Allocate the next cluster-unique span id: node address in the high
+    /// half, a per-node sequence in the low half.  Counter-derived, never
+    /// random, so equal-seed runs allocate identical ids.
+    fn next_span_id(&mut self, me: NodeAddr) -> u64 {
+        self.next_span_seq += 1;
+        ((u64::from(me.0) + 1) << 32) | self.next_span_seq
+    }
+
+    /// The trace id of `query_id` when the query is installed at this node,
+    /// was sampled at its proxy, and telemetry can record the span.
+    fn traced(&self, query_id: u64) -> Option<u64> {
+        if !self.tel.is_enabled() {
+            return None;
+        }
+        self.queries
+            .get(&query_id)
+            .filter(|q| q.plan.trace)
+            .map(|_| trace_id_for(query_id))
     }
 
     /// Rows of a node-local table (the decoupled-storage access method over
@@ -827,6 +885,31 @@ impl PierNode {
                 }
             }
         }
+        // Tracing: sampled once, here at the proxy — one seeded-RNG draw
+        // per submission *only while tracing is enabled*, so untraced runs
+        // consume the exact RNG stream of a pre-tracing build.  An
+        // `EXPLAIN ANALYZE` plan arrives pre-marked and skips the roll; the
+        // decision rides the disseminated plan so every node agrees.
+        if self.config.trace.enabled() && !plan.trace {
+            let roll = self.rng.next_u64();
+            plan.trace = self.config.trace.keeps(roll);
+        }
+        if plan.trace && self.tel.is_enabled() {
+            let trace_id = trace_id_for(query_id);
+            let now = ctx.now();
+            self.tel.record_span(
+                now,
+                now,
+                trace_id,
+                trace_id, // the trace's root span IS the trace id
+                0,
+                query_id,
+                "query.disseminate",
+                0,
+                0,
+                u64::from(plan.sample_every),
+            );
+        }
         let mut proxy_state = ProxyState::default();
         if let Some(cq) = &plan.cq {
             // Standing query: keep the plan for periodic re-dissemination
@@ -935,21 +1018,53 @@ impl PierNode {
                 }
                 Vec::new()
             }
-            OverlayEvent::NewData { object } => match object.value {
-                QpObject::Plan(plan) => {
-                    self.install_query(ctx, plan);
-                    Vec::new()
+            OverlayEvent::NewData { object, trace } => {
+                // A context on arriving data means the sender's stage was
+                // sampled: record the absorption — arrival at (or relay
+                // into) the window root — as a `window.combine` span
+                // parented to the sender's wire-carried span.
+                if let Some(t) = trace {
+                    if self.tel.is_enabled() && object.value.tuple_count() > 0 {
+                        let now = ctx.now();
+                        let span = self.next_span_id(ctx.me());
+                        self.tel.record_span(
+                            now,
+                            now,
+                            t.trace_id,
+                            span,
+                            t.span_id,
+                            t.query_id,
+                            "window.combine",
+                            object.value.tuple_count() as u64,
+                            object.value.wire_size() as u64,
+                            0,
+                        );
+                        self.last_combine_span.insert(t.query_id, span);
+                    }
                 }
-                QpObject::Tuple(tuple) => self.route_new_tuple(ctx, &object.name.namespace, tuple),
-                QpObject::Batch(batch) => {
-                    // A coalesced transfer arrives: feed the columnar batch
-                    // to the dataflow batch-at-a-time — the dispatch
-                    // (namespace routing, target lookup) happens once per
-                    // batch and the operators consume whole chunks.
-                    self.route_new_batch(ctx, &object.name.namespace, batch)
+                match object.value {
+                    QpObject::Plan(plan) => {
+                        self.install_query(ctx, plan);
+                        Vec::new()
+                    }
+                    QpObject::Tuple(tuple) => {
+                        self.route_new_tuple(ctx, &object.name.namespace, tuple)
+                    }
+                    QpObject::Batch(batch) => {
+                        // A coalesced transfer arrives: feed the columnar batch
+                        // to the dataflow batch-at-a-time — the dispatch
+                        // (namespace routing, target lookup) happens once per
+                        // batch and the operators consume whole chunks.
+                        self.route_new_batch(ctx, &object.name.namespace, batch)
+                    }
                 }
-            },
-            OverlayEvent::Upcall { token, object, .. } => {
+            }
+            OverlayEvent::Upcall {
+                token,
+                object,
+                trace,
+                ..
+            } => {
                 // Hierarchical aggregation: intercept partials travelling up
                 // the tree, fold them into our own buffered partials, and
                 // drop the original message (§3.3.4).  Closed-window partials
@@ -958,6 +1073,29 @@ impl PierNode {
                 // merge refuses are malformed and would be discarded at the
                 // root anyway, per the best-effort policy).
                 let now = ctx.now();
+                // Sampled senders get the §3.2.4 upcall offer recorded as a
+                // `window.upcall` span; anything this node re-ships (refused
+                // partials) parents to it via a fresh child context.
+                let upcall_ctx = match trace {
+                    Some(t) if self.tel.is_enabled() => {
+                        let span = self.next_span_id(ctx.me());
+                        self.tel.record_span(
+                            now,
+                            now,
+                            t.trace_id,
+                            span,
+                            t.span_id,
+                            t.query_id,
+                            "window.upcall",
+                            object.value.tuple_count() as u64,
+                            0,
+                            0,
+                        );
+                        self.last_combine_span.insert(t.query_id, span);
+                        Some(t.child(span))
+                    }
+                    _ => None,
+                };
                 if object.value.tuple_count() > 0 {
                     if let Some(query_id) = self.query_for_partial_namespace(&object.name.namespace)
                     {
@@ -987,6 +1125,12 @@ impl PierNode {
                             // an unbatched per-tuple upcall would have
                             // continued routing it.
                             let mut effects = self.overlay.resume_upcall(token, false, now);
+                            if !refused.is_empty() {
+                                // Arm only when a send follows: `set_trace`
+                                // is consumed by the next overlay op and
+                                // must not leak onto unrelated traffic.
+                                self.overlay.set_trace(upcall_ctx);
+                            }
                             effects.extend(self.reship_window_partials(query_id, refused, now));
                             return effects;
                         }
@@ -1016,6 +1160,9 @@ impl PierNode {
                         if absorbed {
                             let mut effects = self.overlay.resume_upcall(token, false, now);
                             if let Some(group) = group {
+                                if !refused.is_empty() {
+                                    self.overlay.set_trace(upcall_ctx);
+                                }
                                 effects.extend(self.reship_group_partials(group, refused, now));
                             }
                             return effects;
@@ -1194,10 +1341,42 @@ impl PierNode {
                     .map(move |(i, _)| (*qid, i))
             })
             .collect();
+        self.ingest_spans(ctx, &targets, 1, tuple.wire_size() as u64);
         for (qid, gidx) in targets {
             effects.extend(self.feed_graph(ctx, qid, gidx, tuple.clone()));
         }
         effects
+    }
+
+    /// Record one `ingest` span per *sampled* query fed by an arriving
+    /// tuple or batch (rows = tuples routed, bytes = payload wire size).
+    /// Target qids are sorted before recording so span ordinals are
+    /// insertion-order independent.
+    fn ingest_spans(
+        &mut self,
+        ctx: &mut ProgramContext<Self>,
+        targets: &[(u64, usize)],
+        rows: u64,
+        bytes: u64,
+    ) {
+        if !self.tel.is_enabled() || targets.is_empty() {
+            return;
+        }
+        let mut qids: Vec<u64> = targets
+            .iter()
+            .map(|(qid, _)| *qid)
+            .filter(|qid| self.queries.get(qid).is_some_and(|q| q.plan.trace))
+            .collect();
+        qids.sort_unstable();
+        qids.dedup();
+        let now = ctx.now();
+        for qid in qids {
+            let trace_id = trace_id_for(qid);
+            let span = self.next_span_id(ctx.me());
+            self.tel.record_span(
+                now, now, trace_id, span, trace_id, qid, "ingest", rows, bytes, 0,
+            );
+        }
     }
 
     /// Batch counterpart of [`PierNode::route_new_tuple`]: the namespace
@@ -1267,6 +1446,7 @@ impl PierNode {
                     .map(move |(i, _)| (*qid, i))
             })
             .collect();
+        self.ingest_spans(ctx, &targets, batch.len() as u64, batch.wire_size() as u64);
         let mut effects = Vec::new();
         for (qid, gidx) in targets {
             effects.extend(self.feed_graph_batch(ctx, qid, gidx, &batch));
@@ -1387,6 +1567,23 @@ impl PierNode {
                 ("continuous", has_cq.to_string()),
             ]
         });
+        if plan.trace && self.tel.is_enabled() {
+            let trace_id = trace_id_for(query_id);
+            let now = ctx.now();
+            let span = self.next_span_id(ctx.me());
+            self.tel.record_span(
+                now,
+                now,
+                trace_id,
+                span,
+                trace_id,
+                query_id,
+                "query.install",
+                graphs.len() as u64,
+                0,
+                0,
+            );
+        }
         self.queries.insert(
             query_id,
             QueryState {
@@ -1452,6 +1649,7 @@ impl PierNode {
     /// later teardown's sweep, so the registry stays bounded by the live
     /// working set instead of growing with every query ever installed.
     fn uninstall_query(&mut self, query_id: u64) {
+        self.last_combine_span.remove(&query_id);
         if let Some(q) = self.queries.remove(&query_id) {
             self.tel.inc("query.teardowns");
             self.tel.event("query_teardown", || {
@@ -2378,6 +2576,11 @@ impl PierNode {
         //    the trip up (along with anything absorbed from upcall relays).
         let closed = cq.store.close_due(now);
         let mut to_send: Vec<Tuple> = Vec::new();
+        // Distinct windows whose partials this flush bundles (a tick that
+        // catches up after an EVERY-cadence gap ships several windows at
+        // once); the flush span's `aux` records it so the per-*window*
+        // static bound can be reconciled against a per-*tick* measurement.
+        let mut flushed_windows: BTreeSet<WindowId> = BTreeSet::new();
         if is_root {
             for (wid, groups) in closed {
                 for (key, acc) in groups {
@@ -2386,6 +2589,9 @@ impl PierNode {
             }
         } else {
             for (wid, groups) in closed.into_iter().chain(cq.root_store.close_due(now)) {
+                if !groups.is_empty() {
+                    flushed_windows.insert(wid);
+                }
                 for (_, acc) in groups {
                     to_send.push(Self::encode_window_partial(&cq.partial_schema, wid, &acc));
                 }
@@ -2456,8 +2662,41 @@ impl PierNode {
         } else {
             to_send.into_iter().map(QpObject::Tuple).collect()
         };
+        // Flush instrumentation: every shipping flush ticks
+        // `cq.window_flushes` / `cq.flush_partials` (the counters the
+        // span-reconciliation tests anchor to), and a sampled query's flush
+        // additionally records a `window.flush` span whose context rides
+        // the wire on every shipment of this tick.
+        let mut flush_ctx: Option<TraceContext> = None;
+        if self.tel.is_enabled() && !shipments.is_empty() {
+            let partials: u64 = shipments.iter().map(|s| s.tuple_count() as u64).sum();
+            let bytes: u64 = shipments.iter().map(|s| s.wire_size() as u64).sum();
+            self.tel.inc("cq.window_flushes");
+            self.tel.add("cq.flush_partials", partials);
+            if let Some(trace_id) = self.traced(query_id) {
+                let span = self.next_span_id(ctx.me());
+                self.tel.record_span(
+                    now,
+                    now,
+                    trace_id,
+                    span,
+                    trace_id,
+                    query_id,
+                    "window.flush",
+                    partials,
+                    bytes,
+                    flushed_windows.len() as u64,
+                );
+                flush_ctx = Some(TraceContext {
+                    trace_id,
+                    span_id: span,
+                    query_id,
+                });
+            }
+        }
         for shipment in shipments {
             let name = ObjectName::new(window_ns.clone(), root_key.clone(), self.rng.next_u64());
+            self.overlay.set_trace(flush_ctx);
             effects.extend(
                 self.overlay
                     .send_routed(root_id, name, shipment, lifetime, now),
@@ -2474,6 +2713,34 @@ impl PierNode {
                     Delta::Insert(t) => inserts.push(t),
                 }
             }
+            // A sampled query's per-window emission: the `window.emit`
+            // span parents to the newest absorption at this root and its
+            // context travels to the proxy on the results message.
+            let emit_ctx = self.traced(query_id).map(|trace_id| {
+                let span = self.next_span_id(ctx.me());
+                let parent = self
+                    .last_combine_span
+                    .get(&query_id)
+                    .copied()
+                    .unwrap_or(trace_id);
+                self.tel.record_span(
+                    now,
+                    now,
+                    trace_id,
+                    span,
+                    parent,
+                    query_id,
+                    "window.emit",
+                    (retracts.len() + inserts.len()) as u64,
+                    0,
+                    window_start,
+                );
+                TraceContext {
+                    trace_id,
+                    span_id: span,
+                    query_id,
+                }
+            });
             if proxy == ctx.me() {
                 self.proxy_receive_window(
                     ctx,
@@ -2482,6 +2749,7 @@ impl PierNode {
                     window_end,
                     retracts,
                     inserts,
+                    emit_ctx,
                 );
             } else {
                 ctx.send(
@@ -2492,6 +2760,7 @@ impl PierNode {
                         window_end,
                         retracts,
                         inserts,
+                        trace: emit_ctx,
                     },
                 );
             }
@@ -2605,12 +2874,51 @@ impl PierNode {
         } else {
             out.partials.into_iter().map(QpObject::Tuple).collect()
         };
+        // Share-group attribution: shared work is charged to the group's
+        // canonical (lowest-id) member — one `share.flush` span per
+        // shipping tick when tracing is in trace-all mode (per-query
+        // sampling decisions are meaningless for work N queries share).
+        let mut share_ctx: Option<TraceContext> = None;
+        if self.tel.is_enabled() && !shipments.is_empty() {
+            let partials: u64 = shipments.iter().map(|s| s.tuple_count() as u64).sum();
+            self.tel.inc("mqo.share_flushes");
+            self.tel.add("mqo.share_flush_partials", partials);
+            if self.config.trace.sample_every == 1 {
+                let members = self
+                    .sharing
+                    .as_ref()
+                    .map_or_else(Vec::new, |l| l.member_ids(group));
+                if let Some(&canonical) = members.first() {
+                    let bytes: u64 = shipments.iter().map(|s| s.wire_size() as u64).sum();
+                    let trace_id = trace_id_for(canonical);
+                    let span = self.next_span_id(ctx.me());
+                    self.tel.record_span(
+                        now,
+                        now,
+                        trace_id,
+                        span,
+                        trace_id,
+                        canonical,
+                        "share.flush",
+                        partials,
+                        bytes,
+                        members.len() as u64,
+                    );
+                    share_ctx = Some(TraceContext {
+                        trace_id,
+                        span_id: span,
+                        query_id: canonical,
+                    });
+                }
+            }
+        }
         for shipment in shipments {
             let name = ObjectName::new(
                 route.namespace.clone(),
                 route.root_key.clone(),
                 self.rng.next_u64(),
             );
+            self.overlay.set_trace(share_ctx);
             effects.extend(
                 self.overlay
                     .send_routed(root_id, name, shipment, lifetime, now),
@@ -2618,6 +2926,32 @@ impl PierNode {
         }
         self.drive(ctx, effects);
         for e in out.emissions {
+            // Per-member emission spans (trace-all mode only): each member
+            // gets a top-level `window.emit` in its *own* trace, so shared
+            // execution still yields per-query profiles.
+            let emit_ctx = if self.tel.is_enabled() && self.config.trace.sample_every == 1 {
+                let trace_id = trace_id_for(e.query_id);
+                let span = self.next_span_id(ctx.me());
+                self.tel.record_span(
+                    now,
+                    now,
+                    trace_id,
+                    span,
+                    trace_id,
+                    e.query_id,
+                    "window.emit",
+                    (e.retracts.len() + e.inserts.len()) as u64,
+                    0,
+                    e.window_start,
+                );
+                Some(TraceContext {
+                    trace_id,
+                    span_id: span,
+                    query_id: e.query_id,
+                })
+            } else {
+                None
+            };
             if e.proxy == ctx.me() {
                 self.proxy_receive_window(
                     ctx,
@@ -2626,6 +2960,7 @@ impl PierNode {
                     e.window_end,
                     e.retracts,
                     e.inserts,
+                    emit_ctx,
                 );
             } else {
                 ctx.send(
@@ -2636,6 +2971,7 @@ impl PierNode {
                         window_end: e.window_end,
                         retracts: e.retracts,
                         inserts: e.inserts,
+                        trace: emit_ctx,
                     },
                 );
             }
@@ -2651,6 +2987,7 @@ impl PierNode {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn proxy_receive_window(
         &mut self,
         ctx: &mut ProgramContext<Self>,
@@ -2659,11 +2996,32 @@ impl PierNode {
         window_end: SimTime,
         retracts: Vec<Tuple>,
         inserts: Vec<Tuple>,
+        trace: Option<TraceContext>,
     ) {
-        let state = self.proxied.entry(query_id).or_default();
-        if state.done {
+        if self.proxied.get(&query_id).is_some_and(|s| s.done) {
             return;
         }
+        // The delivery at the proxy closes the span tree: `result.emit`
+        // parents to the root's wire-carried `window.emit` span.
+        if let Some(t) = trace {
+            if self.tel.is_enabled() {
+                let now = ctx.now();
+                let span = self.next_span_id(ctx.me());
+                self.tel.record_span(
+                    now,
+                    now,
+                    t.trace_id,
+                    span,
+                    t.span_id,
+                    t.query_id,
+                    "result.emit",
+                    inserts.len() as u64,
+                    0,
+                    window_start,
+                );
+            }
+        }
+        let state = self.proxied.entry(query_id).or_default();
         state.results += inserts.len() as u64;
         for tuple in retracts {
             ctx.output(PierOut::WindowResult {
@@ -2710,6 +3068,15 @@ impl PierNode {
             .tel
             .percentile("dht.lookup_latency_us", 99.0)
             .unwrap_or(0.0);
+        // Ring-drop visibility: events or spans evicted from the bounded
+        // rings surface as a gauge *and* as a `system.metrics` column, so
+        // both local summaries and standing queries can flag incomplete
+        // traces (a dropped span invalidates profile reconciliation).
+        let dropped = self
+            .tel
+            .with(|h| h.trace_dropped() + h.spans_dropped())
+            .unwrap_or(0);
+        self.tel.gauge("telemetry.trace_dropped", dropped as f64);
         let schema = SchemaRegistry::global().intern(
             "system.metrics",
             &[
@@ -2722,6 +3089,7 @@ impl PierNode {
                 "lookup_p99_us",
                 "owner_cache_hits",
                 "owner_cache_misses",
+                "trace_dropped",
             ],
         );
         let count = |name: &str| Value::Int(self.tel.counter(name) as i64);
@@ -2737,11 +3105,70 @@ impl PierNode {
                 Value::Float(p99),
                 count("dht.owner_cache.hits"),
                 count("dht.owner_cache.misses"),
+                Value::Int(dropped as i64),
             ],
         );
         self.tel.inc("telemetry.publishes");
-        self.publish_keyed(ctx, "system.metrics", node_label, tuple);
+        self.publish_keyed(ctx, "system.metrics", node_label.clone(), tuple);
+        self.publish_spans(ctx, &node_label);
         ctx.set_timer(interval, PierTimer::MetricsPublish);
+    }
+
+    /// Materialise spans recorded since the last publish round as
+    /// `system.spans` tuples — the tracing half of the dogfood loop, armed
+    /// by [`TraceConfig::publish`].  Bounded per round (the ring itself is
+    /// bounded, and a cursor watermark prevents re-publishing), and keyed
+    /// by node so a node's spans land on one DHT owner in recording order.
+    /// `system.spans` matches neither the query- nor share-scoped
+    /// namespace forms, so teardown sweeps never evict it.
+    fn publish_spans(&mut self, ctx: &mut ProgramContext<Self>, node_label: &str) {
+        if !self.config.trace.publish {
+            return;
+        }
+        const MAX_SPANS_PER_ROUND: usize = 64;
+        let cursor = self.span_publish_cursor;
+        let fresh: Vec<SpanRecord> = self
+            .tel
+            .with(|h| {
+                h.spans()
+                    .filter(|s| s.ordinal >= cursor)
+                    .take(MAX_SPANS_PER_ROUND)
+                    .copied()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let Some(last) = fresh.last() else {
+            return;
+        };
+        self.span_publish_cursor = last.ordinal + 1;
+        let schema = SchemaRegistry::global().intern(
+            "system.spans",
+            &[
+                "node", "start", "end", "ordinal", "trace", "span", "parent", "query", "stage",
+                "rows", "bytes", "aux",
+            ],
+        );
+        for s in fresh {
+            let tuple = Tuple::from_schema(
+                Arc::clone(&schema),
+                vec![
+                    Value::str(node_label),
+                    Value::Int(s.start as i64),
+                    Value::Int(s.end as i64),
+                    Value::Int(s.ordinal as i64),
+                    Value::Int(s.trace_id as i64),
+                    Value::Int(s.span_id as i64),
+                    Value::Int(s.parent as i64),
+                    Value::Int(s.query_id as i64),
+                    Value::str(s.stage),
+                    Value::Int(s.rows as i64),
+                    Value::Int(s.bytes as i64),
+                    Value::Int(s.aux as i64),
+                ],
+            );
+            self.tel.inc("telemetry.span_publishes");
+            self.publish_keyed(ctx, "system.spans", node_label.to_string(), tuple);
+        }
     }
 
     /// Diagnostics of an installed continuous query (`None` when the query
@@ -2800,6 +3227,7 @@ impl Program for PierNode {
                 window_end,
                 retracts,
                 inserts,
+                trace,
             } => {
                 self.proxy_receive_window(
                     ctx,
@@ -2808,6 +3236,7 @@ impl Program for PierNode {
                     window_end,
                     retracts,
                     inserts,
+                    trace,
                 );
             }
         }

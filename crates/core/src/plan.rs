@@ -363,6 +363,13 @@ pub struct QueryPlan {
     /// rows for this query.  `1` (the default) is full fidelity.  The
     /// counter is per query per node, so equal-seed runs thin identically.
     pub sample_every: u32,
+    /// The query is traced: stamped **once at the proxy** (a deterministic
+    /// 1-in-N draw from the proxy's seeded RNG, or forced by a sqlish
+    /// `EXPLAIN ANALYZE` prefix) and disseminated with the plan, so every
+    /// participating node agrees on the sampling decision without
+    /// re-rolling.  Traced queries record `pier-trace` spans and attach
+    /// wire trace contexts; untraced queries pay one boolean test.
+    pub trace: bool,
 }
 
 impl QueryPlan {
@@ -394,8 +401,9 @@ impl QueryPlan {
 
 impl WireSize for QueryPlan {
     fn wire_size(&self) -> usize {
-        // 64 covers the fixed header (ids, proxy, timeout, tenant and the
-        // sampling modulus); opgraphs are priced per spec below.
+        // 64 covers the fixed header (ids, proxy, timeout, tenant, the
+        // sampling modulus and the trace flag); opgraphs are priced per
+        // spec below.
         64 + self
             .opgraphs
             .iter()
@@ -545,6 +553,7 @@ impl PlanBuilder {
             cq: self.cq,
             tenant: self.tenant,
             sample_every: 1,
+            trace: false,
         }
     }
 

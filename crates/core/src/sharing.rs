@@ -212,6 +212,14 @@ pub trait MultiQuerySharing: std::fmt::Debug + Send {
     /// (which also stops the executor's tick chain).
     fn group_route(&self, group: u64) -> Option<GroupRoute>;
 
+    /// Member query ids of a live group, ascending (empty when the group is
+    /// unknown).  Tracing charges shared work to the first — the group's
+    /// canonical member — so `share.flush` spans have a stable attribution
+    /// however many queries ride the group.
+    fn member_ids(&self, _group: u64) -> Vec<u64> {
+        Vec::new()
+    }
+
     /// One window-maintenance tick for `group`: close due windows, return
     /// the partial stream to ship and (at the root) per-member emissions.
     fn tick(&mut self, group: u64, now: SimTime, is_root: bool) -> TickOutput;

@@ -490,8 +490,35 @@ fn collect_columns(predicates: &[Expr]) -> Vec<String> {
     out
 }
 
+/// Strip a leading `EXPLAIN ANALYZE` prefix (case-insensitive), returning
+/// the remaining statement when present.
+pub fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    let mut rest = sql.trim_start();
+    for word in ["EXPLAIN", "ANALYZE"] {
+        if rest.len() <= word.len()
+            || !rest[..word.len()].eq_ignore_ascii_case(word)
+            || !rest[word.len()..].starts_with(char::is_whitespace)
+        {
+            return None;
+        }
+        rest = rest[word.len()..].trim_start();
+    }
+    Some(rest)
+}
+
 /// Parse and plan in one step.
+///
+/// A statement prefixed with `EXPLAIN ANALYZE` compiles to the same plan
+/// with [`QueryPlan::trace`] forced on: the query runs normally (same
+/// results, same dissemination) while every participating node records
+/// `pier-trace` spans, from which the harness assembles the measured
+/// per-stage profile (see `pier_trace::QueryProfile`).
 pub fn compile(sql: &str, proxy: NodeAddr, timeout: Duration) -> Result<QueryPlan, SqlError> {
+    if let Some(inner) = strip_explain_analyze(sql) {
+        let mut plan = plan_checked(&parse(inner)?, proxy, timeout)?;
+        plan.trace = true;
+        return Ok(plan);
+    }
     plan_checked(&parse(sql)?, proxy, timeout)
 }
 
@@ -516,6 +543,25 @@ mod tests {
         assert_eq!(s.aggregates, vec![AggFunc::Count]);
         assert_eq!(s.group_by, vec!["src"]);
         assert_eq!(s.top, Some((10, "count".to_string())));
+    }
+
+    #[test]
+    fn explain_analyze_prefix_marks_the_plan_traced() {
+        let plain = compile("SELECT file FROM files", NodeAddr(1), 5_000_000).unwrap();
+        assert!(!plain.trace);
+        for sql in [
+            "EXPLAIN ANALYZE SELECT file FROM files",
+            "  explain   analyze SELECT file FROM files",
+            "Explain Analyze SELECT file FROM files",
+        ] {
+            let traced = compile(sql, NodeAddr(1), 5_000_000).unwrap();
+            assert!(traced.trace, "{sql}");
+            assert_eq!(traced.opgraphs, plain.opgraphs, "{sql}");
+        }
+        // Not a prefix: ordinary statements are untouched.
+        assert!(strip_explain_analyze("SELECT x FROM explain").is_none());
+        assert!(strip_explain_analyze("EXPLAINANALYZE SELECT x FROM t").is_none());
+        assert!(strip_explain_analyze("EXPLAIN SELECT x FROM t").is_none());
     }
 
     #[test]

@@ -28,6 +28,14 @@ use crate::object_manager::StoredObject;
 use crate::router::RouterMessage;
 use crate::Id;
 use pier_runtime::{Duration, NodeAddr, WireSize};
+use pier_trace::TraceContext;
+
+/// Wire bytes an optional trace context costs: [`TraceContext::WIRE_BYTES`]
+/// when present, **zero** when absent — with sampling off every message is
+/// bit-identical in size to a build without tracing.
+pub(crate) fn trace_wire_size(trace: &Option<TraceContext>) -> usize {
+    trace.map_or(0, |t| t.wire_size())
+}
 
 /// A message between two overlay instances.  `V` is the application payload
 /// type (for PIER: tuples, opgraphs and partial aggregates).
@@ -46,6 +54,8 @@ pub enum DhtMessage<V> {
         reply_to: NodeAddr,
         /// Correlation token chosen by the requester.
         request_id: u64,
+        /// Trace context when the requesting query is sampled.
+        trace: Option<TraceContext>,
     },
     /// Response to [`DhtMessage::GetRequest`].
     GetResponse {
@@ -67,6 +77,8 @@ pub enum DhtMessage<V> {
         value: V,
         /// Requested soft-state lifetime, microseconds.
         lifetime: Duration,
+        /// Trace context when the putting query is sampled.
+        trace: Option<TraceContext>,
     },
     /// Several independent puts destined for the same node, coalesced into
     /// one transfer ([`Overlay::put_batch`](crate::Overlay::put_batch)).
@@ -77,6 +89,9 @@ pub enum DhtMessage<V> {
     PutBatch {
         /// `(name, payload, lifetime)` per object.
         entries: Vec<(ObjectName, V, Duration)>,
+        /// Trace context when the putting query is sampled (one per batch:
+        /// a batch comes from one flush, so its entries share a parent).
+        trace: Option<TraceContext>,
     },
     /// Direct request to extend an object's lifetime (fails if the object is
     /// not already stored at the destination).
@@ -112,6 +127,9 @@ pub enum DhtMessage<V> {
         lifetime: Duration,
         /// Hops taken so far.
         hops: u32,
+        /// Trace context when the sending query is sampled; preserved
+        /// hop-by-hop so the receiving upcall parents correctly.
+        trace: Option<TraceContext>,
     },
     /// Distribution-tree membership: `child` announces itself to its parent
     /// (the first hop on its route toward the tree root).
@@ -144,19 +162,22 @@ impl<V: WireSize> WireSize for DhtMessage<V> {
     fn wire_size(&self) -> usize {
         match self {
             DhtMessage::Routing(m) => 1 + m.wire_size(),
-            DhtMessage::GetRequest { namespace, key, .. } => {
-                1 + namespace.wire_size() + key.wire_size() + 6 + 8
-            }
+            DhtMessage::GetRequest {
+                namespace,
+                key,
+                trace,
+                ..
+            } => 1 + namespace.wire_size() + key.wire_size() + 6 + 8 + trace_wire_size(trace),
             DhtMessage::GetResponse {
                 namespace,
                 key,
                 objects,
                 ..
             } => 1 + 8 + namespace.wire_size() + key.wire_size() + objects.wire_size(),
-            DhtMessage::PutRequest { name, value, .. } => {
-                1 + name.wire_size() + value.wire_size() + 8
-            }
-            DhtMessage::PutBatch { entries } => {
+            DhtMessage::PutRequest {
+                name, value, trace, ..
+            } => 1 + name.wire_size() + value.wire_size() + 8 + trace_wire_size(trace),
+            DhtMessage::PutBatch { entries, trace } => {
                 // Dictionary-encoded framing, matching the columnar payload
                 // layout of `pier_core`'s `TupleBatch`: each distinct
                 // namespace string is charged once per batch, every entry
@@ -167,6 +188,7 @@ impl<V: WireSize> WireSize for DhtMessage<V> {
                 // header collapses exactly like a chunk's schema does.
                 let mut namespaces: Vec<&str> = Vec::new();
                 1 + 4
+                    + trace_wire_size(trace)
                     + entries
                         .iter()
                         .map(|(name, value, _)| {
@@ -182,9 +204,9 @@ impl<V: WireSize> WireSize for DhtMessage<V> {
             }
             DhtMessage::RenewRequest { name, .. } => 1 + name.wire_size() + 8 + 6 + 8,
             DhtMessage::RenewResponse { .. } => 1 + 9,
-            DhtMessage::Routed { name, value, .. } => {
-                1 + 8 + name.wire_size() + value.wire_size() + 8 + 4
-            }
+            DhtMessage::Routed {
+                name, value, trace, ..
+            } => 1 + 8 + name.wire_size() + value.wire_size() + 8 + 4 + trace_wire_size(trace),
             DhtMessage::TreeJoin { .. } => 1 + 6 + 8,
             DhtMessage::TreeBroadcastUp { payload, .. } => 1 + 8 + payload.wire_size(),
             DhtMessage::TreeBroadcastDown { payload, .. } => 1 + 8 + payload.wire_size() + 4,
@@ -228,11 +250,16 @@ mod tests {
                     name: name.clone(),
                     value: *value,
                     lifetime: 60,
+                    trace: None,
                 }
                 .wire_size()
             })
             .sum();
-        let batched = DhtMessage::PutBatch { entries }.wire_size();
+        let batched = DhtMessage::PutBatch {
+            entries,
+            trace: None,
+        }
+        .wire_size();
         assert!(
             batched < separate,
             "batched framing {batched} must undercut {separate} separate puts"
@@ -241,6 +268,37 @@ mod tests {
         // minus the per-entry 2-byte references and batch overhead.
         let ns_bytes = "shared.namespace".wire_size();
         assert!(batched <= separate - 15 * ns_bytes + 4 + 2 * 16);
+    }
+
+    #[test]
+    fn absent_trace_context_costs_zero_wire_bytes() {
+        let name = ObjectName::new("ns", "k", 1);
+        let untraced: DhtMessage<u64> = DhtMessage::PutRequest {
+            name: name.clone(),
+            value: 7,
+            lifetime: 60,
+            trace: None,
+        };
+        let traced: DhtMessage<u64> = DhtMessage::PutRequest {
+            name,
+            value: 7,
+            lifetime: 60,
+            trace: Some(TraceContext::root(42)),
+        };
+        assert_eq!(
+            traced.wire_size(),
+            untraced.wire_size() + TraceContext::WIRE_BYTES
+        );
+        let routed_plain: DhtMessage<u64> = DhtMessage::Routed {
+            target: Id(1),
+            name: ObjectName::new("ns", "k", 2),
+            value: 7,
+            lifetime: 60,
+            hops: 0,
+            trace: None,
+        };
+        let baseline = 1 + 8 + ObjectName::new("ns", "k", 2).wire_size() + 7u64.wire_size() + 8 + 4;
+        assert_eq!(routed_plain.wire_size(), baseline);
     }
 
     #[test]

@@ -32,11 +32,17 @@ use crate::object_manager::{ObjectManager, StoredObject};
 use crate::router::{NodeRef, Router, RouterConfig, RouterEffect};
 use pier_runtime::{Duration, NodeAddr, SimTime, WireSize};
 use pier_telemetry::Telemetry;
+use pier_trace::TraceContext;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt::Debug;
 
 /// One entry of a grouped put: object name, value, and its soft-state TTL.
 type PutEntry<V> = (ObjectName, V, Duration);
+
+/// A put parked at this node awaiting the application's upcall verdict:
+/// routing target, object, TTL, hops so far, and the trace context (if the
+/// owning query is sampled) to restore when routing resumes.
+type PendingUpcall<V> = (Id, ObjectName, V, Duration, u32, Option<TraceContext>);
 
 /// Well-known name of the query-dissemination tree root; its hash is the
 /// root identifier hard-coded into every PIER node (§3.3.3).
@@ -116,6 +122,9 @@ pub enum OverlayEvent<V> {
     NewData {
         /// The stored object.
         object: StoredObject<V>,
+        /// Trace context carried by the transfer, when the originating
+        /// query is sampled.
+        trace: Option<TraceContext>,
     },
     /// A routed object is passing through this node; the application must
     /// call [`Overlay::resume_upcall`] with the token to continue or drop it.
@@ -126,6 +135,8 @@ pub enum OverlayEvent<V> {
         from: NodeAddr,
         /// The in-flight object (name + value + remaining lifetime).
         object: StoredObject<V>,
+        /// Trace context carried by the routed message, when sampled.
+        trace: Option<TraceContext>,
     },
     /// A payload broadcast over the distribution tree reached this node.
     Broadcast {
@@ -169,11 +180,13 @@ enum PendingOp<V> {
     Get {
         namespace: String,
         key: String,
+        trace: Option<TraceContext>,
     },
     Put {
         name: ObjectName,
         value: V,
         lifetime: Duration,
+        trace: Option<TraceContext>,
     },
     Renew {
         name: ObjectName,
@@ -208,7 +221,13 @@ pub struct Overlay<V> {
     /// cache — and with the issue time, which prices the lookup-latency
     /// histogram when the resolution lands.
     pending: HashMap<u64, (u64, SimTime, PendingOp<V>)>,
-    pending_upcalls: HashMap<u64, (Id, ObjectName, V, Duration, u32)>,
+    pending_upcalls: HashMap<u64, PendingUpcall<V>>,
+    /// Trace context armed by [`Overlay::set_trace`] and consumed by the
+    /// next `get`/`put`/`put_batch`/`send` issued on this wrapper; it rides
+    /// the resulting wire messages so the receiving node can attach its
+    /// work to the sampled query's span tree.  `None` (the steady state
+    /// when tracing is off) adds no wire bytes and no behaviour.
+    pending_trace: Option<TraceContext>,
     next_request_id: u64,
     next_upcall_token: u64,
     tree_root: Id,
@@ -250,6 +269,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             objects: ObjectManager::new(max_lifetime),
             pending: HashMap::new(),
             pending_upcalls: HashMap::new(),
+            pending_trace: None,
             next_request_id: 0,
             next_upcall_token: 0,
             tree_root: hash_str(TREE_ROOT_NAME),
@@ -263,6 +283,15 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
     /// Attach a telemetry hub (the node's) to this overlay instance.
     pub fn set_telemetry(&mut self, tel: Telemetry) {
         self.tel = tel;
+    }
+
+    /// Arm a trace context for the **next** operation issued on this
+    /// wrapper (`get`/`put`/`put_batch`/`send`); it travels on the wire
+    /// with that operation and is cleared once consumed.  Callers pass
+    /// `Some` only for queries the proxy sampled, so an untraced run never
+    /// reaches this with a payload.
+    pub fn set_trace(&mut self, trace: Option<TraceContext>) {
+        self.pending_trace = trace;
     }
 
     /// Create an overlay whose routing state is pre-converged from full
@@ -343,6 +372,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         key: &str,
         now: SimTime,
     ) -> (u64, Vec<OverlayEffect<V>>) {
+        let trace = self.pending_trace.take();
         let request_id = self.next_request_id();
         let id = crate::id::routing_id(namespace, key);
         if self.router.is_responsible(id) {
@@ -365,6 +395,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 PendingOp::Get {
                     namespace: namespace.to_string(),
                     key: key.to_string(),
+                    trace,
                 },
             ),
         );
@@ -381,9 +412,10 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         lifetime: Duration,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
+        let trace = self.pending_trace.take();
         let id = name.routing_id();
         if self.router.is_responsible(id) {
-            return self.store_local(name, value, lifetime, now);
+            return self.store_local_traced(name, value, lifetime, trace, now);
         }
         let request_id = self.next_request_id();
         self.pending.insert(
@@ -395,6 +427,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                     name,
                     value,
                     lifetime,
+                    trace,
                 },
             ),
         );
@@ -507,6 +540,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         entries: Vec<(ObjectName, V, Duration)>,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
+        let trace = self.pending_trace.take();
         let mut effects = Vec::new();
         let mut grouped: HashMap<NodeAddr, Vec<PutEntry<V>>> = HashMap::new();
         let mut unresolved = Vec::new();
@@ -517,7 +551,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             match self.resolved_owner(id, now) {
                 Some(owner) if owner.addr == self.me.addr => {
                     local += 1;
-                    effects.extend(self.store_local(name, value, lifetime, now));
+                    effects.extend(self.store_local_traced(name, value, lifetime, trace, now));
                 }
                 Some(owner) => grouped
                     .entry(owner.addr)
@@ -543,6 +577,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                         name,
                         value,
                         lifetime,
+                        trace,
                     },
                 });
             } else {
@@ -551,7 +586,10 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                     .observe_count("dht.put_batch.group_size", batch.len() as f64);
                 effects.push(OverlayEffect::Send {
                     to,
-                    msg: DhtMessage::PutBatch { entries: batch },
+                    msg: DhtMessage::PutBatch {
+                        entries: batch,
+                        trace,
+                    },
                 });
             }
         }
@@ -564,6 +602,9 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         self.tel
             .add("dht.put_batch.unresolved", unresolved.len() as u64);
         for (name, value, lifetime) in unresolved {
+            // Re-arm the batch's context for each per-entry fallback: `put`
+            // consumes the armed trace on every call.
+            self.pending_trace = trace;
             effects.extend(self.put(name, value, lifetime, now));
         }
         effects
@@ -626,8 +667,9 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         lifetime: Duration,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
+        let trace = self.pending_trace.take();
         match self.router.next_hop(target, now) {
-            None => self.store_local(name, value, lifetime, now),
+            None => self.store_local_traced(name, value, lifetime, trace, now),
             Some(next) => vec![OverlayEffect::Send {
                 to: next.addr,
                 msg: DhtMessage::Routed {
@@ -636,6 +678,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                     value,
                     lifetime,
                     hops: 1,
+                    trace,
                 },
             }],
         }
@@ -674,6 +717,21 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         lifetime: Duration,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
+        let trace = self.pending_trace.take();
+        self.store_local_traced(name, value, lifetime, trace, now)
+    }
+
+    /// [`Overlay::store_local`] with an explicit trace context, used on
+    /// receive paths where the context arrived on the wire rather than from
+    /// [`Overlay::set_trace`].
+    fn store_local_traced(
+        &mut self,
+        name: ObjectName,
+        value: V,
+        lifetime: Duration,
+        trace: Option<TraceContext>,
+        now: SimTime,
+    ) -> Vec<OverlayEffect<V>> {
         let expires_at = self.objects.put(name.clone(), value.clone(), lifetime, now);
         vec![OverlayEffect::Event(OverlayEvent::NewData {
             object: StoredObject {
@@ -681,6 +739,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 value,
                 expires_at,
             },
+            trace,
         })]
     }
 
@@ -692,7 +751,8 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         continue_routing: bool,
         now: SimTime,
     ) -> Vec<OverlayEffect<V>> {
-        let Some((target, name, value, lifetime, hops)) = self.pending_upcalls.remove(&token)
+        let Some((target, name, value, lifetime, hops, trace)) =
+            self.pending_upcalls.remove(&token)
         else {
             return Vec::new();
         };
@@ -700,7 +760,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
             return Vec::new();
         }
         match self.router.next_hop(target, now) {
-            None => self.store_local(name, value, lifetime, now),
+            None => self.store_local_traced(name, value, lifetime, trace, now),
             Some(next) => vec![OverlayEffect::Send {
                 to: next.addr,
                 msg: DhtMessage::Routed {
@@ -709,6 +769,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                     value,
                     lifetime,
                     hops: hops + 1,
+                    trace,
                 },
             }],
         }
@@ -793,6 +854,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 key,
                 reply_to,
                 request_id,
+                trace: _,
             } => {
                 let objects = self.objects.get(&namespace, &key, now);
                 vec![OverlayEffect::Send {
@@ -820,12 +882,13 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 name,
                 value,
                 lifetime,
-            } => self.store_local(name, value, lifetime, now),
-            DhtMessage::PutBatch { entries } => {
+                trace,
+            } => self.store_local_traced(name, value, lifetime, trace, now),
+            DhtMessage::PutBatch { entries, trace } => {
                 let mut effects = Vec::new();
                 for (name, value, lifetime) in entries {
                     if self.router.is_responsible(name.routing_id()) {
-                        effects.extend(self.store_local(name, value, lifetime, now));
+                        effects.extend(self.store_local_traced(name, value, lifetime, trace, now));
                     } else {
                         // A membership change raced the coalesced transfer
                         // (e.g. a joiner took over part of this arc after
@@ -833,6 +896,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                         // classic lookup-then-transfer flow instead of
                         // storing the entry out of place, where no correctly
                         // routed get would ever find it.
+                        self.pending_trace = trace;
                         effects.extend(self.put(name, value, lifetime, now));
                     }
                 }
@@ -866,15 +930,18 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 value,
                 lifetime,
                 hops,
+                trace,
             } => {
                 if self.router.is_responsible(target) {
-                    self.store_local(name, value, lifetime, now)
+                    self.store_local_traced(name, value, lifetime, trace, now)
                 } else {
                     // Offer the application an upcall before forwarding.
                     self.next_upcall_token += 1;
                     let token = self.next_upcall_token;
-                    self.pending_upcalls
-                        .insert(token, (target, name.clone(), value.clone(), lifetime, hops));
+                    self.pending_upcalls.insert(
+                        token,
+                        (target, name.clone(), value.clone(), lifetime, hops, trace),
+                    );
                     vec![OverlayEffect::Event(OverlayEvent::Upcall {
                         token,
                         from,
@@ -883,6 +950,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                             value,
                             expires_at: now + lifetime,
                         },
+                        trace,
                     })]
                 }
             }
@@ -984,14 +1052,18 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
         // epoch bump just cleared.
         if issued_epoch == self.router.membership_epoch() && owner.addr != self.me.addr {
             let target = match &op {
-                PendingOp::Get { namespace, key } => crate::id::routing_id(namespace, key),
+                PendingOp::Get { namespace, key, .. } => crate::id::routing_id(namespace, key),
                 PendingOp::Put { name, .. } | PendingOp::Renew { name, .. } => name.routing_id(),
                 PendingOp::RawLookup { target } => *target,
             };
             self.cache_owner(target, owner, now);
         }
         match op {
-            PendingOp::Get { namespace, key } => {
+            PendingOp::Get {
+                namespace,
+                key,
+                trace,
+            } => {
                 if owner.addr == self.me.addr {
                     let objects = self.objects.get(&namespace, &key, now);
                     vec![OverlayEffect::Event(OverlayEvent::GetResult {
@@ -1008,6 +1080,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                             key,
                             reply_to: self.me.addr,
                             request_id,
+                            trace,
                         },
                     }]
                 }
@@ -1016,9 +1089,10 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                 name,
                 value,
                 lifetime,
+                trace,
             } => {
                 if owner.addr == self.me.addr {
-                    self.store_local(name, value, lifetime, now)
+                    self.store_local_traced(name, value, lifetime, trace, now)
                 } else {
                     vec![OverlayEffect::Send {
                         to: owner.addr,
@@ -1026,6 +1100,7 @@ impl<V: Clone + Debug + WireSize> Overlay<V> {
                             name,
                             value,
                             lifetime,
+                            trace,
                         },
                     }]
                 }
@@ -1237,7 +1312,7 @@ mod tests {
         let msgs = sends(&effects);
         assert_eq!(msgs.len(), 1, "all remote entries share one PutBatch");
         assert!(
-            matches!(&msgs[0].1, DhtMessage::PutBatch { entries } if entries.len() == b_keys.len())
+            matches!(&msgs[0].1, DhtMessage::PutBatch { entries, .. } if entries.len() == b_keys.len())
         );
         // The receiver unpacks into per-object storage with per-object
         // lifetimes, exactly as separate puts would have produced.
@@ -1253,13 +1328,14 @@ mod tests {
         // the same entries would cost as separate PutRequests (the shared
         // namespace travels once).
         let separate: usize = match &msgs[0].1 {
-            DhtMessage::PutBatch { entries } => entries
+            DhtMessage::PutBatch { entries, .. } => entries
                 .iter()
                 .map(|(name, value, lifetime)| {
                     DhtMessage::PutRequest {
                         name: name.clone(),
                         value: value.clone(),
                         lifetime: *lifetime,
+                        trace: None,
                     }
                     .wire_size()
                 })
@@ -1468,7 +1544,7 @@ mod tests {
             "one coalesced transfer, no lookups: {msgs:?}"
         );
         assert_eq!(msgs[0].0, target.addr);
-        assert!(matches!(&msgs[0].1, DhtMessage::PutBatch { entries } if entries.len() == 4));
+        assert!(matches!(&msgs[0].1, DhtMessage::PutBatch { entries, .. } if entries.len() == 4));
         // A membership change (a new predecessor announces itself) bumps the
         // router's epoch and clears the cache: the next batch must not trust
         // the stale resolution.
@@ -1533,6 +1609,7 @@ mod tests {
         assert_eq!(entries.len(), 3);
         let misdirected = DhtMessage::PutBatch {
             entries: entries.clone(),
+            trace: None,
         };
         let effects = b.on_message(NodeAddr(0), misdirected, 0);
         assert!(
@@ -1800,6 +1877,7 @@ mod tests {
             value: "partial".into(),
             lifetime: 1_000_000,
             hops: 1,
+            trace: None,
         };
         let effects = overlays[non_owner].on_message(NodeAddr(9), routed, 0);
         let evs = events(&effects);
@@ -1820,6 +1898,7 @@ mod tests {
             value: "partial".into(),
             lifetime: 1_000_000,
             hops: 1,
+            trace: None,
         };
         let effects = overlays[non_owner].on_message(NodeAddr(9), routed, 2);
         let token = match &events(&effects)[..] {

@@ -144,6 +144,10 @@ pub struct ChaosOutcome {
     /// The netmon proxy's telemetry trace (JSONL), with every injected
     /// fault mirrored in — equal seeds must reproduce this byte-for-byte.
     pub trace: String,
+    /// Every node's event trace merged under the `(time, node, ordinal)`
+    /// total order — the all-nodes form of [`ChaosOutcome::trace`], equally
+    /// byte-reproducible under equal seeds.
+    pub merged_trace: String,
     /// Messages delivered between stream start and end of drain.
     pub total_msgs: u64,
     /// Bytes delivered over the same interval.
@@ -272,6 +276,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
             enabled: true,
             trace_capacity: 65_536,
             publish_interval: None,
+            ..TelemetryConfig::default()
         })
         .with_durable();
     let mut cluster = Cluster::start(&cluster_cfg);
@@ -526,6 +531,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         .telemetry(proxy)
         .map(|t| t.trace_jsonl())
         .unwrap_or_default();
+    let merged_trace = cluster.merged_trace_jsonl();
     ChaosOutcome {
         query_id,
         windows,
@@ -546,6 +552,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosOutcome {
         tenant_coverage,
         fault_counts,
         trace,
+        merged_trace,
         total_msgs,
         total_bytes,
         telemetry: cluster.telemetry_summary(),

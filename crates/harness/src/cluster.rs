@@ -1,6 +1,9 @@
 //! Boot and drive a PIER cluster under the Simulation Environment.
 
-use pier_core::{PierConfig, PierNode, PierOut, QueryPlan, Telemetry, TelemetryConfig, Tuple};
+use pier_core::{
+    PierConfig, PierNode, PierOut, QueryPlan, SpanRecord, Telemetry, TelemetryConfig, TraceEvent,
+    Tuple,
+};
 use pier_cq::DurableStore;
 use pier_dht::{make_ring_refs, NodeRef};
 use pier_runtime::sim::{CongestionKind, TopologyConfig};
@@ -93,6 +96,20 @@ pub struct ClusterTelemetrySummary {
     pub admission_shed: u64,
     /// Sum over nodes of the `admission.reject` counter.
     pub admission_reject: u64,
+    /// Sum over nodes of trace-ring **and** span-ring drops — records the
+    /// bounded rings evicted because an export ran too long between reads.
+    /// Nonzero drops mean a merged export is incomplete; experiments that
+    /// assert on trace contents check [`ClusterTelemetrySummary::has_trace_drops`].
+    pub trace_dropped: u64,
+}
+
+impl ClusterTelemetrySummary {
+    /// True when any node's bounded trace or span ring overflowed — the
+    /// flag the harness surfaces so a truncated export is never mistaken
+    /// for a complete one.
+    pub fn has_trace_drops(&self) -> bool {
+        self.trace_dropped > 0
+    }
 }
 
 /// The outcome of a query run through [`Cluster::run_query`].
@@ -380,8 +397,67 @@ impl Cluster {
             s.admission_admit += tel.counter("admission.admit");
             s.admission_shed += tel.counter("admission.shed");
             s.admission_reject += tel.counter("admission.reject");
+            s.trace_dropped += tel
+                .with(|h| h.trace_dropped() + h.spans_dropped())
+                .unwrap_or(0);
         }
         s
+    }
+
+    /// Every live node's recorded spans, keyed by node address — the input
+    /// shape [`pier_trace::merge_spans`] expects.  Nodes without telemetry
+    /// contribute nothing; node order follows the ring (ascending address),
+    /// though the merger's total order makes collection order irrelevant.
+    pub fn node_spans(&self) -> Vec<(u32, Vec<SpanRecord>)> {
+        let mut per_node = Vec::new();
+        for r in &self.refs {
+            let Some(spans) = self
+                .telemetry(r.addr)
+                .and_then(|tel| tel.with(|h| h.spans().copied().collect::<Vec<_>>()))
+            else {
+                continue;
+            };
+            if !spans.is_empty() {
+                per_node.push((r.addr.0, spans));
+            }
+        }
+        per_node
+    }
+
+    /// Every live node's structured trace events, keyed by node address —
+    /// the input shape [`pier_trace::merged_trace_jsonl`] expects.
+    pub fn node_traces(&self) -> Vec<(u32, Vec<TraceEvent>)> {
+        let mut per_node = Vec::new();
+        for r in &self.refs {
+            let Some(events) = self
+                .telemetry(r.addr)
+                .and_then(|tel| tel.with(|h| h.trace().cloned().collect::<Vec<_>>()))
+            else {
+                continue;
+            };
+            if !events.is_empty() {
+                per_node.push((r.addr.0, events));
+            }
+        }
+        per_node
+    }
+
+    /// The cluster-wide span stream under the merger's total order
+    /// (`(start, node, ordinal)` ascending — equal seeds ⇒ identical).
+    pub fn merged_spans(&self) -> Vec<pier_trace::NodeSpan> {
+        pier_trace::merge_spans(&self.node_spans())
+    }
+
+    /// The merged all-nodes span export as JSONL (one span per line, a
+    /// leading `"node"` key on each).
+    pub fn merged_span_jsonl(&self) -> String {
+        pier_trace::merged_span_jsonl(&self.merged_spans())
+    }
+
+    /// The merged all-nodes structured-event trace as JSONL — the
+    /// cluster-wide form of the per-node `trace_jsonl` export.
+    pub fn merged_trace_jsonl(&self) -> String {
+        pier_trace::merged_trace_jsonl(&self.node_traces())
     }
 
     /// Feed the simulator's per-node [`NetStats`](pier_runtime::NetStats)

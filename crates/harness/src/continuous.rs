@@ -135,6 +135,14 @@ impl ContinuousOutcome {
 /// Run the continuous netmon workload.  Panics on an invalid query (the
 /// configuration is part of the experiment, not user input).
 pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
+    continuous_netmon_observed(cfg).0
+}
+
+/// Like [`continuous_netmon`], but hands the drained cluster back so the
+/// caller can inspect post-run state — the profile driver
+/// ([`crate::profile`]) collects every node's span ring from it to
+/// assemble the merged EXPLAIN ANALYZE trace.
+pub fn continuous_netmon_observed(cfg: &ContinuousNetmonConfig) -> (ContinuousOutcome, Cluster) {
     // Continuous queries need routes to heal within a window slide, so
     // fail-stop detection is tightened well below the 30 s default.
     let mut cluster_cfg = ClusterConfig::lan(cfg.nodes, cfg.seed);
@@ -294,7 +302,7 @@ pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
             max_node_state.2 = max_node_state.2.max(diag.tracked_emissions);
         }
     }
-    ContinuousOutcome {
+    let outcome = ContinuousOutcome {
         query_id,
         windows,
         generated,
@@ -305,5 +313,6 @@ pub fn continuous_netmon(cfg: &ContinuousNetmonConfig) -> ContinuousOutcome {
         total_msgs,
         total_bytes,
         telemetry: cluster.telemetry_summary(),
-    }
+    };
+    (outcome, cluster)
 }

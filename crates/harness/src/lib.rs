@@ -32,6 +32,10 @@
 //!   phases ([`pier_runtime::sim::FaultPlan`]), measuring bounded result
 //!   error, post-heal recovery time and warm restarts from durable window
 //!   segments.
+//! * [`profile`] — the EXPLAIN ANALYZE driver: continuous netmon with
+//!   tracing forced on, every node's span ring merged into one stably
+//!   ordered stream, and the measured profile reconciled against the
+//!   static `pier-analyze` cost bounds (measured ≤ static asserted).
 //! * [`adaptivity`] — the eddy routing-policy ablation (EXP-H, §4.2.2).
 //! * [`robustness`] — adversary fidelity and spot-checking studies
 //!   (EXP-I, §4.1.2), built on `pier-security`.
@@ -44,6 +48,7 @@ pub mod cluster;
 pub mod continuous;
 pub mod experiments;
 pub mod indexes;
+pub mod profile;
 pub mod recursion;
 pub mod robustness;
 pub mod self_monitoring;
@@ -52,7 +57,10 @@ pub mod workloads;
 
 pub use chaos::{run_chaos, ChaosConfig, ChaosOutcome, ChaosSpans};
 pub use cluster::{Cluster, ClusterConfig, ClusterTelemetrySummary, QueryOutcome};
-pub use continuous::{continuous_netmon, ContinuousNetmonConfig, ContinuousOutcome};
+pub use continuous::{
+    continuous_netmon, continuous_netmon_observed, ContinuousNetmonConfig, ContinuousOutcome,
+};
+pub use profile::{explain_analyze_netmon, QueryProfileOutcome};
 pub use self_monitoring::{
     self_monitoring, MetricWindow, SelfMonitoringConfig, SelfMonitoringOutcome,
 };

@@ -18,7 +18,8 @@
 //! A background packet stream keeps the DHT busy so the monitored metrics
 //! move.  The driver collects both queries' per-window result streams at
 //! the proxy and exports one node's structured event trace as JSONL — the
-//! artifact the CI schema check validates.
+//! artifact the CI schema check validates — plus the merged, stably
+//! ordered all-nodes trace and span exports (`pier-trace`'s merger).
 
 use crate::cluster::{Cluster, ClusterConfig};
 use pier_core::{sqlish, PierConfig, PierOut, TelemetryConfig, Tuple, Value};
@@ -79,6 +80,16 @@ pub struct SelfMonitoringOutcome {
     pub publishes: u64,
     /// Node 0's structured event trace as JSONL (one event per line).
     pub trace_jsonl: String,
+    /// Every node's event trace merged under the `(time, node, ordinal)`
+    /// total order — the cluster-wide form of [`Self::trace_jsonl`]
+    /// (each line gains a leading `"node"` key).
+    pub merged_trace_jsonl: String,
+    /// Every node's span ring merged the same way (empty when the run had
+    /// tracing off — the default).
+    pub merged_span_jsonl: String,
+    /// Sum over nodes of trace/span ring drops; nonzero means the merged
+    /// exports are incomplete.
+    pub trace_dropped: u64,
     /// Cluster size.
     pub nodes: usize,
     /// Background packet rows published during the run.
@@ -240,11 +251,17 @@ pub fn self_monitoring(cfg: &SelfMonitoringConfig) -> SelfMonitoringOutcome {
         .telemetry(cluster.addr(0))
         .map(|tel| tel.trace_jsonl())
         .unwrap_or_default();
+    let merged_trace_jsonl = cluster.merged_trace_jsonl();
+    let merged_span_jsonl = cluster.merged_span_jsonl();
+    let trace_dropped = cluster.telemetry_summary().trace_dropped;
     SelfMonitoringOutcome {
         bytes_recv,
         lookup_p99,
         publishes,
         trace_jsonl,
+        merged_trace_jsonl,
+        merged_span_jsonl,
+        trace_dropped,
         nodes: cfg.nodes,
         events,
     }

@@ -589,6 +589,15 @@ impl MultiQuerySharing for MqoLayer {
         })
     }
 
+    fn member_ids(&self, group: u64) -> Vec<u64> {
+        let Some(g) = self.groups.get(&group) else {
+            return Vec::new();
+        };
+        let mut ids: Vec<u64> = g.members.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     fn tick(&mut self, group: u64, now: SimTime, is_root: bool) -> TickOutput {
         match self.groups.get_mut(&group) {
             Some(g) => g.tick(now, is_root),

@@ -85,6 +85,9 @@ pub struct TelemetryConfig {
     /// as a tuple published into the `system.metrics` DHT namespace — the
     /// dogfood loop that lets standing queries monitor the cluster.
     pub publish_interval: Option<Duration>,
+    /// Ring-buffer capacity of the per-query span ring (`pier-trace`);
+    /// the oldest spans are dropped (and counted) once the buffer is full.
+    pub span_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -93,6 +96,7 @@ impl Default for TelemetryConfig {
             enabled: false,
             trace_capacity: 1024,
             publish_interval: None,
+            span_capacity: 4096,
         }
     }
 }
@@ -254,9 +258,78 @@ impl TraceEvent {
     }
 }
 
-/// The per-node metric store: counters, gauges, histograms and the bounded
-/// event trace.  All maps are `BTreeMap`s so iteration (and therefore every
-/// export) is deterministic.
+/// One measured span of a sampled distributed trace (`pier-trace`): a
+/// virtual-time interval attributed to a query stage on one node, linked
+/// into a cross-node span tree through `parent`.
+///
+/// Spans are fixed-width numeric records (the stage tag is `&'static str`)
+/// so recording one is a ring push with no allocation beyond the ring slot —
+/// the same ≤1% enabled-overhead budget as the event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Virtual time the stage began.
+    pub start: SimTime,
+    /// Virtual time the stage ended (≥ `start`; equal for instantaneous
+    /// stages such as an ingest routing decision).
+    pub end: SimTime,
+    /// Monotonic per-hub span sequence number (total order within a node).
+    pub ordinal: u64,
+    /// Trace identifier (derived deterministically from the query id).
+    pub trace_id: u64,
+    /// This span's identifier, unique across the cluster.
+    pub span_id: u64,
+    /// Parent span identifier (the trace id itself for top-level spans).
+    pub parent: u64,
+    /// Query the work is charged to.  For shared (MQO) work this is the
+    /// group's canonical member, not necessarily the query that triggered
+    /// the stage.
+    pub query_id: u64,
+    /// Static stage tag, e.g. `"window.flush"`.
+    pub stage: &'static str,
+    /// Rows processed by the stage.
+    pub rows: u64,
+    /// Wire bytes attributable to the stage (0 for local stages).
+    pub bytes: u64,
+    /// Stage-specific auxiliary value (window start for window stages,
+    /// hop count for routed stages, 0 otherwise).
+    pub aux: u64,
+}
+
+impl SpanRecord {
+    /// One JSON object (a JSONL line without the trailing newline).  Key
+    /// order is fixed so equal runs export byte-identical span files.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"start\":");
+        out.push_str(&self.start.to_string());
+        out.push_str(",\"end\":");
+        out.push_str(&self.end.to_string());
+        out.push_str(",\"ordinal\":");
+        out.push_str(&self.ordinal.to_string());
+        out.push_str(",\"trace\":");
+        out.push_str(&self.trace_id.to_string());
+        out.push_str(",\"span\":");
+        out.push_str(&self.span_id.to_string());
+        out.push_str(",\"parent\":");
+        out.push_str(&self.parent.to_string());
+        out.push_str(",\"query\":");
+        out.push_str(&self.query_id.to_string());
+        out.push_str(",\"stage\":\"");
+        json_escape(&mut out, self.stage);
+        out.push_str("\",\"rows\":");
+        out.push_str(&self.rows.to_string());
+        out.push_str(",\"bytes\":");
+        out.push_str(&self.bytes.to_string());
+        out.push_str(",\"aux\":");
+        out.push_str(&self.aux.to_string());
+        out.push('}');
+        out
+    }
+}
+
+/// The per-node metric store: counters, gauges, histograms, the bounded
+/// event trace and the bounded span ring.  All maps are `BTreeMap`s so
+/// iteration (and therefore every export) is deterministic.
 #[derive(Debug)]
 pub struct TelemetryHub {
     now: SimTime,
@@ -267,11 +340,21 @@ pub struct TelemetryHub {
     trace: VecDeque<TraceEvent>,
     trace_capacity: usize,
     trace_dropped: u64,
+    spans: VecDeque<SpanRecord>,
+    span_capacity: usize,
+    next_span_ordinal: u64,
+    spans_dropped: u64,
 }
 
 impl TelemetryHub {
-    /// An empty hub with the given trace ring capacity.
+    /// An empty hub with the given trace ring capacity (span ring defaults
+    /// to the `TelemetryConfig` default).
     pub fn new(trace_capacity: usize) -> Self {
+        TelemetryHub::with_capacities(trace_capacity, TelemetryConfig::default().span_capacity)
+    }
+
+    /// An empty hub with explicit trace and span ring capacities.
+    pub fn with_capacities(trace_capacity: usize, span_capacity: usize) -> Self {
         TelemetryHub {
             now: 0,
             next_ordinal: 0,
@@ -281,6 +364,10 @@ impl TelemetryHub {
             trace: VecDeque::new(),
             trace_capacity: trace_capacity.max(1),
             trace_dropped: 0,
+            spans: VecDeque::new(),
+            span_capacity: span_capacity.max(1),
+            next_span_ordinal: 0,
+            spans_dropped: 0,
         }
     }
 
@@ -398,6 +485,64 @@ impl TelemetryHub {
         }
         out
     }
+
+    /// Append a span to the span ring, stamping it with the next span
+    /// ordinal.  `start`/`end` are virtual times supplied by the caller
+    /// (stage boundaries rarely coincide with the hub's `now`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn span(
+        &mut self,
+        start: SimTime,
+        end: SimTime,
+        trace_id: u64,
+        span_id: u64,
+        parent: u64,
+        query_id: u64,
+        stage: &'static str,
+        rows: u64,
+        bytes: u64,
+        aux: u64,
+    ) {
+        let rec = SpanRecord {
+            start,
+            end: end.max(start),
+            ordinal: self.next_span_ordinal,
+            trace_id,
+            span_id,
+            parent,
+            query_id,
+            stage,
+            rows,
+            bytes,
+            aux,
+        };
+        self.next_span_ordinal += 1;
+        if self.spans.len() == self.span_capacity {
+            self.spans.pop_front();
+            self.spans_dropped += 1;
+        }
+        self.spans.push_back(rec);
+    }
+
+    /// The retained spans, oldest first.
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    /// Spans evicted from the ring because it was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped
+    }
+
+    /// The retained spans as JSONL.  Byte-identical across identical runs.
+    pub fn span_jsonl(&self) -> String {
+        let mut out = String::new();
+        for sp in &self.spans {
+            out.push_str(&sp.to_json());
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// A cheap-clone handle to a node's [`TelemetryHub`], or nothing.
@@ -419,7 +564,10 @@ impl Telemetry {
     pub fn from_config(cfg: &TelemetryConfig) -> Self {
         if cfg.enabled {
             Telemetry {
-                inner: Some(Arc::new(Mutex::new(TelemetryHub::new(cfg.trace_capacity)))),
+                inner: Some(Arc::new(Mutex::new(TelemetryHub::with_capacities(
+                    cfg.trace_capacity,
+                    cfg.span_capacity,
+                )))),
             }
         } else {
             Telemetry::disabled()
@@ -520,6 +668,35 @@ impl Telemetry {
     pub fn trace_jsonl(&self) -> String {
         self.hub().map(|h| h.trace_jsonl()).unwrap_or_default()
     }
+
+    /// Record a span into the span ring (no-op when disabled).  Callers
+    /// gate on the query's sampling decision before reaching this, so the
+    /// disabled-path cost is one discriminant check.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_span(
+        &self,
+        start: SimTime,
+        end: SimTime,
+        trace_id: u64,
+        span_id: u64,
+        parent: u64,
+        query_id: u64,
+        stage: &'static str,
+        rows: u64,
+        bytes: u64,
+        aux: u64,
+    ) {
+        if let Some(mut h) = self.hub() {
+            h.span(
+                start, end, trace_id, span_id, parent, query_id, stage, rows, bytes, aux,
+            );
+        }
+    }
+
+    /// Export the span ring as JSONL (empty string when disabled).
+    pub fn span_jsonl(&self) -> String {
+        self.hub().map(|h| h.span_jsonl()).unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -578,7 +755,7 @@ mod tests {
         let tel = Telemetry::from_config(&TelemetryConfig {
             enabled: true,
             trace_capacity: 2,
-            publish_interval: None,
+            ..TelemetryConfig::default()
         });
         tel.set_now(10);
         tel.event("first", Vec::new);
@@ -598,6 +775,38 @@ mod tests {
             "{\"time\":30,\"ordinal\":2,\"kind\":\"third\",\"fields\":{}}"
         );
         assert_eq!(tel.with(|h| h.trace_dropped()), Some(1));
+    }
+
+    #[test]
+    fn span_ring_bounds_and_jsonl() {
+        let tel = Telemetry::from_config(&TelemetryConfig {
+            enabled: true,
+            span_capacity: 2,
+            ..TelemetryConfig::default()
+        });
+        tel.record_span(10, 20, 7, 100, 7, 42, "ingest", 1, 0, 0);
+        tel.record_span(20, 25, 7, 101, 100, 42, "window.flush", 3, 96, 1_000_000);
+        tel.record_span(25, 30, 7, 102, 101, 42, "window.emit", 2, 0, 1_000_000);
+        let lines: Vec<String> = tel.span_jsonl().lines().map(str::to_string).collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"start\":20,\"end\":25,\"ordinal\":1,\"trace\":7,\"span\":101,\
+             \"parent\":100,\"query\":42,\"stage\":\"window.flush\",\"rows\":3,\
+             \"bytes\":96,\"aux\":1000000}"
+        );
+        assert_eq!(tel.with(|h| h.spans_dropped()), Some(1));
+        // End is clamped to start for malformed intervals.
+        tel.record_span(50, 40, 7, 103, 7, 42, "ingest", 1, 0, 0);
+        let last = tel.with(|h| *h.spans().last().unwrap()).unwrap();
+        assert_eq!((last.start, last.end), (50, 50));
+    }
+
+    #[test]
+    fn disabled_span_recording_is_inert() {
+        let tel = Telemetry::disabled();
+        tel.record_span(0, 1, 1, 1, 1, 1, "ingest", 1, 0, 0);
+        assert_eq!(tel.span_jsonl(), "");
     }
 
     #[test]

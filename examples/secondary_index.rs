@@ -84,10 +84,7 @@ fn main() {
     println!("files tagged 'shoegaze':");
     for t in indexed.tuples() {
         let file = t.get("file").and_then(|v| v.as_str()).unwrap_or("?");
-        let size = t
-            .get("size")
-            .and_then(pier::qp::Value::as_i64)
-            .unwrap_or(0);
+        let size = t.get("size").and_then(pier::qp::Value::as_i64).unwrap_or(0);
         println!("  {file} ({size} KB)");
     }
 }

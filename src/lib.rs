@@ -38,6 +38,11 @@
 //!   stamped with sim time for deterministic replay, queryable through
 //!   PIER itself via the `system.metrics` namespace (see
 //!   `docs/OBSERVABILITY.md`).
+//! * [`trace`] — sampled distributed tracing: wire-propagated trace
+//!   contexts, deterministic merged span exports (JSONL + Chrome
+//!   `trace_event`), and the `EXPLAIN ANALYZE` [`trace::QueryProfile`]
+//!   that reconciles measured spans against `pier-analyze`'s static
+//!   bounds.
 //! * [`harness`] — cluster builder, workload generators, metrics and the
 //!   experiment drivers that regenerate every figure/table of the paper.
 //!
@@ -55,3 +60,4 @@ pub use pier_pht as pht;
 pub use pier_runtime as runtime;
 pub use pier_security as security;
 pub use pier_telemetry as telemetry;
+pub use pier_trace as trace;

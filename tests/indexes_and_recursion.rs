@@ -49,10 +49,7 @@ fn range_index_returns_exactly_the_rows_in_range() {
     let outcome = cluster.run_query(proxy, plan);
     assert_eq!(outcome.results.len(), expected, "range scan must be exact");
     for t in outcome.tuples() {
-        let temp = t
-            .get("temp")
-            .and_then(pier::qp::Value::as_i64)
-            .unwrap();
+        let temp = t.get("temp").and_then(pier::qp::Value::as_i64).unwrap();
         assert!((10_000..=20_000).contains(&temp), "out-of-range row {t}");
     }
     assert!(

@@ -1,0 +1,64 @@
+//! Seeded violation corpus for the span-emit determinism lint markers.
+//! Like `unordered_send.rs`, this file is NOT compiled — it exists so CI
+//! can prove `cargo xtask lint xtask/fixtures` still flags hash-ordered
+//! iteration on the paths that feed the span ring: the merged span export
+//! must stay byte-identical under equal seeds, so span emission is as
+//! order-sensitive as a send.
+
+use std::collections::{HashMap, HashSet};
+
+struct Telemetry;
+impl Telemetry {
+    #[allow(clippy::too_many_arguments)]
+    fn record_span(
+        &self,
+        _start: u64,
+        _end: u64,
+        _trace: u64,
+        _span: u64,
+        _parent: u64,
+        _query: u64,
+        _stage: &'static str,
+        _rows: u64,
+        _bytes: u64,
+        _aux: u64,
+    ) {
+    }
+    fn span_jsonl(&self) -> String {
+        String::new()
+    }
+}
+
+/// VIOLATION: per-group state walked in hash order while the function emits
+/// a span — any ordering leak (first/last group, tie-breaks) would make the
+/// equal-seed byte-identical span export flap.
+fn flush_with_span(tel: &Telemetry, now: u64, groups: &HashMap<String, u64>) {
+    let mut rows = 0;
+    let mut first = String::new();
+    for (key, n) in groups.iter() {
+        if rows == 0 {
+            first = key.clone();
+        }
+        rows += n;
+    }
+    let _ = first;
+    tel.record_span(now, now, 1, 2, 1, 7, "window.flush", rows, 0, 0);
+}
+
+/// VIOLATION: hash-set order reaches the span export path.
+fn export_members(tel: &Telemetry) -> String {
+    let members: HashSet<u64> = HashSet::new();
+    let mut out = String::new();
+    for m in &members {
+        out.push_str(&m.to_string());
+    }
+    out.push_str(&tel.span_jsonl());
+    out
+}
+
+/// CLEAN: same shape, materialised into a B-tree order before emission.
+fn flush_sorted(tel: &Telemetry, now: u64, groups: &HashMap<String, u64>) {
+    let ordered: std::collections::BTreeMap<_, _> = groups.iter().collect();
+    let rows = ordered.values().map(|n| **n).sum();
+    tel.record_span(now, now, 1, 2, 1, 7, "window.flush", rows, 0, 0);
+}

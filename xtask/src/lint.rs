@@ -32,6 +32,8 @@ const MARKERS: &[&str] = &[
     "persist",
     "write_segment",
     "trace_jsonl",
+    ".record_span(",
+    "span_jsonl",
 ];
 
 /// Iteration methods whose order is the hash map's internal order.
@@ -478,6 +480,27 @@ fn doc(ctx: &mut Ctx) {
 }
 "#;
         assert!(lint_file("c.rs", src).is_empty());
+    }
+
+    #[test]
+    fn span_emit_path_is_sensitive() {
+        // Span rows/bytes folded in hash order would make the equal-seed
+        // byte-identical span export flap — the path is as sensitive as a
+        // send.
+        let src = r#"
+use std::collections::HashMap;
+fn flush_span(tel: &Telemetry, now: u64) {
+    let per_group: HashMap<String, u64> = HashMap::new();
+    let mut rows = 0;
+    for (_, n) in per_group.iter() {
+        rows += n;
+    }
+    tel.record_span(now, now, 1, 2, 1, 7, "window.flush", rows, 0, 0);
+}
+"#;
+        let findings = lint_file("sp.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].marker, ".record_span(");
     }
 
     #[test]
